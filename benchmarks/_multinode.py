@@ -1,0 +1,62 @@
+"""Shared report builder for the multi-node benches (Tables 3, 4, 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import write_csv
+from repro.bench.harness import SweepData, emit, output_path
+from repro.bench.paper_data import PAPER_SPEEDUPS
+from repro.bench.tables import format_table
+
+
+def multinode_report(cfg, sweep: SweepData, p: int, table_no: int) -> None:
+    """Emit the Table-3/4/5-style per-node breakdown and check speedups."""
+    rows = []
+    speedups = []
+    for lam in cfg.isovalues:
+        serial = sweep.row(1, lam)
+        par = sweep.row(p, lam)
+        s = serial.total_time / par.total_time if par.total_time > 0 else float("nan")
+        if par.n_triangles > 1000:
+            speedups.append(s)
+        for q in range(p):
+            rows.append([
+                int(lam), q, par.per_node_amc[q], par.per_node_tris[q],
+                f"{par.per_node_io[q] * 1e3:.2f}",
+                f"{par.per_node_tri_t[q] * 1e3:.2f}",
+                f"{par.per_node_render_t[q] * 1e3:.2f}",
+            ])
+        rows.append([
+            int(lam), "all", par.n_active_metacells, par.n_triangles,
+            f"total={par.total_time * 1e3:.2f}ms",
+            f"speedup={s:.2f}", "",
+        ])
+
+    lo, hi = PAPER_SPEEDUPS.get(p, (None, None))
+    ref = f" (paper: {lo}-{hi})" if lo else ""
+    table = format_table(
+        ["isovalue", "node", "active MC", "triangles", "AMC I/O (ms)",
+         "triangulate (ms)", "render (ms)"],
+        rows,
+        title=f"Table {table_no} — per-node performance on {p} nodes{ref}",
+    )
+    emit(f"table{table_no}_{p}_nodes.txt", table)
+    write_csv(
+        output_path(f"table{table_no}_{p}_nodes.csv"),
+        ["isovalue", "node", "active_mc", "triangles", "io_s", "tri_s", "render_s"],
+        [
+            [lam, q, sweep.row(p, lam).per_node_amc[q], sweep.row(p, lam).per_node_tris[q],
+             sweep.row(p, lam).per_node_io[q], sweep.row(p, lam).per_node_tri_t[q],
+             sweep.row(p, lam).per_node_render_t[q]]
+            for lam in cfg.isovalues
+            for q in range(p)
+        ],
+    )
+
+    assert speedups, "no busy isovalues to judge speedup"
+    med = float(np.median(speedups))
+    # Shape claim: near-linear scaling.  Accept a generous band around the
+    # paper's range to absorb small-scale residual overheads.
+    assert med > 0.55 * p, f"median speedup {med:.2f} too low for p={p}"
+    assert med <= p + 0.5, f"median speedup {med:.2f} superlinear for p={p}?"

@@ -1,0 +1,82 @@
+"""Ablation — data distribution schemes: striping vs range partition.
+
+The paper's Section 2 argues the range-space partition of [21] "could be
+extremely unbalanced" for some isovalues while brick striping is
+provably balanced for all of them.  This bench measures worst-case and
+median imbalance (max/mean of per-node active metacells) across the
+isovalue sweep for:
+
+* round-robin brick striping (ours, staggered),
+* round-robin brick striping (paper-literal, no stagger),
+* range partition, static entry assignment [21],
+* range partition with greedy work-balanced entries [22]-style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.range_partition import RangePartitionDistribution
+from repro.bench.harness import emit, rm_bench_volume
+from repro.bench.tables import format_table
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.striping import stripe_brick_records, striped_active_counts
+from repro.grid.metacell import partition_metacells
+
+
+def _imbalances(counts_fn, isovalues):
+    out = []
+    for lam in isovalues:
+        counts = np.asarray(counts_fn(float(lam)), dtype=np.float64)
+        if counts.sum() >= 100:
+            out.append(counts.max() / counts.mean())
+    return np.asarray(out)
+
+
+def test_ablation_distribution(benchmark, cfg):
+    p = 4
+    volume = rm_bench_volume(cfg)
+    part = partition_metacells(volume, cfg.metacell_shape)
+    intervals = IntervalSet.from_partition(part)
+    tree = CompactIntervalTree.build(intervals)
+
+    striped = stripe_brick_records(tree, p, stagger=True)
+    literal = stripe_brick_records(tree, p, stagger=False)
+    rp_static = RangePartitionDistribution(intervals, p=p, k=8)
+    rp_greedy = RangePartitionDistribution(intervals, p=p, k=8, assignment="work-balanced")
+
+    benchmark.pedantic(
+        lambda: stripe_brick_records(tree, p, stagger=True), rounds=3, iterations=1
+    )
+
+    schemes = {
+        "brick striping (staggered)": lambda lam: striped_active_counts(striped, lam),
+        "brick striping (paper-literal)": lambda lam: striped_active_counts(literal, lam),
+        "range partition [21]": rp_static.active_counts,
+        "range partition, greedy [22]": rp_greedy.active_counts,
+    }
+    rows = []
+    stats = {}
+    for name, fn in schemes.items():
+        imb = _imbalances(fn, cfg.isovalues)
+        stats[name] = imb
+        rows.append([
+            name, f"{np.median(imb):.3f}", f"{imb.max():.3f}",
+            f"{(imb > 1.5).mean():.0%}",
+        ])
+
+    table = format_table(
+        ["distribution scheme", "median max/mean", "worst max/mean", "isovalues >1.5x"],
+        rows,
+        title="Ablation — per-isovalue load imbalance of distribution schemes "
+        "(p=4; 1.0 = perfect balance)",
+    )
+    emit("ablation_distribution.txt", table)
+
+    # The paper's structural claims:
+    assert stats["brick striping (staggered)"].max() < 1.2
+    assert stats["range partition [21]"].max() > stats["brick striping (staggered)"].max()
+    assert stats["range partition [21]"].max() > 1.5, (
+        "range partition should be demonstrably unbalanced somewhere"
+    )

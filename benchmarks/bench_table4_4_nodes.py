@@ -1,0 +1,17 @@
+"""Table 4 — per-node performance on 4 nodes.
+
+Paper rows: for each isovalue, every node's active-metacell count,
+triangle count, and stage times; the cross-check is the speedup over the
+single-node run of Table 2 (paper: 4 nodes reach 3.54-3.97, 8 nodes
+6.91-7.83, 2 nodes near 2).
+"""
+
+from _multinode import multinode_report
+from repro.bench.harness import get_cluster
+
+
+def test_table4_4_nodes(benchmark, cfg, sweep):
+    cluster = get_cluster(cfg, 4)
+    mid = cfg.isovalues[len(cfg.isovalues) // 2]
+    benchmark.pedantic(lambda: cluster.extract(float(mid)), rounds=3, iterations=1)
+    multinode_report(cfg, sweep, p=4, table_no=4)

@@ -1,0 +1,72 @@
+"""Weak scaling — data grows with node count.
+
+The paper's strong-scaling numbers (Figures 5/6) keep the data fixed;
+the natural companion experiment grows the volume with p so each node's
+share stays constant.  Ideal weak scaling: per-node work and total time
+flat as (p, volume) grow together — which the striped layout should
+deliver since every node holds ~1/p of every brick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import write_csv
+from repro.bench.harness import emit, output_path, scaled_perf_model
+from repro.bench.tables import format_table
+from repro.core.builder import build_indexed_dataset
+from repro.grid.rm_instability import rm_timestep
+from repro.parallel.cluster import SimulatedCluster
+
+
+def test_weak_scaling(benchmark, cfg):
+    lam = float(cfg.isovalues[len(cfg.isovalues) // 2])
+    # Grow the lateral extent with p: the mixing layer (where the active
+    # metacells live) covers the full x-y footprint, so active work grows
+    # ~linearly with x while each node's share stays constant.
+    base = 8 * 7 + 1  # 57
+    configs = {p: (8 * 5 * p + 1, base, base) for p in (1, 2, 4, 8)}
+
+    rows = []
+    raw = []
+    t_ref = None
+    for p, shape in configs.items():
+        volume = rm_timestep(cfg.time_step, shape=shape, seed=cfg.seed)
+        probe = build_indexed_dataset(volume, cfg.metacell_shape)
+        perf = scaled_perf_model(probe)
+        cluster = SimulatedCluster(
+            volume, p, cfg.metacell_shape, perf=perf, image_size=cfg.image_size
+        )
+        res = cluster.extract(lam)
+        if p == 1:
+            benchmark.pedantic(lambda: cluster.extract(lam), rounds=2, iterations=1)
+            t_ref = res.total_time
+        eff = t_ref / res.total_time if res.total_time > 0 else float("nan")
+        per_node = res.n_active_metacells / p
+        rows.append([
+            p, "x".join(map(str, shape)), res.n_active_metacells,
+            f"{per_node:.0f}", f"{res.total_time * 1e3:.2f}", f"{eff:.2f}",
+        ])
+        raw.append([p, res.n_active_metacells, res.total_time, eff])
+
+    table = format_table(
+        ["nodes", "volume", "active MC total", "active MC / node",
+         "time (ms)", "weak efficiency"],
+        rows,
+        title=(
+            f"Weak scaling at isovalue {int(lam)}: data grows with p "
+            "(ideal: flat per-node work and time)"
+        ),
+    )
+    emit("weak_scaling.txt", table)
+    write_csv(
+        output_path("weak_scaling.csv"),
+        ["p", "active_mc", "time_s", "efficiency"],
+        raw,
+    )
+
+    # Per-node work stays flat (within 30%) and efficiency stays decent.
+    per_node = [r[1] / r[0] for r in raw]
+    assert max(per_node) / min(per_node) < 1.3
+    effs = [r[3] for r in raw[1:]]
+    assert min(effs) > 0.5

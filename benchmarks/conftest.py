@@ -1,0 +1,26 @@
+"""Shared fixtures for the paper-reproduction benches.
+
+Every bench prints its table/figure to stdout (run with ``-s`` to see)
+and persists it under ``benchmarks/output/``.  Scale knobs:
+
+* ``REPRO_BENCH_SCALE=N`` — linear volume scale (default 1 ~ 100^3).
+* ``REPRO_TABLE1_FULL=1`` — build Table 1 stand-ins at the paper's full
+  grid dimensions instead of quarter scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchConfig, get_sweep
+
+
+@pytest.fixture(scope="session")
+def cfg() -> BenchConfig:
+    return BenchConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def sweep(cfg):
+    """The {1,2,4,8}-node x isovalue sweep shared by Tables 2-7, Figs 5-6."""
+    return get_sweep(cfg)

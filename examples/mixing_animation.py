@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Animate the mixing front: one frame per time step.
+
+Renders the RM-instability stand-in's isosurface over a window of time
+steps with a fixed camera, writing numbered PPM frames — the bubbles
+and spikes grow and merge exactly as the paper's dataset description
+promises.  Convert with e.g. ffmpeg -i frame_%03d.ppm mixing.gif
+
+Run:  python examples/mixing_animation.py [n_frames] [outdir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import IsosurfacePipeline, rm_time_series
+from repro.render.camera import Camera
+from repro.render.image import write_ppm
+
+
+def main() -> None:
+    n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    outdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("animation_frames")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    steps = np.linspace(40, 260, n_frames).astype(int).tolist()
+    iso = 128.0
+    camera = None
+
+    print(f"rendering steps {steps} at isovalue {iso:g} ...")
+    for frame, (t, volume) in enumerate(
+        rm_time_series(steps, shape=(65, 65, 57), n_steps=270)
+    ):
+        pipe = IsosurfacePipeline.from_volume(volume)
+        res = pipe.extract(iso)
+        if res.n_triangles == 0:
+            print(f"  step {t}: empty, skipped")
+            continue
+        if camera is None:
+            # Fix the camera on the first populated frame so growth is
+            # visible rather than compensated by reframing.
+            camera = Camera.fit_mesh(res.mesh, direction=(1.0, -1.3, 0.9), margin=1.6)
+        res = pipe.extract(iso, render=True, camera=camera, image_size=(320, 320))
+        path = write_ppm(outdir / f"frame_{frame:03d}.ppm", res.image.to_uint8())
+        print(
+            f"  step {t:3d}: {res.n_active_metacells:4d} active metacells, "
+            f"{res.n_triangles:6d} triangles -> {path.name}"
+        )
+    print(f"\nframes in {outdir}/ — the mixing layer thickens and the "
+          "front roughens step over step.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: preprocess a volume once, extract isosurfaces out-of-core.
+
+This walks the whole serial pipeline of the paper on an analytic field
+whose isosurfaces are spheres, so every number printed can be checked
+against geometry you know:
+
+    volume -> metacells -> compact interval tree + brick layout
+           -> query(iso) -> Marching Cubes -> mesh -> image
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import IsosurfacePipeline, sphere_field
+from repro.render.image import ascii_preview, write_ppm
+
+
+def main() -> None:
+    # A 65^3 field whose value at each vertex is the distance from the
+    # domain center: the isosurface at value r is the radius-r sphere.
+    volume = sphere_field((65, 65, 65))
+    print(f"volume: {volume.shape}, {volume.nbytes / 1024:.0f} KiB raw")
+
+    # Preprocess once: metacell decomposition, constant culling, compact
+    # interval tree, span-space brick layout on a simulated disk.
+    pipe = IsosurfacePipeline.from_volume(volume, metacell_shape=(5, 5, 5))
+    rep = pipe.report
+    print(
+        f"preprocessed: {rep.n_metacells_stored}/{rep.n_metacells_total} metacells "
+        f"stored, index {rep.index_bytes} bytes, tree height {rep.tree_height}"
+    )
+    lo, hi = pipe.isovalue_range()
+    print(f"isovalue range with geometry: [{lo:.3f}, {hi:.3f}]")
+
+    # Query several isovalues against the same on-disk layout.
+    for iso in (0.3, 0.5, 0.7, 0.9):
+        res = pipe.extract(iso)
+        mesh = res.mesh.weld()
+        vol_err = abs(abs(mesh.enclosed_volume()) - 4 / 3 * math.pi * iso**3)
+        print(
+            f"iso {iso:.1f}: {res.n_active_metacells:4d} active metacells, "
+            f"{res.n_triangles:6d} triangles, closed={mesh.is_closed()}, "
+            f"|volume error|={vol_err:.4f}, "
+            f"blocks read={res.query.io_stats.blocks_read}, "
+            f"modeled I/O {res.metrics.io_time * 1e3:.2f} ms, "
+            f"triangulation {res.metrics.triangulation_time * 1e3:.2f} ms"
+        )
+
+    # Render the last surface and save a PPM anyone can open.
+    res = pipe.extract(0.8, render=True, image_size=(320, 320))
+    out = write_ppm("quickstart_sphere.ppm", res.image.to_uint8())
+    print(f"\nrendered iso 0.8 to {out}")
+    print(ascii_preview(res.image.to_uint8(), width=56))
+
+
+if __name__ == "__main__":
+    main()

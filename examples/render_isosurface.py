@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Figure-4-style render: an isosurface of the RM-instability stand-in.
+
+Reproduces the pipeline behind the paper's Figure 4 (isovalue 190 at
+time step 250 of a downsampled Richtmyer–Meshkov field): generate the
+time step, preprocess, query out-of-core, triangulate, rasterize, and
+write PPM images of the bubble-and-spike mixing front.
+
+Run:  python examples/render_isosurface.py [time_step] [isovalue]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import IsosurfacePipeline, rm_timestep
+from repro.render.camera import Camera
+from repro.render.image import ascii_preview, depth_to_gray, write_pgm, write_ppm
+
+
+def main() -> None:
+    time_step = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    isovalue = float(sys.argv[2]) if len(sys.argv) > 2 else 190.0
+
+    # The paper's Figure 4 uses a 256x256x240 downsample; a ~97^3 field
+    # keeps this example fast while exercising the same path.
+    volume = rm_timestep(time_step, shape=(97, 97, 89))
+    print(f"generated RM-like step {time_step}: {volume.shape}, "
+          f"values [{volume.data.min()}, {volume.data.max()}]")
+
+    pipe = IsosurfacePipeline.from_volume(volume)  # paper 9x9x9 metacells
+    print(
+        f"preprocess: {pipe.report.n_metacells_stored} metacells stored "
+        f"({pipe.report.space_saving:.0%} space saving), "
+        f"index {pipe.report.index_bytes} bytes"
+    )
+
+    res = pipe.extract(isovalue)
+    print(f"iso {isovalue}: {res.n_active_metacells} active metacells, "
+          f"{res.n_triangles} triangles")
+    if res.n_triangles == 0:
+        print("no geometry at this isovalue — try one inside the value range")
+        return
+
+    # Look along the mixing direction so bubbles and spikes read clearly.
+    cam = Camera.fit_mesh(res.mesh, direction=(0.8, -1.0, 1.4))
+    res = pipe.extract(isovalue, render=True, camera=cam, image_size=(512, 512), smooth=True)
+
+    color = write_ppm("rm_isosurface.ppm", res.image.to_uint8())
+    depth = write_pgm("rm_isosurface_depth.pgm", depth_to_gray(res.image.depth))
+    print(f"wrote {color} and {depth} (coverage {res.image.coverage():.0%})")
+    print(ascii_preview(res.image.to_uint8(), width=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Unstructured grids through the same index (paper Section 4, opening).
+
+"Our algorithm can handle both structured and unstructured grids" — the
+compact interval tree only ever sees (vmin, vmax) intervals and opaque
+records.  This example indexes a Delaunay tetrahedralization, runs
+out-of-core queries, and cross-checks a structured volume's 6-tet
+decomposition against in-core extraction.
+
+Run:  python examples/unstructured_mesh.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.unstructured_builder import (
+    build_striped_unstructured,
+    build_unstructured_dataset,
+    extract_unstructured,
+)
+from repro.grid.datasets import sphere_field
+from repro.grid.unstructured import delaunay_ball, structured_to_tets
+from repro.mc.mesh_io import write_obj
+
+
+def main() -> None:
+    print("=== Delaunay tetrahedralization of a random ball ===")
+    mesh = delaunay_ball(n_points=600, seed=11)
+    print(f"{mesh.n_cells} tetrahedra over {len(mesh.points)} points")
+
+    ds = build_unstructured_dataset(mesh, cells_per_cluster=64)
+    rep = ds.report
+    print(f"clusters: {rep.n_clusters_stored} stored "
+          f"({rep.n_clusters_culled} constant culled), "
+          f"index {rep.index_bytes} bytes, "
+          f"record {ds.codec.record_size} bytes")
+
+    for iso in (0.3, 0.5, 0.8):
+        surface, qr = extract_unstructured(ds, iso)
+        r = np.linalg.norm(surface.vertices, axis=1) if surface.n_vertices else np.array([])
+        print(f"  iso {iso:.1f}: {qr.n_active:3d} active clusters -> "
+              f"{surface.n_triangles:5d} triangles "
+              f"(vertex radius {r.mean():.2f} ± {r.std():.2f})" if len(r) else
+              f"  iso {iso:.1f}: empty")
+    out = write_obj("delaunay_isosurface.obj", extract_unstructured(ds, 0.5)[0])
+    print(f"wrote {out}")
+
+    print("\n=== striped across 4 simulated nodes ===")
+    striped = build_striped_unstructured(mesh, 4, cells_per_cluster=64)
+    counts = [extract_unstructured(d, 0.5)[1].n_active for d in striped]
+    print(f"active clusters per node at iso 0.5: {counts}")
+
+    print("\n=== structured volume as a tet mesh (ground-truth bridge) ===")
+    vol = sphere_field((17, 17, 17))
+    tets = structured_to_tets(vol)
+    ds2 = build_unstructured_dataset(tets, cells_per_cluster=48)
+    surface, _ = extract_unstructured(ds2, 0.6)
+    welded = surface.weld(decimals=5)
+    print(f"{tets.n_cells} tets -> {surface.n_triangles} triangles, "
+          f"closed={welded.is_closed()}, "
+          f"Euler characteristic {welded.euler_characteristic()} (sphere: 2)")
+
+
+if __name__ == "__main__":
+    main()

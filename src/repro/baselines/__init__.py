@@ -1,0 +1,27 @@
+"""Comparators the paper measures or argues against.
+
+``interval_tree``
+    The standard binary interval tree (Table 1's size comparison).
+``bbio_tree``
+    BBIO-style external interval tree with an id-ordered store
+    ([10, 17]: index traversal + scattered retrieval + host dispatch).
+``range_partition``
+    Range-space partition distribution of [21] (the load-imbalance
+    counterexample).
+``naive_scan``
+    Full-scan floor, O(N/B) per query.
+"""
+
+from repro.baselines.bbio_tree import BBIODataset, BBIOQueryResult
+from repro.baselines.interval_tree import StandardIntervalTree
+from repro.baselines.naive_scan import ScanResult, full_scan_query
+from repro.baselines.range_partition import RangePartitionDistribution
+
+__all__ = [
+    "StandardIntervalTree",
+    "BBIODataset",
+    "BBIOQueryResult",
+    "RangePartitionDistribution",
+    "full_scan_query",
+    "ScanResult",
+]

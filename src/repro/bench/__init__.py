@@ -1,0 +1,37 @@
+"""Benchmark harness: shared config, paper reference data, formatting.
+
+The actual benches live in ``benchmarks/`` at the repository root, one
+file per paper table/figure plus the ablations; this package holds the
+machinery they share.
+"""
+
+from repro.bench.harness import (
+    BenchConfig,
+    SweepData,
+    SweepRow,
+    emit,
+    get_cluster,
+    get_sweep,
+    output_path,
+    rm_bench_volume,
+    scaled_perf_model,
+)
+from repro.bench.figures import ascii_chart, write_csv
+from repro.bench.tables import format_kv, format_table, human_bytes
+
+__all__ = [
+    "BenchConfig",
+    "SweepData",
+    "SweepRow",
+    "emit",
+    "get_cluster",
+    "get_sweep",
+    "output_path",
+    "rm_bench_volume",
+    "scaled_perf_model",
+    "ascii_chart",
+    "write_csv",
+    "format_table",
+    "format_kv",
+    "human_bytes",
+]

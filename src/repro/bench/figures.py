@@ -1,0 +1,113 @@
+"""ASCII charts and CSV dumps for the figure-reproduction benches."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def ascii_chart(
+    series: "Mapping[str, tuple[Sequence[float], Sequence[float]]]",
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker character; shared axes are auto-scaled.
+    """
+    markers = "ox+*#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if len(xs_all) == 0:
+        return "(empty chart)"
+    x0, x1 = float(xs_all.min()), float(xs_all.max())
+    y0, y1 = float(ys_all.min()), float(ys_all.max())
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, (xs, ys)), marker in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            cx = int(round((float(x) - x0) / (x1 - x0) * (width - 1)))
+            cy = int(round((float(y) - y0) / (y1 - y0) * (height - 1)))
+            grid[height - 1 - cy][cx] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:>10.3g} ^")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y0:>10.3g} +" + "-" * width + f"> {xlabel}")
+    lines.append(" " * 12 + f"[{x0:.3g} .. {x1:.3g}]   y: {ylabel}")
+    legend = "   ".join(
+        f"{m} = {label}" for (label, _), m in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def heatmap_to_rgb(
+    hist: np.ndarray,
+    log_scale: bool = True,
+    low=(12, 16, 38),
+    high=(255, 214, 84),
+) -> np.ndarray:
+    """Map a 2D histogram to an RGB uint8 image (origin bottom-left).
+
+    Used by the Figure-1 reproduction: span-space density, with the
+    histogram's x axis (vmin) horizontal and y axis (vmax) growing
+    upward, so the diagonal support reads like the paper's diagram.
+    """
+    hist = np.asarray(hist, dtype=np.float64)
+    v = np.log1p(hist) if log_scale else hist
+    top = v.max()
+    t = v / top if top > 0 else v
+    lo = np.asarray(low, dtype=np.float64)
+    hi = np.asarray(high, dtype=np.float64)
+    rgb = lo[None, None, :] * (1 - t[..., None]) + hi[None, None, :] * t[..., None]
+    # hist[i, j] -> pixel row (flip j to put vmax up), column i.
+    img = rgb.transpose(1, 0, 2)[::-1]
+    return np.clip(img + 0.5, 0, 255).astype(np.uint8)
+
+
+def draw_box(
+    img: np.ndarray, row0: int, row1: int, col0: int, col1: int, color=(255, 80, 60)
+) -> None:
+    """Draw a 1-pixel rectangle outline in place (clipped to the image)."""
+    h, w = img.shape[:2]
+    row0, row1 = sorted((max(0, min(row0, h - 1)), max(0, min(row1, h - 1))))
+    col0, col1 = sorted((max(0, min(col0, w - 1)), max(0, min(col1, w - 1))))
+    c = np.asarray(color, dtype=np.uint8)
+    img[row0, col0 : col1 + 1] = c
+    img[row1, col0 : col1 + 1] = c
+    img[row0 : row1 + 1, col0] = c
+    img[row0 : row1 + 1, col1] = c
+
+
+def upscale_nearest(img: np.ndarray, factor: int) -> np.ndarray:
+    """Integer nearest-neighbour upscale (crisp pixels for small grids)."""
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    return np.repeat(np.repeat(img, factor, axis=0), factor, axis=1)
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: "Sequence[Sequence]"
+) -> Path:
+    """Dump rows to CSV (for external replotting of any figure)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,235 @@
+"""Shared harness for the table/figure reproduction benches.
+
+Scaling contract
+----------------
+The paper's runs use a 7.5 GB time step; the benches default to a
+~100^3 synthetic step (override with ``REPRO_BENCH_SCALE=2,3,...``).
+Per-metacell costs (bytes read, cells examined, triangles emitted) are
+scale-invariant, so stage-time *ratios* transfer directly — with one
+exception: disk seeks are charged per *brick*, and scaled-down volumes
+have bricks thousands of times smaller than the paper's (~10 records vs
+~5000), so a physical 8 ms seek would dominate everything and hide the
+algorithm.  :func:`scaled_perf_model` therefore scales seek latency by
+the measured mean brick size relative to the paper's, preserving the
+paper's seek-to-transfer ratio.  Raw counts (blocks, seeks) are reported
+unscaled in every bench output.
+
+The expensive sweep over {isovalues} x {1, 2, 4, 8 nodes} is computed
+once per pytest session and shared by the Table 2–7 / Figure 5–6
+benches via :func:`get_sweep`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.paper_data import PAPER_FACTS
+from repro.grid.rm_instability import RMInstabilityModel
+from repro.grid.volume import Volume
+from repro.io.cost_model import IOCostModel
+from repro.parallel.cluster import ClusterResult, SimulatedCluster
+from repro.parallel.perfmodel import PAPER_CLUSTER, PerformanceModel
+
+#: Where benches drop their tables/CSVs/images.
+OUTPUT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "output"
+
+#: Mean brick payload on the paper's time step 250: 5,592,802 records
+#: over the O(n log n) brick count (n = 256 one-byte endpoints).
+_PAPER_MEAN_BRICK_BYTES = (
+    PAPER_FACTS["metacells_stored_step250"] / 1000 * PAPER_FACTS["metacell_record_bytes"]
+)
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by all benches (env-overridable)."""
+
+    #: The paper sweeps isovalues 10..210 (step 20) over its 0..255
+    #: entropy field.  Our stand-in's dynamic range is ~[16, 243], so the
+    #: equivalent interior sweep is 30..230 — same count, same step, same
+    #: relative coverage of the value range.
+    scale: int = 1
+    isovalues: tuple = tuple(range(30, 231, 20))
+    metacell_shape: tuple = (9, 9, 9)
+    time_step: int = 250
+    n_steps: int = 270
+    seed: int = 7
+    #: Framebuffer for modeled render/composite costs, scaled with the
+    #: data: the paper moves a ~21 MB buffer per node against ~40 s of
+    #: extraction (0.04% of node time); a 32x32 buffer against our ~20 ms
+    #: extractions keeps the same proportion.  Figure 4 renders at full
+    #: resolution regardless.
+    image_size: tuple = (32, 32)
+    node_counts: tuple = (1, 2, 4, 8)
+
+    @property
+    def rm_shape(self) -> tuple:
+        """k*8+1 vertices per axis so 9^3 metacells tile exactly."""
+        kx = 12 * self.scale
+        kz = 11 * self.scale
+        return (8 * kx + 1, 8 * kx + 1, 8 * kz + 1)
+
+    @staticmethod
+    def from_env() -> "BenchConfig":
+        """Build the config from REPRO_BENCH_SCALE (default 1)."""
+        scale = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+        if scale < 1:
+            raise ValueError(f"REPRO_BENCH_SCALE must be >= 1, got {scale}")
+        return BenchConfig(scale=scale)
+
+
+def rm_bench_volume(cfg: BenchConfig, time_step: int | None = None) -> Volume:
+    """The bench's stand-in for the paper's RM time step."""
+    model = RMInstabilityModel(shape=cfg.rm_shape, n_steps=cfg.n_steps, seed=cfg.seed)
+    return model.evaluate(cfg.time_step if time_step is None else time_step)
+
+
+def scaled_perf_model(dataset, base: PerformanceModel = PAPER_CLUSTER) -> PerformanceModel:
+    """Scale the *granularity* constants (seek latency, block size) to the
+    dataset's mean brick size; all bandwidths and compute rates stay
+    physical.
+
+    At the paper's scale a brick holds ~5000 records (~4 MiB): one 8 ms
+    seek and one 8 KiB partial block per brick are noise.  A scaled-down
+    volume has ~10-record bricks, where the same constants would charge
+    more for per-brick overhead than for the data itself — a pure
+    artifact of miniaturization.  Scaling both constants by
+    ``mean_brick_bytes / paper_mean_brick_bytes`` keeps the
+    overhead-to-transfer ratio equal to the paper's, so stage-time shapes
+    transfer.  Raw block/seek *counts* remain available unscaled in every
+    result's ``io_stats``.
+    """
+    tree = dataset.tree
+    if tree.n_bricks == 0:
+        return base
+    mean_brick_bytes = tree.n_records / tree.n_bricks * dataset.codec.record_size
+    factor = min(1.0, mean_brick_bytes / _PAPER_MEAN_BRICK_BYTES)
+    disk = IOCostModel(
+        block_size=max(64, int(base.disk.block_size * factor)),
+        bandwidth=base.disk.bandwidth,
+        seek_latency=max(base.disk.seek_latency * factor, 1e-7),
+    )
+    return PerformanceModel(disk=disk, cpu=base.cpu, gpu=base.gpu, network=base.network)
+
+
+@dataclass
+class SweepRow:
+    """One (p, isovalue) cell of the paper's experiment grid."""
+
+    p: int
+    lam: float
+    n_active_metacells: int
+    n_triangles: int
+    io_time: float
+    triangulation_time: float
+    render_time: float
+    composite_time: float
+    total_time: float
+    blocks_read: int
+    seeks: int
+    measured_seconds: float
+    per_node_amc: "list[int]"
+    per_node_tris: "list[int]"
+    per_node_io: "list[float]"
+    per_node_tri_t: "list[float]"
+    per_node_render_t: "list[float]"
+
+    @property
+    def rate_tri_per_s(self) -> float:
+        return self.n_triangles / self.total_time if self.total_time > 0 else 0.0
+
+
+@dataclass
+class SweepData:
+    """The full {p} x {isovalue} sweep used by Tables 2–7 and Figs 5–6."""
+
+    cfg: BenchConfig
+    report: object
+    rows: "dict[tuple[int, float], SweepRow]" = field(default_factory=dict)
+
+    def row(self, p: int, lam: float) -> SweepRow:
+        """The (node count, isovalue) cell of the sweep."""
+        return self.rows[(p, float(lam))]
+
+    def series(self, p: int, attr: str) -> "tuple[list[float], list[float]]":
+        """(isovalues, attr values) series for one node count."""
+        lams = sorted({k[1] for k in self.rows if k[0] == p})
+        return lams, [getattr(self.rows[(p, lam)], attr) for lam in lams]
+
+
+def _result_to_row(res: ClusterResult, measured: float) -> SweepRow:
+    return SweepRow(
+        p=res.p,
+        lam=res.lam,
+        n_active_metacells=res.n_active_metacells,
+        n_triangles=res.n_triangles,
+        io_time=max(n.io_time for n in res.nodes),
+        triangulation_time=max(n.triangulation_time for n in res.nodes),
+        render_time=max(n.render_time for n in res.nodes),
+        composite_time=res.composite_time,
+        total_time=res.total_time,
+        blocks_read=sum(n.io_stats.blocks_read for n in res.nodes),
+        seeks=sum(n.io_stats.seeks for n in res.nodes),
+        measured_seconds=measured,
+        per_node_amc=[n.n_active_metacells for n in res.nodes],
+        per_node_tris=[n.n_triangles for n in res.nodes],
+        per_node_io=[n.io_time for n in res.nodes],
+        per_node_tri_t=[n.triangulation_time for n in res.nodes],
+        per_node_render_t=[n.render_time for n in res.nodes],
+    )
+
+
+_SWEEP_CACHE: "dict[BenchConfig, SweepData]" = {}
+_CLUSTER_CACHE: "dict[tuple[BenchConfig, int], SimulatedCluster]" = {}
+
+
+def get_cluster(cfg: BenchConfig, p: int) -> SimulatedCluster:
+    """Build (or reuse) the p-node cluster over the bench RM volume with
+    the brick-size-scaled performance model."""
+    key = (cfg, p)
+    if key not in _CLUSTER_CACHE:
+        volume = rm_bench_volume(cfg)
+        # Probe build to measure brick sizes, then build with scaled model.
+        from repro.core.builder import build_indexed_dataset
+
+        probe = build_indexed_dataset(volume, cfg.metacell_shape)
+        perf = scaled_perf_model(probe)
+        _CLUSTER_CACHE[key] = SimulatedCluster(
+            volume, p, cfg.metacell_shape, perf=perf, image_size=cfg.image_size
+        )
+    return _CLUSTER_CACHE[key]
+
+
+def get_sweep(cfg: BenchConfig) -> SweepData:
+    """Run (once per session) the full paper sweep."""
+    if cfg in _SWEEP_CACHE:
+        return _SWEEP_CACHE[cfg]
+    import time
+
+    data = SweepData(cfg=cfg, report=None)
+    for p in cfg.node_counts:
+        cluster = get_cluster(cfg, p)
+        data.report = cluster.report
+        for lam in cfg.isovalues:
+            t0 = time.perf_counter()
+            res = cluster.extract(float(lam))
+            measured = time.perf_counter() - t0
+            data.rows[(p, float(lam))] = _result_to_row(res, measured)
+    _SWEEP_CACHE[cfg] = data
+    return data
+
+
+def output_path(name: str) -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR / name
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench report and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    output_path(name).write_text(text + "\n")

@@ -1,0 +1,69 @@
+"""ASCII table rendering for the bench reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a boxed ASCII table.
+
+    Floats are formatted with ``floatfmt``; everything else via ``str``.
+    """
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row with {len(row)} cells under {len(headers)} headers"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(ch: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(ch * (w + 2) for w in widths) + joint
+
+    def render_row(cells) -> str:
+        return "|" + "|".join(f" {c:>{w}} " for c, w in zip(cells, widths)) + "|"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(render_row(headers))
+    out.append(line("="))
+    for row in str_rows:
+        out.append(render_row(row))
+    out.append(line())
+    return "\n".join(out)
+
+
+def format_kv(title: str, pairs: "list[tuple[str, object]]") -> str:
+    """Render a labelled key/value block."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title]
+    for k, v in pairs:
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        lines.append(f"  {k:<{width}} : {v}")
+    return "\n".join(lines)
+
+
+def human_bytes(n: float) -> str:
+    """1536 -> '1.5 KiB'."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    raise AssertionError("unreachable")

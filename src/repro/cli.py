@@ -1,0 +1,404 @@
+"""Command-line interface.
+
+Exposes the preprocess-once / query-many workflow from the shell::
+
+    repro preprocess --rm-step 250 --shape 97x97x89 --out ds/
+    repro preprocess --input field.npy --out ds/
+    repro info ds/
+    repro query ds/ 130
+    repro extract ds/ 130 --obj surface.obj
+    repro render ds/ 130 --out surface.ppm --size 512 --smooth
+    repro spanspace ds/
+
+Dataset directories are the self-describing layout of
+:mod:`repro.core.persistence` (bricks.bin + index.npz + meta.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.persistence import build_persistent_dataset, load_dataset
+from repro.core.query import execute_query
+from repro.grid.rm_instability import rm_timestep
+from repro.grid.volume import Volume
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes_batch
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    try:
+        parts = tuple(int(p) for p in text.lower().replace(",", "x").split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}; use e.g. 97x97x89")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(f"shape needs 3 dims, got {text!r}")
+    return parts  # type: ignore[return-value]
+
+
+def _load_volume(args) -> Volume:
+    if args.input:
+        data = np.load(args.input)
+        if data.ndim != 3:
+            raise SystemExit(f"error: {args.input} holds a {data.ndim}D array, need 3D")
+        return Volume(data, name=Path(args.input).stem)
+    return rm_timestep(args.rm_step, shape=args.shape, seed=args.seed)
+
+
+def _extract_mesh(dataset, iso: float) -> TriangleMesh:
+    res = execute_query(dataset, iso)
+    if res.n_active == 0:
+        return TriangleMesh()
+    return marching_cubes_batch(
+        dataset.codec.values_grid(res.records),
+        iso,
+        dataset.meta.vertex_origins(res.records.ids),
+        spacing=dataset.meta.spacing,
+        world_origin=dataset.meta.origin,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_preprocess(args) -> int:
+    volume = _load_volume(args)
+    m = args.metacell
+    dataset = build_persistent_dataset(volume, args.out, metacell_shape=(m, m, m))
+    rep = dataset.report
+    print(f"preprocessed {volume.name} {volume.shape} -> {args.out}")
+    print(f"  metacells stored : {rep.n_metacells_stored}/{rep.n_metacells_total}")
+    print(f"  store size       : {rep.stored_bytes} bytes "
+          f"(raw volume {rep.original_bytes}, saving {rep.space_saving:.1%})")
+    print(f"  index size       : {rep.index_bytes} bytes "
+          f"({rep.n_bricks} bricks, height {rep.tree_height})")
+    dataset.device.close()
+    return 0
+
+
+def cmd_info(args) -> int:
+    ds = load_dataset(args.dataset)
+    rep = ds.report
+    meta = ds.meta
+    print(f"dataset   : {args.dataset}")
+    print(f"volume    : {meta.name} {meta.volume_shape}")
+    print(f"metacells : {meta.metacell_shape} grid {meta.grid_shape}")
+    print(f"stored    : {rep.n_metacells_stored} records x {ds.codec.record_size} bytes")
+    print(f"index     : {rep.index_bytes} bytes, n={rep.n_distinct_endpoints} "
+          f"endpoints, {rep.n_bricks} bricks, height {rep.tree_height}")
+    lo, hi = float(ds.tree.endpoints[0]), float(ds.tree.endpoints[-1])
+    print(f"isovalues : [{lo:g}, {hi:g}]")
+    ds.device.close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    ds = load_dataset(args.dataset)
+    res = execute_query(ds, args.iso)
+    io = res.io_stats
+    print(f"isovalue {args.iso:g}: {res.n_active} active metacells")
+    print(f"  plan     : {res.plan.n_sequential_runs} sequential runs, "
+          f"{res.plan.n_prefix_scans} brick prefix scans, "
+          f"{res.plan.bricks_skipped} bricks skipped with no I/O")
+    print(f"  I/O      : {io.blocks_read} blocks, {io.seeks} seeks, "
+          f"{io.bytes_read} bytes")
+    print(f"  modeled  : {io.read_time(ds.device.cost_model) * 1e3:.2f} ms "
+          f"at {ds.device.cost_model.bandwidth / 1e6:.0f} MB/s")
+    ds.device.close()
+    return 0
+
+
+def cmd_extract(args) -> int:
+    from repro.mc.mesh_io import write_obj, write_ply
+
+    ds = load_dataset(args.dataset)
+    if args.stream:
+        from repro.mc.mesh_stream import stream_isosurface_to_file
+
+        target = args.ply or args.obj
+        if not target:
+            print("error: --stream needs --ply or --obj", file=sys.stderr)
+            return 2
+        path, n = stream_isosurface_to_file(ds, args.iso, target)
+        print(f"isovalue {args.iso:g}: streamed {n} triangles -> {path}")
+        ds.device.close()
+        return 0
+    mesh = _extract_mesh(ds, args.iso)
+    print(f"isovalue {args.iso:g}: {mesh.n_triangles} triangles")
+    if args.weld:
+        mesh = mesh.weld()
+        print(f"welded to {mesh.n_vertices} vertices")
+    if args.decimate:
+        from repro.mc.simplify import simplify_to_budget
+
+        mesh = simplify_to_budget(mesh, args.decimate)
+        print(f"decimated to {mesh.n_triangles} triangles")
+    wrote = False
+    if args.obj:
+        print(f"wrote {write_obj(args.obj, mesh, comment=f'iso {args.iso}')}")
+        wrote = True
+    if args.ply:
+        print(f"wrote {write_ply(args.ply, mesh)}")
+        wrote = True
+    if not wrote:
+        print("(no --obj/--ply given; nothing written)")
+    ds.device.close()
+    return 0
+
+
+def cmd_render(args) -> int:
+    from repro.render.camera import Camera
+    from repro.render.image import write_ppm
+    from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
+
+    ds = load_dataset(args.dataset)
+    mesh = _extract_mesh(ds, args.iso)
+    ds.device.close()
+    if mesh.n_triangles == 0:
+        print(f"no geometry at isovalue {args.iso:g}", file=sys.stderr)
+        return 1
+    cam = Camera.fit_mesh(mesh)
+    fb = Framebuffer(args.size, args.size)
+    if args.smooth:
+        welded = mesh.weld()
+        render_mesh_smooth(fb, welded, cam, welded.vertex_normals())
+    else:
+        render_mesh(fb, mesh, cam)
+    print(f"rendered {mesh.n_triangles} triangles "
+          f"({fb.coverage():.0%} coverage) -> {write_ppm(args.out, fb.to_uint8())}")
+    return 0
+
+
+def _parse_steps(text: str) -> "list[int]":
+    """'180-195' or '10,50,90' -> list of step numbers."""
+    out: list[int] = []
+    for part in text.split(","):
+        if "-" in part:
+            a, b = part.split("-", 1)
+            out.extend(range(int(a), int(b) + 1))
+        else:
+            out.append(int(part))
+    if not out:
+        raise argparse.ArgumentTypeError("no time steps given")
+    return out
+
+
+def cmd_preprocess_series(args) -> int:
+    from repro.core.timevarying import TimeVaryingIndex
+    from repro.grid.rm_instability import rm_time_series
+
+    steps = args.steps
+    tvi = TimeVaryingIndex.from_series(
+        rm_time_series(steps, shape=args.shape, n_steps=args.n_steps, seed=args.seed),
+        p=args.nodes,
+        metacell_shape=(args.metacell,) * 3,
+    )
+    tvi.save(args.out)
+    print(f"indexed steps {steps[0]}..{steps[-1]} ({len(steps)} steps) "
+          f"on {args.nodes} node(s) -> {args.out}")
+    print(f"combined in-memory index: {tvi.total_index_size_bytes()} bytes")
+    return 0
+
+
+def cmd_query_series(args) -> int:
+    from repro.core.timevarying import TimeVaryingIndex
+    from repro.mc.geometry import TriangleMesh
+
+    tvi = TimeVaryingIndex.load(args.dataset)
+    steps = args.steps if args.steps else tvi.steps
+    print(f"{'step':>6} {'active MC':>10} {'triangles':>10}  per-node active")
+    for t in steps:
+        if t not in tvi:
+            print(f"{t:>6} (not indexed)")
+            continue
+        results = tvi.query(t, args.iso)
+        meshes = tvi.extract(t, args.iso)
+        total = TriangleMesh.concat(meshes)
+        amc = [r.n_active for r in results]
+        print(f"{t:>6} {sum(amc):>10} {total.n_triangles:>10}  {amc}")
+    for t in tvi.steps:
+        for ds in tvi.datasets(t):
+            ds.device.close()
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.core.validation import verify_dataset
+
+    ds = load_dataset(args.dataset)
+    report = verify_dataset(ds, deep=not args.quick)
+    print(report.summary())
+    ds.device.close()
+    return 0 if report.ok else 1
+
+
+def cmd_suggest(args) -> int:
+    from repro.core.analysis import suggest_isovalues
+
+    ds = load_dataset(args.dataset)
+    picks = suggest_isovalues(ds.tree, selectivities=tuple(args.selectivity))
+    print("selectivity  isovalue  active metacells")
+    for target, iso in sorted(picks.items()):
+        count = ds.tree.query_count(iso)
+        print(f"{target:>11.2%}  {iso:>8g}  {count}")
+    ds.device.close()
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from repro.core.analysis import estimate_query_cost
+
+    ds = load_dataset(args.dataset)
+    est = estimate_query_cost(
+        ds.tree, args.iso, ds.codec.record_size, ds.device.cost_model, ds.base_offset
+    )
+    print(f"isovalue {args.iso:g} (predicted without touching the store):")
+    print(f"  active metacells : {est.n_active}")
+    print(f"  runs             : {est.n_runs}")
+    print(f"  blocks           : {est.blocks}")
+    print(f"  payload bytes    : {est.bytes_payload}")
+    print(f"  modeled I/O time : {est.io_time(ds.device.cost_model) * 1e3:.2f} ms")
+    ds.device.close()
+    return 0
+
+
+def cmd_spanspace(args) -> int:
+    from repro.core.intervals import IntervalSet
+    from repro.core.span_space import SpanSpaceStats, ascii_span_space
+
+    ds = load_dataset(args.dataset)
+    tree = ds.tree
+    # Reconstruct (vmin, vmax) per record from the brick table.
+    vmaxs = np.empty(tree.n_records, dtype=np.float64)
+    for b in range(tree.n_bricks):
+        s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+        vmaxs[s : s + c] = float(tree.brick_vmax[b])
+    iv = IntervalSet(
+        vmin=tree.record_vmins.astype(np.float64),
+        vmax=vmaxs,
+        ids=tree.record_ids,
+    )
+    stats = SpanSpaceStats.from_intervals(iv)
+    print(f"N={stats.n_intervals} intervals, n={stats.n_distinct_endpoints} "
+          f"endpoints, {stats.n_distinct_pairs} distinct (vmin, vmax) pairs")
+    print(ascii_span_space(iv, bins=args.bins))
+    ds.device.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-core isosurface extraction (compact interval tree).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("preprocess", help="build a dataset directory")
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--input", help="3D .npy scalar volume to index")
+    src.add_argument("--rm-step", type=int, default=250,
+                     help="RM-instability time step to synthesize (default 250)")
+    p.add_argument("--shape", type=_parse_shape, default=(97, 97, 89),
+                   help="synthetic volume shape, e.g. 97x97x89")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--metacell", type=int, default=9,
+                   help="metacell vertices per axis (default 9)")
+    p.add_argument("--out", required=True, help="dataset directory to create")
+    p.set_defaults(func=cmd_preprocess)
+
+    p = sub.add_parser("info", help="describe a dataset directory")
+    p.add_argument("dataset")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("query", help="run an isosurface query (I/O report)")
+    p.add_argument("dataset")
+    p.add_argument("iso", type=float)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
+    p.add_argument("dataset")
+    p.add_argument("iso", type=float)
+    p.add_argument("--obj", help="write Wavefront OBJ here")
+    p.add_argument("--ply", help="write binary PLY here")
+    p.add_argument("--weld", action="store_true", help="weld duplicate vertices")
+    p.add_argument("--decimate", type=int, metavar="N",
+                   help="simplify toward a triangle budget before writing")
+    p.add_argument("--stream", action="store_true",
+                   help="stream straight to disk with bounded memory")
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("render", help="render an isosurface to PPM")
+    p.add_argument("dataset")
+    p.add_argument("iso", type=float)
+    p.add_argument("--out", default="isosurface.ppm")
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--smooth", action="store_true", help="Gouraud shading")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("spanspace", help="ASCII span-space view of a dataset")
+    p.add_argument("dataset")
+    p.add_argument("--bins", type=int, default=24)
+    p.set_defaults(func=cmd_spanspace)
+
+    p = sub.add_parser(
+        "preprocess-series", help="index a window of RM time steps (Section 5.2)"
+    )
+    p.add_argument("--steps", type=_parse_steps, required=True,
+                   help="e.g. 180-195 or 10,50,90")
+    p.add_argument("--shape", type=_parse_shape, default=(65, 65, 57))
+    p.add_argument("--n-steps", type=int, default=270)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--nodes", type=int, default=1, help="stripe across N nodes")
+    p.add_argument("--metacell", type=int, default=9)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_preprocess_series)
+
+    p = sub.add_parser("query-series", help="sweep one isovalue across time steps")
+    p.add_argument("dataset", help="directory written by preprocess-series")
+    p.add_argument("iso", type=float)
+    p.add_argument("--steps", type=_parse_steps, default=None)
+    p.set_defaults(func=cmd_query_series)
+
+    p = sub.add_parser("verify", help="integrity-check a dataset (fsck)")
+    p.add_argument("dataset")
+    p.add_argument("--quick", action="store_true", help="structural checks only")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("suggest", help="suggest isovalues by selectivity")
+    p.add_argument("dataset")
+    p.add_argument(
+        "--selectivity", type=float, nargs="+", default=[0.01, 0.05, 0.25, 0.5]
+    )
+    p.set_defaults(func=cmd_suggest)
+
+    p = sub.add_parser("estimate", help="predict a query's I/O without running it")
+    p.add_argument("dataset")
+    p.add_argument("iso", type=float)
+    p.set_defaults(func=cmd_estimate)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, IOError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,162 @@
+"""Query-cost prediction and isovalue analysis.
+
+Because the compact index is in memory and the layout is deterministic,
+the *exact* I/O bill of a query can be computed without touching the
+disk: sequential runs are fully determined by the plan, and Case-2
+prefix lengths follow from the in-memory ``record_vmins``.  This powers:
+
+* :func:`estimate_query_cost` — predict blocks/seeks/bytes before
+  executing (the tests assert block-exact agreement with the executor);
+* :func:`active_count_profile` — active metacell count at every distinct
+  endpoint (the selectivity curve of the dataset);
+* :func:`suggest_isovalues` — representative isovalues at requested
+  selectivity levels, useful for building sweeps on unknown data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compact_tree import BrickPrefixScan, CompactIntervalTree, SequentialRun
+from repro.core.query import DEFAULT_READ_AHEAD_BLOCKS, MAX_SEQUENTIAL_CHUNK_BLOCKS
+from repro.io.cost_model import IOCostModel
+
+
+def record_vmaxs(tree: CompactIntervalTree) -> np.ndarray:
+    """Per-record vmax, reconstructed from the brick table (float64)."""
+    out = np.empty(tree.n_records, dtype=np.float64)
+    for b in range(tree.n_bricks):
+        s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+        out[s : s + c] = float(tree.brick_vmax[b])
+    return out
+
+
+@dataclass(frozen=True)
+class QueryCostEstimate:
+    """Predicted I/O for one isovalue query."""
+
+    lam: float
+    n_active: int
+    n_runs: int
+    blocks: int
+    bytes_payload: int
+    seeks_upper_bound: int
+
+    def io_time(self, model: IOCostModel) -> float:
+        """Modeled retrieval time (using the seek upper bound)."""
+        return model.time_for(self.blocks, self.seeks_upper_bound)
+
+
+def _chunked_extent_blocks(
+    start: int, length: int, chunk_blocks: int, model: IOCostModel
+) -> int:
+    """Blocks the executor's block-aligned chunking touches for a full
+    extent read (never double-charging a block)."""
+    return model.blocks_for_extent(start, length)
+
+
+def _prefix_scan_blocks(
+    start_byte: int,
+    rec_size: int,
+    brick_vmins: np.ndarray,
+    lam: float,
+    read_ahead_blocks: int,
+    model: IOCostModel,
+) -> tuple[int, int]:
+    """(blocks, records decoded) the incremental brick reader will use."""
+    n = len(brick_vmins)
+    k = int(np.searchsorted(brick_vmins.astype(np.float64), lam, side="right"))
+    needed = n if k >= n else k + 1  # +1: the terminator record
+    bs = model.block_size
+    end = start_byte + n * rec_size
+    pos = start_byte
+    blocks = 0
+    while pos < end:
+        boundary = ((pos // bs) + read_ahead_blocks) * bs
+        stop = min(boundary, end)
+        blocks += model.blocks_for_extent(pos, stop - pos)
+        if (stop - start_byte) // rec_size >= needed:
+            break
+        pos = stop
+    return blocks, needed
+
+
+def estimate_query_cost(
+    tree: CompactIntervalTree,
+    lam: float,
+    record_size: int,
+    cost_model: IOCostModel,
+    base_offset: int = 0,
+    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
+) -> QueryCostEstimate:
+    """Predict the executor's exact block count for isovalue ``lam``."""
+    plan = tree.plan_query(lam)
+    blocks = 0
+    payload = 0
+    n_active = 0
+    for run in plan.runs:
+        if isinstance(run, SequentialRun):
+            start = base_offset + run.start * record_size
+            length = run.count * record_size
+            blocks += _chunked_extent_blocks(
+                start, length, MAX_SEQUENTIAL_CHUNK_BLOCKS, cost_model
+            )
+            payload += length
+            n_active += run.count
+        elif isinstance(run, BrickPrefixScan):
+            start = base_offset + run.start * record_size
+            seg = tree.record_vmins[run.start : run.start + run.max_count]
+            b, needed = _prefix_scan_blocks(
+                start, record_size, seg, lam, read_ahead_blocks, cost_model
+            )
+            blocks += b
+            k = int(np.searchsorted(seg.astype(np.float64), lam, side="right"))
+            payload += k * record_size
+            n_active += k
+    return QueryCostEstimate(
+        lam=float(lam),
+        n_active=n_active,
+        n_runs=len(plan.runs),
+        blocks=blocks,
+        bytes_payload=payload,
+        seeks_upper_bound=len(plan.runs),
+    )
+
+
+def active_count_profile(tree: CompactIntervalTree) -> tuple[np.ndarray, np.ndarray]:
+    """Active record count at every distinct endpoint value.
+
+    Returns ``(endpoints, counts)``; between endpoints the count is
+    piecewise constant (equal to the count at the lower endpoint minus
+    intervals that closed there), so this profile fully characterizes
+    selectivity.
+    """
+    endpoints = tree.endpoints.astype(np.float64)
+    if tree.n_records == 0:
+        return endpoints, np.zeros(len(endpoints), dtype=np.int64)
+    vmins = np.sort(tree.record_vmins.astype(np.float64))
+    vmaxs = np.sort(record_vmaxs(tree))
+    opened = np.searchsorted(vmins, endpoints, side="right")
+    closed = np.searchsorted(vmaxs, endpoints, side="left")
+    return endpoints, (opened - closed).astype(np.int64)
+
+
+def suggest_isovalues(
+    tree: CompactIntervalTree, selectivities=(0.01, 0.05, 0.25, 0.5)
+) -> "dict[float, float]":
+    """Endpoint isovalues whose active fraction best matches each target.
+
+    Returns ``{target_selectivity: isovalue}``.  Useful for constructing
+    sweeps over unfamiliar datasets (e.g. picking a 'busy' and a
+    'sparse' isovalue automatically).
+    """
+    endpoints, counts = active_count_profile(tree)
+    if len(endpoints) == 0:
+        raise ValueError("empty index has no isovalues")
+    frac = counts / max(tree.n_records, 1)
+    out = {}
+    for target in selectivities:
+        out[float(target)] = float(endpoints[int(np.argmin(np.abs(frac - target)))])
+    return out

@@ -1,0 +1,257 @@
+"""Preprocessing pipeline (paper Section 4 and Section 7 preamble).
+
+One pass over the input volume produces:
+
+1. the metacell decomposition with per-metacell ``(vmin, vmax)``;
+2. culling of constant metacells (the ~50% disk saving on the
+   Richtmyer–Meshkov data);
+3. the compact interval tree over the surviving intervals;
+4. the on-disk brick layout — metacell records written in tree layout
+   order to one device (serial) or striped round-robin across ``p``
+   devices (parallel, Section 5.1).
+
+The output is an :class:`IndexedDataset`: everything a query needs — the
+in-memory index, the device, the record codec, and the grid metadata that
+maps metacell ids back to world coordinates at triangulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.striping import StripedNodeLayout, stripe_brick_records
+from repro.grid.metacell import MetacellPartition, partition_metacells
+from repro.grid.volume import Volume
+from repro.io.blockdevice import SimulatedBlockDevice
+from repro.io.cost_model import IOCostModel
+from repro.io.layout import MetacellCodec
+
+#: Records serialized per chunk during the layout write, bounding resident
+#: memory during preprocessing of large volumes.
+WRITE_CHUNK_RECORDS = 8192
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Grid metadata carried alongside the on-disk records.
+
+    Lets the extraction stage place each metacell's triangles in world
+    coordinates knowing only the metacell id from its record.
+    """
+
+    grid_shape: tuple[int, int, int]
+    metacell_shape: tuple[int, int, int]
+    volume_shape: tuple[int, int, int]
+    spacing: tuple[float, float, float]
+    origin: tuple[float, float, float]
+    name: str
+
+    def id_to_ijk(self, ids: np.ndarray) -> np.ndarray:
+        """Metacell ids -> metacell-grid coordinates, shape (n, 3)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        gx, gy, gz = self.grid_shape
+        i = ids // (gy * gz)
+        j = (ids // gz) % gy
+        k = ids % gz
+        return np.stack([i, j, k], axis=1)
+
+    def vertex_origins(self, ids: np.ndarray) -> np.ndarray:
+        """Vertex-index origin of each metacell in the (padded) volume."""
+        steps = np.asarray([m - 1 for m in self.metacell_shape], dtype=np.int64)
+        return self.id_to_ijk(ids) * steps
+
+    @property
+    def n_metacells(self) -> int:
+        return int(np.prod(self.grid_shape))
+
+
+@dataclass
+class PreprocessReport:
+    """Statistics of one preprocessing run (the paper's Section 7 numbers)."""
+
+    n_metacells_total: int
+    n_metacells_culled: int
+    n_metacells_stored: int
+    original_bytes: int
+    stored_bytes: int
+    index_bytes: int
+    n_distinct_endpoints: int
+    n_bricks: int
+    tree_height: int
+
+    @property
+    def space_saving(self) -> float:
+        """Fraction of the raw volume size saved by culling, in [0, 1]."""
+        if self.original_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_bytes / self.original_bytes
+
+
+@dataclass
+class IndexedDataset:
+    """A preprocessed dataset ready for isosurface queries.
+
+    Attributes
+    ----------
+    tree:
+        The (possibly processor-local) compact interval tree.
+    device:
+        Block device holding the brick layout.
+    codec:
+        Record codec (defines record size and decoding).
+    base_offset:
+        Byte offset of record position 0 on the device.
+    meta:
+        Grid metadata for world placement.
+    report:
+        Preprocessing statistics (shared across striped nodes).
+    node_rank, n_cluster_nodes:
+        Placement of this layout in a striped cluster (0/1 for serial).
+    """
+
+    tree: CompactIntervalTree
+    device: object
+    codec: MetacellCodec
+    base_offset: int
+    meta: DatasetMeta
+    report: PreprocessReport
+    node_rank: int = 0
+    n_cluster_nodes: int = 1
+
+    def record_offset(self, position: int) -> int:
+        """Byte offset of a record position (the index entry 'pointer')."""
+        return self.base_offset + position * self.codec.record_size
+
+    @property
+    def n_records(self) -> int:
+        return self.tree.n_records
+
+
+def _make_meta(volume: Volume, partition: MetacellPartition) -> DatasetMeta:
+    return DatasetMeta(
+        grid_shape=partition.grid_shape,
+        metacell_shape=partition.metacell_shape,
+        volume_shape=volume.shape,
+        spacing=volume.spacing,
+        origin=volume.origin,
+        name=volume.name,
+    )
+
+
+def _make_report(
+    partition: MetacellPartition,
+    intervals: IntervalSet,
+    tree: CompactIntervalTree,
+    codec: MetacellCodec,
+) -> PreprocessReport:
+    total = partition.n_metacells
+    stored = len(intervals)
+    return PreprocessReport(
+        n_metacells_total=total,
+        n_metacells_culled=total - stored,
+        n_metacells_stored=stored,
+        original_bytes=partition.volume.nbytes,
+        stored_bytes=stored * codec.record_size,
+        index_bytes=tree.index_size_bytes(),
+        n_distinct_endpoints=len(tree.endpoints),
+        n_bricks=tree.n_bricks,
+        tree_height=tree.height(),
+    )
+
+
+def _write_records(
+    device,
+    codec: MetacellCodec,
+    partition: MetacellPartition,
+    ids: np.ndarray,
+    vmins: np.ndarray,
+) -> int:
+    """Serialize records (in the given order) to ``device``; return base offset."""
+    n = len(ids)
+    base = device.allocate(n * codec.record_size)
+    for s in range(0, n, WRITE_CHUNK_RECORDS):
+        e = min(s + WRITE_CHUNK_RECORDS, n)
+        values = partition.extract_values(ids[s:e])
+        blob = codec.encode(ids[s:e], vmins[s:e], values)
+        device.write(base + s * codec.record_size, blob)
+    return base
+
+
+def build_indexed_dataset(
+    volume: Volume,
+    metacell_shape: tuple[int, int, int] = (9, 9, 9),
+    device=None,
+    cost_model: IOCostModel | None = None,
+    drop_constant: bool = True,
+) -> IndexedDataset:
+    """Preprocess a volume for serial (single-disk) querying."""
+    partition = partition_metacells(volume, metacell_shape)
+    intervals = IntervalSet.from_partition(partition, drop_constant=drop_constant)
+    tree = CompactIntervalTree.build(intervals)
+    codec = MetacellCodec(partition.metacell_shape, volume.dtype)
+    if device is None:
+        device = SimulatedBlockDevice(cost_model or IOCostModel())
+    base = _write_records(device, codec, partition, tree.record_ids, tree.record_vmins)
+    return IndexedDataset(
+        tree=tree,
+        device=device,
+        codec=codec,
+        base_offset=base,
+        meta=_make_meta(volume, partition),
+        report=_make_report(partition, intervals, tree, codec),
+    )
+
+
+def build_striped_datasets(
+    volume: Volume,
+    p: int,
+    metacell_shape: tuple[int, int, int] = (9, 9, 9),
+    devices=None,
+    cost_model: IOCostModel | None = None,
+    drop_constant: bool = True,
+    stagger: bool = True,
+) -> "list[IndexedDataset]":
+    """Preprocess a volume striped across the local disks of ``p`` nodes.
+
+    Returns one :class:`IndexedDataset` per node.  All nodes share the
+    same preprocessing report and grid metadata; each holds its own
+    processor-local tree and device, exactly as in the paper's cluster
+    where every node's index points at bricks on its own disk.
+    """
+    if p < 1:
+        raise ValueError(f"node count must be >= 1, got {p}")
+    partition = partition_metacells(volume, metacell_shape)
+    intervals = IntervalSet.from_partition(partition, drop_constant=drop_constant)
+    tree = CompactIntervalTree.build(intervals)
+    codec = MetacellCodec(partition.metacell_shape, volume.dtype)
+    report = _make_report(partition, intervals, tree, codec)
+    meta = _make_meta(volume, partition)
+
+    if devices is None:
+        devices = [SimulatedBlockDevice(cost_model or IOCostModel()) for _ in range(p)]
+    if len(devices) != p:
+        raise ValueError(f"expected {p} devices, got {len(devices)}")
+
+    layouts: list[StripedNodeLayout] = stripe_brick_records(tree, p, stagger=stagger)
+    out = []
+    for lay, device in zip(layouts, devices):
+        base = _write_records(
+            device, codec, partition, lay.tree.record_ids, lay.tree.record_vmins
+        )
+        out.append(
+            IndexedDataset(
+                tree=lay.tree,
+                device=device,
+                codec=codec,
+                base_offset=base,
+                meta=meta,
+                report=report,
+                node_rank=lay.node_rank,
+                n_cluster_nodes=p,
+            )
+        )
+    return out

@@ -1,0 +1,109 @@
+"""Interval sets: the (vmin, vmax) spans of metacells.
+
+Every indexing structure in this package — the compact interval tree, the
+standard interval tree baseline, the BBIO-style external tree — is built
+from an :class:`IntervalSet`.  The class also provides the brute-force
+stabbing query that serves as the correctness oracle in the test suite:
+an isovalue ``lam`` *stabs* interval ``i`` iff ``vmin[i] <= lam <=
+vmax[i]``, which for metacells is exactly the "possibly active" predicate
+of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class IntervalSet:
+    """A set of closed scalar intervals with attached ids.
+
+    Attributes
+    ----------
+    vmin, vmax:
+        Interval endpoints, ``vmin[i] <= vmax[i]``.
+    ids:
+        Opaque uint32 payload ids (metacell ids in the pipeline).
+    """
+
+    vmin: np.ndarray
+    vmax: np.ndarray
+    ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vmin = np.asarray(self.vmin)
+        self.vmax = np.asarray(self.vmax)
+        self.ids = np.asarray(self.ids, dtype=np.uint32)
+        if not (len(self.vmin) == len(self.vmax) == len(self.ids)):
+            raise ValueError(
+                f"length mismatch: {len(self.vmin)} vmin, {len(self.vmax)} vmax, "
+                f"{len(self.ids)} ids"
+            )
+        if self.vmin.dtype != self.vmax.dtype:
+            raise ValueError(
+                f"vmin dtype {self.vmin.dtype} != vmax dtype {self.vmax.dtype}"
+            )
+        if self.vmin.dtype.kind == "f" and (
+            bool(np.isnan(self.vmin).any()) or bool(np.isnan(self.vmax).any())
+        ):
+            raise ValueError("interval endpoints must not be NaN")
+        if len(self.vmin) and bool(np.any(self.vmin > self.vmax)):
+            bad = int(np.argmax(self.vmin > self.vmax))
+            raise ValueError(
+                f"interval {bad} has vmin {self.vmin[bad]} > vmax {self.vmax[bad]}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.vmin)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.vmin.dtype
+
+    @staticmethod
+    def from_partition(partition, drop_constant: bool = True) -> "IntervalSet":
+        """Build the interval set of a metacell partition.
+
+        With ``drop_constant=True`` (the paper's preprocessing), metacells
+        whose scalar field is constant are removed — they can never
+        contain an isovalue crossing.
+        """
+        vmin, vmax, ids = partition.vmin, partition.vmax, partition.ids
+        if drop_constant:
+            keep = vmin != vmax
+            vmin, vmax, ids = vmin[keep], vmax[keep], ids[keep]
+        return IntervalSet(vmin=vmin.copy(), vmax=vmax.copy(), ids=ids.copy())
+
+    # -- analysis ------------------------------------------------------------
+
+    def distinct_endpoints(self) -> np.ndarray:
+        """Sorted distinct endpoint values: the ``n`` of the paper's bounds."""
+        return np.unique(np.concatenate([self.vmin, self.vmax]))
+
+    @property
+    def n_distinct_endpoints(self) -> int:
+        return len(self.distinct_endpoints())
+
+    def n_distinct_pairs(self) -> int:
+        """Number of distinct (vmin, vmax) pairs: the paper's ``N`` can be
+        as large as ``n^2``; this measures where the dataset actually sits."""
+        if len(self) == 0:
+            return 0
+        pairs = np.stack([self.vmin, self.vmax], axis=1)
+        return len(np.unique(pairs, axis=0))
+
+    # -- oracle ---------------------------------------------------------------
+
+    def stabbing_mask(self, lam: float) -> np.ndarray:
+        """Boolean mask of intervals containing ``lam`` (brute force)."""
+        return (self.vmin <= lam) & (lam <= self.vmax)
+
+    def stabbing_ids(self, lam: float) -> np.ndarray:
+        """Sorted ids of intervals containing ``lam`` (brute force oracle)."""
+        return np.sort(self.ids[self.stabbing_mask(lam)])
+
+    def stabbing_count(self, lam: float) -> int:
+        """Number of intervals containing ``lam`` (brute force)."""
+        return int(self.stabbing_mask(lam).sum())

@@ -1,0 +1,244 @@
+"""Index persistence: save and reload preprocessed datasets.
+
+The whole point of out-of-core preprocessing is to pay it once; this
+module persists everything a later session needs next to the brick
+store:
+
+* the compact interval tree (all arrays + node structure) as ``.npz``;
+* the dataset metadata (grid geometry, codec parameters, preprocessing
+  report, base offset) as JSON.
+
+``save_dataset`` / ``load_dataset`` pair with
+:class:`repro.io.diskfile.FileBackedDevice` so a dataset directory is
+fully self-describing::
+
+    dataset_dir/
+      bricks.bin     the brick layout (written during preprocessing)
+      index.npz      the compact interval tree
+      meta.json      codec + grid metadata + report
+
+Only the index and metadata are (de)serialized here — the brick store is
+already on disk, which is the point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.builder import DatasetMeta, IndexedDataset, PreprocessReport
+from repro.core.compact_tree import CompactIntervalTree, TreeNode
+from repro.io.cost_model import IOCostModel
+from repro.io.diskfile import FileBackedDevice
+from repro.io.layout import MetacellCodec
+
+#: Format version for forward-compatibility checks.
+FORMAT_VERSION = 1
+
+BRICKS_FILE = "bricks.bin"
+INDEX_FILE = "index.npz"
+META_FILE = "meta.json"
+
+
+# ---------------------------------------------------------------------------
+# Tree <-> arrays
+# ---------------------------------------------------------------------------
+
+
+def tree_to_arrays(tree: CompactIntervalTree) -> "dict[str, np.ndarray]":
+    """Flatten a compact interval tree into named arrays (npz-friendly)."""
+    n_nodes = tree.n_nodes
+    split = np.asarray([nd.split for nd in tree.nodes])
+    lo = np.asarray([nd.lo_code for nd in tree.nodes], dtype=np.int64)
+    hi = np.asarray([nd.hi_code for nd in tree.nodes], dtype=np.int64)
+    left = np.asarray([nd.left for nd in tree.nodes], dtype=np.int64)
+    right = np.asarray([nd.right for nd in tree.nodes], dtype=np.int64)
+    # Per-node brick-id ranges into the flat brick table: node entries are
+    # contiguous slices of brick ids by construction, but striped local
+    # trees renumber them, so store the explicit id lists flattened.
+    brick_ids_flat = (
+        np.concatenate([nd.brick_ids for nd in tree.nodes])
+        if n_nodes
+        else np.empty(0, dtype=np.int64)
+    )
+    brick_ids_count = np.asarray([nd.n_bricks for nd in tree.nodes], dtype=np.int64)
+    return {
+        "endpoints": tree.endpoints,
+        "node_split": split,
+        "node_lo": lo,
+        "node_hi": hi,
+        "node_left": left,
+        "node_right": right,
+        "node_brick_ids_flat": brick_ids_flat,
+        "node_brick_count": brick_ids_count,
+        "record_order": tree.record_order,
+        "record_vmins": tree.record_vmins,
+        "record_ids": tree.record_ids,
+        "brick_node": tree.brick_node,
+        "brick_vmax": tree.brick_vmax,
+        "brick_min_vmin": tree.brick_min_vmin,
+        "brick_start": tree.brick_start,
+        "brick_count": tree.brick_count,
+    }
+
+
+def tree_from_arrays(arrays: "dict[str, np.ndarray]") -> CompactIntervalTree:
+    """Rebuild a compact interval tree from :func:`tree_to_arrays` output."""
+    tree = CompactIntervalTree()
+    tree.endpoints = np.asarray(arrays["endpoints"])
+    tree.record_order = np.asarray(arrays["record_order"], dtype=np.int64)
+    tree.record_vmins = np.asarray(arrays["record_vmins"])
+    tree.record_ids = np.asarray(arrays["record_ids"], dtype=np.uint32)
+    tree.brick_node = np.asarray(arrays["brick_node"], dtype=np.int64)
+    tree.brick_vmax = np.asarray(arrays["brick_vmax"])
+    tree.brick_min_vmin = np.asarray(arrays["brick_min_vmin"])
+    tree.brick_start = np.asarray(arrays["brick_start"], dtype=np.int64)
+    tree.brick_count = np.asarray(arrays["brick_count"], dtype=np.int64)
+
+    counts = np.asarray(arrays["node_brick_count"], dtype=np.int64)
+    flat = np.asarray(arrays["node_brick_ids_flat"], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    for i in range(len(counts)):
+        bids = flat[offsets[i] : offsets[i + 1]]
+        tree.nodes.append(
+            TreeNode(
+                node_id=i,
+                split=arrays["node_split"][i],
+                lo_code=int(arrays["node_lo"][i]),
+                hi_code=int(arrays["node_hi"][i]),
+                left=int(arrays["node_left"][i]),
+                right=int(arrays["node_right"][i]),
+                entry_vmax=tree.brick_vmax[bids],
+                entry_min_vmin=tree.brick_min_vmin[bids],
+                entry_start=tree.brick_start[bids],
+                entry_count=tree.brick_count[bids],
+                brick_ids=bids,
+            )
+        )
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Dataset directory
+# ---------------------------------------------------------------------------
+
+
+def _meta_to_json(dataset: IndexedDataset) -> dict:
+    rep = dataset.report
+    return {
+        "format_version": FORMAT_VERSION,
+        "base_offset": dataset.base_offset,
+        "node_rank": dataset.node_rank,
+        "n_cluster_nodes": dataset.n_cluster_nodes,
+        "codec": {
+            "metacell_shape": list(dataset.codec.metacell_shape),
+            "scalar_dtype": dataset.codec.scalar_dtype.str,
+        },
+        "meta": {
+            "grid_shape": list(dataset.meta.grid_shape),
+            "metacell_shape": list(dataset.meta.metacell_shape),
+            "volume_shape": list(dataset.meta.volume_shape),
+            "spacing": list(dataset.meta.spacing),
+            "origin": list(dataset.meta.origin),
+            "name": dataset.meta.name,
+        },
+        "report": {
+            "n_metacells_total": rep.n_metacells_total,
+            "n_metacells_culled": rep.n_metacells_culled,
+            "n_metacells_stored": rep.n_metacells_stored,
+            "original_bytes": rep.original_bytes,
+            "stored_bytes": rep.stored_bytes,
+            "index_bytes": rep.index_bytes,
+            "n_distinct_endpoints": rep.n_distinct_endpoints,
+            "n_bricks": rep.n_bricks,
+            "tree_height": rep.tree_height,
+        },
+    }
+
+
+def save_dataset(dataset: IndexedDataset, directory: str | Path) -> Path:
+    """Persist the index + metadata of a file-backed dataset.
+
+    The dataset's device must be a :class:`FileBackedDevice` whose file
+    already lives at ``directory / bricks.bin`` (build it that way), or
+    any device — in which case only index/meta are written and the
+    caller owns brick placement.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(directory / INDEX_FILE, **tree_to_arrays(dataset.tree))
+    (directory / META_FILE).write_text(json.dumps(_meta_to_json(dataset), indent=2))
+    if isinstance(dataset.device, FileBackedDevice):
+        dataset.device.flush()
+    return directory
+
+
+def load_dataset(
+    directory: str | Path, cost_model: IOCostModel | None = None
+) -> IndexedDataset:
+    """Reopen a dataset directory produced by :func:`save_dataset` +
+    a ``bricks.bin`` brick store."""
+    directory = Path(directory)
+    meta_path = directory / META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no {META_FILE} in {directory}")
+    blob = json.loads(meta_path.read_text())
+    if blob.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"dataset format {blob.get('format_version')} != supported {FORMAT_VERSION}"
+        )
+    with np.load(directory / INDEX_FILE) as npz:
+        tree = tree_from_arrays({k: npz[k] for k in npz.files})
+
+    codec = MetacellCodec(
+        tuple(blob["codec"]["metacell_shape"]),
+        np.dtype(blob["codec"]["scalar_dtype"]),
+    )
+    meta = DatasetMeta(
+        grid_shape=tuple(blob["meta"]["grid_shape"]),
+        metacell_shape=tuple(blob["meta"]["metacell_shape"]),
+        volume_shape=tuple(blob["meta"]["volume_shape"]),
+        spacing=tuple(blob["meta"]["spacing"]),
+        origin=tuple(blob["meta"]["origin"]),
+        name=blob["meta"]["name"],
+    )
+    report = PreprocessReport(**blob["report"])
+    bricks = directory / BRICKS_FILE
+    if not bricks.exists():
+        raise FileNotFoundError(f"no {BRICKS_FILE} in {directory}")
+    device = FileBackedDevice(bricks, cost_model, create=False)
+    expected = blob["base_offset"] + tree.n_records * codec.record_size
+    if device.size < expected:
+        raise IOError(
+            f"brick store {bricks} holds {device.size} bytes, index expects "
+            f">= {expected}: store truncated?"
+        )
+    return IndexedDataset(
+        tree=tree,
+        device=device,
+        codec=codec,
+        base_offset=blob["base_offset"],
+        meta=meta,
+        report=report,
+        node_rank=blob["node_rank"],
+        n_cluster_nodes=blob["n_cluster_nodes"],
+    )
+
+
+def build_persistent_dataset(
+    volume,
+    directory: str | Path,
+    metacell_shape: tuple[int, int, int] = (9, 9, 9),
+    cost_model: IOCostModel | None = None,
+) -> IndexedDataset:
+    """Preprocess straight into a self-describing dataset directory."""
+    from repro.core.builder import build_indexed_dataset
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    device = FileBackedDevice(directory / BRICKS_FILE, cost_model)
+    dataset = build_indexed_dataset(volume, metacell_shape, device=device)
+    save_dataset(dataset, directory)
+    return dataset

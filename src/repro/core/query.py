@@ -1,0 +1,211 @@
+"""Isosurface query execution against block devices (paper Section 5).
+
+The planner (:meth:`CompactIntervalTree.plan_query`) decides *what* to
+read; this module performs the reads honestly, at block granularity:
+
+* **Case 1 runs** are one long sequential read, streamed in bounded
+  chunks (same block count, one seek).
+* **Case 2 brick prefixes** are read incrementally: a block-aligned
+  chunk at a time, decoding complete records as they arrive and stopping
+  at the first record with ``vmin > lam`` — the reader does not know the
+  prefix length in advance, exactly like a real out-of-core consumer.
+
+All I/O is metered by the device, so the resulting
+:class:`~repro.io.blockdevice.IOStats` *is* the external-memory cost of
+the query, which the cost model converts to the paper's "active metacell
+retrieval time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import IndexedDataset
+from repro.core.compact_tree import BrickPrefixScan, QueryPlan, SequentialRun
+from repro.io.blockdevice import IOStats
+from repro.io.layout import MetacellRecords
+
+#: Blocks fetched per incremental read step.  Chunks after the first are
+#: block-aligned so no block is charged twice within a run.
+DEFAULT_READ_AHEAD_BLOCKS = 8
+
+#: Upper bound on a single sequential read call, in blocks.  Case 1 runs
+#: longer than this are streamed in consecutive (seek-free) chunks.
+MAX_SEQUENTIAL_CHUNK_BLOCKS = 1024
+
+
+@dataclass
+class QueryResult:
+    """Everything produced by one isosurface query on one node.
+
+    Attributes
+    ----------
+    lam:
+        The isovalue.
+    records:
+        The active metacell records, in retrieval order.
+    plan:
+        The I/O plan that was executed.
+    io_stats:
+        Device accounting for this query only.
+    n_records_read:
+        Records decoded from disk (``>= len(records)``: Case-2 bricks may
+        read one terminator record past the active prefix, and block
+        granularity may pull in trailing bytes).
+    """
+
+    lam: float
+    records: MetacellRecords
+    plan: QueryPlan
+    io_stats: IOStats
+    n_records_read: int
+
+    @property
+    def n_active(self) -> int:
+        return len(self.records)
+
+    def io_time(self, cost_model) -> float:
+        """Modeled retrieval time under a disk cost model."""
+        return self.io_stats.read_time(cost_model)
+
+
+def _stream_extent(device, start: int, length: int, chunk_blocks: int):
+    """Yield buffers covering ``[start, start+length)`` without charging any
+    block twice: the first chunk ends on a block boundary, later chunks are
+    block-aligned."""
+    bs = device.cost_model.block_size
+    end = start + length
+    pos = start
+    while pos < end:
+        # End of the current chunk: a block boundary at most chunk_blocks away.
+        boundary = ((pos // bs) + chunk_blocks) * bs
+        stop = min(boundary, end)
+        yield device.read(pos, stop - pos)
+        pos = stop
+
+
+def execute_query(
+    dataset: IndexedDataset,
+    lam: float,
+    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
+) -> QueryResult:
+    """Run the full out-of-core query for isovalue ``lam`` on one node."""
+    plan = dataset.tree.plan_query(lam)
+    return execute_plan(dataset, plan, read_ahead_blocks=read_ahead_blocks)
+
+
+def execute_plan(
+    dataset: IndexedDataset,
+    plan: QueryPlan,
+    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
+) -> QueryResult:
+    """Execute an already-computed I/O plan against the dataset's device.
+
+    Separated from :func:`execute_query` so alternative planners — e.g.
+    the external blocked index of
+    :mod:`repro.core.external_tree` — can reuse the exact same record
+    retrieval machinery and accounting.
+    """
+    if read_ahead_blocks < 1:
+        raise ValueError(f"read_ahead_blocks must be >= 1, got {read_ahead_blocks}")
+    codec = dataset.codec
+    rec_size = codec.record_size
+    device = dataset.device
+    lam = plan.lam
+
+    stats_before = device.stats.copy()
+    batches: list[MetacellRecords] = []
+    n_read = 0
+
+    for run in plan.runs:
+        if isinstance(run, SequentialRun):
+            start_byte = dataset.record_offset(run.start)
+            length = run.count * rec_size
+            pending = b""
+            for buf in _stream_extent(device, start_byte, length, MAX_SEQUENTIAL_CHUNK_BLOCKS):
+                pending += buf
+                n_complete = codec.decode_count(pending)
+                if n_complete:
+                    batches.append(codec.decode(pending[: n_complete * rec_size]))
+                    n_read += n_complete
+                    pending = pending[n_complete * rec_size :]
+            if pending:
+                raise IOError(
+                    f"sequential run at record {run.start} ended mid-record "
+                    f"({len(pending)} trailing bytes): layout corrupted"
+                )
+        elif isinstance(run, BrickPrefixScan):
+            batch, decoded = _scan_brick_prefix(
+                dataset, run, lam, read_ahead_blocks
+            )
+            n_read += decoded
+            if batch is not None and len(batch):
+                batches.append(batch)
+        else:  # pragma: no cover - future run types
+            raise TypeError(f"unknown run type {type(run).__name__}")
+
+    io_stats = device.stats.copy() - stats_before
+
+    records = (
+        MetacellRecords.concat(batches) if batches else MetacellRecords.empty(codec)
+    )
+    return QueryResult(
+        lam=float(lam),
+        records=records,
+        plan=plan,
+        io_stats=io_stats,
+        n_records_read=n_read,
+    )
+
+
+def _scan_brick_prefix(
+    dataset: IndexedDataset,
+    run: BrickPrefixScan,
+    lam: float,
+    read_ahead_blocks: int,
+):
+    """Incrementally read one brick until ``vmin > lam`` or brick end.
+
+    Returns ``(active_records_or_None, n_records_decoded)``.
+    """
+    codec = dataset.codec
+    rec_size = codec.record_size
+    device = dataset.device
+    start_byte = dataset.record_offset(run.start)
+    max_bytes = run.max_count * rec_size
+
+    pending = b""
+    decoded = 0
+    actives: list[MetacellRecords] = []
+    for buf in _stream_extent(device, start_byte, max_bytes, read_ahead_blocks):
+        pending += buf
+        n_complete = codec.decode_count(pending)
+        if not n_complete:
+            continue
+        batch = codec.decode(pending[: n_complete * rec_size])
+        pending = pending[n_complete * rec_size :]
+        decoded += n_complete
+        over = np.flatnonzero(batch.vmins.astype(np.float64) > lam)
+        if len(over):
+            cut = int(over[0])
+            if cut:
+                actives.append(
+                    MetacellRecords(
+                        ids=batch.ids[:cut],
+                        vmins=batch.vmins[:cut],
+                        values=batch.values[:cut],
+                    )
+                )
+            break
+        actives.append(batch)
+    else:
+        if pending:
+            raise IOError(
+                f"brick at record {run.start} ended mid-record "
+                f"({len(pending)} trailing bytes): layout corrupted"
+            )
+    if not actives:
+        return None, decoded
+    return MetacellRecords.concat(actives), decoded

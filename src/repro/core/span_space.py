@@ -1,0 +1,174 @@
+"""Span-space analysis (paper Section 4, Figure 1).
+
+The *span space* plots every metacell as the point ``(vmin, vmax)`` above
+the diagonal.  An isovalue ``lam`` selects the upper-left quadrant
+``vmin <= lam <= vmax``.  The compact interval tree recursively partitions
+the span space into squares anchored on the diagonal at the median
+endpoint of each subtree; each square is stored as a run of bricks.
+
+This module provides the statistics used throughout the benches and docs:
+endpoint counts, distinct-pair counts, 2D density histograms, and the
+explicit square decomposition induced by a tree (handy for validating the
+construction and for rendering Figure-1-style diagrams in ASCII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class SpanSpaceStats:
+    """Summary statistics of an interval set's span-space distribution."""
+
+    n_intervals: int
+    n_distinct_endpoints: int
+    n_distinct_pairs: int
+    degenerate_fraction: float  # fraction with vmin == vmax
+    mean_span: float
+    max_span: float
+
+    @staticmethod
+    def from_intervals(intervals: IntervalSet) -> "SpanSpaceStats":
+        n = len(intervals)
+        if n == 0:
+            return SpanSpaceStats(0, 0, 0, 0.0, 0.0, 0.0)
+        spans = intervals.vmax.astype(np.float64) - intervals.vmin.astype(np.float64)
+        return SpanSpaceStats(
+            n_intervals=n,
+            n_distinct_endpoints=intervals.n_distinct_endpoints,
+            n_distinct_pairs=intervals.n_distinct_pairs(),
+            degenerate_fraction=float(np.mean(spans == 0)),
+            mean_span=float(spans.mean()),
+            max_span=float(spans.max()),
+        )
+
+
+def span_space_histogram(
+    intervals: IntervalSet, bins: int = 32
+) -> tuple[np.ndarray, np.ndarray]:
+    """2D density of (vmin, vmax) points.
+
+    Returns ``(hist, edges)`` where ``hist[i, j]`` counts intervals with
+    ``vmin`` in bin i and ``vmax`` in bin j over shared edges, so the
+    diagonal structure of Figure 1 is directly visible.
+    """
+    if len(intervals) == 0:
+        edges = np.linspace(0.0, 1.0, bins + 1)
+        return np.zeros((bins, bins), dtype=np.int64), edges
+    lo = float(min(intervals.vmin.min(), intervals.vmax.min()))
+    hi = float(max(intervals.vmin.max(), intervals.vmax.max()))
+    if hi == lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    hist, _, _ = np.histogram2d(
+        intervals.vmin.astype(np.float64),
+        intervals.vmax.astype(np.float64),
+        bins=[edges, edges],
+    )
+    return hist.astype(np.int64), edges
+
+
+@dataclass(frozen=True)
+class SpanSquare:
+    """One square of the recursive span-space partition (Figure 1).
+
+    The square's bottom-right corner sits on the diagonal at
+    ``(split, split)``; it covers intervals with ``vmin`` in
+    ``[lo, split]`` and ``vmax`` in ``[split, hi]``.
+    """
+
+    node_id: int
+    split: float
+    lo: float
+    hi: float
+    n_intervals: int
+    n_bricks: int
+
+
+def tree_span_squares(tree) -> "list[SpanSquare]":
+    """The explicit square decomposition induced by a compact interval tree."""
+    squares = []
+    for node in tree.nodes:
+        count = int(node.entry_count.sum()) if node.n_bricks else 0
+        squares.append(
+            SpanSquare(
+                node_id=node.node_id,
+                split=float(node.split),
+                lo=float(tree.endpoints[node.lo_code]),
+                hi=float(tree.endpoints[node.hi_code]),
+                n_intervals=count,
+                n_bricks=len(node.brick_ids),
+            )
+        )
+    return squares
+
+
+def ascii_tree(tree, max_depth: int = 6, max_bricks_shown: int = 4) -> str:
+    """ASCII rendering of a compact interval tree (Figure 2 of the paper).
+
+    Each node line shows the split value and its brick index entries as
+    ``vmax<-(min vmin)@start`` triples; children are indented.
+    """
+    if not tree.nodes:
+        return "(empty tree)"
+    lines: list[str] = []
+
+    def fmt_value(v) -> str:
+        f = float(v)
+        return f"{int(f)}" if f == int(f) else f"{f:.4g}"
+
+    def visit(node_id: int, depth: int, label: str) -> None:
+        node = tree.nodes[node_id]
+        pad = "  " * depth
+        entries = []
+        for j in range(min(node.n_bricks, max_bricks_shown)):
+            entries.append(
+                f"{fmt_value(node.entry_vmax[j])}<-({fmt_value(node.entry_min_vmin[j])})"
+                f"@{int(node.entry_start[j])}"
+            )
+        if node.n_bricks > max_bricks_shown:
+            entries.append(f"... +{node.n_bricks - max_bricks_shown} bricks")
+        brick_txt = "  [" + ", ".join(entries) + "]" if entries else "  [no bricks]"
+        lines.append(
+            f"{pad}{label} split={fmt_value(node.split)} "
+            f"({node.run_count} records){brick_txt}"
+        )
+        if depth + 1 > max_depth:
+            if node.left >= 0 or node.right >= 0:
+                lines.append(f"{pad}  ...")
+            return
+        if node.left >= 0:
+            visit(node.left, depth + 1, "L")
+        if node.right >= 0:
+            visit(node.right, depth + 1, "R")
+
+    visit(0, 0, "root")
+    return "\n".join(lines)
+
+
+def ascii_span_space(intervals: IntervalSet, bins: int = 24) -> str:
+    """Coarse ASCII rendering of the span-space density (docs/benches)."""
+    hist, _ = span_space_histogram(intervals, bins)
+    if hist.max() == 0:
+        return "(empty span space)"
+    shades = " .:-=+*#%@"
+    levels = np.zeros_like(hist)
+    nz = hist > 0
+    if nz.any():
+        logh = np.log1p(hist[nz])
+        levels_vals = 1 + np.floor(
+            (len(shades) - 2) * logh / max(float(logh.max()), 1e-12)
+        ).astype(int)
+        levels[nz] = levels_vals
+    lines = []
+    # vmax on the vertical axis, increasing upward; vmin horizontal.
+    for j in range(bins - 1, -1, -1):
+        row = "".join(shades[int(levels[i, j])] for i in range(bins))
+        lines.append("|" + row + "|")
+    lines.append("+" + "-" * bins + "+  (x: vmin ->, y: vmax ^)")
+    return "\n".join(lines)

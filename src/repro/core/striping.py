@@ -1,0 +1,177 @@
+"""Round-robin brick striping across processors (paper Section 5.1).
+
+For each brick, record ``i`` (in ascending-vmin order) goes to the disk of
+processor ``i mod p``.  Every processor then rebuilds the *same* tree
+shape over its local records: an entry per locally non-empty brick with
+the local min-vmin and a pointer to the local brick run.
+
+Balance guarantee (the paper's provable claim): for any isovalue, the
+active records of a brick form a *prefix* of the brick, and a prefix of
+length ``k`` striped round-robin gives every processor either
+``floor(k/p)`` or ``ceil(k/p)`` records.  Hence::
+
+    max_q active_q - min_q active_q  <=  (# bricks with active records)
+
+independent of the isovalue — each active brick contributes at most one
+record of imbalance.  :func:`striping_balance_bound` computes this bound
+and :func:`striped_active_counts` the realized distribution, which the
+tests compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compact_tree import CompactIntervalTree, TreeNode
+
+
+@dataclass
+class StripedNodeLayout:
+    """One processor's share of a striped layout.
+
+    Attributes
+    ----------
+    node_rank:
+        Processor index in ``[0, p)``.
+    tree:
+        The processor-local compact interval tree (same node structure
+        and splits as the global tree, entries for local bricks only).
+    local_positions:
+        Global record positions held by this processor, ascending — i.e.
+        the processor's local layout order expressed in global positions.
+    brick_global_ids:
+        For each local brick (in local brick-table order), the global
+        brick id it came from.
+    """
+
+    node_rank: int
+    tree: CompactIntervalTree
+    local_positions: np.ndarray
+    brick_global_ids: np.ndarray
+
+
+def _record_brick_map(tree: CompactIntervalTree) -> np.ndarray:
+    """Global brick id of each record position."""
+    n = tree.n_records
+    out = np.empty(n, dtype=np.int64)
+    for b in range(tree.n_bricks):
+        s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+        out[s : s + c] = b
+    return out
+
+
+def stripe_brick_records(
+    tree: CompactIntervalTree, p: int, stagger: bool = True
+) -> "list[StripedNodeLayout]":
+    """Stripe a global layout across ``p`` processors, brick by brick.
+
+    Returns one :class:`StripedNodeLayout` per processor.  The union of
+    ``local_positions`` over processors is exactly ``[0, N)`` and the
+    relative order of records is preserved on every processor, so node
+    runs remain contiguous locally and both query cases work unchanged.
+
+    With ``stagger=True`` (default) brick ``b``'s round-robin starts at
+    processor ``b mod p`` instead of processor 0.  Each processor still
+    receives floor or ceil of its fair share of every brick prefix — the
+    paper's balance bound is unchanged — but the ceil ("+1 overflow")
+    records rotate across processors instead of always landing on
+    processor 0, which matters when bricks are small relative to ``p``
+    (always true for scaled-down volumes, irrelevant at the paper's
+    5000-records-per-brick scale).  ``stagger=False`` reproduces the
+    paper's literal first-metacell-to-first-processor layout.
+    """
+    if p < 1:
+        raise ValueError(f"processor count must be >= 1, got {p}")
+    n = tree.n_records
+    positions = np.arange(n, dtype=np.int64)
+    brick_of = _record_brick_map(tree)
+    offset_in_brick = positions - tree.brick_start[brick_of]
+    shift = brick_of % p if stagger else np.zeros_like(brick_of)
+
+    layouts = []
+    for q in range(p):
+        mask = ((offset_in_brick + shift) % p) == q
+        local_pos = positions[mask]
+        local_brick = brick_of[mask]
+
+        local = CompactIntervalTree()
+        local.endpoints = tree.endpoints
+        local.record_order = tree.record_order[local_pos]
+        local.record_vmins = tree.record_vmins[local_pos]
+        local.record_ids = tree.record_ids[local_pos]
+
+        # Local brick table: global bricks that are non-empty here, in
+        # global layout order (local_pos is ascending so groups appear in
+        # brick order already).
+        counts = np.bincount(local_brick, minlength=tree.n_bricks).astype(np.int64)
+        nonempty = np.flatnonzero(counts)
+        local_starts_global = tree.brick_start[nonempty]
+        # Local start = rank of the brick's first local record, whose
+        # brick-local offset is (q - shift_b) mod p.
+        first_offset = (q - (nonempty % p if stagger else 0)) % p
+        local_start = np.searchsorted(local_pos, local_starts_global + first_offset)
+        local.brick_node = tree.brick_node[nonempty]
+        local.brick_vmax = tree.brick_vmax[nonempty]
+        local.brick_start = local_start.astype(np.int64)
+        local.brick_count = counts[nonempty]
+        # Local min vmin: vmin of the brick's first local record.
+        local.brick_min_vmin = local.record_vmins[local.brick_start]
+
+        # Per-node entry arrays, restricted to locally non-empty bricks.
+        global_to_local = -np.ones(tree.n_bricks, dtype=np.int64)
+        global_to_local[nonempty] = np.arange(len(nonempty))
+        for gnode in tree.nodes:
+            keep = [
+                int(global_to_local[b]) for b in gnode.brick_ids if global_to_local[b] >= 0
+            ]
+            lb = np.asarray(keep, dtype=np.int64)
+            local.nodes.append(
+                TreeNode(
+                    node_id=gnode.node_id,
+                    split=gnode.split,
+                    lo_code=gnode.lo_code,
+                    hi_code=gnode.hi_code,
+                    left=gnode.left,
+                    right=gnode.right,
+                    entry_vmax=local.brick_vmax[lb],
+                    entry_min_vmin=local.brick_min_vmin[lb],
+                    entry_start=local.brick_start[lb],
+                    entry_count=local.brick_count[lb],
+                    brick_ids=lb,
+                )
+            )
+        layouts.append(
+            StripedNodeLayout(
+                node_rank=q,
+                tree=local,
+                local_positions=local_pos,
+                brick_global_ids=nonempty,
+            )
+        )
+    return layouts
+
+
+def striped_active_counts(layouts: "list[StripedNodeLayout]", lam: float) -> np.ndarray:
+    """Active record count per processor for isovalue ``lam``."""
+    return np.asarray([lay.tree.query_count(lam) for lay in layouts], dtype=np.int64)
+
+
+def striping_balance_bound(tree: CompactIntervalTree, lam: float) -> int:
+    """The paper's imbalance bound: number of bricks with >= 1 active record."""
+    active_bricks = 0
+    for a, b in tree.active_record_ranges(lam):
+        # A Case-1 range may span several whole bricks; count them.
+        first = int(np.searchsorted(tree.brick_start, a, side="right")) - 1
+        last = int(np.searchsorted(tree.brick_start, b - 1, side="right")) - 1
+        active_bricks += last - first + 1
+    return active_bricks
+
+
+def imbalance_ratio(counts: np.ndarray) -> float:
+    """max/mean load ratio; 1.0 is perfect balance. Empty loads give 1.0."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size == 0 or counts.sum() == 0:
+        return 1.0
+    return float(counts.max() / counts.mean())

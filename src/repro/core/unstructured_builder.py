@@ -1,0 +1,215 @@
+"""Out-of-core indexing of unstructured (tetrahedral) grids.
+
+The index layer is grid-agnostic — it sees only (vmin, vmax) intervals
+and fixed-size records — so the unstructured pipeline reuses the compact
+interval tree, brick layout, striping, and query execution unchanged.
+What differs is the record payload: a *denormalized cluster* of K
+tetrahedra (each with its four vertex positions and values), so a query
+can triangulate straight from the record with no global mesh in memory,
+as in the out-of-core unstructured systems the paper cites [10, 17].
+
+Record layout (float32): per cell slot, ``x0 y0 z0 ... x3 y3 z3`` then
+``v0 v1 v2 v3`` (16 floats).  Clusters shorter than K are padded with
+degenerate all-zero cells, which can never produce a crossing under the
+strict ``value > iso`` convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.query import QueryResult, execute_query
+from repro.core.striping import stripe_brick_records
+from repro.grid.unstructured import CellClusters, TetMesh, cluster_cells
+from repro.io.blockdevice import SimulatedBlockDevice
+from repro.io.cost_model import IOCostModel
+from repro.io.layout import MetacellCodec, MetacellRecords
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_tets import marching_tets_generic
+
+#: Floats per denormalized cell: 4 vertices x 3 coords + 4 values.
+FLOATS_PER_CELL = 16
+
+
+@dataclass
+class UnstructuredReport:
+    """Preprocessing statistics for an unstructured build."""
+
+    n_cells: int
+    n_clusters_total: int
+    n_clusters_culled: int
+    n_clusters_stored: int
+    stored_bytes: int
+    index_bytes: int
+    cells_per_cluster: int
+
+
+@dataclass
+class UnstructuredDataset:
+    """Duck-type of :class:`~repro.core.builder.IndexedDataset` for
+    unstructured data: works with ``execute_query`` /
+    ``execute_plan`` unchanged."""
+
+    tree: CompactIntervalTree
+    device: object
+    codec: MetacellCodec
+    base_offset: int
+    report: UnstructuredReport
+    cells_per_cluster: int
+    node_rank: int = 0
+    n_cluster_nodes: int = 1
+
+    def record_offset(self, position: int) -> int:
+        return self.base_offset + position * self.codec.record_size
+
+    @property
+    def n_records(self) -> int:
+        return self.tree.n_records
+
+
+def _cluster_payloads(clusters: CellClusters, ids: np.ndarray) -> np.ndarray:
+    """Denormalize the requested clusters into flat float32 payload rows."""
+    mesh = clusters.mesh
+    K = clusters.cells_per_cluster
+    out = np.zeros((len(ids), K, FLOATS_PER_CELL), dtype=np.float32)
+    cp = mesh.cell_points()
+    cv = mesh.cell_values()
+    for row, cid in enumerate(np.asarray(ids, dtype=np.int64)):
+        m = clusters.members[cid]
+        real = m[m >= 0]
+        out[row, : len(real), :12] = cp[real].reshape(len(real), 12)
+        out[row, : len(real), 12:] = cv[real]
+    return out.reshape(len(ids), K * FLOATS_PER_CELL)
+
+
+def _write_cluster_records(device, codec, clusters, ids, vmins) -> int:
+    base = device.allocate(len(ids) * codec.record_size)
+    chunk = 2048
+    for s in range(0, len(ids), chunk):
+        e = min(s + chunk, len(ids))
+        payload = _cluster_payloads(clusters, ids[s:e])
+        blob = codec.encode(ids[s:e], vmins[s:e], payload)
+        device.write(base + s * codec.record_size, blob)
+    return base
+
+
+def _intervals_of(clusters: CellClusters, drop_constant: bool) -> IntervalSet:
+    vmin = clusters.vmin.astype(np.float32)
+    vmax = clusters.vmax.astype(np.float32)
+    ids = clusters.ids
+    if drop_constant:
+        keep = vmin != vmax
+        vmin, vmax, ids = vmin[keep], vmax[keep], ids[keep]
+    return IntervalSet(vmin=vmin, vmax=vmax, ids=ids)
+
+
+def build_unstructured_dataset(
+    mesh: TetMesh,
+    cells_per_cluster: int = 64,
+    device=None,
+    cost_model: IOCostModel | None = None,
+    drop_constant: bool = True,
+) -> UnstructuredDataset:
+    """Cluster, index, and lay out a tetrahedral mesh for querying."""
+    clusters = cluster_cells(mesh, cells_per_cluster)
+    intervals = _intervals_of(clusters, drop_constant)
+    tree = CompactIntervalTree.build(intervals)
+    codec = MetacellCodec.flat(cells_per_cluster * FLOATS_PER_CELL, np.float32)
+    if device is None:
+        device = SimulatedBlockDevice(cost_model or IOCostModel())
+    base = _write_cluster_records(device, codec, clusters, tree.record_ids, tree.record_vmins)
+    report = UnstructuredReport(
+        n_cells=mesh.n_cells,
+        n_clusters_total=clusters.n_clusters,
+        n_clusters_culled=clusters.n_clusters - len(intervals),
+        n_clusters_stored=len(intervals),
+        stored_bytes=len(intervals) * codec.record_size,
+        index_bytes=tree.index_size_bytes(),
+        cells_per_cluster=cells_per_cluster,
+    )
+    return UnstructuredDataset(
+        tree=tree,
+        device=device,
+        codec=codec,
+        base_offset=base,
+        report=report,
+        cells_per_cluster=cells_per_cluster,
+    )
+
+
+def build_striped_unstructured(
+    mesh: TetMesh,
+    p: int,
+    cells_per_cluster: int = 64,
+    devices=None,
+    cost_model: IOCostModel | None = None,
+    drop_constant: bool = True,
+    stagger: bool = True,
+) -> "list[UnstructuredDataset]":
+    """Stripe an unstructured layout across ``p`` node-local disks."""
+    if p < 1:
+        raise ValueError(f"node count must be >= 1, got {p}")
+    clusters = cluster_cells(mesh, cells_per_cluster)
+    intervals = _intervals_of(clusters, drop_constant)
+    tree = CompactIntervalTree.build(intervals)
+    codec = MetacellCodec.flat(cells_per_cluster * FLOATS_PER_CELL, np.float32)
+    report = UnstructuredReport(
+        n_cells=mesh.n_cells,
+        n_clusters_total=clusters.n_clusters,
+        n_clusters_culled=clusters.n_clusters - len(intervals),
+        n_clusters_stored=len(intervals),
+        stored_bytes=len(intervals) * codec.record_size,
+        index_bytes=tree.index_size_bytes(),
+        cells_per_cluster=cells_per_cluster,
+    )
+    if devices is None:
+        devices = [SimulatedBlockDevice(cost_model or IOCostModel()) for _ in range(p)]
+    if len(devices) != p:
+        raise ValueError(f"expected {p} devices, got {len(devices)}")
+    out = []
+    for lay, device in zip(stripe_brick_records(tree, p, stagger=stagger), devices):
+        base = _write_cluster_records(
+            device, codec, clusters, lay.tree.record_ids, lay.tree.record_vmins
+        )
+        out.append(
+            UnstructuredDataset(
+                tree=lay.tree,
+                device=device,
+                codec=codec,
+                base_offset=base,
+                report=report,
+                cells_per_cluster=cells_per_cluster,
+                node_rank=lay.node_rank,
+                n_cluster_nodes=p,
+            )
+        )
+    return out
+
+
+def triangulate_unstructured_records(
+    records: MetacellRecords, cells_per_cluster: int, iso: float
+) -> TriangleMesh:
+    """Marching tetrahedra over the denormalized cells of query results."""
+    n = len(records)
+    if n == 0:
+        return TriangleMesh()
+    payload = records.values.astype(np.float64).reshape(
+        n * cells_per_cluster, FLOATS_PER_CELL
+    )
+    pts = payload[:, :12].reshape(-1, 4, 3)
+    vals = payload[:, 12:]
+    return marching_tets_generic(pts, vals, iso)
+
+
+def extract_unstructured(dataset: UnstructuredDataset, iso: float):
+    """Out-of-core query + triangulation on one (node-local) dataset.
+
+    Returns ``(mesh, query_result)``.
+    """
+    qr: QueryResult = execute_query(dataset, iso)
+    mesh = triangulate_unstructured_records(qr.records, dataset.cells_per_cluster, iso)
+    return mesh, qr

@@ -1,0 +1,156 @@
+"""Dataset integrity checking (fsck for brick stores).
+
+A persisted dataset can rot — truncated copies, version skew, bit rot —
+and the query layer's invariants (`vmin` ascending within bricks, record
+payloads consistent with their intervals) are exactly what make the
+Case-2 early-exit *correct*, so violations silently return wrong
+surfaces.  :func:`verify_dataset` re-reads the entire store and checks
+every invariant, reporting structured findings rather than raising on
+the first problem.
+
+Exposed on the CLI as ``repro verify <dataset_dir>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Records examined per chunk while sweeping the store.
+VERIFY_CHUNK = 4096
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a dataset integrity sweep."""
+
+    n_records_checked: int = 0
+    n_bricks_checked: int = 0
+    problems: "list[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, msg: str) -> None:
+        self.problems.append(msg)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        lines = [
+            f"verify: {status} — {self.n_records_checked} records, "
+            f"{self.n_bricks_checked} bricks checked"
+        ]
+        lines += [f"  - {p}" for p in self.problems[:50]]
+        if len(self.problems) > 50:
+            lines.append(f"  ... and {len(self.problems) - 50} more")
+        return "\n".join(lines)
+
+
+def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
+    """Check a dataset's index/store invariants.
+
+    Structural checks (always): brick table tiles the record space; node
+    entries mirror the brick table; entry ``min_vmin`` matches the first
+    record; store is large enough.
+
+    Deep checks (``deep=True``): read every record and verify (a) the
+    stored ``vmin`` equals the payload minimum, (b) vmins ascend within
+    each brick, (c) the payload maximum never exceeds the brick's
+    ``vmax`` and is attained by at least one record per brick, (d) ids
+    are unique and within the metacell grid.
+    """
+    report = VerifyReport()
+    tree = dataset.tree
+    codec = dataset.codec
+    rec = codec.record_size
+
+    # -- structural ----------------------------------------------------------
+    n = tree.n_records
+    expected_bytes = dataset.base_offset + n * rec
+    if dataset.device.size < expected_bytes:
+        report.add(
+            f"store holds {dataset.device.size} bytes, index expects >= {expected_bytes}"
+        )
+        return report  # deep sweep would only cascade
+
+    if tree.n_bricks:
+        order = np.argsort(tree.brick_start)
+        starts = tree.brick_start[order]
+        counts = tree.brick_count[order]
+        if starts[0] != 0 or not np.all(starts[1:] == starts[:-1] + counts[:-1]):
+            report.add("brick table does not tile the record space contiguously")
+        if starts[-1] + counts[-1] != n:
+            report.add(
+                f"brick table covers {starts[-1] + counts[-1]} records, index has {n}"
+            )
+    for node in tree.nodes:
+        for j in range(node.n_bricks):
+            b = int(node.brick_ids[j])
+            if not 0 <= b < tree.n_bricks:
+                report.add(f"node {node.node_id} references missing brick {b}")
+                continue
+            if int(node.entry_start[j]) != int(tree.brick_start[b]):
+                report.add(f"node {node.node_id} entry {j} offset mismatch")
+
+    if not deep or n == 0:
+        report.n_bricks_checked = tree.n_bricks
+        return report
+
+    # -- deep sweep -----------------------------------------------------------
+    brick_of = np.zeros(n, dtype=np.int64)
+    for b in range(tree.n_bricks):
+        s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+        brick_of[s : s + c] = b
+    seen_ids = set()
+    n_grid = int(np.prod(dataset.meta.grid_shape)) if hasattr(dataset, "meta") else None
+    brick_max_seen = np.full(tree.n_bricks, -np.inf)
+    prev_vmin_by_brick = np.full(tree.n_bricks, -np.inf)
+
+    for start in range(0, n, VERIFY_CHUNK):
+        stop = min(start + VERIFY_CHUNK, n)
+        buf = dataset.device.read(dataset.record_offset(start), (stop - start) * rec)
+        batch = codec.decode(buf)
+        if len(batch) != stop - start:
+            report.add(f"short decode at records [{start}, {stop})")
+            break
+        vals = batch.values.astype(np.float64)
+        vmins = batch.vmins.astype(np.float64)
+        payload_min = vals.min(axis=1)
+        payload_max = vals.max(axis=1)
+        bad = np.flatnonzero(payload_min != vmins)
+        for i in bad[:10]:
+            report.add(
+                f"record {start + i}: stored vmin {vmins[i]} != payload min "
+                f"{payload_min[i]}"
+            )
+        for i in range(len(batch)):
+            p = start + i
+            b = brick_of[p]
+            if vmins[i] < prev_vmin_by_brick[b]:
+                report.add(f"record {p}: vmin descends within brick {b}")
+            prev_vmin_by_brick[b] = vmins[i]
+            bv = float(tree.brick_vmax[b])
+            if payload_max[i] > bv + 1e-9:
+                report.add(
+                    f"record {p}: payload max {payload_max[i]} exceeds brick "
+                    f"vmax {bv}"
+                )
+            brick_max_seen[b] = max(brick_max_seen[b], payload_max[i])
+            rid = int(batch.ids[i])
+            if rid in seen_ids:
+                report.add(f"duplicate metacell id {rid} at record {p}")
+            seen_ids.add(rid)
+            if n_grid is not None and rid >= n_grid:
+                report.add(f"record {p}: id {rid} outside metacell grid ({n_grid})")
+        report.n_records_checked = stop
+
+    for b in range(tree.n_bricks):
+        if tree.brick_count[b] and brick_max_seen[b] < float(tree.brick_vmax[b]) - 1e-9:
+            report.add(
+                f"brick {b}: no record attains the brick vmax "
+                f"{float(tree.brick_vmax[b])} (max seen {brick_max_seen[b]})"
+            )
+    report.n_bricks_checked = tree.n_bricks
+    return report

@@ -1,0 +1,62 @@
+"""Structured-grid volume substrate.
+
+The paper operates on very large structured scalar fields (the LLNL
+Richtmyer–Meshkov instability simulation: 2048x2048x1920 one-byte voxels
+per time step, 270 steps).  This package provides:
+
+``volume``
+    :class:`Volume` — an in-memory structured scalar field with spacing,
+    origin, quantization and downsampling helpers.
+``metacell``
+    The metacell decomposition of Section 4: overlapping 9x9x9-vertex
+    subcubes, vectorized per-metacell min/max, constant-metacell culling.
+``datasets``
+    Analytic ground-truth fields (sphere, torus, Marschner–Lobb, gyroid)
+    and synthetic stand-ins for the Table 1 datasets (Bunny, MRBrain,
+    CTHead, Pressure, Velocity).
+``rm_instability``
+    A procedural Richtmyer–Meshkov-like time-varying generator standing in
+    for the proprietary 2.1 TB LLNL dataset (see DESIGN.md, substitutions).
+"""
+
+from repro.grid.volume import Volume
+from repro.grid.metacell import (
+    MetacellPartition,
+    metacell_grid_shape,
+    pad_for_metacells,
+    partition_metacells,
+)
+from repro.grid.datasets import (
+    bunny_ct_like,
+    ct_head_like,
+    gyroid_field,
+    marschner_lobb,
+    mr_brain_like,
+    pressure_like,
+    sample_field,
+    sphere_field,
+    torus_field,
+    velocity_like,
+)
+from repro.grid.rm_instability import RMInstabilityModel, rm_time_series, rm_timestep
+
+__all__ = [
+    "Volume",
+    "MetacellPartition",
+    "metacell_grid_shape",
+    "pad_for_metacells",
+    "partition_metacells",
+    "sample_field",
+    "sphere_field",
+    "torus_field",
+    "gyroid_field",
+    "marschner_lobb",
+    "bunny_ct_like",
+    "ct_head_like",
+    "mr_brain_like",
+    "pressure_like",
+    "velocity_like",
+    "RMInstabilityModel",
+    "rm_timestep",
+    "rm_time_series",
+]

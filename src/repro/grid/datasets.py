@@ -1,0 +1,250 @@
+"""Synthetic datasets.
+
+Two families live here:
+
+* **Analytic ground-truth fields** (sphere, torus, gyroid,
+  Marschner–Lobb).  Their isosurfaces have known geometry/topology, which
+  the test suite uses to validate extraction end to end (e.g. the sphere's
+  Euler characteristic and area).
+
+* **Stand-ins for the paper's Table 1 datasets** (Stanford Bunny CT,
+  MRBrain, CTHead, plus the Pressure and Velocity fields).  The originals
+  are not redistributable here; the stand-ins match grid dimensions and
+  byte depth and qualitatively reproduce the span-space statistics that
+  determine index size (see DESIGN.md, substitutions).  Each generator is
+  deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.volume import Volume
+
+# ---------------------------------------------------------------------------
+# Analytic fields
+# ---------------------------------------------------------------------------
+
+
+def sphere_field(
+    shape: tuple[int, int, int] = (32, 32, 32), radius: float = 0.6, name: str = "sphere"
+) -> Volume:
+    """Distance-like field whose ``iso = radius`` surface is a sphere.
+
+    Field value is the distance from the domain center, so isosurface at
+    value ``r`` is the radius-``r`` sphere.
+    """
+    return Volume.from_function(
+        lambda x, y, z: np.sqrt(x**2 + y**2 + z**2), shape, name=name
+    )
+
+
+def torus_field(
+    shape: tuple[int, int, int] = (48, 48, 32),
+    major: float = 0.55,
+    name: str = "torus",
+) -> Volume:
+    """Field whose ``iso = r`` surface is a torus of tube radius ``r``."""
+
+    def fn(x, y, z):
+        ring = np.sqrt(x**2 + y**2) - major
+        return np.sqrt(ring**2 + z**2)
+
+    return Volume.from_function(fn, shape, name=name)
+
+
+def gyroid_field(
+    shape: tuple[int, int, int] = (40, 40, 40), periods: float = 2.0, name: str = "gyroid"
+) -> Volume:
+    """Triply-periodic gyroid; its 0-isosurface fills the whole domain.
+
+    Useful as a stress test: nearly every metacell is active near iso 0.
+    """
+    k = np.pi * periods
+
+    def fn(x, y, z):
+        return (
+            np.sin(k * x) * np.cos(k * y)
+            + np.sin(k * y) * np.cos(k * z)
+            + np.sin(k * z) * np.cos(k * x)
+        )
+
+    return Volume.from_function(fn, shape, name=name)
+
+
+def marschner_lobb(
+    shape: tuple[int, int, int] = (41, 41, 41),
+    f_m: float = 6.0,
+    alpha: float = 0.25,
+    name: str = "marschner_lobb",
+) -> Volume:
+    """The classic Marschner–Lobb frequency-sweep test signal."""
+
+    def rho(r):
+        return np.cos(2 * np.pi * f_m * np.cos(np.pi * r / 2.0))
+
+    def fn(x, y, z):
+        r = np.sqrt(x**2 + y**2)
+        return ((1 - np.sin(np.pi * z / 2.0)) + alpha * (1 + rho(r))) / (2 * (1 + alpha))
+
+    return Volume.from_function(fn, shape, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Noise helpers (numpy-only band-limited noise)
+# ---------------------------------------------------------------------------
+
+
+def trilinear_upsample(coarse: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
+    """Resample a coarse 3D grid onto ``shape`` with trilinear interpolation."""
+    out_coords = []
+    idx0, idx1, fracs = [], [], []
+    for axis, (n_out, n_in) in enumerate(zip(shape, coarse.shape)):
+        if n_in < 2:
+            raise ValueError(f"coarse grid axis {axis} needs >= 2 samples, got {n_in}")
+        t = np.linspace(0.0, n_in - 1, n_out)
+        i0 = np.minimum(t.astype(np.int64), n_in - 2)
+        idx0.append(i0)
+        idx1.append(i0 + 1)
+        fracs.append(t - i0)
+        out_coords.append(t)
+
+    fx = fracs[0][:, None, None]
+    fy = fracs[1][None, :, None]
+    fz = fracs[2][None, None, :]
+    ix0, iy0, iz0 = idx0
+    ix1, iy1, iz1 = idx1
+
+    def g(ix, iy, iz):
+        return coarse[np.ix_(ix, iy, iz)]
+
+    c000, c001 = g(ix0, iy0, iz0), g(ix0, iy0, iz1)
+    c010, c011 = g(ix0, iy1, iz0), g(ix0, iy1, iz1)
+    c100, c101 = g(ix1, iy0, iz0), g(ix1, iy0, iz1)
+    c110, c111 = g(ix1, iy1, iz0), g(ix1, iy1, iz1)
+
+    c00 = c000 * (1 - fz) + c001 * fz
+    c01 = c010 * (1 - fz) + c011 * fz
+    c10 = c100 * (1 - fz) + c101 * fz
+    c11 = c110 * (1 - fz) + c111 * fz
+    c0 = c00 * (1 - fy) + c01 * fy
+    c1 = c10 * (1 - fy) + c11 * fy
+    return c0 * (1 - fx) + c1 * fx
+
+
+def smooth_noise(
+    shape: tuple[int, int, int],
+    feature_size: float,
+    rng: np.random.Generator,
+    octaves: int = 3,
+) -> np.ndarray:
+    """Band-limited fractal noise in [-1, 1] with features ~``feature_size`` voxels."""
+    total = np.zeros(shape, dtype=np.float64)
+    amp, norm = 1.0, 0.0
+    size = feature_size
+    for _ in range(octaves):
+        coarse_shape = tuple(max(2, int(np.ceil(n / max(size, 1.0))) + 1) for n in shape)
+        coarse = rng.standard_normal(coarse_shape)
+        total += amp * trilinear_upsample(coarse, shape)
+        norm += amp
+        amp *= 0.5
+        size /= 2.0
+    total /= norm
+    m = np.abs(total).max()
+    return total / m if m > 0 else total
+
+
+def _unit_grid(shape: tuple[int, int, int]):
+    xs = np.linspace(-1, 1, shape[0])[:, None, None]
+    ys = np.linspace(-1, 1, shape[1])[None, :, None]
+    zs = np.linspace(-1, 1, shape[2])[None, None, :]
+    return xs, ys, zs
+
+
+# ---------------------------------------------------------------------------
+# Table 1 stand-ins
+# ---------------------------------------------------------------------------
+
+
+def ct_head_like(
+    shape: tuple[int, int, int] = (256, 256, 113),
+    dtype: np.dtype | type = np.uint16,
+    seed: int = 11,
+) -> Volume:
+    """CT-head-like field: air background, soft-tissue blob, bright bone shell."""
+    rng = np.random.default_rng(seed)
+    x, y, z = _unit_grid(shape)
+    r = np.sqrt((x / 0.85) ** 2 + (y / 0.75) ** 2 + (z / 0.95) ** 2)
+    r = r + 0.08 * smooth_noise(shape, feature_size=shape[0] / 6, rng=rng)
+    skull = np.exp(-(((r - 0.78) / 0.05) ** 2))  # bright bone shell
+    brain = 0.45 * (r < 0.7) * (0.8 + 0.2 * smooth_noise(shape, shape[0] / 10, rng))
+    field = 0.05 + brain + 0.9 * skull
+    field += 0.01 * rng.standard_normal(shape)
+    return Volume(field, name="ct_head_like").quantize(dtype, name="ct_head_like")
+
+
+def mr_brain_like(
+    shape: tuple[int, int, int] = (256, 256, 109),
+    dtype: np.dtype | type = np.uint16,
+    seed: int = 12,
+) -> Volume:
+    """MR-brain-like field: smooth tissue contrast bands plus speckle."""
+    rng = np.random.default_rng(seed)
+    x, y, z = _unit_grid(shape)
+    r = np.sqrt((x / 0.8) ** 2 + (y / 0.7) ** 2 + (z / 0.9) ** 2)
+    tissue = np.clip(1.0 - r, 0.0, None)
+    folds = 0.3 * smooth_noise(shape, feature_size=shape[0] / 16, rng=rng)
+    field = tissue * (0.6 + folds) + 0.03 * rng.standard_normal(shape)
+    return Volume(field, name="mr_brain_like").quantize(dtype, name="mr_brain_like")
+
+
+def bunny_ct_like(
+    shape: tuple[int, int, int] = (512, 512, 361),
+    dtype: np.dtype | type = np.uint16,
+    seed: int = 13,
+) -> Volume:
+    """Bunny-CT-like field: a lumpy solid scanned in a uniform medium."""
+    rng = np.random.default_rng(seed)
+    x, y, z = _unit_grid(shape)
+    body = np.sqrt((x / 0.5) ** 2 + (y / 0.45) ** 2 + ((z + 0.1) / 0.55) ** 2)
+    head = np.sqrt(((x - 0.05) / 0.3) ** 2 + (y / 0.3) ** 2 + ((z - 0.55) / 0.3) ** 2)
+    solid = np.minimum(body, head)
+    solid = solid + 0.12 * smooth_noise(shape, feature_size=shape[0] / 8, rng=rng)
+    field = np.where(solid < 1.0, 0.75 + 0.15 * (1 - solid), 0.12)
+    field = field + 0.02 * rng.standard_normal(shape)
+    return Volume(field, name="bunny_ct_like").quantize(dtype, name="bunny_ct_like")
+
+
+def pressure_like(
+    shape: tuple[int, int, int] = (256, 256, 256),
+    dtype: np.dtype | type = np.uint16,
+    seed: int = 14,
+) -> Volume:
+    """Smooth low-frequency pressure-like field.
+
+    Almost every metacell spans a distinct interval (the paper's
+    ``N ~ n`` regime noted under Table 1), because the field varies
+    everywhere and has essentially no constant regions.
+    """
+    rng = np.random.default_rng(seed)
+    field = smooth_noise(shape, feature_size=shape[0] / 3, rng=rng, octaves=4)
+    return Volume(field, name="pressure_like").quantize(dtype, name="pressure_like")
+
+
+def velocity_like(
+    shape: tuple[int, int, int] = (256, 256, 256),
+    dtype: np.dtype | type = np.uint16,
+    seed: int = 15,
+) -> Volume:
+    """Velocity-magnitude-like field: vortical swirls over a mean flow."""
+    rng = np.random.default_rng(seed)
+    u = smooth_noise(shape, feature_size=shape[0] / 5, rng=rng)
+    v = smooth_noise(shape, feature_size=shape[0] / 5, rng=rng)
+    w = smooth_noise(shape, feature_size=shape[0] / 7, rng=rng)
+    mag = np.sqrt(u**2 + v**2 + (0.5 + w) ** 2)
+    return Volume(mag, name="velocity_like").quantize(dtype, name="velocity_like")
+
+
+def sample_field(fn, shape, bounds=((-1, 1), (-1, 1), (-1, 1)), name="analytic") -> Volume:
+    """Alias of :meth:`Volume.from_function` kept for API discoverability."""
+    return Volume.from_function(fn, shape, bounds, name)

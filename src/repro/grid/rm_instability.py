@@ -1,0 +1,173 @@
+"""Procedural Richtmyer–Meshkov-instability-like time-varying fields.
+
+The paper evaluates on the ASCI/LLNL Richtmyer–Meshkov instability run:
+two gases separated by a perturbed membrane are shocked; bubbles and
+spikes grow, merge, and break up into a turbulent mixing layer over 270
+time steps of a 2048x2048x1920 one-byte entropy field (2.1 TB total).
+That dataset is proprietary and terabyte-scale, so this module provides a
+*procedural stand-in* (see DESIGN.md, substitutions).
+
+What the indexing/striping algorithms actually consume is the span-space
+distribution of metacell intervals.  The generator therefore reproduces
+the qualitative structure that drives that distribution:
+
+* two large homogeneous gas regions (constant metacells — the ~50% that
+  preprocessing culls),
+* a mixing layer around a perturbed interface whose amplitude and
+  internal turbulence grow with time (the active band whose width — and
+  hence active-metacell count — varies strongly with the isovalue),
+* multi-mode initial perturbation (long + short wavelengths, as in the
+  physical setup) whose modes interact as ``t`` advances.
+
+The model is analytic/procedural, not a hydrodynamics solve: evaluation
+of any time step is O(volume) and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.datasets import smooth_noise
+from repro.grid.volume import Volume
+
+
+@dataclass
+class RMInstabilityModel:
+    """Parameterized Richtmyer–Meshkov-like mixing model.
+
+    Parameters
+    ----------
+    shape:
+        Vertex dimensions of each generated time step.  The mixing
+        direction is the ``z`` axis (matching the 1920-deep axis of the
+        original).
+    n_steps:
+        Nominal length of the simulated run (the paper's run has 270).
+    light_value, heavy_value:
+        Scalar plateau values of the two gases on the 8-bit scale.
+    n_modes:
+        Number of sinusoidal perturbation modes on the interface.
+    seed:
+        RNG seed fixing mode phases and the turbulence field.
+    """
+
+    shape: tuple[int, int, int] = (64, 64, 60)
+    n_steps: int = 270
+    light_value: float = 25.0
+    heavy_value: float = 225.0
+    n_modes: int = 6
+    seed: int = 7
+    _modes: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {self.n_steps}")
+        rng = np.random.default_rng(self.seed)
+        # Mode table: (kx, ky, phase, amplitude weight).  One long
+        # wavelength mode plus progressively shorter ones, as in the
+        # physical setup ("superposition of long wavelength and short
+        # wavelength disturbances").
+        kx = rng.integers(1, 4, size=self.n_modes).astype(np.float64)
+        ky = rng.integers(1, 4, size=self.n_modes).astype(np.float64)
+        kx[1:] += rng.integers(2, 7, size=self.n_modes - 1)
+        ky[1:] += rng.integers(2, 7, size=self.n_modes - 1)
+        phase = rng.uniform(0, 2 * np.pi, size=self.n_modes)
+        weight = 1.0 / (1.0 + np.arange(self.n_modes))
+        self._modes = np.stack([kx, ky, phase, weight], axis=1)
+
+    # -- time-dependent physical quantities ---------------------------------
+
+    def progress(self, t: int) -> float:
+        """Normalized simulation time in [0, 1]."""
+        if not 0 <= t < self.n_steps:
+            raise ValueError(f"time step {t} outside [0, {self.n_steps})")
+        return t / max(self.n_steps - 1, 1)
+
+    def interface_z(self, t: int) -> float:
+        """Mean interface position (fraction of depth): drifts with the shock."""
+        s = self.progress(t)
+        return 0.35 + 0.25 * s
+
+    def amplitude(self, t: int) -> float:
+        """Perturbation amplitude: linear growth saturating nonlinearly."""
+        s = self.progress(t)
+        return 0.02 + 0.10 * np.tanh(2.2 * s)
+
+    def mixing_width(self, t: int) -> float:
+        """Thickness of the diffuse/turbulent mixing layer."""
+        s = self.progress(t)
+        return 0.012 + 0.05 * s**1.5
+
+    def turbulence_strength(self, t: int) -> float:
+        """Relative strength of small-scale mixing noise (grows with Re)."""
+        s = self.progress(t)
+        return 0.15 + 0.85 * s**2
+
+    # -- field synthesis -----------------------------------------------------
+
+    def interface_height(self, t: int, nx: int, ny: int) -> np.ndarray:
+        """Perturbed interface height field h(x, y) in depth fractions."""
+        x = np.linspace(0, 1, nx)[:, None]
+        y = np.linspace(0, 1, ny)[None, :]
+        s = self.progress(t)
+        h = np.zeros((nx, ny))
+        for kx, ky, phase, w in self._modes:
+            # short modes grow (and then phase-mix) faster than long ones
+            growth = np.tanh(s * (1.0 + 0.35 * (kx + ky)))
+            h += w * growth * np.sin(2 * np.pi * (kx * x + ky * y) + phase + 1.5 * s * kx)
+        h /= np.abs(h).max() + 1e-12
+        return self.interface_z(t) + self.amplitude(t) * h
+
+    def evaluate(self, t: int) -> Volume:
+        """Generate time step ``t`` as a one-byte :class:`Volume`."""
+        nx, ny, nz = self.shape
+        h = self.interface_height(t, nx, ny)  # (nx, ny)
+        z = np.linspace(0, 1, nz)[None, None, :]
+        width = self.mixing_width(t)
+        # Signed distance from interface in depth fractions -> smooth blend.
+        # Beyond |d| > 3.5 the gases are *exactly* pure: this preserves the
+        # large constant regions that preprocessing culls (the paper's ~50%
+        # disk saving), which a bare tanh tail would erode after rounding.
+        d = (z - h[:, :, None]) / max(width, 1e-6)
+        blend = 0.5 * (1.0 + np.tanh(d))
+        blend = np.where(d < -3.5, 0.0, np.where(d > 3.5, 1.0, blend))
+        fld = self.light_value + (self.heavy_value - self.light_value) * blend
+
+        # Turbulent fluctuations confined strictly to the mixing layer.
+        rng = np.random.default_rng(self.seed * 1_000_003 + t)
+        envelope = np.exp(-0.5 * d**2)
+        envelope = np.where(np.abs(d) > 3.5, 0.0, envelope)
+        turb = smooth_noise(self.shape, feature_size=max(nx / 12, 2.0), rng=rng)
+        fld = fld + self.turbulence_strength(t) * 95.0 * envelope * turb
+
+        data = np.clip(np.rint(fld), 0, 255).astype(np.uint8)
+        return Volume(data, name=f"rm_t{t:03d}")
+
+
+def rm_timestep(
+    t: int,
+    shape: tuple[int, int, int] = (64, 64, 60),
+    n_steps: int = 270,
+    seed: int = 7,
+) -> Volume:
+    """One-shot convenience wrapper: generate a single RM-like time step."""
+    return RMInstabilityModel(shape=shape, n_steps=n_steps, seed=seed).evaluate(t)
+
+
+def rm_time_series(
+    steps: "list[int] | range",
+    shape: tuple[int, int, int] = (64, 64, 60),
+    n_steps: int = 270,
+    seed: int = 7,
+):
+    """Yield ``(t, Volume)`` for each requested time step.
+
+    Steps are generated lazily so terabyte-style runs can be streamed one
+    step at a time through preprocessing, exactly as the paper's pipeline
+    scans the original data once.
+    """
+    model = RMInstabilityModel(shape=shape, n_steps=n_steps, seed=seed)
+    for t in steps:
+        yield t, model.evaluate(t)

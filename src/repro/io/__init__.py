@@ -1,0 +1,43 @@
+"""Out-of-core storage substrate.
+
+This package simulates the per-node local disks of the paper's
+visualization cluster at *block* granularity.  Every read is accounted in
+units of disk blocks (the standard external-memory model of Aggarwal &
+Vitter used by the paper, Section 3), with sequential-vs-seek distinction,
+so the I/O optimality claims can be measured directly rather than inferred
+from wall-clock time.
+
+Modules
+-------
+``cost_model``
+    :class:`IOCostModel` — translates block/seek counts into modeled time
+    (default calibration: the paper's 50 MB/s local disks).
+``blockdevice``
+    :class:`SimulatedBlockDevice` — an in-memory block device with full
+    accounting; :class:`IOStats` — the accounting record.
+``diskfile``
+    :class:`FileBackedDevice` — same interface, backed by a real file, for
+    genuinely out-of-core runs.
+``layout``
+    Fixed-size metacell record codec and brick-run encoding (the paper's
+    734-byte records for 9x9x9 one-byte metacells).
+"""
+
+from repro.io.blockdevice import BlockDevice, IOStats, SimulatedBlockDevice
+from repro.io.cache import CachedDevice, CacheStats
+from repro.io.cost_model import IOCostModel, PAPER_DISK
+from repro.io.diskfile import FileBackedDevice
+from repro.io.layout import MetacellCodec, MetacellRecords
+
+__all__ = [
+    "BlockDevice",
+    "IOStats",
+    "SimulatedBlockDevice",
+    "CachedDevice",
+    "CacheStats",
+    "IOCostModel",
+    "PAPER_DISK",
+    "FileBackedDevice",
+    "MetacellCodec",
+    "MetacellRecords",
+]

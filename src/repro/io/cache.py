@@ -1,0 +1,131 @@
+"""LRU block cache over any block device.
+
+Interactive exploration replays similar isovalues: consecutive queries
+share most of their active bricks, so a block cache converts the repeat
+traffic into memory hits.  :class:`CachedDevice` wraps any
+:class:`~repro.io.blockdevice.BlockDevice` with an LRU cache of whole
+blocks and separates the accounting:
+
+* ``stats`` (on the wrapper) counts the *logical* reads the query layer
+  issued;
+* ``backing.stats`` counts what actually reached the disk;
+* ``cache_stats`` counts hits/misses/evictions.
+
+The cache is read-only-after-write in spirit: writes invalidate the
+affected blocks, keeping reads coherent (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.io.blockdevice import IOStats, _Meter
+from repro.io.cost_model import IOCostModel
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a :class:`CachedDevice`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CachedDevice:
+    """LRU block cache in front of a block device.
+
+    Parameters
+    ----------
+    backing:
+        The device to cache (its cost model defines the block size).
+    capacity_blocks:
+        Cache size in blocks; this times the block size is the memory
+        the cache is allowed (the paper's nodes have 8 GB against 60 GB
+        disks — a ~13% cache, easily enough for a working set of hot
+        bricks).
+    """
+
+    def __init__(self, backing, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity must be >= 1 block, got {capacity_blocks}")
+        self.backing = backing
+        self.capacity_blocks = capacity_blocks
+        self.cost_model: IOCostModel = backing.cost_model
+        self._meter = _Meter(self.cost_model)
+        self.cache_stats = CacheStats()
+        self._lru: "OrderedDict[int, bytes]" = OrderedDict()
+
+    # -- BlockDevice interface -------------------------------------------------
+
+    @property
+    def stats(self) -> IOStats:
+        """Logical (pre-cache) read accounting."""
+        return self._meter.stats
+
+    @property
+    def size(self) -> int:
+        return self.backing.size
+
+    def allocate(self, nbytes: int) -> int:
+        return self.backing.allocate(nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.backing.write(offset, data)
+        bs = self.cost_model.block_size
+        first = offset // bs
+        last = (offset + max(len(data), 1) - 1) // bs
+        for b in range(first, last + 1):
+            if b in self._lru:
+                del self._lru[b]
+                self.cache_stats.invalidations += 1
+
+    def _block(self, block_id: int) -> bytes:
+        if block_id in self._lru:
+            self._lru.move_to_end(block_id)
+            self.cache_stats.hits += 1
+            return self._lru[block_id]
+        self.cache_stats.misses += 1
+        bs = self.cost_model.block_size
+        start = block_id * bs
+        length = min(bs, self.backing.size - start)
+        data = self.backing.read(start, length)
+        self._lru[block_id] = data
+        if len(self._lru) > self.capacity_blocks:
+            self._lru.popitem(last=False)
+            self.cache_stats.evictions += 1
+        return data
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        end = offset + nbytes
+        if offset < 0 or nbytes < 0 or end > self.size:
+            raise ValueError(
+                f"read [{offset}, {end}) outside allocated region of {self.size} bytes"
+            )
+        self._meter.record_read(offset, nbytes)
+        if nbytes == 0:
+            return b""
+        bs = self.cost_model.block_size
+        first = offset // bs
+        last = (end - 1) // bs
+        parts = [self._block(b) for b in range(first, last + 1)]
+        blob = b"".join(parts)
+        lo = offset - first * bs
+        return blob[lo : lo + nbytes]
+
+    def reset_stats(self) -> None:
+        self._meter.stats.reset()
+        self._meter._next_sequential_block = -1
+
+    def clear_cache(self) -> None:
+        self._lru.clear()

@@ -1,0 +1,73 @@
+"""I/O cost model for the external-memory machine of the paper (Section 3).
+
+The paper measures algorithms in the standard parallel disk model
+[Aggarwal & Vitter 1988]: input of size ``N``, memory ``M``, block size
+``B``; one I/O moves one block.  Performance on real hardware is then a
+function of how many blocks were touched and how many of those accesses
+were sequential.  :class:`IOCostModel` converts the counts recorded by
+:class:`repro.io.blockdevice.SimulatedBlockDevice` into modeled seconds
+using a simple affine disk model::
+
+    time = n_seeks * seek_latency + bytes_transferred / bandwidth
+
+The default calibration, :data:`PAPER_DISK`, matches the hardware of the
+University of Maryland visualization cluster used in the paper: 60 GB
+local disks sustaining 50 MB/s sequential reads (Section 6), with 8 KB
+blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOCostModel:
+    """Affine time model for a single disk.
+
+    Parameters
+    ----------
+    block_size:
+        Disk block size ``B`` in bytes.  One I/O operation in the
+        external-memory model transfers one block.  The paper cites
+        typical sizes of 4 KB or 8 KB.
+    bandwidth:
+        Sustained sequential transfer rate in bytes/second.
+    seek_latency:
+        Time charged for each non-sequential access (head movement +
+        rotational delay), in seconds.
+    """
+
+    block_size: int = 8192
+    bandwidth: float = 50e6
+    seek_latency: float = 8e-3
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.seek_latency < 0:
+            raise ValueError(f"seek_latency must be >= 0, got {self.seek_latency}")
+
+    def blocks_for_extent(self, offset: int, length: int) -> int:
+        """Number of blocks an extent ``[offset, offset + length)`` touches."""
+        if length <= 0:
+            return 0
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        return last - first + 1
+
+    def time_for(self, n_blocks: int, n_seeks: int) -> float:
+        """Modeled seconds to read ``n_blocks`` with ``n_seeks`` repositionings."""
+        return n_seeks * self.seek_latency + (n_blocks * self.block_size) / self.bandwidth
+
+    def scan_time(self, nbytes: int) -> float:
+        """Modeled seconds for one sequential scan of ``nbytes`` (one seek)."""
+        n_blocks = (nbytes + self.block_size - 1) // self.block_size
+        return self.time_for(n_blocks, 1 if nbytes > 0 else 0)
+
+
+#: Calibration matching the paper's cluster nodes (Section 6): 50 MB/s
+#: local disks, 8 KB blocks.
+PAPER_DISK = IOCostModel(block_size=8192, bandwidth=50e6, seek_latency=8e-3)

@@ -1,0 +1,164 @@
+"""On-disk metacell record format (paper Section 7, preprocessing).
+
+Each metacell is stored as one fixed-size record::
+
+    +------------+---------------+----------------------------------+
+    | id: uint32 | vmin: scalar  | vertex scalars, predefined order |
+    +------------+---------------+----------------------------------+
+
+For the Richtmyer–Meshkov configuration of the paper (9x9x9 one-byte
+metacells) this is exactly 4 + 1 + 729 = 734 bytes per record.  The
+``vmax`` of a metacell is *not* stored in the record: all records in one
+brick share their ``vmax``, which lives in the index entry — this is part
+of what makes the compact layout compact.
+
+Records are fixed-size so a query can read a brick prefix block by block
+and decode incrementally, stopping at the first record whose ``vmin``
+exceeds the isovalue (Case 2 of the query algorithm) without knowing the
+record count in advance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MetacellRecords:
+    """A decoded batch of metacell records.
+
+    Attributes
+    ----------
+    ids:
+        ``uint32`` array of metacell ids (row-major metacell-grid index).
+    vmins:
+        Per-record minimum scalar value (same dtype as the field).
+    values:
+        ``(n, m0*m1*m2)`` array of vertex scalars in predefined
+        (C row-major) order.
+    """
+
+    ids: np.ndarray
+    vmins: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @staticmethod
+    def empty(codec: "MetacellCodec") -> "MetacellRecords":
+        return MetacellRecords(
+            ids=np.empty(0, dtype=np.uint32),
+            vmins=np.empty(0, dtype=codec.scalar_dtype),
+            values=np.empty((0, codec.values_per_record), dtype=codec.scalar_dtype),
+        )
+
+    @staticmethod
+    def concat(batches: "list[MetacellRecords]") -> "MetacellRecords":
+        if not batches:
+            raise ValueError("cannot concatenate zero batches (codec unknown)")
+        return MetacellRecords(
+            ids=np.concatenate([b.ids for b in batches]),
+            vmins=np.concatenate([b.vmins for b in batches]),
+            values=np.concatenate([b.values for b in batches]),
+        )
+
+
+class MetacellCodec:
+    """Encoder/decoder for fixed-size metacell records.
+
+    Parameters
+    ----------
+    metacell_shape:
+        Vertex dimensions of a metacell, e.g. ``(9, 9, 9)``.
+    scalar_dtype:
+        Numpy dtype of the scalar field (uint8, uint16, float32, ...).
+    """
+
+    def __init__(
+        self,
+        metacell_shape: tuple[int, int, int] = (9, 9, 9),
+        scalar_dtype: np.dtype | type = np.uint8,
+    ) -> None:
+        if len(metacell_shape) != 3 or any(int(s) < 2 for s in metacell_shape):
+            raise ValueError(
+                f"metacell_shape must be 3 dims of >= 2 vertices, got {metacell_shape}"
+            )
+        self.metacell_shape = tuple(int(s) for s in metacell_shape)
+        self._init_record(int(np.prod(self.metacell_shape)), scalar_dtype)
+
+    def _init_record(self, values_per_record: int, scalar_dtype) -> None:
+        self.scalar_dtype = np.dtype(scalar_dtype)
+        self.values_per_record = int(values_per_record)
+        self._record_dtype = np.dtype(
+            [
+                ("id", "<u4"),
+                ("vmin", self.scalar_dtype.newbyteorder("<")),
+                ("values", self.scalar_dtype.newbyteorder("<"), (self.values_per_record,)),
+            ]
+        )
+
+    @classmethod
+    def flat(
+        cls, values_per_record: int, scalar_dtype: np.dtype | type
+    ) -> "MetacellCodec":
+        """A codec over flat payloads of ``values_per_record`` scalars with
+        no grid interpretation — used by the unstructured-grid pipeline,
+        where a record holds a cluster of denormalized tetrahedra rather
+        than a vertex grid.  :meth:`values_grid` is unavailable."""
+        if values_per_record < 1:
+            raise ValueError(f"values_per_record must be >= 1, got {values_per_record}")
+        codec = cls.__new__(cls)
+        codec.metacell_shape = None  # type: ignore[assignment]
+        codec._init_record(values_per_record, scalar_dtype)
+        return codec
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per record (734 for the paper's 9x9x9 uint8 metacells)."""
+        return self._record_dtype.itemsize
+
+    def encode(self, ids: np.ndarray, vmins: np.ndarray, values: np.ndarray) -> bytes:
+        """Serialize a batch of records.
+
+        ``values`` may be ``(n, m0, m1, m2)`` or already flattened to
+        ``(n, m0*m1*m2)``.
+        """
+        n = len(ids)
+        values = np.asarray(values).reshape(n, self.values_per_record)
+        if len(vmins) != n or len(values) != n:
+            raise ValueError(
+                f"length mismatch: {n} ids, {len(vmins)} vmins, {len(values)} value rows"
+            )
+        out = np.empty(n, dtype=self._record_dtype)
+        out["id"] = ids
+        out["vmin"] = vmins
+        out["values"] = values
+        return out.tobytes()
+
+    def decode(self, buf: bytes) -> MetacellRecords:
+        """Decode all complete records contained in ``buf``.
+
+        Trailing bytes that do not form a complete record are ignored —
+        this is what allows incremental, block-granular brick reads.
+        """
+        n = len(buf) // self.record_size
+        arr = np.frombuffer(buf, dtype=self._record_dtype, count=n)
+        return MetacellRecords(
+            ids=arr["id"].copy(),
+            vmins=arr["vmin"].copy(),
+            values=arr["values"].copy(),
+        )
+
+    def decode_count(self, buf: bytes) -> int:
+        """Number of complete records in ``buf``."""
+        return len(buf) // self.record_size
+
+    def values_grid(self, records: MetacellRecords) -> np.ndarray:
+        """Reshape decoded values back to ``(n, m0, m1, m2)`` grids."""
+        if self.metacell_shape is None:
+            raise TypeError("flat codec payloads have no grid interpretation")
+        n = len(records)
+        return records.values.reshape((n, *self.metacell_shape))

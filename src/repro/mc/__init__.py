@@ -1,0 +1,82 @@
+"""Triangulation substrate: Marching Cubes and supporting geometry.
+
+``tables``
+    The 256-case Marching Cubes tables, *derived* at import time via a
+    face-consistent edge-cycle construction (crack-free by construction).
+``marching_cubes``
+    Vectorized extraction over full grids and metacell batches.
+``marching_tets``
+    Independent marching-tetrahedra oracle used by the tests.
+``geometry``
+    :class:`TriangleMesh` with watertightness/topology invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import (
+    count_active_cells,
+    marching_cubes,
+    marching_cubes_batch,
+)
+from repro.mc.marching_tets import marching_tets_generic, marching_tetrahedra
+from repro.mc.mesh_io import read_obj, read_ply, write_obj, write_ply
+from repro.mc.normals import isosurface_normals, sample_gradient, smooth_mesh_normals
+from repro.mc.simplify import simplify_to_budget, simplify_vertex_clustering
+from repro.mc.mesh_stream import StreamingMeshWriter, stream_isosurface_to_file
+
+
+class MarchingCubes:
+    """Object-style façade over :func:`marching_cubes` for volumes.
+
+    Examples
+    --------
+    >>> from repro.grid.datasets import sphere_field
+    >>> mc = MarchingCubes(sphere_field((16, 16, 16)))
+    >>> mesh = mc.extract(0.5)
+    >>> mesh.is_closed()
+    True
+    """
+
+    def __init__(self, volume) -> None:
+        self.volume = volume
+
+    def extract(self, iso: float) -> TriangleMesh:
+        return marching_cubes(
+            self.volume.data, iso, origin=self.volume.origin, spacing=self.volume.spacing
+        )
+
+    def count_active_cells(self, iso: float) -> int:
+        return count_active_cells(self.volume.data, iso)
+
+
+def extract_isosurface(volume, iso: float) -> TriangleMesh:
+    """Extract an isosurface directly from a :class:`~repro.grid.volume.Volume`."""
+    return marching_cubes(
+        np.asarray(volume.data), iso, origin=volume.origin, spacing=volume.spacing
+    )
+
+
+__all__ = [
+    "TriangleMesh",
+    "MarchingCubes",
+    "marching_cubes",
+    "marching_cubes_batch",
+    "marching_tetrahedra",
+    "marching_tets_generic",
+    "count_active_cells",
+    "extract_isosurface",
+    "write_obj",
+    "read_obj",
+    "write_ply",
+    "read_ply",
+    "isosurface_normals",
+    "smooth_mesh_normals",
+    "sample_gradient",
+    "simplify_vertex_clustering",
+    "simplify_to_budget",
+    "StreamingMeshWriter",
+    "stream_isosurface_to_file",
+]

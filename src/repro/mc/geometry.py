@@ -1,0 +1,180 @@
+"""Indexed triangle meshes and their validation invariants.
+
+:class:`TriangleMesh` is the output type of every extraction path.  It
+carries the measurement and invariant-checking machinery the test suite
+and benches rely on: watertightness (every interior edge shared by
+exactly two consistently-oriented triangles), Euler characteristic,
+enclosed volume, and surface area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    vertices:
+        ``(V, 3)`` float array of vertex positions.
+    faces:
+        ``(F, 3)`` int array of vertex indices, counter-clockwise when
+        viewed from the normal side.
+    """
+
+    vertices: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.float64))
+    faces: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.float64).reshape(-1, 3)
+        self.faces = np.asarray(self.faces, dtype=np.int64).reshape(-1, 3)
+        if len(self.faces) and len(self.vertices):
+            if self.faces.max() >= len(self.vertices) or self.faces.min() < 0:
+                raise ValueError(
+                    f"face indices outside [0, {len(self.vertices)}): "
+                    f"range [{self.faces.min()}, {self.faces.max()}]"
+                )
+        elif len(self.faces):
+            raise ValueError("faces present but no vertices")
+
+    # -- basic measures -------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def n_triangles(self) -> int:
+        return len(self.faces)
+
+    def triangle_corners(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        v = self.vertices
+        f = self.faces
+        return v[f[:, 0]], v[f[:, 1]], v[f[:, 2]]
+
+    def face_normals(self, normalized: bool = True) -> np.ndarray:
+        a, b, c = self.triangle_corners()
+        n = np.cross(b - a, c - a)
+        if normalized:
+            norms = np.linalg.norm(n, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            n = n / norms
+        return n
+
+    def face_areas(self) -> np.ndarray:
+        a, b, c = self.triangle_corners()
+        return 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+
+    def area(self) -> float:
+        return float(self.face_areas().sum())
+
+    def enclosed_volume(self) -> float:
+        """Signed volume via the divergence theorem.
+
+        Positive when face normals point consistently *outward* of the
+        enclosed region; meaningful only for closed meshes.
+        """
+        a, b, c = self.triangle_corners()
+        return float(np.einsum("ij,ij->i", a, np.cross(b, c)).sum() / 6.0)
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.n_vertices == 0:
+            z = np.zeros(3)
+            return z, z
+        return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    def vertex_normals(self) -> np.ndarray:
+        """Area-weighted vertex normals (unnormalized face normals summed)."""
+        n = np.zeros_like(self.vertices)
+        fn = self.face_normals(normalized=False)
+        for k in range(3):
+            np.add.at(n, self.faces[:, k], fn)
+        norms = np.linalg.norm(n, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return n / norms
+
+    # -- transforms & composition ---------------------------------------------
+
+    def translated(self, offset) -> "TriangleMesh":
+        return TriangleMesh(self.vertices + np.asarray(offset, dtype=np.float64), self.faces)
+
+    def scaled(self, factor) -> "TriangleMesh":
+        return TriangleMesh(self.vertices * np.asarray(factor, dtype=np.float64), self.faces)
+
+    @staticmethod
+    def concat(meshes: "list[TriangleMesh]") -> "TriangleMesh":
+        meshes = [m for m in meshes if m.n_triangles or m.n_vertices]
+        if not meshes:
+            return TriangleMesh()
+        verts, faces, base = [], [], 0
+        for m in meshes:
+            verts.append(m.vertices)
+            faces.append(m.faces + base)
+            base += m.n_vertices
+        return TriangleMesh(np.concatenate(verts), np.concatenate(faces))
+
+    def weld(self, decimals: int = 8) -> "TriangleMesh":
+        """Merge spatially coincident vertices (rounded to ``decimals``)
+        and drop triangles that become degenerate."""
+        if self.n_vertices == 0:
+            return TriangleMesh()
+        key = np.round(self.vertices, decimals)
+        uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+        faces = inverse[self.faces]
+        ok = (
+            (faces[:, 0] != faces[:, 1])
+            & (faces[:, 1] != faces[:, 2])
+            & (faces[:, 0] != faces[:, 2])
+        )
+        return TriangleMesh(uniq, faces[ok])
+
+    # -- topology invariants ----------------------------------------------------
+
+    def _directed_edges(self) -> np.ndarray:
+        f = self.faces
+        return np.concatenate([f[:, [0, 1]], f[:, [1, 2]], f[:, [2, 0]]])
+
+    def edge_counts(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Undirected unique edges and their incidence counts."""
+        de = self._directed_edges()
+        und = np.sort(de, axis=1)
+        uniq, counts = np.unique(und, axis=0, return_counts=True)
+        return uniq, counts
+
+    def n_edges(self) -> int:
+        return len(self.edge_counts()[0])
+
+    def boundary_edge_count(self) -> int:
+        _, counts = self.edge_counts()
+        return int((counts == 1).sum())
+
+    def is_closed(self) -> bool:
+        """Every edge shared by exactly two triangles."""
+        if self.n_triangles == 0:
+            return False
+        _, counts = self.edge_counts()
+        return bool(np.all(counts == 2))
+
+    def is_consistently_oriented(self) -> bool:
+        """No directed edge appears twice (adjacent faces disagree on
+        winding exactly when one directed edge repeats)."""
+        de = self._directed_edges()
+        uniq, counts = np.unique(de, axis=0, return_counts=True)
+        return bool(np.all(counts == 1))
+
+    def euler_characteristic(self) -> int:
+        """V - E + F (2 for a sphere-like closed surface)."""
+        return self.n_vertices - self.n_edges() + self.n_triangles
+
+    def validate_watertight(self) -> None:
+        """Raise AssertionError unless closed and consistently oriented."""
+        assert self.n_triangles > 0, "empty mesh"
+        assert self.is_closed(), (
+            f"mesh has {self.boundary_edge_count()} boundary edges"
+        )
+        assert self.is_consistently_oriented(), "inconsistent winding"

@@ -1,0 +1,321 @@
+"""Vectorized Marching Cubes over grids and metacell batches.
+
+Two entry points:
+
+* :func:`marching_cubes` — extract from one full grid, with vertices
+  welded globally through lattice-edge identification (every crossing on
+  a lattice edge is computed once and shared by all incident cells), so
+  the output is an indexed, watertight mesh with no duplicate vertices.
+
+* :func:`marching_cubes_batch` — extract from a *batch* of metacell
+  payloads at once (the shape in which the out-of-core query delivers
+  active data).  Welding happens within each metacell; across metacells,
+  boundary vertices coincide exactly (shared vertex layers + identical
+  interpolation inputs), so the concatenated surface is crack-free even
+  though it is not globally indexed — the same property the paper relies
+  on for embarrassingly parallel triangulation.
+
+The case tables come from :mod:`repro.mc.tables`, derived — not
+transcribed — at import time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mc.geometry import TriangleMesh
+from repro.mc.tables import (
+    EDGE_AXIS,
+    EDGE_CELL_OFFSET,
+    MAX_TRI,
+    N_TRI,
+    TRI_TABLE_PADDED,
+)
+
+#: Corner bit order: bit b corresponds to CORNERS[b] of tables.py.
+_CORNER_OFFSETS = np.array(
+    [
+        [0, 0, 0],
+        [1, 0, 0],
+        [1, 1, 0],
+        [0, 1, 0],
+        [0, 0, 1],
+        [1, 0, 1],
+        [1, 1, 1],
+        [0, 1, 1],
+    ],
+    dtype=np.int64,
+)
+
+#: Metacells triangulated per call in the batch path, bounding memory.
+DEFAULT_BATCH_CHUNK = 512
+
+
+def _edge_family_shapes(b, nx, ny, nz):
+    return (
+        (b, nx - 1, ny, nz),  # x edges
+        (b, nx, ny - 1, nz),  # y edges
+        (b, nx, ny, nz - 1),  # z edges
+    )
+
+
+def _extract_batch(
+    values: np.ndarray,
+    iso: float,
+    origins: np.ndarray,
+    with_normals: bool = False,
+) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
+    """Core extraction over ``values`` of shape (B, nx, ny, nz).
+
+    ``origins`` — (B, 3) lattice offsets added to vertex coordinates
+    (still in vertex-index units; world scaling is applied by callers).
+
+    With ``with_normals=True`` also returns per-vertex unit normals from
+    the *local* field gradient (central differences within each batch
+    element, linearly interpolated along the crossing edge, negated to
+    point toward the < iso side).  Every quantity is computable from the
+    element's own payload — no global volume required.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    b, nx, ny, nz = values.shape
+    pos = values > iso
+    grads = None
+    if with_normals:
+        # (B, nx, ny, nz, 3) central-difference gradient per element.
+        gx, gy, gz = np.gradient(values, axis=(1, 2, 3))
+        grads = np.stack([gx, gy, gz], axis=-1)
+
+    # --- per-cell case index ------------------------------------------------
+    case = np.zeros((b, nx - 1, ny - 1, nz - 1), dtype=np.uint16)
+    for bit, (dx, dy, dz) in enumerate(_CORNER_OFFSETS):
+        case |= (
+            pos[:, dx : nx - 1 + dx, dy : ny - 1 + dy, dz : nz - 1 + dz].astype(np.uint16)
+            << bit
+        )
+
+    case_flat = case.reshape(-1)
+    tri_counts = N_TRI[case_flat]
+    active = np.flatnonzero(tri_counts)
+    if len(active) == 0:
+        if with_normals:
+            return TriangleMesh(), np.empty((0, 3))
+        return TriangleMesh()
+
+    # --- lattice-edge crossing vertices --------------------------------------
+    shapes = _edge_family_shapes(b, nx, ny, nz)
+    sizes = [int(np.prod(s)) for s in shapes]
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    cross_masks = [
+        pos[:, :-1, :, :] != pos[:, 1:, :, :],
+        pos[:, :, :-1, :] != pos[:, :, 1:, :],
+        pos[:, :, :, :-1] != pos[:, :, :, 1:],
+    ]
+    lowers = [values[:, :-1, :, :], values[:, :, :-1, :], values[:, :, :, :-1]]
+    uppers = [values[:, 1:, :, :], values[:, :, 1:, :], values[:, :, :, 1:]]
+
+    vid = np.full(offsets[-1], -1, dtype=np.int64)
+    vert_chunks = []
+    normal_chunks = []
+    n_verts = 0
+    for axis in range(3):
+        mask_flat = cross_masks[axis].reshape(-1)
+        where = np.flatnonzero(mask_flat)
+        if len(where) == 0:
+            continue
+        vid[offsets[axis] + where] = n_verts + np.arange(len(where))
+        n_verts += len(where)
+
+        s1 = lowers[axis].reshape(-1)[where]
+        s2 = uppers[axis].reshape(-1)[where]
+        t = (iso - s1) / (s2 - s1)
+        bb, ii, jj, kk = np.unravel_index(where, shapes[axis])
+        pts = np.stack([ii, jj, kk], axis=1).astype(np.float64)
+        pts[:, axis] += t
+        pts += origins[bb]
+        vert_chunks.append(pts)
+
+        if grads is not None:
+            hi = [ii, jj, kk]
+            hi[axis] = hi[axis] + 1
+            g1 = grads[bb, ii, jj, kk]
+            g2 = grads[bb, hi[0], hi[1], hi[2]]
+            g = g1 * (1 - t[:, None]) + g2 * t[:, None]
+            n = -g
+            norms = np.linalg.norm(n, axis=1, keepdims=True)
+            norms[norms < 1e-12] = 1.0
+            normal_chunks.append(n / norms)
+
+    vertices = np.concatenate(vert_chunks) if vert_chunks else np.empty((0, 3))
+    normals = (
+        np.concatenate(normal_chunks)
+        if (grads is not None and normal_chunks)
+        else np.empty((0, 3))
+    )
+
+    # --- triangle gathering ----------------------------------------------------
+    act_cases = case_flat[active]
+    edges = TRI_TABLE_PADDED[act_cases]  # (A, MAX_TRI, 3)
+    keep = np.arange(MAX_TRI)[None, :] < N_TRI[act_cases][:, None]  # (A, MAX_TRI)
+    tri_edges = edges[keep]  # (T, 3) local edge ids
+    tri_cells = np.repeat(active, N_TRI[act_cases])  # (T,)
+
+    bb, ci, cj, ck = np.unravel_index(tri_cells, case.shape)
+    faces = np.empty((len(tri_edges), 3), dtype=np.int64)
+    for corner in range(3):
+        e = tri_edges[:, corner]
+        fam = EDGE_AXIS[e]
+        off = EDGE_CELL_OFFSET[e]
+        li, lj, lk = ci + off[:, 0], cj + off[:, 1], ck + off[:, 2]
+        flat = np.empty(len(e), dtype=np.int64)
+        for axis in range(3):
+            sel = fam == axis
+            if not sel.any():
+                continue
+            flat[sel] = offsets[axis] + np.ravel_multi_index(
+                (bb[sel], li[sel], lj[sel], lk[sel]), shapes[axis]
+            )
+        faces[:, corner] = vid[flat]
+    if faces.min(initial=0) < 0:
+        raise AssertionError(
+            "triangle references a lattice edge without a crossing — "
+            "case table / crossing mask inconsistency"
+        )
+    mesh = TriangleMesh(vertices, faces)
+    if with_normals:
+        return mesh, normals
+    return mesh
+
+
+def marching_cubes(
+    values: np.ndarray,
+    iso: float,
+    origin=(0.0, 0.0, 0.0),
+    spacing=(1.0, 1.0, 1.0),
+) -> TriangleMesh:
+    """Extract the isosurface of a full grid as a welded indexed mesh.
+
+    Parameters
+    ----------
+    values:
+        ``(nx, ny, nz)`` scalar field (vertex samples).
+    iso:
+        Isovalue; a cell is active iff ``iso`` strictly separates vertex
+        values (``v > iso`` on one side, ``v <= iso`` on the other).
+    origin, spacing:
+        World placement of the grid.
+
+    Returns
+    -------
+    TriangleMesh
+        With normals pointing toward the ``< iso`` side.
+    """
+    values = np.asarray(values)
+    if values.ndim != 3:
+        raise ValueError(f"expected a 3D grid, got shape {values.shape}")
+    mesh = _extract_batch(values[None], float(iso), np.zeros((1, 3)))
+    if mesh.n_vertices:
+        mesh = TriangleMesh(
+            mesh.vertices * np.asarray(spacing, dtype=np.float64)
+            + np.asarray(origin, dtype=np.float64),
+            mesh.faces,
+        )
+    return mesh
+
+
+def marching_cubes_batch(
+    values: np.ndarray,
+    iso: float,
+    origins: np.ndarray,
+    spacing=(1.0, 1.0, 1.0),
+    world_origin=(0.0, 0.0, 0.0),
+    chunk: int = DEFAULT_BATCH_CHUNK,
+    with_normals: bool = False,
+) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
+    """Extract from a batch of equally-shaped sub-grids (metacells).
+
+    Parameters
+    ----------
+    values:
+        ``(n, mx, my, mz)`` stacked metacell payloads.
+    iso:
+        Isovalue.
+    origins:
+        ``(n, 3)`` lattice origin (in vertex-index units of the parent
+        volume) of each metacell.
+    spacing, world_origin:
+        World placement of the parent volume.
+    chunk:
+        Metacells processed per vectorized pass (memory bound).
+    with_normals:
+        Also return per-vertex unit normals computed from each
+        metacell's *own* payload gradient — the smooth-shading input a
+        cluster node can produce without the global volume.
+
+    Returns
+    -------
+    TriangleMesh
+        Concatenation of all per-metacell surfaces.  Coincident
+        vertices on shared metacell boundaries are *not* merged (call
+        :meth:`TriangleMesh.weld` if a globally indexed mesh is needed).
+        With ``with_normals=True``: ``(mesh, normals)``.
+    """
+    values = np.asarray(values)
+    if values.ndim != 4:
+        raise ValueError(f"expected (n, mx, my, mz) batch, got shape {values.shape}")
+    origins = np.asarray(origins, dtype=np.float64).reshape(len(values), 3)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+
+    meshes = []
+    normal_parts = []
+    for s in range(0, len(values), chunk):
+        e = min(s + chunk, len(values))
+        out = _extract_batch(
+            values[s:e], float(iso), origins[s:e], with_normals=with_normals
+        )
+        if with_normals:
+            m, n = out
+            meshes.append(m)
+            normal_parts.append(n)
+        else:
+            meshes.append(out)
+    mesh = TriangleMesh.concat(meshes)
+    if mesh.n_vertices:
+        mesh = TriangleMesh(
+            mesh.vertices * np.asarray(spacing, dtype=np.float64)
+            + np.asarray(world_origin, dtype=np.float64),
+            mesh.faces,
+        )
+    if with_normals:
+        normals = (
+            np.concatenate(normal_parts) if normal_parts else np.empty((0, 3))
+        )
+        # Anisotropic spacing shears normals: transform by the inverse
+        # scale and renormalize.
+        sp = np.asarray(spacing, dtype=np.float64)
+        if mesh.n_vertices and not np.allclose(sp, sp[0]):
+            normals = normals / sp
+            norms = np.linalg.norm(normals, axis=1, keepdims=True)
+            norms[norms < 1e-12] = 1.0
+            normals = normals / norms
+        return mesh, normals
+    return mesh
+
+
+def count_active_cells(values: np.ndarray, iso: float) -> int:
+    """Number of cells whose corner values straddle ``iso`` (no geometry)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 3:
+        values = values[None]
+    pos = values > iso
+    b, nx, ny, nz = values.shape
+    case = np.zeros((b, nx - 1, ny - 1, nz - 1), dtype=np.uint8)
+    any_pos = np.zeros((b, nx - 1, ny - 1, nz - 1), dtype=bool)
+    all_pos = np.ones((b, nx - 1, ny - 1, nz - 1), dtype=bool)
+    for dx, dy, dz in _CORNER_OFFSETS:
+        c = pos[:, dx : nx - 1 + dx, dy : ny - 1 + dy, dz : nz - 1 + dz]
+        any_pos |= c
+        all_pos &= c
+    del case
+    return int((any_pos & ~all_pos).sum())

@@ -1,0 +1,114 @@
+"""Mesh export/import: Wavefront OBJ and binary PLY.
+
+Extracted isosurfaces are only useful if they can leave the pipeline;
+these two formats cover essentially every downstream mesh tool.  The
+OBJ reader exists mainly to round-trip in tests and to import small
+reference meshes.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.mc.geometry import TriangleMesh
+
+
+def write_obj(path, mesh: TriangleMesh, comment: str = "") -> Path:
+    """Write a mesh as ASCII Wavefront OBJ (1-based face indices)."""
+    path = Path(path)
+    lines = []
+    if comment:
+        for c in comment.splitlines():
+            lines.append(f"# {c}")
+    for v in mesh.vertices:
+        lines.append(f"v {v[0]:.9g} {v[1]:.9g} {v[2]:.9g}")
+    for f in mesh.faces:
+        lines.append(f"f {f[0] + 1} {f[1] + 1} {f[2] + 1}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_obj(path) -> TriangleMesh:
+    """Read a triangle-only ASCII OBJ (v/f statements; fans polygons)."""
+    vertices = []
+    faces = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "v":
+            if len(parts) < 4:
+                raise ValueError(f"malformed vertex line: {raw!r}")
+            vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        elif parts[0] == "f":
+            idx = [int(p.split("/")[0]) - 1 for p in parts[1:]]
+            if len(idx) < 3:
+                raise ValueError(f"malformed face line: {raw!r}")
+            for k in range(1, len(idx) - 1):  # fan for polygons
+                faces.append([idx[0], idx[k], idx[k + 1]])
+    return TriangleMesh(
+        np.asarray(vertices, dtype=np.float64),
+        np.asarray(faces, dtype=np.int64) if faces else np.empty((0, 3), dtype=np.int64),
+    )
+
+
+def write_ply(path, mesh: TriangleMesh, normals: np.ndarray | None = None) -> Path:
+    """Write a mesh as binary little-endian PLY, optionally with vertex
+    normals."""
+    path = Path(path)
+    n_v = mesh.n_vertices
+    n_f = mesh.n_triangles
+    header = ["ply", "format binary_little_endian 1.0", f"element vertex {n_v}"]
+    header += ["property float x", "property float y", "property float z"]
+    if normals is not None:
+        normals = np.asarray(normals, dtype=np.float32).reshape(n_v, 3)
+        header += ["property float nx", "property float ny", "property float nz"]
+    header += [
+        f"element face {n_f}",
+        "property list uchar int vertex_indices",
+        "end_header",
+    ]
+    with open(path, "wb") as fh:
+        fh.write(("\n".join(header) + "\n").encode())
+        verts = mesh.vertices.astype(np.float32)
+        if normals is not None:
+            verts = np.concatenate([verts, normals], axis=1)
+        fh.write(np.ascontiguousarray(verts).tobytes())
+        for f in mesh.faces:
+            fh.write(struct.pack("<Biii", 3, int(f[0]), int(f[1]), int(f[2])))
+    return path
+
+
+def read_ply(path) -> TriangleMesh:
+    """Read back a binary PLY written by :func:`write_ply`."""
+    data = Path(path).read_bytes()
+    end = data.index(b"end_header\n") + len(b"end_header\n")
+    header = data[:end].decode().splitlines()
+    n_v = n_f = 0
+    props_per_vertex = 0
+    in_vertex = False
+    for line in header:
+        if line.startswith("element vertex"):
+            n_v = int(line.split()[-1])
+            in_vertex = True
+        elif line.startswith("element face"):
+            n_f = int(line.split()[-1])
+            in_vertex = False
+        elif line.startswith("property float") and in_vertex:
+            props_per_vertex += 1
+    body = data[end:]
+    vbytes = n_v * props_per_vertex * 4
+    verts = np.frombuffer(body[:vbytes], dtype="<f4").reshape(n_v, props_per_vertex)
+    faces = np.empty((n_f, 3), dtype=np.int64)
+    off = vbytes
+    for i in range(n_f):
+        count = body[off]
+        if count != 3:
+            raise ValueError(f"non-triangle face with {count} vertices")
+        faces[i] = struct.unpack_from("<iii", body, off + 1)
+        off += 1 + 12
+    return TriangleMesh(verts[:, :3].astype(np.float64), faces)

@@ -1,0 +1,259 @@
+"""Simulated visualization cluster (paper Sections 5.1, 6, 7).
+
+:class:`SimulatedCluster` reproduces the paper's execution structure
+exactly:
+
+1. preprocessing stripes the bricks across ``p`` local (simulated)
+   disks;
+2. an isosurface query runs *independently* on every node against its
+   local index and disk — zero communication;
+3. each node triangulates its active metacells and (optionally) renders
+   them into a local framebuffer;
+4. the only communication is the final sort-last composite of the p
+   framebuffers, which is byte-accounted through the interconnect model.
+
+Per-node stage times are modeled from counted work via
+:class:`~repro.parallel.perfmodel.PerformanceModel` (see that module for
+the honesty contract); actual Python wall time is recorded alongside.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import IndexedDataset, build_indexed_dataset, build_striped_datasets
+from repro.core.query import execute_query
+from repro.grid.volume import Volume
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes_batch
+from repro.parallel.metrics import LoadBalance, NodeMetrics
+from repro.parallel.perfmodel import PAPER_CLUSTER, PerformanceModel
+from repro.render.camera import Camera
+from repro.render.compositor import composite, direct_send
+from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
+from repro.render.tiled_display import TileLayout
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one isosurface extraction on the (simulated) cluster."""
+
+    lam: float
+    p: int
+    nodes: "list[NodeMetrics]"
+    composite_time: float = 0.0
+    composite_bytes: int = 0
+    meshes: "list[TriangleMesh] | None" = None
+    image: "Framebuffer | None" = None
+
+    @property
+    def n_active_metacells(self) -> int:
+        return sum(n.n_active_metacells for n in self.nodes)
+
+    @property
+    def n_triangles(self) -> int:
+        return sum(n.n_triangles for n in self.nodes)
+
+    @property
+    def total_time(self) -> float:
+        """Modeled wall time: slowest node plus the composite step."""
+        return max((n.total_time for n in self.nodes), default=0.0) + self.composite_time
+
+    @property
+    def triangle_rate(self) -> float:
+        """Modeled million-triangles-per-second figure of the run."""
+        t = self.total_time
+        return self.n_triangles / t if t > 0 else 0.0
+
+    def metacell_balance(self) -> LoadBalance:
+        return LoadBalance(np.asarray([n.n_active_metacells for n in self.nodes]))
+
+    def triangle_balance(self) -> LoadBalance:
+        return LoadBalance(np.asarray([n.n_triangles for n in self.nodes]))
+
+
+class SimulatedCluster:
+    """A p-node cluster with striped local disks.
+
+    Parameters
+    ----------
+    volume:
+        Input scalar field; preprocessed at construction.
+    p:
+        Node count.
+    metacell_shape:
+        Metacell vertex dimensions (the paper's 9x9x9 by default).
+    perf:
+        Stage-time calibration (defaults to the paper's hardware).
+    image_size:
+        Framebuffer dimensions used when rendering is requested.
+
+    Examples
+    --------
+    >>> from repro.grid.datasets import sphere_field
+    >>> cluster = SimulatedCluster(sphere_field((24, 24, 24)), p=4,
+    ...                            metacell_shape=(5, 5, 5))
+    >>> result = cluster.extract(0.5)
+    >>> result.n_triangles > 0 and len(result.nodes) == 4
+    True
+    """
+
+    def __init__(
+        self,
+        volume: Volume,
+        p: int,
+        metacell_shape: tuple[int, int, int] = (9, 9, 9),
+        perf: PerformanceModel = PAPER_CLUSTER,
+        image_size: tuple[int, int] = (256, 256),
+    ) -> None:
+        if p < 1:
+            raise ValueError(f"node count must be >= 1, got {p}")
+        self.volume = volume
+        self.p = p
+        self.perf = perf
+        self.image_size = image_size
+        self.metacell_shape = metacell_shape
+        if p == 1:
+            self.datasets: list[IndexedDataset] = [
+                build_indexed_dataset(volume, metacell_shape, cost_model=perf.disk)
+            ]
+        else:
+            self.datasets = build_striped_datasets(
+                volume, p, metacell_shape, cost_model=perf.disk
+            )
+
+    @property
+    def report(self):
+        """The shared preprocessing report."""
+        return self.datasets[0].report
+
+    # ------------------------------------------------------------------
+
+    def _node_extract(
+        self, dataset: IndexedDataset, lam: float, with_normals: bool = False
+    ) -> "tuple[NodeMetrics, TriangleMesh, np.ndarray | None]":
+        """Query + triangulate on one node; returns metrics, mesh, and
+        (optionally) payload-local gradient normals — everything a node
+        can compute without the global volume."""
+        t0 = time.perf_counter()
+        qr = execute_query(dataset, lam)
+        codec = dataset.codec
+        meta = dataset.meta
+        cells_per_metacell = int(np.prod([m - 1 for m in codec.metacell_shape]))
+        normals = None
+        if qr.n_active:
+            values = codec.values_grid(qr.records)
+            origins = meta.vertex_origins(qr.records.ids)
+            out = marching_cubes_batch(
+                values,
+                lam,
+                origins,
+                spacing=meta.spacing,
+                world_origin=meta.origin,
+                with_normals=with_normals,
+            )
+            mesh, normals = out if with_normals else (out, None)
+        else:
+            mesh = TriangleMesh()
+            if with_normals:
+                normals = np.empty((0, 3))
+        measured = time.perf_counter() - t0
+
+        metrics = NodeMetrics(node_rank=dataset.node_rank)
+        metrics.n_active_metacells = qr.n_active
+        metrics.n_cells_examined = qr.n_active * cells_per_metacell
+        metrics.n_triangles = mesh.n_triangles
+        metrics.io_stats = qr.io_stats
+        metrics.io_time = self.perf.io_time(qr.io_stats)
+        metrics.triangulation_time = self.perf.cpu.triangulation_time(
+            metrics.n_cells_examined, metrics.n_triangles
+        )
+        metrics.measured_seconds = measured
+        return metrics, mesh, normals
+
+    def extract(
+        self,
+        lam: float,
+        render: bool = False,
+        camera: Camera | None = None,
+        keep_meshes: bool = False,
+        tile_layout: TileLayout | None = None,
+        smooth: bool = False,
+    ) -> ClusterResult:
+        """Extract (and optionally render + composite) isosurface ``lam``.
+
+        With ``render=True``, each node rasterizes its local mesh into
+        its own framebuffer and the buffers are composited sort-last;
+        the returned result carries the final image.  ``smooth=True``
+        renders with Gouraud shading from payload-local gradient normals
+        (each node computes them from its own records — no global volume
+        exists anywhere, exactly as on the paper's cluster).  Without
+        rendering, the GPU time is still modeled from the triangle
+        counts, and the composite is byte-accounted analytically.
+        """
+        per_node: list[NodeMetrics] = []
+        meshes: list[TriangleMesh] = []
+        node_normals: list = []
+        want_normals = render and smooth
+        for dataset in self.datasets:
+            m, mesh, normals = self._node_extract(
+                dataset, lam, with_normals=want_normals
+            )
+            per_node.append(m)
+            meshes.append(mesh)
+            node_normals.append(normals)
+
+        w, h = self.image_size
+        fb_bytes = w * h * 16  # RGB f32 + depth f32 readback
+        for m in per_node:
+            m.render_time = self.perf.gpu.render_time(m.n_triangles, fb_bytes)
+
+        result = ClusterResult(lam=float(lam), p=self.p, nodes=per_node)
+
+        image = None
+        if render:
+            cam = camera
+            if cam is None:
+                combined = TriangleMesh.concat([m for m in meshes if m.n_triangles])
+                if combined.n_triangles == 0:
+                    raise ValueError(
+                        f"no geometry at isovalue {lam}; cannot auto-frame a camera"
+                    )
+                cam = Camera.fit_mesh(combined)
+            if tile_layout is not None:
+                w, h = tile_layout.width, tile_layout.height
+            fbs = []
+            for mesh, normals in zip(meshes, node_normals):
+                fb = Framebuffer(w, h)
+                if smooth and normals is not None:
+                    render_mesh_smooth(fb, mesh, cam, normals)
+                else:
+                    render_mesh(fb, mesh, cam)
+                fbs.append(fb)
+            if tile_layout is not None:
+                image, stats = direct_send(fbs, tile_layout)
+                result.composite_bytes = stats.total_bytes
+                n_msgs = stats.n_nodes * tile_layout.n_tiles
+            else:
+                image = composite(fbs)
+                result.composite_bytes = sum(fb.payload_bytes for fb in fbs)
+                n_msgs = self.p
+        else:
+            # Analytic accounting: every node ships its buffer once.
+            result.composite_bytes = self.p * fb_bytes
+            n_msgs = self.p
+
+        result.composite_time = self.perf.network.transfer_time(
+            result.composite_bytes, n_messages=n_msgs
+        )
+        result.image = image
+        if keep_meshes or render:
+            result.meshes = meshes
+        return result
+
+    def sweep(self, isovalues, **kwargs) -> "list[ClusterResult]":
+        """Run :meth:`extract` over a sequence of isovalues."""
+        return [self.extract(lam, **kwargs) for lam in isovalues]

@@ -1,0 +1,90 @@
+"""Per-node and cluster-level measurement records.
+
+These are the quantities the paper's tables report: active metacell
+counts, triangle counts, and the three stage times (AMC retrieval,
+triangulation, rendering) per node, plus the load-balance statistics of
+Tables 6 and 7 and the speedup/efficiency derivations of Figures 5/6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.io.blockdevice import IOStats
+
+
+@dataclass
+class NodeMetrics:
+    """One cluster node's accounting for one isosurface query.
+
+    Modeled times come from :class:`~repro.parallel.perfmodel.PerformanceModel`;
+    ``measured_seconds`` is the actual Python wall time of the node's
+    work in the simulator (reported for honesty, never used in
+    paper-shape comparisons).
+    """
+
+    node_rank: int
+    n_active_metacells: int = 0
+    n_cells_examined: int = 0
+    n_triangles: int = 0
+    io_stats: IOStats = field(default_factory=IOStats)
+    io_time: float = 0.0
+    triangulation_time: float = 0.0
+    render_time: float = 0.0
+    measured_seconds: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Modeled node time: the three pipeline stages in sequence."""
+        return self.io_time + self.triangulation_time + self.render_time
+
+
+@dataclass
+class LoadBalance:
+    """Distribution statistics across nodes (Tables 6 and 7)."""
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def max(self) -> int:
+        return int(self.counts.max()) if len(self.counts) else 0
+
+    @property
+    def min(self) -> int:
+        return int(self.counts.min()) if len(self.counts) else 0
+
+    @property
+    def spread(self) -> int:
+        return self.max - self.min
+
+    @property
+    def max_over_mean(self) -> float:
+        if len(self.counts) == 0 or self.total == 0:
+            return 1.0
+        return float(self.max / self.counts.mean())
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        if len(self.counts) == 0 or self.total == 0:
+            return 0.0
+        return float(self.counts.std() / self.counts.mean())
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    if parallel_time <= 0:
+        raise ValueError(f"parallel time must be positive, got {parallel_time}")
+    return serial_time / parallel_time
+
+
+def efficiency(serial_time: float, parallel_time: float, p: int) -> float:
+    return speedup(serial_time, parallel_time) / p

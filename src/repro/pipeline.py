@@ -1,0 +1,207 @@
+"""End-to-end serial façade: the paper's single-node pipeline.
+
+:class:`IsosurfacePipeline` wires the whole stack together for the common
+case — preprocess a volume once, then extract (and optionally render)
+isosurfaces out-of-core at interactive cadence:
+
+    volume -> metacells -> compact interval tree + brick layout
+           -> query(lam) -> active metacells -> Marching Cubes -> mesh
+           -> rasterize -> image
+
+For multi-node execution use
+:class:`repro.parallel.cluster.SimulatedCluster`, which shares all the
+same pieces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import IndexedDataset, build_indexed_dataset
+from repro.core.query import QueryResult, execute_query
+from repro.grid.volume import Volume
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes_batch
+from repro.parallel.metrics import NodeMetrics
+from repro.parallel.perfmodel import PAPER_CLUSTER, PerformanceModel
+from repro.render.camera import Camera
+from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
+
+
+@dataclass
+class ExtractionResult:
+    """One isosurface extraction: geometry plus full accounting."""
+
+    lam: float
+    mesh: TriangleMesh
+    query: QueryResult
+    metrics: NodeMetrics
+    image: "Framebuffer | None" = None
+
+    @property
+    def n_active_metacells(self) -> int:
+        return self.query.n_active
+
+    @property
+    def n_triangles(self) -> int:
+        return self.mesh.n_triangles
+
+
+class IsosurfacePipeline:
+    """Preprocess once, query many times — the serial algorithm.
+
+    Examples
+    --------
+    >>> from repro.grid.datasets import sphere_field
+    >>> pipe = IsosurfacePipeline.from_volume(
+    ...     sphere_field((24, 24, 24)), metacell_shape=(5, 5, 5))
+    >>> res = pipe.extract(0.5)
+    >>> res.mesh.weld().is_closed()
+    True
+    """
+
+    def __init__(self, dataset: IndexedDataset, perf: PerformanceModel = PAPER_CLUSTER) -> None:
+        self.dataset = dataset
+        self.perf = perf
+
+    @classmethod
+    def from_volume(
+        cls,
+        volume: Volume,
+        metacell_shape: tuple[int, int, int] = (9, 9, 9),
+        device=None,
+        perf: PerformanceModel = PAPER_CLUSTER,
+    ) -> "IsosurfacePipeline":
+        dataset = build_indexed_dataset(
+            volume, metacell_shape, device=device, cost_model=perf.disk
+        )
+        return cls(dataset, perf)
+
+    @property
+    def report(self):
+        """Preprocessing statistics (metacell counts, index size, ...)."""
+        return self.dataset.report
+
+    def extract(
+        self,
+        lam: float,
+        render: bool = False,
+        camera: Camera | None = None,
+        image_size: tuple[int, int] = (512, 512),
+        smooth: bool = False,
+    ) -> ExtractionResult:
+        """Run the out-of-core query and triangulate the result.
+
+        With ``render=True`` the mesh is also rasterized (auto-framed
+        unless a camera is given) and the result carries the image;
+        ``smooth=True`` uses Gouraud shading from payload-local gradient
+        normals instead of flat facets.
+        """
+        t0 = time.perf_counter()
+        qr = execute_query(self.dataset, lam)
+        codec = self.dataset.codec
+        meta = self.dataset.meta
+        normals = None
+        if qr.n_active:
+            out = marching_cubes_batch(
+                codec.values_grid(qr.records),
+                lam,
+                meta.vertex_origins(qr.records.ids),
+                spacing=meta.spacing,
+                world_origin=meta.origin,
+                with_normals=smooth,
+            )
+            mesh, normals = out if smooth else (out, None)
+        else:
+            mesh = TriangleMesh()
+        measured = time.perf_counter() - t0
+
+        cells_per_metacell = int(np.prod([m - 1 for m in codec.metacell_shape]))
+        metrics = NodeMetrics(node_rank=0)
+        metrics.n_active_metacells = qr.n_active
+        metrics.n_cells_examined = qr.n_active * cells_per_metacell
+        metrics.n_triangles = mesh.n_triangles
+        metrics.io_stats = qr.io_stats
+        metrics.io_time = self.perf.io_time(qr.io_stats)
+        metrics.triangulation_time = self.perf.cpu.triangulation_time(
+            metrics.n_cells_examined, metrics.n_triangles
+        )
+        w, h = image_size
+        metrics.render_time = self.perf.gpu.render_time(mesh.n_triangles, w * h * 16)
+        metrics.measured_seconds = measured
+
+        image = None
+        if render and mesh.n_triangles:
+            cam = camera or Camera.fit_mesh(mesh)
+            image = Framebuffer(w, h)
+            if smooth and normals is not None:
+                render_mesh_smooth(image, mesh, cam, normals)
+            else:
+                render_mesh(image, mesh, cam)
+        return ExtractionResult(
+            lam=float(lam), mesh=mesh, query=qr, metrics=metrics, image=image
+        )
+
+    def isovalue_range(self) -> tuple[float, float]:
+        """Span of isovalues with any active metacell."""
+        tree = self.dataset.tree
+        if len(tree.endpoints) == 0:
+            raise ValueError("dataset has no non-constant metacells")
+        return float(tree.endpoints[0]), float(tree.endpoints[-1])
+
+    def extract_many(self, lams) -> "dict[float, TriangleMesh]":
+        """Extract several isovalues with one shared pass over the disk.
+
+        Records shared by nearby isovalues are read once
+        (:func:`repro.core.multi_query.execute_multi_query`); each
+        isovalue is then triangulated from its own active subset.
+        """
+        from repro.core.multi_query import execute_multi_query
+
+        multi = execute_multi_query(self.dataset, lams)
+        meta = self.dataset.meta
+        codec = self.dataset.codec
+        out: dict[float, TriangleMesh] = {}
+        for lam in multi.lams:
+            records = multi.records_for(lam)
+            if len(records):
+                out[lam] = marching_cubes_batch(
+                    codec.values_grid(records),
+                    lam,
+                    meta.vertex_origins(records.ids),
+                    spacing=meta.spacing,
+                    world_origin=meta.origin,
+                )
+            else:
+                out[lam] = TriangleMesh()
+        return out
+
+    def extract_roi(self, lam: float, box_lo, box_hi):
+        """Extract only the surface inside a world-space box; see
+        :func:`repro.core.multi_query.extract_region_of_interest`."""
+        from repro.core.multi_query import extract_region_of_interest
+
+        return extract_region_of_interest(self.dataset, lam, box_lo, box_hi)
+
+    def estimate_cost(self, lam: float):
+        """Predict the I/O bill of :meth:`extract` without touching disk;
+        see :func:`repro.core.analysis.estimate_query_cost`."""
+        from repro.core.analysis import estimate_query_cost
+
+        return estimate_query_cost(
+            self.dataset.tree,
+            lam,
+            self.dataset.codec.record_size,
+            self.dataset.device.cost_model,
+            self.dataset.base_offset,
+        )
+
+    def suggest_isovalues(self, selectivities=(0.01, 0.05, 0.25, 0.5)):
+        """Representative isovalues at the requested selectivity levels;
+        see :func:`repro.core.analysis.suggest_isovalues`."""
+        from repro.core.analysis import suggest_isovalues
+
+        return suggest_isovalues(self.dataset.tree, selectivities)

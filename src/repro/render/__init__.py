@@ -1,0 +1,46 @@
+"""Software rendering pipeline: the stand-in for GPUs + Chromium.
+
+``camera``
+    Perspective projection producing view-space depths.
+``rasterizer``
+    Numpy z-buffer rasterizer and :class:`Framebuffer`.
+``compositor``
+    Sort-last z-merging: reference composite, direct-send and
+    binary-swap schedules with byte accounting.
+``tiled_display``
+    The tiled wall layout regions are routed to.
+``image``
+    PPM/PGM output and ASCII previews.
+"""
+
+from repro.render.camera import Camera
+from repro.render.compositor import (
+    CompositeStats,
+    PIXEL_PAYLOAD_BYTES,
+    binary_swap,
+    composite,
+    direct_send,
+)
+from repro.render.image import ascii_preview, depth_to_gray, read_ppm, write_pgm, write_ppm
+from repro.render.rasterizer import Framebuffer, Light, render_mesh, render_mesh_smooth
+from repro.render.tiled_display import TileLayout, paper_wall
+
+__all__ = [
+    "Camera",
+    "Framebuffer",
+    "Light",
+    "render_mesh",
+    "render_mesh_smooth",
+    "composite",
+    "direct_send",
+    "binary_swap",
+    "CompositeStats",
+    "PIXEL_PAYLOAD_BYTES",
+    "TileLayout",
+    "paper_wall",
+    "write_ppm",
+    "write_pgm",
+    "read_ppm",
+    "ascii_preview",
+    "depth_to_gray",
+]

@@ -1,0 +1,113 @@
+"""Perspective camera for the software rendering pipeline.
+
+World space is right-handed; the camera looks down its local ``-z``.
+Depth values handed to the rasterizer/compositor are *view-space
+distances* (``-z_view``), which are positive in front of the camera and
+monotonic — exactly what sort-last z-compositing needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Camera:
+    """A pinhole camera.
+
+    Parameters
+    ----------
+    eye:
+        Camera position in world space.
+    target:
+        Point the camera looks at.
+    up:
+        Approximate up direction (re-orthogonalized internally).
+    fov_y:
+        Vertical field of view in degrees.
+    aspect:
+        Width / height of the image plane.
+    near:
+        Near clip distance; geometry closer than this is discarded.
+    """
+
+    eye: np.ndarray
+    target: np.ndarray
+    up: np.ndarray = None  # type: ignore[assignment]
+    fov_y: float = 45.0
+    aspect: float = 1.0
+    near: float = 1e-3
+
+    def __post_init__(self) -> None:
+        self.eye = np.asarray(self.eye, dtype=np.float64)
+        self.target = np.asarray(self.target, dtype=np.float64)
+        if self.up is None:
+            self.up = np.array([0.0, 0.0, 1.0])
+        self.up = np.asarray(self.up, dtype=np.float64)
+        if np.allclose(self.eye, self.target):
+            raise ValueError("camera eye and target coincide")
+        if not 0 < self.fov_y < 180:
+            raise ValueError(f"fov_y must be in (0, 180), got {self.fov_y}")
+
+    # -- basis ---------------------------------------------------------------
+
+    def view_basis(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Right, up, forward unit vectors of the camera frame."""
+        fwd = self.target - self.eye
+        fwd = fwd / np.linalg.norm(fwd)
+        right = np.cross(fwd, self.up)
+        nr = np.linalg.norm(right)
+        if nr < 1e-12:
+            # up parallel to view direction: pick any perpendicular
+            alt = np.array([1.0, 0.0, 0.0])
+            if abs(fwd[0]) > 0.9:
+                alt = np.array([0.0, 1.0, 0.0])
+            right = np.cross(fwd, alt)
+            nr = np.linalg.norm(right)
+        right /= nr
+        up = np.cross(right, fwd)
+        return right, up, fwd
+
+    def to_view(self, points: np.ndarray) -> np.ndarray:
+        """World -> view space.  View looks down -z."""
+        right, up, fwd = self.view_basis()
+        rel = np.asarray(points, dtype=np.float64) - self.eye
+        return np.stack([rel @ right, rel @ up, -(rel @ fwd)], axis=1)
+
+    def project(
+        self, points: np.ndarray, width: int, height: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project world points to pixel coordinates.
+
+        Returns ``(xy, depth)``: ``xy[:, 0]`` is the column, ``xy[:, 1]``
+        the row (row 0 at the *top*), ``depth`` the view-space distance
+        (positive in front of the camera; points behind the near plane
+        get depth <= near and must be discarded by the caller).
+        """
+        v = self.to_view(points)
+        depth = -v[:, 2]  # positive in front
+        f = 1.0 / np.tan(np.radians(self.fov_y) / 2.0)
+        safe = np.where(depth > self.near, depth, np.inf)
+        x_ndc = (f / self.aspect) * v[:, 0] / safe
+        y_ndc = f * v[:, 1] / safe
+        col = (x_ndc + 1.0) * 0.5 * (width - 1)
+        row = (1.0 - (y_ndc + 1.0) * 0.5) * (height - 1)
+        return np.stack([col, row], axis=1), depth
+
+    # -- convenience ----------------------------------------------------------
+
+    @staticmethod
+    def fit_mesh(mesh, direction=(1.0, -1.2, 0.8), fov_y: float = 40.0, margin: float = 1.35) -> "Camera":
+        """Frame a mesh: place the eye along ``direction`` far enough that
+        the bounding sphere fits the field of view."""
+        lo, hi = mesh.bounding_box()
+        center = 0.5 * (lo + hi)
+        radius = 0.5 * float(np.linalg.norm(hi - lo))
+        if radius == 0:
+            radius = 1.0
+        d = np.asarray(direction, dtype=np.float64)
+        d = d / np.linalg.norm(d)
+        dist = margin * radius / np.tan(np.radians(fov_y) / 2.0)
+        return Camera(eye=center + d * dist, target=center, fov_y=fov_y)

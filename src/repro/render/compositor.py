@@ -1,0 +1,167 @@
+"""Sort-last compositing (paper Section 6, [30]).
+
+Each node renders its local triangles, then the p framebuffers are merged
+by depth comparison.  Two classic schedules are implemented with full
+byte accounting, standing in for Chromium over InfiniBand:
+
+* **direct send** — every node sends each display tile's region of its
+  buffer to that tile's display server; each server z-merges p regions.
+* **binary swap** — log2(p) rounds of pairwise half-buffer exchanges,
+  after which each node owns a fully composited 1/p of the image and
+  sends it to the display.
+
+Both produce *exactly* the image of the reference :func:`composite`
+(z-min select), which the tests assert, while differing in who moves how
+many bytes — the subject of the compositing ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.render.rasterizer import Framebuffer
+from repro.render.tiled_display import TileLayout
+
+
+@dataclass
+class CompositeStats:
+    """Communication accounting for one compositing operation."""
+
+    schedule: str
+    n_nodes: int
+    rounds: int = 0
+    bytes_sent_per_node: "list[int]" = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(self.bytes_sent_per_node))
+
+    @property
+    def max_bytes_per_node(self) -> int:
+        return int(max(self.bytes_sent_per_node, default=0))
+
+
+def _zmerge_into(dst_color, dst_depth, src_color, src_depth) -> None:
+    """In-place z-compare merge of one source buffer region into dst."""
+    win = src_depth < dst_depth
+    dst_depth[win] = src_depth[win]
+    dst_color[win] = src_color[win]
+
+
+def composite(framebuffers: "list[Framebuffer]") -> Framebuffer:
+    """Reference z-min composite of p framebuffers (no communication
+    accounting).  All buffers must share dimensions."""
+    if not framebuffers:
+        raise ValueError("need at least one framebuffer")
+    first = framebuffers[0]
+    for fb in framebuffers[1:]:
+        if (fb.width, fb.height) != (first.width, first.height):
+            raise ValueError(
+                f"framebuffer size mismatch: {fb.width}x{fb.height} vs "
+                f"{first.width}x{first.height}"
+            )
+    out = first.copy()
+    for fb in framebuffers[1:]:
+        _zmerge_into(out.color, out.depth, fb.color, fb.depth)
+    return out
+
+
+#: Bytes per pixel shipped during compositing: RGB float32 + depth float32.
+PIXEL_PAYLOAD_BYTES = 16
+
+
+def direct_send(
+    framebuffers: "list[Framebuffer]", layout: TileLayout
+) -> tuple[Framebuffer, CompositeStats]:
+    """Direct-send compositing onto a tiled display.
+
+    Every rendering node ships, for each tile, the region of its buffer
+    covering that tile (the paper notes regions of the frame buffer
+    including z are forwarded to the appropriate rendering servers).
+    Display servers z-merge what they receive.  A node co-located with a
+    tile's display server still "sends" its own region; we count those
+    bytes too, as an upper bound (the paper's nodes overlap with display
+    nodes, making this conservative).
+    """
+    p = len(framebuffers)
+    ref = framebuffers[0]
+    for fb in framebuffers:
+        if (fb.width, fb.height) != (layout.width, layout.height):
+            raise ValueError(
+                f"framebuffer {fb.width}x{fb.height} does not match tile layout "
+                f"{layout.width}x{layout.height}"
+            )
+    stats = CompositeStats(schedule="direct-send", n_nodes=p, rounds=1)
+    stats.bytes_sent_per_node = [0] * p
+
+    out = Framebuffer(ref.width, ref.height, ref.background)
+    for t in range(layout.n_tiles):
+        rows, cols = layout.tile_slices(t)
+        tile_pixels = (rows.stop - rows.start) * (cols.stop - cols.start)
+        for q, fb in enumerate(framebuffers):
+            stats.bytes_sent_per_node[q] += tile_pixels * PIXEL_PAYLOAD_BYTES
+            _zmerge_into(
+                out.color[rows, cols], out.depth[rows, cols],
+                fb.color[rows, cols], fb.depth[rows, cols],
+            )
+    return out, stats
+
+
+def binary_swap(
+    framebuffers: "list[Framebuffer]",
+) -> tuple[Framebuffer, CompositeStats]:
+    """Binary-swap compositing; requires a power-of-two node count.
+
+    In round r, partners exchange halves of their current region and each
+    z-merges the half it keeps; after log2(p) rounds node q owns the
+    fully composited row-strip q, which is gathered to the display.
+    """
+    p = len(framebuffers)
+    if p == 0 or (p & (p - 1)) != 0:
+        raise ValueError(f"binary swap needs a power-of-two node count, got {p}")
+    ref = framebuffers[0]
+    h = ref.height
+    stats = CompositeStats(schedule="binary-swap", n_nodes=p)
+    stats.bytes_sent_per_node = [0] * p
+
+    # Working copies; region[q] = (row_start, row_stop) owned by node q.
+    colors = [fb.color.copy() for fb in framebuffers]
+    depths = [fb.depth.copy() for fb in framebuffers]
+    region = [(0, h)] * p
+
+    step = 1
+    while step < p:
+        stats.rounds += 1
+        for q in range(p):
+            partner = q ^ step
+            if partner < q:
+                continue
+            r0, r1 = region[q]
+            mid = (r0 + r1) // 2
+            # q keeps [r0, mid), partner keeps [mid, r1).
+            send_q = (r1 - mid) * ref.width * PIXEL_PAYLOAD_BYTES
+            send_p = (mid - r0) * ref.width * PIXEL_PAYLOAD_BYTES
+            stats.bytes_sent_per_node[q] += send_q
+            stats.bytes_sent_per_node[partner] += send_p
+            _zmerge_into(
+                colors[q][r0:mid], depths[q][r0:mid],
+                colors[partner][r0:mid], depths[partner][r0:mid],
+            )
+            _zmerge_into(
+                colors[partner][mid:r1], depths[partner][mid:r1],
+                colors[q][mid:r1], depths[q][mid:r1],
+            )
+            region[q] = (r0, mid)
+            region[partner] = (mid, r1)
+        step *= 2
+
+    # Final gather of each node's strip to the display.
+    out = Framebuffer(ref.width, ref.height, ref.background)
+    for q in range(p):
+        r0, r1 = region[q]
+        stats.bytes_sent_per_node[q] += (r1 - r0) * ref.width * PIXEL_PAYLOAD_BYTES
+        out.color[r0:r1] = colors[q][r0:r1]
+        out.depth[r0:r1] = depths[q][r0:r1]
+    return out, stats

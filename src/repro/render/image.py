@@ -1,0 +1,84 @@
+"""Minimal image output: binary PPM/PGM writers and ASCII previews.
+
+No imaging dependency is available offline, and none is needed — PPM/PGM
+are self-describing formats every viewer reads, sufficient for the
+Figure 4 reproduction and the examples.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def write_ppm(path: str | os.PathLike, rgb: np.ndarray) -> Path:
+    """Write an ``(h, w, 3)`` uint8 array as binary PPM (P6)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (h, w, 3), got {rgb.shape}")
+    if rgb.dtype != np.uint8:
+        raise ValueError(f"expected uint8, got {rgb.dtype}")
+    path = Path(path)
+    h, w, _ = rgb.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode())
+        fh.write(rgb.tobytes())
+    return path
+
+
+def write_pgm(path: str | os.PathLike, gray: np.ndarray) -> Path:
+    """Write an ``(h, w)`` uint8 array as binary PGM (P5)."""
+    gray = np.asarray(gray)
+    if gray.ndim != 2:
+        raise ValueError(f"expected (h, w), got {gray.shape}")
+    if gray.dtype != np.uint8:
+        raise ValueError(f"expected uint8, got {gray.dtype}")
+    path = Path(path)
+    h, w = gray.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode())
+        fh.write(gray.tobytes())
+    return path
+
+
+def read_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read back a binary PPM written by :func:`write_ppm`."""
+    with open(path, "rb") as fh:
+        magic = fh.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM: magic {magic!r}")
+        dims = fh.readline().split()
+        w, h = int(dims[0]), int(dims[1])
+        maxval = int(fh.readline())
+        if maxval != 255:
+            raise ValueError(f"unsupported maxval {maxval}")
+        data = fh.read(w * h * 3)
+    return np.frombuffer(data, dtype=np.uint8).reshape(h, w, 3)
+
+
+def depth_to_gray(depth: np.ndarray) -> np.ndarray:
+    """Map a depth buffer to uint8 (near = bright, empty = black)."""
+    finite = np.isfinite(depth)
+    out = np.zeros(depth.shape, dtype=np.uint8)
+    if finite.any():
+        d = depth[finite]
+        lo, hi = float(d.min()), float(d.max())
+        t = np.zeros_like(d) if hi == lo else (d - lo) / (hi - lo)
+        out[finite] = np.clip((1.0 - t) * 235.0 + 20.0, 0, 255).astype(np.uint8)
+    return out
+
+
+def ascii_preview(rgb: np.ndarray, width: int = 64) -> str:
+    """Coarse ASCII rendering of an image for terminal inspection."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    h, w = rgb.shape[:2]
+    cols = min(width, w)
+    rows = max(1, int(cols * h / w * 0.5))
+    ys = np.linspace(0, h - 1, rows).astype(int)
+    xs = np.linspace(0, w - 1, cols).astype(int)
+    lum = rgb[np.ix_(ys, xs)].mean(axis=2) / 255.0
+    shades = " .:-=+*#%@"
+    idx = np.clip((lum * (len(shades) - 1)).astype(int), 0, len(shades) - 1)
+    return "\n".join("".join(shades[i] for i in row) for row in idx)

@@ -1,0 +1,271 @@
+"""Software z-buffer rasterizer: the stand-in for the paper's GPUs.
+
+Each cluster node in the paper renders its own triangles on a local
+NVIDIA GPU and reads back the color+depth buffers for sort-last
+compositing.  Here a numpy rasterizer plays that role: flat-shaded,
+z-buffered, two-sided (isosurfaces are viewed from both sides).  The
+essential property for the reproduction is not speed but *compositional
+correctness*: rendering a mesh partitioned across p nodes and z-merging
+the p framebuffers must give the same image as rendering everything on
+one node, which the test suite asserts pixel-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.render.camera import Camera
+
+#: Default background: dark neutral; depth initialized to +inf.
+DEFAULT_BACKGROUND = (0.08, 0.09, 0.11)
+
+
+@dataclass
+class Framebuffer:
+    """Color + depth image pair.
+
+    Attributes
+    ----------
+    color:
+        ``(h, w, 3)`` float32 in [0, 1].
+    depth:
+        ``(h, w)`` float32 view-space distance; +inf where empty.
+    """
+
+    width: int
+    height: int
+    background: tuple[float, float, float] = DEFAULT_BACKGROUND
+    color: np.ndarray = field(init=False)
+    depth: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError(f"framebuffer must be >= 1x1, got {self.width}x{self.height}")
+        self.color = np.empty((self.height, self.width, 3), dtype=np.float32)
+        self.depth = np.empty((self.height, self.width), dtype=np.float32)
+        self.clear()
+
+    def clear(self) -> None:
+        self.color[:] = np.asarray(self.background, dtype=np.float32)
+        self.depth[:] = np.inf
+
+    def copy(self) -> "Framebuffer":
+        fb = Framebuffer(self.width, self.height, self.background)
+        fb.color[:] = self.color
+        fb.depth[:] = self.depth
+        return fb
+
+    def to_uint8(self) -> np.ndarray:
+        return np.clip(self.color * 255.0 + 0.5, 0, 255).astype(np.uint8)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes moved when this buffer is shipped for compositing
+        (RGB f32 + depth f32 per pixel, matching GPU readback)."""
+        return self.color.nbytes + self.depth.nbytes
+
+    def coverage(self) -> float:
+        """Fraction of pixels with geometry."""
+        return float(np.isfinite(self.depth).mean())
+
+
+@dataclass(frozen=True)
+class Light:
+    """A single directional light with an ambient floor."""
+
+    direction: tuple[float, float, float] = (0.4, -0.35, 0.85)
+    ambient: float = 0.18
+
+    def unit(self) -> np.ndarray:
+        d = np.asarray(self.direction, dtype=np.float64)
+        return d / np.linalg.norm(d)
+
+
+def render_mesh(
+    fb: Framebuffer,
+    mesh,
+    camera: Camera,
+    color=(0.78, 0.33, 0.22),
+    light: Light | None = None,
+) -> int:
+    """Rasterize a mesh into ``fb`` with z-buffering and flat shading.
+
+    Returns the number of triangles actually rasterized (after near-plane
+    and off-screen rejection).  Shading is two-sided Lambert — the
+    absolute value of ``normal . light`` — because an isosurface may be
+    seen from either side.
+    """
+    if mesh.n_triangles == 0:
+        return 0
+    light = light or Light()
+    cam = camera
+    if cam.aspect != fb.width / fb.height:
+        cam = Camera(
+            eye=camera.eye,
+            target=camera.target,
+            up=camera.up,
+            fov_y=camera.fov_y,
+            aspect=fb.width / fb.height,
+            near=camera.near,
+        )
+
+    xy, depth = cam.project(mesh.vertices, fb.width, fb.height)
+    tri_xy = xy[mesh.faces]  # (F, 3, 2)
+    tri_z = depth[mesh.faces]  # (F, 3)
+
+    # Reject triangles touching the near plane or entirely off screen.
+    ok = np.all(tri_z > cam.near, axis=1)
+    ok &= np.all(np.isfinite(tri_xy).reshape(len(tri_xy), -1), axis=1)
+    mins = tri_xy.min(axis=1)
+    maxs = tri_xy.max(axis=1)
+    ok &= (maxs[:, 0] >= 0) & (mins[:, 0] <= fb.width - 1)
+    ok &= (maxs[:, 1] >= 0) & (mins[:, 1] <= fb.height - 1)
+    idx = np.flatnonzero(ok)
+    if len(idx) == 0:
+        return 0
+
+    # Flat shading per face.
+    normals = mesh.face_normals()
+    shade = np.abs(normals @ light.unit())
+    intensity = light.ambient + (1.0 - light.ambient) * shade
+    base = np.asarray(color, dtype=np.float32)
+
+    colorbuf, depthbuf = fb.color, fb.depth
+    w, h = fb.width, fb.height
+
+    for f in idx:
+        (x0, y0), (x1, y1), (x2, y2) = tri_xy[f]
+        z0, z1, z2 = tri_z[f]
+        xmin = max(int(np.floor(min(x0, x1, x2))), 0)
+        xmax = min(int(np.ceil(max(x0, x1, x2))), w - 1)
+        ymin = max(int(np.floor(min(y0, y1, y2))), 0)
+        ymax = min(int(np.ceil(max(y0, y1, y2))), h - 1)
+        if xmin > xmax or ymin > ymax:
+            continue
+        area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+        if area == 0:
+            continue
+        xs = np.arange(xmin, xmax + 1, dtype=np.float64) + 0.0
+        ys = np.arange(ymin, ymax + 1, dtype=np.float64) + 0.0
+        px, py = np.meshgrid(xs, ys)
+        w0 = ((x1 - x0) * (py - y0) - (px - x0) * (y1 - y0)) / area
+        w1 = ((px - x0) * (y2 - y0) - (x2 - x0) * (py - y0)) / area
+        # Barycentric wrt v0: b1 = weight of v1 etc.
+        b2 = w0
+        b1 = w1
+        b0 = 1.0 - b1 - b2
+        inside = (b0 >= 0) & (b1 >= 0) & (b2 >= 0)
+        if not inside.any():
+            continue
+        z = b0 * z0 + b1 * z1 + b2 * z2
+        sub_d = depthbuf[ymin : ymax + 1, xmin : xmax + 1]
+        win = inside & (z < sub_d)
+        if not win.any():
+            continue
+        sub_d[win] = z[win].astype(np.float32)
+        shaded = (base * float(intensity[f])).astype(np.float32)
+        colorbuf[ymin : ymax + 1, xmin : xmax + 1][win] = shaded
+    return int(len(idx))
+
+
+def render_mesh_smooth(
+    fb: Framebuffer,
+    mesh,
+    camera: Camera,
+    vertex_normals: np.ndarray,
+    color=(0.78, 0.33, 0.22),
+    light: Light | None = None,
+) -> int:
+    """Gouraud-shaded rasterization using per-vertex normals.
+
+    Intensity is computed per vertex (two-sided Lambert on
+    ``vertex_normals``, e.g. the field-gradient normals of
+    :func:`repro.mc.normals.smooth_mesh_normals`) and interpolated
+    barycentrically across each triangle, removing the faceting of flat
+    shading.  Returns the number of rasterized triangles.
+    """
+    if mesh.n_triangles == 0:
+        return 0
+    light = light or Light()
+    vertex_normals = np.asarray(vertex_normals, dtype=np.float64).reshape(
+        mesh.n_vertices, 3
+    )
+    cam = camera
+    if cam.aspect != fb.width / fb.height:
+        cam = Camera(
+            eye=camera.eye, target=camera.target, up=camera.up,
+            fov_y=camera.fov_y, aspect=fb.width / fb.height, near=camera.near,
+        )
+    xy, depth = cam.project(mesh.vertices, fb.width, fb.height)
+    shade = np.abs(vertex_normals @ light.unit())
+    v_intensity = light.ambient + (1.0 - light.ambient) * shade
+
+    tri_xy = xy[mesh.faces]
+    tri_z = depth[mesh.faces]
+    tri_i = v_intensity[mesh.faces]
+
+    ok = np.all(tri_z > cam.near, axis=1)
+    ok &= np.all(np.isfinite(tri_xy).reshape(len(tri_xy), -1), axis=1)
+    mins = tri_xy.min(axis=1)
+    maxs = tri_xy.max(axis=1)
+    ok &= (maxs[:, 0] >= 0) & (mins[:, 0] <= fb.width - 1)
+    ok &= (maxs[:, 1] >= 0) & (mins[:, 1] <= fb.height - 1)
+    idx = np.flatnonzero(ok)
+    if len(idx) == 0:
+        return 0
+
+    base = np.asarray(color, dtype=np.float32)
+    colorbuf, depthbuf = fb.color, fb.depth
+    w, h = fb.width, fb.height
+    for f in idx:
+        (x0, y0), (x1, y1), (x2, y2) = tri_xy[f]
+        z0, z1, z2 = tri_z[f]
+        i0, i1, i2 = tri_i[f]
+        xmin = max(int(np.floor(min(x0, x1, x2))), 0)
+        xmax = min(int(np.ceil(max(x0, x1, x2))), w - 1)
+        ymin = max(int(np.floor(min(y0, y1, y2))), 0)
+        ymax = min(int(np.ceil(max(y0, y1, y2))), h - 1)
+        if xmin > xmax or ymin > ymax:
+            continue
+        area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+        if area == 0:
+            continue
+        xs = np.arange(xmin, xmax + 1, dtype=np.float64)
+        ys = np.arange(ymin, ymax + 1, dtype=np.float64)
+        px, py = np.meshgrid(xs, ys)
+        b2 = ((x1 - x0) * (py - y0) - (px - x0) * (y1 - y0)) / area
+        b1 = ((px - x0) * (y2 - y0) - (x2 - x0) * (py - y0)) / area
+        b0 = 1.0 - b1 - b2
+        inside = (b0 >= 0) & (b1 >= 0) & (b2 >= 0)
+        if not inside.any():
+            continue
+        z = b0 * z0 + b1 * z1 + b2 * z2
+        sub_d = depthbuf[ymin : ymax + 1, xmin : xmax + 1]
+        win = inside & (z < sub_d)
+        if not win.any():
+            continue
+        sub_d[win] = z[win].astype(np.float32)
+        intensity = (b0 * i0 + b1 * i1 + b2 * i2)[win].astype(np.float32)
+        colorbuf[ymin : ymax + 1, xmin : xmax + 1][win] = (
+            intensity[:, None] * base[None, :]
+        )
+    return int(len(idx))
+
+
+def render_depth_colored(
+    fb: Framebuffer, mesh, camera: Camera, cmap_near=(1.0, 0.9, 0.4), cmap_far=(0.2, 0.25, 0.7)
+) -> int:
+    """Rasterize with depth-mapped coloring (useful for compositing demos
+    where per-node provenance should stay visible)."""
+    n = render_mesh(fb, mesh, camera, color=(1.0, 1.0, 1.0))
+    finite = np.isfinite(fb.depth)
+    if finite.any():
+        d = fb.depth[finite]
+        lo, hi = float(d.min()), float(d.max())
+        t = np.zeros_like(d) if hi == lo else (d - lo) / (hi - lo)
+        near = np.asarray(cmap_near, dtype=np.float32)
+        far = np.asarray(cmap_far, dtype=np.float32)
+        fb.color[finite] *= (1 - t[:, None]) * near + t[:, None] * far
+    return n

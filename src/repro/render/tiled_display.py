@@ -1,0 +1,92 @@
+"""Tiled wall display layout (the paper's four-projector wall).
+
+A :class:`TileLayout` partitions the full framebuffer into a grid of
+rectangular tiles, one per display server.  The compositor routes buffer
+regions by tile; the display merges tiles back into the wall image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.render.rasterizer import Framebuffer
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """A rows x cols tiling of a width x height framebuffer.
+
+    Tile ``t`` (row-major) covers the pixel rectangle returned by
+    :meth:`tile_slices`.  Uneven divisions give the last row/column the
+    remainder, like a real video wall with bezel-corrected projectors.
+    """
+
+    rows: int
+    cols: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"tile grid must be >= 1x1, got {self.rows}x{self.cols}")
+        if self.height < self.rows or self.width < self.cols:
+            raise ValueError(
+                f"{self.width}x{self.height} image cannot be split into "
+                f"{self.rows}x{self.cols} non-empty tiles"
+            )
+
+    @property
+    def n_tiles(self) -> int:
+        return self.rows * self.cols
+
+    def tile_slices(self, t: int) -> tuple[slice, slice]:
+        """(row slice, column slice) of tile ``t`` in row-major order."""
+        if not 0 <= t < self.n_tiles:
+            raise IndexError(f"tile {t} outside [0, {self.n_tiles})")
+        r, c = divmod(t, self.cols)
+        h_step = self.height // self.rows
+        w_step = self.width // self.cols
+        r0 = r * h_step
+        r1 = (r + 1) * h_step if r < self.rows - 1 else self.height
+        c0 = c * w_step
+        c1 = (c + 1) * w_step if c < self.cols - 1 else self.width
+        return slice(r0, r1), slice(c0, c1)
+
+    def split(self, fb: Framebuffer) -> "list[Framebuffer]":
+        """Cut a framebuffer into per-tile framebuffers."""
+        self._check(fb)
+        tiles = []
+        for t in range(self.n_tiles):
+            rows, cols = self.tile_slices(t)
+            tile = Framebuffer(cols.stop - cols.start, rows.stop - rows.start, fb.background)
+            tile.color[:] = fb.color[rows, cols]
+            tile.depth[:] = fb.depth[rows, cols]
+            tiles.append(tile)
+        return tiles
+
+    def merge(self, tiles: "list[Framebuffer]") -> Framebuffer:
+        """Reassemble per-tile framebuffers into the wall image."""
+        if len(tiles) != self.n_tiles:
+            raise ValueError(f"expected {self.n_tiles} tiles, got {len(tiles)}")
+        out = Framebuffer(self.width, self.height, tiles[0].background)
+        for t, tile in enumerate(tiles):
+            rows, cols = self.tile_slices(t)
+            if tile.color.shape[:2] != (rows.stop - rows.start, cols.stop - cols.start):
+                raise ValueError(f"tile {t} has wrong shape {tile.color.shape[:2]}")
+            out.color[rows, cols] = tile.color
+            out.depth[rows, cols] = tile.depth
+        return out
+
+    def _check(self, fb: Framebuffer) -> None:
+        if (fb.width, fb.height) != (self.width, self.height):
+            raise ValueError(
+                f"framebuffer {fb.width}x{fb.height} does not match layout "
+                f"{self.width}x{self.height}"
+            )
+
+
+#: The paper's wall: four projectors in a 2x2 grid.
+def paper_wall(width: int = 512, height: int = 512) -> TileLayout:
+    return TileLayout(rows=2, cols=2, width=width, height=height)

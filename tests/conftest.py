@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.intervals import IntervalSet
+from repro.grid.datasets import sphere_field
+from repro.grid.metacell import partition_metacells
+from repro.io.cost_model import IOCostModel
+
+
+@pytest.fixture(scope="session")
+def sphere_volume():
+    """A 33^3 analytic sphere field shared across read-only tests."""
+    return sphere_field((33, 33, 33))
+
+
+@pytest.fixture(scope="session")
+def sphere_partition(sphere_volume):
+    return partition_metacells(sphere_volume, (5, 5, 5))
+
+
+@pytest.fixture(scope="session")
+def sphere_intervals(sphere_partition):
+    return IntervalSet.from_partition(sphere_partition)
+
+
+@pytest.fixture()
+def sphere_dataset(sphere_volume):
+    """A freshly built indexed dataset (mutable device stats per test)."""
+    return build_indexed_dataset(sphere_volume, (5, 5, 5))
+
+
+@pytest.fixture()
+def small_cost_model():
+    return IOCostModel(block_size=512, bandwidth=1e6, seek_latency=1e-3)
+
+
+def random_intervals(rng: np.random.Generator, n: int, n_values: int = 32) -> IntervalSet:
+    """Random integer-valued interval set helper used by several tests."""
+    a = rng.integers(0, n_values, size=n)
+    b = rng.integers(0, n_values, size=n)
+    vmin = np.minimum(a, b).astype(np.int64)
+    vmax = np.maximum(a, b).astype(np.int64)
+    return IntervalSet(vmin=vmin, vmax=vmax, ids=np.arange(n, dtype=np.uint32))

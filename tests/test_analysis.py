@@ -1,0 +1,116 @@
+"""Tests for query-cost prediction and isovalue analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    active_count_profile,
+    estimate_query_cost,
+    record_vmaxs,
+    suggest_isovalues,
+)
+from repro.core.builder import build_indexed_dataset
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.query import execute_query
+from repro.grid.rm_instability import rm_timestep
+from repro.grid.volume import Volume
+from tests.conftest import random_intervals
+
+
+class TestRecordVmaxs:
+    def test_reconstruction(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        vmaxs = record_vmaxs(tree)
+        expect = sphere_intervals.vmax[tree.record_order].astype(np.float64)
+        assert np.array_equal(vmaxs, expect)
+
+
+class TestCostPrediction:
+    @pytest.mark.parametrize("lam", [30.0, 90.0, 128.0, 180.0, 230.0, -5.0])
+    def test_block_exact_on_rm_volume(self, lam):
+        vol = rm_timestep(150, shape=(33, 33, 29))
+        ds = build_indexed_dataset(vol, (5, 5, 5))
+        est = estimate_query_cost(
+            ds.tree, lam, ds.codec.record_size, ds.device.cost_model, ds.base_offset
+        )
+        res = execute_query(ds, lam)
+        assert est.blocks == res.io_stats.blocks_read, f"iso {lam}"
+        assert est.n_active == res.n_active
+        assert res.io_stats.seeks <= est.seeks_upper_bound
+        assert est.bytes_payload == res.n_active * ds.codec.record_size
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**16), lam=st.integers(0, 255), ra=st.sampled_from([1, 4, 16]))
+    def test_block_exact_property(self, seed, lam, ra):
+        rng = np.random.default_rng(seed)
+        vol = Volume(rng.integers(0, 255, size=(13, 13, 13)).astype(np.uint8))
+        ds = build_indexed_dataset(vol, (5, 5, 5))
+        est = estimate_query_cost(
+            ds.tree, float(lam), ds.codec.record_size, ds.device.cost_model,
+            ds.base_offset, read_ahead_blocks=ra,
+        )
+        res = execute_query(ds, float(lam), read_ahead_blocks=ra)
+        assert est.blocks == res.io_stats.blocks_read
+        assert est.n_active == res.n_active
+
+    def test_io_time_positive(self, sphere_dataset):
+        est = estimate_query_cost(
+            sphere_dataset.tree, 0.9, sphere_dataset.codec.record_size,
+            sphere_dataset.device.cost_model, sphere_dataset.base_offset,
+        )
+        assert est.io_time(sphere_dataset.device.cost_model) > 0
+
+
+class TestProfile:
+    def test_profile_matches_bruteforce(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        endpoints, counts = active_count_profile(tree)
+        for e, c in zip(endpoints[::5], counts[::5]):
+            assert c == sphere_intervals.stabbing_count(float(e))
+
+    def test_profile_matches_tree_queries(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        endpoints, counts = active_count_profile(tree)
+        for e, c in zip(endpoints[::7], counts[::7]):
+            assert c == tree.query_count(float(e))
+
+    def test_empty_tree_profile(self):
+        from repro.core.intervals import IntervalSet
+
+        tree = CompactIntervalTree.build(
+            IntervalSet(vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32))
+        )
+        endpoints, counts = active_count_profile(tree)
+        assert len(endpoints) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 100), seed=st.integers(0, 2**16))
+    def test_profile_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, 16)
+        tree = CompactIntervalTree.build(iv)
+        endpoints, counts = active_count_profile(tree)
+        for e, c in zip(endpoints, counts):
+            assert c == iv.stabbing_count(float(e))
+
+
+class TestSuggestions:
+    def test_targets_hit_reasonably(self):
+        vol = rm_timestep(200, shape=(33, 33, 29))
+        ds = build_indexed_dataset(vol, (5, 5, 5))
+        picks = suggest_isovalues(ds.tree, selectivities=(0.05, 0.3))
+        for target, iso in picks.items():
+            actual = ds.tree.query_count(iso) / ds.n_records
+            # Best-achievable match: within the profile's granularity.
+            assert abs(actual - target) < 0.25
+
+    def test_empty_tree_raises(self):
+        from repro.core.intervals import IntervalSet
+
+        tree = CompactIntervalTree.build(
+            IntervalSet(vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32))
+        )
+        with pytest.raises(ValueError):
+            suggest_isovalues(tree)

@@ -1,0 +1,173 @@
+"""Tests for all four baselines: correctness and the comparative claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bbio_tree import BBIODataset
+from repro.baselines.interval_tree import StandardIntervalTree
+from repro.baselines.naive_scan import full_scan_query
+from repro.baselines.range_partition import RangePartitionDistribution
+from repro.core.builder import build_indexed_dataset
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.query import execute_query
+from repro.core.striping import stripe_brick_records, striped_active_counts
+from repro.grid.metacell import partition_metacells
+from repro.grid.rm_instability import rm_timestep
+from tests.conftest import random_intervals
+
+
+class TestStandardIntervalTree:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 150),
+        n_values=st.integers(1, 24),
+        seed=st.integers(0, 2**16),
+        lam_num=st.integers(-1, 26),
+    )
+    def test_query_matches_oracle(self, n, n_values, seed, lam_num):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, n_values)
+        tree = StandardIntervalTree.build(iv)
+        assert np.array_equal(tree.stabbing_ids(float(lam_num)), iv.stabbing_ids(float(lam_num)))
+
+    def test_empty(self):
+        iv = IntervalSet(
+            vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32)
+        )
+        tree = StandardIntervalTree.build(iv)
+        assert len(tree.stabbing_indices(1.0)) == 0
+        assert tree.size_bytes() == 0
+
+    def test_stores_every_interval_twice(self, sphere_intervals):
+        tree = StandardIntervalTree.build(sphere_intervals)
+        assert tree.n_entries == 2 * len(sphere_intervals)
+
+    def test_paper_size_claim(self, sphere_intervals):
+        """Table 1's comparison: standard tree at least ~2x the compact
+        tree, and usually much larger."""
+        std = StandardIntervalTree.build(sphere_intervals)
+        cmp_tree = CompactIntervalTree.build(sphere_intervals)
+        assert std.size_bytes() >= 2 * cmp_tree.index_size_bytes()
+
+    def test_size_gap_grows_with_duplicate_spans(self):
+        """Many metacells sharing few distinct (vmin, vmax) pairs is the
+        regime where compact wins by orders of magnitude (N >> n)."""
+        rng = np.random.default_rng(7)
+        iv = random_intervals(rng, 50_000, n_values=16)
+        std = StandardIntervalTree.build(iv)
+        cmp_tree = CompactIntervalTree.build(iv)
+        assert std.size_bytes() > 100 * cmp_tree.index_size_bytes()
+
+    def test_height_logarithmic(self, sphere_intervals):
+        tree = StandardIntervalTree.build(sphere_intervals)
+        n = sphere_intervals.n_distinct_endpoints
+        assert tree.height() <= int(np.ceil(np.log2(max(n, 2)))) + 1
+
+
+class TestBBIO:
+    @pytest.fixture(scope="class")
+    def bbio(self):
+        vol = rm_timestep(150, shape=(33, 33, 29))
+        part = partition_metacells(vol, (5, 5, 5))
+        return part, BBIODataset(part)
+
+    def test_query_matches_oracle(self, bbio):
+        part, ds = bbio
+        iv = IntervalSet.from_partition(part)
+        for lam in (60.0, 128.0, 200.0):
+            res = ds.query(lam)
+            assert np.array_equal(np.sort(res.records.ids), iv.stabbing_ids(lam))
+
+    def test_more_seeks_than_compact_layout(self, bbio):
+        """The structural claim: id-ordered layout scatters the active
+        set; span-space layout keeps it contiguous."""
+        part, ds = bbio
+        compact = build_indexed_dataset(part.volume, (5, 5, 5))
+        lam = 128.0
+        bbio_res = ds.query(lam)
+        comp_res = execute_query(compact, lam)
+        assert bbio_res.n_active == comp_res.n_active
+        if bbio_res.n_active > 20:
+            assert bbio_res.io_stats.seeks > comp_res.io_stats.seeks
+
+    def test_index_is_omega_N(self, bbio):
+        part, ds = bbio
+        compact = build_indexed_dataset(part.volume, (5, 5, 5))
+        assert ds.index_size_bytes > compact.tree.index_size_bytes()
+
+    def test_empty_query(self, bbio):
+        _, ds = bbio
+        res = ds.query(-1.0)
+        assert res.n_active == 0
+        assert res.n_runs == 0
+
+
+class TestRangePartition:
+    @pytest.fixture(scope="class")
+    def intervals(self):
+        vol = rm_timestep(150, shape=(33, 33, 29))
+        return IntervalSet.from_partition(partition_metacells(vol, (5, 5, 5)))
+
+    def test_counts_sum_to_active_total(self, intervals):
+        dist = RangePartitionDistribution(intervals, p=4, k=8)
+        for lam in (60.0, 128.0, 200.0):
+            assert dist.active_counts(lam).sum() == intervals.stabbing_count(lam)
+
+    @pytest.mark.parametrize("assignment", ["round-robin", "work-balanced"])
+    def test_assignments_valid(self, intervals, assignment):
+        dist = RangePartitionDistribution(intervals, p=4, k=8, assignment=assignment)
+        procs = dist.processor_of_metacells()
+        assert np.all((procs >= 0) & (procs < 4))
+
+    def test_worse_balance_than_striping_somewhere(self, intervals):
+        """The paper's criticism of [21]: some isovalue must show clearly
+        worse balance than round-robin striping."""
+        dist = RangePartitionDistribution(intervals, p=4, k=8)
+        tree = CompactIntervalTree.build(intervals)
+        layouts = stripe_brick_records(tree, 4)
+        worst_rp, worst_stripe = 0.0, 0.0
+        for lam in np.linspace(50, 220, 18):
+            rp = dist.active_counts(float(lam))
+            sp = striped_active_counts(layouts, float(lam))
+            if rp.sum() > 50:
+                worst_rp = max(worst_rp, rp.max() / rp.mean())
+                worst_stripe = max(worst_stripe, sp.max() / sp.mean())
+        assert worst_rp > worst_stripe
+        assert worst_rp > 1.5  # demonstrably unbalanced somewhere
+
+    def test_empty_intervals(self):
+        iv = IntervalSet(vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32))
+        dist = RangePartitionDistribution(iv, p=3, k=4)
+        assert np.array_equal(dist.active_counts(1.0), [0, 0, 0])
+
+    def test_validation(self, intervals):
+        with pytest.raises(ValueError):
+            RangePartitionDistribution(intervals, p=0)
+        with pytest.raises(ValueError):
+            RangePartitionDistribution(intervals, p=2, k=0)
+        with pytest.raises(ValueError):
+            RangePartitionDistribution(intervals, p=2, assignment="magic")
+
+
+class TestNaiveScan:
+    def test_matches_oracle(self, sphere_dataset, sphere_intervals):
+        res = full_scan_query(sphere_dataset, 0.6)
+        assert np.array_equal(np.sort(res.records.ids), sphere_intervals.stabbing_ids(0.6))
+
+    def test_scans_everything_always(self, sphere_dataset):
+        empty = full_scan_query(sphere_dataset, -100.0)
+        assert empty.n_active == 0
+        assert empty.n_records_scanned == sphere_dataset.n_records
+        full_bytes = sphere_dataset.n_records * sphere_dataset.codec.record_size
+        assert empty.io_stats.bytes_read == full_bytes
+
+    def test_compact_tree_beats_scan_for_selective_queries(self, sphere_dataset):
+        lam = 0.2  # small sphere -> few active metacells
+        scan = full_scan_query(sphere_dataset, lam)
+        sphere_dataset.device.reset_stats()
+        idx = execute_query(sphere_dataset, lam)
+        assert idx.n_active == scan.n_active
+        assert idx.io_stats.blocks_read < scan.io_stats.blocks_read

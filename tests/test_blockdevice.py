@@ -1,0 +1,193 @@
+"""Unit tests for the simulated and file-backed block devices."""
+
+import numpy as np
+import pytest
+
+from repro.io.blockdevice import IOStats, SimulatedBlockDevice
+from repro.io.cost_model import IOCostModel
+from repro.io.diskfile import FileBackedDevice
+
+
+@pytest.fixture(params=["memory", "file"])
+def device(request, tmp_path, small_cost_model):
+    if request.param == "memory":
+        return SimulatedBlockDevice(small_cost_model)
+    return FileBackedDevice(tmp_path / "store.bin", small_cost_model)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, device):
+        off = device.allocate(16)
+        device.write(off, b"0123456789abcdef")
+        assert device.read(off, 16) == b"0123456789abcdef"
+        assert device.read(off + 4, 4) == b"4567"
+
+    def test_allocation_is_appending(self, device):
+        a = device.allocate(10)
+        b = device.allocate(20)
+        assert b == a + 10
+        assert device.size == 30
+
+    def test_write_outside_allocation_raises(self, device):
+        device.allocate(8)
+        with pytest.raises(ValueError):
+            device.write(4, b"too long!")
+
+    def test_read_outside_allocation_raises(self, device):
+        device.allocate(8)
+        with pytest.raises(ValueError):
+            device.read(4, 8)
+
+    def test_negative_sizes_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.allocate(-1)
+        device.allocate(8)
+        with pytest.raises(ValueError):
+            device.read(0, -2)
+
+
+class TestAccounting:
+    def test_blocks_charged_per_extent(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)  # 512-byte blocks
+        dev.allocate(4096)
+        dev.write(0, b"x" * 4096)
+        dev.reset_stats()
+        dev.read(0, 100)
+        assert dev.stats.blocks_read == 1
+        dev.read(500, 24)  # spans blocks 0 and 1
+        assert dev.stats.blocks_read == 1 + 2
+
+    def test_sequential_reads_are_one_seek(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)
+        dev.allocate(4096)
+        dev.reset_stats()
+        dev.read(0, 512)
+        dev.read(512, 512)
+        dev.read(1024, 512)
+        assert dev.stats.seeks == 1
+        assert dev.stats.read_ops == 3
+
+    def test_backward_jump_is_a_seek(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)
+        dev.allocate(4096)
+        dev.reset_stats()
+        dev.read(2048, 512)
+        dev.read(0, 512)
+        assert dev.stats.seeks == 2
+
+    def test_zero_length_read_free(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)
+        dev.allocate(64)
+        dev.reset_stats()
+        dev.read(0, 0)
+        assert dev.stats.read_ops == 0
+        assert dev.stats.blocks_read == 0
+
+    def test_write_accounting(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)
+        dev.allocate(1024)
+        dev.write(0, b"y" * 1024)
+        assert dev.stats.write_ops == 1
+        assert dev.stats.blocks_written == 2
+        assert dev.stats.bytes_written == 1024
+
+    def test_reset_stats_forgets_position(self, small_cost_model):
+        dev = SimulatedBlockDevice(small_cost_model)
+        dev.allocate(2048)
+        dev.read(0, 512)
+        dev.reset_stats()
+        dev.read(512, 512)  # would be sequential, but position was forgotten
+        assert dev.stats.seeks == 1
+
+
+class TestIOStats:
+    def test_add_and_sub(self):
+        a = IOStats(read_ops=2, blocks_read=5, bytes_read=100, seeks=1)
+        b = IOStats(read_ops=1, blocks_read=2, bytes_read=40, seeks=1)
+        s = a + b
+        assert (s.read_ops, s.blocks_read, s.bytes_read, s.seeks) == (3, 7, 140, 2)
+        d = s - b
+        assert (d.read_ops, d.blocks_read, d.bytes_read, d.seeks) == (2, 5, 100, 1)
+
+    def test_read_time_uses_model(self):
+        stats = IOStats(blocks_read=10, seeks=2)
+        m = IOCostModel(block_size=1000, bandwidth=1e6, seek_latency=0.005)
+        assert stats.read_time(m) == pytest.approx(0.01 + 0.01)
+
+    def test_copy_is_independent(self):
+        a = IOStats(read_ops=1)
+        b = a.copy()
+        b.read_ops = 99
+        assert a.read_ops == 1
+
+
+class TestFileBacked:
+    def test_persistence_across_reopen(self, tmp_path, small_cost_model):
+        path = tmp_path / "persist.bin"
+        dev = FileBackedDevice(path, small_cost_model)
+        off = dev.allocate(8)
+        dev.write(off, b"persists")
+        dev.close()
+        dev2 = FileBackedDevice(path, small_cost_model, create=False)
+        assert dev2.size == 8
+        assert dev2.read(0, 8) == b"persists"
+        dev2.close()
+
+    def test_create_truncates(self, tmp_path, small_cost_model):
+        path = tmp_path / "trunc.bin"
+        dev = FileBackedDevice(path, small_cost_model)
+        dev.allocate(100)
+        dev.close()
+        dev2 = FileBackedDevice(path, small_cost_model, create=True)
+        assert dev2.size == 0
+        dev2.close()
+
+    def test_context_manager(self, tmp_path, small_cost_model):
+        with FileBackedDevice(tmp_path / "cm.bin", small_cost_model) as dev:
+            off = dev.allocate(4)
+            dev.write(off, b"abcd")
+            assert dev.read(off, 4) == b"abcd"
+
+    def test_short_read_detected(self, tmp_path, small_cost_model):
+        path = tmp_path / "short.bin"
+        dev = FileBackedDevice(path, small_cost_model)
+        dev.allocate(100)
+        dev.flush()
+        # Truncate the file behind the device's back.
+        with open(path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(IOError):
+            dev.read(0, 100)
+        dev.close()
+
+
+class TestFileBackedPickle:
+    def test_pickle_travels_by_path(self, tmp_path, small_cost_model):
+        import pickle
+
+        dev = FileBackedDevice(tmp_path / "p.bin", small_cost_model)
+        off = dev.allocate(16)
+        dev.write(off, b"0123456789abcdef")
+        dev.flush()
+        blob = pickle.dumps(dev)
+        # Pickle must be small: the 16-byte store should not be embedded.
+        assert len(blob) < 4096
+        clone = pickle.loads(blob)
+        assert clone.read(0, 16) == b"0123456789abcdef"
+        assert clone.stats.read_ops == 1  # fresh meter
+        clone.close()
+        dev.close()
+
+    def test_unpickle_detects_truncation(self, tmp_path, small_cost_model):
+        import pickle
+
+        path = tmp_path / "t.bin"
+        dev = FileBackedDevice(path, small_cost_model)
+        dev.allocate(100)
+        dev.flush()
+        blob = pickle.dumps(dev)
+        dev.close()
+        with open(path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(IOError):
+            pickle.loads(blob)

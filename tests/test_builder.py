@@ -1,0 +1,123 @@
+"""Tests for the preprocessing pipeline (builder)."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import (
+    DatasetMeta,
+    build_indexed_dataset,
+    build_striped_datasets,
+)
+from repro.core.query import execute_query
+from repro.grid.datasets import sphere_field
+from repro.grid.rm_instability import rm_timestep
+from repro.io.diskfile import FileBackedDevice
+
+
+class TestSerialBuild:
+    def test_report_counts(self):
+        vol = rm_timestep(200, shape=(33, 33, 29))
+        ds = build_indexed_dataset(vol, (5, 5, 5))
+        rep = ds.report
+        assert rep.n_metacells_total == rep.n_metacells_culled + rep.n_metacells_stored
+        assert rep.n_metacells_stored == ds.n_records
+        assert rep.stored_bytes == ds.n_records * ds.codec.record_size
+        assert rep.index_bytes == ds.tree.index_size_bytes()
+        # Saving can be negative for tiny metacells (boundary-layer overhead
+        # exceeds culling); it is bounded above by 1.
+        assert rep.space_saving < 1.0
+
+    def test_rm_space_saving_regime(self):
+        """The paper reports ~50% disk saving from culling on RM data."""
+        vol = rm_timestep(120, shape=(65, 65, 57))
+        ds = build_indexed_dataset(vol, (9, 9, 9))
+        assert ds.report.space_saving > 0.1
+
+    def test_device_holds_all_records(self, sphere_dataset):
+        expect = sphere_dataset.n_records * sphere_dataset.codec.record_size
+        assert sphere_dataset.device.size >= expect
+
+    def test_drop_constant_false_keeps_everything(self):
+        vol = rm_timestep(120, shape=(33, 33, 29))
+        ds = build_indexed_dataset(vol, (5, 5, 5), drop_constant=False)
+        assert ds.n_records == ds.report.n_metacells_total
+
+    def test_record_offsets(self, sphere_dataset):
+        rec = sphere_dataset.codec.record_size
+        assert sphere_dataset.record_offset(0) == sphere_dataset.base_offset
+        assert sphere_dataset.record_offset(5) == sphere_dataset.base_offset + 5 * rec
+
+    def test_file_backed_device(self, tmp_path, sphere_volume, sphere_intervals):
+        dev = FileBackedDevice(tmp_path / "sphere.dat")
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5), device=dev)
+        res = execute_query(ds, 0.6)
+        assert np.array_equal(np.sort(res.records.ids), sphere_intervals.stabbing_ids(0.6))
+        dev.close()
+        assert (tmp_path / "sphere.dat").stat().st_size == dev.size
+
+
+class TestStripedBuild:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_union_matches_serial(self, sphere_volume, sphere_intervals, p):
+        dss = build_striped_datasets(sphere_volume, p, (5, 5, 5))
+        assert len(dss) == p
+        for lam in (0.3, 0.8):
+            ids = np.sort(
+                np.concatenate([execute_query(d, lam).records.ids for d in dss])
+            )
+            assert np.array_equal(ids, sphere_intervals.stabbing_ids(lam))
+
+    def test_shared_report_and_meta(self, sphere_volume):
+        dss = build_striped_datasets(sphere_volume, 4, (5, 5, 5))
+        assert all(d.report is dss[0].report for d in dss)
+        assert all(d.meta == dss[0].meta for d in dss)
+        assert [d.node_rank for d in dss] == [0, 1, 2, 3]
+        assert all(d.n_cluster_nodes == 4 for d in dss)
+
+    def test_total_records_preserved(self, sphere_volume):
+        serial = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        dss = build_striped_datasets(sphere_volume, 3, (5, 5, 5))
+        assert sum(d.n_records for d in dss) == serial.n_records
+
+    def test_custom_devices(self, tmp_path, sphere_volume):
+        devices = [FileBackedDevice(tmp_path / f"node{q}.dat") for q in range(2)]
+        dss = build_striped_datasets(sphere_volume, 2, (5, 5, 5), devices=devices)
+        assert dss[0].device is devices[0]
+        for d in devices:
+            d.close()
+
+    def test_device_count_mismatch(self, sphere_volume):
+        with pytest.raises(ValueError):
+            build_striped_datasets(sphere_volume, 2, (5, 5, 5), devices=[None])
+
+    def test_invalid_p(self, sphere_volume):
+        with pytest.raises(ValueError):
+            build_striped_datasets(sphere_volume, 0, (5, 5, 5))
+
+
+class TestDatasetMeta:
+    def test_id_mapping_roundtrip(self):
+        meta = DatasetMeta(
+            grid_shape=(3, 4, 5),
+            metacell_shape=(9, 9, 9),
+            volume_shape=(17, 25, 33),
+            spacing=(1, 1, 1),
+            origin=(0, 0, 0),
+            name="t",
+        )
+        ids = np.arange(meta.n_metacells)
+        ijk = meta.id_to_ijk(ids)
+        flat = (ijk[:, 0] * 4 + ijk[:, 1]) * 5 + ijk[:, 2]
+        assert np.array_equal(flat, ids)
+
+    def test_vertex_origins_scaled_by_cells(self):
+        meta = DatasetMeta(
+            grid_shape=(2, 2, 2),
+            metacell_shape=(5, 5, 5),
+            volume_shape=(9, 9, 9),
+            spacing=(1, 1, 1),
+            origin=(0, 0, 0),
+            name="t",
+        )
+        origins = meta.vertex_origins(np.array([7]))  # ijk = (1,1,1)
+        assert np.array_equal(origins[0], [4, 4, 4])

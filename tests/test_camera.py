@@ -1,0 +1,82 @@
+"""Unit tests for the perspective camera."""
+
+import numpy as np
+import pytest
+
+from repro.mc.geometry import TriangleMesh
+from repro.render.camera import Camera
+
+
+class TestBasics:
+    def test_rejects_coincident_eye_target(self):
+        with pytest.raises(ValueError):
+            Camera(eye=[1, 1, 1], target=[1, 1, 1])
+
+    def test_rejects_bad_fov(self):
+        with pytest.raises(ValueError):
+            Camera(eye=[0, 0, 5], target=[0, 0, 0], fov_y=0)
+        with pytest.raises(ValueError):
+            Camera(eye=[0, 0, 5], target=[0, 0, 0], fov_y=200)
+
+    def test_view_basis_orthonormal(self):
+        cam = Camera(eye=[3, 2, 5], target=[0, 0, 0], up=[0, 0, 1])
+        r, u, f = cam.view_basis()
+        for v in (r, u, f):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert np.dot(r, u) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(r, f) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(u, f) == pytest.approx(0.0, abs=1e-12)
+
+    def test_up_parallel_to_view_handled(self):
+        cam = Camera(eye=[0, 0, 5], target=[0, 0, 0], up=[0, 0, 1])
+        r, u, f = cam.view_basis()
+        assert np.isfinite(r).all()
+
+
+class TestProjection:
+    def test_target_projects_to_center(self):
+        cam = Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+        xy, depth = cam.project(np.array([[0.0, 0.0, 0.0]]), 101, 101)
+        assert xy[0, 0] == pytest.approx(50.0)
+        assert xy[0, 1] == pytest.approx(50.0)
+        assert depth[0] == pytest.approx(5.0)
+
+    def test_depth_is_view_distance(self):
+        cam = Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+        _, depth = cam.project(np.array([[0.0, -2.0, 0.0], [0.0, 2.0, 0.0]]), 64, 64)
+        assert depth[0] == pytest.approx(3.0)
+        assert depth[1] == pytest.approx(7.0)
+
+    def test_up_is_up_on_screen(self):
+        cam = Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+        xy, _ = cam.project(np.array([[0.0, 0.0, 1.0]]), 101, 101)
+        assert xy[0, 1] < 50.0  # +z appears above center (smaller row)
+
+    def test_right_is_right_on_screen(self):
+        cam = Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+        r, _, _ = cam.view_basis()
+        p = np.asarray(r) * 0.5
+        xy, _ = cam.project(p[None, :], 101, 101)
+        assert xy[0, 0] > 50.0
+
+    def test_behind_camera_flagged_by_depth(self):
+        cam = Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+        _, depth = cam.project(np.array([[0.0, -10.0, 0.0]]), 64, 64)
+        assert depth[0] < 0
+
+
+class TestFitMesh:
+    def test_whole_mesh_visible(self):
+        rng = np.random.default_rng(0)
+        verts = rng.random((50, 3)) * 4 - 2
+        mesh = TriangleMesh(verts, np.arange(48).reshape(-1, 3) % 50)
+        cam = Camera.fit_mesh(mesh)
+        xy, depth = cam.project(mesh.vertices, 200, 200)
+        assert np.all(depth > cam.near)
+        assert np.all(xy >= -1.0)
+        assert np.all(xy <= 200.0)
+
+    def test_degenerate_mesh(self):
+        mesh = TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        cam = Camera.fit_mesh(mesh)
+        assert np.isfinite(cam.eye).all()

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli") / "ds"
+    rc = main([
+        "preprocess", "--rm-step", "200", "--shape", "33x33x25",
+        "--metacell", "5", "--out", str(d),
+    ])
+    assert rc == 0
+    return d
+
+
+class TestPreprocess:
+    def test_creates_dataset_files(self, dataset_dir):
+        assert (dataset_dir / "bricks.bin").exists()
+        assert (dataset_dir / "index.npz").exists()
+        assert (dataset_dir / "meta.json").exists()
+
+    def test_npy_input(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        vol = rng.integers(0, 255, size=(17, 17, 13)).astype(np.uint8)
+        np.save(tmp_path / "field.npy", vol)
+        rc = main([
+            "preprocess", "--input", str(tmp_path / "field.npy"),
+            "--metacell", "5", "--out", str(tmp_path / "npyds"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metacells stored" in out
+
+    def test_rejects_non_3d_npy(self, tmp_path):
+        np.save(tmp_path / "bad.npy", np.zeros((4, 4)))
+        with pytest.raises(SystemExit):
+            main(["preprocess", "--input", str(tmp_path / "bad.npy"),
+                  "--out", str(tmp_path / "x")])
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["preprocess", "--shape", "10x10", "--out", str(tmp_path / "x")])
+
+
+class TestInfoQuery:
+    def test_info(self, dataset_dir, capsys):
+        assert main(["info", str(dataset_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "isovalues" in out
+        assert "index" in out
+
+    def test_query_reports_io(self, dataset_dir, capsys):
+        assert main(["query", str(dataset_dir), "128"]) == 0
+        out = capsys.readouterr().out
+        assert "active metacells" in out
+        assert "blocks" in out
+
+    def test_query_empty(self, dataset_dir, capsys):
+        assert main(["query", str(dataset_dir), "-5"]) == 0
+        assert "0 active metacells" in capsys.readouterr().out
+
+
+class TestExtractRender:
+    def test_extract_obj_and_ply(self, dataset_dir, tmp_path, capsys):
+        obj = tmp_path / "s.obj"
+        ply = tmp_path / "s.ply"
+        rc = main([
+            "extract", str(dataset_dir), "128",
+            "--obj", str(obj), "--ply", str(ply), "--weld",
+        ])
+        assert rc == 0
+        assert obj.exists() and ply.exists()
+        from repro.mc.mesh_io import read_obj, read_ply
+
+        assert read_obj(obj).n_triangles == read_ply(ply).n_triangles > 0
+
+    def test_render_flat_and_smooth(self, dataset_dir, tmp_path):
+        for extra in ([], ["--smooth"]):
+            out = tmp_path / f"img{len(extra)}.ppm"
+            rc = main(["render", str(dataset_dir), "128",
+                       "--out", str(out), "--size", "96", *extra])
+            assert rc == 0
+            assert out.stat().st_size > 96 * 96 * 3
+
+    def test_render_empty_iso_fails(self, dataset_dir, tmp_path, capsys):
+        rc = main(["render", str(dataset_dir), "-5",
+                   "--out", str(tmp_path / "x.ppm")])
+        assert rc == 1
+
+
+class TestSpanspace:
+    def test_ascii_output(self, dataset_dir, capsys):
+        assert main(["spanspace", str(dataset_dir), "--bins", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "intervals" in out
+        assert "vmin" in out
+
+
+class TestSuggestEstimate:
+    def test_suggest(self, dataset_dir, capsys):
+        assert main(["suggest", str(dataset_dir), "--selectivity", "0.1", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "selectivity" in out
+        assert out.count("%") >= 2
+
+    def test_estimate_matches_query_blocks(self, dataset_dir, capsys):
+        assert main(["estimate", str(dataset_dir), "128"]) == 0
+        est_out = capsys.readouterr().out
+        assert "blocks" in est_out
+        import re
+        blocks = int(re.search(r"blocks\s*:\s*(\d+)", est_out).group(1))
+        assert main(["query", str(dataset_dir), "128"]) == 0
+        q_out = capsys.readouterr().out
+        q_blocks = int(re.search(r"(\d+) blocks", q_out).group(1))
+        assert blocks == q_blocks
+
+
+class TestExtractOptions:
+    def test_decimate(self, dataset_dir, tmp_path, capsys):
+        obj = tmp_path / "d.obj"
+        rc = main(["extract", str(dataset_dir), "128", "--obj", str(obj),
+                   "--weld", "--decimate", "150"])
+        assert rc == 0
+        from repro.mc.mesh_io import read_obj
+        assert 0 < read_obj(obj).n_triangles <= 150
+
+    def test_stream(self, dataset_dir, tmp_path, capsys):
+        ply = tmp_path / "s.ply"
+        rc = main(["extract", str(dataset_dir), "128", "--ply", str(ply), "--stream"])
+        assert rc == 0
+        from repro.mc.mesh_io import read_ply
+        assert read_ply(ply).n_triangles > 0
+
+    def test_stream_needs_target(self, dataset_dir):
+        assert main(["extract", str(dataset_dir), "128", "--stream"]) == 2
+
+
+class TestErrorHandling:
+    def test_missing_dataset_is_clean_error(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTimeVaryingCLI:
+    def test_preprocess_and_query_series(self, tmp_path, capsys):
+        rc = main([
+            "preprocess-series", "--steps", "40,60", "--shape", "25x25x21",
+            "--n-steps", "100", "--metacell", "5", "--nodes", "2",
+            "--out", str(tmp_path / "tv"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 steps" in out
+        rc = main(["query-series", str(tmp_path / "tv"), "120"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 3  # header + 2 steps
+
+    def test_query_series_subset_and_missing(self, tmp_path, capsys):
+        main([
+            "preprocess-series", "--steps", "5", "--shape", "17x17x13",
+            "--n-steps", "10", "--metacell", "5", "--out", str(tmp_path / "tv2"),
+        ])
+        capsys.readouterr()
+        rc = main(["query-series", str(tmp_path / "tv2"), "100", "--steps", "5,6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(not indexed)" in out

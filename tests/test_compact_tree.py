@@ -1,0 +1,184 @@
+"""Unit + property tests for the compact interval tree (the core index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact_tree import BrickPrefixScan, CompactIntervalTree, SequentialRun
+from repro.core.intervals import IntervalSet
+
+from tests.conftest import random_intervals
+
+
+def build(vmin, vmax, ids=None):
+    vmin = np.asarray(vmin)
+    vmax = np.asarray(vmax)
+    if ids is None:
+        ids = np.arange(len(vmin), dtype=np.uint32)
+    iv = IntervalSet(vmin=vmin, vmax=vmax, ids=np.asarray(ids, dtype=np.uint32))
+    return iv, CompactIntervalTree.build(iv)
+
+
+class TestConstruction:
+    def test_empty_set(self):
+        iv, tree = build([], [])
+        assert tree.n_nodes == 0
+        assert tree.n_records == 0
+        assert tree.query_count(0.5) == 0
+        assert tree.plan_query(0.5).runs == []
+
+    def test_single_interval(self):
+        iv, tree = build([2], [7])
+        tree.validate(iv)
+        assert tree.n_nodes == 1
+        assert tree.n_bricks == 1
+        assert tree.query_count(2) == 1
+        assert tree.query_count(7) == 1
+        assert tree.query_count(1) == 0
+        assert tree.query_count(8) == 0
+
+    def test_degenerate_intervals_allowed(self):
+        """vmin == vmax intervals (normally culled) still index correctly."""
+        iv, tree = build([3, 3, 5], [3, 4, 5])
+        tree.validate(iv)
+        assert tree.query_count(3) == 2
+        assert tree.query_count(5) == 1
+
+    def test_height_is_logarithmic(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        n = len(tree.endpoints)
+        assert tree.height() <= int(np.ceil(np.log2(max(n, 2)))) + 1
+
+    def test_validate_passes_on_real_data(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        tree.validate(sphere_intervals)
+
+    def test_records_partition_input(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        assert tree.n_records == len(sphere_intervals)
+        assert np.array_equal(
+            np.sort(tree.record_order), np.arange(len(sphere_intervals))
+        )
+
+    def test_brick_grouping_by_vmax(self):
+        """All intervals with the same (node, vmax) land in one brick."""
+        iv, tree = build([0, 0, 0, 1], [5, 5, 5, 5])
+        # all contain median -> one node; same vmax -> one brick
+        assert tree.n_nodes == 1
+        assert tree.n_bricks == 1
+        assert tree.brick_count[0] == 4
+
+    def test_brick_vmin_ascending(self):
+        iv, tree = build([3, 0, 2, 1], [5, 5, 5, 5])
+        members = tree.record_vmins
+        assert np.all(np.diff(members) >= 0)
+
+
+class TestQueryAgainstOracle:
+    @pytest.mark.parametrize("lam", [-1.0, 0.0, 0.2, 0.5, 0.87, 1.3, 1.74, 5.0])
+    def test_sphere_dataset(self, sphere_intervals, lam):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        assert np.array_equal(tree.query_ids(lam), sphere_intervals.stabbing_ids(lam))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 120),
+        n_values=st.integers(1, 24),
+        seed=st.integers(0, 2**16),
+        lam_num=st.integers(-2, 26),
+    )
+    def test_random_integer_intervals(self, n, n_values, seed, lam_num):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, n_values)
+        tree = CompactIntervalTree.build(iv)
+        tree.validate(iv)
+        lam = float(lam_num)
+        assert np.array_equal(tree.query_ids(lam), iv.stabbing_ids(lam))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16), lam=st.floats(-0.5, 1.5, allow_nan=False))
+    def test_random_float_intervals(self, seed, lam):
+        rng = np.random.default_rng(seed)
+        a = rng.random(60)
+        b = rng.random(60)
+        iv = IntervalSet(
+            vmin=np.minimum(a, b), vmax=np.maximum(a, b),
+            ids=np.arange(60, dtype=np.uint32),
+        )
+        tree = CompactIntervalTree.build(iv)
+        assert np.array_equal(tree.query_ids(lam), iv.stabbing_ids(lam))
+
+    def test_query_at_exact_split_value(self):
+        """lam == a node's split: all node intervals are active (Case 1)."""
+        iv, tree = build([0, 2, 4], [4, 6, 8])
+        split = float(tree.nodes[0].split)
+        assert np.array_equal(tree.query_ids(split), iv.stabbing_ids(split))
+
+
+class TestQueryPlanShape:
+    def test_case1_produces_sequential_runs(self):
+        # One node, several bricks; lam above split -> single sequential run.
+        iv, tree = build([0, 0, 1], [5, 6, 7])
+        split = float(tree.nodes[0].split)
+        plan = tree.plan_query(split + 0.5)
+        seq = [r for r in plan.runs if isinstance(r, SequentialRun)]
+        assert plan.case1_nodes >= 1
+        assert len(seq) >= 1
+
+    def test_case2_produces_prefix_scans(self):
+        iv, tree = build([0, 0, 1], [5, 6, 7])
+        split = float(tree.nodes[0].split)
+        plan = tree.plan_query(split - 0.5)
+        scans = [r for r in plan.runs if isinstance(r, BrickPrefixScan)]
+        assert len(scans) >= 1
+
+    def test_case2_skips_empty_bricks_without_io(self):
+        # Bricks whose min vmin exceeds lam are skipped in the plan itself.
+        iv, tree = build([0, 4], [10, 10])
+        # One node (both contain median); one brick (same vmax).
+        # Query lam=1 (< split): brick min_vmin = 0 <= 1 -> scanned.
+        plan = tree.plan_query(1.0)
+        assert plan.bricks_skipped == 0
+        # Make a brick with min_vmin 4 via distinct vmax values.
+        iv2, tree2 = build([0, 4], [10, 9])
+        plan2 = tree2.plan_query(1.0)
+        # The (vmax=9, min_vmin=4) brick must be skipped.
+        assert plan2.bricks_skipped == 1
+
+    def test_case1_run_is_contiguous_prefix(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        lam = float(tree.nodes[0].split)
+        for run in tree.plan_query(lam).runs:
+            if isinstance(run, SequentialRun):
+                node = tree.nodes[run.node_id]
+                assert run.start == node.run_start
+                assert run.count <= node.run_count
+
+    def test_nodes_visited_bounded_by_height(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        plan = tree.plan_query(0.9)
+        assert plan.nodes_visited <= tree.height() + 1
+
+
+class TestSizeAccounting:
+    def test_paper_6kb_figure_regime(self):
+        """One-byte scalars: the index must stay in the KB range no matter
+        how many intervals there are (size depends on n, not N)."""
+        rng = np.random.default_rng(0)
+        iv = random_intervals(rng, 200_000, n_values=256)
+        tree = CompactIntervalTree.build(iv)
+        # <= (n/2) * ceil(log2 n) entries; generous envelope: 8 KB.
+        assert tree.index_size_bytes(value_bytes=1) < 16_384
+        assert tree.n_index_entries <= 128 * 9
+
+    def test_entry_bound_nlogn(self):
+        rng = np.random.default_rng(1)
+        iv = random_intervals(rng, 5000, n_values=64)
+        tree = CompactIntervalTree.build(iv)
+        n = len(tree.endpoints)
+        assert tree.n_index_entries <= (n / 2) * (np.log2(n) + 2)
+
+    def test_size_grows_with_value_bytes(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        assert tree.index_size_bytes(value_bytes=2) > tree.index_size_bytes(value_bytes=1)

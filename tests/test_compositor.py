@@ -1,0 +1,138 @@
+"""Tests for sort-last compositing: correctness and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.mc.marching_cubes import marching_cubes
+from repro.render.camera import Camera
+from repro.render.compositor import (
+    PIXEL_PAYLOAD_BYTES,
+    binary_swap,
+    composite,
+    direct_send,
+)
+from repro.render.rasterizer import Framebuffer, render_mesh
+from repro.render.tiled_display import TileLayout
+
+
+@pytest.fixture(scope="module")
+def partitioned_render():
+    """Render a sphere split across 4 'nodes' + the reference render."""
+    vol = sphere_field((28, 28, 28))
+    mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+    cam = Camera.fit_mesh(mesh)
+    # Partition triangles round-robin across 4 nodes (like striping).
+    fbs = []
+    for q in range(4):
+        fb = Framebuffer(96, 96)
+        part = mesh.faces[q::4]
+        sub = type(mesh)(mesh.vertices, part)
+        render_mesh(fb, sub, cam)
+        fbs.append(fb)
+    ref = Framebuffer(96, 96)
+    render_mesh(ref, mesh, cam)
+    return fbs, ref
+
+
+class TestReferenceComposite:
+    def test_equals_single_node_render(self, partitioned_render):
+        fbs, ref = partitioned_render
+        out = composite(fbs)
+        assert np.array_equal(out.depth, ref.depth)
+        assert np.array_equal(out.color, ref.color)
+
+    def test_composite_is_order_invariant(self, partitioned_render):
+        fbs, _ = partitioned_render
+        a = composite(fbs)
+        b = composite(fbs[::-1])
+        assert np.array_equal(a.color, b.color)
+        assert np.array_equal(a.depth, b.depth)
+
+    def test_single_buffer(self, partitioned_render):
+        fbs, _ = partitioned_render
+        out = composite(fbs[:1])
+        assert np.array_equal(out.color, fbs[0].color)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            composite([Framebuffer(8, 8), Framebuffer(9, 8)])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            composite([])
+
+
+class TestDirectSend:
+    def test_image_matches_reference(self, partitioned_render):
+        fbs, ref = partitioned_render
+        layout = TileLayout(2, 2, 96, 96)
+        out, stats = direct_send(fbs, layout)
+        assert np.array_equal(out.depth, ref.depth)
+        assert np.array_equal(out.color, ref.color)
+        assert stats.schedule == "direct-send"
+
+    def test_byte_accounting(self, partitioned_render):
+        fbs, _ = partitioned_render
+        layout = TileLayout(2, 2, 96, 96)
+        _, stats = direct_send(fbs, layout)
+        # Every node ships its full buffer once (in tile pieces).
+        expect = 96 * 96 * PIXEL_PAYLOAD_BYTES
+        assert stats.bytes_sent_per_node == [expect] * 4
+        assert stats.total_bytes == 4 * expect
+
+    def test_uneven_tiles(self, partitioned_render):
+        fbs, ref = partitioned_render
+        layout = TileLayout(3, 3, 96, 96)
+        out, stats = direct_send(fbs, layout)
+        assert np.array_equal(out.depth, ref.depth)
+        assert stats.total_bytes == 4 * 96 * 96 * PIXEL_PAYLOAD_BYTES
+
+
+class TestBinarySwap:
+    def test_image_matches_reference(self, partitioned_render):
+        fbs, ref = partitioned_render
+        out, stats = binary_swap(fbs)
+        assert np.array_equal(out.depth, ref.depth)
+        assert np.array_equal(out.color, ref.color)
+        assert stats.rounds == 2
+
+    def test_total_bytes_one_screen_per_node(self, partitioned_render):
+        """Each node sends 1/2 + 1/4 + ... + 1/p of a screen in the swap
+        rounds plus its final 1/p strip: exactly one screen total, the
+        same aggregate as direct send — the win is the distributed merge
+        work and receiver load, not raw bytes."""
+        fbs, _ = partitioned_render
+        _, ds = direct_send(fbs, TileLayout(2, 2, 96, 96))
+        _, bs = binary_swap(fbs)
+        screen = 96 * 96 * PIXEL_PAYLOAD_BYTES
+        assert bs.total_bytes == ds.total_bytes == 4 * screen
+        assert all(b == screen for b in bs.bytes_sent_per_node)
+
+    def test_per_node_bytes_balanced(self, partitioned_render):
+        fbs, _ = partitioned_render
+        _, stats = binary_swap(fbs)
+        assert max(stats.bytes_sent_per_node) - min(stats.bytes_sent_per_node) <= (
+            96 * 96 * PIXEL_PAYLOAD_BYTES // 2
+        )
+
+    def test_requires_power_of_two(self, partitioned_render):
+        fbs, _ = partitioned_render
+        with pytest.raises(ValueError):
+            binary_swap(fbs[:3])
+        with pytest.raises(ValueError):
+            binary_swap([])
+
+    def test_two_nodes(self, partitioned_render):
+        fbs, _ = partitioned_render
+        merged2 = composite(fbs[:2])
+        out, stats = binary_swap(fbs[:2])
+        assert np.array_equal(out.depth, merged2.depth)
+        assert stats.rounds == 1
+
+    def test_inputs_not_mutated(self, partitioned_render):
+        fbs, _ = partitioned_render
+        before = [fb.depth.copy() for fb in fbs]
+        binary_swap(fbs)
+        for fb, d in zip(fbs, before):
+            assert np.array_equal(fb.depth, d)

@@ -1,0 +1,72 @@
+"""Unit tests for the external-memory cost model."""
+
+import pytest
+
+from repro.io.cost_model import IOCostModel, PAPER_DISK
+
+
+class TestBlocksForExtent:
+    def test_zero_length(self):
+        m = IOCostModel(block_size=100)
+        assert m.blocks_for_extent(0, 0) == 0
+        assert m.blocks_for_extent(50, 0) == 0
+
+    def test_within_one_block(self):
+        m = IOCostModel(block_size=100)
+        assert m.blocks_for_extent(0, 1) == 1
+        assert m.blocks_for_extent(10, 80) == 1
+        assert m.blocks_for_extent(0, 100) == 1
+
+    def test_spanning_boundary(self):
+        m = IOCostModel(block_size=100)
+        assert m.blocks_for_extent(99, 2) == 2
+        assert m.blocks_for_extent(0, 101) == 2
+        assert m.blocks_for_extent(50, 100) == 2
+
+    def test_aligned_multi_block(self):
+        m = IOCostModel(block_size=100)
+        assert m.blocks_for_extent(100, 300) == 3
+
+    def test_unaligned_multi_block(self):
+        m = IOCostModel(block_size=100)
+        # [150, 450): blocks 1, 2, 3, 4
+        assert m.blocks_for_extent(150, 300) == 4
+
+
+class TestTime:
+    def test_time_for_blocks(self):
+        m = IOCostModel(block_size=1000, bandwidth=1e6, seek_latency=0.01)
+        # 10 blocks = 10_000 bytes at 1 MB/s = 10 ms, plus 1 seek = 10 ms.
+        assert m.time_for(10, 1) == pytest.approx(0.02)
+
+    def test_scan_time_rounds_up(self):
+        m = IOCostModel(block_size=1000, bandwidth=1e6, seek_latency=0.0)
+        assert m.scan_time(1) == pytest.approx(0.001)
+        assert m.scan_time(1001) == pytest.approx(0.002)
+
+    def test_scan_time_empty(self):
+        assert IOCostModel().scan_time(0) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"block_size": 0},
+        {"block_size": -1},
+        {"bandwidth": 0},
+        {"bandwidth": -5.0},
+        {"seek_latency": -0.1},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            IOCostModel(**kwargs)
+
+    def test_paper_disk_calibration(self):
+        # Section 6: 50 MB/s local disks.
+        assert PAPER_DISK.bandwidth == pytest.approx(50e6)
+        assert PAPER_DISK.block_size == 8192
+
+    def test_paper_disk_full_scan_figure(self):
+        # Reading the preprocessed 3.828 GB time-step-250 store at 50 MB/s
+        # should take ~77 s; the model must reproduce that order.
+        t = PAPER_DISK.scan_time(int(3.828 * 2**30))
+        assert 70 < t < 90

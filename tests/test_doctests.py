@@ -1,0 +1,32 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.io.blockdevice
+import repro.mc
+import repro.parallel.cluster
+import repro.pipeline
+
+MODULES = [
+    repro.io.blockdevice,
+    repro.mc,
+    repro.parallel.cluster,
+    repro.pipeline,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert results.failed == 0
+
+
+def test_package_docstring_example():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+
+
+import repro  # noqa: E402  (used by the last test)

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are executed in a temporary working directory (they write
+output artifacts) with reduced arguments where supported.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+#: (script, argv) — arguments keep runtimes modest.
+CASES = [
+    ("quickstart.py", []),
+    ("render_isosurface.py", ["200", "150"]),
+    ("cluster_scaling.py", []),
+    ("timevarying_exploration.py", []),
+    ("out_of_core_files.py", []),
+    ("multiprocessing_cluster.py", []),
+    ("unstructured_mesh.py", []),
+    ("isovalue_explorer.py", []),
+    ("mixing_animation.py", ["2"]),
+]
+
+
+@pytest.mark.parametrize("script,argv", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(tmp_path, script, argv):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert on_disk == covered, (
+        f"examples drifted: uncovered {on_disk - covered}, stale {covered - on_disk}"
+    )

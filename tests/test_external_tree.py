@@ -1,0 +1,111 @@
+"""Tests for the external (blocked) compact interval tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.compact_tree import BrickPrefixScan, CompactIntervalTree, SequentialRun
+from repro.core.external_tree import ExternalCompactIndex
+from repro.core.query import execute_plan, execute_query
+from repro.grid.datasets import sphere_field
+from repro.io.blockdevice import SimulatedBlockDevice
+from repro.io.cost_model import IOCostModel
+from tests.conftest import random_intervals
+
+
+def _plan_signature(plan):
+    out = []
+    for r in plan.runs:
+        if isinstance(r, SequentialRun):
+            out.append(("seq", r.start, r.count))
+        else:
+            out.append(("scan", r.start, r.max_count))
+    return out
+
+
+class TestPlanEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        n_values=st.integers(1, 24),
+        seed=st.integers(0, 2**16),
+        lam_num=st.integers(-1, 26),
+        block=st.sampled_from([512, 1024, 8192]),
+    )
+    def test_same_plan_as_in_memory(self, n, n_values, seed, lam_num, block):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, n_values)
+        tree = CompactIntervalTree.build(iv)
+        dev = SimulatedBlockDevice(IOCostModel(block_size=block))
+        ext = ExternalCompactIndex(dev, tree)
+        plan_mem = tree.plan_query(float(lam_num))
+        plan_ext, io = ext.plan_query(float(lam_num))
+        assert _plan_signature(plan_ext) == _plan_signature(plan_mem)
+        assert plan_ext.nodes_visited == plan_mem.nodes_visited
+        assert plan_ext.bricks_skipped == plan_mem.bricks_skipped
+        assert io.blocks_read >= 1
+
+    def test_empty_tree(self):
+        from repro.core.intervals import IntervalSet
+
+        iv = IntervalSet(vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32))
+        tree = CompactIntervalTree.build(iv)
+        dev = SimulatedBlockDevice(IOCostModel(block_size=1024))
+        ext = ExternalCompactIndex(dev, tree)
+        plan, io = ext.plan_query(1.0)
+        assert plan.runs == []
+        assert io.blocks_read == 0
+
+
+class TestBlockedIO:
+    def test_traversal_reads_few_blocks(self, sphere_intervals):
+        """With a block holding many nodes, a query's index traversal must
+        read far fewer blocks than it visits nodes."""
+        tree = CompactIntervalTree.build(sphere_intervals)
+        dev = SimulatedBlockDevice(IOCostModel(block_size=8192))
+        ext = ExternalCompactIndex(dev, tree)
+        plan, io = ext.plan_query(0.9)
+        assert io.blocks_read <= max(1, plan.nodes_visited // 2 + 1)
+
+    def test_small_blocks_increase_reads(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        big = ExternalCompactIndex(
+            SimulatedBlockDevice(IOCostModel(block_size=8192)), tree
+        )
+        small = ExternalCompactIndex(
+            SimulatedBlockDevice(IOCostModel(block_size=512)), tree
+        )
+        _, io_big = big.plan_query(0.9)
+        _, io_small = small.plan_query(0.9)
+        assert io_small.blocks_read >= io_big.blocks_read
+        assert small.n_blocks > big.n_blocks
+
+    def test_block_overflow_detected(self):
+        """A node whose entry list exceeds the block size must fail loudly."""
+        rng = np.random.default_rng(0)
+        iv = random_intervals(rng, 500, n_values=500)  # many distinct bricks
+        tree = CompactIntervalTree.build(iv)
+        dev = SimulatedBlockDevice(IOCostModel(block_size=64))
+        with pytest.raises(ValueError, match="does not fit"):
+            ExternalCompactIndex(dev, tree)
+
+
+class TestEndToEnd:
+    def test_external_plan_executes_identically(self, sphere_volume, sphere_intervals):
+        """Full out-of-core query via the external index == via the
+        in-memory index, records and all."""
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        index_dev = SimulatedBlockDevice(IOCostModel(block_size=4096))
+        ext = ExternalCompactIndex(index_dev, ds.tree)
+        for lam in (0.3, 0.8, 1.3):
+            plan, _ = ext.plan_query(lam)
+            got = execute_plan(ds, plan)
+            ref = execute_query(ds, lam)
+            assert np.array_equal(
+                np.sort(got.records.ids), np.sort(ref.records.ids)
+            )
+            assert np.array_equal(
+                np.sort(got.records.ids), sphere_intervals.stabbing_ids(lam)
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for TriangleMesh."""
+
+import numpy as np
+import pytest
+
+from repro.mc.geometry import TriangleMesh
+
+
+def tetrahedron() -> TriangleMesh:
+    """A regular-ish tetrahedron with outward normals."""
+    v = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=np.float64)
+    f = np.array([[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]])
+    return TriangleMesh(v, f)
+
+
+class TestMeasures:
+    def test_tetrahedron_volume(self):
+        assert tetrahedron().enclosed_volume() == pytest.approx(1 / 6)
+
+    def test_tetrahedron_area(self):
+        t = tetrahedron()
+        expected = 3 * 0.5 + 0.5 * np.sqrt(3)  # three unit right triangles + slanted
+        assert t.area() == pytest.approx(expected)
+
+    def test_flipped_orientation_negates_volume(self):
+        t = tetrahedron()
+        flipped = TriangleMesh(t.vertices, t.faces[:, [0, 2, 1]])
+        assert flipped.enclosed_volume() == pytest.approx(-1 / 6)
+
+    def test_bounding_box(self):
+        lo, hi = tetrahedron().bounding_box()
+        assert np.array_equal(lo, [0, 0, 0])
+        assert np.array_equal(hi, [1, 1, 1])
+
+    def test_face_normals_unit_length(self):
+        n = tetrahedron().face_normals()
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_vertex_normals_unit_length(self):
+        n = tetrahedron().vertex_normals()
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_empty_mesh(self):
+        m = TriangleMesh()
+        assert m.n_triangles == 0
+        assert m.area() == 0.0
+        assert not m.is_closed()
+
+
+class TestTopology:
+    def test_tetrahedron_watertight(self):
+        t = tetrahedron()
+        t.validate_watertight()
+        assert t.euler_characteristic() == 2
+        assert t.n_edges() == 6
+        assert t.boundary_edge_count() == 0
+
+    def test_open_mesh_detected(self):
+        t = tetrahedron()
+        open_mesh = TriangleMesh(t.vertices, t.faces[:3])
+        assert not open_mesh.is_closed()
+        assert open_mesh.boundary_edge_count() == 3
+        with pytest.raises(AssertionError):
+            open_mesh.validate_watertight()
+
+    def test_inconsistent_winding_detected(self):
+        t = tetrahedron()
+        f = t.faces.copy()
+        f[0] = f[0][[0, 2, 1]]
+        bad = TriangleMesh(t.vertices, f)
+        assert bad.is_closed()
+        assert not bad.is_consistently_oriented()
+
+
+class TestTransforms:
+    def test_translation_preserves_volume(self):
+        t = tetrahedron().translated([5, -2, 3])
+        assert t.enclosed_volume() == pytest.approx(1 / 6)
+
+    def test_scaling_scales_volume_cubically(self):
+        t = tetrahedron().scaled(2.0)
+        assert t.enclosed_volume() == pytest.approx(8 / 6)
+
+    def test_anisotropic_scaling(self):
+        t = tetrahedron().scaled([2.0, 1.0, 1.0])
+        assert t.enclosed_volume() == pytest.approx(2 / 6)
+
+
+class TestConcatWeld:
+    def test_concat_offsets_faces(self):
+        a, b = tetrahedron(), tetrahedron().translated([10, 0, 0])
+        c = TriangleMesh.concat([a, b])
+        assert c.n_triangles == 8
+        assert c.n_vertices == 8
+        assert c.enclosed_volume() == pytest.approx(2 / 6)
+
+    def test_concat_empty_inputs(self):
+        assert TriangleMesh.concat([]).n_triangles == 0
+        assert TriangleMesh.concat([TriangleMesh(), tetrahedron()]).n_triangles == 4
+
+    def test_weld_merges_coincident_vertices(self):
+        t = tetrahedron()
+        # Duplicate the mesh on top of itself vertex-wise but reuse faces of
+        # the first copy only through concat of soup triangles:
+        soup_vertices = t.vertices[t.faces].reshape(-1, 3)
+        soup_faces = np.arange(len(soup_vertices)).reshape(-1, 3)
+        soup = TriangleMesh(soup_vertices, soup_faces)
+        assert soup.n_vertices == 12
+        welded = soup.weld()
+        assert welded.n_vertices == 4
+        welded.validate_watertight()
+
+    def test_weld_drops_degenerate_faces(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [1 + 1e-12, 0, 0], [0, 1, 0]])
+        f = np.array([[0, 1, 2], [0, 1, 3]])
+        m = TriangleMesh(v, f).weld(decimals=6)
+        assert m.n_triangles == 1
+
+    def test_face_index_validation(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((2, 3)), np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((0, 3)), np.array([[0, 1, 2]]))

@@ -1,0 +1,76 @@
+"""Tests for PPM/PGM output."""
+
+import numpy as np
+import pytest
+
+from repro.render.image import ascii_preview, depth_to_gray, read_ppm, write_pgm, write_ppm
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 255, size=(13, 17, 3)).astype(np.uint8)
+        path = write_ppm(tmp_path / "x.ppm", img)
+        back = read_ppm(path)
+        assert np.array_equal(back, img)
+
+    def test_header(self, tmp_path):
+        img = np.zeros((2, 3, 3), dtype=np.uint8)
+        path = write_ppm(tmp_path / "h.ppm", img)
+        with open(path, "rb") as fh:
+            assert fh.readline().strip() == b"P6"
+            assert fh.readline().split() == [b"3", b"2"]
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "bad.ppm", np.zeros((4, 4), dtype=np.uint8))
+
+    def test_rejects_bad_dtype(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "bad.ppm", np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        p = tmp_path / "no.ppm"
+        p.write_bytes(b"P5\n1 1\n255\n\x00")
+        with pytest.raises(ValueError):
+            read_ppm(p)
+
+
+class TestPGM:
+    def test_write(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = write_pgm(tmp_path / "g.pgm", img)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n4 3\n255\n")
+        assert data.endswith(img.tobytes())
+
+    def test_rejects_rgb(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(tmp_path / "g.pgm", np.zeros((2, 2, 3), dtype=np.uint8))
+
+
+class TestHelpers:
+    def test_depth_to_gray(self):
+        depth = np.full((4, 4), np.inf, dtype=np.float32)
+        depth[1, 1] = 1.0
+        depth[2, 2] = 3.0
+        g = depth_to_gray(depth)
+        assert g[0, 0] == 0  # empty = black
+        assert g[1, 1] > g[2, 2]  # nearer = brighter
+
+    def test_depth_to_gray_all_empty(self):
+        g = depth_to_gray(np.full((3, 3), np.inf))
+        assert np.all(g == 0)
+
+    def test_ascii_preview_dimensions(self):
+        img = np.zeros((20, 40, 3), dtype=np.uint8)
+        art = ascii_preview(img, width=20)
+        lines = art.splitlines()
+        assert len(lines[0]) == 20
+
+    def test_ascii_preview_brightness(self):
+        img = np.zeros((10, 10, 3), dtype=np.uint8)
+        img[:, 5:] = 255
+        art = ascii_preview(img, width=10)
+        assert art.splitlines()[0][0] == " "
+        assert art.splitlines()[0][-1] == "@"

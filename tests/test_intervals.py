@@ -1,0 +1,97 @@
+"""Unit tests for IntervalSet."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.grid.metacell import partition_metacells
+from repro.grid.volume import Volume
+
+
+def make(vmin, vmax):
+    vmin = np.asarray(vmin)
+    vmax = np.asarray(vmax)
+    return IntervalSet(vmin=vmin, vmax=vmax, ids=np.arange(len(vmin), dtype=np.uint32))
+
+
+class TestValidation:
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            make([3], [1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IntervalSet(
+                vmin=np.array([1, 2]),
+                vmax=np.array([3]),
+                ids=np.array([0], dtype=np.uint32),
+            )
+
+    def test_rejects_dtype_mismatch(self):
+        with pytest.raises(ValueError):
+            IntervalSet(
+                vmin=np.array([1], dtype=np.uint8),
+                vmax=np.array([3], dtype=np.uint16),
+                ids=np.array([0], dtype=np.uint32),
+            )
+
+    def test_empty_is_fine(self):
+        iv = make([], [])
+        assert len(iv) == 0
+        assert iv.stabbing_count(0.5) == 0
+
+
+class TestStabbing:
+    def test_inclusive_endpoints(self):
+        iv = make([1, 5], [3, 9])
+        assert iv.stabbing_count(1) == 1
+        assert iv.stabbing_count(3) == 1
+        assert iv.stabbing_count(4) == 0
+        assert iv.stabbing_count(5) == 1
+        assert iv.stabbing_count(9) == 1
+        assert iv.stabbing_count(10) == 0
+
+    def test_ids_sorted(self):
+        iv = IntervalSet(
+            vmin=np.array([0, 0, 0]),
+            vmax=np.array([9, 9, 9]),
+            ids=np.array([30, 10, 20], dtype=np.uint32),
+        )
+        assert np.array_equal(iv.stabbing_ids(5), [10, 20, 30])
+
+
+class TestStatistics:
+    def test_distinct_endpoints(self):
+        iv = make([1, 1, 2], [3, 3, 3])
+        assert np.array_equal(iv.distinct_endpoints(), [1, 2, 3])
+        assert iv.n_distinct_endpoints == 3
+
+    def test_distinct_pairs(self):
+        iv = make([1, 1, 2], [3, 3, 3])
+        assert iv.n_distinct_pairs() == 2
+
+    def test_empty_statistics(self):
+        iv = make([], [])
+        assert iv.n_distinct_endpoints == 0
+        assert iv.n_distinct_pairs() == 0
+
+
+class TestFromPartition:
+    def test_drop_constant(self):
+        data = np.zeros((9, 9, 9), dtype=np.uint8)
+        data[:4, :4, :4] = np.random.default_rng(0).integers(1, 99, (4, 4, 4))
+        part = partition_metacells(Volume(data), (5, 5, 5))
+        with_cull = IntervalSet.from_partition(part, drop_constant=True)
+        without = IntervalSet.from_partition(part, drop_constant=False)
+        assert len(without) == part.n_metacells
+        assert len(with_cull) < len(without)
+        # Culled intervals are exactly the degenerate ones.
+        assert len(without) - len(with_cull) == int(part.constant_mask().sum())
+
+    def test_ids_are_metacell_ids(self):
+        rng = np.random.default_rng(1)
+        part = partition_metacells(
+            Volume(rng.integers(0, 255, (9, 9, 9)).astype(np.uint8)), (5, 5, 5)
+        )
+        iv = IntervalSet.from_partition(part, drop_constant=False)
+        assert np.array_equal(np.sort(iv.ids), part.ids)

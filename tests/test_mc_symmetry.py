@@ -1,0 +1,123 @@
+"""Symmetry-equivariance property tests for the derived MC tables.
+
+The table construction is purely geometric (face segments from corner
+signs), so it must commute with the cube's rotation group: rotating a
+sign configuration rotates the patch — same triangle count, and the
+crossing-edge set maps through the rotation's edge permutation.  A
+hand-transcribed table has no reason to satisfy this exhaustively; a
+derived one must.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mc import tables as T
+
+
+def rotation_matrices():
+    """The 24 proper rotations of the cube as integer matrices."""
+    mats = []
+    for perm in ([0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]):
+        for sx in (1, -1):
+            for sy in (1, -1):
+                for sz in (1, -1):
+                    m = np.zeros((3, 3), dtype=np.int64)
+                    for row, (axis, sign) in enumerate(zip(perm, (sx, sy, sz))):
+                        m[row, axis] = sign
+                    if round(float(np.linalg.det(m))) == 1:
+                        mats.append(m)
+    uniq = {m.tobytes(): m for m in mats}
+    return list(uniq.values())
+
+
+ROTATIONS = rotation_matrices()
+
+
+def vertex_permutation(m: np.ndarray) -> np.ndarray:
+    """How rotation ``m`` permutes the 8 cube vertices."""
+    center = np.array([0.5, 0.5, 0.5])
+    rotated = (T.CORNERS - center) @ m.T + center
+    perm = np.empty(8, dtype=np.int64)
+    for v in range(8):
+        match = np.flatnonzero(np.all(np.abs(T.CORNERS - rotated[v]) < 1e-9, axis=1))
+        assert len(match) == 1
+        perm[v] = match[0]
+    return perm
+
+
+def edge_permutation(vperm: np.ndarray) -> np.ndarray:
+    """How a vertex permutation permutes the 12 cube edges."""
+    pair_to_edge = {frozenset(p.tolist()): e for e, p in enumerate(T.EDGE_VERTICES)}
+    eperm = np.empty(12, dtype=np.int64)
+    for e, (a, b) in enumerate(T.EDGE_VERTICES):
+        eperm[e] = pair_to_edge[frozenset((int(vperm[a]), int(vperm[b])))]
+    return eperm
+
+
+class TestRotationGroup:
+    def test_24_rotations(self):
+        assert len(ROTATIONS) == 24
+
+    def test_permutations_are_bijections(self):
+        for m in ROTATIONS:
+            vp = vertex_permutation(m)
+            assert sorted(vp.tolist()) == list(range(8))
+            ep = edge_permutation(vp)
+            assert sorted(ep.tolist()) == list(range(12))
+
+
+class TestTableEquivariance:
+    def _rotate_case(self, case: int, vperm: np.ndarray) -> int:
+        out = 0
+        for v in range(8):
+            if (case >> v) & 1:
+                out |= 1 << int(vperm[v])
+        return out
+
+    def test_triangle_counts_rotation_invariant(self):
+        for m in ROTATIONS:
+            vp = vertex_permutation(m)
+            for case in range(256):
+                rotated = self._rotate_case(case, vp)
+                assert T.N_TRI[case] == T.N_TRI[rotated], (case, rotated)
+
+    def test_edge_masks_map_through_rotation(self):
+        for m in ROTATIONS:
+            vp = vertex_permutation(m)
+            ep = edge_permutation(vp)
+            for case in range(256):
+                rotated = self._rotate_case(case, vp)
+                mask = int(T.EDGE_MASK[case])
+                mapped = 0
+                for e in range(12):
+                    if mask & (1 << e):
+                        mapped |= 1 << int(ep[e])
+                assert mapped == int(T.EDGE_MASK[rotated]), (case, rotated)
+
+    def test_patch_perimeters_rotation_invariant(self):
+        """Geometric check: the patch *boundary* polylines are fully
+        determined by the face rule, so their total length (with
+        midpoint-interpolated crossings) must be rotation-invariant.
+        (Patch *area* is not: fan triangulations of skew polygons depend
+        on the fan origin, which `_pick_fan_origin` selects per cycle.)"""
+        mids = T._EDGE_MIDPOINTS
+
+        def perimeter(case):
+            from collections import Counter
+
+            cnt = Counter()
+            for tri in T.TRI_TABLE[case]:
+                for i in range(3):
+                    cnt[(tri[i], tri[(i + 1) % 3])] += 1
+            total = 0.0
+            for (a, b), c in cnt.items():
+                if cnt.get((b, a), 0) == 0:  # boundary edge
+                    total += float(np.linalg.norm(mids[a] - mids[b]))
+            return total
+
+        perims = np.array([perimeter(c) for c in range(256)])
+        for m in ROTATIONS[:8]:  # subset is plenty at this cost
+            vp = vertex_permutation(m)
+            for case in range(256):
+                rotated = self._rotate_case(case, vp)
+                assert perims[case] == pytest.approx(perims[rotated], abs=1e-12)

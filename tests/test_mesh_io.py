@@ -1,0 +1,78 @@
+"""Tests for OBJ/PLY mesh export and import."""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes
+from repro.mc.mesh_io import read_obj, read_ply, write_obj, write_ply
+
+
+@pytest.fixture(scope="module")
+def sphere_mesh():
+    vol = sphere_field((20, 20, 20))
+    return marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+
+
+class TestOBJ:
+    def test_roundtrip(self, tmp_path, sphere_mesh):
+        path = write_obj(tmp_path / "m.obj", sphere_mesh, comment="test mesh")
+        back = read_obj(path)
+        assert back.n_vertices == sphere_mesh.n_vertices
+        assert back.n_triangles == sphere_mesh.n_triangles
+        assert np.allclose(back.vertices, sphere_mesh.vertices, atol=1e-6)
+        assert np.array_equal(back.faces, sphere_mesh.faces)
+
+    def test_roundtrip_preserves_topology(self, tmp_path, sphere_mesh):
+        back = read_obj(write_obj(tmp_path / "t.obj", sphere_mesh))
+        back.validate_watertight()
+        assert back.euler_characteristic() == sphere_mesh.euler_characteristic()
+
+    def test_polygon_fanning(self, tmp_path):
+        p = tmp_path / "quad.obj"
+        p.write_text("v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n")
+        mesh = read_obj(p)
+        assert mesh.n_triangles == 2
+
+    def test_face_with_texture_refs(self, tmp_path):
+        p = tmp_path / "tex.obj"
+        p.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2 3/3\n")
+        assert read_obj(p).n_triangles == 1
+
+    def test_malformed_rejected(self, tmp_path):
+        p = tmp_path / "bad.obj"
+        p.write_text("v 0 0\n")
+        with pytest.raises(ValueError):
+            read_obj(p)
+
+    def test_empty_mesh(self, tmp_path):
+        back = read_obj(write_obj(tmp_path / "e.obj", TriangleMesh()))
+        assert back.n_triangles == 0
+
+
+class TestPLY:
+    def test_roundtrip(self, tmp_path, sphere_mesh):
+        path = write_ply(tmp_path / "m.ply", sphere_mesh)
+        back = read_ply(path)
+        assert back.n_triangles == sphere_mesh.n_triangles
+        assert np.allclose(back.vertices, sphere_mesh.vertices, atol=1e-6)
+        assert np.array_equal(back.faces, sphere_mesh.faces)
+
+    def test_roundtrip_with_normals(self, tmp_path, sphere_mesh):
+        normals = sphere_mesh.vertex_normals()
+        path = write_ply(tmp_path / "n.ply", sphere_mesh, normals=normals)
+        back = read_ply(path)  # normals parsed and dropped
+        assert back.n_vertices == sphere_mesh.n_vertices
+        header = path.read_bytes()[:400].decode(errors="ignore")
+        assert "property float nx" in header
+
+    def test_header_counts(self, tmp_path, sphere_mesh):
+        path = write_ply(tmp_path / "h.ply", sphere_mesh)
+        header = path.read_bytes()[:200].decode(errors="ignore")
+        assert f"element vertex {sphere_mesh.n_vertices}" in header
+        assert f"element face {sphere_mesh.n_triangles}" in header
+
+    def test_area_preserved_modulo_float32(self, tmp_path, sphere_mesh):
+        back = read_ply(write_ply(tmp_path / "a.ply", sphere_mesh))
+        assert back.area() == pytest.approx(sphere_mesh.area(), rel=1e-5)

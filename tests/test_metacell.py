@@ -1,0 +1,132 @@
+"""Unit and property tests for the metacell decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.metacell import (
+    metacell_grid_shape,
+    pad_for_metacells,
+    partition_metacells,
+)
+from repro.grid.volume import Volume
+
+
+class TestGridShape:
+    def test_exact_fit(self):
+        # 2048 vertices with 9-vertex metacells -> 256 metacells (the paper).
+        assert metacell_grid_shape((2049, 2049, 1921), (9, 9, 9)) == (256, 256, 240)
+
+    def test_paper_dimensions_are_padded(self):
+        # The RM grid is 2048 vertices/axis = 255 full metacells + remainder,
+        # so the partition pads up to 256 metacells (matching 256x256x240).
+        assert metacell_grid_shape((2048, 2048, 1920), (9, 9, 9)) == (256, 256, 240)
+
+    def test_small_volume_single_metacell(self):
+        assert metacell_grid_shape((3, 4, 5), (9, 9, 9)) == (1, 1, 1)
+
+    def test_rejects_bad_metacell(self):
+        with pytest.raises(ValueError):
+            metacell_grid_shape((8, 8, 8), (1, 9, 9))
+
+
+class TestPadding:
+    def test_no_padding_when_exact(self):
+        data = np.zeros((9, 17, 25))
+        padded = pad_for_metacells(data, (9, 9, 9))
+        assert padded is data
+
+    def test_padding_replicates_edge(self):
+        data = np.arange(2 * 2 * 3, dtype=np.float64).reshape(2, 2, 3)
+        padded = pad_for_metacells(data, (3, 3, 3))
+        assert padded.shape == (3, 3, 3)
+        assert np.array_equal(padded[2], padded[1])  # replicated x layer
+
+    def test_padding_never_creates_crossings(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((6, 7, 5))
+        padded = pad_for_metacells(data, (5, 5, 5))
+        # Differences across the padded region are zero -> no new isovalue
+        # can cross between replicated layers.
+        assert np.all(padded[6:] == padded[6][None]) if padded.shape[0] > 6 else True
+
+
+class TestPartition:
+    def test_extrema_match_bruteforce(self):
+        rng = np.random.default_rng(4)
+        vol = Volume(rng.integers(0, 255, size=(13, 9, 17)).astype(np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        m = 5
+        for mid in range(part.n_metacells):
+            i, j, k = part.id_to_ijk(np.array([mid]))[0]
+            x0, y0, z0 = i * (m - 1), j * (m - 1), k * (m - 1)
+            sub = part._padded[x0 : x0 + m, y0 : y0 + m, z0 : z0 + m]
+            assert part.vmin[mid] == sub.min()
+            assert part.vmax[mid] == sub.max()
+
+    def test_grid_shape_and_count(self):
+        vol = Volume(np.zeros((13, 9, 17), dtype=np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        assert part.grid_shape == (3, 2, 4)
+        assert part.n_metacells == 24
+
+    def test_id_roundtrip(self):
+        vol = Volume(np.zeros((13, 9, 17), dtype=np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        ids = part.ids
+        ijk = part.id_to_ijk(ids)
+        assert np.array_equal(part.ijk_to_id(ijk), ids)
+
+    def test_vertex_origins(self):
+        vol = Volume(np.zeros((13, 9, 17), dtype=np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        origins = part.vertex_origins(np.array([0, part.n_metacells - 1]))
+        assert np.array_equal(origins[0], [0, 0, 0])
+        assert np.array_equal(origins[1], [8, 4, 12])
+
+    def test_constant_mask(self):
+        data = np.zeros((9, 9, 9), dtype=np.uint8)
+        data[:4, :4, :4] = np.random.default_rng(5).integers(1, 100, (4, 4, 4))
+        vol = Volume(data)
+        part = partition_metacells(vol, (5, 5, 5))
+        mask = part.constant_mask()
+        assert mask.sum() >= 1  # far corner metacell is all zeros
+        assert not mask[0]  # origin metacell has variation
+
+    def test_extract_values_matches_padded_volume(self):
+        rng = np.random.default_rng(6)
+        vol = Volume(rng.integers(0, 255, size=(9, 9, 9)).astype(np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        vals = part.extract_values(np.array([3]))
+        i, j, k = part.id_to_ijk(np.array([3]))[0]
+        sub = part._padded[4 * i : 4 * i + 5, 4 * j : 4 * j + 5, 4 * k : 4 * k + 5]
+        assert np.array_equal(vals[0], sub.reshape(-1))
+
+    def test_shared_boundary_layers(self):
+        """Adjacent metacells share exactly one vertex layer."""
+        rng = np.random.default_rng(7)
+        vol = Volume(rng.integers(0, 255, size=(9, 5, 5)).astype(np.uint8))
+        part = partition_metacells(vol, (5, 5, 5))
+        a = part.extract_values(np.array([part.ijk_to_id(np.array([[0, 0, 0]]))[0]]))
+        b = part.extract_values(np.array([part.ijk_to_id(np.array([[1, 0, 0]]))[0]]))
+        a_grid = a.reshape(5, 5, 5)
+        b_grid = b.reshape(5, 5, 5)
+        assert np.array_equal(a_grid[4], b_grid[0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nx=st.integers(3, 14),
+        ny=st.integers(3, 14),
+        nz=st.integers(3, 14),
+        m=st.sampled_from([3, 5]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_extrema_property(self, nx, ny, nz, m, seed):
+        """Global min/max over metacells equals the volume's min/max."""
+        rng = np.random.default_rng(seed)
+        vol = Volume(rng.integers(0, 255, size=(nx, ny, nz)).astype(np.uint8))
+        part = partition_metacells(vol, (m, m, m))
+        assert part.vmin.min() == vol.data.min()
+        assert part.vmax.max() == vol.data.max()
+        assert np.all(part.vmin <= part.vmax)

@@ -1,0 +1,104 @@
+"""Coverage for small public surfaces not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.bench.paper_data import PAPER_FACTS, PAPER_TABLE1_DATASETS
+from repro.grid.datasets import sphere_field
+from repro.grid.metacell import metacell_grid_shape
+from repro.io.layout import MetacellCodec
+from repro.mc import MarchingCubes, extract_isosurface
+from repro.mc.marching_cubes import marching_cubes
+from repro.parallel.metrics import LoadBalance, NodeMetrics
+from repro.render.camera import Camera
+from repro.render.rasterizer import Framebuffer, Light, render_depth_colored
+
+
+class TestPaperDataConsistency:
+    def test_record_size_matches_codec(self):
+        codec = MetacellCodec(PAPER_FACTS["metacell_shape"], np.uint8)
+        assert codec.record_size == PAPER_FACTS["metacell_record_bytes"]
+
+    def test_metacell_grid_matches_paper(self):
+        grid = metacell_grid_shape(PAPER_FACTS["rm_grid"], PAPER_FACTS["metacell_shape"])
+        assert grid == PAPER_FACTS["metacell_grid"]
+
+    def test_stored_fraction_plausible(self):
+        total = int(np.prod(PAPER_FACTS["metacell_grid"]))
+        stored = PAPER_FACTS["metacells_stored_step250"]
+        assert 0.3 < stored / total < 0.4  # 5.59M of 15.7M
+
+    def test_stored_bytes_consistent(self):
+        expect = (
+            PAPER_FACTS["metacells_stored_step250"]
+            * PAPER_FACTS["metacell_record_bytes"]
+        )
+        assert expect == pytest.approx(PAPER_FACTS["stored_bytes_step250"], rel=0.01)
+
+    def test_table1_datasets_are_2byte(self):
+        for dims, nbytes in PAPER_TABLE1_DATASETS.values():
+            assert nbytes == 2
+            assert len(dims) == 3
+
+
+class TestFacades:
+    def test_marching_cubes_facade(self):
+        vol = sphere_field((16, 16, 16))
+        mc = MarchingCubes(vol)
+        mesh = mc.extract(0.5)
+        assert mesh.is_closed()
+        assert mc.count_active_cells(0.5) > 0
+
+    def test_extract_isosurface(self):
+        vol = sphere_field((16, 16, 16))
+        a = extract_isosurface(vol, 0.5)
+        b = marching_cubes(vol.data, 0.5, origin=vol.origin, spacing=vol.spacing)
+        assert a.n_triangles == b.n_triangles
+
+
+class TestMetrics:
+    def test_load_balance_statistics(self):
+        bal = LoadBalance(np.array([10, 12, 8, 10]))
+        assert bal.total == 40
+        assert bal.max == 12
+        assert bal.min == 8
+        assert bal.spread == 4
+        assert bal.max_over_mean == pytest.approx(1.2)
+        assert bal.cv > 0
+
+    def test_load_balance_empty(self):
+        bal = LoadBalance(np.array([0, 0]))
+        assert bal.max_over_mean == 1.0
+        assert bal.cv == 0.0
+
+    def test_node_metrics_total(self):
+        m = NodeMetrics(node_rank=0)
+        m.io_time, m.triangulation_time, m.render_time = 1.0, 2.0, 0.5
+        assert m.total_time == pytest.approx(3.5)
+
+
+class TestRenderExtras:
+    def test_depth_colored_render(self):
+        vol = sphere_field((20, 20, 20))
+        mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        fb = Framebuffer(64, 64)
+        n = render_depth_colored(fb, mesh, Camera.fit_mesh(mesh))
+        assert n > 0
+        assert fb.coverage() > 0.05
+        # Depth-mapped tint: near pixels differ from far pixels.
+        finite = np.isfinite(fb.depth)
+        colors = fb.color[finite]
+        assert colors.std(axis=0).max() > 0.01
+
+    def test_light_unit_vector(self):
+        assert np.linalg.norm(Light((3, 0, 4)).unit()) == pytest.approx(1.0)
+
+
+class TestQueryPlanProperties:
+    def test_counts(self, sphere_intervals):
+        from repro.core.compact_tree import CompactIntervalTree
+
+        tree = CompactIntervalTree.build(sphere_intervals)
+        plan = tree.plan_query(0.9)
+        assert plan.n_sequential_runs + plan.n_prefix_scans == len(plan.runs)
+        assert plan.nodes_visited >= plan.case1_nodes + plan.case2_nodes

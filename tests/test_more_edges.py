@@ -1,0 +1,109 @@
+"""Additional edge coverage: span-square nesting, external-tree depth,
+mp backend with file devices, cache + multi-query composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset, build_striped_datasets
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.multi_query import execute_multi_query
+from repro.core.span_space import tree_span_squares
+from repro.grid.datasets import sphere_field
+from repro.io.blockdevice import SimulatedBlockDevice
+from repro.io.cache import CachedDevice
+from repro.io.cost_model import IOCostModel
+from repro.io.diskfile import FileBackedDevice
+from repro.parallel.mp_backend import extract_parallel_mp
+from tests.conftest import random_intervals
+
+
+class TestSpanSquareNesting:
+    def test_child_squares_nest_beside_parent(self, sphere_intervals):
+        """Left child's square lies strictly left of (and below) the
+        parent's split; right child's strictly right/above — the Figure 1
+        recursive structure."""
+        tree = CompactIntervalTree.build(sphere_intervals)
+        squares = {sq.node_id: sq for sq in tree_span_squares(tree)}
+        for node in tree.nodes:
+            sq = squares[node.node_id]
+            if node.left >= 0:
+                left = squares[node.left]
+                assert left.hi <= sq.split
+            if node.right >= 0:
+                right = squares[node.right]
+                assert right.lo >= sq.split
+
+    def test_square_counts_by_level(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        squares = tree_span_squares(tree)
+        assert len(squares) == tree.n_nodes
+
+
+class TestExternalTreeDepth:
+    def test_deep_tree_logb_traversal(self):
+        """A tall tree (many endpoints, sparse duplication) must traverse
+        far fewer blocks than its height when blocked."""
+        from repro.core.external_tree import ExternalCompactIndex
+
+        from repro.core.intervals import IntervalSet
+
+        rng = np.random.default_rng(11)
+        # Short intervals over many distinct values: few contain any given
+        # split, so the tree stays tall (near log2 n).
+        vmin = rng.integers(0, 4000, size=4000).astype(np.float64)
+        vmax = vmin + rng.integers(1, 4, size=4000)
+        iv = IntervalSet(vmin=vmin, vmax=vmax, ids=np.arange(4000, dtype=np.uint32))
+        tree = CompactIntervalTree.build(iv)
+        height = tree.height()
+        assert height >= 8
+        ext = ExternalCompactIndex(
+            SimulatedBlockDevice(IOCostModel(block_size=65536)), tree
+        )
+        _, io = ext.plan_query(2000.0)
+        assert io.blocks_read <= max(2, height // 3)
+
+
+class TestMPWithFileDevices:
+    def test_workers_reopen_file_stores(self, tmp_path):
+        vol = sphere_field((25, 25, 25))
+        devices = [FileBackedDevice(tmp_path / f"n{q}.bin") for q in range(2)]
+        dss = build_striped_datasets(vol, 2, (5, 5, 5), devices=devices)
+        for d in devices:
+            d.flush()
+        outs = extract_parallel_mp(dss, 0.6, processes=2)
+        ref = extract_parallel_mp(dss, 0.6, processes=1)
+        assert [o.n_triangles for o in outs] == [o.n_triangles for o in ref]
+        for d in devices:
+            d.close()
+
+
+class TestCachePlusMultiQuery:
+    def test_batch_through_cache(self):
+        backing = SimulatedBlockDevice(IOCostModel(block_size=1024))
+        cached = CachedDevice(backing, capacity_blocks=1024)
+        ds = build_indexed_dataset(sphere_field((25, 25, 25)), (5, 5, 5), device=cached)
+        backing.reset_stats()
+        multi = execute_multi_query(ds, [0.5, 0.55, 0.6])
+        first_disk = backing.stats.blocks_read
+        # Replaying the same batch is served from cache entirely.
+        multi2 = execute_multi_query(ds, [0.5, 0.55, 0.6])
+        assert backing.stats.blocks_read == first_disk
+        for lam in (0.5, 0.55, 0.6):
+            assert np.array_equal(
+                multi.records_for(lam).ids, multi2.records_for(lam).ids
+            )
+
+
+class TestClusterWithCachedDevices:
+    def test_striped_build_on_cached_devices(self):
+        cm = IOCostModel(block_size=1024)
+        backings = [SimulatedBlockDevice(cm) for _ in range(3)]
+        cacheds = [CachedDevice(b, capacity_blocks=512) for b in backings]
+        dss = build_striped_datasets(
+            sphere_field((25, 25, 25)), 3, (5, 5, 5), devices=cacheds
+        )
+        from repro.core.query import execute_query
+
+        total = sum(execute_query(d, 0.6).n_active for d in dss)
+        serial = build_indexed_dataset(sphere_field((25, 25, 25)), (5, 5, 5))
+        assert total == execute_query(serial, 0.6).n_active

@@ -1,0 +1,53 @@
+"""Tests for the real-process execution backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_striped_datasets
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.mp_backend import extract_parallel_mp, node_task
+from repro.grid.datasets import sphere_field
+
+
+@pytest.fixture(scope="module")
+def striped():
+    return build_striped_datasets(sphere_field((25, 25, 25)), 2, (5, 5, 5))
+
+
+class TestNodeTask:
+    def test_single_task_output(self, striped):
+        out = node_task((striped[0], 0.6))
+        assert out.node_rank == 0
+        assert out.n_triangles == out.mesh().n_triangles
+        assert out.n_active_metacells > 0
+        assert out.blocks_read > 0
+
+    def test_empty_isovalue(self, striped):
+        out = node_task((striped[0], -5.0))
+        assert out.n_triangles == 0
+        assert out.mesh().n_triangles == 0
+
+
+class TestInProcessFallback:
+    def test_matches_simulated_cluster(self, striped):
+        """processes=1 runs inline; results must match SimulatedCluster."""
+        outs = extract_parallel_mp(striped, 0.6, processes=1)
+        cluster = SimulatedCluster(sphere_field((25, 25, 25)), 2, metacell_shape=(5, 5, 5))
+        ref = cluster.extract(0.6)
+        assert sum(o.n_triangles for o in outs) == ref.n_triangles
+        assert sum(o.n_active_metacells for o in outs) == ref.n_active_metacells
+
+    def test_outputs_sorted_by_rank(self, striped):
+        outs = extract_parallel_mp(striped, 0.6, processes=1)
+        assert [o.node_rank for o in outs] == [0, 1]
+
+
+class TestRealProcesses:
+    def test_spawned_workers_agree_with_inline(self, striped):
+        inline = extract_parallel_mp(striped, 0.6, processes=1)
+        spawned = extract_parallel_mp(striped, 0.6, processes=2)
+        for a, b in zip(inline, spawned):
+            assert a.node_rank == b.node_rank
+            assert a.n_triangles == b.n_triangles
+            assert a.n_active_metacells == b.n_active_metacells
+            assert np.allclose(np.sort(a.vertices, axis=0), np.sort(b.vertices, axis=0))

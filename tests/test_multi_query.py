@@ -1,0 +1,132 @@
+"""Tests for multi-isovalue batch queries and ROI extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.multi_query import (
+    _merge_ranges,
+    execute_multi_query,
+    extract_region_of_interest,
+)
+from repro.core.query import execute_query
+from repro.grid.datasets import sphere_field
+from repro.grid.rm_instability import rm_timestep
+
+
+class TestMergeRanges:
+    def test_basic(self):
+        assert _merge_ranges([(5, 9), (0, 3)]) == [(0, 3), (5, 9)]
+
+    def test_overlap_and_adjacency(self):
+        assert _merge_ranges([(0, 4), (2, 6), (6, 8)]) == [(0, 8)]
+
+    def test_empty(self):
+        assert _merge_ranges([]) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 10)), max_size=12))
+    def test_union_property(self, raw):
+        ranges = [(a, a + w) for a, w in raw]
+        merged = _merge_ranges(ranges)
+        covered = set()
+        for a, b in ranges:
+            covered.update(range(a, b))
+        covered2 = set()
+        for a, b in merged:
+            covered2.update(range(a, b))
+        assert covered == covered2
+        for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+            assert b1 < a2  # disjoint and sorted
+
+
+class TestMultiQuery:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return build_indexed_dataset(rm_timestep(180, shape=(33, 33, 29)), (5, 5, 5))
+
+    def test_matches_individual_queries(self, ds):
+        lams = [80.0, 100.0, 120.0, 140.0]
+        multi = execute_multi_query(ds, lams)
+        for lam in lams:
+            single = execute_query(ds, lam)
+            assert np.array_equal(
+                np.sort(multi.records_for(lam).ids),
+                np.sort(single.records.ids),
+            )
+
+    def test_reads_less_than_sum_of_singles(self, ds):
+        lams = [100.0, 105.0, 110.0]
+        ds.device.reset_stats()
+        multi = execute_multi_query(ds, lams)
+        multi_bytes = multi.io_stats.bytes_read
+        singles = 0
+        for lam in lams:
+            singles += execute_query(ds, lam).io_stats.bytes_read
+        assert multi_bytes < singles
+        # and no record is read more than once
+        union_count = multi.n_records_read
+        all_ranges = [r for lam in lams for r in ds.tree.active_record_ranges(lam)]
+        distinct = set()
+        for a, b in all_ranges:
+            distinct.update(range(a, b))
+        assert union_count >= len(distinct)
+
+    def test_single_isovalue_degenerates(self, ds):
+        multi = execute_multi_query(ds, [128.0])
+        single = execute_query(ds, 128.0)
+        assert np.array_equal(
+            np.sort(multi.records_for(128.0).ids), np.sort(single.records.ids)
+        )
+
+    def test_empty_isovalues_rejected(self, ds):
+        with pytest.raises(ValueError):
+            execute_multi_query(ds, [])
+
+    def test_disjoint_isovalues(self, ds):
+        lams = [-10.0, 128.0]
+        multi = execute_multi_query(ds, lams)
+        assert len(multi.records_for(-10.0)) == 0
+        assert len(multi.records_for(128.0)) > 0
+
+
+class TestROI:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return build_indexed_dataset(sphere_field((33, 33, 33)), (5, 5, 5))
+
+    def test_full_box_equals_full_extraction(self, ds):
+        from repro.pipeline import IsosurfacePipeline
+
+        roi = extract_region_of_interest(ds, 0.7, [-2, -2, -2], [2, 2, 2])
+        full = IsosurfacePipeline(ds).extract(0.7)
+        assert roi.mesh.n_triangles == full.mesh.n_triangles
+        assert roi.n_active_in_box == roi.n_active_total
+
+    def test_half_space_roughly_halves(self, ds):
+        roi = extract_region_of_interest(ds, 0.7, [0, -2, -2], [2, 2, 2])
+        assert 0.3 < roi.n_active_in_box / roi.n_active_total < 0.7
+        # All triangles within the box, give one metacell of slack.
+        slack = 4 * ds.meta.spacing[0]
+        assert roi.mesh.vertices[:, 0].min() >= -slack - 1e-9
+
+    def test_tiny_box(self, ds):
+        roi = extract_region_of_interest(ds, 0.7, [0.6, 0, 0], [0.8, 0.1, 0.1])
+        assert 0 < roi.n_active_in_box < roi.n_active_total
+        assert roi.mesh.n_triangles > 0
+
+    def test_box_outside_surface(self, ds):
+        roi = extract_region_of_interest(ds, 0.3, [1.5, 1.5, 1.5], [2, 2, 2])
+        assert roi.mesh.n_triangles == 0
+        assert roi.n_active_in_box == 0
+
+    def test_empty_isovalue(self, ds):
+        roi = extract_region_of_interest(ds, -5.0, [-1, -1, -1], [1, 1, 1])
+        assert roi.n_active_total == 0
+        assert roi.mesh.n_triangles == 0
+
+    def test_invalid_box(self, ds):
+        with pytest.raises(ValueError):
+            extract_region_of_interest(ds, 0.7, [1, 0, 0], [0, 1, 1])

@@ -1,0 +1,116 @@
+"""Tests for gradient-based smooth normals and Gouraud rendering."""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.grid.volume import Volume
+from repro.mc.marching_cubes import marching_cubes
+from repro.mc.normals import (
+    isosurface_normals,
+    sample_gradient,
+    smooth_mesh_normals,
+    volume_gradient,
+)
+from repro.render.camera import Camera
+from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
+
+
+class TestGradient:
+    def test_linear_field_constant_gradient(self):
+        vol = Volume.from_function(lambda x, y, z: 2 * x + 3 * y - z, (9, 9, 9))
+        g = volume_gradient(vol.data, vol.spacing)
+        assert np.allclose(g[..., 0], 2.0, atol=1e-9)
+        assert np.allclose(g[..., 1], 3.0, atol=1e-9)
+        assert np.allclose(g[..., 2], -1.0, atol=1e-9)
+
+    def test_sample_gradient_interpolates(self):
+        vol = Volume.from_function(lambda x, y, z: x * x + 0 * y + 0 * z, (17, 17, 17))
+        pts = np.array([[0.5, 0.0, 0.0], [-0.25, 0.0, 0.0]])
+        g = sample_gradient(vol.data, pts, vol.spacing, vol.origin)
+        assert g[0, 0] == pytest.approx(1.0, abs=0.05)   # d(x^2)/dx = 2x
+        assert g[1, 0] == pytest.approx(-0.5, abs=0.05)
+
+    def test_out_of_bounds_points_clamped(self):
+        vol = sphere_field((9, 9, 9))
+        pts = np.array([[99.0, 99.0, 99.0]])
+        g = sample_gradient(vol.data, pts, vol.spacing, vol.origin)
+        assert np.isfinite(g).all()
+
+
+class TestIsosurfaceNormals:
+    def test_sphere_normals_point_inward(self):
+        """Distance field: negative side is the inside; normals at the
+        iso-sphere must point toward the center."""
+        vol = sphere_field((33, 33, 33))
+        mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        n = isosurface_normals(vol, mesh.vertices)
+        toward_center = -mesh.vertices / np.linalg.norm(mesh.vertices, axis=1, keepdims=True)
+        cos = np.einsum("ij,ij->i", n, toward_center)
+        assert np.all(cos > 0.9)
+
+    def test_unit_length(self):
+        vol = sphere_field((17, 17, 17))
+        mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        n = smooth_mesh_normals(vol, mesh)
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_agrees_with_mesh_normals_up_to_sign_convention(self):
+        vol = sphere_field((33, 33, 33))
+        mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        grad_n = smooth_mesh_normals(vol, mesh)
+        mesh_n = mesh.vertex_normals()
+        cos = np.einsum("ij,ij->i", grad_n, mesh_n)
+        assert np.mean(cos > 0.8) > 0.95  # same orientation, smoother
+
+    def test_flat_region_uses_fallback(self):
+        vol = Volume(np.zeros((8, 8, 8)))
+        pts = np.array([[3.0, 3.0, 3.0]])
+        n = isosurface_normals(vol, pts, fallback=np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(n, [[1.0, 0.0, 0.0]])
+        n2 = isosurface_normals(vol, pts)
+        assert np.allclose(n2, [[0.0, 0.0, 1.0]])
+
+
+class TestGouraud:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        vol = sphere_field((33, 33, 33))
+        mesh = marching_cubes(vol.data, 0.7, origin=vol.origin, spacing=vol.spacing)
+        cam = Camera.fit_mesh(mesh)
+        normals = smooth_mesh_normals(vol, mesh)
+        return mesh, cam, normals
+
+    def test_renders_same_silhouette_as_flat(self, scene):
+        mesh, cam, normals = scene
+        flat = Framebuffer(96, 96)
+        smooth = Framebuffer(96, 96)
+        render_mesh(flat, mesh, cam)
+        render_mesh_smooth(smooth, mesh, cam, normals)
+        assert np.array_equal(np.isfinite(flat.depth), np.isfinite(smooth.depth))
+        assert np.allclose(flat.depth[np.isfinite(flat.depth)],
+                           smooth.depth[np.isfinite(smooth.depth)], atol=1e-5)
+
+    def test_smoother_shading_than_flat(self, scene):
+        """Gouraud on a sphere: fewer distinct shading plateaus / smaller
+        pixel-to-pixel jumps than faceted flat shading."""
+        mesh, cam, normals = scene
+        flat = Framebuffer(128, 128)
+        smooth = Framebuffer(128, 128)
+        render_mesh(flat, mesh, cam, color=(1, 1, 1))
+        render_mesh_smooth(smooth, mesh, cam, normals, color=(1, 1, 1))
+
+        def roughness(fb):
+            lum = fb.color.mean(axis=2)
+            mask = np.isfinite(fb.depth)
+            inner = mask[1:, :] & mask[:-1, :]
+            return float(np.abs(np.diff(lum, axis=0))[inner].mean())
+
+        assert roughness(smooth) < roughness(flat)
+
+    def test_empty_mesh_noop(self, scene):
+        from repro.mc.geometry import TriangleMesh
+
+        _, cam, _ = scene
+        fb = Framebuffer(16, 16)
+        assert render_mesh_smooth(fb, TriangleMesh(), cam, np.empty((0, 3))) == 0

@@ -1,0 +1,84 @@
+"""Tests for the calibrated performance model."""
+
+import pytest
+
+from repro.io.blockdevice import IOStats
+from repro.parallel.perfmodel import (
+    PAPER_CLUSTER,
+    CPUModel,
+    GPUModel,
+    InterconnectModel,
+    PerformanceModel,
+)
+
+
+class TestCPUModel:
+    def test_paper_triangle_rate_regime(self):
+        """The calibration must reproduce the paper's 3.5-4.0 M
+        triangles/s single-node end-to-end rate.
+
+        Per active metacell (the paper's 9^3 layout): ~512 cells examined
+        and ~115 triangles out; add the 734-byte read at 50 MB/s.
+        """
+        cpu = PAPER_CLUSTER.cpu
+        n_mc = 1_000_000
+        tris = 260 * n_mc
+        tri_t = cpu.triangulation_time(512 * n_mc, tris)
+        io_t = n_mc * 734 / PAPER_CLUSTER.disk.bandwidth
+        render_t = PAPER_CLUSTER.gpu.render_time(tris)
+        rate = tris / (tri_t + io_t + render_t)
+        assert 2.5e6 < rate < 5.5e6
+
+    def test_triangulation_dominates_io(self):
+        """Paper Section 7.1: 'the triangle generation stage is the
+        bottleneck for the whole isosurface extraction'."""
+        cpu = PAPER_CLUSTER.cpu
+        tri_t = cpu.triangulation_time(512, 260)
+        io_t = 734 / PAPER_CLUSTER.disk.bandwidth
+        assert tri_t > 2 * io_t
+
+    def test_linear_in_cells(self):
+        cpu = CPUModel(cell_rate=1e6, per_triangle=0.0)
+        assert cpu.triangulation_time(2_000_000, 0) == pytest.approx(2.0)
+
+
+class TestGPUModel:
+    def test_render_time_components(self):
+        gpu = GPUModel(triangle_rate=1e6, readback_bandwidth=1e6)
+        assert gpu.render_time(1_000_000, 1_000_000) == pytest.approx(2.0)
+
+    def test_rendering_fast_relative_to_triangulation(self):
+        """'Once the triangles are generated, they are rendered on the GPU
+        very quickly.'"""
+        tris = 10_000_000
+        render = PAPER_CLUSTER.gpu.render_time(tris)
+        tri = PAPER_CLUSTER.cpu.triangulation_time(512 * tris // 115, tris)
+        assert render < 0.2 * tri
+
+
+class TestInterconnect:
+    def test_transfer_time(self):
+        net = InterconnectModel(bandwidth=1e9, latency=1e-5)
+        assert net.transfer_time(1e9, n_messages=1) == pytest.approx(1.0 + 1e-5)
+
+    def test_compositing_negligible_at_paper_scale(self):
+        """Section 6: shuffling frame buffers over 10 Gb/s InfiniBand is
+        not noticeable next to extraction.  8 nodes x 1280x1024 RGBA+Z."""
+        fb_bytes = 1280 * 1024 * 16
+        t = PAPER_CLUSTER.network.transfer_time(8 * fb_bytes, n_messages=8)
+        # Extraction of 100M triangles takes tens of seconds.
+        extraction = PAPER_CLUSTER.cpu.triangulation_time(512 * 870_000, 100_000_000)
+        assert t < 0.01 * extraction
+
+
+class TestComposition:
+    def test_io_time_delegates_to_disk_model(self):
+        stats = IOStats(blocks_read=100, seeks=3)
+        assert PAPER_CLUSTER.io_time(stats) == pytest.approx(
+            stats.read_time(PAPER_CLUSTER.disk)
+        )
+
+    def test_custom_model_construction(self):
+        pm = PerformanceModel(cpu=CPUModel(cell_rate=1.0))
+        assert pm.cpu.cell_rate == 1.0
+        assert pm.disk.bandwidth == pytest.approx(50e6)

@@ -1,0 +1,130 @@
+"""Tests for index persistence (save/load dataset directories)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.persistence import (
+    BRICKS_FILE,
+    INDEX_FILE,
+    META_FILE,
+    build_persistent_dataset,
+    load_dataset,
+    save_dataset,
+    tree_from_arrays,
+    tree_to_arrays,
+)
+from repro.core.query import execute_query
+from repro.grid.datasets import sphere_field
+from repro.grid.rm_instability import rm_timestep
+
+
+class TestTreeRoundTrip:
+    def test_arrays_roundtrip_preserves_queries(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        back = tree_from_arrays(tree_to_arrays(tree))
+        back.validate(sphere_intervals)
+        for lam in (0.2, 0.6, 1.0, 1.5):
+            assert np.array_equal(back.query_ids(lam), tree.query_ids(lam))
+
+    def test_roundtrip_preserves_structure(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        back = tree_from_arrays(tree_to_arrays(tree))
+        assert back.n_nodes == tree.n_nodes
+        assert back.n_bricks == tree.n_bricks
+        assert back.height() == tree.height()
+        assert back.index_size_bytes() == tree.index_size_bytes()
+
+    def test_empty_tree(self):
+        from repro.core.intervals import IntervalSet
+
+        empty = IntervalSet(
+            vmin=np.empty(0), vmax=np.empty(0), ids=np.empty(0, np.uint32)
+        )
+        tree = CompactIntervalTree.build(empty)
+        back = tree_from_arrays(tree_to_arrays(tree))
+        assert back.n_nodes == 0
+        assert back.query_count(1.0) == 0
+
+
+class TestDatasetDirectory:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        vol = rm_timestep(150, shape=(33, 33, 29))
+        ds = build_persistent_dataset(vol, tmp_path / "ds", metacell_shape=(5, 5, 5))
+        return vol, ds, tmp_path / "ds"
+
+    def test_files_written(self, saved):
+        _, _, d = saved
+        assert (d / BRICKS_FILE).exists()
+        assert (d / INDEX_FILE).exists()
+        assert (d / META_FILE).exists()
+
+    def test_reload_is_deterministic(self, saved):
+        _, original, d = saved
+        original.device.close()
+        a = load_dataset(d)
+        b = load_dataset(d)
+        for lam in (60.0, 128.0):
+            ra = execute_query(a, lam)
+            rb = execute_query(b, lam)
+            assert np.array_equal(ra.records.ids, rb.records.ids)
+            assert ra.io_stats.blocks_read == rb.io_stats.blocks_read
+        a.device.close()
+        b.device.close()
+
+    def test_reload_matches_fresh_build(self, saved):
+        vol, original, d = saved
+        original.device.close()
+        loaded = load_dataset(d)
+        fresh = build_indexed_dataset(vol, (5, 5, 5))
+        for lam in (60.0, 128.0, 200.0):
+            got = execute_query(loaded, lam)
+            ref = execute_query(fresh, lam)
+            assert np.array_equal(np.sort(got.records.ids), np.sort(ref.records.ids))
+            assert np.array_equal(
+                got.records.values[np.argsort(got.records.ids)],
+                ref.records.values[np.argsort(ref.records.ids)],
+            )
+        assert loaded.report == original.report
+        assert loaded.meta == original.meta
+        loaded.device.close()
+
+    def test_missing_meta_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path)
+
+    def test_missing_bricks_rejected(self, saved, tmp_path):
+        _, original, d = saved
+        original.device.close()
+        (d / BRICKS_FILE).rename(tmp_path / "elsewhere.bin")
+        with pytest.raises(FileNotFoundError):
+            load_dataset(d)
+
+    def test_truncated_bricks_rejected(self, saved):
+        _, original, d = saved
+        original.device.close()
+        path = d / BRICKS_FILE
+        with open(path, "r+b") as fh:
+            fh.truncate(path.stat().st_size // 2)
+        with pytest.raises(IOError):
+            load_dataset(d)
+
+    def test_bad_format_version_rejected(self, saved):
+        _, original, d = saved
+        original.device.close()
+        blob = json.loads((d / META_FILE).read_text())
+        blob["format_version"] = 999
+        (d / META_FILE).write_text(json.dumps(blob))
+        with pytest.raises(ValueError, match="format"):
+            load_dataset(d)
+
+    def test_save_dataset_with_memory_device(self, tmp_path, sphere_volume):
+        """save_dataset on an in-memory dataset persists index+meta only."""
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        out = save_dataset(ds, tmp_path / "mem")
+        assert (out / INDEX_FILE).exists()
+        assert not (out / BRICKS_FILE).exists()

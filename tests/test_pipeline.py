@@ -1,0 +1,80 @@
+"""Tests for the serial IsosurfacePipeline façade."""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field, torus_field
+from repro.pipeline import IsosurfacePipeline
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return IsosurfacePipeline.from_volume(sphere_field((33, 33, 33)), metacell_shape=(5, 5, 5))
+
+
+class TestExtraction:
+    def test_mesh_is_correct_surface(self, pipe):
+        res = pipe.extract(0.6)
+        welded = res.mesh.weld()
+        welded.validate_watertight()
+        assert welded.euler_characteristic() == 2
+        r = np.linalg.norm(welded.vertices, axis=1)
+        assert np.all(np.abs(r - 0.6) < 0.06)
+
+    def test_matches_direct_marching_cubes(self, pipe):
+        from repro.mc.marching_cubes import marching_cubes
+
+        vol = sphere_field((33, 33, 33))
+        direct = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        res = pipe.extract(0.6)
+        assert res.mesh.n_triangles == direct.n_triangles
+        assert res.mesh.area() == pytest.approx(direct.area(), rel=1e-9)
+
+    def test_empty_extraction(self, pipe):
+        res = pipe.extract(-5.0)
+        assert res.n_triangles == 0
+        assert res.n_active_metacells == 0
+        assert res.metrics.io_time == 0.0
+
+    def test_metrics_populated(self, pipe):
+        res = pipe.extract(0.6)
+        m = res.metrics
+        assert m.n_active_metacells == res.query.n_active
+        assert m.n_cells_examined == m.n_active_metacells * 4**3
+        assert m.total_time == pytest.approx(
+            m.io_time + m.triangulation_time + m.render_time
+        )
+
+    def test_render(self, pipe):
+        res = pipe.extract(0.6, render=True, image_size=(96, 96))
+        assert res.image is not None
+        assert res.image.coverage() > 0.05
+
+    def test_isovalue_range(self, pipe):
+        lo, hi = pipe.isovalue_range()
+        assert 0.0 <= lo < hi <= np.sqrt(3) + 1e-9
+
+    def test_report_accessible(self, pipe):
+        assert pipe.report.n_metacells_stored == pipe.dataset.n_records
+
+
+class TestRepeatedQueries:
+    def test_many_isovalues_same_dataset(self, pipe):
+        """The out-of-core promise: preprocess once, query many."""
+        counts = [pipe.extract(lam).n_triangles for lam in (0.3, 0.6, 0.9, 1.2)]
+        assert all(c > 0 for c in counts)
+
+    def test_query_does_not_mutate_index(self, pipe):
+        before = pipe.dataset.tree.index_size_bytes()
+        pipe.extract(0.5)
+        pipe.extract(1.0)
+        assert pipe.dataset.tree.index_size_bytes() == before
+
+
+class TestOtherTopology:
+    def test_torus_through_pipeline(self):
+        p = IsosurfacePipeline.from_volume(torus_field((49, 49, 33)), metacell_shape=(5, 5, 5))
+        res = p.extract(0.18)
+        welded = res.mesh.weld()
+        welded.validate_watertight()
+        assert welded.euler_characteristic() == 0

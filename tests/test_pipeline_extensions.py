@@ -1,0 +1,69 @@
+"""Tests for the pipeline's batch/ROI/analysis conveniences and the
+bench report assembler."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import build_report
+from repro.grid.datasets import sphere_field
+from repro.pipeline import IsosurfacePipeline
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return IsosurfacePipeline.from_volume(sphere_field((25, 25, 25)), metacell_shape=(5, 5, 5))
+
+
+class TestExtractMany:
+    def test_matches_individual_extracts(self, pipe):
+        lams = [0.4, 0.6, 0.8]
+        many = pipe.extract_many(lams)
+        for lam in lams:
+            single = pipe.extract(lam)
+            assert many[lam].n_triangles == single.mesh.n_triangles
+            assert many[lam].area() == pytest.approx(single.mesh.area())
+
+    def test_includes_empty_isovalues(self, pipe):
+        many = pipe.extract_many([-1.0, 0.6])
+        assert many[-1.0].n_triangles == 0
+        assert many[0.6].n_triangles > 0
+
+
+class TestExtractROI:
+    def test_box_restricts_geometry(self, pipe):
+        roi = pipe.extract_roi(0.7, [0, -2, -2], [2, 2, 2])
+        full = pipe.extract(0.7)
+        assert 0 < roi.mesh.n_triangles < full.mesh.n_triangles
+
+
+class TestEstimate:
+    def test_prediction_matches_execution(self, pipe):
+        for lam in (0.4, 0.9):
+            est = pipe.estimate_cost(lam)
+            res = pipe.extract(lam)
+            assert est.blocks == res.query.io_stats.blocks_read
+            assert est.n_active == res.n_active_metacells
+
+
+class TestSuggest:
+    def test_returns_requested_targets(self, pipe):
+        picks = pipe.suggest_isovalues((0.1, 0.5))
+        assert set(picks) == {0.1, 0.5}
+        lo, hi = pipe.isovalue_range()
+        for iso in picks.values():
+            assert lo <= iso <= hi
+
+
+class TestReport:
+    def test_builds_from_outputs(self, tmp_path):
+        (tmp_path / "table2_single_node.txt").write_text("TABLE2 CONTENT")
+        (tmp_path / "fig6_speedups.txt").write_text("FIG6 CONTENT")
+        report = build_report(tmp_path)
+        text = report.read_text()
+        assert "TABLE2 CONTENT" in text
+        assert "FIG6 CONTENT" in text
+        assert "Missing outputs" in text  # others not present
+
+    def test_empty_dir(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "Missing outputs" in report.read_text()

@@ -1,0 +1,160 @@
+"""Cross-module property tests (hypothesis): algebraic invariants that
+tie several subsystems together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.striping import stripe_brick_records
+from repro.grid.volume import Volume
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes
+from repro.render.compositor import binary_swap, composite
+from repro.render.rasterizer import Framebuffer
+from tests.conftest import random_intervals
+
+
+def random_framebuffer(rng, w=16, h=16, coverage=0.5) -> Framebuffer:
+    fb = Framebuffer(w, h)
+    mask = rng.random((h, w)) < coverage
+    fb.depth[mask] = rng.random(mask.sum()).astype(np.float32) * 10
+    fb.color[mask] = rng.random((int(mask.sum()), 3)).astype(np.float32)
+    return fb
+
+
+class TestCompositorAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 6))
+    def test_composite_is_pixelwise_argmin(self, seed, n):
+        rng = np.random.default_rng(seed)
+        fbs = [random_framebuffer(rng) for _ in range(n)]
+        out = composite(fbs)
+        depths = np.stack([fb.depth for fb in fbs])
+        assert np.array_equal(out.depth, depths.min(axis=0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_composite_idempotent_and_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = random_framebuffer(rng), random_framebuffer(rng)
+        ab = composite([a, b])
+        ba = composite([b, a])
+        assert np.array_equal(ab.depth, ba.depth)
+        again = composite([ab, ab])
+        assert np.array_equal(again.depth, ab.depth)
+        assert np.array_equal(again.color, ab.color)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16), p=st.sampled_from([2, 4, 8]))
+    def test_binary_swap_equals_reference(self, seed, p):
+        rng = np.random.default_rng(seed)
+        fbs = [random_framebuffer(rng) for _ in range(p)]
+        ref = composite(fbs)
+        out, _ = binary_swap(fbs)
+        assert np.array_equal(out.depth, ref.depth)
+        assert np.array_equal(out.color, ref.color)
+
+
+class TestStripingAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 120),
+        p=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+        stagger=st.booleans(),
+    )
+    def test_striping_is_a_partition(self, n, p, seed, stagger):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, 16)
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, p, stagger=stagger)
+        allpos = np.concatenate([l.local_positions for l in layouts])
+        assert np.array_equal(np.sort(allpos), np.arange(tree.n_records))
+        # Local record counts differ by at most 1 brick count per node.
+        sizes = [len(l.local_positions) for l in layouts]
+        assert max(sizes) - min(sizes) <= tree.n_bricks
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 80), seed=st.integers(0, 2**16))
+    def test_p_equals_one_is_identity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, 12)
+        tree = CompactIntervalTree.build(iv)
+        (layout,) = stripe_brick_records(tree, 1)
+        assert np.array_equal(layout.local_positions, np.arange(tree.n_records))
+        assert np.array_equal(layout.tree.record_order, tree.record_order)
+
+
+class TestMeshAlgebra:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_weld_is_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.grid.datasets import smooth_noise
+
+        data = smooth_noise((10, 10, 10), 4.0, rng)
+        mesh = marching_cubes(data, float(np.median(data)) + 1e-6)
+        w1 = mesh.weld()
+        w2 = w1.weld()
+        assert w1.n_vertices == w2.n_vertices
+        assert w1.n_triangles == w2.n_triangles
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16), s=st.floats(0.5, 3.0))
+    def test_volume_scales_cubically(self, seed, s):
+        rng = np.random.default_rng(seed)
+        from repro.grid.datasets import sphere_field
+
+        vol = sphere_field((12, 12, 12))
+        mesh = marching_cubes(vol.data, 0.6, origin=vol.origin, spacing=vol.spacing)
+        scaled = mesh.scaled(s)
+        assert scaled.enclosed_volume() == pytest.approx(
+            mesh.enclosed_volume() * s**3, rel=1e-9
+        )
+        assert scaled.area() == pytest.approx(mesh.area() * s**2, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_translation_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        from repro.grid.datasets import sphere_field
+
+        vol = sphere_field((12, 12, 12))
+        mesh = marching_cubes(vol.data, 0.6)
+        t = rng.normal(size=3) * 10
+        moved = mesh.translated(t)
+        assert moved.area() == pytest.approx(mesh.area(), rel=1e-12)
+        assert moved.enclosed_volume() == pytest.approx(
+            mesh.enclosed_volume(), rel=1e-6
+        )
+
+
+class TestExtractionInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_iso_complement_near_symmetry(self, seed):
+        """Negating the field and the isovalue swaps inside/outside.  The
+        ambiguous-face rule ('isolate positive corners') is deliberately
+        *not* complement-symmetric — negation flips which diagonal pairs
+        ambiguous faces connect — so the surfaces may differ in topology
+        at ambiguous cells, but they must agree closely in measure and
+        exactly in which lattice edges they cross."""
+        rng = np.random.default_rng(seed)
+        from repro.grid.datasets import smooth_noise
+
+        data = smooth_noise((11, 11, 11), 4.0, rng)
+        uniq = np.unique(data)
+        q = len(uniq) // 2
+        iso = float(0.5 * (uniq[q] + uniq[q + 1]))
+        a = marching_cubes(data, iso)
+        b = marching_cubes(-data, -iso)
+        # Identical crossing-vertex sets (both use the same lattice edges).
+        va = a.vertices[np.lexsort(a.vertices.T)]
+        vb = b.vertices[np.lexsort(b.vertices.T)]
+        assert np.allclose(va, vb)
+        # Measures agree to the ambiguous-face tolerance.
+        if a.n_triangles:
+            assert abs(a.n_triangles - b.n_triangles) <= 0.05 * a.n_triangles + 8
+            assert a.area() == pytest.approx(b.area(), rel=0.05)

@@ -1,0 +1,122 @@
+"""Unit tests for the software rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.mc.geometry import TriangleMesh
+from repro.render.camera import Camera
+from repro.render.rasterizer import Framebuffer, Light, render_mesh
+
+
+def front_camera():
+    return Camera(eye=[0, -5, 0], target=[0, 0, 0], up=[0, 0, 1])
+
+
+def quad(y: float, size: float = 1.0, color_offset=0.0) -> TriangleMesh:
+    """A screen-facing square at depth plane y (two triangles)."""
+    s = size
+    v = np.array(
+        [[-s, y, -s], [s, y, -s], [s, y, s], [-s, y, s]], dtype=np.float64
+    )
+    f = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangleMesh(v, f)
+
+
+class TestFramebuffer:
+    def test_initial_state(self):
+        fb = Framebuffer(8, 6)
+        assert fb.color.shape == (6, 8, 3)
+        assert np.all(np.isinf(fb.depth))
+        assert fb.coverage() == 0.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 5)
+
+    def test_payload_bytes(self):
+        fb = Framebuffer(10, 10)
+        assert fb.payload_bytes == 10 * 10 * (12 + 4)
+
+    def test_to_uint8_range(self):
+        fb = Framebuffer(4, 4)
+        fb.color[:] = 2.0  # over-bright clamps
+        img = fb.to_uint8()
+        assert img.dtype == np.uint8
+        assert img.max() == 255
+
+    def test_copy_independent(self):
+        fb = Framebuffer(4, 4)
+        cp = fb.copy()
+        cp.depth[0, 0] = 1.0
+        assert np.isinf(fb.depth[0, 0])
+
+
+class TestRendering:
+    def test_triangle_covers_center(self):
+        fb = Framebuffer(64, 64)
+        n = render_mesh(fb, quad(0.0), front_camera())
+        assert n == 2
+        assert np.isfinite(fb.depth[32, 32])
+        assert fb.coverage() > 0.05
+
+    def test_depth_value_correct(self):
+        fb = Framebuffer(64, 64)
+        render_mesh(fb, quad(0.0), front_camera())
+        assert fb.depth[32, 32] == pytest.approx(5.0, abs=0.05)
+
+    def test_z_buffer_occlusion(self):
+        fb = Framebuffer(64, 64)
+        near = quad(-1.0)  # closer to the eye at y=-5
+        far = quad(1.0)
+        render_mesh(fb, far, front_camera(), color=(0, 0, 1))
+        render_mesh(fb, near, front_camera(), color=(1, 0, 0))
+        # Near (red) must win at the center.
+        center = fb.color[32, 32]
+        assert center[0] > center[2]
+        # Render order must not matter.
+        fb2 = Framebuffer(64, 64)
+        render_mesh(fb2, near, front_camera(), color=(1, 0, 0))
+        render_mesh(fb2, far, front_camera(), color=(0, 0, 1))
+        assert np.array_equal(fb.color, fb2.color)
+        assert np.array_equal(fb.depth, fb2.depth)
+
+    def test_empty_mesh_is_noop(self):
+        fb = Framebuffer(16, 16)
+        assert render_mesh(fb, TriangleMesh(), front_camera()) == 0
+        assert fb.coverage() == 0.0
+
+    def test_offscreen_mesh_rejected(self):
+        fb = Framebuffer(32, 32)
+        n = render_mesh(fb, quad(0.0).translated([100, 0, 0]), front_camera())
+        assert fb.coverage() == 0.0
+
+    def test_behind_camera_rejected(self):
+        fb = Framebuffer(32, 32)
+        render_mesh(fb, quad(-10.0), front_camera())
+        assert fb.coverage() == 0.0
+
+    def test_two_sided_shading(self):
+        """A back-facing surface is still lit (|n.l|)."""
+        fb = Framebuffer(32, 32)
+        m = quad(0.0)
+        flipped = TriangleMesh(m.vertices, m.faces[:, [0, 2, 1]])
+        render_mesh(fb, flipped, front_camera())
+        assert fb.coverage() > 0.0
+        lit = fb.color[np.isfinite(fb.depth)]
+        bg = np.asarray(fb.background, dtype=np.float32)
+        assert np.any(np.abs(lit - bg).sum(axis=1) > 0.05)
+
+    def test_light_intensity_bounds(self):
+        fb = Framebuffer(32, 32)
+        render_mesh(fb, quad(0.0), front_camera(), color=(1.0, 1.0, 1.0))
+        lit = fb.color[np.isfinite(fb.depth)]
+        assert np.all(lit <= 1.0 + 1e-6)
+        assert np.all(lit >= Light().ambient - 1e-6)
+
+    def test_aspect_correction(self):
+        """Rendering into a non-square buffer keeps geometry undistorted:
+        a square should cover ~equal pixel extents in x and y."""
+        fb = Framebuffer(128, 64)
+        render_mesh(fb, quad(0.0, size=0.5), front_camera())
+        ys, xs = np.where(np.isfinite(fb.depth))
+        assert abs((xs.max() - xs.min()) - (ys.max() - ys.min())) <= 2

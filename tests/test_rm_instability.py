@@ -1,0 +1,101 @@
+"""Tests for the Richtmyer–Meshkov-like time-varying generator.
+
+These assert the *statistical contract* the substitution relies on (see
+DESIGN.md): large constant gas regions, an active mixing band whose
+extent grows with time, determinism, and one-byte output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.metacell import partition_metacells
+from repro.grid.rm_instability import RMInstabilityModel, rm_time_series, rm_timestep
+
+
+class TestModelBasics:
+    def test_output_is_one_byte(self):
+        vol = rm_timestep(100, shape=(24, 24, 20))
+        assert vol.dtype == np.uint8
+        assert vol.shape == (24, 24, 20)
+
+    def test_deterministic(self):
+        a = rm_timestep(50, shape=(16, 16, 12), seed=3)
+        b = rm_timestep(50, shape=(16, 16, 12), seed=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_seed_changes_field(self):
+        a = rm_timestep(50, shape=(16, 16, 12), seed=3)
+        b = rm_timestep(50, shape=(16, 16, 12), seed=4)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_two_gas_plateaus(self):
+        """Early in the run, most voxels sit near the two gas values."""
+        model = RMInstabilityModel(shape=(32, 32, 30))
+        vol = model.evaluate(5)
+        light = np.abs(vol.data.astype(float) - model.light_value) < 12
+        heavy = np.abs(vol.data.astype(float) - model.heavy_value) < 12
+        assert (light | heavy).mean() > 0.75
+
+    def test_time_step_bounds(self):
+        model = RMInstabilityModel(shape=(8, 8, 8), n_steps=10)
+        with pytest.raises(ValueError):
+            model.evaluate(10)
+        with pytest.raises(ValueError):
+            model.evaluate(-1)
+        model.evaluate(9)  # last valid step
+
+    def test_rejects_bad_step_count(self):
+        with pytest.raises(ValueError):
+            RMInstabilityModel(n_steps=0)
+
+
+class TestPhysicalTrends:
+    def test_mixing_layer_grows(self):
+        model = RMInstabilityModel(shape=(8, 8, 8), n_steps=270)
+        assert model.mixing_width(250) > model.mixing_width(20)
+        assert model.amplitude(250) > model.amplitude(20)
+        assert model.turbulence_strength(250) > model.turbulence_strength(20)
+
+    def test_interface_drifts_with_shock(self):
+        model = RMInstabilityModel(shape=(8, 8, 8), n_steps=270)
+        assert model.interface_z(260) > model.interface_z(10)
+
+    def test_active_band_widens_with_time(self):
+        """More non-constant metacells late in the run (mixing spreads)."""
+        model = RMInstabilityModel(shape=(33, 33, 33), n_steps=270)
+        early = partition_metacells(model.evaluate(20), (5, 5, 5))
+        late = partition_metacells(model.evaluate(250), (5, 5, 5))
+        n_early = (~early.constant_mask()).sum()
+        n_late = (~late.constant_mask()).sum()
+        assert n_late > n_early
+
+
+class TestConstantFraction:
+    def test_substantial_constant_metacell_fraction(self):
+        """The paper culls ~50% of the RM data as constant metacells; the
+        stand-in must have a substantial constant fraction too (exact
+        value depends on resolution)."""
+        vol = rm_timestep(120, shape=(65, 65, 57))
+        part = partition_metacells(vol, (9, 9, 9))
+        frac = part.constant_mask().mean()
+        assert 0.2 < frac < 0.9
+
+
+class TestTimeSeries:
+    def test_series_yields_requested_steps(self):
+        steps = [0, 5, 9]
+        out = list(rm_time_series(steps, shape=(12, 12, 10), n_steps=10))
+        assert [t for t, _ in out] == steps
+        for _, vol in out:
+            assert vol.shape == (12, 12, 10)
+
+    def test_series_is_lazy(self):
+        gen = rm_time_series(range(1000), shape=(12, 12, 10), n_steps=1000)
+        t, vol = next(gen)
+        assert t == 0
+
+    def test_interface_height_shape(self):
+        model = RMInstabilityModel(shape=(20, 24, 16))
+        h = model.interface_height(100, 20, 24)
+        assert h.shape == (20, 24)
+        assert np.all((h > 0) & (h < 1))

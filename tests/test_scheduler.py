@@ -1,0 +1,72 @@
+"""Tests for the scheduling models used by the ablations."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.scheduler import (
+    HostDispatchModel,
+    host_dispatch,
+    round_robin,
+    static_blocks,
+)
+
+
+class TestHostDispatch:
+    def test_host_overhead_serializes_small_jobs(self):
+        """Many tiny jobs: the host's serial dispatch becomes the
+        bottleneck, the effect the paper calls out for BBIO schemes."""
+        jobs = np.full(10_000, 1e-6)
+        res = host_dispatch(jobs, p=8, model=HostDispatchModel(dispatch_overhead=50e-6))
+        assert res.host_time == pytest.approx(0.5)
+        assert res.makespan >= 0.5
+
+    def test_large_jobs_not_host_bound(self):
+        jobs = np.full(16, 1.0)
+        res = host_dispatch(jobs, p=4)
+        assert res.makespan == pytest.approx(4.0, rel=0.01)
+
+    def test_zero_jobs(self):
+        res = host_dispatch(np.empty(0), p=4)
+        assert res.makespan == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            host_dispatch(np.ones(4), p=0)
+
+
+class TestStaticBlocks:
+    def test_skewed_costs_unbalanced(self):
+        """Costs concentrated at the front: static blocks leave most
+        workers idle."""
+        jobs = np.zeros(100)
+        jobs[:25] = 1.0
+        res = static_blocks(jobs, p=4)
+        assert res.worker_times[0] == pytest.approx(25.0)
+        assert res.worker_times[1:].max() == 0.0
+        assert res.balance_spread == pytest.approx(25.0)
+
+    def test_uniform_costs_balanced(self):
+        res = static_blocks(np.ones(100), p=4)
+        assert res.balance_spread == 0.0
+
+
+class TestRoundRobin:
+    def test_skewed_costs_balanced(self):
+        """The same adversarial input round-robin handles well — the
+        scheduling analogue of the paper's striping."""
+        jobs = np.zeros(100)
+        jobs[:25] = 1.0
+        res = round_robin(jobs, p=4)
+        assert res.balance_spread <= 1.0
+
+    def test_sum_preserved(self):
+        rng = np.random.default_rng(0)
+        jobs = rng.random(97)
+        res = round_robin(jobs, p=5)
+        assert res.worker_times.sum() == pytest.approx(jobs.sum())
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            round_robin(np.ones(4), p=0)
+        with pytest.raises(ValueError):
+            static_blocks(np.ones(4), p=-1)

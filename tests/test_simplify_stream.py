@@ -1,0 +1,144 @@
+"""Tests for mesh decimation and streaming mesh output."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.grid.datasets import sphere_field
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import marching_cubes
+from repro.mc.mesh_io import read_obj, read_ply
+from repro.mc.mesh_stream import StreamingMeshWriter, stream_isosurface_to_file
+from repro.mc.simplify import simplify_to_budget, simplify_vertex_clustering
+
+
+@pytest.fixture(scope="module")
+def sphere_mesh():
+    vol = sphere_field((40, 40, 40))
+    return marching_cubes(vol.data, 0.7, origin=vol.origin, spacing=vol.spacing)
+
+
+class TestVertexClustering:
+    def test_reduces_triangles(self, sphere_mesh):
+        out = simplify_vertex_clustering(sphere_mesh, cell_size=0.15)
+        assert 0 < out.n_triangles < 0.5 * sphere_mesh.n_triangles
+
+    def test_preserves_measures_roughly(self, sphere_mesh):
+        out = simplify_vertex_clustering(sphere_mesh, cell_size=0.1)
+        assert out.area() == pytest.approx(sphere_mesh.area(), rel=0.15)
+        assert abs(out.enclosed_volume()) == pytest.approx(
+            abs(sphere_mesh.enclosed_volume()), rel=0.15
+        )
+
+    def test_finer_grid_keeps_more(self, sphere_mesh):
+        fine = simplify_vertex_clustering(sphere_mesh, 0.05)
+        coarse = simplify_vertex_clustering(sphere_mesh, 0.3)
+        assert fine.n_triangles > coarse.n_triangles
+
+    def test_center_representative(self, sphere_mesh):
+        out = simplify_vertex_clustering(sphere_mesh, 0.15, representative="center")
+        assert out.n_triangles > 0
+        # Vertices land on the cell-center lattice.
+        origin = sphere_mesh.vertices.min(axis=0)
+        offsets = (out.vertices - origin) / 0.15 - 0.5
+        assert np.allclose(offsets, np.round(offsets), atol=1e-9)
+
+    def test_no_degenerate_or_duplicate_faces(self, sphere_mesh):
+        out = simplify_vertex_clustering(sphere_mesh, 0.2)
+        f = out.faces
+        assert np.all(f[:, 0] != f[:, 1])
+        assert np.all(f[:, 1] != f[:, 2])
+        key = np.sort(f, axis=1)
+        assert len(np.unique(key, axis=0)) == len(f)
+
+    def test_validation(self, sphere_mesh):
+        with pytest.raises(ValueError):
+            simplify_vertex_clustering(sphere_mesh, 0.0)
+        with pytest.raises(ValueError):
+            simplify_vertex_clustering(sphere_mesh, 0.1, representative="magic")
+
+    def test_empty_mesh(self):
+        assert simplify_vertex_clustering(TriangleMesh(), 0.1).n_triangles == 0
+
+
+class TestBudget:
+    def test_hits_budget(self, sphere_mesh):
+        out = simplify_to_budget(sphere_mesh, 400)
+        assert out.n_triangles <= 400
+        assert out.n_triangles > 20  # still a sphere, not a tetrahedron
+
+    def test_within_budget_is_identity(self, sphere_mesh):
+        out = simplify_to_budget(sphere_mesh, sphere_mesh.n_triangles + 1)
+        assert out is sphere_mesh
+
+    def test_validation(self, sphere_mesh):
+        with pytest.raises(ValueError):
+            simplify_to_budget(sphere_mesh, 0)
+
+
+class TestStreamingWriter:
+    def _chunks(self, mesh, n=5):
+        """Split a mesh into n face-chunks (soup style, private vertices)."""
+        out = []
+        for part in np.array_split(np.arange(mesh.n_triangles), n):
+            pts = mesh.vertices[mesh.faces[part]].reshape(-1, 3)
+            faces = np.arange(len(pts)).reshape(-1, 3)
+            out.append(TriangleMesh(pts, faces))
+        return out
+
+    @pytest.mark.parametrize("ext", ["ply", "obj"])
+    def test_chunked_equals_monolithic(self, tmp_path, sphere_mesh, ext):
+        path = tmp_path / f"streamed.{ext}"
+        with StreamingMeshWriter(path) as w:
+            for chunk in self._chunks(sphere_mesh):
+                w.add_mesh(chunk)
+        assert w.n_triangles == sphere_mesh.n_triangles
+        back = read_ply(path) if ext == "ply" else read_obj(path)
+        assert back.n_triangles == sphere_mesh.n_triangles
+        assert back.area() == pytest.approx(sphere_mesh.area(), rel=1e-5)
+
+    def test_spools_cleaned_up(self, tmp_path, sphere_mesh):
+        path = tmp_path / "s.ply"
+        with StreamingMeshWriter(path) as w:
+            w.add_mesh(sphere_mesh)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["s.ply"]
+
+    def test_spools_cleaned_on_error(self, tmp_path, sphere_mesh):
+        path = tmp_path / "s.ply"
+        with pytest.raises(RuntimeError):
+            with StreamingMeshWriter(path) as w:
+                w.add_mesh(sphere_mesh)
+                raise RuntimeError("boom")
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix in (".vtmp", ".ftmp")]
+        assert leftovers == []
+
+    def test_add_after_close_rejected(self, tmp_path, sphere_mesh):
+        w = StreamingMeshWriter(tmp_path / "x.ply")
+        w.close()
+        with pytest.raises(ValueError):
+            w.add_mesh(sphere_mesh)
+
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingMeshWriter(tmp_path / "x.stl")
+
+    def test_empty_output(self, tmp_path):
+        with StreamingMeshWriter(tmp_path / "e.ply") as w:
+            pass
+        back = read_ply(tmp_path / "e.ply")
+        assert back.n_triangles == 0
+
+
+class TestEndToEndStreaming:
+    def test_stream_isosurface_matches_in_memory(self, tmp_path):
+        vol = sphere_field((33, 33, 33))
+        ds = build_indexed_dataset(vol, (5, 5, 5))
+        path, n = stream_isosurface_to_file(ds, 0.7, tmp_path / "iso.ply",
+                                            chunk_metacells=16)
+        from repro.pipeline import IsosurfacePipeline
+
+        ref = IsosurfacePipeline(ds).extract(0.7)
+        assert n == ref.mesh.n_triangles
+        back = read_ply(path)
+        assert back.n_triangles == n
+        assert back.area() == pytest.approx(ref.mesh.area(), rel=1e-5)

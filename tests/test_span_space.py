@@ -1,0 +1,85 @@
+"""Tests for span-space statistics and the square decomposition."""
+
+import numpy as np
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.span_space import (
+    SpanSpaceStats,
+    ascii_span_space,
+    span_space_histogram,
+    tree_span_squares,
+)
+
+
+def make(vmin, vmax):
+    vmin, vmax = np.asarray(vmin), np.asarray(vmax)
+    return IntervalSet(vmin=vmin, vmax=vmax, ids=np.arange(len(vmin), dtype=np.uint32))
+
+
+class TestStats:
+    def test_empty(self):
+        s = SpanSpaceStats.from_intervals(make([], []))
+        assert s.n_intervals == 0
+        assert s.mean_span == 0.0
+
+    def test_basic_counts(self):
+        iv = make([0, 0, 2, 5], [4, 4, 2, 9])
+        s = SpanSpaceStats.from_intervals(iv)
+        assert s.n_intervals == 4
+        assert s.n_distinct_pairs == 3
+        assert s.degenerate_fraction == 0.25
+        assert s.max_span == 4.0
+
+    def test_endpoint_count_matches_intervalset(self, sphere_intervals):
+        s = SpanSpaceStats.from_intervals(sphere_intervals)
+        assert s.n_distinct_endpoints == sphere_intervals.n_distinct_endpoints
+
+
+class TestHistogram:
+    def test_total_mass(self, sphere_intervals):
+        hist, edges = span_space_histogram(sphere_intervals, bins=16)
+        assert hist.sum() == len(sphere_intervals)
+        assert len(edges) == 17
+
+    def test_upper_triangular(self, sphere_intervals):
+        """All mass lies on or above the diagonal (vmax >= vmin)."""
+        hist, edges = span_space_histogram(sphere_intervals, bins=16)
+        for i in range(16):
+            for j in range(16):
+                if j < i - 1:  # strictly-below-diagonal bins (1-bin slack)
+                    assert hist[i, j] == 0
+
+    def test_empty_and_constant(self):
+        h, _ = span_space_histogram(make([], []), bins=8)
+        assert h.sum() == 0
+        h2, _ = span_space_histogram(make([3, 3], [3, 3]), bins=8)
+        assert h2.sum() == 2
+
+
+class TestSquares:
+    def test_squares_cover_all_intervals(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        squares = tree_span_squares(tree)
+        assert sum(sq.n_intervals for sq in squares) == len(sphere_intervals)
+
+    def test_square_geometry(self, sphere_intervals):
+        """Each square's corner sits on the diagonal inside [lo, hi]."""
+        tree = CompactIntervalTree.build(sphere_intervals)
+        for sq in tree_span_squares(tree):
+            assert sq.lo <= sq.split <= sq.hi
+
+    def test_brick_counts_match_tree(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        squares = tree_span_squares(tree)
+        assert sum(sq.n_bricks for sq in squares) == tree.n_bricks
+
+
+class TestAscii:
+    def test_renders_something(self, sphere_intervals):
+        art = ascii_span_space(sphere_intervals, bins=12)
+        assert "vmin" in art
+        assert len(art.splitlines()) == 13
+
+    def test_empty_message(self):
+        assert "empty" in ascii_span_space(make([], []))

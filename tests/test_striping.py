@@ -1,0 +1,153 @@
+"""Tests for round-robin brick striping and its balance guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.striping import (
+    imbalance_ratio,
+    stripe_brick_records,
+    striped_active_counts,
+    striping_balance_bound,
+)
+from tests.conftest import random_intervals
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_positions_partition_globals(self, sphere_intervals, p):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        layouts = stripe_brick_records(tree, p)
+        allpos = np.concatenate([l.local_positions for l in layouts])
+        assert np.array_equal(np.sort(allpos), np.arange(tree.n_records))
+
+    def test_local_order_preserved(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        for lay in stripe_brick_records(tree, 3):
+            assert np.all(np.diff(lay.local_positions) > 0)
+
+    def test_per_brick_round_robin_staggered(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        p = 4
+        layouts = stripe_brick_records(tree, p)
+        # Record at global brick offset o of brick b lives on node (o+b) % p.
+        owner = np.empty(tree.n_records, dtype=np.int64)
+        for q, lay in enumerate(layouts):
+            owner[lay.local_positions] = q
+        for b in range(tree.n_bricks):
+            s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+            assert np.array_equal(owner[s : s + c], (np.arange(c) + b) % p)
+
+    def test_per_brick_round_robin_paper_literal(self, sphere_intervals):
+        """stagger=False: the paper's layout, first metacell to node 0."""
+        tree = CompactIntervalTree.build(sphere_intervals)
+        p = 4
+        layouts = stripe_brick_records(tree, p, stagger=False)
+        owner = np.empty(tree.n_records, dtype=np.int64)
+        for q, lay in enumerate(layouts):
+            owner[lay.local_positions] = q
+        for b in range(tree.n_bricks):
+            s, c = int(tree.brick_start[b]), int(tree.brick_count[b])
+            assert np.array_equal(owner[s : s + c], np.arange(c) % p)
+
+    def test_stagger_queries_still_match_oracle(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        for stagger in (True, False):
+            layouts = stripe_brick_records(tree, 5, stagger=stagger)
+            for lam in (0.3, 0.9, 1.4):
+                got = np.sort(np.concatenate([l.tree.query_ids(lam) for l in layouts]))
+                assert np.array_equal(got, sphere_intervals.stabbing_ids(lam))
+
+    def test_local_brick_counts(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        p = 3
+        layouts = stripe_brick_records(tree, p)
+        for q, lay in enumerate(layouts):
+            for local_b, global_b in enumerate(lay.brick_global_ids):
+                c = int(tree.brick_count[global_b])
+                expect = len(range((q - int(global_b)) % p, c, p))
+                assert int(lay.tree.brick_count[local_b]) == expect
+
+    def test_invalid_p(self, sphere_intervals):
+        tree = CompactIntervalTree.build(sphere_intervals)
+        with pytest.raises(ValueError):
+            stripe_brick_records(tree, 0)
+
+    def test_more_nodes_than_records(self):
+        rng = np.random.default_rng(0)
+        iv = random_intervals(rng, 3, 8)
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, 8)
+        total = sum(l.tree.n_records for l in layouts)
+        assert total == 3
+        for lam in (0.0, 4.0, 8.0):
+            got = np.sort(np.concatenate([l.tree.query_ids(lam) for l in layouts]))
+            assert np.array_equal(got, iv.stabbing_ids(lam))
+
+
+class TestQueryEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 150),
+        n_values=st.integers(1, 20),
+        p=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+        lam_num=st.integers(-1, 21),
+    )
+    def test_union_of_local_queries_is_global(self, n, n_values, p, seed, lam_num):
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, n_values)
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, p)
+        lam = float(lam_num)
+        got = np.sort(np.concatenate([l.tree.query_ids(lam) for l in layouts]))
+        assert np.array_equal(got, iv.stabbing_ids(lam))
+
+
+class TestBalanceGuarantee:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        n_values=st.integers(1, 16),
+        p=st.integers(2, 8),
+        seed=st.integers(0, 2**16),
+        lam_num=st.integers(0, 16),
+    )
+    def test_spread_bounded_by_active_bricks(self, n, n_values, p, seed, lam_num):
+        """The paper's provable balance: max - min <= # active bricks,
+        for ANY isovalue."""
+        rng = np.random.default_rng(seed)
+        iv = random_intervals(rng, n, n_values)
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, p)
+        lam = float(lam_num)
+        counts = striped_active_counts(layouts, lam)
+        assert int(counts.sum()) == iv.stabbing_count(lam)
+        assert counts.max() - counts.min() <= striping_balance_bound(tree, lam)
+
+    def test_per_node_within_one_of_fair_share_per_brick(self, sphere_intervals):
+        """Each node's share of each *active brick prefix* is floor or ceil
+        of fair share; aggregate check via the bound."""
+        tree = CompactIntervalTree.build(sphere_intervals)
+        p = 4
+        layouts = stripe_brick_records(tree, p)
+        for lam in (0.2, 0.6, 0.9, 1.3):
+            counts = striped_active_counts(layouts, lam)
+            total = counts.sum()
+            fair = total / p
+            bound = striping_balance_bound(tree, lam)
+            assert np.all(np.abs(counts - fair) <= bound)
+
+
+class TestImbalanceRatio:
+    def test_perfect_balance(self):
+        assert imbalance_ratio(np.array([5, 5, 5, 5])) == 1.0
+
+    def test_empty(self):
+        assert imbalance_ratio(np.array([])) == 1.0
+        assert imbalance_ratio(np.array([0, 0])) == 1.0
+
+    def test_skew(self):
+        assert imbalance_ratio(np.array([10, 0])) == pytest.approx(2.0)

@@ -1,0 +1,134 @@
+"""Adversarial interval distributions for the striping guarantee.
+
+The provable bound (max - min <= # active bricks) is weakest when
+bricks are tiny; these tests construct the extreme span-space shapes —
+one giant brick, all-singleton bricks, heavy duplication — and check
+both correctness and balance at the extremes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compact_tree import CompactIntervalTree
+from repro.core.intervals import IntervalSet
+from repro.core.striping import (
+    stripe_brick_records,
+    striped_active_counts,
+    striping_balance_bound,
+)
+
+
+def make(vmin, vmax):
+    vmin = np.asarray(vmin, dtype=np.float64)
+    vmax = np.asarray(vmax, dtype=np.float64)
+    return IntervalSet(vmin=vmin, vmax=vmax, ids=np.arange(len(vmin), dtype=np.uint32))
+
+
+class TestSingleVmax:
+    """Every metacell shares one vmax.  The tree still splits on vmin
+    medians (intervals whose vmin exceeds a node's split route right), so
+    this yields one *fat brick per tree node* — O(log n) bricks total —
+    and the balance bound stays tiny."""
+
+    def test_logarithmic_bricks_and_tight_balance(self):
+        n, p = 1000, 8
+        iv = make(np.linspace(0, 50, n), np.full(n, 100.0))
+        tree = CompactIntervalTree.build(iv)
+        assert tree.n_bricks <= 2 * int(np.ceil(np.log2(n))) + 1
+        layouts = stripe_brick_records(tree, p)
+        for lam in (0.0, 10.0, 49.0, 75.0, 100.0):
+            counts = striped_active_counts(layouts, lam)
+            assert counts.sum() == iv.stabbing_count(lam)
+            bound = striping_balance_bound(tree, lam)
+            assert counts.max() - counts.min() <= bound
+            assert bound <= tree.n_bricks
+
+    def test_identical_intervals_single_brick(self):
+        """Truly one brick: all intervals identical."""
+        n, p = 500, 8
+        iv = make(np.full(n, 2.0), np.full(n, 9.0))
+        tree = CompactIntervalTree.build(iv)
+        assert tree.n_bricks == 1
+        layouts = stripe_brick_records(tree, p)
+        counts = striped_active_counts(layouts, 5.0)
+        assert counts.sum() == n
+        assert counts.max() - counts.min() <= 1  # bound = 1 brick
+
+    def test_case2_prefix_shared_fairly(self):
+        n, p = 97, 4
+        iv = make(np.arange(n, dtype=float), np.full(n, 1000.0))
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, p)
+        lam = 40.0  # active prefix of 41 records
+        counts = striped_active_counts(layouts, lam)
+        assert counts.sum() == 41
+        assert counts.max() - counts.min() <= striping_balance_bound(tree, lam)
+
+
+class TestAllSingletonBricks:
+    """All-distinct float vmax values: every brick holds one record —
+    the bound degenerates to the active count, and only staggering
+    keeps the realized distribution fair."""
+
+    def _intervals(self, n=400, seed=3):
+        rng = np.random.default_rng(seed)
+        vmin = rng.random(n) * 0.4
+        vmax = 0.6 + rng.random(n) * 0.4  # distinct with prob 1
+        return make(vmin, vmax)
+
+    def test_staggered_balance(self):
+        iv = self._intervals()
+        tree = CompactIntervalTree.build(iv)
+        assert tree.n_bricks == len(iv)  # singleton bricks
+        layouts = stripe_brick_records(tree, 4, stagger=True)
+        counts = striped_active_counts(layouts, 0.5)
+        assert counts.sum() == len(iv)
+        assert counts.max() / counts.mean() < 1.2
+
+    def test_paper_literal_skews_to_node_zero(self):
+        iv = self._intervals()
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, 4, stagger=False)
+        counts = striped_active_counts(layouts, 0.5)
+        # Singleton bricks all start at node 0 without staggering.
+        assert counts[0] == counts.sum()
+
+    def test_bound_still_holds_either_way(self):
+        iv = self._intervals()
+        tree = CompactIntervalTree.build(iv)
+        bound = striping_balance_bound(tree, 0.5)
+        for stagger in (True, False):
+            counts = striped_active_counts(
+                stripe_brick_records(tree, 4, stagger=stagger), 0.5
+            )
+            assert counts.max() - counts.min() <= bound
+
+
+class TestHeavyDuplication:
+    """The paper's actual regime: millions of intervals, few distinct
+    pairs — bricks are huge and even the literal layout balances."""
+
+    def test_literal_layout_fine_with_fat_bricks(self):
+        rng = np.random.default_rng(9)
+        n = 20_000
+        vmin = rng.integers(0, 8, n).astype(np.float64)
+        vmax = (8 + rng.integers(0, 8, n)).astype(np.float64)
+        iv = make(vmin, vmax)
+        tree = CompactIntervalTree.build(iv)
+        assert tree.n_bricks < 200
+        layouts = stripe_brick_records(tree, 8, stagger=False)
+        counts = striped_active_counts(layouts, 8.0)
+        assert counts.sum() == iv.stabbing_count(8.0)
+        assert counts.max() / counts.mean() < 1.01  # fat bricks: near-perfect
+
+    def test_query_correct_at_every_endpoint(self):
+        rng = np.random.default_rng(10)
+        n = 5000
+        vmin = rng.integers(0, 6, n).astype(np.float64)
+        vmax = (vmin + 1 + rng.integers(0, 6, n)).astype(np.float64)
+        iv = make(vmin, vmax)
+        tree = CompactIntervalTree.build(iv)
+        layouts = stripe_brick_records(tree, 5)
+        for lam in np.unique(np.concatenate([iv.vmin, iv.vmax])):
+            got = sum(int(l.tree.query_count(float(lam))) for l in layouts)
+            assert got == iv.stabbing_count(float(lam))

@@ -1,0 +1,77 @@
+"""Tests for the tiled wall display layout."""
+
+import numpy as np
+import pytest
+
+from repro.render.rasterizer import Framebuffer
+from repro.render.tiled_display import TileLayout, paper_wall
+
+
+class TestGeometry:
+    def test_even_split(self):
+        lay = TileLayout(2, 2, 100, 80)
+        assert lay.n_tiles == 4
+        rows, cols = lay.tile_slices(0)
+        assert (rows.start, rows.stop, cols.start, cols.stop) == (0, 40, 0, 50)
+        rows, cols = lay.tile_slices(3)
+        assert (rows.start, rows.stop, cols.start, cols.stop) == (40, 80, 50, 100)
+
+    def test_uneven_split_remainder_to_last(self):
+        lay = TileLayout(3, 3, 100, 100)
+        rows, cols = lay.tile_slices(8)
+        assert rows.stop == 100 and cols.stop == 100
+        assert rows.start == 66 and cols.start == 66
+
+    def test_tiles_cover_exactly(self):
+        lay = TileLayout(3, 4, 97, 53)
+        covered = np.zeros((53, 97), dtype=int)
+        for t in range(lay.n_tiles):
+            rows, cols = lay.tile_slices(t)
+            covered[rows, cols] += 1
+        assert np.all(covered == 1)
+
+    def test_bad_index(self):
+        lay = TileLayout(2, 2, 10, 10)
+        with pytest.raises(IndexError):
+            lay.tile_slices(4)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            TileLayout(0, 2, 10, 10)
+        with pytest.raises(ValueError):
+            TileLayout(20, 2, 10, 10)
+
+
+class TestSplitMerge:
+    def test_roundtrip(self):
+        lay = TileLayout(2, 3, 60, 40)
+        fb = Framebuffer(60, 40)
+        rng = np.random.default_rng(0)
+        fb.color[:] = rng.random((40, 60, 3)).astype(np.float32)
+        fb.depth[:] = rng.random((40, 60)).astype(np.float32)
+        tiles = lay.split(fb)
+        assert len(tiles) == 6
+        merged = lay.merge(tiles)
+        assert np.array_equal(merged.color, fb.color)
+        assert np.array_equal(merged.depth, fb.depth)
+
+    def test_split_size_check(self):
+        lay = TileLayout(2, 2, 60, 40)
+        with pytest.raises(ValueError):
+            lay.split(Framebuffer(61, 40))
+
+    def test_merge_count_check(self):
+        lay = TileLayout(2, 2, 60, 40)
+        with pytest.raises(ValueError):
+            lay.merge([Framebuffer(30, 20)] * 3)
+
+    def test_merge_shape_check(self):
+        lay = TileLayout(2, 2, 60, 40)
+        tiles = lay.split(Framebuffer(60, 40))
+        tiles[1] = Framebuffer(5, 5)
+        with pytest.raises(ValueError):
+            lay.merge(tiles)
+
+    def test_paper_wall_is_2x2(self):
+        lay = paper_wall(256, 256)
+        assert (lay.rows, lay.cols) == (2, 2)

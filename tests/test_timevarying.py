@@ -1,0 +1,163 @@
+"""Tests for the time-varying index (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.timevarying import TimeVaryingIndex
+from repro.grid.rm_instability import rm_time_series
+from repro.io.diskfile import FileBackedDevice
+
+
+@pytest.fixture(scope="module")
+def tv_index():
+    series = rm_time_series([10, 50, 90], shape=(25, 25, 21), n_steps=100)
+    return TimeVaryingIndex.from_series(series, p=1, metacell_shape=(5, 5, 5))
+
+
+class TestConstruction:
+    def test_steps_recorded(self, tv_index):
+        assert tv_index.steps == [10, 50, 90]
+        assert len(tv_index) == 3
+        assert 50 in tv_index
+        assert 51 not in tv_index
+
+    def test_duplicate_step_rejected(self, tv_index):
+        from repro.grid.rm_instability import rm_timestep
+
+        with pytest.raises(ValueError):
+            tv_index.add_step(10, rm_timestep(10, shape=(25, 25, 21), n_steps=100))
+
+    def test_missing_step_raises_keyerror(self, tv_index):
+        with pytest.raises(KeyError, match="not indexed"):
+            tv_index.datasets(42)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            TimeVaryingIndex(p=0)
+
+
+class TestQuery:
+    def test_query_matches_per_step_oracle(self, tv_index):
+        from repro.core.intervals import IntervalSet
+        from repro.grid.metacell import partition_metacells
+        from repro.grid.rm_instability import rm_timestep
+
+        for t in (10, 90):
+            vol = rm_timestep(t, shape=(25, 25, 21), n_steps=100)
+            iv = IntervalSet.from_partition(partition_metacells(vol, (5, 5, 5)))
+            results = tv_index.query(t, 128.0)
+            got = np.sort(np.concatenate([r.records.ids for r in results]))
+            assert np.array_equal(got, iv.stabbing_ids(128.0))
+
+    def test_striped_time_varying(self):
+        series = rm_time_series([20, 60], shape=(25, 25, 21), n_steps=100)
+        tvi = TimeVaryingIndex.from_series(series, p=3, metacell_shape=(5, 5, 5))
+        results = tvi.query(20, 100.0)
+        assert len(results) == 3
+        total = sum(r.n_active for r in results)
+        serial = TimeVaryingIndex.from_series(
+            rm_time_series([20], shape=(25, 25, 21), n_steps=100),
+            p=1,
+            metacell_shape=(5, 5, 5),
+        )
+        assert total == serial.query(20, 100.0)[0].n_active
+
+
+class TestAccounting:
+    def test_total_index_size_sums_steps(self, tv_index):
+        per_step = [
+            ds.tree.index_size_bytes()
+            for t in tv_index.steps
+            for ds in tv_index.datasets(t)
+        ]
+        assert tv_index.total_index_size_bytes() == sum(per_step)
+
+    def test_index_size_stays_small(self, tv_index):
+        """One-byte data: per-step index must be KBs (the paper's 1.6 MB /
+        270 steps => ~6 KB per step figure)."""
+        assert tv_index.total_index_size_bytes() < 3 * 16_384
+
+    def test_device_factory(self, tmp_path):
+        created = []
+
+        def factory(step, rank):
+            dev = FileBackedDevice(tmp_path / f"s{step}_n{rank}.dat")
+            created.append(dev)
+            return dev
+
+        series = rm_time_series([5], shape=(17, 17, 13), n_steps=10)
+        tvi = TimeVaryingIndex.from_series(
+            series, p=2, metacell_shape=(5, 5, 5), device_factory=factory
+        )
+        assert len(created) == 2
+        assert (tmp_path / "s5_n0.dat").exists()
+        results = tvi.query(5, 128.0)
+        assert len(results) == 2
+        for dev in created:
+            dev.close()
+
+    def test_iter_steps(self, tv_index):
+        pairs = list(tv_index.iter_steps())
+        assert [t for t, _ in pairs] == [10, 50, 90]
+
+
+class TestExtractConvenience:
+    def test_extract_meshes(self, tv_index):
+        meshes = tv_index.extract(50, 128.0)
+        assert len(meshes) == 1
+        assert meshes[0].n_triangles > 0
+
+    def test_extract_empty_iso(self, tv_index):
+        meshes = tv_index.extract(50, -5.0)
+        assert all(m.n_triangles == 0 for m in meshes)
+
+    def test_striped_extract_union(self):
+        from repro.mc.geometry import TriangleMesh
+
+        series = rm_time_series([40], shape=(25, 25, 21), n_steps=100)
+        tvi = TimeVaryingIndex.from_series(series, p=3, metacell_shape=(5, 5, 5))
+        meshes = tvi.extract(40, 128.0)
+        total = TriangleMesh.concat(meshes)
+        serial = TimeVaryingIndex.from_series(
+            rm_time_series([40], shape=(25, 25, 21), n_steps=100),
+            metacell_shape=(5, 5, 5),
+        ).extract(40, 128.0)[0]
+        assert total.n_triangles == serial.n_triangles
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        series = rm_time_series([10, 30], shape=(25, 25, 21), n_steps=100)
+        tvi = TimeVaryingIndex.from_series(series, p=2, metacell_shape=(5, 5, 5))
+        tvi.save(tmp_path / "tv")
+        loaded = TimeVaryingIndex.load(tmp_path / "tv")
+        assert loaded.steps == [10, 30]
+        assert loaded.p == 2
+        for t in (10, 30):
+            ref = tvi.query(t, 120.0)
+            got = loaded.query(t, 120.0)
+            a = np.sort(np.concatenate([r.records.ids for r in ref]))
+            b = np.sort(np.concatenate([r.records.ids for r in got]))
+            assert np.array_equal(a, b)
+        for t in loaded.steps:
+            for ds in loaded.datasets(t):
+                ds.device.close()
+
+    def test_load_missing_dir(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(FileNotFoundError):
+            TimeVaryingIndex.load(tmp_path / "nope")
+
+    def test_save_preserves_index_size(self, tmp_path):
+        series = rm_time_series([5], shape=(17, 17, 13), n_steps=10)
+        tvi = TimeVaryingIndex.from_series(series, metacell_shape=(5, 5, 5))
+        before = tvi.total_index_size_bytes()
+        tvi.save(tmp_path / "tv2")
+        loaded = TimeVaryingIndex.load(tmp_path / "tv2")
+        assert loaded.total_index_size_bytes() == before
+        for t in loaded.steps:
+            for ds in loaded.datasets(t):
+                ds.device.close()

@@ -1,0 +1,180 @@
+"""Tests for the unstructured (tetrahedral) pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.unstructured_builder import (
+    build_striped_unstructured,
+    build_unstructured_dataset,
+    extract_unstructured,
+    triangulate_unstructured_records,
+)
+from repro.grid.datasets import sphere_field
+from repro.grid.unstructured import (
+    TetMesh,
+    cluster_cells,
+    delaunay_ball,
+    structured_to_tets,
+)
+from repro.mc.marching_tets import marching_tetrahedra, marching_tets_generic
+
+
+@pytest.fixture(scope="module")
+def sphere_tets():
+    return structured_to_tets(sphere_field((17, 17, 17)))
+
+
+class TestTetMesh:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((3, 3)), np.array([[0, 1, 2, 3]]), np.zeros(3))
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((4, 3)), np.array([[0, 1, 2, 4]]), np.zeros(4))
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((4, 3)), np.array([[0, 1, 2, 3]]), np.zeros(5))
+
+    def test_structured_to_tets_counts(self, sphere_tets):
+        assert sphere_tets.n_cells == 16**3 * 6
+        assert len(sphere_tets.points) == 17**3
+
+    def test_cell_ranges_bound_values(self, sphere_tets):
+        vmin, vmax = sphere_tets.cell_ranges()
+        assert np.all(vmin <= vmax)
+        assert vmin.min() == sphere_tets.values.min()
+        assert vmax.max() == sphere_tets.values.max()
+
+    def test_delaunay_ball(self):
+        mesh = delaunay_ball(n_points=120, seed=1)
+        assert mesh.n_cells > 100
+        assert np.all(np.linalg.norm(mesh.points, axis=1) <= 1.0 + 1e-9)
+
+
+class TestGenericMarchingTets:
+    def test_matches_structured_marching_tets(self):
+        """Extracting from the 6-tet decomposition must equal marching
+        tetrahedra on the original grid (same decomposition)."""
+        vol = sphere_field((13, 13, 13))
+        mesh = structured_to_tets(vol)
+        generic = marching_tets_generic(mesh.cell_points(), mesh.cell_values(), 0.6)
+        reference = marching_tetrahedra(
+            vol.data, 0.6, origin=vol.origin, spacing=vol.spacing
+        )
+        assert generic.n_triangles == reference.n_triangles
+        assert generic.area() == pytest.approx(reference.area(), rel=1e-9)
+        assert generic.weld().enclosed_volume() == pytest.approx(
+            reference.weld().enclosed_volume(), rel=1e-9
+        )
+
+    def test_closed_sphere(self):
+        vol = sphere_field((15, 15, 15))
+        mesh = structured_to_tets(vol)
+        out = marching_tets_generic(mesh.cell_points(), mesh.cell_values(), 0.55).weld()
+        out.validate_watertight()
+        assert out.euler_characteristic() == 2
+        assert out.enclosed_volume() < 0  # normals toward negative side
+
+    def test_degenerate_cells_ignored(self):
+        pts = np.zeros((1, 4, 3))
+        vals = np.zeros((1, 4))
+        assert marching_tets_generic(pts, vals, 0.0).n_triangles == 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            marching_tets_generic(np.zeros((2, 4, 3)), np.zeros((3, 4)), 0.5)
+
+
+class TestClustering:
+    def test_partition_covers_all_cells(self, sphere_tets):
+        clusters = cluster_cells(sphere_tets, 64)
+        flat = clusters.members.reshape(-1)
+        real = np.sort(flat[flat >= 0])
+        assert np.array_equal(real, np.arange(sphere_tets.n_cells))
+
+    def test_cluster_ranges_cover_members(self, sphere_tets):
+        clusters = cluster_cells(sphere_tets, 64)
+        cvmin, cvmax = sphere_tets.cell_ranges()
+        for c in (0, clusters.n_clusters // 2, clusters.n_clusters - 1):
+            m = clusters.members[c][clusters.members[c] >= 0]
+            assert clusters.vmin[c] == cvmin[m].min()
+            assert clusters.vmax[c] == cvmax[m].max()
+
+    def test_spatial_coherence(self, sphere_tets):
+        """Morton clustering: intra-cluster centroid spread must be much
+        smaller than the domain."""
+        clusters = cluster_cells(sphere_tets, 64)
+        centroids = sphere_tets.cell_centroids()
+        spreads = []
+        for c in range(0, clusters.n_clusters, max(1, clusters.n_clusters // 20)):
+            m = clusters.members[c][clusters.members[c] >= 0]
+            spreads.append(np.ptp(centroids[m], axis=0).max())
+        domain = np.ptp(sphere_tets.points, axis=0).max()
+        assert np.median(spreads) < 0.35 * domain
+
+    def test_validation(self, sphere_tets):
+        with pytest.raises(ValueError):
+            cluster_cells(sphere_tets, 0)
+
+
+class TestUnstructuredPipeline:
+    @pytest.fixture(scope="class")
+    def dataset(self, sphere_tets):
+        return build_unstructured_dataset(sphere_tets, cells_per_cluster=48)
+
+    def test_query_matches_bruteforce(self, dataset, sphere_tets):
+        clusters = cluster_cells(sphere_tets, 48)
+        for iso in (0.3, 0.6, 0.9):
+            _, qr = extract_unstructured(dataset, iso)
+            oracle = np.flatnonzero(
+                (clusters.vmin.astype(np.float32) <= iso)
+                & (iso <= clusters.vmax.astype(np.float32))
+                & (clusters.vmin != clusters.vmax)
+            )
+            assert np.array_equal(np.sort(qr.records.ids), oracle)
+
+    def test_surface_matches_in_core_extraction(self, dataset, sphere_tets):
+        """Out-of-core extraction == extracting every cell in memory."""
+        iso = 0.6
+        mesh, _ = extract_unstructured(dataset, iso)
+        full = marching_tets_generic(
+            sphere_tets.cell_points(), sphere_tets.cell_values(), iso
+        )
+        assert mesh.n_triangles == full.n_triangles
+        assert mesh.area() == pytest.approx(full.area(), rel=1e-5)
+
+    def test_surface_topology(self, dataset):
+        mesh, _ = extract_unstructured(dataset, 0.55)
+        welded = mesh.weld(decimals=5)
+        assert welded.is_closed()
+        assert welded.euler_characteristic() == 2
+
+    def test_striped_equals_serial(self, sphere_tets):
+        serial = build_unstructured_dataset(sphere_tets, cells_per_cluster=48)
+        striped = build_striped_unstructured(sphere_tets, 4, cells_per_cluster=48)
+        iso = 0.7
+        mesh_serial, _ = extract_unstructured(serial, iso)
+        parts = [extract_unstructured(ds, iso)[0] for ds in striped]
+        total = sum(m.n_triangles for m in parts)
+        assert total == mesh_serial.n_triangles
+        counts = [extract_unstructured(ds, iso)[1].n_active for ds in striped]
+        assert max(counts) - min(counts) <= max(2, len(counts))
+
+    def test_report(self, dataset, sphere_tets):
+        rep = dataset.report
+        assert rep.n_cells == sphere_tets.n_cells
+        assert rep.n_clusters_stored + rep.n_clusters_culled == rep.n_clusters_total
+        assert rep.index_bytes < rep.stored_bytes
+
+    def test_empty_isovalue(self, dataset):
+        mesh, qr = extract_unstructured(dataset, -10.0)
+        assert mesh.n_triangles == 0
+        assert qr.io_stats.blocks_read == 0
+
+    def test_delaunay_end_to_end(self):
+        mesh = delaunay_ball(n_points=200, seed=3)
+        ds = build_unstructured_dataset(mesh, cells_per_cluster=32)
+        surf, qr = extract_unstructured(ds, 0.5)
+        assert surf.n_triangles > 0
+        # All triangle vertices near the iso sphere (Delaunay is coarse:
+        # generous tolerance).
+        r = np.linalg.norm(surf.vertices, axis=1)
+        assert np.all(np.abs(r - 0.5) < 0.35)

@@ -1,0 +1,98 @@
+"""Tests for dataset integrity verification."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.builder import build_indexed_dataset
+from repro.core.persistence import build_persistent_dataset
+from repro.core.validation import verify_dataset
+from repro.grid.datasets import sphere_field
+from repro.grid.rm_instability import rm_timestep
+
+
+@pytest.fixture()
+def good_dataset():
+    return build_indexed_dataset(rm_timestep(150, shape=(25, 25, 21)), (5, 5, 5))
+
+
+class TestCleanDataset:
+    def test_passes_deep_verify(self, good_dataset):
+        report = verify_dataset(good_dataset)
+        assert report.ok, report.summary()
+        assert report.n_records_checked == good_dataset.n_records
+        assert report.n_bricks_checked == good_dataset.tree.n_bricks
+
+    def test_quick_verify(self, good_dataset):
+        report = verify_dataset(good_dataset, deep=False)
+        assert report.ok
+        assert report.n_records_checked == 0
+
+    def test_empty_dataset(self):
+        from repro.grid.volume import Volume
+
+        ds = build_indexed_dataset(
+            Volume(np.full((9, 9, 9), 3, dtype=np.uint8)), (5, 5, 5)
+        )
+        assert verify_dataset(ds).ok
+
+    def test_summary_format(self, good_dataset):
+        text = verify_dataset(good_dataset).summary()
+        assert "OK" in text
+
+
+class TestCorruption:
+    def test_truncated_store(self, good_dataset):
+        good_dataset.device._buf = good_dataset.device._buf[:-100]
+        report = verify_dataset(good_dataset)
+        assert not report.ok
+        assert any("store holds" in p for p in report.problems)
+
+    def test_clobbered_payload(self, good_dataset):
+        """Wiping a record's payload to 0xFF must surface as a vmin
+        mismatch (stored vmin < new payload min, since culling guarantees
+        vmin < vmax <= 255)."""
+        rec = good_dataset.codec.record_size
+        off = good_dataset.base_offset + 5  # skip id (4) + vmin (1)
+        good_dataset.device._buf[off : off + rec - 5] = b"\xff" * (rec - 5)
+        report = verify_dataset(good_dataset)
+        assert not report.ok
+
+    def test_corrupted_stored_vmin(self, good_dataset):
+        off = good_dataset.base_offset + 4  # the vmin byte of record 0
+        good_dataset.device._buf[off] = (good_dataset.device._buf[off] + 1) % 256
+        report = verify_dataset(good_dataset)
+        assert not report.ok
+        assert any("vmin" in p for p in report.problems)
+
+    def test_duplicate_ids_detected(self, good_dataset):
+        """Overwrite record 1's id with record 0's."""
+        rec = good_dataset.codec.record_size
+        base = good_dataset.base_offset
+        id0 = bytes(good_dataset.device._buf[base : base + 4])
+        good_dataset.device._buf[base + rec : base + rec + 4] = id0
+        report = verify_dataset(good_dataset)
+        assert not report.ok
+        assert any("duplicate" in p for p in report.problems)
+
+
+class TestCLI:
+    def test_verify_ok(self, tmp_path, capsys):
+        ds = build_persistent_dataset(
+            sphere_field((17, 17, 17)), tmp_path / "ds", metacell_shape=(5, 5, 5)
+        )
+        ds.device.close()
+        assert main(["verify", str(tmp_path / "ds")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, tmp_path, capsys):
+        ds = build_persistent_dataset(
+            sphere_field((17, 17, 17)), tmp_path / "ds", metacell_shape=(5, 5, 5)
+        )
+        ds.device.close()
+        bricks = tmp_path / "ds" / "bricks.bin"
+        data = bytearray(bricks.read_bytes())
+        data[10] = (data[10] + 111) % 256
+        bricks.write_bytes(bytes(data))
+        assert main(["verify", str(tmp_path / "ds")]) == 1
+        assert "problem" in capsys.readouterr().out

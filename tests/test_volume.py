@@ -1,0 +1,125 @@
+"""Unit tests for the Volume container."""
+
+import numpy as np
+import pytest
+
+from repro.grid.volume import Volume
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        v = Volume(np.zeros((4, 5, 6), dtype=np.uint8), spacing=(2, 2, 2))
+        assert v.shape == (4, 5, 6)
+        assert v.dtype == np.uint8
+        assert v.nbytes == 4 * 5 * 6
+        assert v.n_cells == 3 * 4 * 5
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((4, 4)))
+
+    def test_rejects_single_vertex_axis(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((1, 4, 4)))
+
+    def test_value_range(self):
+        v = Volume(np.arange(8, dtype=np.float64).reshape(2, 2, 2))
+        assert v.value_range() == (0.0, 7.0)
+
+
+class TestQuantize:
+    def test_full_range_mapping(self):
+        data = np.linspace(0, 1, 27).reshape(3, 3, 3)
+        q = Volume(data).quantize(np.uint8)
+        assert q.dtype == np.uint8
+        assert q.data.min() == 0
+        assert q.data.max() == 255
+
+    def test_constant_field_maps_to_zero(self):
+        q = Volume(np.full((3, 3, 3), 5.0)).quantize(np.uint8)
+        assert np.all(q.data == 0)
+
+    def test_monotonicity_preserved(self):
+        data = np.sort(np.random.default_rng(0).random(27)).reshape(3, 3, 3)
+        q = Volume(data).quantize(np.uint16)
+        assert np.all(np.diff(q.data.reshape(-1).astype(np.int64)) >= 0)
+
+    def test_rejects_float_target(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((2, 2, 2))).quantize(np.float32)
+
+
+class TestDownsample:
+    def test_shape_and_spacing(self):
+        v = Volume(np.zeros((9, 9, 9)), spacing=(1, 1, 1))
+        d = v.downsample(2)
+        assert d.shape == (5, 5, 5)
+        assert d.spacing == (2, 2, 2)
+
+    def test_identity_factor(self):
+        v = Volume(np.random.default_rng(1).random((4, 4, 4)))
+        d = v.downsample(1)
+        assert np.array_equal(d.data, v.data)
+
+    def test_too_aggressive_raises(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((3, 3, 3))).downsample(3)
+
+    def test_bad_factor_raises(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((4, 4, 4))).downsample(0)
+
+
+class TestFromFunction:
+    def test_samples_analytic_field(self):
+        v = Volume.from_function(lambda x, y, z: x + y + z, (5, 5, 5))
+        assert v.shape == (5, 5, 5)
+        assert v.data[0, 0, 0] == pytest.approx(-3.0)
+        assert v.data[-1, -1, -1] == pytest.approx(3.0)
+
+    def test_bounds_set_spacing_and_origin(self):
+        v = Volume.from_function(
+            lambda x, y, z: x, (3, 3, 3), bounds=((0, 4), (0, 2), (0, 2))
+        )
+        assert v.spacing == (2.0, 1.0, 1.0)
+        assert v.origin == (0.0, 0.0, 0.0)
+
+    def test_world_coords(self):
+        v = Volume.from_function(lambda x, y, z: x, (3, 3, 3), bounds=((0, 4), (0, 2), (0, 2)))
+        pts = v.world_coords(np.array([[1, 1, 1]]))
+        assert np.allclose(pts, [[2.0, 1.0, 1.0]])
+
+    def test_broadcast_scalar_field(self):
+        # fn returning a broadcastable (not full-size) array still works
+        v = Volume.from_function(lambda x, y, z: x * np.ones_like(y) * np.ones_like(z), (4, 3, 2))
+        assert v.shape == (4, 3, 2)
+
+
+class TestMeanDownsample:
+    def test_mean_pooling_averages(self):
+        data = np.zeros((4, 4, 4))
+        data[::2, ::2, ::2] = 8.0  # one of each 2^3 block corner set
+        d = Volume(data).downsample(2, method="mean")
+        assert d.shape == (2, 2, 2)
+        assert np.allclose(d.data, 1.0)  # 8 / 8 voxels
+
+    def test_mean_preserves_integer_dtype(self):
+        rng = np.random.default_rng(0)
+        v = Volume(rng.integers(0, 255, (8, 8, 8)).astype(np.uint8))
+        d = v.downsample(2, method="mean")
+        assert d.dtype == np.uint8
+
+    def test_mean_smoother_than_stride(self):
+        rng = np.random.default_rng(1)
+        noisy = Volume(rng.standard_normal((16, 16, 16)))
+        s = noisy.downsample(2, method="stride")
+        m = noisy.downsample(2, method="mean")
+        assert m.data.std() < s.data.std()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((4, 4, 4))).downsample(2, method="median")
+
+    def test_spacing_scaled(self):
+        d = Volume(np.zeros((8, 8, 8)), spacing=(1, 2, 3)).downsample(2, method="mean")
+        assert d.spacing == (2, 4, 6)
