@@ -49,7 +49,18 @@ from repro.grid import (
     sphere_field,
     torus_field,
 )
-from repro.io import FileBackedDevice, IOCostModel, IOStats, SimulatedBlockDevice
+from repro.io import (
+    BrickCorruptionError,
+    DeviceFailedError,
+    FaultInjectingDevice,
+    FaultPlan,
+    FileBackedDevice,
+    IOCostModel,
+    IOStats,
+    RetryPolicy,
+    SimulatedBlockDevice,
+    StorageFault,
+)
 from repro.mc import MarchingCubes, TriangleMesh, extract_isosurface
 from repro.pipeline import ExtractionResult, IsosurfacePipeline
 from repro.parallel import ClusterResult, SimulatedCluster
@@ -85,6 +96,12 @@ __all__ = [
     "FileBackedDevice",
     "IOCostModel",
     "IOStats",
+    "FaultPlan",
+    "FaultInjectingDevice",
+    "RetryPolicy",
+    "StorageFault",
+    "DeviceFailedError",
+    "BrickCorruptionError",
     # mc
     "MarchingCubes",
     "TriangleMesh",

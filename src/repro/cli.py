@@ -99,8 +99,25 @@ def cmd_info(args) -> int:
 
 
 def cmd_query(args) -> int:
+    from repro.io.faults import FaultInjectingDevice, FaultPlan, RetryPolicy
+
     ds = load_dataset(args.dataset)
-    res = execute_query(ds, args.iso)
+    closer = ds.device
+    if args.inject_faults:
+        ds.device = FaultInjectingDevice(
+            ds.device, FaultPlan.from_spec(args.inject_faults)
+        )
+    policy = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None
+        else None
+    )
+    res = execute_query(
+        ds,
+        args.iso,
+        retry_policy=policy,
+        verify_checksums=False if args.no_verify else None,
+    )
     io = res.io_stats
     print(f"isovalue {args.iso:g}: {res.n_active} active metacells")
     print(f"  plan     : {res.plan.n_sequential_runs} sequential runs, "
@@ -108,10 +125,60 @@ def cmd_query(args) -> int:
           f"{res.plan.bricks_skipped} bricks skipped with no I/O")
     print(f"  I/O      : {io.blocks_read} blocks, {io.seeks} seeks, "
           f"{io.bytes_read} bytes")
+    if args.inject_faults or io.retries or io.checksum_failures:
+        print(f"  faults   : {io.retries} retries, "
+              f"{io.checksum_failures} checksum failures, "
+              f"{io.fault_delay * 1e3:.2f} ms retry/backoff delay")
     print(f"  modeled  : {io.read_time(ds.device.cost_model) * 1e3:.2f} ms "
           f"at {ds.device.cost_model.bandwidth / 1e6:.0f} MB/s")
-    ds.device.close()
+    closer.close()
     return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.io.faults import FaultPlan
+    from repro.parallel.cluster import SimulatedCluster
+
+    volume = _load_volume(args)
+    fault_plans = {}
+    if args.inject_faults:
+        plan = FaultPlan.from_spec(args.inject_faults)
+        targets = args.fault_node if args.fault_node else range(args.nodes)
+        fault_plans = {rank: plan for rank in targets}
+    cluster = SimulatedCluster(
+        volume,
+        p=args.nodes,
+        metacell_shape=(args.metacell,) * 3,
+        replication=args.replication,
+        fault_plans=fault_plans,
+    )
+    for rank in args.fail_node or []:
+        cluster.fail_node(rank)
+    res = cluster.extract(args.iso)
+    status = "DEGRADED (partial result)" if res.degraded else "complete"
+    print(f"isovalue {args.iso:g} on p={args.nodes} "
+          f"(replication r={args.replication}): {status}")
+    print(f"  triangles : {res.n_triangles} from "
+          f"{res.n_active_metacells} active metacells")
+    if res.failed_nodes:
+        print(f"  failures  : nodes {res.failed_nodes} "
+              f"(unrecovered: {res.unrecovered_nodes or 'none'})")
+    print(f"  modeled   : {res.total_time * 1e3:.2f} ms total, "
+          f"{res.composite_bytes} composite bytes")
+    print(f"  {'node':>4} {'status':>10} {'active':>8} {'tris':>8} "
+          f"{'retries':>8} {'crcfail':>8} {'time ms':>9}")
+    for m in res.nodes:
+        if m.failed:
+            status = "FAILED"
+        elif m.recovered_ranks:
+            status = f"+serve{m.recovered_ranks}"
+        else:
+            status = "ok"
+        extra = f" (served by {m.served_by})" if m.served_by is not None else ""
+        print(f"  {m.node_rank:>4} {status:>10} {m.n_active_metacells:>8} "
+              f"{m.n_triangles:>8} {m.n_retries:>8} {m.n_checksum_failures:>8} "
+              f"{m.total_time * 1e3:>9.2f}{extra}")
+    return 0 if not res.degraded else 1
 
 
 def cmd_extract(args) -> int:
@@ -322,7 +389,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("query", help="run an isosurface query (I/O report)")
     p.add_argument("dataset")
     p.add_argument("iso", type=float)
+    p.add_argument("--inject-faults", metavar="SPEC",
+                   help="fault-inject the device, e.g. "
+                        "'transient=0.05,corrupt=0.01,latency=0.02:0.01,seed=7'")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="transient-read retry budget (default policy: 3)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip CRC32 record verification")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "cluster",
+        help="striped multi-node extraction with failures and replication",
+    )
+    p.add_argument("iso", type=float)
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--input", help="3D .npy scalar volume")
+    src.add_argument("--rm-step", type=int, default=250,
+                     help="RM-instability time step to synthesize (default 250)")
+    p.add_argument("--shape", type=_parse_shape, default=(49, 49, 45),
+                   help="synthetic volume shape (default 49x49x45)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--metacell", type=int, default=9)
+    p.add_argument("-p", "--nodes", type=int, default=4, help="node count")
+    p.add_argument("--replication", type=int, default=1,
+                   help="brick replication factor r (default 1: none)")
+    p.add_argument("--fail-node", type=int, action="append", metavar="RANK",
+                   help="kill this node's disk before the query (repeatable)")
+    p.add_argument("--inject-faults", metavar="SPEC",
+                   help="fault spec applied to node disks (see 'query')")
+    p.add_argument("--fault-node", type=int, action="append", metavar="RANK",
+                   help="restrict --inject-faults to these ranks (repeatable; "
+                        "default: all nodes)")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

@@ -17,7 +17,7 @@ maps metacell ids back to world coordinates at triangulation time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.grid.metacell import MetacellPartition, partition_metacells
 from repro.grid.volume import Volume
 from repro.io.blockdevice import SimulatedBlockDevice
 from repro.io.cost_model import IOCostModel
-from repro.io.layout import MetacellCodec
+from repro.io.layout import BrickChecksums, MetacellCodec, compute_record_crcs
 
 #: Records serialized per chunk during the layout write, bounding resident
 #: memory during preprocessing of large volumes.
@@ -111,6 +111,13 @@ class IndexedDataset:
         Preprocessing statistics (shared across striped nodes).
     node_rank, n_cluster_nodes:
         Placement of this layout in a striped cluster (0/1 for serial).
+    checksums:
+        Per-record/per-brick CRC32 tables (``None`` for legacy layouts
+        written without them); queries verify against these.
+    replica_stores:
+        ``source_rank -> base_offset`` of replica copies of *other*
+        nodes' layouts held on this node's device (chained declustering;
+        empty without replication).
     """
 
     tree: CompactIntervalTree
@@ -121,6 +128,8 @@ class IndexedDataset:
     report: PreprocessReport
     node_rank: int = 0
     n_cluster_nodes: int = 1
+    checksums: "BrickChecksums | None" = None
+    replica_stores: "dict[int, int]" = field(default_factory=dict)
 
     def record_offset(self, position: int) -> int:
         """Byte offset of a record position (the index entry 'pointer')."""
@@ -169,16 +178,23 @@ def _write_records(
     partition: MetacellPartition,
     ids: np.ndarray,
     vmins: np.ndarray,
-) -> int:
-    """Serialize records (in the given order) to ``device``; return base offset."""
+) -> "tuple[int, np.ndarray]":
+    """Serialize records (in the given order) to ``device``.
+
+    Returns ``(base_offset, record_crcs)``: the CRC32 of every record is
+    computed from the exact bytes written, so the checksum table is the
+    layout's ground truth from the moment it exists.
+    """
     n = len(ids)
     base = device.allocate(n * codec.record_size)
+    crcs = np.empty(n, dtype=np.uint32)
     for s in range(0, n, WRITE_CHUNK_RECORDS):
         e = min(s + WRITE_CHUNK_RECORDS, n)
         values = partition.extract_values(ids[s:e])
         blob = codec.encode(ids[s:e], vmins[s:e], values)
         device.write(base + s * codec.record_size, blob)
-    return base
+        crcs[s:e] = compute_record_crcs(blob, codec.record_size)
+    return base, crcs
 
 
 def build_indexed_dataset(
@@ -187,15 +203,22 @@ def build_indexed_dataset(
     device=None,
     cost_model: IOCostModel | None = None,
     drop_constant: bool = True,
+    checksum: bool = True,
 ) -> IndexedDataset:
-    """Preprocess a volume for serial (single-disk) querying."""
+    """Preprocess a volume for serial (single-disk) querying.
+
+    ``checksum=True`` (default) records CRC32 integrity tables alongside
+    the layout; pass False to reproduce the paper's bare format.
+    """
     partition = partition_metacells(volume, metacell_shape)
     intervals = IntervalSet.from_partition(partition, drop_constant=drop_constant)
     tree = CompactIntervalTree.build(intervals)
     codec = MetacellCodec(partition.metacell_shape, volume.dtype)
     if device is None:
         device = SimulatedBlockDevice(cost_model or IOCostModel())
-    base = _write_records(device, codec, partition, tree.record_ids, tree.record_vmins)
+    base, crcs = _write_records(
+        device, codec, partition, tree.record_ids, tree.record_vmins
+    )
     return IndexedDataset(
         tree=tree,
         device=device,
@@ -203,6 +226,11 @@ def build_indexed_dataset(
         base_offset=base,
         meta=_make_meta(volume, partition),
         report=_make_report(partition, intervals, tree, codec),
+        checksums=(
+            BrickChecksums.from_record_crcs(crcs, tree.brick_start, tree.brick_count)
+            if checksum
+            else None
+        ),
     )
 
 
@@ -214,6 +242,8 @@ def build_striped_datasets(
     cost_model: IOCostModel | None = None,
     drop_constant: bool = True,
     stagger: bool = True,
+    checksum: bool = True,
+    replication: int = 1,
 ) -> "list[IndexedDataset]":
     """Preprocess a volume striped across the local disks of ``p`` nodes.
 
@@ -221,9 +251,21 @@ def build_striped_datasets(
     same preprocessing report and grid metadata; each holds its own
     processor-local tree and device, exactly as in the paper's cluster
     where every node's index points at bricks on its own disk.
+
+    ``replication=r`` additionally writes, on each node ``q``, full
+    replica copies of the layouts of nodes ``q-1 .. q-(r-1)`` (mod p) —
+    chained declustering — so any ``r-1`` node losses leave every brick
+    readable somewhere.  The primary layout is byte-identical to the
+    unreplicated one: healthy-path queries, balance, and I/O counts are
+    unchanged; replicas occupy a separate device region reachable
+    through :attr:`IndexedDataset.replica_stores`.
     """
     if p < 1:
         raise ValueError(f"node count must be >= 1, got {p}")
+    if not 1 <= replication <= p:
+        raise ValueError(
+            f"replication must be in [1, p={p}], got {replication}"
+        )
     partition = partition_metacells(volume, metacell_shape)
     intervals = IntervalSet.from_partition(partition, drop_constant=drop_constant)
     tree = CompactIntervalTree.build(intervals)
@@ -239,7 +281,7 @@ def build_striped_datasets(
     layouts: list[StripedNodeLayout] = stripe_brick_records(tree, p, stagger=stagger)
     out = []
     for lay, device in zip(layouts, devices):
-        base = _write_records(
+        base, crcs = _write_records(
             device, codec, partition, lay.tree.record_ids, lay.tree.record_vmins
         )
         out.append(
@@ -252,6 +294,24 @@ def build_striped_datasets(
                 report=report,
                 node_rank=lay.node_rank,
                 n_cluster_nodes=p,
+                checksums=(
+                    BrickChecksums.from_record_crcs(
+                        crcs, lay.tree.brick_start, lay.tree.brick_count
+                    )
+                    if checksum
+                    else None
+                ),
             )
         )
+
+    # Replica pass, after all primaries: node q hosts copies of the full
+    # local layouts of the replication-1 nodes preceding it in rank order.
+    for i in range(1, replication):
+        for q in range(p):
+            src = (q - i) % p
+            lay = layouts[src]
+            rep_base, _ = _write_records(
+                devices[q], codec, partition, lay.tree.record_ids, lay.tree.record_vmins
+            )
+            out[q].replica_stores[src] = rep_base
     return out

@@ -32,10 +32,15 @@ from repro.core.builder import DatasetMeta, IndexedDataset, PreprocessReport
 from repro.core.compact_tree import CompactIntervalTree, TreeNode
 from repro.io.cost_model import IOCostModel
 from repro.io.diskfile import FileBackedDevice
-from repro.io.layout import MetacellCodec
+from repro.io.layout import BrickChecksums, MetacellCodec
 
-#: Format version for forward-compatibility checks.
-FORMAT_VERSION = 1
+#: Format version for forward-compatibility checks.  Version 2 added the
+#: CRC32 checksum tables (``record_crcs`` / ``brick_crcs`` in the index
+#: npz); version-1 stores load fine with ``checksums=None``.
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_dataset` can read.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 BRICKS_FILE = "bricks.bin"
 INDEX_FILE = "index.npz"
@@ -132,6 +137,7 @@ def _meta_to_json(dataset: IndexedDataset) -> dict:
         "base_offset": dataset.base_offset,
         "node_rank": dataset.node_rank,
         "n_cluster_nodes": dataset.n_cluster_nodes,
+        "has_checksums": dataset.checksums is not None,
         "codec": {
             "metacell_shape": list(dataset.codec.metacell_shape),
             "scalar_dtype": dataset.codec.scalar_dtype.str,
@@ -168,7 +174,11 @@ def save_dataset(dataset: IndexedDataset, directory: str | Path) -> Path:
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(directory / INDEX_FILE, **tree_to_arrays(dataset.tree))
+    arrays = tree_to_arrays(dataset.tree)
+    if dataset.checksums is not None:
+        arrays["record_crcs"] = dataset.checksums.record_crcs
+        arrays["brick_crcs"] = dataset.checksums.brick_crcs
+    np.savez_compressed(directory / INDEX_FILE, **arrays)
     (directory / META_FILE).write_text(json.dumps(_meta_to_json(dataset), indent=2))
     if isinstance(dataset.device, FileBackedDevice):
         dataset.device.flush()
@@ -185,12 +195,19 @@ def load_dataset(
     if not meta_path.exists():
         raise FileNotFoundError(f"no {META_FILE} in {directory}")
     blob = json.loads(meta_path.read_text())
-    if blob.get("format_version") != FORMAT_VERSION:
+    if blob.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise ValueError(
-            f"dataset format {blob.get('format_version')} != supported {FORMAT_VERSION}"
+            f"dataset format {blob.get('format_version')} not in supported "
+            f"{SUPPORTED_FORMAT_VERSIONS}"
         )
     with np.load(directory / INDEX_FILE) as npz:
-        tree = tree_from_arrays({k: npz[k] for k in npz.files})
+        arrays = {k: npz[k] for k in npz.files}
+    tree = tree_from_arrays(arrays)
+    checksums = None
+    if "record_crcs" in arrays and "brick_crcs" in arrays:
+        checksums = BrickChecksums(
+            record_crcs=arrays["record_crcs"], brick_crcs=arrays["brick_crcs"]
+        )
 
     codec = MetacellCodec(
         tuple(blob["codec"]["metacell_shape"]),
@@ -224,6 +241,7 @@ def load_dataset(
         report=report,
         node_rank=blob["node_rank"],
         n_cluster_nodes=blob["n_cluster_nodes"],
+        checksums=checksums,
     )
 
 

@@ -14,6 +14,15 @@ All I/O is metered by the device, so the resulting
 :class:`~repro.io.blockdevice.IOStats` *is* the external-memory cost of
 the query, which the cost model converts to the paper's "active metacell
 retrieval time".
+
+Resilience (see ``docs/robustness.md``): every read goes through the
+bounded retry-with-backoff of :mod:`repro.io.faults`, and — when the
+dataset carries CRC32 checksums — every decoded record is verified
+against the index before it is trusted.  A mismatch triggers a bounded
+number of extent re-reads (which repairs transient torn reads) before
+escalating to a typed :class:`~repro.io.faults.BrickCorruptionError`.
+All retry costs (repeat blocks/seeks, modeled backoff seconds) land in
+the same ``IOStats``, so degraded runs report honest modeled times.
 """
 
 from __future__ import annotations
@@ -25,7 +34,13 @@ import numpy as np
 from repro.core.builder import IndexedDataset
 from repro.core.compact_tree import BrickPrefixScan, QueryPlan, SequentialRun
 from repro.io.blockdevice import IOStats
-from repro.io.layout import MetacellRecords
+from repro.io.faults import (
+    DEFAULT_RETRY_POLICY,
+    BrickCorruptionError,
+    RetryPolicy,
+    read_with_retry,
+)
+from repro.io.layout import BrickChecksums, MetacellRecords
 
 #: Blocks fetched per incremental read step.  Chunks after the first are
 #: block-aligned so no block is charged twice within a run.
@@ -49,7 +64,8 @@ class QueryResult:
     plan:
         The I/O plan that was executed.
     io_stats:
-        Device accounting for this query only.
+        Device accounting for this query only (including any retries,
+        checksum failures, and fault-injected delay).
     n_records_read:
         Records decoded from disk (``>= len(records)``: Case-2 bricks may
         read one terminator record past the active prefix, and block
@@ -71,10 +87,11 @@ class QueryResult:
         return self.io_stats.read_time(cost_model)
 
 
-def _stream_extent(device, start: int, length: int, chunk_blocks: int):
+def _stream_extent(device, start: int, length: int, chunk_blocks: int,
+                   policy: RetryPolicy = DEFAULT_RETRY_POLICY):
     """Yield buffers covering ``[start, start+length)`` without charging any
     block twice: the first chunk ends on a block boundary, later chunks are
-    block-aligned."""
+    block-aligned.  Transient read errors are retried per ``policy``."""
     bs = device.cost_model.block_size
     end = start + length
     pos = start
@@ -82,24 +99,114 @@ def _stream_extent(device, start: int, length: int, chunk_blocks: int):
         # End of the current chunk: a block boundary at most chunk_blocks away.
         boundary = ((pos // bs) + chunk_blocks) * bs
         stop = min(boundary, end)
-        yield device.read(pos, stop - pos)
+        yield read_with_retry(device, pos, stop - pos, policy)
         pos = stop
+
+
+def _verify_or_repair(
+    dataset: IndexedDataset,
+    start_pos: int,
+    chunk: bytes,
+    policy: RetryPolicy,
+    checks: BrickChecksums,
+) -> bytes:
+    """Verify a run of complete records, re-reading corrupted spans.
+
+    ``chunk`` holds the records at layout positions ``start_pos ..``.
+    Each checksum mismatch is counted in ``stats.checksum_failures``;
+    the corrupted span is then re-read (with retry and backoff) up to
+    ``policy.max_read_repairs`` times — which heals transient torn reads
+    — before the query gives up with :class:`BrickCorruptionError`.
+    """
+    rec = dataset.codec.record_size
+    device = dataset.device
+    bad = checks.find_corrupt(start_pos, chunk, rec)
+    if not len(bad):
+        return chunk
+    for attempt in range(policy.max_read_repairs):
+        device.stats.checksum_failures += len(bad)
+        device.stats.retries += 1
+        device.stats.fault_delay += policy.backoff_for(attempt)
+        lo, hi = int(bad[0]), int(bad[-1]) + 1
+        repaired = read_with_retry(
+            device, dataset.record_offset(start_pos + lo), (hi - lo) * rec, policy
+        )
+        chunk = chunk[: lo * rec] + repaired + chunk[hi * rec :]
+        bad = checks.find_corrupt(start_pos, chunk, rec)
+        if not len(bad):
+            return chunk
+    device.stats.checksum_failures += len(bad)
+    lo, hi = int(bad[0]), int(bad[-1]) + 1
+    raise BrickCorruptionError(
+        f"records [{start_pos + lo}, {start_pos + hi}) on node "
+        f"{dataset.node_rank} failed CRC32 verification after "
+        f"{policy.max_read_repairs} re-read(s): persistent corruption"
+    )
+
+
+def _stream_records(
+    dataset: IndexedDataset,
+    start_pos: int,
+    max_records: int,
+    chunk_blocks: int,
+    policy: RetryPolicy,
+    checks: "BrickChecksums | None",
+):
+    """Yield verified :class:`MetacellRecords` batches for the records at
+    layout positions ``[start_pos, start_pos + max_records)``.
+
+    Consumers may stop early (Case 2); blocks already fetched stay
+    charged, exactly like the former raw byte stream.
+    """
+    codec = dataset.codec
+    rec = codec.record_size
+    pending = b""
+    pos = start_pos
+    for buf in _stream_extent(
+        dataset.device, dataset.record_offset(start_pos), max_records * rec,
+        chunk_blocks, policy,
+    ):
+        pending += buf
+        n_complete = len(pending) // rec
+        if not n_complete:
+            continue
+        chunk = pending[: n_complete * rec]
+        pending = pending[n_complete * rec :]
+        if checks is not None:
+            chunk = _verify_or_repair(dataset, pos, chunk, policy, checks)
+        yield codec.decode(chunk)
+        pos += n_complete
+    if pending:
+        raise IOError(
+            f"record run at position {start_pos} ended mid-record "
+            f"({len(pending)} trailing bytes): layout corrupted"
+        )
 
 
 def execute_query(
     dataset: IndexedDataset,
     lam: float,
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
+    retry_policy: RetryPolicy | None = None,
+    verify_checksums: "bool | None" = None,
 ) -> QueryResult:
     """Run the full out-of-core query for isovalue ``lam`` on one node."""
     plan = dataset.tree.plan_query(lam)
-    return execute_plan(dataset, plan, read_ahead_blocks=read_ahead_blocks)
+    return execute_plan(
+        dataset,
+        plan,
+        read_ahead_blocks=read_ahead_blocks,
+        retry_policy=retry_policy,
+        verify_checksums=verify_checksums,
+    )
 
 
 def execute_plan(
     dataset: IndexedDataset,
     plan: QueryPlan,
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
+    retry_policy: RetryPolicy | None = None,
+    verify_checksums: "bool | None" = None,
 ) -> QueryResult:
     """Execute an already-computed I/O plan against the dataset's device.
 
@@ -107,11 +214,24 @@ def execute_plan(
     the external blocked index of
     :mod:`repro.core.external_tree` — can reuse the exact same record
     retrieval machinery and accounting.
+
+    ``verify_checksums=None`` (default) verifies exactly when the
+    dataset carries checksum tables; ``True`` demands them (raising if
+    absent); ``False`` skips verification.
     """
     if read_ahead_blocks < 1:
         raise ValueError(f"read_ahead_blocks must be >= 1, got {read_ahead_blocks}")
+    policy = retry_policy or DEFAULT_RETRY_POLICY
+    # getattr: duck-typed datasets (e.g. the unstructured pipeline) may
+    # predate checksum tables entirely.
+    checksums = getattr(dataset, "checksums", None)
+    if verify_checksums and checksums is None:
+        raise ValueError(
+            "verify_checksums=True but the dataset has no checksum tables "
+            "(built with checksum=False or loaded from a format-1 store)"
+        )
+    checks = checksums if verify_checksums in (None, True) else None
     codec = dataset.codec
-    rec_size = codec.record_size
     device = dataset.device
     lam = plan.lam
 
@@ -121,24 +241,15 @@ def execute_plan(
 
     for run in plan.runs:
         if isinstance(run, SequentialRun):
-            start_byte = dataset.record_offset(run.start)
-            length = run.count * rec_size
-            pending = b""
-            for buf in _stream_extent(device, start_byte, length, MAX_SEQUENTIAL_CHUNK_BLOCKS):
-                pending += buf
-                n_complete = codec.decode_count(pending)
-                if n_complete:
-                    batches.append(codec.decode(pending[: n_complete * rec_size]))
-                    n_read += n_complete
-                    pending = pending[n_complete * rec_size :]
-            if pending:
-                raise IOError(
-                    f"sequential run at record {run.start} ended mid-record "
-                    f"({len(pending)} trailing bytes): layout corrupted"
-                )
+            for batch in _stream_records(
+                dataset, run.start, run.count, MAX_SEQUENTIAL_CHUNK_BLOCKS,
+                policy, checks,
+            ):
+                batches.append(batch)
+                n_read += len(batch)
         elif isinstance(run, BrickPrefixScan):
             batch, decoded = _scan_brick_prefix(
-                dataset, run, lam, read_ahead_blocks
+                dataset, run, lam, read_ahead_blocks, policy, checks
             )
             n_read += decoded
             if batch is not None and len(batch):
@@ -165,28 +276,19 @@ def _scan_brick_prefix(
     run: BrickPrefixScan,
     lam: float,
     read_ahead_blocks: int,
+    policy: RetryPolicy,
+    checks: "BrickChecksums | None",
 ):
     """Incrementally read one brick until ``vmin > lam`` or brick end.
 
     Returns ``(active_records_or_None, n_records_decoded)``.
     """
-    codec = dataset.codec
-    rec_size = codec.record_size
-    device = dataset.device
-    start_byte = dataset.record_offset(run.start)
-    max_bytes = run.max_count * rec_size
-
-    pending = b""
     decoded = 0
     actives: list[MetacellRecords] = []
-    for buf in _stream_extent(device, start_byte, max_bytes, read_ahead_blocks):
-        pending += buf
-        n_complete = codec.decode_count(pending)
-        if not n_complete:
-            continue
-        batch = codec.decode(pending[: n_complete * rec_size])
-        pending = pending[n_complete * rec_size :]
-        decoded += n_complete
+    for batch in _stream_records(
+        dataset, run.start, run.max_count, read_ahead_blocks, policy, checks
+    ):
+        decoded += len(batch)
         over = np.flatnonzero(batch.vmins.astype(np.float64) > lam)
         if len(over):
             cut = int(over[0])
@@ -200,12 +302,6 @@ def _scan_brick_prefix(
                 )
             break
         actives.append(batch)
-    else:
-        if pending:
-            raise IOError(
-                f"brick at record {run.start} ended mid-record "
-                f"({len(pending)} trailing bytes): layout corrupted"
-            )
     if not actives:
         return None, decoded
     return MetacellRecords.concat(actives), decoded

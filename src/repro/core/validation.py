@@ -59,7 +59,9 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
     stored ``vmin`` equals the payload minimum, (b) vmins ascend within
     each brick, (c) the payload maximum never exceeds the brick's
     ``vmax`` and is attained by at least one record per brick, (d) ids
-    are unique and within the metacell grid.
+    are unique and within the metacell grid, and (e) when the dataset
+    carries CRC32 checksum tables, every record matches its stored CRC
+    and every brick matches its rollup CRC.
     """
     report = VerifyReport()
     tree = dataset.tree
@@ -108,6 +110,13 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
     brick_max_seen = np.full(tree.n_bricks, -np.inf)
     prev_vmin_by_brick = np.full(tree.n_bricks, -np.inf)
 
+    checks = getattr(dataset, "checksums", None)
+    if checks is not None and checks.n_records != n:
+        report.add(
+            f"checksum table covers {checks.n_records} records, index has {n}"
+        )
+        checks = None
+
     for start in range(0, n, VERIFY_CHUNK):
         stop = min(start + VERIFY_CHUNK, n)
         buf = dataset.device.read(dataset.record_offset(start), (stop - start) * rec)
@@ -115,6 +124,9 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
         if len(batch) != stop - start:
             report.add(f"short decode at records [{start}, {stop})")
             break
+        if checks is not None:
+            for i in checks.find_corrupt(start, buf, rec)[:10]:
+                report.add(f"record {start + int(i)}: CRC32 mismatch (bit rot?)")
         vals = batch.values.astype(np.float64)
         vmins = batch.vmins.astype(np.float64)
         payload_min = vals.min(axis=1)
@@ -152,5 +164,9 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
                 f"brick {b}: no record attains the brick vmax "
                 f"{float(tree.brick_vmax[b])} (max seen {brick_max_seen[b]})"
             )
+        if checks is not None and not checks.verify_brick(
+            b, int(tree.brick_start[b]), int(tree.brick_count[b])
+        ):
+            report.add(f"brick {b}: rollup CRC32 mismatch against record CRCs")
     report.n_bricks_checked = tree.n_bricks
     return report

@@ -20,14 +20,33 @@ Modules
     genuinely out-of-core runs.
 ``layout``
     Fixed-size metacell record codec and brick-run encoding (the paper's
-    734-byte records for 9x9x9 one-byte metacells).
+    734-byte records for 9x9x9 one-byte metacells), plus the CRC32
+    checksum tables (:class:`BrickChecksums`) of format version 2.
+``faults``
+    Deterministic fault injection (:class:`FaultPlan`,
+    :class:`FaultInjectingDevice`), the typed :class:`StorageFault`
+    hierarchy, and the bounded :class:`RetryPolicy` used by the query
+    read path.
 """
 
 from repro.io.blockdevice import BlockDevice, IOStats, SimulatedBlockDevice
 from repro.io.cache import CachedDevice, CacheStats
 from repro.io.cost_model import IOCostModel, PAPER_DISK
 from repro.io.diskfile import FileBackedDevice
-from repro.io.layout import MetacellCodec, MetacellRecords
+from repro.io.faults import (
+    DEFAULT_RETRY_POLICY,
+    BrickCorruptionError,
+    DeviceFailedError,
+    FaultInjectingDevice,
+    FaultPlan,
+    FaultStats,
+    RetryExhaustedError,
+    RetryPolicy,
+    StorageFault,
+    TransientReadError,
+    read_with_retry,
+)
+from repro.io.layout import BrickChecksums, MetacellCodec, MetacellRecords
 
 __all__ = [
     "BlockDevice",
@@ -40,4 +59,16 @@ __all__ = [
     "FileBackedDevice",
     "MetacellCodec",
     "MetacellRecords",
+    "BrickChecksums",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjectingDevice",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "read_with_retry",
+    "StorageFault",
+    "TransientReadError",
+    "RetryExhaustedError",
+    "DeviceFailedError",
+    "BrickCorruptionError",
 ]

@@ -48,27 +48,24 @@ class IOStats:
     write_ops: int = 0
     blocks_written: int = 0
     bytes_written: int = 0
+    #: Read attempts repeated after a transient fault or checksum mismatch
+    #: (the re-issued blocks/seeks are charged above as usual).
+    retries: int = 0
+    #: Records whose CRC32 did not match the index (each detection counts,
+    #: including repeated failures of the same record across re-reads).
+    checksum_failures: int = 0
+    #: Extra modeled seconds injected by faults (latency spikes) and spent
+    #: in retry backoff; added to :meth:`read_time`.
+    fault_delay: float = 0.0
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(
-            read_ops=self.read_ops + other.read_ops,
-            blocks_read=self.blocks_read + other.blocks_read,
-            bytes_read=self.bytes_read + other.bytes_read,
-            seeks=self.seeks + other.seeks,
-            write_ops=self.write_ops + other.write_ops,
-            blocks_written=self.blocks_written + other.blocks_written,
-            bytes_written=self.bytes_written + other.bytes_written,
+            **{k: getattr(self, k) + getattr(other, k) for k in vars(self)}
         )
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(
-            read_ops=self.read_ops - other.read_ops,
-            blocks_read=self.blocks_read - other.blocks_read,
-            bytes_read=self.bytes_read - other.bytes_read,
-            seeks=self.seeks - other.seeks,
-            write_ops=self.write_ops - other.write_ops,
-            blocks_written=self.blocks_written - other.blocks_written,
-            bytes_written=self.bytes_written - other.bytes_written,
+            **{k: getattr(self, k) - getattr(other, k) for k in vars(self)}
         )
 
     def copy(self) -> "IOStats":
@@ -76,11 +73,14 @@ class IOStats:
 
     def reset(self) -> None:
         for name in vars(self):
-            setattr(self, name, 0)
+            setattr(self, name, 0.0 if name == "fault_delay" else 0)
 
     def read_time(self, model: IOCostModel) -> float:
-        """Modeled seconds spent reading, under ``model``."""
-        return model.time_for(self.blocks_read, self.seeks)
+        """Modeled seconds spent reading, under ``model``.
+
+        Includes any fault-injected latency and retry backoff accumulated
+        in :attr:`fault_delay`."""
+        return model.time_for(self.blocks_read, self.seeks) + self.fault_delay
 
 
 class BlockDevice(Protocol):
@@ -192,6 +192,20 @@ class SimulatedBlockDevice:
             )
         self._meter.record_read(offset, nbytes)
         return bytes(self._buf[offset:end])
+
+    def truncate(self, nbytes: int) -> None:
+        """Shrink the device to ``nbytes``, discarding the tail.
+
+        Public damage-injection API for tests and fault drills: a
+        truncated store is how a half-copied or interrupted layout
+        manifests in the wild.  Subsequent reads past ``nbytes`` raise
+        ``ValueError`` exactly like reads past the allocated region.
+        """
+        if nbytes < 0 or nbytes > len(self._buf):
+            raise ValueError(
+                f"cannot truncate to {nbytes} bytes (store holds {len(self._buf)})"
+            )
+        del self._buf[nbytes:]
 
     def reset_stats(self) -> None:
         """Zero the counters and forget the head position."""

@@ -87,6 +87,15 @@ class FileBackedDevice:
         self._meter.record_read(offset, nbytes)
         return data
 
+    def truncate(self, nbytes: int) -> None:
+        """Shrink the backing file to ``nbytes`` (damage-injection API)."""
+        if nbytes < 0 or nbytes > self._size:
+            raise ValueError(
+                f"cannot truncate to {nbytes} bytes (store holds {self._size})"
+            )
+        self._fh.truncate(nbytes)
+        self._size = nbytes
+
     def reset_stats(self) -> None:
         self._meter.stats.reset()
         self._meter._next_sequential_block = -1

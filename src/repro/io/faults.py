@@ -1,0 +1,347 @@
+"""Deterministic fault injection for block devices.
+
+The paper assumes ``p`` healthy local disks and a perfect interconnect;
+production storage does not cooperate.  This module provides the fault
+model for the resilience subsystem:
+
+* :class:`FaultPlan` — a seeded, fully deterministic description of the
+  faults a device should exhibit: transient read errors (succeed on
+  retry), silent payload corruption (caught by the per-brick CRC32
+  checksums of :mod:`repro.io.layout`), latency spikes (extra modeled
+  seconds fed into :class:`~repro.io.blockdevice.IOStats`), and
+  permanent device loss.
+* :class:`FaultInjectingDevice` — a wrapper implementing the
+  :class:`~repro.io.blockdevice.BlockDevice` protocol that executes a
+  fault plan against any backing device.
+* :class:`RetryPolicy` / :func:`read_with_retry` — the bounded
+  retry-with-backoff used by the query read path; retry costs (repeat
+  blocks, modeled backoff seconds) are accounted in the device's
+  ``IOStats`` so degraded runs report honest modeled times.
+
+The typed exception hierarchy (all rooted at :class:`StorageFault`,
+itself an ``IOError``) is what lets the cluster layer distinguish "retry
+this read" from "this node is gone" — see
+:meth:`repro.parallel.cluster.SimulatedCluster.extract` degraded mode.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.io.blockdevice import IOStats
+from repro.io.cost_model import IOCostModel
+
+
+class StorageFault(IOError):
+    """Base class for every injected or detected storage failure."""
+
+
+class TransientReadError(StorageFault):
+    """A read attempt failed but the same extent may succeed on retry."""
+
+
+class RetryExhaustedError(StorageFault):
+    """Retries of a transiently failing read exceeded the policy bound."""
+
+
+class DeviceFailedError(StorageFault):
+    """The device is permanently gone (node loss); retrying is futile."""
+
+
+class BrickCorruptionError(StorageFault):
+    """Decoded record bytes failed CRC32 verification after re-reads."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, seeded description of a device's misbehaviour.
+
+    All probabilistic draws come from ``random.Random(seed)`` advanced
+    once per read call, so a fixed sequence of reads injects a fixed
+    sequence of faults — runs are reproducible and tests can assert
+    exact outcomes.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; two devices with equal plans fault identically.
+    transient_error_rate:
+        Per-read probability of raising :class:`TransientReadError`.
+    transient_burst:
+        Consecutive failures per triggered transient fault.  A burst
+        longer than the retry budget turns a transient fault into a
+        :class:`RetryExhaustedError` (used to test retry exhaustion).
+    corruption_rate:
+        Per-read probability of silently flipping one byte of the
+        returned payload (position chosen by the RNG).  Undetectable
+        without checksums — the failure mode the CRC32 layer exists for.
+    corrupt_extents:
+        Byte ranges ``(offset, length)`` whose content is *always*
+        returned corrupted (persistent media damage: re-reads do not
+        help, so verification must escalate to
+        :class:`BrickCorruptionError` or a replica).
+    latency_spike_rate, latency_spike_seconds:
+        Per-read probability and size of an extra modeled delay, charged
+        to ``stats.fault_delay`` (a slow/straggler disk).
+    fail_after_reads:
+        Permanently fail the device after this many successful reads
+        (mid-query node loss).  ``None`` disables.
+    fail_all:
+        Start the device dead (node lost before the query).
+    """
+
+    seed: int = 0
+    transient_error_rate: float = 0.0
+    transient_burst: int = 1
+    corruption_rate: float = 0.0
+    corrupt_extents: "tuple[tuple[int, int], ...]" = ()
+    latency_spike_rate: float = 0.0
+    latency_spike_seconds: float = 0.0
+    fail_after_reads: "int | None" = None
+    fail_all: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("transient_error_rate", "corruption_rate", "latency_spike_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {v}")
+        if self.transient_burst < 1:
+            raise ValueError(f"transient_burst must be >= 1, got {self.transient_burst}")
+        if self.latency_spike_seconds < 0:
+            raise ValueError(
+                f"latency_spike_seconds must be >= 0, got {self.latency_spike_seconds}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI fault spec.
+
+        Comma-separated ``key=value`` items::
+
+            transient=0.05,corrupt=0.01,latency=0.02:0.01,seed=7,burst=2
+
+        ``latency`` takes ``rate:seconds``.  ``fail`` alone kills the
+        device outright; ``fail=N`` kills it after N reads.
+        """
+        kwargs: dict = {"seed": seed}
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            key, _, value = item.partition("=")
+            if key == "transient":
+                kwargs["transient_error_rate"] = float(value)
+            elif key == "corrupt":
+                kwargs["corruption_rate"] = float(value)
+            elif key == "latency":
+                rate, _, secs = value.partition(":")
+                kwargs["latency_spike_rate"] = float(rate)
+                kwargs["latency_spike_seconds"] = float(secs) if secs else 0.01
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "burst":
+                kwargs["transient_burst"] = int(value)
+            elif key == "fail":
+                if value:
+                    kwargs["fail_after_reads"] = int(value)
+                else:
+                    kwargs["fail_all"] = True
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {key!r} "
+                    "(known: transient, corrupt, latency, seed, burst, fail)"
+                )
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (distinct from what the consumer paid)."""
+
+    transient_errors: int = 0
+    corrupted_reads: int = 0
+    latency_spikes: int = 0
+    failed_reads: int = 0
+
+
+class FaultInjectingDevice:
+    """Block-device wrapper that executes a :class:`FaultPlan`.
+
+    Writes pass through untouched (the paper's stores are write-once at
+    preprocessing time; the fault model targets the query read path).
+    Accounting stays on the backing device's meter so consumers see one
+    continuous :class:`~repro.io.blockdevice.IOStats` whether or not a
+    device is wrapped.
+
+    Examples
+    --------
+    >>> from repro.io.blockdevice import SimulatedBlockDevice
+    >>> dev = FaultInjectingDevice(SimulatedBlockDevice(),
+    ...                            FaultPlan(transient_error_rate=1.0))
+    >>> off = dev.allocate(4); dev.write(off, b"abcd")
+    >>> try:
+    ...     dev.read(off, 4)
+    ... except TransientReadError:
+    ...     print("faulted")
+    faulted
+    """
+
+    def __init__(self, backing, plan: FaultPlan | None = None) -> None:
+        self.backing = backing
+        self.plan = plan or FaultPlan()
+        self.cost_model: IOCostModel = backing.cost_model
+        self.fault_stats = FaultStats()
+        self._rng = random.Random(self.plan.seed)
+        self._reads_served = 0
+        self._pending_burst = 0
+        self._failed = self.plan.fail_all
+
+    # -- BlockDevice interface ------------------------------------------------
+
+    @property
+    def stats(self) -> IOStats:
+        return self.backing.stats
+
+    @property
+    def size(self) -> int:
+        return self.backing.size
+
+    def allocate(self, nbytes: int) -> int:
+        return self.backing.allocate(nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.backing.write(offset, data)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if self._failed:
+            self.fault_stats.failed_reads += 1
+            raise DeviceFailedError(
+                f"device failed permanently; read [{offset}, {offset + nbytes}) refused"
+            )
+        if (
+            self.plan.fail_after_reads is not None
+            and self._reads_served >= self.plan.fail_after_reads
+        ):
+            self._failed = True
+            self.fault_stats.failed_reads += 1
+            raise DeviceFailedError(
+                f"device failed after {self._reads_served} reads; "
+                f"read [{offset}, {offset + nbytes}) refused"
+            )
+        if self._pending_burst > 0:
+            self._pending_burst -= 1
+            self.fault_stats.transient_errors += 1
+            raise TransientReadError(
+                f"transient read error at [{offset}, {offset + nbytes}) (burst)"
+            )
+        roll = self._rng.random()
+        if roll < self.plan.transient_error_rate:
+            self._pending_burst = self.plan.transient_burst - 1
+            self.fault_stats.transient_errors += 1
+            raise TransientReadError(
+                f"transient read error at [{offset}, {offset + nbytes})"
+            )
+
+        data = self.backing.read(offset, nbytes)
+        self._reads_served += 1
+
+        if self.plan.latency_spike_rate and self._rng.random() < self.plan.latency_spike_rate:
+            self.stats.fault_delay += self.plan.latency_spike_seconds
+            self.fault_stats.latency_spikes += 1
+
+        corrupt_at: "list[int]" = []
+        if self.plan.corruption_rate and nbytes and self._rng.random() < self.plan.corruption_rate:
+            corrupt_at.append(self._rng.randrange(nbytes))
+        for ext_off, ext_len in self.plan.corrupt_extents:
+            lo = max(offset, ext_off)
+            hi = min(offset + nbytes, ext_off + ext_len)
+            corrupt_at.extend(range(lo - offset, hi - offset))
+        if corrupt_at:
+            buf = bytearray(data)
+            for i in corrupt_at:
+                buf[i] ^= 0xFF
+            data = bytes(buf)
+            self.fault_stats.corrupted_reads += 1
+        return data
+
+    def reset_stats(self) -> None:
+        self.backing.reset_stats()
+
+    def truncate(self, nbytes: int) -> None:
+        self.backing.truncate(nbytes)
+
+    # -- fault control --------------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self) -> None:
+        """Kill the device permanently (simulated node loss)."""
+        self._failed = True
+
+    def heal(self) -> None:
+        """Bring a failed device back (node rejoin); faults resume per plan."""
+        self._failed = False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transiently failing reads.
+
+    ``max_retries`` bounds re-issues of a read that raised
+    :class:`TransientReadError`; each retry charges
+    ``backoff * backoff_multiplier**attempt`` modeled seconds to
+    ``stats.fault_delay``.  ``max_read_repairs`` bounds whole-extent
+    re-reads triggered by checksum mismatches before the query gives up
+    with :class:`BrickCorruptionError`.
+    """
+
+    max_retries: int = 3
+    backoff: float = 2e-3
+    backoff_multiplier: float = 2.0
+    max_read_repairs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"need backoff >= 0 and multiplier >= 1, got "
+                f"{self.backoff}/{self.backoff_multiplier}"
+            )
+        if self.max_read_repairs < 0:
+            raise ValueError(
+                f"max_read_repairs must be >= 0, got {self.max_read_repairs}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        return self.backoff * self.backoff_multiplier ** attempt
+
+
+#: Policy used by the query layer when the caller does not pass one.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def read_with_retry(
+    device, offset: int, nbytes: int, policy: RetryPolicy = DEFAULT_RETRY_POLICY
+) -> bytes:
+    """Read an extent, retrying transient errors with modeled backoff.
+
+    Every retry re-issues the full read (honestly re-charging its blocks
+    and seek on the device meter), bumps ``stats.retries``, and adds the
+    backoff delay to ``stats.fault_delay``.  Permanent failures
+    (:class:`DeviceFailedError`) propagate immediately; exhausting the
+    budget raises :class:`RetryExhaustedError`.
+    """
+    attempt = 0
+    while True:
+        try:
+            return device.read(offset, nbytes)
+        except TransientReadError as exc:
+            if attempt >= policy.max_retries:
+                raise RetryExhaustedError(
+                    f"read [{offset}, {offset + nbytes}) still failing after "
+                    f"{policy.max_retries} retries: {exc}"
+                ) from exc
+            device.stats.retries += 1
+            device.stats.fault_delay += policy.backoff_for(attempt)
+            attempt += 1

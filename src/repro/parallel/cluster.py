@@ -20,13 +20,14 @@ the honesty contract); actual Python wall time is recorded alongside.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.builder import IndexedDataset, build_indexed_dataset, build_striped_datasets
 from repro.core.query import execute_query
 from repro.grid.volume import Volume
+from repro.io.faults import FaultInjectingDevice, FaultPlan, RetryPolicy, StorageFault
 from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import marching_cubes_batch
 from repro.parallel.metrics import LoadBalance, NodeMetrics
@@ -39,7 +40,15 @@ from repro.render.tiled_display import TileLayout
 
 @dataclass
 class ClusterResult:
-    """Outcome of one isosurface extraction on the (simulated) cluster."""
+    """Outcome of one isosurface extraction on the (simulated) cluster.
+
+    ``failed_nodes`` lists every node whose device failed during the
+    run, recovered or not.  ``degraded`` is True only when at least one
+    failed node had no readable replica, i.e. the result is *partial*:
+    triangle counts and the image cover the surviving bricks only.  With
+    replication covering every failure the result is complete and
+    bit-identical to a healthy run — ``degraded`` stays False.
+    """
 
     lam: float
     p: int
@@ -48,6 +57,13 @@ class ClusterResult:
     composite_bytes: int = 0
     meshes: "list[TriangleMesh] | None" = None
     image: "Framebuffer | None" = None
+    degraded: bool = False
+    failed_nodes: "list[int]" = field(default_factory=list)
+
+    @property
+    def unrecovered_nodes(self) -> "list[int]":
+        """Failed nodes whose bricks no surviving replica could serve."""
+        return [k for k in self.failed_nodes if self.nodes[k].served_by is None]
 
     @property
     def n_active_metacells(self) -> int:
@@ -90,6 +106,17 @@ class SimulatedCluster:
         Stage-time calibration (defaults to the paper's hardware).
     image_size:
         Framebuffer dimensions used when rendering is requested.
+    replication:
+        Brick replication factor ``r``: each node's layout is copied to
+        the ``r - 1`` following nodes (chained declustering), letting
+        :meth:`extract` survive up to ``r - 1`` node failures with a
+        bit-identical result.  ``1`` (default) reproduces the paper's
+        unreplicated cluster.
+    fault_plans:
+        Optional ``rank -> FaultPlan`` wiring fault injection onto
+        individual node disks at construction.
+    retry_policy:
+        Retry/backoff policy handed to every node query.
 
     Examples
     --------
@@ -108,6 +135,9 @@ class SimulatedCluster:
         metacell_shape: tuple[int, int, int] = (9, 9, 9),
         perf: PerformanceModel = PAPER_CLUSTER,
         image_size: tuple[int, int] = (256, 256),
+        replication: int = 1,
+        fault_plans: "dict[int, FaultPlan] | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         if p < 1:
             raise ValueError(f"node count must be >= 1, got {p}")
@@ -116,19 +146,78 @@ class SimulatedCluster:
         self.perf = perf
         self.image_size = image_size
         self.metacell_shape = metacell_shape
+        self.replication = replication
+        self.retry_policy = retry_policy
         if p == 1:
+            if replication != 1:
+                raise ValueError("replication needs p >= 2 nodes")
             self.datasets: list[IndexedDataset] = [
                 build_indexed_dataset(volume, metacell_shape, cost_model=perf.disk)
             ]
         else:
             self.datasets = build_striped_datasets(
-                volume, p, metacell_shape, cost_model=perf.disk
+                volume, p, metacell_shape, cost_model=perf.disk,
+                replication=replication,
             )
+        for rank, plan in (fault_plans or {}).items():
+            self.inject_faults(rank, plan)
 
     @property
     def report(self):
         """The shared preprocessing report."""
         return self.datasets[0].report
+
+    # -- fault control -------------------------------------------------
+
+    def inject_faults(self, rank: int, plan: FaultPlan) -> FaultInjectingDevice:
+        """Wrap node ``rank``'s disk in a fault injector (idempotent:
+        re-injecting replaces the plan on the existing wrapper)."""
+        ds = self.datasets[rank]
+        dev = ds.device
+        if isinstance(dev, FaultInjectingDevice):
+            dev.plan = plan
+        else:
+            dev = FaultInjectingDevice(dev, plan)
+            ds.device = dev
+        return dev
+
+    def fail_node(self, rank: int) -> None:
+        """Kill node ``rank``'s disk permanently (simulated node loss)."""
+        dev = self.datasets[rank].device
+        if not isinstance(dev, FaultInjectingDevice):
+            dev = self.inject_faults(rank, FaultPlan())
+        dev.fail()
+
+    def heal_node(self, rank: int) -> None:
+        """Bring a failed node back online."""
+        dev = self.datasets[rank].device
+        if isinstance(dev, FaultInjectingDevice):
+            dev.heal()
+
+    def _replica_hosts(self, rank: int) -> "list[int]":
+        """Surviving-candidate ranks holding a replica of ``rank``'s
+        layout, nearest successor first."""
+        hosts = [
+            q for q in range(self.p) if rank in self.datasets[q].replica_stores
+        ]
+        return sorted(hosts, key=lambda q: (q - rank) % self.p)
+
+    def _replica_dataset(self, rank: int, host: int) -> IndexedDataset:
+        """A view of node ``rank``'s layout served from ``host``'s disk.
+
+        Shares the failed node's tree, codec, and checksum tables (the
+        replica bytes are identical, so the CRCs are too) but points at
+        the replica region of the host device — the query plan, record
+        stream, and verification behave exactly as on the lost disk.
+        """
+        src = self.datasets[rank]
+        hosted = self.datasets[host]
+        return replace(
+            src,
+            device=hosted.device,
+            base_offset=hosted.replica_stores[rank],
+            replica_stores={},
+        )
 
     # ------------------------------------------------------------------
 
@@ -139,7 +228,7 @@ class SimulatedCluster:
         (optionally) payload-local gradient normals — everything a node
         can compute without the global volume."""
         t0 = time.perf_counter()
-        qr = execute_query(dataset, lam)
+        qr = execute_query(dataset, lam, retry_policy=self.retry_policy)
         codec = dataset.codec
         meta = dataset.meta
         cells_per_metacell = int(np.prod([m - 1 for m in codec.metacell_shape]))
@@ -193,58 +282,130 @@ class SimulatedCluster:
         exists anywhere, exactly as on the paper's cluster).  Without
         rendering, the GPU time is still modeled from the triangle
         counts, and the composite is byte-accounted analytically.
+
+        Degraded mode: a node whose disk raises a permanent
+        :class:`~repro.io.faults.StorageFault` is marked failed instead
+        of crashing the extraction.  If a surviving node holds a replica
+        of the lost layout (``replication >= 2``), it re-runs the failed
+        node's exact query against the replica region — producing the
+        identical records, mesh, and framebuffer, with the extra I/O and
+        compute time charged to the serving node.  Failures with no
+        replica yield a *partial* result flagged ``degraded=True``: the
+        sort-last composite covers the surviving framebuffers only, and
+        no exception escapes.
         """
         per_node: list[NodeMetrics] = []
         meshes: list[TriangleMesh] = []
         node_normals: list = []
         want_normals = render and smooth
+        failed_ranks: list[int] = []
         for dataset in self.datasets:
-            m, mesh, normals = self._node_extract(
-                dataset, lam, with_normals=want_normals
-            )
+            try:
+                m, mesh, normals = self._node_extract(
+                    dataset, lam, with_normals=want_normals
+                )
+            except StorageFault as exc:
+                m = NodeMetrics(
+                    node_rank=dataset.node_rank, failed=True, failure=str(exc)
+                )
+                mesh = TriangleMesh()
+                normals = np.empty((0, 3)) if want_normals else None
+                failed_ranks.append(dataset.node_rank)
             per_node.append(m)
             meshes.append(mesh)
             node_normals.append(normals)
 
+        # Recovery pass: serve lost bricks from surviving replicas.  The
+        # recovered mesh keeps the failed node's framebuffer *slot* so
+        # composite order — and hence the image — matches a healthy run
+        # bit for bit; the work is accounted to the node that did it.
+        for k in failed_ranks:
+            for host in self._replica_hosts(k):
+                if per_node[host].failed:
+                    continue
+                try:
+                    m2, mesh2, normals2 = self._node_extract(
+                        self._replica_dataset(k, host), lam, with_normals=want_normals
+                    )
+                except StorageFault:
+                    continue
+                hm = per_node[host]
+                hm.n_active_metacells += m2.n_active_metacells
+                hm.n_cells_examined += m2.n_cells_examined
+                hm.n_triangles += m2.n_triangles
+                hm.io_stats = hm.io_stats + m2.io_stats
+                hm.io_time += m2.io_time
+                hm.triangulation_time += m2.triangulation_time
+                hm.measured_seconds += m2.measured_seconds
+                hm.recovered_ranks.append(k)
+                per_node[k].served_by = host
+                meshes[k] = mesh2
+                node_normals[k] = normals2
+                break
+        unrecovered = [k for k in failed_ranks if per_node[k].served_by is None]
+
         w, h = self.image_size
         fb_bytes = w * h * 16  # RGB f32 + depth f32 readback
         for m in per_node:
-            m.render_time = self.perf.gpu.render_time(m.n_triangles, fb_bytes)
+            if m.failed:
+                m.render_time = 0.0
+            else:
+                # A node renders one buffer per layout it served (its own
+                # plus any recovered ranks), each read back over PCIe.
+                m.render_time = self.perf.gpu.render_time(
+                    m.n_triangles, fb_bytes * (1 + len(m.recovered_ranks))
+                )
 
-        result = ClusterResult(lam=float(lam), p=self.p, nodes=per_node)
+        result = ClusterResult(
+            lam=float(lam),
+            p=self.p,
+            nodes=per_node,
+            degraded=bool(unrecovered),
+            failed_nodes=sorted(failed_ranks),
+        )
+        #: Framebuffer slots that actually exist somewhere and get shipped.
+        live = [i for i in range(self.p) if i not in unrecovered]
 
         image = None
         if render:
             cam = camera
             if cam is None:
                 combined = TriangleMesh.concat([m for m in meshes if m.n_triangles])
-                if combined.n_triangles == 0:
+                if combined.n_triangles == 0 and not result.degraded:
                     raise ValueError(
                         f"no geometry at isovalue {lam}; cannot auto-frame a camera"
                     )
-                cam = Camera.fit_mesh(combined)
+                cam = (
+                    Camera.fit_mesh(combined) if combined.n_triangles else None
+                )
             if tile_layout is not None:
                 w, h = tile_layout.width, tile_layout.height
             fbs = []
-            for mesh, normals in zip(meshes, node_normals):
+            for i in live:
                 fb = Framebuffer(w, h)
-                if smooth and normals is not None:
-                    render_mesh_smooth(fb, mesh, cam, normals)
-                else:
-                    render_mesh(fb, mesh, cam)
+                if cam is not None:
+                    if smooth and node_normals[i] is not None:
+                        render_mesh_smooth(fb, meshes[i], cam, node_normals[i])
+                    else:
+                        render_mesh(fb, meshes[i], cam)
                 fbs.append(fb)
-            if tile_layout is not None:
+            if not fbs:
+                # Every node failed with no replicas: an empty frame.
+                image = Framebuffer(w, h)
+                result.composite_bytes = 0
+                n_msgs = 0
+            elif tile_layout is not None:
                 image, stats = direct_send(fbs, tile_layout)
                 result.composite_bytes = stats.total_bytes
                 n_msgs = stats.n_nodes * tile_layout.n_tiles
             else:
                 image = composite(fbs)
                 result.composite_bytes = sum(fb.payload_bytes for fb in fbs)
-                n_msgs = self.p
+                n_msgs = len(fbs)
         else:
-            # Analytic accounting: every node ships its buffer once.
-            result.composite_bytes = self.p * fb_bytes
-            n_msgs = self.p
+            # Analytic accounting: every live buffer ships once.
+            result.composite_bytes = len(live) * fb_bytes
+            n_msgs = len(live)
 
         result.composite_time = self.perf.network.transfer_time(
             result.composite_bytes, n_messages=n_msgs

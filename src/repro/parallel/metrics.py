@@ -34,11 +34,34 @@ class NodeMetrics:
     triangulation_time: float = 0.0
     render_time: float = 0.0
     measured_seconds: float = 0.0
+    #: True when this node's device failed permanently during the query;
+    #: its counters are zero and any replica work appears on the node
+    #: named in ``served_by``.
+    failed: bool = False
+    #: Reason string for a failed node (the storage fault message).
+    failure: str = ""
+    #: Rank of the surviving node that served this node's bricks from a
+    #: replica, or None if the node is healthy / unrecovered.
+    served_by: "int | None" = None
+    #: Ranks whose bricks *this* node additionally served from local
+    #: replicas; their I/O, triangulation, and render work is included in
+    #: this node's counters and times (it physically ran here).
+    recovered_ranks: "list[int]" = field(default_factory=list)
 
     @property
     def total_time(self) -> float:
         """Modeled node time: the three pipeline stages in sequence."""
         return self.io_time + self.triangulation_time + self.render_time
+
+    @property
+    def n_retries(self) -> int:
+        """Read attempts repeated after transient faults or CRC mismatches."""
+        return self.io_stats.retries
+
+    @property
+    def n_checksum_failures(self) -> int:
+        """Record CRC32 mismatches detected while serving this node's query."""
+        return self.io_stats.checksum_failures
 
 
 @dataclass

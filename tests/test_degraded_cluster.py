@@ -1,0 +1,186 @@
+"""Degraded-mode cluster extraction: node loss, replication, recovery.
+
+The contract under test (see docs/robustness.md):
+
+* with replication ``r >= 2``, losing up to ``r - 1`` nodes yields a
+  result *bit-identical* to the healthy run — same records, triangles,
+  and composited image — with the recovery I/O charged to the serving
+  node;
+* with ``r = 1`` (the paper's unreplicated cluster), a lost node yields
+  a graceful *partial* result flagged ``degraded=True``, never an
+  unhandled exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.io.faults import FaultPlan
+from repro.parallel.cluster import SimulatedCluster
+
+ISO = 0.7
+P = 4
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((33, 33, 33))
+
+
+@pytest.fixture(scope="module")
+def healthy(volume):
+    """Reference healthy run (no replication, no faults)."""
+    cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
+    return cluster.extract(ISO, render=True, keep_meshes=True)
+
+
+class TestReplicatedRecovery:
+    @pytest.mark.parametrize("victim", range(P))
+    def test_single_failure_bit_identical(self, volume, healthy, victim):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        cluster.fail_node(victim)
+        res = cluster.extract(ISO, render=True, keep_meshes=True)
+
+        assert res.failed_nodes == [victim]
+        assert not res.degraded
+        assert res.unrecovered_nodes == []
+        assert res.n_triangles == healthy.n_triangles
+        assert res.n_active_metacells == healthy.n_active_metacells
+        # The recovered mesh occupies the failed rank's slot, identically.
+        for i in range(P):
+            assert np.array_equal(
+                res.meshes[i].vertices, healthy.meshes[i].vertices
+            )
+        assert np.array_equal(res.image.color, healthy.image.color)
+        assert np.array_equal(res.image.depth, healthy.image.depth)
+
+    def test_recovery_work_charged_to_serving_node(self, volume):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        cluster.fail_node(1)
+        res = cluster.extract(ISO)
+        victim, host = res.nodes[1], res.nodes[res.nodes[1].served_by]
+        assert victim.failed and victim.n_triangles == 0
+        assert 1 in host.recovered_ranks
+        # Host did two layouts' worth of work; its metered I/O shows it.
+        solo = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5)
+        ).extract(ISO)
+        assert (
+            host.io_stats.blocks_read
+            > solo.nodes[host.node_rank].io_stats.blocks_read
+        )
+
+    def test_two_failures_with_r3(self, volume, healthy):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=3
+        )
+        cluster.fail_node(0)
+        cluster.fail_node(2)
+        res = cluster.extract(ISO, render=True)
+        assert sorted(res.failed_nodes) == [0, 2]
+        assert not res.degraded
+        assert res.n_triangles == healthy.n_triangles
+        assert np.array_equal(res.image.color, healthy.image.color)
+
+    def test_mid_query_failure_recovers(self, volume, healthy):
+        """A device dying partway through the query (not before it) must
+        still be recovered from the replica."""
+        cluster = SimulatedCluster(
+            volume,
+            p=P,
+            metacell_shape=(5, 5, 5),
+            replication=2,
+            fault_plans={2: FaultPlan(fail_after_reads=1)},
+        )
+        res = cluster.extract(ISO)
+        assert res.failed_nodes == [2]
+        assert not res.degraded
+        assert res.n_triangles == healthy.n_triangles
+
+    def test_replication_does_not_change_healthy_run(self, volume, healthy):
+        """Replica stores live past the primary layouts; a fault-free
+        query never touches them."""
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        res = cluster.extract(ISO, render=True)
+        assert res.n_triangles == healthy.n_triangles
+        assert not res.failed_nodes
+        assert np.array_equal(res.image.color, healthy.image.color)
+        for got, want in zip(res.nodes, healthy.nodes):
+            assert got.io_stats.blocks_read == want.io_stats.blocks_read
+
+
+class TestUnreplicatedDegradation:
+    def test_single_failure_partial_result(self, volume, healthy):
+        cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
+        cluster.fail_node(2)
+        res = cluster.extract(ISO, render=True)
+
+        assert res.degraded
+        assert res.failed_nodes == [2]
+        assert res.unrecovered_nodes == [2]
+        assert res.nodes[2].failed and res.nodes[2].served_by is None
+        assert res.nodes[2].failure  # carries the fault message
+        # Partial: exactly the surviving nodes' contribution.
+        want = sum(
+            m.n_triangles for m in healthy.nodes if m.node_rank != 2
+        )
+        assert 0 < res.n_triangles == want
+        # The partial image is valid and non-empty (some pixels shaded).
+        assert res.image is not None
+        assert np.isfinite(res.image.depth).any()
+
+    def test_all_nodes_failed_yields_empty_frame(self, volume):
+        cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
+        for k in range(P):
+            cluster.fail_node(k)
+        res = cluster.extract(ISO, render=True)
+        assert res.degraded and res.failed_nodes == list(range(P))
+        assert res.n_triangles == 0
+        assert res.composite_bytes == 0
+        assert not np.isfinite(res.image.depth).any()
+
+    def test_analytic_composite_counts_survivors_only(self, volume):
+        cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
+        cluster.fail_node(0)
+        res = cluster.extract(ISO)  # no render: analytic accounting
+        w, h = cluster.image_size
+        assert res.composite_bytes == (P - 1) * w * h * 16
+
+    def test_heal_restores_full_results(self, volume, healthy):
+        cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
+        cluster.fail_node(1)
+        assert cluster.extract(ISO).degraded
+        cluster.heal_node(1)
+        res = cluster.extract(ISO)
+        assert not res.degraded and not res.failed_nodes
+        assert res.n_triangles == healthy.n_triangles
+
+
+class TestReplicationValidation:
+    def test_replication_needs_multiple_nodes(self, volume):
+        with pytest.raises(ValueError, match="replication"):
+            SimulatedCluster(
+                volume, p=1, metacell_shape=(5, 5, 5), replication=2
+            )
+
+    def test_replication_bounded_by_p(self, volume):
+        with pytest.raises(ValueError, match="replication"):
+            SimulatedCluster(
+                volume, p=2, metacell_shape=(5, 5, 5), replication=3
+            )
+
+    def test_chained_declustering_layout(self, volume):
+        """Node q hosts replicas of the r-1 preceding nodes' layouts."""
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=3
+        )
+        for q, ds in enumerate(cluster.datasets):
+            assert sorted(ds.replica_stores) == sorted(
+                {(q - 1) % P, (q - 2) % P}
+            )

@@ -4,6 +4,7 @@ Examples are executed in a temporary working directory (they write
 output artifacts) with reduced arguments where supported.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,6 +12,17 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _example_env() -> "dict[str, str]":
+    """Subprocess env with the in-repo package importable (PYTHONPATH=src)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 #: (script, argv) — arguments keep runtimes modest.
 CASES = [
@@ -21,6 +33,7 @@ CASES = [
     ("out_of_core_files.py", []),
     ("multiprocessing_cluster.py", []),
     ("unstructured_mesh.py", []),
+    ("fault_tolerance.py", []),
     ("isovalue_explorer.py", []),
     ("mixing_animation.py", ["2"]),
 ]
@@ -31,6 +44,7 @@ def test_example_runs(tmp_path, script, argv):
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *argv],
         cwd=tmp_path,
+        env=_example_env(),
         capture_output=True,
         text=True,
         timeout=600,

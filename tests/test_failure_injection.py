@@ -9,6 +9,13 @@ from repro.core.intervals import IntervalSet
 from repro.core.query import execute_query
 from repro.grid.datasets import sphere_field
 from repro.grid.volume import Volume
+from repro.io.faults import (
+    BrickCorruptionError,
+    FaultInjectingDevice,
+    FaultPlan,
+    RetryExhaustedError,
+    RetryPolicy,
+)
 from repro.pipeline import IsosurfacePipeline
 
 
@@ -54,8 +61,8 @@ class TestDegenerateVolumes:
 class TestCorruptedStore:
     def test_truncated_store_detected(self, sphere_volume):
         ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
-        # Chop the device's backing buffer mid-record.
-        ds.device._buf = ds.device._buf[: len(ds.device._buf) - 37]
+        # Chop the store mid-record through the public damage API.
+        ds.device.truncate(ds.device.size - 37)
         with pytest.raises((IOError, ValueError)):
             execute_query(ds, 1.2)
 
@@ -63,14 +70,83 @@ class TestCorruptedStore:
         with pytest.raises(ValueError):
             sphere_dataset.device.read(sphere_dataset.device.size - 1, 100)
 
+    def test_truncate_validates_bounds(self, sphere_volume):
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        with pytest.raises(ValueError):
+            ds.device.truncate(-1)
+        with pytest.raises(ValueError):
+            ds.device.truncate(ds.device.size + 1)
+
     def test_query_on_foreign_offsets(self, sphere_dataset):
         """A dataset whose base offset is wrong must fail loudly, not
         return garbage silently: decoded record vmins would violate the
         brick invariant and the mismatch surfaces as an error or an
         empty/incorrect decode — we check the device guards the bounds."""
         sphere_dataset.base_offset = sphere_dataset.device.size  # corrupt
-        with pytest.raises(ValueError):
+        with pytest.raises((ValueError, BrickCorruptionError)):
             execute_query(sphere_dataset, 0.8)
+
+    def test_persistent_corruption_caught_by_checksum(self, sphere_volume):
+        """Flip bits inside a record the query plan actually reads: the
+        CRC32 tables must catch it and — the damage being persistent —
+        the bounded re-read repair must escalate to a typed error."""
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        plan = ds.tree.plan_query(0.8)
+        start = plan.runs[0].start  # first record the plan covers
+        ds.device = FaultInjectingDevice(
+            ds.device,
+            FaultPlan(corrupt_extents=((ds.record_offset(start) + 17, 4),)),
+        )
+        with pytest.raises(BrickCorruptionError, match="CRC32"):
+            execute_query(ds, 0.8)
+        assert ds.device.stats.checksum_failures > 0
+        assert ds.device.stats.retries > 0
+
+    def test_corruption_missed_without_checksums(self, sphere_volume):
+        """Control for the test above: built without checksum tables, the
+        same corruption silently decodes — which is exactly why the
+        tables exist."""
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5), checksum=False)
+        plan = ds.tree.plan_query(0.8)
+        start = plan.runs[0].start
+        ds.device = FaultInjectingDevice(
+            ds.device,
+            FaultPlan(corrupt_extents=((ds.record_offset(start) + 17, 4),)),
+        )
+        execute_query(ds, 0.8)  # no error: garbage accepted
+        assert ds.device.stats.checksum_failures == 0
+
+    def test_retry_exhaustion_raises_typed_error(self, sphere_volume):
+        """A transient-error burst longer than the retry budget must
+        surface as RetryExhaustedError, with every retry accounted."""
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        ds.device = FaultInjectingDevice(
+            ds.device,
+            FaultPlan(seed=3, transient_error_rate=1.0, transient_burst=100),
+        )
+        with pytest.raises(RetryExhaustedError):
+            execute_query(ds, 0.8, retry_policy=RetryPolicy(max_retries=2))
+        assert ds.device.stats.retries == 2
+
+    def test_transient_faults_recovered_with_identical_result(
+        self, sphere_volume
+    ):
+        """Sparse transient errors must be absorbed by retries: same
+        records as the clean run, with the retry cost on the meter."""
+        clean = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        want = execute_query(clean, 0.8)
+        ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
+        ds.device = FaultInjectingDevice(
+            ds.device, FaultPlan(seed=11, transient_error_rate=0.2)
+        )
+        got = execute_query(ds, 0.8)
+        assert np.array_equal(got.records.ids, want.records.ids)
+        assert np.array_equal(got.records.values, want.records.values)
+        assert got.io_stats.retries > 0
+        assert got.io_stats.fault_delay > 0.0
+        # Honest accounting: the retried run models strictly slower.
+        cm = clean.device.cost_model
+        assert got.io_stats.read_time(cm) > want.io_stats.read_time(cm)
 
 
 class TestIsovalueEdges:

@@ -1,0 +1,265 @@
+"""Unit tests for the fault-injection layer (repro.io.faults) and the
+CRC32 checksum tables (repro.io.layout.BrickChecksums)."""
+
+import numpy as np
+import pytest
+
+from repro.io.blockdevice import IOStats, SimulatedBlockDevice
+from repro.io.faults import (
+    DEFAULT_RETRY_POLICY,
+    DeviceFailedError,
+    FaultInjectingDevice,
+    FaultPlan,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientReadError,
+    read_with_retry,
+)
+from repro.io.layout import BrickChecksums, compute_record_crcs
+
+
+def _loaded_device(payload: bytes = b"x" * 4096):
+    dev = SimulatedBlockDevice()
+    off = dev.allocate(len(payload))
+    dev.write(off, payload)
+    return dev, off, len(payload)
+
+
+class TestFaultPlan:
+    def test_rejects_bad_probabilities(self):
+        for kwargs in (
+            {"transient_error_rate": 1.5},
+            {"corruption_rate": -0.1},
+            {"latency_spike_rate": 2.0},
+            {"transient_burst": 0},
+            {"latency_spike_seconds": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                FaultPlan(**kwargs)
+
+    def test_from_spec_full(self):
+        plan = FaultPlan.from_spec(
+            "transient=0.05,corrupt=0.01,latency=0.02:0.3,seed=7,burst=2"
+        )
+        assert plan.transient_error_rate == 0.05
+        assert plan.corruption_rate == 0.01
+        assert plan.latency_spike_rate == 0.02
+        assert plan.latency_spike_seconds == 0.3
+        assert plan.seed == 7
+        assert plan.transient_burst == 2
+
+    def test_from_spec_fail_variants(self):
+        assert FaultPlan.from_spec("fail").fail_all
+        assert FaultPlan.from_spec("fail=5").fail_after_reads == 5
+
+    def test_from_spec_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.from_spec("bogus=1")
+
+
+class TestFaultInjectingDevice:
+    def test_passthrough_without_faults(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(dev, FaultPlan())
+        assert wrapped.read(off, n) == dev.read(off, n)
+        # Accounting stays on the backing meter.
+        assert wrapped.stats is dev.stats
+
+    def test_deterministic_fault_sequence(self):
+        """Equal plans on equal read sequences fault identically."""
+
+        def run():
+            dev, off, n = _loaded_device()
+            wrapped = FaultInjectingDevice(
+                dev, FaultPlan(seed=42, transient_error_rate=0.3)
+            )
+            outcomes = []
+            for _ in range(30):
+                try:
+                    wrapped.read(off, 512)
+                    outcomes.append("ok")
+                except TransientReadError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run() == run()
+        assert "fault" in run() and "ok" in run()
+
+    def test_burst_length(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(
+            dev, FaultPlan(transient_error_rate=1.0, transient_burst=3)
+        )
+        for _ in range(3):
+            with pytest.raises(TransientReadError):
+                wrapped.read(off, 64)
+        # Burst drained; next roll triggers a fresh fault (rate 1.0),
+        # so verify via a rate-0 plan instead: swap plans mid-flight.
+        wrapped.plan = FaultPlan()
+        wrapped._pending_burst = 0
+        assert wrapped.read(off, 64) == dev.read(off, 64)
+
+    def test_latency_spike_charges_fault_delay(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(
+            dev,
+            FaultPlan(latency_spike_rate=1.0, latency_spike_seconds=0.25),
+        )
+        wrapped.read(off, 64)
+        assert wrapped.stats.fault_delay == pytest.approx(0.25)
+        assert wrapped.fault_stats.latency_spikes == 1
+        # fault_delay flows into modeled read time.
+        base = IOStats(
+            read_ops=1, blocks_read=1, seeks=1, bytes_read=64
+        ).read_time(dev.cost_model)
+        assert wrapped.stats.read_time(dev.cost_model) == pytest.approx(
+            base + 0.25
+        )
+
+    def test_corrupt_extent_persists_across_rereads(self):
+        dev, off, n = _loaded_device(b"\x00" * 256)
+        wrapped = FaultInjectingDevice(
+            dev, FaultPlan(corrupt_extents=((off + 10, 4),))
+        )
+        first = wrapped.read(off, 256)
+        second = wrapped.read(off, 256)
+        assert first == second  # persistent damage: re-reads don't help
+        assert first[10:14] == b"\xff" * 4
+        assert first[:10] == b"\x00" * 10 and first[14:] == b"\x00" * 242
+
+    def test_corrupt_extent_outside_read_untouched(self):
+        dev, off, n = _loaded_device(b"\x00" * 256)
+        wrapped = FaultInjectingDevice(
+            dev, FaultPlan(corrupt_extents=((off + 200, 4),))
+        )
+        assert wrapped.read(off, 100) == b"\x00" * 100
+
+    def test_fail_after_reads(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(dev, FaultPlan(fail_after_reads=2))
+        wrapped.read(off, 64)
+        wrapped.read(off, 64)
+        with pytest.raises(DeviceFailedError):
+            wrapped.read(off, 64)
+        assert wrapped.failed
+
+    def test_fail_and_heal(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(dev, FaultPlan(fail_all=True))
+        with pytest.raises(DeviceFailedError):
+            wrapped.read(off, 64)
+        wrapped.heal()
+        assert wrapped.read(off, 64) == dev.read(off, 64)
+        wrapped.fail()
+        with pytest.raises(DeviceFailedError):
+            wrapped.read(off, 64)
+
+    def test_writes_pass_through(self):
+        dev = SimulatedBlockDevice()
+        wrapped = FaultInjectingDevice(dev, FaultPlan(transient_error_rate=1.0))
+        off = wrapped.allocate(8)
+        wrapped.write(off, b"12345678")
+        assert dev.read(off, 8) == b"12345678"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        for kwargs in (
+            {"max_retries": -1},
+            {"backoff": -1.0},
+            {"backoff_multiplier": 0.5},
+            {"max_read_repairs": -1},
+        ):
+            with pytest.raises(ValueError):
+                RetryPolicy(**kwargs)
+
+    def test_backoff_schedule(self):
+        pol = RetryPolicy(backoff=1e-3, backoff_multiplier=2.0)
+        assert [pol.backoff_for(a) for a in range(3)] == [1e-3, 2e-3, 4e-3]
+
+    def test_read_with_retry_recovers_short_burst(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(
+            dev, FaultPlan(transient_error_rate=1.0, transient_burst=2)
+        )
+        # First roll faults with burst 2: attempts 1-2 fail, attempt 3
+        # rolls again... rate 1.0 would fault forever, so bound the test
+        # with a burst-limited plan by healing the rate after the roll.
+        data = None
+        with pytest.raises(RetryExhaustedError):
+            read_with_retry(wrapped, off, 64, RetryPolicy(max_retries=1))
+        wrapped.plan = FaultPlan()  # healthy again
+        wrapped._pending_burst = 0
+        data = read_with_retry(wrapped, off, 64, DEFAULT_RETRY_POLICY)
+        assert data == dev.read(off, 64)
+
+    def test_retry_accounting(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(
+            dev, FaultPlan(transient_error_rate=1.0, transient_burst=100)
+        )
+        pol = RetryPolicy(max_retries=3, backoff=1e-3, backoff_multiplier=2.0)
+        with pytest.raises(RetryExhaustedError):
+            read_with_retry(wrapped, off, 64, pol)
+        assert wrapped.stats.retries == 3
+        assert wrapped.stats.fault_delay == pytest.approx(1e-3 + 2e-3 + 4e-3)
+
+    def test_device_failure_propagates_immediately(self):
+        dev, off, n = _loaded_device()
+        wrapped = FaultInjectingDevice(dev, FaultPlan(fail_all=True))
+        with pytest.raises(DeviceFailedError):
+            read_with_retry(wrapped, off, 64)
+        assert wrapped.stats.retries == 0
+
+
+class TestBrickChecksums:
+    def test_roundtrip_clean(self):
+        rng = np.random.default_rng(5)
+        blob = rng.integers(0, 256, size=40 * 16, dtype=np.uint8).tobytes()
+        crcs = compute_record_crcs(blob, 16)
+        checks = BrickChecksums.from_record_crcs(
+            crcs, np.array([0, 10, 25]), np.array([10, 15, 15])
+        )
+        assert checks.n_records == 40
+        assert len(checks.find_corrupt(0, blob, 16)) == 0
+        for b, (s, c) in enumerate([(0, 10), (10, 15), (25, 15)]):
+            assert checks.verify_brick(b, s, c)
+
+    def test_single_bit_flip_detected(self):
+        blob = bytes(range(256)) * 4  # 64 records of 16 bytes
+        crcs = compute_record_crcs(blob, 16)
+        checks = BrickChecksums.from_record_crcs(
+            crcs, np.array([0]), np.array([64])
+        )
+        damaged = bytearray(blob)
+        damaged[37 * 16 + 3] ^= 0x01
+        bad = checks.find_corrupt(0, bytes(damaged), 16)
+        assert list(bad) == [37]
+
+    def test_find_corrupt_respects_start_position(self):
+        blob = bytes(range(256)) * 4
+        crcs = compute_record_crcs(blob, 16)
+        checks = BrickChecksums.from_record_crcs(
+            crcs, np.array([0]), np.array([64])
+        )
+        # Verify records 32.. against the right CRC slice.
+        tail = blob[32 * 16 :]
+        assert len(checks.find_corrupt(32, tail, 16)) == 0
+        damaged = bytearray(tail)
+        damaged[0] ^= 0xFF
+        assert list(checks.find_corrupt(32, bytes(damaged), 16)) == [0]
+
+
+class TestIOStatsFaultFields:
+    def test_add_sub_cover_new_counters(self):
+        a = IOStats(retries=2, checksum_failures=1, fault_delay=0.5)
+        b = IOStats(retries=1, checksum_failures=1, fault_delay=0.25)
+        s = a + b
+        assert (s.retries, s.checksum_failures, s.fault_delay) == (3, 2, 0.75)
+        d = s - b
+        assert (d.retries, d.checksum_failures, d.fault_delay) == (2, 1, 0.5)
+
+    def test_reset_clears_fault_delay(self):
+        st = IOStats(retries=2, fault_delay=1.0)
+        st.reset()
+        assert st.retries == 0 and st.fault_delay == 0.0
