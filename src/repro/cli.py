@@ -135,7 +135,7 @@ def cmd_query(args) -> int:
     return 0
 
 
-def cmd_cluster(args) -> int:
+def _build_cluster(args):
     from repro.io.faults import FaultPlan
     from repro.parallel.cluster import SimulatedCluster
 
@@ -145,40 +145,110 @@ def cmd_cluster(args) -> int:
         plan = FaultPlan.from_spec(args.inject_faults)
         targets = args.fault_node if args.fault_node else range(args.nodes)
         fault_plans = {rank: plan for rank in targets}
-    cluster = SimulatedCluster(
+    return SimulatedCluster(
         volume,
         p=args.nodes,
         metacell_shape=(args.metacell,) * 3,
         replication=args.replication,
         fault_plans=fault_plans,
     )
+
+
+def _hedge_policy(args):
+    from repro.io.faults import HedgePolicy
+
+    if args.no_hedging or args.replication < 2:
+        return None
+    return HedgePolicy(quantile=args.hedge_quantile)
+
+
+def _recovery_reason(m) -> str:
+    if m.failed:
+        return "disk failure"
+    if m.speculated_to is not None:
+        return "straggler speculation"
+    if m.circuit_open:
+        return "circuit open (proactive routing)"
+    return "replica read"
+
+
+def cmd_cluster(args) -> int:
+    cluster = _build_cluster(args)
     for rank in args.fail_node or []:
         cluster.fail_node(rank)
-    res = cluster.extract(args.iso)
+    res = cluster.extract(
+        args.iso, deadline=args.deadline, hedge=_hedge_policy(args)
+    )
     status = "DEGRADED (partial result)" if res.degraded else "complete"
     print(f"isovalue {args.iso:g} on p={args.nodes} "
           f"(replication r={args.replication}): {status}")
     print(f"  triangles : {res.n_triangles} from "
-          f"{res.n_active_metacells} active metacells")
+          f"{res.n_active_metacells} active metacells "
+          f"({res.coverage:.1%} coverage)")
     if res.failed_nodes:
         print(f"  failures  : nodes {res.failed_nodes} "
               f"(unrecovered: {res.unrecovered_nodes or 'none'})")
     print(f"  modeled   : {res.total_time * 1e3:.2f} ms total, "
           f"{res.composite_bytes} composite bytes")
+    if res.n_hedged_reads:
+        print(f"  hedging   : {res.n_hedged_reads} hedged reads, "
+              f"{res.n_hedge_wins} replica wins")
+    dl = res.deadline
+    if dl is not None:
+        verdict = "MET" if dl.met else (
+            f"MISSED by {dl.over_budget_by * 1e3:.2f} ms"
+            if dl.over_budget_by > 0 else "MISSED (partial coverage)"
+        )
+        print(f"  deadline  : {dl.budget * 1e3:.2f} ms budget "
+              f"(node stage {dl.node_budget * 1e3:.2f} ms): {verdict}")
+        if dl.expired_nodes:
+            print(f"              expired nodes {dl.expired_nodes}, "
+                  f"speculatively re-run: {dl.speculated_nodes or 'none'}")
+    if res.skipped_bricks:
+        for rank, bricks in sorted(res.skipped_bricks.items()):
+            print(f"  skipped   : node {rank} left span-space bricks "
+                  f"{bricks} unread")
     print(f"  {'node':>4} {'status':>10} {'active':>8} {'tris':>8} "
-          f"{'retries':>8} {'crcfail':>8} {'time ms':>9}")
+          f"{'retries':>8} {'crcfail':>8} {'hedged':>7} {'cov%':>6} "
+          f"{'time ms':>9}")
     for m in res.nodes:
         if m.failed:
             status = "FAILED"
+        elif m.circuit_open:
+            status = "OPEN"
         elif m.recovered_ranks:
             status = f"+serve{m.recovered_ranks}"
         else:
             status = "ok"
-        extra = f" (served by {m.served_by})" if m.served_by is not None else ""
         print(f"  {m.node_rank:>4} {status:>10} {m.n_active_metacells:>8} "
               f"{m.n_triangles:>8} {m.n_retries:>8} {m.n_checksum_failures:>8} "
-              f"{m.total_time * 1e3:>9.2f}{extra}")
+              f"{m.n_hedged_reads:>7} {m.coverage * 100:>6.1f} "
+              f"{m.total_time * 1e3:>9.2f}")
+    served = [m for m in res.nodes if m.served_by is not None]
+    if served:
+        print("  recovery attribution:")
+        for m in served:
+            print(f"    node {m.node_rank} <- replica on node {m.served_by} "
+                  f"[{_recovery_reason(m)}]")
     return 0 if not res.degraded else 1
+
+
+def cmd_health(args) -> int:
+    cluster = _build_cluster(args)
+    for rank in args.fail_node or []:
+        cluster.fail_node(rank)
+    for i in range(args.queries):
+        res = cluster.extract(
+            args.iso, deadline=args.deadline, hedge=_hedge_policy(args)
+        )
+        routed = [m.node_rank for m in res.nodes if m.circuit_open]
+        note = f" routed-around: {routed}" if routed else ""
+        print(f"query {i + 1}: coverage {res.coverage:.1%}, "
+              f"{res.total_time * 1e3:.2f} ms"
+              f"{' DEGRADED' if res.degraded else ''}{note}")
+    print()
+    print(cluster.health.report())
+    return 0
 
 
 def cmd_extract(args) -> int:
@@ -398,30 +468,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip CRC32 record verification")
     p.set_defaults(func=cmd_query)
 
+    def add_cluster_args(p) -> None:
+        p.add_argument("iso", type=float)
+        src = p.add_mutually_exclusive_group()
+        src.add_argument("--input", help="3D .npy scalar volume")
+        src.add_argument("--rm-step", type=int, default=250,
+                         help="RM-instability time step to synthesize "
+                              "(default 250)")
+        p.add_argument("--shape", type=_parse_shape, default=(49, 49, 45),
+                       help="synthetic volume shape (default 49x49x45)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--metacell", type=int, default=9)
+        p.add_argument("-p", "--nodes", type=int, default=4, help="node count")
+        p.add_argument("--replication", type=int, default=1,
+                       help="brick replication factor r (default 1: none)")
+        p.add_argument("--fail-node", type=int, action="append", metavar="RANK",
+                       help="kill this node's disk before the query "
+                            "(repeatable)")
+        p.add_argument("--inject-faults", metavar="SPEC",
+                       help="fault spec applied to node disks (see 'query')")
+        p.add_argument("--fault-node", type=int, action="append", metavar="RANK",
+                       help="restrict --inject-faults to these ranks "
+                            "(repeatable; default: all nodes)")
+        p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="modeled-time budget for the whole query; expired "
+                            "nodes return partial, coverage-flagged results")
+        p.add_argument("--hedge-quantile", type=float, default=0.5,
+                       help="latency quantile anchoring the hedged-read "
+                            "threshold (default 0.5, i.e. median)")
+        p.add_argument("--no-hedging", action="store_true",
+                       help="disable hedged replica reads (hedging is on by "
+                            "default when replication >= 2)")
+
     p = sub.add_parser(
         "cluster",
         help="striped multi-node extraction with failures and replication",
     )
-    p.add_argument("iso", type=float)
-    src = p.add_mutually_exclusive_group()
-    src.add_argument("--input", help="3D .npy scalar volume")
-    src.add_argument("--rm-step", type=int, default=250,
-                     help="RM-instability time step to synthesize (default 250)")
-    p.add_argument("--shape", type=_parse_shape, default=(49, 49, 45),
-                   help="synthetic volume shape (default 49x49x45)")
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--metacell", type=int, default=9)
-    p.add_argument("-p", "--nodes", type=int, default=4, help="node count")
-    p.add_argument("--replication", type=int, default=1,
-                   help="brick replication factor r (default 1: none)")
-    p.add_argument("--fail-node", type=int, action="append", metavar="RANK",
-                   help="kill this node's disk before the query (repeatable)")
-    p.add_argument("--inject-faults", metavar="SPEC",
-                   help="fault spec applied to node disks (see 'query')")
-    p.add_argument("--fault-node", type=int, action="append", metavar="RANK",
-                   help="restrict --inject-faults to these ranks (repeatable; "
-                        "default: all nodes)")
+    add_cluster_args(p)
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser(
+        "health",
+        help="run repeated cluster queries and report node health states",
+    )
+    add_cluster_args(p)
+    p.add_argument("--queries", type=int, default=6,
+                   help="extractions to run against the same cluster "
+                        "(default 6)")
+    p.set_defaults(func=cmd_health)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

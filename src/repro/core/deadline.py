@@ -1,0 +1,132 @@
+"""Deadline and time-budget primitives on the modeled clock.
+
+The paper's load-balance theorem bounds *work* per node; nothing bounds
+*time* — one latency-spiked disk stalls the whole sort-last barrier.
+This module gives every layer a shared notion of "how long has this
+query taken and how long may it still take", expressed in **modeled
+seconds**: the same clock the cost model derives from counted blocks,
+seeks, and injected fault delay.  Using the modeled clock (never Python
+wall time) keeps every deadline decision — cutting a query short,
+firing a hedge, launching a speculative re-execution — fully
+deterministic and unit-testable.
+
+Pieces:
+
+* :class:`Deadline` — the per-query budget and its split between the
+  primary node stage and the speculative re-execution window.
+* :class:`QueryClock` — elapsed modeled time of one node query, read
+  off the device meter it is attached to (which already accumulates
+  spike + backoff + hedge delay through
+  :meth:`~repro.io.blockdevice.IOStats.charge_delay`).
+* :class:`DeadlineReport` — what a deadline-bounded cluster extraction
+  reports back: whether the budget held, which nodes expired, and who
+  was rescued by speculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A total modeled-time budget for one cluster query.
+
+    Parameters
+    ----------
+    budget:
+        Total modeled seconds the query may take, end to end (per-node
+        stages run in parallel; the composite rides on top).
+    node_fraction:
+        Share of the budget a node's *primary* attempt gets before it is
+        declared a straggler.  The remainder is the speculation window:
+        a straggler's work is re-issued on its replica host at the
+        ``node_budget`` mark and must finish inside
+        ``speculation_budget``.
+    """
+
+    budget: float
+    node_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError(f"deadline budget must be positive, got {self.budget}")
+        if not 0.0 < self.node_fraction <= 1.0:
+            raise ValueError(
+                f"node_fraction must be in (0, 1], got {self.node_fraction}"
+            )
+
+    @property
+    def node_budget(self) -> float:
+        """Modeled seconds a node's primary attempt may consume."""
+        return self.budget * self.node_fraction
+
+    @property
+    def speculation_budget(self) -> float:
+        """Modeled seconds available to a speculative re-execution
+        launched at the ``node_budget`` mark."""
+        return self.budget - self.node_budget
+
+    @classmethod
+    def coerce(cls, value: "Deadline | float | int | None") -> "Deadline | None":
+        """Accept a Deadline, a plain seconds number, or None."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(float(value))
+
+
+class QueryClock:
+    """Elapsed modeled time of one node query, read off a device meter.
+
+    Constructed at query start against the device the query reads from;
+    :meth:`elapsed` is the modeled read time of everything charged to
+    that meter since — block transfers, seeks, latency spikes, retry
+    backoff, and hedge waits all included, because they all land in the
+    same :class:`~repro.io.blockdevice.IOStats`.
+
+    ``limit=None`` makes a clock that never expires (the healthy,
+    deadline-free path pays only two attribute loads per check).
+    """
+
+    def __init__(self, device, limit: "float | None" = None) -> None:
+        self._device = device
+        self._model = device.cost_model
+        self._start = device.stats.copy()
+        self.limit = limit
+
+    def elapsed(self) -> float:
+        return (self._device.stats - self._start).read_time(self._model)
+
+    def remaining(self) -> float:
+        if self.limit is None:
+            return float("inf")
+        return self.limit - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.limit is not None and self.elapsed() >= self.limit
+
+
+@dataclass
+class DeadlineReport:
+    """Outcome of a deadline-bounded cluster extraction.
+
+    ``met`` is True only when the modeled end-to-end time fit the budget
+    *and* every active metacell was covered — a fast-but-partial answer
+    does not count as meeting the deadline.
+    """
+
+    budget: float
+    node_budget: float
+    modeled_total: float = 0.0
+    coverage: float = 1.0
+    met: bool = True
+    #: Ranks whose primary attempt blew its stage budget (before any
+    #: speculative rescue).
+    expired_nodes: "list[int]" = field(default_factory=list)
+    #: Ranks whose work was speculatively re-executed on a replica host.
+    speculated_nodes: "list[int]" = field(default_factory=list)
+
+    @property
+    def over_budget_by(self) -> float:
+        """Modeled seconds past the budget (0 when the deadline held)."""
+        return max(0.0, self.modeled_total - self.budget)

@@ -27,12 +27,13 @@ the same ``IOStats``, so degraded runs report honest modeled times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.builder import IndexedDataset
 from repro.core.compact_tree import BrickPrefixScan, QueryPlan, SequentialRun
+from repro.core.deadline import QueryClock
 from repro.io.blockdevice import IOStats
 from repro.io.faults import (
     DEFAULT_RETRY_POLICY,
@@ -70,6 +71,18 @@ class QueryResult:
         Records decoded from disk (``>= len(records)``: Case-2 bricks may
         read one terminator record past the active prefix, and block
         granularity may pull in trailing bytes).
+    deadline_expired:
+        True when a ``time_budget`` ran out before the plan finished:
+        ``records`` then covers a *prefix* of the plan and the result is
+        partial.
+    skipped_runs:
+        The plan runs that were skipped entirely or cut short by the
+        budget (in plan order); their span-space bricks are in
+        :attr:`skipped_bricks`.
+    n_records_skipped:
+        Upper bound on the records the budget left unread (prefix scans
+        count their full ``max_count`` since the active prefix length is
+        unknown without reading).
     """
 
     lam: float
@@ -77,10 +90,21 @@ class QueryResult:
     plan: QueryPlan
     io_stats: IOStats
     n_records_read: int
+    deadline_expired: bool = False
+    skipped_runs: "list" = field(default_factory=list)
+    n_records_skipped: int = 0
 
     @property
     def n_active(self) -> int:
         return len(self.records)
+
+    @property
+    def skipped_bricks(self) -> "list[int]":
+        """Span-space brick ids the budget prevented from being scanned
+        (Case-2 prefix scans only; Case-1 runs are reported per run)."""
+        return [
+            r.brick_id for r in self.skipped_runs if isinstance(r, BrickPrefixScan)
+        ]
 
     def io_time(self, cost_model) -> float:
         """Modeled retrieval time under a disk cost model."""
@@ -126,7 +150,7 @@ def _verify_or_repair(
     for attempt in range(policy.max_read_repairs):
         device.stats.checksum_failures += len(bad)
         device.stats.retries += 1
-        device.stats.fault_delay += policy.backoff_for(attempt)
+        device.stats.charge_delay(policy.backoff_for(attempt))
         lo, hi = int(bad[0]), int(bad[-1]) + 1
         repaired = read_with_retry(
             device, dataset.record_offset(start_pos + lo), (hi - lo) * rec, policy
@@ -189,6 +213,7 @@ def execute_query(
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
     retry_policy: RetryPolicy | None = None,
     verify_checksums: "bool | None" = None,
+    time_budget: "float | None" = None,
 ) -> QueryResult:
     """Run the full out-of-core query for isovalue ``lam`` on one node."""
     plan = dataset.tree.plan_query(lam)
@@ -198,6 +223,7 @@ def execute_query(
         read_ahead_blocks=read_ahead_blocks,
         retry_policy=retry_policy,
         verify_checksums=verify_checksums,
+        time_budget=time_budget,
     )
 
 
@@ -207,6 +233,7 @@ def execute_plan(
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
     retry_policy: RetryPolicy | None = None,
     verify_checksums: "bool | None" = None,
+    time_budget: "float | None" = None,
 ) -> QueryResult:
     """Execute an already-computed I/O plan against the dataset's device.
 
@@ -218,6 +245,13 @@ def execute_plan(
     ``verify_checksums=None`` (default) verifies exactly when the
     dataset carries checksum tables; ``True`` demands them (raising if
     absent); ``False`` skips verification.
+
+    ``time_budget`` bounds the query in *modeled* seconds (the device
+    meter's clock, which includes injected latency, retry backoff, and
+    hedge waits).  When the budget runs out the remaining runs are
+    skipped and the result comes back partial with
+    ``deadline_expired=True`` — already-read records are kept, blocks
+    already fetched stay charged, and no exception is raised.
     """
     if read_ahead_blocks < 1:
         raise ValueError(f"read_ahead_blocks must be >= 1, got {read_ahead_blocks}")
@@ -236,24 +270,43 @@ def execute_plan(
     lam = plan.lam
 
     stats_before = device.stats.copy()
+    clock = QueryClock(device, time_budget)
     batches: list[MetacellRecords] = []
     n_read = 0
+    skipped_runs: list = []
+    n_skipped = 0
 
     for run in plan.runs:
+        if clock.expired():
+            skipped_runs.append(run)
+            n_skipped += (
+                run.count if isinstance(run, SequentialRun) else run.max_count
+            )
+            continue
         if isinstance(run, SequentialRun):
+            got = 0
             for batch in _stream_records(
                 dataset, run.start, run.count, MAX_SEQUENTIAL_CHUNK_BLOCKS,
                 policy, checks,
             ):
                 batches.append(batch)
                 n_read += len(batch)
+                got += len(batch)
+                if clock.expired():
+                    break
+            if got < run.count:
+                skipped_runs.append(run)
+                n_skipped += run.count - got
         elif isinstance(run, BrickPrefixScan):
-            batch, decoded = _scan_brick_prefix(
-                dataset, run, lam, read_ahead_blocks, policy, checks
+            batch, decoded, aborted = _scan_brick_prefix(
+                dataset, run, lam, read_ahead_blocks, policy, checks, clock
             )
             n_read += decoded
             if batch is not None and len(batch):
                 batches.append(batch)
+            if aborted:
+                skipped_runs.append(run)
+                n_skipped += run.max_count - decoded
         else:  # pragma: no cover - future run types
             raise TypeError(f"unknown run type {type(run).__name__}")
 
@@ -268,6 +321,9 @@ def execute_plan(
         plan=plan,
         io_stats=io_stats,
         n_records_read=n_read,
+        deadline_expired=bool(skipped_runs),
+        skipped_runs=skipped_runs,
+        n_records_skipped=n_skipped,
     )
 
 
@@ -278,13 +334,19 @@ def _scan_brick_prefix(
     read_ahead_blocks: int,
     policy: RetryPolicy,
     checks: "BrickChecksums | None",
+    clock: "QueryClock | None" = None,
 ):
-    """Incrementally read one brick until ``vmin > lam`` or brick end.
+    """Incrementally read one brick until ``vmin > lam``, brick end, or
+    the time budget expires.
 
-    Returns ``(active_records_or_None, n_records_decoded)``.
+    Returns ``(active_records_or_None, n_records_decoded, aborted)``;
+    ``aborted`` is True when the clock cut the scan before the active
+    prefix was fully determined (the decoded records are still valid
+    actives — the tail of the prefix is what was lost).
     """
     decoded = 0
     actives: list[MetacellRecords] = []
+    aborted = False
     for batch in _stream_records(
         dataset, run.start, run.max_count, read_ahead_blocks, policy, checks
     ):
@@ -302,6 +364,9 @@ def _scan_brick_prefix(
                 )
             break
         actives.append(batch)
+        if decoded < run.max_count and clock is not None and clock.expired():
+            aborted = True
+            break
     if not actives:
-        return None, decoded
-    return MetacellRecords.concat(actives), decoded
+        return None, decoded, aborted
+    return MetacellRecords.concat(actives), decoded, aborted

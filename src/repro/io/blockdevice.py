@@ -54,9 +54,30 @@ class IOStats:
     #: Records whose CRC32 did not match the index (each detection counts,
     #: including repeated failures of the same record across re-reads).
     checksum_failures: int = 0
-    #: Extra modeled seconds injected by faults (latency spikes) and spent
-    #: in retry backoff; added to :meth:`read_time`.
+    #: Reads whose primary attempt exceeded the hedge threshold, causing
+    #: the same extent to be issued against a replica (see
+    #: :class:`repro.io.faults.HedgedDevice`).
+    hedged_reads: int = 0
+    #: Hedged reads where the replica completed before the primary (the
+    #: replica's cost is what the consumer paid).
+    hedge_wins: int = 0
+    #: Extra modeled seconds the consumer *waited* without moving data:
+    #: fault-injected latency spikes, retry backoff, and hedge-threshold
+    #: waits.  Every producer charges through :meth:`charge_delay` so the
+    #: three sources share one modeled clock; added to :meth:`read_time`.
     fault_delay: float = 0.0
+
+    def charge_delay(self, seconds: float) -> None:
+        """Charge modeled waiting time to this meter.
+
+        The single entry point for every source of non-transfer delay
+        (latency spikes, retry/repair backoff, hedge waits): charging
+        here keeps them additive and lets a deadline clock observe all
+        of them through one counter.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative delay {seconds}")
+        self.fault_delay += seconds
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(

@@ -67,6 +67,28 @@ class IOCostModel:
         n_blocks = (nbytes + self.block_size - 1) // self.block_size
         return self.time_for(n_blocks, 1 if nbytes > 0 else 0)
 
+    @property
+    def single_block_time(self) -> float:
+        """Modeled seconds for the smallest possible read (one block, one
+        seek) — the floor below which a hedge threshold is meaningless:
+        no replica read can possibly complete faster."""
+        return self.time_for(1, 1)
+
+
+def latency_quantile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank quantile of a latency history.
+
+    Deterministic (no interpolation) so hedge thresholds derived from it
+    are bit-stable across runs; ``q`` in [0, 1].
+    """
+    if not samples:
+        raise ValueError("cannot take a quantile of an empty history")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[idx]
+
 
 #: Calibration matching the paper's cluster nodes (Section 6): 50 MB/s
 #: local disks, 8 KB blocks.

@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.io.blockdevice import IOStats
-from repro.io.cost_model import IOCostModel
+from repro.io.cost_model import IOCostModel, latency_quantile
 
 
 class StorageFault(IOError):
@@ -244,7 +244,7 @@ class FaultInjectingDevice:
         self._reads_served += 1
 
         if self.plan.latency_spike_rate and self._rng.random() < self.plan.latency_spike_rate:
-            self.stats.fault_delay += self.plan.latency_spike_seconds
+            self.stats.charge_delay(self.plan.latency_spike_seconds)
             self.fault_stats.latency_spikes += 1
 
         corrupt_at: "list[int]" = []
@@ -343,5 +343,176 @@ def read_with_retry(
                     f"{policy.max_retries} retries: {exc}"
                 ) from exc
             device.stats.retries += 1
-            device.stats.fault_delay += policy.backoff_for(attempt)
+            device.stats.charge_delay(policy.backoff_for(attempt))
             attempt += 1
+
+
+# ---------------------------------------------------------------------------
+# Hedged replica reads (time-domain straggler mitigation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to hedge a slow primary read against a replica.
+
+    The classic tail-latency defence: if a read takes longer than a
+    threshold derived from this query's own observed read times, issue
+    the identical read to the chained-declustering replica and take the
+    first completion.  All times are modeled seconds, so hedging is
+    fully deterministic.
+
+    Parameters
+    ----------
+    quantile:
+        Quantile of the observed per-read latency history used as the
+        base threshold.  The default (median) is robust against fault
+        plans where a large fraction of reads spike.
+    multiplier:
+        The threshold is ``quantile_value * multiplier`` — a read must
+        be this many times slower than the recent typical read before
+        the hedge fires.
+    min_samples:
+        No hedging until this many reads have been observed (the
+        threshold would be noise).
+    floor:
+        Absolute lower bound on the threshold in modeled seconds; the
+        device's ``single_block_time`` is always applied as well, since
+        no replica read can beat one block + one seek.
+    history_cap:
+        Sliding-window size of the latency history.
+    """
+
+    quantile: float = 0.5
+    multiplier: float = 4.0
+    min_samples: int = 4
+    floor: float = 0.0
+    history_cap: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {self.quantile}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.floor < 0:
+            raise ValueError(f"floor must be >= 0, got {self.floor}")
+        if self.history_cap < self.min_samples:
+            raise ValueError(
+                f"history_cap ({self.history_cap}) must cover min_samples "
+                f"({self.min_samples})"
+            )
+
+
+class HedgedDevice:
+    """Primary + replica read path with quantile-triggered hedging.
+
+    Implements the :class:`~repro.io.blockdevice.BlockDevice` read
+    protocol over *two* backing devices: the node's own disk and the
+    region of a surviving node's disk holding the chained-declustering
+    replica of the same layout (byte-identical, so either source yields
+    the same payload).
+
+    Semantics, all on the modeled clock:
+
+    * every read goes to the primary first and its modeled cost
+      ``t_p`` (blocks, seeks, injected delay) is measured;
+    * if ``t_p`` exceeds the hedge threshold, the same extent is read
+      from the replica — conceptually issued *at* the threshold mark —
+      and the earlier completion wins:
+      ``t_eff = min(t_p, threshold + t_r)``;
+    * both backing meters stay honest (each device is charged for the
+      work it physically did); this wrapper's **own** ``stats`` meter
+      records the *effective* cost the consumer waited for, which is
+      what :class:`~repro.core.query.QueryResult` reports;
+    * the latency history holds effective times, so absorbed spikes do
+      not inflate the threshold.
+
+    Permanent faults (:class:`DeviceFailedError`) propagate untouched —
+    node loss is the cluster layer's recovery problem, not a per-read
+    hedge.
+    """
+
+    def __init__(
+        self,
+        primary,
+        primary_base: int,
+        replica,
+        replica_base: int,
+        policy: HedgePolicy | None = None,
+    ) -> None:
+        self.primary = primary
+        self.replica = replica
+        self.primary_base = primary_base
+        self.replica_base = replica_base
+        self.policy = policy or HedgePolicy()
+        self.cost_model: IOCostModel = primary.cost_model
+        self.stats = IOStats()
+        self._history: "list[float]" = []
+
+    @property
+    def size(self) -> int:
+        return self.primary.size
+
+    def allocate(self, nbytes: int) -> int:  # pragma: no cover - write path
+        return self.primary.allocate(nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:  # pragma: no cover
+        self.primary.write(offset, data)
+
+    def hedge_threshold(self) -> "float | None":
+        """Current threshold in modeled seconds, or None (too few samples)."""
+        if len(self._history) < self.policy.min_samples:
+            return None
+        base = latency_quantile(self._history, self.policy.quantile)
+        return max(
+            base * self.policy.multiplier,
+            self.policy.floor,
+            self.cost_model.single_block_time,
+        )
+
+    def _observe(self, t_eff: float) -> None:
+        self._history.append(t_eff)
+        if len(self._history) > self.policy.history_cap:
+            del self._history[0]
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        before = self.primary.stats.copy()
+        data = self.primary.read(offset, nbytes)
+        delta_p = self.primary.stats - before
+        t_p = delta_p.read_time(self.cost_model)
+        threshold = self.hedge_threshold()
+        if threshold is None or t_p <= threshold:
+            self.stats += delta_p
+            self._observe(t_p)
+            return data
+        # Hedge: re-issue against the replica region at the threshold mark.
+        self.stats.hedged_reads += 1
+        r_offset = offset - self.primary_base + self.replica_base
+        r_before = self.replica.stats.copy()
+        try:
+            r_data = self.replica.read(r_offset, nbytes)
+        except StorageFault:
+            # Replica also misbehaving: the primary result stands.
+            self.stats += delta_p
+            self._observe(t_p)
+            return data
+        delta_r = self.replica.stats - r_before
+        t_r = threshold + delta_r.read_time(self.replica.cost_model)
+        if t_r < t_p:
+            # Replica finished first: the consumer paid the threshold wait
+            # plus the replica transfer; the primary's slow read keeps
+            # burdening only the primary's own meter.
+            self.stats.hedge_wins += 1
+            eff = delta_r.copy()
+            eff.fault_delay += threshold
+            self.stats += eff
+            self._observe(t_r)
+            return r_data
+        self.stats += delta_p
+        self._observe(t_p)
+        return data
+
+    def reset_stats(self) -> None:  # pragma: no cover - parity with devices
+        self.stats.reset()

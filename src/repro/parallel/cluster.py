@@ -25,13 +25,23 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.builder import IndexedDataset, build_indexed_dataset, build_striped_datasets
+from repro.core.deadline import Deadline, DeadlineReport
 from repro.core.query import execute_query
 from repro.grid.volume import Volume
-from repro.io.faults import FaultInjectingDevice, FaultPlan, RetryPolicy, StorageFault
+from repro.io.faults import (
+    FaultInjectingDevice,
+    FaultPlan,
+    HedgedDevice,
+    HedgePolicy,
+    RetryPolicy,
+    StorageFault,
+)
 from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import marching_cubes_batch
+from repro.parallel.health import HealthMonitor, HealthPolicy, Observation
 from repro.parallel.metrics import LoadBalance, NodeMetrics
 from repro.parallel.perfmodel import PAPER_CLUSTER, PerformanceModel
+from repro.parallel.scheduler import plan_speculation
 from repro.render.camera import Camera
 from repro.render.compositor import composite, direct_send
 from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
@@ -59,11 +69,34 @@ class ClusterResult:
     image: "Framebuffer | None" = None
     degraded: bool = False
     failed_nodes: "list[int]" = field(default_factory=list)
+    #: Fraction of the query's active metacells actually delivered
+    #: (1.0 unless a deadline cut reads short or a failure went
+    #: unrecovered).
+    coverage: float = 1.0
+    #: Deadline accounting when the query ran under a budget, else None.
+    deadline: "DeadlineReport | None" = None
 
     @property
     def unrecovered_nodes(self) -> "list[int]":
         """Failed nodes whose bricks no surviving replica could serve."""
         return [k for k in self.failed_nodes if self.nodes[k].served_by is None]
+
+    @property
+    def skipped_bricks(self) -> "dict[int, list[int]]":
+        """rank -> span-space brick ids a deadline left unread."""
+        return {
+            m.node_rank: list(m.skipped_bricks)
+            for m in self.nodes
+            if m.skipped_bricks
+        }
+
+    @property
+    def n_hedged_reads(self) -> int:
+        return sum(n.n_hedged_reads for n in self.nodes)
+
+    @property
+    def n_hedge_wins(self) -> int:
+        return sum(n.n_hedge_wins for n in self.nodes)
 
     @property
     def n_active_metacells(self) -> int:
@@ -117,6 +150,11 @@ class SimulatedCluster:
         individual node disks at construction.
     retry_policy:
         Retry/backoff policy handed to every node query.
+    health_policy:
+        Thresholds for the per-node health state machine (see
+        :mod:`repro.parallel.health`); the monitor persists across
+        queries, so repeatedly failing nodes get routed around
+        proactively instead of rediscovered every extraction.
 
     Examples
     --------
@@ -138,6 +176,7 @@ class SimulatedCluster:
         replication: int = 1,
         fault_plans: "dict[int, FaultPlan] | None" = None,
         retry_policy: "RetryPolicy | None" = None,
+        health_policy: "HealthPolicy | None" = None,
     ) -> None:
         if p < 1:
             raise ValueError(f"node count must be >= 1, got {p}")
@@ -148,6 +187,7 @@ class SimulatedCluster:
         self.metacell_shape = metacell_shape
         self.replication = replication
         self.retry_policy = retry_policy
+        self.health = HealthMonitor(p, health_policy)
         if p == 1:
             if replication != 1:
                 raise ValueError("replication needs p >= 2 nodes")
@@ -221,14 +261,54 @@ class SimulatedCluster:
 
     # ------------------------------------------------------------------
 
+    def _hedged_dataset(
+        self, rank: int, policy: HedgePolicy
+    ) -> "IndexedDataset | None":
+        """Node ``rank``'s dataset with its device wrapped for hedged
+        replica reads, or None when no replica exists to hedge against."""
+        hosts = self._replica_hosts(rank)
+        if not hosts:
+            return None
+        host = hosts[0]
+        src = self.datasets[rank]
+        hosted = self.datasets[host]
+        return replace(
+            src,
+            device=HedgedDevice(
+                src.device,
+                src.base_offset,
+                hosted.device,
+                hosted.replica_stores[rank],
+                policy,
+            ),
+        )
+
+    @staticmethod
+    def _charge_to_host(host_metrics: NodeMetrics, work: NodeMetrics) -> None:
+        """Account replica-served work (recovery, routing, speculation)
+        to the node that physically performed it."""
+        host_metrics.n_active_metacells += work.n_active_metacells
+        host_metrics.n_cells_examined += work.n_cells_examined
+        host_metrics.n_triangles += work.n_triangles
+        host_metrics.io_stats = host_metrics.io_stats + work.io_stats
+        host_metrics.io_time += work.io_time
+        host_metrics.triangulation_time += work.triangulation_time
+        host_metrics.measured_seconds += work.measured_seconds
+
     def _node_extract(
-        self, dataset: IndexedDataset, lam: float, with_normals: bool = False
+        self,
+        dataset: IndexedDataset,
+        lam: float,
+        with_normals: bool = False,
+        time_budget: "float | None" = None,
     ) -> "tuple[NodeMetrics, TriangleMesh, np.ndarray | None]":
         """Query + triangulate on one node; returns metrics, mesh, and
         (optionally) payload-local gradient normals — everything a node
         can compute without the global volume."""
         t0 = time.perf_counter()
-        qr = execute_query(dataset, lam, retry_policy=self.retry_policy)
+        qr = execute_query(
+            dataset, lam, retry_policy=self.retry_policy, time_budget=time_budget
+        )
         codec = dataset.codec
         meta = dataset.meta
         cells_per_metacell = int(np.prod([m - 1 for m in codec.metacell_shape]))
@@ -261,6 +341,11 @@ class SimulatedCluster:
             metrics.n_cells_examined, metrics.n_triangles
         )
         metrics.measured_seconds = measured
+        if qr.deadline_expired:
+            metrics.deadline_expired = True
+            metrics.skipped_bricks = qr.skipped_bricks
+            expected = dataset.tree.query_count(lam)
+            metrics.coverage = qr.n_active / expected if expected else 1.0
         return metrics, mesh, normals
 
     def extract(
@@ -271,6 +356,9 @@ class SimulatedCluster:
         keep_meshes: bool = False,
         tile_layout: TileLayout | None = None,
         smooth: bool = False,
+        deadline: "Deadline | float | None" = None,
+        hedge: "HedgePolicy | bool | None" = None,
+        speculate: "bool | None" = None,
     ) -> ClusterResult:
         """Extract (and optionally render + composite) isosurface ``lam``.
 
@@ -293,27 +381,143 @@ class SimulatedCluster:
         replica yield a *partial* result flagged ``degraded=True``: the
         sort-last composite covers the surviving framebuffers only, and
         no exception escapes.
+
+        Time-domain resilience (see ``docs/robustness.md``):
+
+        * ``deadline`` — a :class:`~repro.core.deadline.Deadline` or a
+          plain modeled-seconds budget.  Node queries are cut off at the
+          stage budget; an expired run comes back *partial* with
+          per-node coverage fractions, the skipped span-space bricks,
+          and a :class:`~repro.core.deadline.DeadlineReport` attached —
+          never blocking on a straggler.
+        * ``hedge`` — a :class:`~repro.io.faults.HedgePolicy` (or
+          ``True`` for defaults): brick reads whose primary attempt
+          exceeds a quantile-derived threshold are re-issued against the
+          chained-declustering replica and the first completion wins,
+          with bit-identical payloads.  Needs ``replication >= 2``;
+          silently inert otherwise.
+        * ``speculate`` — stragglers that blow their stage budget have
+          their query re-executed on the replica host inside the
+          speculation window (defaults to on when both ``deadline`` and
+          ``hedge`` are given).
+
+        The per-node health state machine observes every extraction;
+        nodes whose circuit is open are routed to their replica host
+        without touching the primary disk at all.
         """
+        dl = Deadline.coerce(deadline)
+        hedge_policy = HedgePolicy() if hedge is True else (hedge or None)
+        do_speculate = (
+            speculate
+            if speculate is not None
+            else (dl is not None and hedge_policy is not None)
+        )
+        node_budget = dl.node_budget if dl is not None else None
+
+        self.health.begin_query()
         per_node: list[NodeMetrics] = []
         meshes: list[TriangleMesh] = []
         node_normals: list = []
         want_normals = render and smooth
         failed_ranks: list[int] = []
-        for dataset in self.datasets:
+        routed_ranks: list[int] = []
+        #: Active metacells delivered per *layout* (whoever served it).
+        delivered = [0] * self.p
+        expected = [ds.tree.query_count(lam) for ds in self.datasets]
+
+        for rank, dataset in enumerate(self.datasets):
+            if self.health.routed_around(rank) and self._replica_hosts(rank):
+                # Circuit open: don't touch the primary disk; the layout
+                # is served from a replica host after this pass.
+                routed_ranks.append(rank)
+                per_node.append(NodeMetrics(node_rank=rank, circuit_open=True))
+                meshes.append(TriangleMesh())
+                node_normals.append(np.empty((0, 3)) if want_normals else None)
+                continue
+            qds = dataset
+            if hedge_policy is not None:
+                qds = self._hedged_dataset(rank, hedge_policy) or dataset
             try:
                 m, mesh, normals = self._node_extract(
-                    dataset, lam, with_normals=want_normals
+                    qds, lam, with_normals=want_normals, time_budget=node_budget
                 )
+                delivered[rank] = m.n_active_metacells
             except StorageFault as exc:
-                m = NodeMetrics(
-                    node_rank=dataset.node_rank, failed=True, failure=str(exc)
-                )
+                m = NodeMetrics(node_rank=rank, failed=True, failure=str(exc))
                 mesh = TriangleMesh()
                 normals = np.empty((0, 3)) if want_normals else None
-                failed_ranks.append(dataset.node_rank)
+                failed_ranks.append(rank)
             per_node.append(m)
             meshes.append(mesh)
             node_normals.append(normals)
+
+        # Health observations are taken from the *primary* outcome, before
+        # any speculative rescue rewrites the flags.
+        observations = {
+            k: Observation(
+                failed=per_node[k].failed,
+                retries=per_node[k].io_stats.retries,
+                checksum_failures=per_node[k].io_stats.checksum_failures,
+                fault_delay=per_node[k].io_stats.fault_delay,
+                deadline_expired=per_node[k].deadline_expired,
+            )
+            for k in range(self.p)
+            if k not in routed_ranks
+        }
+
+        # Serve circuit-open nodes from their replica hosts (proactive
+        # routing: the primary disk is never asked).
+        for k in routed_ranks:
+            served = False
+            for host in self._replica_hosts(k):
+                if per_node[host].failed:
+                    continue
+                try:
+                    m2, mesh2, normals2 = self._node_extract(
+                        self._replica_dataset(k, host), lam,
+                        with_normals=want_normals, time_budget=node_budget,
+                    )
+                except StorageFault:
+                    continue
+                self._charge_to_host(per_node[host], m2)
+                per_node[host].recovered_ranks.append(k)
+                vm = per_node[k]
+                vm.served_by = host
+                vm.coverage = m2.coverage
+                vm.deadline_expired = m2.deadline_expired
+                vm.skipped_bricks = m2.skipped_bricks
+                delivered[k] = m2.n_active_metacells
+                meshes[k] = mesh2
+                node_normals[k] = normals2
+                served = True
+                break
+            if served:
+                self.health.tick_routed(k)
+            else:
+                # Every replica host is down: forced probe of the primary.
+                try:
+                    m, mesh, normals = self._node_extract(
+                        self.datasets[k], lam, with_normals=want_normals,
+                        time_budget=node_budget,
+                    )
+                    m.circuit_open = True
+                    per_node[k] = m
+                    meshes[k] = mesh
+                    node_normals[k] = normals
+                    delivered[k] = m.n_active_metacells
+                except StorageFault as exc:
+                    per_node[k] = NodeMetrics(
+                        node_rank=k, failed=True, failure=str(exc),
+                        circuit_open=True,
+                    )
+                    failed_ranks.append(k)
+                observations[k] = Observation(
+                    failed=per_node[k].failed,
+                    retries=per_node[k].io_stats.retries,
+                    checksum_failures=per_node[k].io_stats.checksum_failures,
+                    fault_delay=per_node[k].io_stats.fault_delay,
+                    deadline_expired=per_node[k].deadline_expired,
+                )
 
         # Recovery pass: serve lost bricks from surviving replicas.  The
         # recovered mesh keeps the failed node's framebuffer *slot* so
@@ -325,24 +529,83 @@ class SimulatedCluster:
                     continue
                 try:
                     m2, mesh2, normals2 = self._node_extract(
-                        self._replica_dataset(k, host), lam, with_normals=want_normals
+                        self._replica_dataset(k, host), lam,
+                        with_normals=want_normals, time_budget=node_budget,
                     )
                 except StorageFault:
                     continue
-                hm = per_node[host]
-                hm.n_active_metacells += m2.n_active_metacells
-                hm.n_cells_examined += m2.n_cells_examined
-                hm.n_triangles += m2.n_triangles
-                hm.io_stats = hm.io_stats + m2.io_stats
-                hm.io_time += m2.io_time
-                hm.triangulation_time += m2.triangulation_time
-                hm.measured_seconds += m2.measured_seconds
-                hm.recovered_ranks.append(k)
+                self._charge_to_host(per_node[host], m2)
+                per_node[host].recovered_ranks.append(k)
                 per_node[k].served_by = host
+                per_node[k].coverage = m2.coverage
+                per_node[k].deadline_expired = m2.deadline_expired
+                per_node[k].skipped_bricks = m2.skipped_bricks
+                delivered[k] = m2.n_active_metacells
                 meshes[k] = mesh2
                 node_normals[k] = normals2
                 break
         unrecovered = [k for k in failed_ranks if per_node[k].served_by is None]
+        for k in unrecovered:
+            per_node[k].coverage = 0.0
+
+        # Straggler mitigation: nodes that blew their stage budget get
+        # their query speculatively re-executed on a replica host, the
+        # speculative task starting at the budget mark.  The victim's
+        # partial output is replaced (bit-identical records when both
+        # complete); its wasted metered I/O stays on its own record.
+        expired_primary = [
+            k for k in range(self.p)
+            if per_node[k].deadline_expired and not per_node[k].failed
+        ]
+        speculated: "list[int]" = []
+        if dl is not None and do_speculate and expired_primary:
+            hosts_map = {
+                k: [h for h in self._replica_hosts(k) if not per_node[h].failed]
+                for k in expired_primary
+            }
+            for d in plan_speculation(expired_primary, hosts_map, dl.node_budget):
+                try:
+                    m2, mesh2, normals2 = self._node_extract(
+                        self._replica_dataset(d.victim, d.host), lam,
+                        with_normals=want_normals,
+                        time_budget=dl.speculation_budget,
+                    )
+                except StorageFault:
+                    continue
+                vm = per_node[d.victim]
+                if m2.deadline_expired and m2.coverage <= vm.coverage:
+                    continue  # the re-run covered no more than the straggler
+                hm = per_node[d.host]
+                # The speculative task launches *at* the stage-budget
+                # mark: if the host finished its own work earlier, the
+                # gap is modeled idle time on the host's clock.
+                before = hm.io_time + hm.triangulation_time + hm.speculation_wait
+                self._charge_to_host(hm, m2)
+                hm.speculation_wait += max(0.0, d.launch_time - before)
+                hm.recovered_ranks.append(d.victim)
+                vm.n_active_metacells = 0
+                vm.n_cells_examined = 0
+                vm.n_triangles = 0
+                # The straggler is cancelled at the budget mark — its
+                # clock stops there even though its metered I/O (the
+                # wasted attempt) stays on record.
+                vm.io_time = min(vm.io_time, dl.node_budget)
+                vm.triangulation_time = 0.0
+                vm.speculated_to = d.host
+                vm.served_by = d.host
+                vm.coverage = m2.coverage
+                vm.deadline_expired = m2.deadline_expired
+                vm.skipped_bricks = m2.skipped_bricks
+                delivered[d.victim] = m2.n_active_metacells
+                meshes[d.victim] = mesh2
+                node_normals[d.victim] = normals2
+                speculated.append(d.victim)
+
+        for k, obs in observations.items():
+            self.health.observe(k, obs)
+
+        total_expected = sum(expected)
+        coverage = sum(delivered) / total_expected if total_expected else 1.0
 
         w, h = self.image_size
         fb_bytes = w * h * 16  # RGB f32 + depth f32 readback
@@ -360,8 +623,9 @@ class SimulatedCluster:
             lam=float(lam),
             p=self.p,
             nodes=per_node,
-            degraded=bool(unrecovered),
+            degraded=bool(unrecovered) or coverage < 1.0 - 1e-12,
             failed_nodes=sorted(failed_ranks),
+            coverage=coverage,
         )
         #: Framebuffer slots that actually exist somewhere and get shipped.
         live = [i for i in range(self.p) if i not in unrecovered]
@@ -395,9 +659,22 @@ class SimulatedCluster:
                 result.composite_bytes = 0
                 n_msgs = 0
             elif tile_layout is not None:
-                image, stats = direct_send(fbs, tile_layout)
+                comp_budget = None
+                if dl is not None:
+                    node_makespan = max(
+                        (n.total_time for n in per_node), default=0.0
+                    )
+                    comp_budget = max(dl.budget - node_makespan, 0.0)
+                image, stats = direct_send(
+                    fbs,
+                    tile_layout,
+                    interconnect=self.perf.network if dl is not None else None,
+                    budget=comp_budget,
+                )
                 result.composite_bytes = stats.total_bytes
-                n_msgs = stats.n_nodes * tile_layout.n_tiles
+                n_msgs = (
+                    stats.n_nodes - len(stats.dropped_nodes)
+                ) * tile_layout.n_tiles
             else:
                 image = composite(fbs)
                 result.composite_bytes = sum(fb.payload_bytes for fb in fbs)
@@ -413,6 +690,17 @@ class SimulatedCluster:
         result.image = image
         if keep_meshes or render:
             result.meshes = meshes
+        if dl is not None:
+            result.deadline = DeadlineReport(
+                budget=dl.budget,
+                node_budget=dl.node_budget,
+                modeled_total=result.total_time,
+                coverage=coverage,
+                met=coverage >= 1.0 - 1e-12
+                and result.total_time <= dl.budget + 1e-12,
+                expired_nodes=expired_primary,
+                speculated_nodes=speculated,
+            )
         return result
 
     def sweep(self, isovalues, **kwargs) -> "list[ClusterResult]":

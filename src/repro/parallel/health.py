@@ -1,0 +1,284 @@
+"""Per-node health state machine and cluster health monitor.
+
+Degraded-mode extraction (PR 1) *rediscovers* a bad node on every query:
+each extraction pays the failed reads, retries, and replica fallback
+again.  This module adds memory.  Every node carries a small circuit
+breaker driven by its observed retry / corruption / latency / failure
+history:
+
+.. code-block:: text
+
+    HEALTHY --incident--> SUSPECT --more incidents--> CIRCUIT_OPEN
+       ^                     |                            |
+       |<---clean streak-----+                       cooldown ticks
+       |                                                  v
+       +<------probe ok------ HALF_OPEN <-----------------+
+                                 |
+                                 +--probe fails--> CIRCUIT_OPEN
+
+While a node's circuit is **open**, the cluster routes its bricks to the
+chained-declustering replica host proactively — no primary I/O, no
+rediscovery cost.  After ``cooldown`` routed queries the breaker goes
+**half-open**: the next query is a probe against the primary; a clean
+probe heals the node, a bad one re-opens the circuit.
+
+All transitions are driven by per-query observations on the modeled
+clock, so scripted fault histories produce exact, assertable state
+sequences (see ``tests/test_health.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class HealthState(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    CIRCUIT_OPEN = "circuit-open"
+    HALF_OPEN = "half-open"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds driving the per-node state machine.
+
+    Parameters
+    ----------
+    suspect_after:
+        Incident strikes that demote HEALTHY to SUSPECT.
+    open_after:
+        Total strikes that open the circuit (a permanent device failure
+        opens it immediately regardless).
+    cooldown:
+        Routed-around queries an open circuit waits before probing
+        (half-open).
+    heal_after:
+        Consecutive clean queries a SUSPECT node needs to return to
+        HEALTHY.
+    slow_delay_threshold:
+        Modeled ``fault_delay`` seconds in one query above which the
+        node counts as latency-incident (straggler) even if every read
+        succeeded.
+    """
+
+    suspect_after: int = 1
+    open_after: int = 3
+    cooldown: int = 2
+    heal_after: int = 2
+    slow_delay_threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1 or self.open_after < self.suspect_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= open_after, got "
+                f"{self.suspect_after}/{self.open_after}"
+            )
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {self.cooldown}")
+        if self.heal_after < 1:
+            raise ValueError(f"heal_after must be >= 1, got {self.heal_after}")
+        if self.slow_delay_threshold < 0:
+            raise ValueError(
+                f"slow_delay_threshold must be >= 0, got {self.slow_delay_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one query saw of one node, in state-machine terms."""
+
+    failed: bool = False
+    retries: int = 0
+    checksum_failures: int = 0
+    fault_delay: float = 0.0
+    deadline_expired: bool = False
+
+    def incident(self, policy: HealthPolicy) -> "str | None":
+        """The incident class this observation represents, or None."""
+        if self.failed:
+            return "device-failure"
+        if self.checksum_failures:
+            return "corruption"
+        if self.retries:
+            return "retries"
+        if self.fault_delay > policy.slow_delay_threshold:
+            return "latency"
+        if self.deadline_expired:
+            return "deadline"
+        return None
+
+
+@dataclass
+class Transition:
+    """One recorded state change (for the health report / tests)."""
+
+    query_index: int
+    src: HealthState
+    dst: HealthState
+    reason: str
+
+
+@dataclass
+class NodeHealth:
+    """Circuit-breaker state of one node."""
+
+    rank: int
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+    state: HealthState = HealthState.HEALTHY
+    strikes: int = 0
+    clean_streak: int = 0
+    cooldown_left: int = 0
+    times_opened: int = 0
+    times_healed: int = 0
+    last_incident: str = ""
+    transitions: "list[Transition]" = field(default_factory=list)
+
+    def _move(self, dst: HealthState, query_index: int, reason: str) -> None:
+        self.transitions.append(
+            Transition(query_index, self.state, dst, reason)
+        )
+        self.state = dst
+
+    @property
+    def routed_around(self) -> bool:
+        """True while the cluster should avoid this node's primary disk."""
+        return self.state is HealthState.CIRCUIT_OPEN
+
+    def tick_routed(self, query_index: int) -> None:
+        """One query passed with this node routed around (circuit open)."""
+        if self.state is not HealthState.CIRCUIT_OPEN:
+            return
+        self.cooldown_left -= 1
+        if self.cooldown_left <= 0:
+            self._move(HealthState.HALF_OPEN, query_index, "cooldown elapsed")
+
+    def observe(self, obs: Observation, query_index: int) -> None:
+        """Fold one query's observation of the *primary* path in."""
+        pol = self.policy
+        incident = obs.incident(pol)
+        if incident:
+            self.last_incident = incident
+            self.clean_streak = 0
+            self.strikes += 1
+        else:
+            self.clean_streak += 1
+
+        if self.state is HealthState.HEALTHY:
+            if obs.failed or self.strikes >= pol.open_after:
+                self._open(query_index, incident or "strikes")
+            elif self.strikes >= pol.suspect_after:
+                self._move(HealthState.SUSPECT, query_index, incident or "strikes")
+            elif not incident:
+                self.strikes = 0
+        elif self.state is HealthState.SUSPECT:
+            if obs.failed or self.strikes >= pol.open_after:
+                self._open(query_index, incident or "strikes")
+            elif self.clean_streak >= pol.heal_after:
+                self.strikes = 0
+                self._move(HealthState.HEALTHY, query_index, "clean streak")
+        elif self.state is HealthState.HALF_OPEN:
+            if incident:
+                self._open(query_index, f"probe failed: {incident}")
+            else:
+                self.strikes = 0
+                self.times_healed += 1
+                self._move(HealthState.HEALTHY, query_index, "probe succeeded")
+        elif self.state is HealthState.CIRCUIT_OPEN:
+            # Normally an open circuit is only ticked while routed
+            # around; being observed here means no replica existed and
+            # the primary was used anyway — a forced probe.  Clean runs
+            # count toward the cooldown so a healed, replica-less node
+            # is not quarantined forever; incidents reset it.
+            if incident:
+                self.cooldown_left = pol.cooldown
+            else:
+                self.cooldown_left -= 1
+                if self.cooldown_left <= 0:
+                    self._move(
+                        HealthState.HALF_OPEN, query_index, "forced probes clean"
+                    )
+
+    def _open(self, query_index: int, reason: str) -> None:
+        self.times_opened += 1
+        self.cooldown_left = self.policy.cooldown
+        self._move(HealthState.CIRCUIT_OPEN, query_index, reason)
+
+
+class HealthMonitor:
+    """Health state of every node in a cluster, fed by each extraction.
+
+    The monitor is deliberately query-indexed, not wall-clock-indexed:
+    cooldowns count *queries*, which keeps the machine deterministic in
+    the simulator and maps naturally onto "probe every Nth request" in a
+    real serving system.
+    """
+
+    def __init__(self, p: int, policy: HealthPolicy | None = None) -> None:
+        self.policy = policy or HealthPolicy()
+        self.nodes = [NodeHealth(rank=k, policy=self.policy) for k in range(p)]
+        self.query_index = 0
+
+    def begin_query(self) -> int:
+        """Advance the query counter; returns the new index."""
+        self.query_index += 1
+        return self.query_index
+
+    def state(self, rank: int) -> HealthState:
+        return self.nodes[rank].state
+
+    def routed_around(self, rank: int) -> bool:
+        return self.nodes[rank].routed_around
+
+    def tick_routed(self, rank: int) -> None:
+        self.nodes[rank].tick_routed(self.query_index)
+
+    def observe(self, rank: int, obs: Observation) -> None:
+        self.nodes[rank].observe(obs, self.query_index)
+
+    def observe_metrics(self, metrics) -> None:
+        """Fold a :class:`~repro.parallel.metrics.NodeMetrics` in."""
+        self.observe(
+            metrics.node_rank,
+            Observation(
+                failed=metrics.failed,
+                retries=metrics.io_stats.retries,
+                checksum_failures=metrics.io_stats.checksum_failures,
+                fault_delay=metrics.io_stats.fault_delay,
+                deadline_expired=metrics.deadline_expired,
+            ),
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    def states(self) -> "list[HealthState]":
+        return [n.state for n in self.nodes]
+
+    def report(self) -> str:
+        """Human-readable health table plus the transition log."""
+        lines = [
+            f"{'node':>4} {'state':>14} {'strikes':>8} {'opened':>7} "
+            f"{'healed':>7}  last incident"
+        ]
+        for n in self.nodes:
+            lines.append(
+                f"{n.rank:>4} {str(n.state):>14} {n.strikes:>8} "
+                f"{n.times_opened:>7} {n.times_healed:>7}  "
+                f"{n.last_incident or '-'}"
+            )
+        log = [
+            (t.query_index, n.rank, t)
+            for n in self.nodes
+            for t in n.transitions
+        ]
+        if log:
+            lines.append("transitions:")
+            for qi, rank, t in sorted(log, key=lambda e: (e[0], e[1])):
+                lines.append(
+                    f"  query {qi:>3}: node {rank} {t.src} -> {t.dst} ({t.reason})"
+                )
+        return "\n".join(lines)

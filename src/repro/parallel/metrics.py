@@ -47,11 +47,37 @@ class NodeMetrics:
     #: replicas; their I/O, triangulation, and render work is included in
     #: this node's counters and times (it physically ran here).
     recovered_ranks: "list[int]" = field(default_factory=list)
+    #: True when this node's query was cut short by a deadline budget
+    #: (and no speculative re-execution restored full coverage).
+    deadline_expired: bool = False
+    #: Fraction of this node's active metacells actually retrieved
+    #: (1.0 on a complete run; < 1 only under an expired deadline or an
+    #: unrecovered failure).
+    coverage: float = 1.0
+    #: Span-space brick ids a deadline budget prevented from being read.
+    skipped_bricks: "list[int]" = field(default_factory=list)
+    #: Rank whose replica host speculatively re-executed this node's
+    #: query after it blew its stage budget (the straggler-mitigation
+    #: path), or None.
+    speculated_to: "int | None" = None
+    #: True when the health circuit breaker routed this node's query to
+    #: its replica host without touching the primary disk at all.
+    circuit_open: bool = False
+    #: Modeled idle seconds this node spent waiting for the stage-budget
+    #: mark before launching a speculative re-execution of a straggler's
+    #: work (zero unless this node hosted a speculation).
+    speculation_wait: float = 0.0
 
     @property
     def total_time(self) -> float:
-        """Modeled node time: the three pipeline stages in sequence."""
-        return self.io_time + self.triangulation_time + self.render_time
+        """Modeled node time: the three pipeline stages in sequence,
+        plus any wait for a speculative launch point."""
+        return (
+            self.io_time
+            + self.triangulation_time
+            + self.render_time
+            + self.speculation_wait
+        )
 
     @property
     def n_retries(self) -> int:
@@ -62,6 +88,16 @@ class NodeMetrics:
     def n_checksum_failures(self) -> int:
         """Record CRC32 mismatches detected while serving this node's query."""
         return self.io_stats.checksum_failures
+
+    @property
+    def n_hedged_reads(self) -> int:
+        """Reads whose slow primary attempt triggered a replica hedge."""
+        return self.io_stats.hedged_reads
+
+    @property
+    def n_hedge_wins(self) -> int:
+        """Hedged reads the replica won (the wait the consumer was spared)."""
+        return self.io_stats.hedge_wins
 
 
 @dataclass

@@ -94,3 +94,54 @@ def round_robin(job_costs: np.ndarray, p: int) -> ScheduleResult:
         raise ValueError(f"worker count must be >= 1, got {p}")
     times = np.array([job_costs[q::p].sum() for q in range(p)])
     return ScheduleResult(worker_times=times, host_time=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Speculative re-execution planning (straggler mitigation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpeculationDecision:
+    """One straggler's re-execution assignment.
+
+    ``launch_time`` is the modeled instant (the stage-budget mark) at
+    which the replica host starts re-running the victim's work; the
+    speculative completion time is ``launch_time`` plus the re-run's own
+    modeled cost.
+    """
+
+    victim: int
+    host: int
+    launch_time: float
+
+
+def plan_speculation(
+    stragglers: "list[int]",
+    replica_hosts: "dict[int, list[int]]",
+    launch_time: float,
+) -> "list[SpeculationDecision]":
+    """Assign each straggler's re-execution to a replica host.
+
+    Hosts are load-balanced by assignment count (a host already serving
+    one speculation is deprioritized against an idle candidate), ties
+    broken by the chained-declustering preference order the caller
+    encodes in ``replica_hosts[victim]``.  Stragglers with no candidate
+    host are simply absent from the result — the caller reports them as
+    deadline-partial.  Deterministic: same inputs, same plan.
+    """
+    decisions: list[SpeculationDecision] = []
+    load: dict[int, int] = {}
+    for victim in stragglers:
+        candidates = replica_hosts.get(victim) or []
+        if not candidates:
+            continue
+        host = min(
+            candidates,
+            key=lambda h: (load.get(h, 0), candidates.index(h)),
+        )
+        load[host] = load.get(host, 0) + 1
+        decisions.append(
+            SpeculationDecision(victim=victim, host=host, launch_time=launch_time)
+        )
+    return decisions

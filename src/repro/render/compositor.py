@@ -33,6 +33,12 @@ class CompositeStats:
     n_nodes: int
     rounds: int = 0
     bytes_sent_per_node: "list[int]" = field(default_factory=list)
+    #: Node indices whose contribution a compositing deadline dropped
+    #: (their pixels are missing from the output; empty without budget).
+    dropped_nodes: "list[int]" = field(default_factory=list)
+    #: Modeled seconds of the transfers actually performed, when an
+    #: interconnect model was supplied (0.0 otherwise).
+    modeled_seconds: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -73,7 +79,10 @@ PIXEL_PAYLOAD_BYTES = 16
 
 
 def direct_send(
-    framebuffers: "list[Framebuffer]", layout: TileLayout
+    framebuffers: "list[Framebuffer]",
+    layout: TileLayout,
+    interconnect=None,
+    budget: "float | None" = None,
 ) -> tuple[Framebuffer, CompositeStats]:
     """Direct-send compositing onto a tiled display.
 
@@ -84,6 +93,17 @@ def direct_send(
     tile's display server still "sends" its own region; we count those
     bytes too, as an upper bound (the paper's nodes overlap with display
     nodes, making this conservative).
+
+    ``budget`` (modeled seconds, requires ``interconnect`` with a
+    ``transfer_time(nbytes, n_messages)`` method) makes the composite
+    deadline-aware: node contributions are merged in rank order and once
+    the modeled transfer time for the *next* node's regions would exceed
+    the budget, that node and all later ones are dropped — the display
+    shows the frame it has rather than stalling on late buffers.
+    Dropped ranks are listed in ``stats.dropped_nodes``; without a
+    budget the result is byte-identical to the unbudgeted composite
+    (z-min merging is commutative for strict depth wins, and ties keep
+    rank order because merging proceeds in ascending rank).
     """
     p = len(framebuffers)
     ref = framebuffers[0]
@@ -93,19 +113,42 @@ def direct_send(
                 f"framebuffer {fb.width}x{fb.height} does not match tile layout "
                 f"{layout.width}x{layout.height}"
             )
+    if budget is not None and interconnect is None:
+        raise ValueError("a composite budget needs an interconnect model")
     stats = CompositeStats(schedule="direct-send", n_nodes=p, rounds=1)
     stats.bytes_sent_per_node = [0] * p
 
+    node_bytes = sum(
+        (lambda rc: (rc[0].stop - rc[0].start) * (rc[1].stop - rc[1].start))(
+            layout.tile_slices(t)
+        )
+        * PIXEL_PAYLOAD_BYTES
+        for t in range(layout.n_tiles)
+    )
     out = Framebuffer(ref.width, ref.height, ref.background)
-    for t in range(layout.n_tiles):
-        rows, cols = layout.tile_slices(t)
-        tile_pixels = (rows.stop - rows.start) * (cols.stop - cols.start)
-        for q, fb in enumerate(framebuffers):
-            stats.bytes_sent_per_node[q] += tile_pixels * PIXEL_PAYLOAD_BYTES
+    sent_bytes = 0
+    sent_msgs = 0
+    for q, fb in enumerate(framebuffers):
+        if budget is not None:
+            projected = interconnect.transfer_time(
+                sent_bytes + node_bytes, sent_msgs + layout.n_tiles
+            )
+            # The first contribution always lands (an empty frame helps
+            # nobody); later ones drop once the wire time would overrun.
+            if sent_msgs and projected > budget:
+                stats.dropped_nodes.append(q)
+                continue
+        sent_bytes += node_bytes
+        sent_msgs += layout.n_tiles
+        stats.bytes_sent_per_node[q] = node_bytes
+        for t in range(layout.n_tiles):
+            rows, cols = layout.tile_slices(t)
             _zmerge_into(
                 out.color[rows, cols], out.depth[rows, cols],
                 fb.color[rows, cols], fb.depth[rows, cols],
             )
+    if interconnect is not None:
+        stats.modeled_seconds = interconnect.transfer_time(sent_bytes, sent_msgs)
     return out, stats
 
 

@@ -1,0 +1,254 @@
+"""Deadline-aware query execution on the modeled clock.
+
+The contract under test (see docs/robustness.md):
+
+* a :class:`~repro.core.deadline.Deadline` splits a total modeled-time
+  budget into a primary node stage and a speculation window;
+* a :class:`~repro.core.deadline.QueryClock` reads elapsed modeled time
+  off the device meter, so spikes, backoff, and hedge waits all count;
+* a node query that blows its budget is cut short *deterministically*:
+  it returns the records it has plus the exact skipped runs/bricks,
+  never an exception;
+* a deadline-bounded cluster extraction reports per-node coverage, the
+  skipped span-space bricks, and a :class:`DeadlineReport`; stragglers
+  are speculatively re-executed on their replica host with
+  bit-identical output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.deadline import Deadline, DeadlineReport, QueryClock
+from repro.core.query import execute_query
+from repro.grid.datasets import sphere_field
+from repro.io.faults import FaultPlan
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.scheduler import plan_speculation
+
+ISO = 0.5
+P = 4
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((24, 24, 24))
+
+
+@pytest.fixture(scope="module")
+def dataset(volume):
+    return build_indexed_dataset(volume, (5, 5, 5))
+
+
+@pytest.fixture(scope="module")
+def healthy(volume):
+    cluster = SimulatedCluster(
+        volume, p=P, metacell_shape=(5, 5, 5), replication=2
+    )
+    return cluster.extract(ISO, render=True)
+
+
+def spiky_cluster(volume, victim=2, seed=1, rate=0.25, seconds=0.5):
+    return SimulatedCluster(
+        volume, p=P, metacell_shape=(5, 5, 5), replication=2,
+        fault_plans={
+            victim: FaultPlan(
+                seed=seed, latency_spike_rate=rate, latency_spike_seconds=seconds
+            )
+        },
+    )
+
+
+class TestDeadlineObject:
+    def test_budget_split(self):
+        dl = Deadline(10.0, node_fraction=0.6)
+        assert dl.node_budget == pytest.approx(6.0)
+        assert dl.speculation_budget == pytest.approx(4.0)
+
+    def test_full_fraction_leaves_no_speculation_window(self):
+        dl = Deadline(5.0, node_fraction=1.0)
+        assert dl.speculation_budget == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive_budget(self, bad):
+        with pytest.raises(ValueError):
+            Deadline(bad)
+
+    @pytest.mark.parametrize("frac", [0.0, -0.1, 1.5])
+    def test_rejects_bad_fraction(self, frac):
+        with pytest.raises(ValueError):
+            Deadline(1.0, node_fraction=frac)
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        dl = Deadline(2.0)
+        assert Deadline.coerce(dl) is dl
+        assert Deadline.coerce(3).budget == pytest.approx(3.0)
+        assert Deadline.coerce(0.5).node_fraction == pytest.approx(0.6)
+
+
+class TestQueryClock:
+    def test_elapsed_tracks_device_meter(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        clock = QueryClock(ds.device, limit=None)
+        assert clock.elapsed() == pytest.approx(0.0)
+        execute_query(ds, ISO)
+        assert clock.elapsed() > 0.0
+        assert not clock.expired()
+        assert clock.remaining() == float("inf")
+
+    def test_expiry(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        clock = QueryClock(ds.device, limit=1e-9)
+        execute_query(ds, ISO)
+        assert clock.expired()
+        assert clock.remaining() < 0
+
+    def test_charged_delay_counts_as_elapsed(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        clock = QueryClock(ds.device, limit=1.0)
+        ds.device.stats.charge_delay(2.0)
+        assert clock.elapsed() == pytest.approx(2.0)
+        assert clock.expired()
+
+
+class TestBudgetedQuery:
+    def test_unbudgeted_query_never_expires(self, dataset):
+        res = execute_query(dataset, ISO)
+        assert not res.deadline_expired
+        assert res.skipped_runs == []
+        assert res.n_records_skipped == 0
+        assert res.skipped_bricks == []
+
+    def test_zero_budget_skips_everything(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        full = execute_query(ds, ISO)
+        ds2 = build_indexed_dataset(volume, (5, 5, 5))
+        cut = execute_query(ds2, ISO, time_budget=1e-12)
+        assert cut.deadline_expired
+        assert cut.n_active < full.n_active
+        assert cut.n_active + cut.n_records_skipped >= full.n_active
+
+    def test_partial_records_are_prefix_of_full(self, volume):
+        full = execute_query(build_indexed_dataset(volume, (5, 5, 5)), ISO)
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        half_time = full.io_stats.read_time(ds.device.cost_model) / 2
+        cut = execute_query(ds, ISO, time_budget=half_time)
+        assert cut.deadline_expired
+        got = cut.records.ids
+        # Deterministic cut: the retrieved records are exactly the head
+        # of the full result stream — never reordered, never invented.
+        assert np.array_equal(got, full.records.ids[: len(got)])
+
+    def test_skipped_bricks_are_reported(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        cut = execute_query(ds, ISO, time_budget=1e-12)
+        # Whatever was skipped is attributable: skipped counts cover the
+        # shortfall and any skipped prefix scans name their bricks.
+        assert cut.n_records_skipped > 0
+        assert len(cut.skipped_runs) > 0
+
+
+class TestClusterDeadline:
+    def test_healthy_cluster_meets_generous_deadline(self, volume, healthy):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        res = cluster.extract(ISO, render=True, deadline=healthy.total_time * 3)
+        assert isinstance(res.deadline, DeadlineReport)
+        assert res.deadline.met
+        assert res.coverage == pytest.approx(1.0)
+        assert not res.degraded
+        assert res.deadline.expired_nodes == []
+        assert np.array_equal(res.image.color, healthy.image.color)
+
+    def test_straggler_without_mitigation_yields_partial(self, volume, healthy):
+        cluster = spiky_cluster(volume)
+        res = cluster.extract(
+            ISO, render=True, deadline=healthy.total_time * 3,
+            hedge=None, speculate=False,
+        )
+        assert res.deadline is not None and not res.deadline.met
+        assert res.degraded
+        assert res.coverage < 1.0
+        assert res.deadline.expired_nodes == [2]
+        assert res.nodes[2].deadline_expired
+        assert 0.0 < res.nodes[2].coverage < 1.0
+        assert res.skipped_bricks.get(2), "expected skipped span-space bricks"
+        assert res.failed_nodes == []  # partial, not failed
+
+    def test_speculation_rescues_straggler_bit_identically(
+        self, volume, healthy
+    ):
+        budget = healthy.total_time * 3
+        res = spiky_cluster(volume, seed=7).extract(
+            ISO, render=True, deadline=budget, hedge=None, speculate=True
+        )
+        assert res.deadline.met
+        assert res.coverage == pytest.approx(1.0)
+        assert not res.degraded
+        assert res.deadline.speculated_nodes == [2]
+        host = res.nodes[2].speculated_to
+        assert host is not None and host == res.nodes[2].served_by
+        assert 2 in res.nodes[host].recovered_ranks
+        assert np.array_equal(res.image.color, healthy.image.color)
+        assert np.array_equal(res.image.depth, healthy.image.depth)
+        # The straggler's clock stopped at the cancellation mark; the
+        # host waited for the launch mark before re-executing.
+        dl = res.deadline
+        assert res.nodes[2].io_time <= dl.node_budget + 1e-9
+        assert res.nodes[host].speculation_wait >= 0.0
+        assert res.total_time <= budget + 1e-9
+
+    def test_speculation_needs_a_live_replica(self, volume, healthy):
+        # replication=1: the straggler has no replica host, so the
+        # deadline-partial result stands.
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=1,
+            fault_plans={
+                2: FaultPlan(
+                    seed=1, latency_spike_rate=0.25, latency_spike_seconds=0.5
+                )
+            },
+        )
+        res = cluster.extract(
+            ISO, deadline=healthy.total_time * 3, speculate=True
+        )
+        assert not res.deadline.met
+        assert res.deadline.speculated_nodes == []
+        assert res.coverage < 1.0
+
+    def test_acceptance_demo(self, volume, healthy):
+        """The ISSUE's deterministic demo: same seeded faults, deadline
+        met with hedging, missed (coverage-flagged) without."""
+        budget = healthy.total_time * 3
+        partial = spiky_cluster(volume).extract(
+            ISO, render=True, deadline=budget, hedge=None, speculate=False
+        )
+        rescued = spiky_cluster(volume).extract(
+            ISO, render=True, deadline=budget, hedge=True
+        )
+        assert not partial.deadline.met and partial.degraded
+        assert partial.coverage < 1.0
+        assert rescued.deadline.met and not rescued.degraded
+        assert rescued.coverage == pytest.approx(1.0)
+        assert np.array_equal(rescued.image.color, healthy.image.color)
+        assert np.array_equal(rescued.image.depth, healthy.image.depth)
+
+
+class TestSpeculationPlanning:
+    def test_load_balanced_assignment(self):
+        plan = plan_speculation(
+            [0, 1, 2], {0: [3], 1: [3, 4], 2: [3, 4]}, launch_time=1.5
+        )
+        assert [(d.victim, d.host) for d in plan] == [(0, 3), (1, 4), (2, 3)]
+        assert all(d.launch_time == 1.5 for d in plan)
+
+    def test_victims_without_hosts_are_omitted(self):
+        plan = plan_speculation([0, 1], {0: [], 1: [2]}, launch_time=0.0)
+        assert [(d.victim, d.host) for d in plan] == [(1, 2)]
+
+    def test_deterministic(self):
+        a = plan_speculation([5, 3, 1], {5: [0, 2], 3: [2], 1: [0]}, 2.0)
+        b = plan_speculation([5, 3, 1], {5: [0, 2], 3: [2], 1: [0]}, 2.0)
+        assert a == b

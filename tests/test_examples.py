@@ -34,6 +34,7 @@ CASES = [
     ("multiprocessing_cluster.py", []),
     ("unstructured_mesh.py", []),
     ("fault_tolerance.py", []),
+    ("deadline_query.py", []),
     ("isovalue_explorer.py", []),
     ("mixing_animation.py", ["2"]),
 ]

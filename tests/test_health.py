@@ -1,0 +1,286 @@
+"""Node health state machine: transition table and cluster integration.
+
+The contract under test (see docs/robustness.md):
+
+* scripted observation histories drive exact, assertable transition
+  sequences through HEALTHY -> SUSPECT -> CIRCUIT_OPEN -> HALF_OPEN;
+* incidents classify deterministically (failure > corruption > retries
+  > latency > deadline);
+* a cluster routes around an open circuit proactively (the primary
+  disk sees zero reads), probes after the cooldown, and heals a
+  recovered node — with results bit-identical throughout when a
+  replica exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.io.faults import FaultPlan
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.health import (
+    HealthMonitor,
+    HealthPolicy,
+    HealthState,
+    NodeHealth,
+    Observation,
+)
+
+ISO = 0.5
+P = 4
+
+CLEAN = Observation()
+LATENCY = Observation(fault_delay=1.0)
+RETRIES = Observation(retries=2)
+CORRUPT = Observation(checksum_failures=1)
+FAILED = Observation(failed=True)
+EXPIRED = Observation(deadline_expired=True)
+
+
+def run_script(observations, policy=None):
+    """Feed a scripted observation sequence to one node; returns the
+    visited state after each observation."""
+    node = NodeHealth(rank=0, policy=policy or HealthPolicy())
+    states = []
+    for i, obs in enumerate(observations, start=1):
+        if node.state is HealthState.CIRCUIT_OPEN and obs is None:
+            node.tick_routed(i)
+        else:
+            node.observe(obs, i)
+        states.append(node.state)
+    return node, states
+
+
+class TestIncidentClassification:
+    @pytest.mark.parametrize(
+        "obs,want",
+        [
+            (CLEAN, None),
+            (FAILED, "device-failure"),
+            (CORRUPT, "corruption"),
+            (RETRIES, "retries"),
+            (LATENCY, "latency"),
+            (EXPIRED, "deadline"),
+            (Observation(fault_delay=0.01), None),  # under the threshold
+        ],
+    )
+    def test_classes(self, obs, want):
+        assert obs.incident(HealthPolicy()) == want
+
+    def test_severity_order(self):
+        both = Observation(failed=True, checksum_failures=3, retries=5)
+        assert both.incident(HealthPolicy()) == "device-failure"
+
+
+class TestTransitionTable:
+    """Exact state sequences under scripted fault histories.
+
+    ``None`` in a script means "query passed while routed around"
+    (a tick, not an observation)."""
+
+    def test_healthy_stays_healthy_on_clean(self):
+        _, states = run_script([CLEAN] * 4)
+        assert states == [HealthState.HEALTHY] * 4
+
+    def test_one_incident_suspects(self):
+        _, states = run_script([LATENCY])
+        assert states == [HealthState.SUSPECT]
+
+    def test_suspect_heals_after_clean_streak(self):
+        _, states = run_script([LATENCY, CLEAN, CLEAN])
+        assert states == [
+            HealthState.SUSPECT,
+            HealthState.SUSPECT,
+            HealthState.HEALTHY,
+        ]
+
+    def test_strikes_open_the_circuit(self):
+        node, states = run_script([LATENCY, RETRIES, CORRUPT])
+        assert states == [
+            HealthState.SUSPECT,
+            HealthState.SUSPECT,
+            HealthState.CIRCUIT_OPEN,
+        ]
+        assert node.times_opened == 1
+        assert node.last_incident == "corruption"
+
+    def test_device_failure_opens_immediately(self):
+        _, states = run_script([FAILED])
+        assert states == [HealthState.CIRCUIT_OPEN]
+
+    def test_cooldown_then_half_open_then_heal(self):
+        node, states = run_script(
+            [FAILED, None, None, CLEAN],
+            policy=HealthPolicy(cooldown=2),
+        )
+        assert states == [
+            HealthState.CIRCUIT_OPEN,
+            HealthState.CIRCUIT_OPEN,   # cooldown 2 -> 1
+            HealthState.HALF_OPEN,      # cooldown elapsed
+            HealthState.HEALTHY,        # probe succeeded
+        ]
+        assert node.times_healed == 1
+        assert node.strikes == 0
+
+    def test_failed_probe_reopens(self):
+        node, states = run_script(
+            [FAILED, None, None, LATENCY],
+            policy=HealthPolicy(cooldown=2),
+        )
+        assert states[-1] is HealthState.CIRCUIT_OPEN
+        assert node.times_opened == 2
+        assert node.transitions[-1].reason == "probe failed: latency"
+
+    def test_full_lifecycle_transition_log(self):
+        node, _ = run_script(
+            [LATENCY, LATENCY, LATENCY, None, None, CLEAN],
+            policy=HealthPolicy(cooldown=2),
+        )
+        got = [(t.src, t.dst) for t in node.transitions]
+        assert got == [
+            (HealthState.HEALTHY, HealthState.SUSPECT),
+            (HealthState.SUSPECT, HealthState.CIRCUIT_OPEN),
+            (HealthState.CIRCUIT_OPEN, HealthState.HALF_OPEN),
+            (HealthState.HALF_OPEN, HealthState.HEALTHY),
+        ]
+
+    def test_forced_probes_heal_replica_less_node(self):
+        # CIRCUIT_OPEN but observed directly (no replica to route to):
+        # clean forced probes count toward the cooldown.
+        node, states = run_script(
+            [FAILED, CLEAN, CLEAN, CLEAN],
+            policy=HealthPolicy(cooldown=2),
+        )
+        assert states == [
+            HealthState.CIRCUIT_OPEN,
+            HealthState.CIRCUIT_OPEN,
+            HealthState.HALF_OPEN,
+            HealthState.HEALTHY,
+        ]
+
+    def test_clean_query_resets_healthy_strikes(self):
+        node, _ = run_script([CLEAN], policy=HealthPolicy(suspect_after=2))
+        assert node.strikes == 0
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"suspect_after": 0},
+            {"suspect_after": 3, "open_after": 2},
+            {"cooldown": 0},
+            {"heal_after": 0},
+            {"slow_delay_threshold": -1.0},
+        ],
+    )
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)
+
+
+class TestMonitor:
+    def test_per_node_isolation(self):
+        mon = HealthMonitor(3)
+        mon.begin_query()
+        mon.observe(1, FAILED)
+        assert mon.states() == [
+            HealthState.HEALTHY,
+            HealthState.CIRCUIT_OPEN,
+            HealthState.HEALTHY,
+        ]
+        assert mon.routed_around(1) and not mon.routed_around(0)
+
+    def test_report_mentions_transitions(self):
+        mon = HealthMonitor(2)
+        mon.begin_query()
+        mon.observe(0, FAILED)
+        text = mon.report()
+        assert "circuit-open" in text
+        assert "device-failure" in text
+        assert "healthy -> circuit-open" in text
+
+
+class TestClusterIntegration:
+    def make_spiky(self, volume, victim=2):
+        return SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2,
+            fault_plans={
+                victim: FaultPlan(
+                    seed=3, latency_spike_rate=0.6, latency_spike_seconds=0.2
+                )
+            },
+            health_policy=HealthPolicy(cooldown=2),
+        )
+
+    @pytest.fixture(scope="class")
+    def volume(self):
+        return sphere_field((24, 24, 24))
+
+    def test_circuit_opens_then_routes_around(self, volume):
+        healthy = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        ).extract(ISO, render=True)
+        cluster = self.make_spiky(volume)
+        # Queries 1..3: incidents accumulate (suspect, suspect, open).
+        for _ in range(3):
+            res = cluster.extract(ISO, render=True)
+            assert not any(m.circuit_open for m in res.nodes)
+        assert cluster.health.state(2) is HealthState.CIRCUIT_OPEN
+
+        # Query 4: routed around proactively — primary disk untouched,
+        # replica host serves, result bit-identical.
+        primary_reads_before = cluster.datasets[2].device.stats.blocks_read
+        res = cluster.extract(ISO, render=True)
+        assert cluster.datasets[2].device.stats.blocks_read == \
+            primary_reads_before
+        m = res.nodes[2]
+        assert m.circuit_open and m.served_by is not None
+        assert 2 in res.nodes[m.served_by].recovered_ranks
+        assert not res.degraded
+        assert res.coverage == pytest.approx(1.0)
+        assert np.array_equal(res.image.color, healthy.image.color)
+        assert m.io_stats.fault_delay == 0.0  # no spikes paid
+
+    def test_half_open_probe_heals_recovered_node(self, volume):
+        cluster = self.make_spiky(volume)
+        for _ in range(3):
+            cluster.extract(ISO)
+        assert cluster.health.state(2) is HealthState.CIRCUIT_OPEN
+        cluster.extract(ISO)  # routed: cooldown 2 -> 1
+        cluster.extract(ISO)  # routed: cooldown elapsed -> half-open
+        assert cluster.health.state(2) is HealthState.HALF_OPEN
+        # The disk recovers before the probe query (empty plan = clean).
+        cluster.inject_faults(2, FaultPlan())
+        res = cluster.extract(ISO)
+        assert cluster.health.state(2) is HealthState.HEALTHY
+        assert cluster.health.nodes[2].times_healed == 1
+        assert not res.nodes[2].circuit_open
+
+    def test_failed_probe_reopens_circuit(self, volume):
+        cluster = self.make_spiky(volume)
+        for _ in range(5):
+            cluster.extract(ISO)
+        assert cluster.health.state(2) is HealthState.HALF_OPEN
+        cluster.extract(ISO)  # probe hits the still-spiky disk
+        assert cluster.health.state(2) is HealthState.CIRCUIT_OPEN
+        assert cluster.health.nodes[2].times_opened == 2
+
+    def test_open_circuit_without_replica_still_serves(self, volume):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=1,
+            fault_plans={
+                2: FaultPlan(
+                    seed=3, latency_spike_rate=0.6, latency_spike_seconds=0.2
+                )
+            },
+        )
+        want = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5)
+        ).extract(ISO)
+        for _ in range(4):
+            res = cluster.extract(ISO)
+        # No replica exists: the primary is used as a forced probe and
+        # the result stays complete.
+        assert res.n_triangles == want.n_triangles
+        assert not res.degraded
