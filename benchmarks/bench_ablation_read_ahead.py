@@ -16,23 +16,24 @@ from repro.bench.harness import emit, rm_bench_volume
 from repro.bench.tables import format_table
 from repro.core.analysis import estimate_query_cost
 from repro.core.builder import build_indexed_dataset
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 
 
-def test_ablation_read_ahead(benchmark, cfg):
+def test_ablation_read_ahead(benchmark, cfg, bench_record):
     volume = rm_bench_volume(cfg)
     ds = build_indexed_dataset(volume, cfg.metacell_shape)
     # A Case-2-heavy isovalue: below most splits.
     lam = float(cfg.isovalues[0])
 
     benchmark.pedantic(
-        lambda: execute_query(ds, lam, read_ahead_blocks=8), rounds=3, iterations=1
+        lambda: execute_query(ds, lam, QueryOptions(read_ahead_blocks=8)),
+        rounds=3, iterations=1,
     )
 
     rows = []
     blocks_by_ra = {}
     for ra in (1, 2, 4, 8, 16, 64):
-        res = execute_query(ds, lam, read_ahead_blocks=ra)
+        res = execute_query(ds, lam, QueryOptions(read_ahead_blocks=ra))
         est = estimate_query_cost(
             ds.tree, lam, ds.codec.record_size, ds.device.cost_model,
             ds.base_offset, read_ahead_blocks=ra,
@@ -64,3 +65,11 @@ def test_ablation_read_ahead(benchmark, cfg):
     calls = {r[0]: r[2] for r in rows}
     for a, b in zip(ras, ras[1:]):
         assert calls[b] <= calls[a]
+
+    bench_record.update({
+        "active_metacells": rows[0][1],
+        "blocks_min_read_ahead": blocks_by_ra[ras[0]],
+        "blocks_max_read_ahead": blocks_by_ra[ras[-1]],
+        "read_calls_min_read_ahead": calls[ras[0]],
+        "read_calls_max_read_ahead": calls[ras[-1]],
+    })

@@ -22,7 +22,7 @@ import time
 from repro.bench.harness import emit, rm_bench_volume, scaled_perf_model
 from repro.bench.tables import format_table
 from repro.core.builder import build_indexed_dataset, build_striped_datasets
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.parallel.cluster import SimulatedCluster
 
 
@@ -35,7 +35,7 @@ def _wall(fn, rounds: int = 3) -> float:
     return best
 
 
-def test_fault_overhead(benchmark, cfg):
+def test_fault_overhead(benchmark, cfg, bench_record):
     volume = rm_bench_volume(cfg)
     probe = build_indexed_dataset(volume, cfg.metacell_shape)
     perf = scaled_perf_model(probe)
@@ -63,7 +63,9 @@ def test_fault_overhead(benchmark, cfg):
         assert t_checked <= 1.10 * t_plain  # the <10% budget; actually 0%
         w_plain = _wall(lambda lam=lam: execute_query(plain, float(lam)))
         w_checked = _wall(
-            lambda lam=lam: execute_query(checked, float(lam), verify_checksums=True)
+            lambda lam=lam: execute_query(
+                checked, float(lam), QueryOptions(verify_checksums=True)
+            )
         )
         rows.append([
             int(lam), b.n_active, b.io_stats.blocks_read,
@@ -118,3 +120,11 @@ def test_fault_overhead(benchmark, cfg):
         "the CRC32 pass)\n" + "\n".join(summary),
     )
     emit("fault_overhead.txt", table)
+
+    bench_record.update({
+        "replication_build_ratio": t_r2 / t_r1,
+        "recovery_extra_blocks": extra_blocks,
+        "healthy_total_ms": h.total_time * 1e3,
+        "degraded_total_ms": d.total_time * 1e3,
+        "n_triangles": h.n_triangles,
+    })

@@ -12,12 +12,26 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import BenchConfig, get_sweep
+from repro.bench.harness import BenchConfig, emit_bench_json, get_sweep
 
 
 @pytest.fixture(scope="session")
 def cfg() -> BenchConfig:
     return BenchConfig.from_env()
+
+
+@pytest.fixture
+def bench_record(request, cfg):
+    """Dict a bench fills with its headline numbers; written out as
+    ``benchmarks/output/BENCH_<name>.json`` (schema ``repro-bench/1``)
+    after the test passes.  ``<name>`` is the bench module minus its
+    ``bench_`` prefix.  Leave the dict empty to emit nothing."""
+    record: "dict[str, float]" = {}
+    yield record
+    if record:
+        name = request.module.__name__
+        name = name[len("bench_"):] if name.startswith("bench_") else name
+        emit_bench_json(name, record, scale=cfg.scale)
 
 
 @pytest.fixture(scope="session")

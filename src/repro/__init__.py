@@ -34,6 +34,7 @@ from repro.core import (
     build_persistent_dataset,
     build_striped_datasets,
     build_unstructured_dataset,
+    QueryOptions,
     execute_query,
     extract_unstructured,
     load_dataset,
@@ -63,7 +64,8 @@ from repro.io import (
 )
 from repro.mc import MarchingCubes, TriangleMesh, extract_isosurface
 from repro.pipeline import ExtractionResult, IsosurfacePipeline
-from repro.parallel import ClusterResult, SimulatedCluster
+from repro.parallel import ClusterResult, ExtractRequest, SimulatedCluster
+from repro.obs import MetricsRegistry, Tracer
 from repro.render import Camera, Framebuffer, composite, render_mesh
 
 __all__ = [
@@ -82,6 +84,7 @@ __all__ = [
     "load_dataset",
     "ExternalCompactIndex",
     "execute_query",
+    "QueryOptions",
     # grid
     "Volume",
     "RMInstabilityModel",
@@ -112,6 +115,10 @@ __all__ = [
     # parallel
     "SimulatedCluster",
     "ClusterResult",
+    "ExtractRequest",
+    # obs
+    "Tracer",
+    "MetricsRegistry",
     # render
     "Camera",
     "Framebuffer",

@@ -21,6 +21,8 @@ benches via :func:`get_sweep`.
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -233,3 +235,75 @@ def emit(name: str, text: str) -> None:
     print()
     print(text)
     output_path(name).write_text(text + "\n")
+
+
+# -- machine-readable bench output ------------------------------------------
+
+#: Schema tag stamped into every ``BENCH_<name>.json``; bump on any
+#: incompatible payload change so downstream consumers (CI's
+#: ``tools/check_bench_schema.py``, dashboards) fail loudly instead of
+#: silently mis-parsing.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def validate_bench_payload(payload) -> None:
+    """Raise ``ValueError`` unless *payload* is a valid ``repro-bench/1``
+    document.
+
+    The contract: ``schema`` equals :data:`BENCH_SCHEMA`; ``name`` is a
+    non-empty string; ``scale`` is a positive int; ``metrics`` is a
+    non-empty mapping of string names to finite numbers; an optional
+    ``extra`` mapping carries free-form context (string keys, JSON
+    scalars).  No other top-level keys are allowed.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"bench payload must be a dict, got {type(payload).__name__}")
+    allowed = {"schema", "name", "scale", "metrics", "extra"}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(f"unknown bench payload keys: {sorted(unknown)}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench schema mismatch: want {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"bench name must be a non-empty string, got {name!r}")
+    scale = payload.get("scale")
+    if not isinstance(scale, int) or isinstance(scale, bool) or scale < 1:
+        raise ValueError(f"bench scale must be a positive int, got {scale!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError("bench metrics must be a non-empty dict")
+    for key, value in metrics.items():
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"bench metric names must be non-empty strings, got {key!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"bench metric {key!r} must be a number, got {value!r}")
+        if not math.isfinite(value):
+            raise ValueError(f"bench metric {key!r} must be finite, got {value!r}")
+    extra = payload.get("extra", {})
+    if not isinstance(extra, dict) or any(not isinstance(k, str) for k in extra):
+        raise ValueError("bench extra must be a dict with string keys")
+
+
+def emit_bench_json(name: str, metrics: dict, scale: int = 1,
+                    extra: "dict | None" = None) -> Path:
+    """Persist one bench's headline numbers as ``BENCH_<name>.json``.
+
+    The payload is validated against :data:`BENCH_SCHEMA` before writing
+    and serialized with sorted keys, so same-inputs re-runs produce
+    byte-identical files.  Returns the path written.
+    """
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "scale": scale,
+        "metrics": dict(metrics),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    validate_bench_payload(payload)
+    path = output_path(f"BENCH_{name}.json")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

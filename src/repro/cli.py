@@ -23,7 +23,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.persistence import build_persistent_dataset, load_dataset
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.grid.rm_instability import rm_timestep
 from repro.grid.volume import Volume
 from repro.mc.geometry import TriangleMesh
@@ -115,8 +115,10 @@ def cmd_query(args) -> int:
     res = execute_query(
         ds,
         args.iso,
-        retry_policy=policy,
-        verify_checksums=False if args.no_verify else None,
+        QueryOptions(
+            retry_policy=policy,
+            verify_checksums=False if args.no_verify else None,
+        ),
     )
     io = res.io_stats
     print(f"isovalue {args.iso:g}: {res.n_active} active metacells")
@@ -162,23 +164,30 @@ def _hedge_policy(args):
     return HedgePolicy(quantile=args.hedge_quantile)
 
 
-def _recovery_reason(m) -> str:
-    if m.failed:
-        return "disk failure"
-    if m.speculated_to is not None:
-        return "straggler speculation"
-    if m.circuit_open:
-        return "circuit open (proactive routing)"
-    return "replica read"
+def _extract_request(args, tracer=None, metrics=None):
+    """The single place a cluster command's flags become an
+    :class:`~repro.parallel.cluster.ExtractRequest` — shared by
+    ``cluster``, ``health``, ``trace``, and ``metrics`` so every
+    subcommand runs the exact same extraction."""
+    from repro.parallel.cluster import ExtractRequest
+
+    return ExtractRequest(
+        deadline=args.deadline,
+        hedge=_hedge_policy(args),
+        tracer=tracer,
+        metrics=metrics,
+    )
 
 
 def cmd_cluster(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace, write_metrics_json
+
     cluster = _build_cluster(args)
     for rank in args.fail_node or []:
         cluster.fail_node(rank)
-    res = cluster.extract(
-        args.iso, deadline=args.deadline, hedge=_hedge_policy(args)
-    )
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    res = cluster.extract(args.iso, _extract_request(args, tracer, registry))
     status = "DEGRADED (partial result)" if res.degraded else "complete"
     print(f"isovalue {args.iso:g} on p={args.nodes} "
           f"(replication r={args.replication}): {status}")
@@ -229,7 +238,15 @@ def cmd_cluster(args) -> int:
         print("  recovery attribution:")
         for m in served:
             print(f"    node {m.node_rank} <- replica on node {m.served_by} "
-                  f"[{_recovery_reason(m)}]")
+                  f"[{m.recovery_reason.replace('-', ' ')}]")
+    if tracer is not None:
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"  trace     : {len(tracer.spans)} spans / "
+              f"{len(tracer.events)} events on {len(tracer.tracks())} "
+              f"tracks -> {path}")
+    if registry is not None:
+        path = write_metrics_json(args.metrics_out, registry)
+        print(f"  metrics   : {len(registry)} instruments -> {path}")
     return 0 if not res.degraded else 1
 
 
@@ -237,10 +254,9 @@ def cmd_health(args) -> int:
     cluster = _build_cluster(args)
     for rank in args.fail_node or []:
         cluster.fail_node(rank)
+    request = _extract_request(args)
     for i in range(args.queries):
-        res = cluster.extract(
-            args.iso, deadline=args.deadline, hedge=_hedge_policy(args)
-        )
+        res = cluster.extract(args.iso, request)
         routed = [m.node_rank for m in res.nodes if m.circuit_open]
         note = f" routed-around: {routed}" if routed else ""
         print(f"query {i + 1}: coverage {res.coverage:.1%}, "
@@ -249,6 +265,55 @@ def cmd_health(args) -> int:
     print()
     print(cluster.health.report())
     return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Tracer, write_chrome_trace
+
+    cluster = _build_cluster(args)
+    for rank in args.fail_node or []:
+        cluster.fail_node(rank)
+    tracer = Tracer()
+    res = cluster.extract(args.iso, _extract_request(args, tracer=tracer))
+    path = write_chrome_trace(args.out, tracer)
+    print(f"isovalue {args.iso:g} on p={args.nodes}: {res.n_triangles} "
+          f"triangles, {res.total_time * 1e3:.2f} ms modeled")
+    print(f"  {'track':>8} {'io ms':>9} {'triangulate ms':>15} "
+          f"{'render ms':>10}")
+    for track in tracer.tracks():
+        if track == "cluster":
+            continue
+        print(f"  {track:>8} "
+              f"{tracer.total('stage.io', track=track) * 1e3:>9.2f} "
+              f"{tracer.total('stage.triangulate', track=track) * 1e3:>15.2f} "
+              f"{tracer.total('stage.render', track=track) * 1e3:>10.2f}")
+    print(f"  composite: {tracer.total('composite') * 1e3:.2f} ms")
+    print(f"wrote {len(tracer.spans)} spans / {len(tracer.events)} events "
+          f"on {len(tracer.tracks())} tracks -> {path}")
+    print("open in chrome://tracing or https://ui.perfetto.dev "
+          "(timestamps are modeled microseconds)")
+    return 0 if not res.degraded else 1
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs import MetricsRegistry, dumps_metrics, write_metrics_json
+
+    cluster = _build_cluster(args)
+    for rank in args.fail_node or []:
+        cluster.fail_node(rank)
+    registry = MetricsRegistry()
+    request = _extract_request(args, metrics=registry)
+    for _ in range(args.queries):
+        res = cluster.extract(args.iso, request)
+    extra = {"isovalue": args.iso, "nodes": args.nodes,
+             "queries": args.queries}
+    if args.out:
+        path = write_metrics_json(args.out, registry, extra)
+        print(f"{len(registry)} instruments after {args.queries} "
+              f"extraction(s) -> {path}")
+    else:
+        print(dumps_metrics(registry, extra), end="")
+    return 0 if not res.degraded else 1
 
 
 def cmd_extract(args) -> int:
@@ -505,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="striped multi-node extraction with failures and replication",
     )
     add_cluster_args(p)
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace-event JSON of the run "
+                        "(modeled clock; byte-identical across same-seed "
+                        "runs)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the run's flat metrics JSON here")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser(
@@ -516,6 +587,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extractions to run against the same cluster "
                         "(default 6)")
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one cluster extraction to Chrome trace-event JSON",
+    )
+    add_cluster_args(p)
+    p.add_argument("--out", default="trace.json",
+                   help="trace file to write (default trace.json)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run cluster extraction(s) and dump the unified metrics",
+    )
+    add_cluster_args(p)
+    p.add_argument("--queries", type=int, default=1,
+                   help="extractions to aggregate (default 1)")
+    p.add_argument("--out", default=None,
+                   help="metrics JSON file (default: print to stdout)")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

@@ -27,6 +27,7 @@ the same ``IOStats``, so degraded runs report honest modeled times.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.io.faults import (
     read_with_retry,
 )
 from repro.io.layout import BrickChecksums, MetacellRecords
+from repro.obs.tracer import NULL_TRACER
 
 #: Blocks fetched per incremental read step.  Chunks after the first are
 #: block-aligned so no block is charged twice within a run.
@@ -50,6 +52,123 @@ DEFAULT_READ_AHEAD_BLOCKS = 8
 #: Upper bound on a single sequential read call, in blocks.  Case 1 runs
 #: longer than this are streamed in consecutive (seek-free) chunks.
 MAX_SEQUENTIAL_CHUNK_BLOCKS = 1024
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Everything configurable about one query's execution, in one place.
+
+    Replaces the kwarg sprawl of :func:`execute_query` /
+    :func:`execute_plan` (``read_ahead_blocks``, ``retry_policy``,
+    ``verify_checksums``, ``time_budget``, plus the new observability
+    hooks).  Frozen: derive variants with :func:`dataclasses.replace`.
+
+    Parameters
+    ----------
+    read_ahead_blocks:
+        Blocks fetched per incremental Case-2 read step.
+    retry_policy:
+        Bounded retry-with-backoff for transient faults (None: the
+        module default).
+    verify_checksums:
+        ``None`` verifies exactly when the dataset carries checksum
+        tables; ``True`` demands them; ``False`` skips verification.
+    time_budget:
+        Modeled-seconds budget; an expired query returns a partial
+        result flagged ``deadline_expired`` (see :func:`execute_plan`).
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer` receiving per-run read
+        spans and fault annotations on the modeled clock (None: the
+        shared no-op tracer — zero overhead).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` absorbing the
+        query's ``IOStats`` and record counts under ``io.*`` /
+        ``query.*`` (None: nothing is published).
+    track:
+        Trace track label for this query's spans (None: inherit the
+        tracer's active track — the cluster sets one per node).
+    """
+
+    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS
+    retry_policy: "RetryPolicy | None" = None
+    verify_checksums: "bool | None" = None
+    time_budget: "float | None" = None
+    tracer: "object | None" = None
+    metrics: "object | None" = None
+    track: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.read_ahead_blocks < 1:
+            raise ValueError(
+                f"read_ahead_blocks must be >= 1, got {self.read_ahead_blocks}"
+            )
+
+
+#: Options used when a caller passes none.
+DEFAULT_QUERY_OPTIONS = QueryOptions()
+
+#: Kwargs the pre-:class:`QueryOptions` API accepted; still honoured
+#: through the deprecation shim below.
+_LEGACY_QUERY_KWARGS = frozenset(
+    {"read_ahead_blocks", "retry_policy", "verify_checksums", "time_budget"}
+)
+
+_legacy_warned: "set[str]" = set()
+
+
+def reset_legacy_warnings() -> None:
+    """Re-arm the warn-once gate of the legacy-kwarg shims (tests)."""
+    _legacy_warned.clear()
+
+
+def warn_legacy_kwargs(fn: str, kwargs: dict, replacement: str,
+                       stacklevel: int = 4) -> None:
+    """Emit the legacy-kwarg :class:`DeprecationWarning` once per
+    (function, kwarg set) per process, attributed to the caller.
+
+    Shared by every options-object shim in the repo (``execute_query``,
+    ``execute_plan``, ``SimulatedCluster.extract``) so tests re-arm them
+    all through one :func:`reset_legacy_warnings`.
+    """
+    key = f"{fn}:{','.join(sorted(kwargs))}"
+    if key in _legacy_warned:
+        return
+    _legacy_warned.add(key)
+    warnings.warn(
+        f"{fn}(..., {', '.join(sorted(kwargs))}) is deprecated; "
+        f"pass {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _coerce_options(
+    options: "QueryOptions | None", kwargs: dict, fn: str
+) -> QueryOptions:
+    """Resolve the ``options``-vs-legacy-kwargs call forms.
+
+    Legacy keyword calls keep working but emit a
+    :class:`DeprecationWarning` once per (function, kwarg set) per
+    process, attributed to the caller.
+    """
+    if options is not None and not isinstance(options, QueryOptions):
+        raise TypeError(
+            f"{fn}() third argument must be a QueryOptions (got "
+            f"{type(options).__name__}); legacy settings go through "
+            f"keywords or QueryOptions fields"
+        )
+    if kwargs:
+        unknown = sorted(set(kwargs) - _LEGACY_QUERY_KWARGS)
+        if unknown:
+            raise TypeError(f"{fn}() got unexpected keyword argument(s) {unknown}")
+        if options is not None:
+            raise TypeError(
+                f"{fn}() got both options= and legacy keyword(s) "
+                f"{sorted(kwargs)}; pass everything in QueryOptions"
+            )
+        warn_legacy_kwargs(fn, kwargs, "options=QueryOptions(...)", stacklevel=4)
+        return QueryOptions(**kwargs)
+    return options if options is not None else DEFAULT_QUERY_OPTIONS
 
 
 @dataclass
@@ -112,7 +231,8 @@ class QueryResult:
 
 
 def _stream_extent(device, start: int, length: int, chunk_blocks: int,
-                   policy: RetryPolicy = DEFAULT_RETRY_POLICY):
+                   policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+                   tracer=NULL_TRACER):
     """Yield buffers covering ``[start, start+length)`` without charging any
     block twice: the first chunk ends on a block boundary, later chunks are
     block-aligned.  Transient read errors are retried per ``policy``."""
@@ -123,7 +243,7 @@ def _stream_extent(device, start: int, length: int, chunk_blocks: int,
         # End of the current chunk: a block boundary at most chunk_blocks away.
         boundary = ((pos // bs) + chunk_blocks) * bs
         stop = min(boundary, end)
-        yield read_with_retry(device, pos, stop - pos, policy)
+        yield read_with_retry(device, pos, stop - pos, policy, tracer)
         pos = stop
 
 
@@ -133,6 +253,7 @@ def _verify_or_repair(
     chunk: bytes,
     policy: RetryPolicy,
     checks: BrickChecksums,
+    tracer=NULL_TRACER,
 ) -> bytes:
     """Verify a run of complete records, re-reading corrupted spans.
 
@@ -152,6 +273,11 @@ def _verify_or_repair(
         device.stats.retries += 1
         device.stats.charge_delay(policy.backoff_for(attempt))
         lo, hi = int(bad[0]), int(bad[-1]) + 1
+        tracer.instant(
+            "checksum.repair", category="fault",
+            args={"records": [start_pos + lo, start_pos + hi],
+                  "corrupt": len(bad), "attempt": attempt + 1},
+        )
         repaired = read_with_retry(
             device, dataset.record_offset(start_pos + lo), (hi - lo) * rec, policy
         )
@@ -175,6 +301,7 @@ def _stream_records(
     chunk_blocks: int,
     policy: RetryPolicy,
     checks: "BrickChecksums | None",
+    tracer=NULL_TRACER,
 ):
     """Yield verified :class:`MetacellRecords` batches for the records at
     layout positions ``[start_pos, start_pos + max_records)``.
@@ -188,7 +315,7 @@ def _stream_records(
     pos = start_pos
     for buf in _stream_extent(
         dataset.device, dataset.record_offset(start_pos), max_records * rec,
-        chunk_blocks, policy,
+        chunk_blocks, policy, tracer,
     ):
         pending += buf
         n_complete = len(pending) // rec
@@ -197,7 +324,7 @@ def _stream_records(
         chunk = pending[: n_complete * rec]
         pending = pending[n_complete * rec :]
         if checks is not None:
-            chunk = _verify_or_repair(dataset, pos, chunk, policy, checks)
+            chunk = _verify_or_repair(dataset, pos, chunk, policy, checks, tracer)
         yield codec.decode(chunk)
         pos += n_complete
     if pending:
@@ -210,30 +337,35 @@ def _stream_records(
 def execute_query(
     dataset: IndexedDataset,
     lam: float,
-    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
-    retry_policy: RetryPolicy | None = None,
-    verify_checksums: "bool | None" = None,
-    time_budget: "float | None" = None,
+    options: "QueryOptions | None" = None,
+    **legacy_kwargs,
 ) -> QueryResult:
-    """Run the full out-of-core query for isovalue ``lam`` on one node."""
-    plan = dataset.tree.plan_query(lam)
-    return execute_plan(
-        dataset,
-        plan,
-        read_ahead_blocks=read_ahead_blocks,
-        retry_policy=retry_policy,
-        verify_checksums=verify_checksums,
-        time_budget=time_budget,
-    )
+    """Run the full out-of-core query for isovalue ``lam`` on one node.
+
+    Configuration goes through ``options``
+    (:class:`QueryOptions`); the pre-1.1 keyword arguments
+    (``read_ahead_blocks``, ``retry_policy``, ``verify_checksums``,
+    ``time_budget``) still work via a deprecation shim that warns once.
+    """
+    opts = _coerce_options(options, legacy_kwargs, "execute_query")
+    tracer = opts.tracer or NULL_TRACER
+    with tracer.span(
+        "query.plan", track=opts.track, category="plan",
+        args={"lam": float(lam)},
+    ) as sp:
+        plan = dataset.tree.plan_query(lam)
+        sp.merge_args(
+            runs=len(plan.runs),
+            bricks_skipped=plan.bricks_skipped,
+        )
+    return execute_plan(dataset, plan, opts)
 
 
 def execute_plan(
     dataset: IndexedDataset,
     plan: QueryPlan,
-    read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS,
-    retry_policy: RetryPolicy | None = None,
-    verify_checksums: "bool | None" = None,
-    time_budget: "float | None" = None,
+    options: "QueryOptions | None" = None,
+    **legacy_kwargs,
 ) -> QueryResult:
     """Execute an already-computed I/O plan against the dataset's device.
 
@@ -242,20 +374,25 @@ def execute_plan(
     :mod:`repro.core.external_tree` — can reuse the exact same record
     retrieval machinery and accounting.
 
-    ``verify_checksums=None`` (default) verifies exactly when the
-    dataset carries checksum tables; ``True`` demands them (raising if
-    absent); ``False`` skips verification.
+    ``options`` is a :class:`QueryOptions`; legacy keyword calls go
+    through the same deprecation shim as :func:`execute_query`.
 
-    ``time_budget`` bounds the query in *modeled* seconds (the device
-    meter's clock, which includes injected latency, retry backoff, and
-    hedge waits).  When the budget runs out the remaining runs are
-    skipped and the result comes back partial with
+    ``options.verify_checksums=None`` (default) verifies exactly when
+    the dataset carries checksum tables; ``True`` demands them (raising
+    if absent); ``False`` skips verification.
+
+    ``options.time_budget`` bounds the query in *modeled* seconds (the
+    device meter's clock, which includes injected latency, retry
+    backoff, and hedge waits).  When the budget runs out the remaining
+    runs are skipped and the result comes back partial with
     ``deadline_expired=True`` — already-read records are kept, blocks
     already fetched stay charged, and no exception is raised.
     """
-    if read_ahead_blocks < 1:
-        raise ValueError(f"read_ahead_blocks must be >= 1, got {read_ahead_blocks}")
-    policy = retry_policy or DEFAULT_RETRY_POLICY
+    opts = _coerce_options(options, legacy_kwargs, "execute_plan")
+    policy = opts.retry_policy or DEFAULT_RETRY_POLICY
+    tracer = opts.tracer or NULL_TRACER
+    read_ahead_blocks = opts.read_ahead_blocks
+    verify_checksums = opts.verify_checksums
     # getattr: duck-typed datasets (e.g. the unstructured pipeline) may
     # predate checksum tables entirely.
     checksums = getattr(dataset, "checksums", None)
@@ -270,52 +407,82 @@ def execute_plan(
     lam = plan.lam
 
     stats_before = device.stats.copy()
-    clock = QueryClock(device, time_budget)
+    clock = QueryClock(device, opts.time_budget)
     batches: list[MetacellRecords] = []
     n_read = 0
     skipped_runs: list = []
     n_skipped = 0
 
-    for run in plan.runs:
-        if clock.expired():
-            skipped_runs.append(run)
-            n_skipped += (
-                run.count if isinstance(run, SequentialRun) else run.max_count
-            )
-            continue
-        if isinstance(run, SequentialRun):
-            got = 0
-            for batch in _stream_records(
-                dataset, run.start, run.count, MAX_SEQUENTIAL_CHUNK_BLOCKS,
-                policy, checks,
-            ):
-                batches.append(batch)
-                n_read += len(batch)
-                got += len(batch)
-                if clock.expired():
-                    break
-            if got < run.count:
+    qspan = tracer.span(
+        "query.execute", track=opts.track, category="query",
+        args={"lam": float(lam), "runs": len(plan.runs)},
+    )
+    try:
+        for run in plan.runs:
+            if clock.expired():
                 skipped_runs.append(run)
-                n_skipped += run.count - got
-        elif isinstance(run, BrickPrefixScan):
-            batch, decoded, aborted = _scan_brick_prefix(
-                dataset, run, lam, read_ahead_blocks, policy, checks, clock
-            )
-            n_read += decoded
-            if batch is not None and len(batch):
-                batches.append(batch)
-            if aborted:
-                skipped_runs.append(run)
-                n_skipped += run.max_count - decoded
-        else:  # pragma: no cover - future run types
-            raise TypeError(f"unknown run type {type(run).__name__}")
+                skip = run.count if isinstance(run, SequentialRun) else run.max_count
+                n_skipped += skip
+                qspan.annotate(
+                    "query.run_skipped",
+                    {"records": skip, "reason": "time budget expired"},
+                )
+                continue
+            if isinstance(run, SequentialRun):
+                got = 0
+                with tracer.io_span(
+                    "read.sequential_run", device, track=opts.track,
+                    args={"start": run.start, "count": run.count},
+                ):
+                    for batch in _stream_records(
+                        dataset, run.start, run.count,
+                        MAX_SEQUENTIAL_CHUNK_BLOCKS, policy, checks, tracer,
+                    ):
+                        batches.append(batch)
+                        n_read += len(batch)
+                        got += len(batch)
+                        if clock.expired():
+                            break
+                if got < run.count:
+                    skipped_runs.append(run)
+                    n_skipped += run.count - got
+                    qspan.annotate(
+                        "query.run_cut",
+                        {"records_left": run.count - got,
+                         "reason": "time budget expired"},
+                    )
+            elif isinstance(run, BrickPrefixScan):
+                with tracer.io_span(
+                    "read.brick_prefix", device, track=opts.track,
+                    args={"brick": run.brick_id, "max_count": run.max_count},
+                ):
+                    batch, decoded, aborted = _scan_brick_prefix(
+                        dataset, run, lam, read_ahead_blocks, policy, checks,
+                        clock, tracer,
+                    )
+                n_read += decoded
+                if batch is not None and len(batch):
+                    batches.append(batch)
+                if aborted:
+                    skipped_runs.append(run)
+                    n_skipped += run.max_count - decoded
+                    qspan.annotate(
+                        "query.brick_cut",
+                        {"brick": run.brick_id,
+                         "records_left": run.max_count - decoded,
+                         "reason": "time budget expired"},
+                    )
+            else:  # pragma: no cover - future run types
+                raise TypeError(f"unknown run type {type(run).__name__}")
+    finally:
+        qspan.close()
 
     io_stats = device.stats.copy() - stats_before
 
     records = (
         MetacellRecords.concat(batches) if batches else MetacellRecords.empty(codec)
     )
-    return QueryResult(
+    result = QueryResult(
         lam=float(lam),
         records=records,
         plan=plan,
@@ -324,6 +491,24 @@ def execute_plan(
         deadline_expired=bool(skipped_runs),
         skipped_runs=skipped_runs,
         n_records_skipped=n_skipped,
+    )
+    if opts.metrics is not None:
+        _publish_query_metrics(opts.metrics, result, device)
+    return result
+
+
+def _publish_query_metrics(registry, result: QueryResult, device) -> None:
+    """Fold one query's accounting into the unified metrics namespace."""
+    registry.absorb_io_stats(result.io_stats)
+    registry.inc("query.count")
+    registry.inc("query.records_read", result.n_records_read)
+    registry.inc("query.active_metacells", result.n_active)
+    registry.inc("query.records_skipped", result.n_records_skipped)
+    registry.inc("query.runs_skipped", len(result.skipped_runs))
+    if result.deadline_expired:
+        registry.inc("query.deadline_expired")
+    registry.observe(
+        "query.io_seconds", result.io_stats.read_time(device.cost_model)
     )
 
 
@@ -335,6 +520,7 @@ def _scan_brick_prefix(
     policy: RetryPolicy,
     checks: "BrickChecksums | None",
     clock: "QueryClock | None" = None,
+    tracer=NULL_TRACER,
 ):
     """Incrementally read one brick until ``vmin > lam``, brick end, or
     the time budget expires.
@@ -348,7 +534,8 @@ def _scan_brick_prefix(
     actives: list[MetacellRecords] = []
     aborted = False
     for batch in _stream_records(
-        dataset, run.start, run.max_count, read_ahead_blocks, policy, checks
+        dataset, run.start, run.max_count, read_ahead_blocks, policy, checks,
+        tracer,
     ):
         decoded += len(batch)
         over = np.flatnonzero(batch.vmins.astype(np.float64) > lam)

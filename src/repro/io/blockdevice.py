@@ -92,6 +92,16 @@ class IOStats:
     def copy(self) -> "IOStats":
         return IOStats(**vars(self))
 
+    def as_dict(self) -> "dict[str, int | float]":
+        """Counter name -> value, for the metrics namespace.
+
+        Field names are kept verbatim (``blocks_read``, ``seeks``,
+        ``hedge_wins``, ...) so ``io.<field>`` in a
+        :class:`~repro.obs.metrics.MetricsRegistry` is always exactly
+        this struct, unified across every device in a run.
+        """
+        return dict(vars(self))
+
     def reset(self) -> None:
         for name in vars(self):
             setattr(self, name, 0.0 if name == "fault_delay" else 0)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.io.blockdevice import IOStats
 from repro.io.cost_model import IOCostModel, latency_quantile
+from repro.obs.tracer import NULL_TRACER
 
 
 class StorageFault(IOError):
@@ -322,7 +323,8 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 
 
 def read_with_retry(
-    device, offset: int, nbytes: int, policy: RetryPolicy = DEFAULT_RETRY_POLICY
+    device, offset: int, nbytes: int, policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    tracer=NULL_TRACER,
 ) -> bytes:
     """Read an extent, retrying transient errors with modeled backoff.
 
@@ -330,7 +332,8 @@ def read_with_retry(
     and seek on the device meter), bumps ``stats.retries``, and adds the
     backoff delay to ``stats.fault_delay``.  Permanent failures
     (:class:`DeviceFailedError`) propagate immediately; exhausting the
-    budget raises :class:`RetryExhaustedError`.
+    budget raises :class:`RetryExhaustedError`.  Each retry drops an
+    ``io.retry`` instant on the tracer's active track.
     """
     attempt = 0
     while True:
@@ -344,6 +347,12 @@ def read_with_retry(
                 ) from exc
             device.stats.retries += 1
             device.stats.charge_delay(policy.backoff_for(attempt))
+            tracer.instant(
+                "io.retry", category="fault",
+                args={"extent": [offset, offset + nbytes],
+                      "attempt": attempt + 1,
+                      "backoff": policy.backoff_for(attempt)},
+            )
             attempt += 1
 
 
@@ -441,6 +450,7 @@ class HedgedDevice:
         replica,
         replica_base: int,
         policy: HedgePolicy | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.primary = primary
         self.replica = replica
@@ -450,6 +460,9 @@ class HedgedDevice:
         self.cost_model: IOCostModel = primary.cost_model
         self.stats = IOStats()
         self._history: "list[float]" = []
+        #: Tracer receiving ``hedge.fired`` / ``hedge.win`` instants on
+        #: its active track (the no-op tracer by default).
+        self.tracer = tracer
 
     @property
     def size(self) -> int:
@@ -489,6 +502,11 @@ class HedgedDevice:
             return data
         # Hedge: re-issue against the replica region at the threshold mark.
         self.stats.hedged_reads += 1
+        self.tracer.instant(
+            "hedge.fired", category="fault",
+            args={"extent": [offset, offset + nbytes],
+                  "primary_seconds": t_p, "threshold": threshold},
+        )
         r_offset = offset - self.primary_base + self.replica_base
         r_before = self.replica.stats.copy()
         try:
@@ -505,6 +523,11 @@ class HedgedDevice:
             # plus the replica transfer; the primary's slow read keeps
             # burdening only the primary's own meter.
             self.stats.hedge_wins += 1
+            self.tracer.instant(
+                "hedge.win", category="fault",
+                args={"extent": [offset, offset + nbytes],
+                      "primary_seconds": t_p, "effective_seconds": t_r},
+            )
             eff = delta_r.copy()
             eff.fault_delay += threshold
             self.stats += eff

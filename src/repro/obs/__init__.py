@@ -1,0 +1,60 @@
+"""Observability: structured tracing and metrics on the modeled clock.
+
+The paper's performance claims (Sections 6-7) are statements about
+per-stage time: I/O-optimal retrieval, balanced triangulation, bounded
+compositing overhead.  This package makes those quantities *visible*
+without perturbing them:
+
+* :class:`~repro.obs.tracer.Tracer` opens nested spans per pipeline
+  stage (plan, brick read, checksum verify, triangulate, rasterize,
+  composite) whose timestamps are **modeled seconds** read off the
+  device meters — so traces are deterministic and seed-reproducible,
+  byte for byte.
+* :class:`~repro.obs.metrics.MetricsRegistry` unifies the formerly
+  disconnected counters (``IOStats``, ``NodeMetrics``, health
+  transitions, deadline coverage) into one flat, queryable namespace.
+* :mod:`~repro.obs.export` writes Chrome trace-event JSON (loadable in
+  ``chrome://tracing`` / Perfetto) and a flat metrics JSON.
+
+The default tracer is :data:`~repro.obs.tracer.NULL_TRACER`, a shared
+no-op: uninstrumented runs pay nothing beyond an attribute check, and
+healthy-path I/O accounting is untouched either way (tracing only
+*reads* the meters the pipeline already keeps).
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    dumps_chrome_trace,
+    dumps_metrics,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventRecord,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    coerce_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "coerce_tracer",
+    "Span",
+    "SpanRecord",
+    "EventRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "dumps_metrics",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,85 @@
+"""Deterministic trace/metrics serialization.
+
+Chrome trace-event format (the ``chrome://tracing`` / Perfetto JSON
+flavour): spans become complete events (``"ph": "X"``) with microsecond
+timestamps, instant annotations become ``"ph": "i"`` events, and each
+modeled track (cluster, node0, node1, ...) is named via thread-name
+metadata events.  Everything is sorted by a deterministic key and
+serialized with sorted keys and fixed separators, so two same-seed runs
+produce **byte-identical** files — the reproducibility contract the
+acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Trace timestamps are microseconds of modeled time.
+_US = 1e6
+
+
+def _track_ids(tracer) -> "dict[str, int]":
+    """Stable track -> tid mapping (sorted track names, tid from 1)."""
+    return {name: i + 1 for i, name in enumerate(tracer.tracks())}
+
+
+def chrome_trace_events(tracer) -> "list[dict]":
+    """The tracer's contents as a list of Chrome trace-event dicts."""
+    tids = _track_ids(tracer)
+    events: "list[tuple]" = []
+    for name, tid in tids.items():
+        events.append((tid, -1.0, 0.0, 0, {
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": name},
+        }))
+    for s in tracer.spans:
+        tid = tids[s.track]
+        events.append((tid, s.start, -s.duration, s.seq, {
+            "ph": "X", "pid": 1, "tid": tid, "name": s.name,
+            "cat": s.category, "ts": s.start * _US, "dur": s.duration * _US,
+            "args": dict(s.args),
+        }))
+    for e in tracer.events:
+        tid = tids[e.track]
+        events.append((tid, e.time, 0.0, e.seq, {
+            "ph": "i", "pid": 1, "tid": tid, "name": e.name,
+            "cat": e.category, "ts": e.time * _US, "s": "t",
+            "args": dict(e.args),
+        }))
+    # Sort: per track, by start time, longest span first (so parents
+    # precede their children at equal timestamps), then emission order.
+    events.sort(key=lambda t: t[:4])
+    return [ev for *_, ev in events]
+
+
+def dumps_chrome_trace(tracer) -> str:
+    """Chrome-loadable JSON text (deterministic bytes)."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "modeled-seconds", "source": "repro.obs"},
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path, tracer) -> Path:
+    """Write the trace as Chrome trace-event JSON; returns the path."""
+    p = Path(path)
+    p.write_text(dumps_chrome_trace(tracer))
+    return p
+
+
+def dumps_metrics(registry, extra: "dict | None" = None) -> str:
+    """Flat metrics JSON text: one sorted ``{name: value}`` mapping."""
+    doc = {"schema": "repro-metrics/1", "metrics": registry.to_dict()}
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def write_metrics_json(path, registry, extra: "dict | None" = None) -> Path:
+    """Write the registry as flat metrics JSON; returns the path."""
+    p = Path(path)
+    p.write_text(dumps_metrics(registry, extra))
+    return p

@@ -1,0 +1,184 @@
+"""One queryable namespace for every counter the pipeline keeps.
+
+Before this module, the repo's observability was four disconnected
+structs: :class:`~repro.io.blockdevice.IOStats` (device meters),
+:class:`~repro.parallel.metrics.NodeMetrics` (per-node stage times),
+:class:`~repro.core.deadline.DeadlineReport` (budget accounting), and
+the health monitor's transition log.  A :class:`MetricsRegistry` unifies
+them under dotted names (``io.blocks_read``, ``node.2.coverage``,
+``cluster.recovery.replica-read``, ``health.transitions``, ...) with
+three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — last-written value (``set``);
+* :class:`Histogram` — count/sum/min/max of observations (``observe``).
+
+``to_dict()`` flattens everything into one sorted ``{name: number}``
+mapping (histograms contribute ``name.count`` / ``name.sum`` /
+``name.min`` / ``name.max``), which is what the flat metrics JSON
+exporter and the ``repro metrics`` CLI print.  All values derive from
+counted work on the modeled clock, so registries are deterministic
+across same-seed runs.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonically increasing metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: "int | float" = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: "int | float" = 0
+
+    def set(self, value: "int | float") -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observations: count, sum, min, max."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum: "int | float" = 0
+        self.min: "int | float | None" = None
+        self.max: "int | float | None" = None
+
+    def observe(self, value: "int | float") -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms in one flat namespace.
+
+    A name belongs to exactly one instrument kind; re-registering it as
+    a different kind raises, which catches namespace collisions early.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.inc("io.blocks_read", 42)
+    >>> reg.set_gauge("cluster.coverage", 1.0)
+    >>> reg.observe("io.read_seconds", 0.5)
+    >>> reg.observe("io.read_seconds", 1.5)
+    >>> reg.to_dict()["io.blocks_read"]
+    42
+    >>> reg.to_dict()["io.read_seconds.mean"]
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    # -- instrument access ----------------------------------------------
+
+    def _check_free(self, name: str, kind: "dict") -> None:
+        for store, label in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if store is not kind and name in store:
+                raise ValueError(f"metric {name!r} already registered as a {label}")
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_free(name, self._counters)
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_free(name, self._gauges)
+            self._gauges[name] = Gauge()
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._check_free(name, self._histograms)
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    # -- conveniences ---------------------------------------------------
+
+    def inc(self, name: str, amount: "int | float" = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: "int | float") -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: "int | float") -> None:
+        self.histogram(name).observe(value)
+
+    def absorb_io_stats(self, stats, prefix: str = "io") -> None:
+        """Fold an :class:`~repro.io.blockdevice.IOStats` (or anything
+        with its counter attributes) into ``{prefix}.*`` counters.
+
+        This is the unification point: every device meter in a run —
+        node disks, hedged wrappers, replica hosts — lands in the same
+        namespace, additive.
+        """
+        for name, value in stats.as_dict().items():
+            self.inc(f"{prefix}.{name}", value)
+
+    # -- queries and export ---------------------------------------------
+
+    def query(self, prefix: str) -> "dict[str, int | float]":
+        """Flat view of every metric whose name starts with ``prefix``."""
+        return {
+            k: v for k, v in self.to_dict().items()
+            if k == prefix or k.startswith(prefix + ".")
+        }
+
+    def value(self, name: str) -> "int | float":
+        """The current value of a counter or gauge by exact name."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        raise KeyError(f"no counter or gauge named {name!r}")
+
+    def to_dict(self) -> "dict[str, int | float]":
+        """Everything, flattened and sorted by name."""
+        out: "dict[str, int | float]" = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[f"{name}.count"] = h.count
+            out[f"{name}.sum"] = h.sum
+            out[f"{name}.mean"] = h.mean
+            if h.min is not None:
+                out[f"{name}.min"] = h.min
+                out[f"{name}.max"] = h.max
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

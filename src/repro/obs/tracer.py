@@ -1,0 +1,364 @@
+"""Structured spans on the modeled clock.
+
+A :class:`Tracer` records what the pipeline did and how long each part
+took in **modeled seconds** — the same clock the cost model derives from
+counted blocks, seeks, and injected fault delay.  Wall time never enters
+a trace, which is what makes two same-seed runs produce byte-identical
+trace files (the property ``tests/test_trace_cluster.py`` pins).
+
+Time model
+----------
+Every span lives on a *track* (one per simulated node, plus a cluster
+track), and each track carries a monotone cursor starting at 0.0.  A
+span opened on a track starts at the track's cursor; code inside the
+span *charges* modeled seconds (usually a device-meter delta), which
+advances the cursor; closing the span fixes its duration as the cursor
+movement while it was open.  Children therefore nest exactly inside
+their parent and their durations sum to at most the parent's — the
+invariant the span tests assert.
+
+Summary spans whose extent is only known after the fact (a node's final
+accounted stage times, the composite step) are emitted explicitly with
+:meth:`Tracer.record`.
+
+The module-level :data:`NULL_TRACER` is the shared no-op used whenever
+no tracer was supplied; its methods do nothing and allocate nothing, so
+the un-traced hot path stays effectively free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Track used when a span is opened with no track and none is active.
+DEFAULT_TRACK = "main"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: a named interval of modeled time on a track."""
+
+    name: str
+    category: str
+    track: str
+    start: float
+    duration: float
+    args: "dict"
+    seq: int
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant annotation (hedge fired, retry, speculation, ...)."""
+
+    name: str
+    category: str
+    track: str
+    time: float
+    args: "dict"
+    seq: int
+
+
+class Span:
+    """An open span; context-manager handle returned by :meth:`Tracer.span`.
+
+    While open, :meth:`charge` advances the owning track's modeled
+    cursor (and thereby this span's eventual duration), and
+    :meth:`annotate` drops instant events at the current cursor.
+    """
+
+    __slots__ = ("_tracer", "name", "category", "track", "start", "args", "_closed")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, track: str,
+                 start: float, args: "dict") -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.args = args
+        self._closed = False
+
+    def charge(self, seconds: float) -> None:
+        """Advance this span's track cursor by ``seconds`` of modeled time."""
+        self._tracer.charge(seconds, track=self.track)
+
+    def annotate(self, name: str, args: "dict | None" = None,
+                 category: "str | None" = None) -> None:
+        """Record an instant event at the current cursor of this track."""
+        self._tracer.instant(
+            name, args=args, track=self.track,
+            category=category or self.category,
+        )
+
+    def merge_args(self, **kwargs) -> None:
+        """Attach (or overwrite) args on the span record."""
+        self.args.update(kwargs)
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tracer._close_span(self)
+
+
+class Tracer:
+    """Collects spans and instant events on per-track modeled clocks.
+
+    Examples
+    --------
+    >>> tr = Tracer()
+    >>> with tr.span("extract", track="node0") as sp:
+    ...     with tr.span("read") as rd:      # inherits track "node0"
+    ...         rd.charge(0.25)
+    ...     sp.annotate("hedge.fired")
+    >>> [(s.name, s.start, s.duration) for s in tr.spans]
+    [('read', 0.0, 0.25), ('extract', 0.0, 0.25)]
+    >>> tr.cursor("node0")
+    0.25
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: "list[SpanRecord]" = []
+        self.events: "list[EventRecord]" = []
+        self._cursor: "dict[str, float]" = {}
+        self._open: "list[Span]" = []
+        self._seq = 0
+
+    # -- clock ----------------------------------------------------------
+
+    def cursor(self, track: "str | None" = None) -> float:
+        """Current modeled time of ``track`` (default: the active track)."""
+        return self._cursor.get(self._resolve_track(track), 0.0)
+
+    def charge(self, seconds: float, track: "str | None" = None) -> None:
+        """Advance a track's cursor by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        key = self._resolve_track(track)
+        self._cursor[key] = self._cursor.get(key, 0.0) + seconds
+
+    def seek(self, track: str, t: float) -> None:
+        """Move a track's cursor forward to at least ``t`` (monotone)."""
+        self._cursor[track] = max(self._cursor.get(track, 0.0), t)
+
+    def _resolve_track(self, track: "str | None") -> str:
+        if track is not None:
+            return track
+        if self._open:
+            return self._open[-1].track
+        return DEFAULT_TRACK
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, track: "str | None" = None,
+             category: str = "pipeline", args: "dict | None" = None) -> Span:
+        """Open a span at the track cursor; close it to record it.
+
+        ``track=None`` inherits the innermost open span's track (or
+        :data:`DEFAULT_TRACK` at top level), which lets library code emit
+        spans without knowing which node it runs on.
+        """
+        key = self._resolve_track(track)
+        sp = Span(self, name, category, key,
+                  self._cursor.get(key, 0.0), dict(args or {}))
+        self._open.append(sp)
+        return sp
+
+    def _close_span(self, sp: Span) -> None:
+        # Spans close LIFO in correct code; tolerate out-of-order closes
+        # (e.g. a generator finalized late) by removing wherever it is.
+        try:
+            self._open.remove(sp)
+        except ValueError:  # pragma: no cover - double close is a no-op
+            pass
+        end = self._cursor.get(sp.track, 0.0)
+        self.spans.append(SpanRecord(
+            name=sp.name, category=sp.category, track=sp.track,
+            start=sp.start, duration=end - sp.start, args=sp.args,
+            seq=self._next_seq(),
+        ))
+
+    def io_span(self, name: str, device, track: "str | None" = None,
+                category: str = "io", args: "dict | None" = None) -> "_IOSpan":
+        """A span whose duration is the modeled read time charged to
+        ``device``'s meter while it was open (blocks, seeks, fault
+        delay — everything :meth:`IOStats.read_time` covers)."""
+        return _IOSpan(self, name, device, track, category, args)
+
+    def record(self, name: str, track: str, start: float, duration: float,
+               category: str = "pipeline", args: "dict | None" = None) -> None:
+        """Emit a span with explicit extent (post-hoc summary spans)."""
+        if duration < 0:
+            raise ValueError(f"span duration must be >= 0, got {duration}")
+        self.spans.append(SpanRecord(
+            name=name, category=category, track=track, start=start,
+            duration=duration, args=dict(args or {}), seq=self._next_seq(),
+        ))
+        self.seek(track, start + duration)
+
+    def instant(self, name: str, args: "dict | None" = None,
+                track: "str | None" = None, category: str = "event") -> None:
+        """Record an instant event at the current cursor of ``track``."""
+        key = self._resolve_track(track)
+        self.events.append(EventRecord(
+            name=name, category=category, track=key,
+            time=self._cursor.get(key, 0.0), args=dict(args or {}),
+            seq=self._next_seq(),
+        ))
+
+    # -- queries --------------------------------------------------------
+
+    def tracks(self) -> "list[str]":
+        """Every track that appeared, in deterministic (sorted) order."""
+        seen = {s.track for s in self.spans} | {e.track for e in self.events}
+        return sorted(seen)
+
+    def find(self, name: "str | None" = None, category: "str | None" = None,
+             track: "str | None" = None) -> "list[SpanRecord]":
+        """Closed spans matching every given filter, in emission order."""
+        return [
+            s for s in self.spans
+            if (name is None or s.name == name)
+            and (category is None or s.category == category)
+            and (track is None or s.track == track)
+        ]
+
+    def total(self, name: "str | None" = None, category: "str | None" = None,
+              track: "str | None" = None) -> float:
+        """Summed duration of matching spans.
+
+        Use a *leaf or summary* span name to avoid double counting —
+        nested spans each carry their own full duration.
+        """
+        return sum(s.duration for s in self.find(name, category, track))
+
+
+class _IOSpan:
+    """Context manager pairing a span with a device-meter delta."""
+
+    __slots__ = ("_tracer", "_name", "_device", "_track", "_category",
+                 "_args", "_before", "_span")
+
+    def __init__(self, tracer, name, device, track, category, args) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._device = device
+        self._track = track
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> Span:
+        self._before = self._device.stats.copy()
+        self._span = self._tracer.span(
+            self._name, track=self._track, category=self._category,
+            args=self._args,
+        )
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        delta = self._device.stats - self._before
+        self._span.charge(delta.read_time(self._device.cost_model))
+        self._span.merge_args(
+            blocks=delta.blocks_read, seeks=delta.seeks,
+            bytes=delta.bytes_read,
+        )
+        if delta.retries or delta.checksum_failures:
+            self._span.merge_args(
+                retries=delta.retries,
+                checksum_failures=delta.checksum_failures,
+            )
+        self._span.close()
+
+
+class _NullSpan:
+    """Inert span handle; every method is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def charge(self, seconds: float) -> None:
+        return None
+
+    def annotate(self, name: str, args=None, category=None) -> None:
+        return None
+
+    def merge_args(self, **kwargs) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Shared do-nothing tracer: the zero-overhead disabled default.
+
+    Matches the :class:`Tracer` surface used by instrumented code; every
+    call returns immediately without allocating, so library code never
+    needs ``if tracer is not None`` guards.
+    """
+
+    enabled: bool = False
+    spans: "tuple" = ()
+    events: "tuple" = ()
+
+    def span(self, name, track=None, category="pipeline", args=None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def io_span(self, name, device, track=None, category="io", args=None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name, track, start, duration, category="pipeline", args=None) -> None:
+        return None
+
+    def instant(self, name, args=None, track=None, category="event") -> None:
+        return None
+
+    def charge(self, seconds, track=None) -> None:
+        return None
+
+    def seek(self, track, t) -> None:
+        return None
+
+    def cursor(self, track=None) -> float:
+        return 0.0
+
+    def tracks(self) -> "list[str]":
+        return []
+
+    def find(self, name=None, category=None, track=None) -> "list":
+        return []
+
+    def total(self, name=None, category=None, track=None) -> float:
+        return 0.0
+
+
+#: The shared no-op tracer used when no tracer is supplied.
+NULL_TRACER = NullTracer()
+
+
+def coerce_tracer(tracer: "Tracer | NullTracer | None"):
+    """``None`` -> :data:`NULL_TRACER`; anything else passes through."""
+    return NULL_TRACER if tracer is None else tracer

@@ -13,7 +13,7 @@
     Real ``multiprocessing`` execution of per-node work.
 """
 
-from repro.parallel.cluster import ClusterResult, SimulatedCluster
+from repro.parallel.cluster import ClusterResult, ExtractRequest, SimulatedCluster
 from repro.parallel.metrics import LoadBalance, NodeMetrics, efficiency, speedup
 from repro.parallel.mp_backend import WorkerOutput, extract_parallel_mp
 from repro.parallel.perfmodel import (
@@ -34,6 +34,7 @@ from repro.parallel.scheduler import (
 __all__ = [
     "SimulatedCluster",
     "ClusterResult",
+    "ExtractRequest",
     "NodeMetrics",
     "LoadBalance",
     "speedup",

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.builder import IndexedDataset, build_indexed_dataset, build_striped_datasets
 from repro.core.deadline import Deadline, DeadlineReport
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query, warn_legacy_kwargs
 from repro.grid.volume import Volume
 from repro.io.faults import (
     FaultInjectingDevice,
@@ -38,6 +38,7 @@ from repro.io.faults import (
 )
 from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import marching_cubes_batch
+from repro.obs.tracer import NULL_TRACER, coerce_tracer
 from repro.parallel.health import HealthMonitor, HealthPolicy, Observation
 from repro.parallel.metrics import LoadBalance, NodeMetrics
 from repro.parallel.perfmodel import PAPER_CLUSTER, PerformanceModel
@@ -46,6 +47,71 @@ from repro.render.camera import Camera
 from repro.render.compositor import composite, direct_send
 from repro.render.rasterizer import Framebuffer, render_mesh, render_mesh_smooth
 from repro.render.tiled_display import TileLayout
+
+
+@dataclass(frozen=True)
+class ExtractRequest:
+    """Everything configurable about one cluster extraction, in one place.
+
+    Replaces the kwarg sprawl of :meth:`SimulatedCluster.extract`
+    (``render``, ``camera``, ``keep_meshes``, ``tile_layout``,
+    ``smooth``, ``deadline``, ``hedge``, ``speculate``, plus the new
+    observability hooks).  Frozen: derive variants with
+    :func:`dataclasses.replace`.  See :meth:`SimulatedCluster.extract`
+    for the semantics of each field.
+    """
+
+    render: bool = False
+    camera: "Camera | None" = None
+    keep_meshes: bool = False
+    tile_layout: "TileLayout | None" = None
+    smooth: bool = False
+    deadline: "Deadline | float | None" = None
+    hedge: "HedgePolicy | bool | None" = None
+    speculate: "bool | None" = None
+    #: A :class:`~repro.obs.tracer.Tracer` receiving one track per node
+    #: plus a ``cluster`` track, all on the modeled clock (None: the
+    #: shared no-op tracer — zero overhead).
+    tracer: "object | None" = None
+    #: A :class:`~repro.obs.metrics.MetricsRegistry` absorbing per-node
+    #: ``IOStats``, stage times, recovery reasons, deadline coverage,
+    #: and health state (None: nothing is published).
+    metrics: "object | None" = None
+
+
+#: Request used when a caller passes none.
+DEFAULT_EXTRACT_REQUEST = ExtractRequest()
+
+#: Kwargs the pre-:class:`ExtractRequest` API accepted; still honoured
+#: through the deprecation shim below.
+_LEGACY_EXTRACT_KWARGS = frozenset({
+    "render", "camera", "keep_meshes", "tile_layout", "smooth",
+    "deadline", "hedge", "speculate",
+})
+
+
+def _coerce_request(
+    request: "ExtractRequest | None", kwargs: dict, fn: str
+) -> ExtractRequest:
+    """Resolve the ``request``-vs-legacy-kwargs call forms (the same
+    warn-once deprecation contract as ``execute_query``'s options)."""
+    if request is not None and not isinstance(request, ExtractRequest):
+        raise TypeError(
+            f"{fn}() second argument must be an ExtractRequest (got "
+            f"{type(request).__name__})"
+        )
+    if kwargs:
+        unknown = sorted(set(kwargs) - _LEGACY_EXTRACT_KWARGS)
+        if unknown:
+            raise TypeError(f"{fn}() got unexpected keyword argument(s) {unknown}")
+        if request is not None:
+            raise TypeError(
+                f"{fn}() got both request= and legacy keyword(s) "
+                f"{sorted(kwargs)}; pass everything in ExtractRequest"
+            )
+        warn_legacy_kwargs(fn, kwargs, "request=ExtractRequest(...)")
+        return ExtractRequest(**kwargs)
+    return request if request is not None else DEFAULT_EXTRACT_REQUEST
 
 
 @dataclass
@@ -262,7 +328,7 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
 
     def _hedged_dataset(
-        self, rank: int, policy: HedgePolicy
+        self, rank: int, policy: HedgePolicy, tracer=NULL_TRACER
     ) -> "IndexedDataset | None":
         """Node ``rank``'s dataset with its device wrapped for hedged
         replica reads, or None when no replica exists to hedge against."""
@@ -280,6 +346,7 @@ class SimulatedCluster:
                 hosted.device,
                 hosted.replica_stores[rank],
                 policy,
+                tracer=tracer,
             ),
         )
 
@@ -301,13 +368,19 @@ class SimulatedCluster:
         lam: float,
         with_normals: bool = False,
         time_budget: "float | None" = None,
+        tracer=NULL_TRACER,
+        track: "str | None" = None,
     ) -> "tuple[NodeMetrics, TriangleMesh, np.ndarray | None]":
         """Query + triangulate on one node; returns metrics, mesh, and
         (optionally) payload-local gradient normals — everything a node
         can compute without the global volume."""
         t0 = time.perf_counter()
         qr = execute_query(
-            dataset, lam, retry_policy=self.retry_policy, time_budget=time_budget
+            dataset, lam,
+            QueryOptions(
+                retry_policy=self.retry_policy, time_budget=time_budget,
+                tracer=tracer, track=track,
+            ),
         )
         codec = dataset.codec
         meta = dataset.meta
@@ -345,22 +418,26 @@ class SimulatedCluster:
             metrics.deadline_expired = True
             metrics.skipped_bricks = qr.skipped_bricks
             expected = dataset.tree.query_count(lam)
-            metrics.coverage = qr.n_active / expected if expected else 1.0
+            if expected:
+                metrics.coverage = qr.n_active / expected
+            else:
+                # The tree predicted zero actives, but the budget still
+                # cut reads short: we cannot *know* the prediction held
+                # for the unread records, so don't report full coverage.
+                metrics.coverage = 0.0 if qr.n_records_skipped else 1.0
         return metrics, mesh, normals
 
     def extract(
         self,
         lam: float,
-        render: bool = False,
-        camera: Camera | None = None,
-        keep_meshes: bool = False,
-        tile_layout: TileLayout | None = None,
-        smooth: bool = False,
-        deadline: "Deadline | float | None" = None,
-        hedge: "HedgePolicy | bool | None" = None,
-        speculate: "bool | None" = None,
+        request: "ExtractRequest | None" = None,
+        **legacy_kwargs,
     ) -> ClusterResult:
         """Extract (and optionally render + composite) isosurface ``lam``.
+
+        Configuration goes through ``request``
+        (:class:`ExtractRequest`); the pre-1.1 keyword arguments still
+        work via a deprecation shim that warns once.
 
         With ``render=True``, each node rasterizes its local mesh into
         its own framebuffer and the buffers are composited sort-last;
@@ -404,12 +481,28 @@ class SimulatedCluster:
         The per-node health state machine observes every extraction;
         nodes whose circuit is open are routed to their replica host
         without touching the primary disk at all.
+
+        Observability: with ``request.tracer`` set, the run is traced on
+        the modeled clock — live read spans per node track, post-hoc
+        ``stage.io`` / ``stage.triangulate`` / ``stage.render`` summary
+        spans whose totals reconcile exactly with the returned
+        :class:`ClusterResult`, and a ``composite`` span on the
+        ``cluster`` track.  With ``request.metrics`` set, every counter
+        lands in the unified registry namespace.
         """
-        dl = Deadline.coerce(deadline)
-        hedge_policy = HedgePolicy() if hedge is True else (hedge or None)
+        req = _coerce_request(request, legacy_kwargs, "SimulatedCluster.extract")
+        render = req.render
+        camera = req.camera
+        keep_meshes = req.keep_meshes
+        tile_layout = req.tile_layout
+        smooth = req.smooth
+        tracer = coerce_tracer(req.tracer)
+
+        dl = Deadline.coerce(req.deadline)
+        hedge_policy = HedgePolicy() if req.hedge is True else (req.hedge or None)
         do_speculate = (
-            speculate
-            if speculate is not None
+            req.speculate
+            if req.speculate is not None
             else (dl is not None and hedge_policy is not None)
         )
         node_budget = dl.node_budget if dl is not None else None
@@ -436,10 +529,12 @@ class SimulatedCluster:
                 continue
             qds = dataset
             if hedge_policy is not None:
-                qds = self._hedged_dataset(rank, hedge_policy) or dataset
+                qds = self._hedged_dataset(rank, hedge_policy, tracer) or dataset
             try:
                 m, mesh, normals = self._node_extract(
-                    qds, lam, with_normals=want_normals, time_budget=node_budget
+                    qds, lam, with_normals=want_normals,
+                    time_budget=node_budget,
+                    tracer=tracer, track=f"node{rank}",
                 )
                 delivered[rank] = m.n_active_metacells
             except StorageFault as exc:
@@ -447,6 +542,10 @@ class SimulatedCluster:
                 mesh = TriangleMesh()
                 normals = np.empty((0, 3)) if want_normals else None
                 failed_ranks.append(rank)
+                tracer.instant(
+                    "node.failed", track="cluster", category="fault",
+                    args={"rank": rank, "error": str(exc)},
+                )
             per_node.append(m)
             meshes.append(mesh)
             node_normals.append(normals)
@@ -476,9 +575,15 @@ class SimulatedCluster:
                     m2, mesh2, normals2 = self._node_extract(
                         self._replica_dataset(k, host), lam,
                         with_normals=want_normals, time_budget=node_budget,
+                        tracer=tracer, track=f"node{host}",
                     )
                 except StorageFault:
                     continue
+                tracer.instant(
+                    "node.routed", track="cluster", category="health",
+                    args={"rank": k, "host": host,
+                          "reason": "circuit open (proactive routing)"},
+                )
                 self._charge_to_host(per_node[host], m2)
                 per_node[host].recovered_ranks.append(k)
                 vm = per_node[k]
@@ -499,6 +604,7 @@ class SimulatedCluster:
                     m, mesh, normals = self._node_extract(
                         self.datasets[k], lam, with_normals=want_normals,
                         time_budget=node_budget,
+                        tracer=tracer, track=f"node{k}",
                     )
                     m.circuit_open = True
                     per_node[k] = m
@@ -531,9 +637,14 @@ class SimulatedCluster:
                     m2, mesh2, normals2 = self._node_extract(
                         self._replica_dataset(k, host), lam,
                         with_normals=want_normals, time_budget=node_budget,
+                        tracer=tracer, track=f"node{host}",
                     )
                 except StorageFault:
                     continue
+                tracer.instant(
+                    "node.recovered", track="cluster", category="fault",
+                    args={"rank": k, "host": host},
+                )
                 self._charge_to_host(per_node[host], m2)
                 per_node[host].recovered_ranks.append(k)
                 per_node[k].served_by = host
@@ -563,12 +674,14 @@ class SimulatedCluster:
                 k: [h for h in self._replica_hosts(k) if not per_node[h].failed]
                 for k in expired_primary
             }
-            for d in plan_speculation(expired_primary, hosts_map, dl.node_budget):
+            for d in plan_speculation(expired_primary, hosts_map, dl.node_budget,
+                                      tracer=tracer, track="cluster"):
                 try:
                     m2, mesh2, normals2 = self._node_extract(
                         self._replica_dataset(d.victim, d.host), lam,
                         with_normals=want_normals,
                         time_budget=dl.speculation_budget,
+                        tracer=tracer, track=f"node{d.host}",
                     )
                 except StorageFault:
                     continue
@@ -605,7 +718,13 @@ class SimulatedCluster:
             self.health.observe(k, obs)
 
         total_expected = sum(expected)
-        coverage = sum(delivered) / total_expected if total_expected else 1.0
+        if total_expected:
+            coverage = sum(delivered) / total_expected
+        else:
+            # Zero predicted actives: full coverage only if no node's
+            # own coverage was degraded (deadline cut / unrecovered
+            # failure) — mirrors the per-node fallback fix.
+            coverage = min((m.coverage for m in per_node), default=1.0)
 
         w, h = self.image_size
         fb_bytes = w * h * 16  # RGB f32 + depth f32 readback
@@ -670,6 +789,8 @@ class SimulatedCluster:
                     tile_layout,
                     interconnect=self.perf.network if dl is not None else None,
                     budget=comp_budget,
+                    tracer=tracer,
+                    track="cluster",
                 )
                 result.composite_bytes = stats.total_bytes
                 n_msgs = (
@@ -701,8 +822,110 @@ class SimulatedCluster:
                 expired_nodes=expired_primary,
                 speculated_nodes=speculated,
             )
+        if tracer.enabled:
+            self._emit_summary_spans(tracer, result, n_msgs)
+        if req.metrics is not None:
+            self._publish_cluster_metrics(req.metrics, result)
         return result
 
-    def sweep(self, isovalues, **kwargs) -> "list[ClusterResult]":
+    def _emit_summary_spans(
+        self, tracer, result: ClusterResult, n_msgs: int
+    ) -> None:
+        """Post-hoc stage spans built from the *final* per-node metrics.
+
+        Live read spans cover the work as it happened (including wasted
+        straggler attempts and replica work charged to its host); these
+        summary spans cover the work as *accounted*, so their totals
+        reconcile exactly with :class:`ClusterResult` — the contract the
+        acceptance test pins (``stage.io`` durations sum to the nodes'
+        ``io_time``, etc.).
+        """
+        for m in result.nodes:
+            track = f"node{m.node_rank}"
+            t = 0.0
+            tracer.record(
+                "stage.io", track, t, m.io_time, category="stage",
+                args={
+                    "blocks": m.io_stats.blocks_read,
+                    "seeks": m.io_stats.seeks,
+                    "active_metacells": m.n_active_metacells,
+                    "retries": m.n_retries,
+                    "hedged_reads": m.n_hedged_reads,
+                    "hedge_wins": m.n_hedge_wins,
+                },
+            )
+            t += m.io_time
+            tracer.record(
+                "stage.triangulate", track, t, m.triangulation_time,
+                category="stage",
+                args={"cells": m.n_cells_examined, "triangles": m.n_triangles},
+            )
+            t += m.triangulation_time
+            if m.speculation_wait:
+                tracer.record(
+                    "stage.speculation_wait", track, t, m.speculation_wait,
+                    category="stage",
+                    args={"recovered_ranks": list(m.recovered_ranks)},
+                )
+                t += m.speculation_wait
+            tracer.record(
+                "stage.render", track, t, m.render_time, category="stage",
+                args={"triangles": m.n_triangles,
+                      "buffers": 1 + len(m.recovered_ranks)},
+            )
+        makespan = max((n.total_time for n in result.nodes), default=0.0)
+        tracer.record(
+            "composite", "cluster", makespan, result.composite_time,
+            category="stage",
+            args={"bytes": result.composite_bytes, "messages": n_msgs},
+        )
+        tracer.record(
+            "cluster.extract", "cluster", 0.0, result.total_time,
+            category="cluster",
+            args={
+                "lam": result.lam, "p": result.p,
+                "coverage": result.coverage,
+                "triangles": result.n_triangles,
+                "degraded": result.degraded,
+            },
+        )
+
+    def _publish_cluster_metrics(self, registry, result: ClusterResult) -> None:
+        """Fold one extraction's accounting into the unified registry."""
+        for m in result.nodes:
+            registry.absorb_io_stats(m.io_stats)
+            registry.inc("cluster.active_metacells", m.n_active_metacells)
+            registry.inc("cluster.triangles", m.n_triangles)
+            registry.observe("node.io_seconds", m.io_time)
+            registry.observe("node.triangulation_seconds", m.triangulation_time)
+            registry.observe("node.render_seconds", m.render_time)
+            registry.set_gauge(f"node.{m.node_rank}.coverage", m.coverage)
+            reason = m.recovery_reason
+            if reason is not None:
+                registry.inc(f"cluster.recovery.{reason}")
+            if m.failed:
+                registry.inc("cluster.node_failures")
+            if m.deadline_expired:
+                registry.inc("cluster.deadline_expired_nodes")
+        registry.inc("cluster.extractions")
+        registry.inc("cluster.composite_bytes", result.composite_bytes)
+        registry.set_gauge("cluster.coverage", result.coverage)
+        registry.observe("cluster.total_seconds", result.total_time)
+        registry.observe("cluster.composite_seconds", result.composite_time)
+        if result.deadline is not None:
+            registry.inc("cluster.deadline_runs")
+            if result.deadline.met:
+                registry.inc("cluster.deadline_met")
+            registry.set_gauge("cluster.deadline_coverage",
+                               result.deadline.coverage)
+        self.health.publish(registry)
+
+    def sweep(
+        self,
+        isovalues,
+        request: "ExtractRequest | None" = None,
+        **legacy_kwargs,
+    ) -> "list[ClusterResult]":
         """Run :meth:`extract` over a sequence of isovalues."""
-        return [self.extract(lam, **kwargs) for lam in isovalues]
+        req = _coerce_request(request, legacy_kwargs, "SimulatedCluster.sweep")
+        return [self.extract(lam, req) for lam in isovalues]

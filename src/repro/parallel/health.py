@@ -258,6 +258,40 @@ class HealthMonitor:
     def states(self) -> "list[HealthState]":
         return [n.state for n in self.nodes]
 
+    def publish(self, registry, prefix: str = "health") -> None:
+        """Write the monitor's current state into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Everything is published as gauges set to *current totals* (state
+        code, strikes, cumulative transition counts), so repeated
+        publishes after successive queries never double-count.  State
+        codes follow the machine's escalation order: 0 healthy,
+        1 suspect, 2 half-open, 3 circuit-open.
+        """
+        codes = {
+            HealthState.HEALTHY: 0,
+            HealthState.SUSPECT: 1,
+            HealthState.HALF_OPEN: 2,
+            HealthState.CIRCUIT_OPEN: 3,
+        }
+        transitions = 0
+        by_dst: "dict[str, int]" = {}
+        for n in self.nodes:
+            registry.set_gauge(f"{prefix}.node.{n.rank}.state_code",
+                               codes[n.state])
+            registry.set_gauge(f"{prefix}.node.{n.rank}.strikes", n.strikes)
+            registry.set_gauge(f"{prefix}.node.{n.rank}.times_opened",
+                               n.times_opened)
+            registry.set_gauge(f"{prefix}.node.{n.rank}.times_healed",
+                               n.times_healed)
+            transitions += len(n.transitions)
+            for t in n.transitions:
+                key = str(t.dst)
+                by_dst[key] = by_dst.get(key, 0) + 1
+        registry.set_gauge(f"{prefix}.transitions", transitions)
+        for dst, count in by_dst.items():
+            registry.set_gauge(f"{prefix}.transitions.to.{dst}", count)
+
     def report(self) -> str:
         """Human-readable health table plus the transition log."""
         lines = [

@@ -80,6 +80,27 @@ class NodeMetrics:
         )
 
     @property
+    def recovery_reason(self) -> "str | None":
+        """Why this node's layout was served by another node, or None.
+
+        One of ``disk-failure`` (permanent device loss, replica
+        recovery), ``straggler-speculation`` (blew the stage budget,
+        re-executed on the replica host), ``circuit-open`` (health
+        breaker routed around the primary proactively), or
+        ``replica-read``.  This is the single classification used by the
+        CLI report and the ``cluster.recovery.<reason>`` metrics.
+        """
+        if self.served_by is None:
+            return None
+        if self.failed:
+            return "disk-failure"
+        if self.speculated_to is not None:
+            return "straggler-speculation"
+        if self.circuit_open:
+            return "circuit-open"
+        return "replica-read"
+
+    @property
     def n_retries(self) -> int:
         """Read attempts repeated after transient faults or CRC mismatches."""
         return self.io_stats.retries

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
+
 
 @dataclass(frozen=True)
 class HostDispatchModel:
@@ -120,6 +122,8 @@ def plan_speculation(
     stragglers: "list[int]",
     replica_hosts: "dict[int, list[int]]",
     launch_time: float,
+    tracer=NULL_TRACER,
+    track: "str | None" = None,
 ) -> "list[SpeculationDecision]":
     """Assign each straggler's re-execution to a replica host.
 
@@ -128,19 +132,29 @@ def plan_speculation(
     broken by the chained-declustering preference order the caller
     encodes in ``replica_hosts[victim]``.  Stragglers with no candidate
     host are simply absent from the result — the caller reports them as
-    deadline-partial.  Deterministic: same inputs, same plan.
+    deadline-partial; each decision (and each straggler left without a
+    host) drops an instant on ``tracer``.  Deterministic: same inputs,
+    same plan.
     """
     decisions: list[SpeculationDecision] = []
     load: dict[int, int] = {}
     for victim in stragglers:
         candidates = replica_hosts.get(victim) or []
         if not candidates:
+            tracer.instant(
+                "speculation.no_host", track=track, category="schedule",
+                args={"victim": victim},
+            )
             continue
         host = min(
             candidates,
             key=lambda h: (load.get(h, 0), candidates.index(h)),
         )
         load[host] = load.get(host, 0) + 1
+        tracer.instant(
+            "speculation.planned", track=track, category="schedule",
+            args={"victim": victim, "host": host, "launch_time": launch_time},
+        )
         decisions.append(
             SpeculationDecision(victim=victim, host=host, launch_time=launch_time)
         )

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
 from repro.render.rasterizer import Framebuffer
 from repro.render.tiled_display import TileLayout
 
@@ -83,6 +84,8 @@ def direct_send(
     layout: TileLayout,
     interconnect=None,
     budget: "float | None" = None,
+    tracer=NULL_TRACER,
+    track: "str | None" = None,
 ) -> tuple[Framebuffer, CompositeStats]:
     """Direct-send compositing onto a tiled display.
 
@@ -137,6 +140,11 @@ def direct_send(
             # nobody); later ones drop once the wire time would overrun.
             if sent_msgs and projected > budget:
                 stats.dropped_nodes.append(q)
+                tracer.instant(
+                    "composite.node_dropped", track=track, category="render",
+                    args={"rank": q, "projected_seconds": projected,
+                          "budget": budget},
+                )
                 continue
         sent_bytes += node_bytes
         sent_msgs += layout.n_tiles

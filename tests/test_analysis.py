@@ -13,7 +13,7 @@ from repro.core.analysis import (
 )
 from repro.core.builder import build_indexed_dataset
 from repro.core.compact_tree import CompactIntervalTree
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.grid.rm_instability import rm_timestep
 from repro.grid.volume import Volume
 from tests.conftest import random_intervals
@@ -51,7 +51,7 @@ class TestCostPrediction:
             ds.tree, float(lam), ds.codec.record_size, ds.device.cost_model,
             ds.base_offset, read_ahead_blocks=ra,
         )
-        res = execute_query(ds, float(lam), read_ahead_blocks=ra)
+        res = execute_query(ds, float(lam), QueryOptions(read_ahead_blocks=ra))
         assert est.blocks == res.io_stats.blocks_read
         assert est.n_active == res.n_active
 

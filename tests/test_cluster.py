@@ -5,7 +5,7 @@ import pytest
 
 from repro.grid.datasets import sphere_field
 from repro.grid.rm_instability import rm_timestep
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 from repro.parallel.metrics import efficiency, speedup
 from repro.render.tiled_display import TileLayout
 
@@ -57,8 +57,8 @@ class TestSerialParallelEquivalence:
     def test_triangle_multisets_equal(self, clusters):
         """The union of per-node meshes is geometrically the serial mesh."""
         lam = 128.0
-        serial = clusters[1].extract(lam, keep_meshes=True)
-        par = clusters[4].extract(lam, keep_meshes=True)
+        serial = clusters[1].extract(lam, ExtractRequest(keep_meshes=True))
+        par = clusters[4].extract(lam, ExtractRequest(keep_meshes=True))
 
         def tri_keys(meshes):
             pts = np.concatenate(
@@ -133,20 +133,22 @@ class TestScaling:
 
 class TestRendering:
     def test_render_produces_image(self, clusters):
-        res = clusters[4].extract(128.0, render=True)
+        res = clusters[4].extract(128.0, ExtractRequest(render=True))
         assert res.image is not None
         assert res.image.coverage() > 0.01
         assert res.meshes is not None
 
     def test_tiled_render(self, clusters):
         layout = TileLayout(2, 2, 256, 256)
-        res = clusters[4].extract(128.0, render=True, tile_layout=layout)
+        res = clusters[4].extract(
+            128.0, ExtractRequest(render=True, tile_layout=layout)
+        )
         assert res.image is not None
         assert res.composite_bytes == 4 * 256 * 256 * 16
 
     def test_render_without_geometry_raises(self, clusters):
         with pytest.raises(ValueError, match="no geometry"):
-            clusters[2].extract(1.0, render=True)
+            clusters[2].extract(1.0, ExtractRequest(render=True))
 
 
 class TestMetrics:
@@ -175,13 +177,15 @@ class TestMetrics:
 
 class TestSmoothRendering:
     def test_smooth_render_produces_image(self, clusters):
-        res = clusters[4].extract(128.0, render=True, smooth=True)
+        res = clusters[4].extract(128.0, ExtractRequest(render=True, smooth=True))
         assert res.image is not None
         assert res.image.coverage() > 0.01
 
     def test_smooth_differs_from_flat(self, clusters):
-        flat = clusters[2].extract(128.0, render=True, smooth=False)
-        smooth = clusters[2].extract(128.0, render=True, smooth=True)
+        flat = clusters[2].extract(128.0, ExtractRequest(render=True, smooth=False))
+        smooth = clusters[2].extract(
+            128.0, ExtractRequest(render=True, smooth=True)
+        )
         # Same silhouette (depth), different shading.
         import numpy as np
 

@@ -20,10 +20,10 @@ import pytest
 
 from repro.core.builder import build_indexed_dataset
 from repro.core.deadline import Deadline, DeadlineReport, QueryClock
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.grid.datasets import sphere_field
 from repro.io.faults import FaultPlan
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 from repro.parallel.scheduler import plan_speculation
 
 ISO = 0.5
@@ -45,7 +45,7 @@ def healthy(volume):
     cluster = SimulatedCluster(
         volume, p=P, metacell_shape=(5, 5, 5), replication=2
     )
-    return cluster.extract(ISO, render=True)
+    return cluster.extract(ISO, ExtractRequest(render=True))
 
 
 def spiky_cluster(volume, victim=2, seed=1, rate=0.25, seconds=0.5):
@@ -124,7 +124,7 @@ class TestBudgetedQuery:
         ds = build_indexed_dataset(volume, (5, 5, 5))
         full = execute_query(ds, ISO)
         ds2 = build_indexed_dataset(volume, (5, 5, 5))
-        cut = execute_query(ds2, ISO, time_budget=1e-12)
+        cut = execute_query(ds2, ISO, QueryOptions(time_budget=1e-12))
         assert cut.deadline_expired
         assert cut.n_active < full.n_active
         assert cut.n_active + cut.n_records_skipped >= full.n_active
@@ -133,7 +133,7 @@ class TestBudgetedQuery:
         full = execute_query(build_indexed_dataset(volume, (5, 5, 5)), ISO)
         ds = build_indexed_dataset(volume, (5, 5, 5))
         half_time = full.io_stats.read_time(ds.device.cost_model) / 2
-        cut = execute_query(ds, ISO, time_budget=half_time)
+        cut = execute_query(ds, ISO, QueryOptions(time_budget=half_time))
         assert cut.deadline_expired
         got = cut.records.ids
         # Deterministic cut: the retrieved records are exactly the head
@@ -142,7 +142,7 @@ class TestBudgetedQuery:
 
     def test_skipped_bricks_are_reported(self, volume):
         ds = build_indexed_dataset(volume, (5, 5, 5))
-        cut = execute_query(ds, ISO, time_budget=1e-12)
+        cut = execute_query(ds, ISO, QueryOptions(time_budget=1e-12))
         # Whatever was skipped is attributable: skipped counts cover the
         # shortfall and any skipped prefix scans name their bricks.
         assert cut.n_records_skipped > 0
@@ -154,7 +154,9 @@ class TestClusterDeadline:
         cluster = SimulatedCluster(
             volume, p=P, metacell_shape=(5, 5, 5), replication=2
         )
-        res = cluster.extract(ISO, render=True, deadline=healthy.total_time * 3)
+        res = cluster.extract(
+            ISO, ExtractRequest(render=True, deadline=healthy.total_time * 3)
+        )
         assert isinstance(res.deadline, DeadlineReport)
         assert res.deadline.met
         assert res.coverage == pytest.approx(1.0)
@@ -164,10 +166,10 @@ class TestClusterDeadline:
 
     def test_straggler_without_mitigation_yields_partial(self, volume, healthy):
         cluster = spiky_cluster(volume)
-        res = cluster.extract(
-            ISO, render=True, deadline=healthy.total_time * 3,
+        res = cluster.extract(ISO, ExtractRequest(
+            render=True, deadline=healthy.total_time * 3,
             hedge=None, speculate=False,
-        )
+        ))
         assert res.deadline is not None and not res.deadline.met
         assert res.degraded
         assert res.coverage < 1.0
@@ -181,9 +183,9 @@ class TestClusterDeadline:
         self, volume, healthy
     ):
         budget = healthy.total_time * 3
-        res = spiky_cluster(volume, seed=7).extract(
-            ISO, render=True, deadline=budget, hedge=None, speculate=True
-        )
+        res = spiky_cluster(volume, seed=7).extract(ISO, ExtractRequest(
+            render=True, deadline=budget, hedge=None, speculate=True
+        ))
         assert res.deadline.met
         assert res.coverage == pytest.approx(1.0)
         assert not res.degraded
@@ -211,9 +213,9 @@ class TestClusterDeadline:
                 )
             },
         )
-        res = cluster.extract(
-            ISO, deadline=healthy.total_time * 3, speculate=True
-        )
+        res = cluster.extract(ISO, ExtractRequest(
+            deadline=healthy.total_time * 3, speculate=True
+        ))
         assert not res.deadline.met
         assert res.deadline.speculated_nodes == []
         assert res.coverage < 1.0
@@ -222,12 +224,12 @@ class TestClusterDeadline:
         """The ISSUE's deterministic demo: same seeded faults, deadline
         met with hedging, missed (coverage-flagged) without."""
         budget = healthy.total_time * 3
-        partial = spiky_cluster(volume).extract(
-            ISO, render=True, deadline=budget, hedge=None, speculate=False
-        )
-        rescued = spiky_cluster(volume).extract(
-            ISO, render=True, deadline=budget, hedge=True
-        )
+        partial = spiky_cluster(volume).extract(ISO, ExtractRequest(
+            render=True, deadline=budget, hedge=None, speculate=False
+        ))
+        rescued = spiky_cluster(volume).extract(ISO, ExtractRequest(
+            render=True, deadline=budget, hedge=True
+        ))
         assert not partial.deadline.met and partial.degraded
         assert partial.coverage < 1.0
         assert rescued.deadline.met and not rescued.degraded

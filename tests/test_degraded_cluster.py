@@ -16,7 +16,7 @@ import pytest
 
 from repro.grid.datasets import sphere_field
 from repro.io.faults import FaultPlan
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 
 ISO = 0.7
 P = 4
@@ -31,7 +31,7 @@ def volume():
 def healthy(volume):
     """Reference healthy run (no replication, no faults)."""
     cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
-    return cluster.extract(ISO, render=True, keep_meshes=True)
+    return cluster.extract(ISO, ExtractRequest(render=True, keep_meshes=True))
 
 
 class TestReplicatedRecovery:
@@ -41,7 +41,7 @@ class TestReplicatedRecovery:
             volume, p=P, metacell_shape=(5, 5, 5), replication=2
         )
         cluster.fail_node(victim)
-        res = cluster.extract(ISO, render=True, keep_meshes=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True, keep_meshes=True))
 
         assert res.failed_nodes == [victim]
         assert not res.degraded
@@ -80,7 +80,7 @@ class TestReplicatedRecovery:
         )
         cluster.fail_node(0)
         cluster.fail_node(2)
-        res = cluster.extract(ISO, render=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True))
         assert sorted(res.failed_nodes) == [0, 2]
         assert not res.degraded
         assert res.n_triangles == healthy.n_triangles
@@ -107,7 +107,7 @@ class TestReplicatedRecovery:
         cluster = SimulatedCluster(
             volume, p=P, metacell_shape=(5, 5, 5), replication=2
         )
-        res = cluster.extract(ISO, render=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True))
         assert res.n_triangles == healthy.n_triangles
         assert not res.failed_nodes
         assert np.array_equal(res.image.color, healthy.image.color)
@@ -119,7 +119,7 @@ class TestUnreplicatedDegradation:
     def test_single_failure_partial_result(self, volume, healthy):
         cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
         cluster.fail_node(2)
-        res = cluster.extract(ISO, render=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True))
 
         assert res.degraded
         assert res.failed_nodes == [2]
@@ -139,7 +139,7 @@ class TestUnreplicatedDegradation:
         cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
         for k in range(P):
             cluster.fail_node(k)
-        res = cluster.extract(ISO, render=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True))
         assert res.degraded and res.failed_nodes == list(range(P))
         assert res.n_triangles == 0
         assert res.composite_bytes == 0

@@ -6,7 +6,7 @@ import pytest
 from repro.core.builder import build_indexed_dataset
 from repro.core.compact_tree import CompactIntervalTree
 from repro.core.intervals import IntervalSet
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.grid.datasets import sphere_field
 from repro.grid.volume import Volume
 from repro.io.faults import (
@@ -125,7 +125,9 @@ class TestCorruptedStore:
             FaultPlan(seed=3, transient_error_rate=1.0, transient_burst=100),
         )
         with pytest.raises(RetryExhaustedError):
-            execute_query(ds, 0.8, retry_policy=RetryPolicy(max_retries=2))
+            execute_query(
+                ds, 0.8, QueryOptions(retry_policy=RetryPolicy(max_retries=2))
+            )
         assert ds.device.stats.retries == 2
 
     def test_transient_faults_recovered_with_identical_result(

@@ -17,7 +17,7 @@ import pytest
 
 from repro.grid.datasets import sphere_field
 from repro.io.faults import FaultPlan
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 from repro.parallel.health import (
     HealthMonitor,
     HealthPolicy,
@@ -220,18 +220,18 @@ class TestClusterIntegration:
     def test_circuit_opens_then_routes_around(self, volume):
         healthy = SimulatedCluster(
             volume, p=P, metacell_shape=(5, 5, 5), replication=2
-        ).extract(ISO, render=True)
+        ).extract(ISO, ExtractRequest(render=True))
         cluster = self.make_spiky(volume)
         # Queries 1..3: incidents accumulate (suspect, suspect, open).
         for _ in range(3):
-            res = cluster.extract(ISO, render=True)
+            res = cluster.extract(ISO, ExtractRequest(render=True))
             assert not any(m.circuit_open for m in res.nodes)
         assert cluster.health.state(2) is HealthState.CIRCUIT_OPEN
 
         # Query 4: routed around proactively — primary disk untouched,
         # replica host serves, result bit-identical.
         primary_reads_before = cluster.datasets[2].device.stats.blocks_read
-        res = cluster.extract(ISO, render=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True))
         assert cluster.datasets[2].device.stats.blocks_read == \
             primary_reads_before
         m = res.nodes[2]

@@ -25,7 +25,7 @@ from repro.io.faults import (
     HedgedDevice,
     HedgePolicy,
 )
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 
 ISO = 0.5
 P = 4
@@ -41,7 +41,7 @@ def healthy(volume):
     cluster = SimulatedCluster(
         volume, p=P, metacell_shape=(5, 5, 5), replication=2
     )
-    return cluster.extract(ISO, render=True, keep_meshes=True)
+    return cluster.extract(ISO, ExtractRequest(render=True, keep_meshes=True))
 
 
 class TestLatencyQuantile:
@@ -164,7 +164,9 @@ class TestHedgingProperty:
             volume, p=P, metacell_shape=(5, 5, 5), replication=2,
             fault_plans={victim: plan},
         )
-        res = cluster.extract(ISO, render=True, keep_meshes=True, hedge=True)
+        res = cluster.extract(
+            ISO, ExtractRequest(render=True, keep_meshes=True, hedge=True)
+        )
         assert res.n_triangles == healthy.n_triangles
         assert res.n_active_metacells == healthy.n_active_metacells
         for i in range(P):
@@ -181,7 +183,7 @@ class TestHedgingProperty:
             volume, p=P, metacell_shape=(5, 5, 5), replication=2,
             fault_plans={2: plan},
         )
-        res = cluster.extract(ISO, hedge=True)
+        res = cluster.extract(ISO, ExtractRequest(hedge=True))
         assert res.n_hedged_reads > 0
         assert res.n_hedge_wins > 0
         assert res.nodes[2].n_hedged_reads == res.n_hedged_reads
@@ -191,6 +193,6 @@ class TestHedgingProperty:
 
     def test_hedging_without_replicas_is_inert(self, volume, healthy):
         cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5))
-        res = cluster.extract(ISO, render=True, hedge=True)
+        res = cluster.extract(ISO, ExtractRequest(render=True, hedge=True))
         assert res.n_hedged_reads == 0
         assert np.array_equal(res.image.color, healthy.image.color)

@@ -13,7 +13,7 @@ from repro.core.timevarying import TimeVaryingIndex
 from repro.grid.rm_instability import rm_time_series, rm_timestep
 from repro.io.diskfile import FileBackedDevice
 from repro.mc.geometry import TriangleMesh
-from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
 from repro.pipeline import IsosurfacePipeline
 from repro.render.camera import Camera
 from repro.render.compositor import binary_swap, composite
@@ -43,13 +43,13 @@ class TestFullPipeline:
         lam = 128.0
         serial = SimulatedCluster(rm_vol, 1, metacell_shape=(5, 5, 5))
         cluster = SimulatedCluster(rm_vol, 4, metacell_shape=(5, 5, 5))
-        sres = serial.extract(lam, keep_meshes=True)
+        sres = serial.extract(lam, ExtractRequest(keep_meshes=True))
         combined = TriangleMesh.concat(sres.meshes)
         cam = Camera.fit_mesh(combined)
         ref = Framebuffer(128, 128)
         render_mesh(ref, combined, cam)
 
-        cres = cluster.extract(lam, keep_meshes=True)
+        cres = cluster.extract(lam, ExtractRequest(keep_meshes=True))
         fbs = []
         for mesh in cres.meshes:
             fb = Framebuffer(128, 128)
@@ -66,7 +66,7 @@ class TestFullPipeline:
         cluster = SimulatedCluster(rm_vol, 2, metacell_shape=(5, 5, 5))
         layout = TileLayout(2, 2, 160, 128)
         res = cluster.extract(
-            128.0, render=True, tile_layout=layout,
+            128.0, ExtractRequest(render=True, tile_layout=layout),
         )
         assert res.image.color.shape == (128, 160, 3)
 
@@ -75,7 +75,7 @@ class TestFullPipeline:
         lies only on the volume border (the isosurface may exit the
         domain)."""
         cluster = SimulatedCluster(rm_vol, 4, metacell_shape=(5, 5, 5))
-        res = cluster.extract(128.0, keep_meshes=True)
+        res = cluster.extract(128.0, ExtractRequest(keep_meshes=True))
         mesh = TriangleMesh.concat(res.meshes).weld()
         uniq, counts = mesh.edge_counts()
         boundary = np.unique(uniq[counts == 1])

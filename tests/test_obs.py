@@ -1,0 +1,232 @@
+"""Tracer, metrics registry, and exporter unit contracts.
+
+The contract under test (see docs/PERFMODEL.md):
+
+* spans live on per-track modeled clocks: children nest inside their
+  parent and their charged durations sum to at most the parent's;
+* the no-op :data:`NULL_TRACER` matches the full surface and records
+  nothing (the zero-overhead disabled default);
+* a :class:`MetricsRegistry` unifies device meters and derived counts
+  under one flat namespace, with kind collisions rejected;
+* serialized traces/metrics are deterministic: identical work produces
+  byte-identical JSON.
+"""
+
+import json
+
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.query import QueryOptions, execute_query
+from repro.grid.datasets import sphere_field
+from repro.io.blockdevice import IOStats
+from repro.io.faults import FaultInjectingDevice, FaultPlan
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    coerce_tracer,
+    dumps_chrome_trace,
+    dumps_metrics,
+)
+
+ISO = 0.7
+
+
+class TestSpans:
+    def test_children_nest_and_sum_within_parent(self):
+        tr = Tracer()
+        with tr.span("extract", track="node0") as parent:
+            with tr.span("read") as rd:
+                rd.charge(0.25)
+            with tr.span("triangulate") as mc:
+                mc.charge(0.5)
+        [p] = tr.find("extract")
+        kids = tr.find("read") + tr.find("triangulate")
+        assert all(k.track == "node0" for k in kids)  # track inherited
+        assert all(k.start >= p.start for k in kids)
+        assert all(k.start + k.duration <= p.start + p.duration + 1e-12
+                   for k in kids)
+        assert sum(k.duration for k in kids) <= p.duration + 1e-12
+        assert p.duration == pytest.approx(0.75)
+
+    def test_tracks_have_independent_cursors(self):
+        tr = Tracer()
+        tr.charge(1.0, track="node0")
+        tr.charge(0.25, track="node1")
+        assert tr.cursor("node0") == 1.0
+        assert tr.cursor("node1") == 0.25
+        assert tr.cursor("never-touched") == 0.0
+
+    def test_record_emits_explicit_span_and_seeks_forward(self):
+        tr = Tracer()
+        tr.record("stage.io", track="node0", start=0.0, duration=2.0)
+        assert tr.cursor("node0") == 2.0
+        tr.record("stage.render", track="node0", start=1.0, duration=0.5)
+        # Monotone: an earlier summary span never rewinds the cursor.
+        assert tr.cursor("node0") == 2.0
+        assert tr.total("stage.io") == pytest.approx(2.0)
+
+    def test_negative_charge_and_duration_rejected(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            tr.charge(-0.1, track="node0")
+        with pytest.raises(ValueError):
+            tr.record("bad", track="node0", start=0.0, duration=-1.0)
+
+    def test_instants_timestamped_at_cursor(self):
+        tr = Tracer()
+        with tr.span("read", track="node2") as sp:
+            sp.charge(0.125)
+            sp.annotate("hedge.fired", args={"extent": [0, 64]})
+        [ev] = tr.events
+        assert ev.track == "node2" and ev.time == pytest.approx(0.125)
+        assert ev.args == {"extent": [0, 64]}
+
+    def test_find_filters_and_total(self):
+        tr = Tracer()
+        tr.record("stage.io", track="node0", start=0.0, duration=1.0,
+                  category="stage")
+        tr.record("stage.io", track="node1", start=0.0, duration=2.0,
+                  category="stage")
+        assert tr.total("stage.io") == pytest.approx(3.0)
+        assert tr.total("stage.io", track="node1") == pytest.approx(2.0)
+        assert tr.find(category="stage", track="node0")[0].duration == 1.0
+        assert tr.tracks() == ["node0", "node1"]
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("x", track="node0") as sp:
+            sp.charge(1.0)
+            sp.annotate("y")
+        NULL_TRACER.record("z", track="a", start=0.0, duration=1.0)
+        NULL_TRACER.instant("w")
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.spans == () and NULL_TRACER.events == ()
+        assert NULL_TRACER.tracks() == [] and NULL_TRACER.cursor("a") == 0.0
+
+    def test_span_handle_is_shared(self):
+        # Zero allocation on the disabled path: every span call returns
+        # the same inert handle.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_coerce(self):
+        assert coerce_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert coerce_tracer(tr) is tr
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("io.blocks_read", 42)
+        reg.inc("io.blocks_read", 8)
+        reg.set_gauge("cluster.coverage", 0.5)
+        reg.set_gauge("cluster.coverage", 1.0)
+        reg.observe("io.seconds", 0.5)
+        reg.observe("io.seconds", 1.5)
+        flat = reg.to_dict()
+        assert flat["io.blocks_read"] == 50
+        assert flat["cluster.coverage"] == 1.0
+        assert flat["io.seconds.count"] == 2
+        assert flat["io.seconds.mean"] == pytest.approx(1.0)
+        assert flat["io.seconds.min"] == 0.5 and flat["io.seconds.max"] == 1.5
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.set_gauge("x", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.observe("x", 1)
+
+    def test_counter_decrement_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().inc("x", -1)
+
+    def test_value_and_query(self):
+        reg = MetricsRegistry()
+        reg.inc("io.blocks_read", 7)
+        reg.inc("io.seeks", 2)
+        reg.set_gauge("node.0.coverage", 1.0)
+        assert reg.value("io.blocks_read") == 7
+        with pytest.raises(KeyError):
+            reg.value("nope")
+        assert set(reg.query("io")) == {"io.blocks_read", "io.seeks"}
+
+    def test_absorb_io_stats_is_field_complete(self):
+        stats = IOStats()
+        stats.blocks_read = 5
+        stats.seeks = 2
+        stats.retries = 1
+        reg = MetricsRegistry()
+        reg.absorb_io_stats(stats)
+        for name, value in stats.as_dict().items():
+            assert reg.value(f"io.{name}") == value
+
+    def test_query_metrics_match_io_stats_on_faulty_device(self):
+        """The unification contract: a query against a fault-injecting
+        device publishes exactly the device's per-query IOStats."""
+        ds = build_indexed_dataset(sphere_field((24, 24, 24)), (5, 5, 5))
+        ds.device = FaultInjectingDevice(
+            ds.device, FaultPlan(seed=5, transient_error_rate=0.2)
+        )
+        reg = MetricsRegistry()
+        res = execute_query(ds, ISO, QueryOptions(metrics=reg))
+        assert res.io_stats.retries > 0  # the faults actually fired
+        for name, value in res.io_stats.as_dict().items():
+            assert reg.value(f"io.{name}") == value
+        assert reg.value("query.active_metacells") == res.n_active
+        assert reg.value("query.count") == 1
+        assert reg.to_dict()["query.io_seconds.sum"] == pytest.approx(
+            res.io_stats.read_time(ds.device.cost_model)
+        )
+
+
+class TestExport:
+    @staticmethod
+    def _sample_tracer():
+        tr = Tracer()
+        with tr.span("extract", track="node0", category="query") as sp:
+            sp.charge(0.5)
+            sp.annotate("io.retry", args={"attempt": 1})
+        tr.record("composite", track="cluster", start=0.5, duration=0.25,
+                  args={"bytes": 1024})
+        return tr
+
+    def test_chrome_events_structure(self):
+        tr = self._sample_tracer()
+        events = chrome_trace_events(tr)
+        by_ph = {}
+        for ev in events:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        names = {ev["args"]["name"] for ev in by_ph["M"]}
+        assert names == {"cluster", "node0"}  # one metadata row per track
+        [span] = [ev for ev in by_ph["X"] if ev["name"] == "extract"]
+        assert span["ts"] == 0.0 and span["dur"] == pytest.approx(0.5e6)
+        [inst] = by_ph["i"]
+        assert inst["name"] == "io.retry" and inst["args"] == {"attempt": 1}
+
+    def test_trace_json_is_chrome_loadable_and_deterministic(self):
+        a = dumps_chrome_trace(self._sample_tracer())
+        b = dumps_chrome_trace(self._sample_tracer())
+        assert a == b  # byte-identical for identical work
+        doc = json.loads(a)
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["clock"] == "modeled-seconds"
+
+    def test_metrics_json_schema_and_determinism(self):
+        reg = MetricsRegistry()
+        reg.inc("io.blocks_read", 3)
+        reg.observe("io.seconds", 0.5)
+        text = dumps_metrics(reg, extra={"isovalue": ISO})
+        doc = json.loads(text)
+        assert doc["schema"] == "repro-metrics/1"
+        assert doc["metrics"]["io.blocks_read"] == 3
+        assert doc["isovalue"] == ISO
+        reg2 = MetricsRegistry()
+        reg2.inc("io.blocks_read", 3)
+        reg2.observe("io.seconds", 0.5)
+        assert dumps_metrics(reg2, extra={"isovalue": ISO}) == text

@@ -1,0 +1,157 @@
+"""The unified request/options API and its legacy-kwarg shims.
+
+The contract under test (see docs/API.md):
+
+* :class:`QueryOptions` / :class:`ExtractRequest` carry every knob the
+  old kwarg-sprawl forms accepted, and calls through either form are
+  result-identical;
+* legacy keyword calls emit exactly one :class:`DeprecationWarning` per
+  (function, kwarg set) per process, attributed to the caller;
+* mixing both forms, unknown keywords, and invalid field values fail
+  fast with typed errors.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset
+from repro.core.query import (
+    QueryOptions,
+    execute_plan,
+    execute_query,
+    reset_legacy_warnings,
+)
+from repro.grid.datasets import sphere_field
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+
+ISO = 0.7
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((24, 24, 24))
+
+
+@pytest.fixture()
+def dataset(volume):
+    return build_indexed_dataset(volume, (5, 5, 5))
+
+
+class TestQueryOptions:
+    def test_defaults_are_valid(self):
+        opts = QueryOptions()
+        assert opts.read_ahead_blocks >= 1
+        assert opts.retry_policy is None and opts.time_budget is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            QueryOptions().read_ahead_blocks = 2
+
+    def test_invalid_read_ahead_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(read_ahead_blocks=0)
+
+    def test_legacy_kwargs_equal_options(self, volume):
+        reset_legacy_warnings()
+        a_ds = build_indexed_dataset(volume, (5, 5, 5))
+        b_ds = build_indexed_dataset(volume, (5, 5, 5))
+        with pytest.warns(DeprecationWarning, match="read_ahead_blocks"):
+            a = execute_query(a_ds, ISO, read_ahead_blocks=2)
+        b = execute_query(b_ds, ISO, QueryOptions(read_ahead_blocks=2))
+        assert np.array_equal(a.records.ids, b.records.ids)
+        assert a.io_stats.blocks_read == b.io_stats.blocks_read
+        assert a.io_stats.seeks == b.io_stats.seeks
+
+    def test_warning_fires_once_per_kwarg_set(self, dataset):
+        reset_legacy_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            execute_query(dataset, ISO, read_ahead_blocks=2)
+            execute_query(dataset, ISO, read_ahead_blocks=4)
+            execute_query(dataset, ISO, time_budget=None)  # different set
+        dep = [w for w in caught if w.category is DeprecationWarning]
+        assert len(dep) == 2
+        assert "options=QueryOptions(...)" in str(dep[0].message)
+
+    def test_reset_rearms_the_warning(self, dataset):
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            execute_query(dataset, ISO, read_ahead_blocks=2)
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning):
+            execute_query(dataset, ISO, read_ahead_blocks=2)
+
+    def test_both_forms_rejected(self, dataset):
+        with pytest.raises(TypeError, match="both"):
+            execute_query(
+                dataset, ISO, QueryOptions(read_ahead_blocks=2), time_budget=1.0
+            )
+
+    def test_unknown_kwarg_rejected(self, dataset):
+        with pytest.raises(TypeError, match="no_such_knob"):
+            execute_query(dataset, ISO, no_such_knob=1)
+
+    def test_non_options_positional_rejected(self, dataset):
+        with pytest.raises(TypeError, match="QueryOptions"):
+            execute_query(dataset, ISO, {"read_ahead_blocks": 2})
+
+    def test_execute_plan_shares_the_shim(self, volume, dataset):
+        reset_legacy_warnings()
+        plan = dataset.tree.plan_query(ISO)
+        with pytest.warns(DeprecationWarning, match="execute_plan"):
+            legacy = execute_plan(dataset, plan, read_ahead_blocks=2)
+        ds2 = build_indexed_dataset(volume, (5, 5, 5))
+        new = execute_plan(
+            ds2, ds2.tree.plan_query(ISO), QueryOptions(read_ahead_blocks=2)
+        )
+        assert np.array_equal(legacy.records.ids, new.records.ids)
+
+
+class TestExtractRequest:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExtractRequest().render = True
+
+    def test_legacy_kwargs_equal_request(self, volume):
+        reset_legacy_warnings()
+        a_cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        b_cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        with pytest.warns(DeprecationWarning, match="SimulatedCluster.extract"):
+            a = a_cluster.extract(ISO, render=True, keep_meshes=True)
+        b = b_cluster.extract(ISO, ExtractRequest(render=True, keep_meshes=True))
+        assert a.n_triangles == b.n_triangles
+        assert np.array_equal(a.image.color, b.image.color)
+        assert np.array_equal(a.image.depth, b.image.depth)
+
+    def test_both_forms_rejected(self, volume):
+        cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        with pytest.raises(TypeError, match="both"):
+            cluster.extract(ISO, ExtractRequest(render=True), keep_meshes=True)
+
+    def test_unknown_kwarg_rejected(self, volume):
+        cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        with pytest.raises(TypeError, match="no_such_knob"):
+            cluster.extract(ISO, no_such_knob=True)
+
+    def test_non_request_positional_rejected(self, volume):
+        cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        with pytest.raises(TypeError, match="ExtractRequest"):
+            cluster.extract(ISO, {"render": True})
+
+    def test_sweep_shares_the_shim(self, volume):
+        reset_legacy_warnings()
+        a_cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        b_cluster = SimulatedCluster(volume, p=2, metacell_shape=(5, 5, 5))
+        with pytest.warns(DeprecationWarning, match="SimulatedCluster.sweep"):
+            a = a_cluster.sweep([ISO], keep_meshes=True)
+        b = b_cluster.sweep([ISO], ExtractRequest(keep_meshes=True))
+        assert a[0].n_triangles == b[0].n_triangles
+
+    def test_replace_derives_variants(self):
+        base = ExtractRequest(render=True)
+        derived = dataclasses.replace(base, hedge=True)
+        assert derived.render and derived.hedge
+        assert base.hedge is None

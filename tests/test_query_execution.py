@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.builder import build_indexed_dataset
 from repro.core.intervals import IntervalSet
-from repro.core.query import execute_query
+from repro.core.query import QueryOptions, execute_query
 from repro.grid.datasets import gyroid_field, sphere_field
 from repro.grid.rm_instability import rm_timestep
 from repro.grid.volume import Volume
@@ -112,11 +112,11 @@ class TestIOAccounting:
 
     def test_read_ahead_variants_agree(self, sphere_volume):
         ds = build_indexed_dataset(sphere_volume, (5, 5, 5))
-        a = execute_query(ds, 0.7, read_ahead_blocks=1)
-        b = execute_query(ds, 0.7, read_ahead_blocks=32)
+        a = execute_query(ds, 0.7, QueryOptions(read_ahead_blocks=1))
+        b = execute_query(ds, 0.7, QueryOptions(read_ahead_blocks=32))
         assert np.array_equal(np.sort(a.records.ids), np.sort(b.records.ids))
         with pytest.raises(ValueError):
-            execute_query(ds, 0.7, read_ahead_blocks=0)
+            execute_query(ds, 0.7, QueryOptions(read_ahead_blocks=0))
 
 
 class TestSelectivitySweep:

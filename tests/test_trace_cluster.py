@@ -1,0 +1,177 @@
+"""End-to-end tracing of a cluster extraction (the acceptance contract).
+
+The contract under test (see ISSUE/docs/PERFMODEL.md):
+
+* a traced 4-node extraction produces per-node ``stage.*`` summary
+  spans whose totals reconcile with the ``ClusterResult`` metrics —
+  I/O seconds, triangulation seconds, composite bytes — within float
+  tolerance;
+* two same-seed runs (including seeded failures and recovery) produce
+  **byte-identical** Chrome trace files;
+* the trace is Chrome-loadable JSON with one named thread per modeled
+  track (``cluster`` plus one per node);
+* ``repro cluster --trace out.json`` wires the same tracer through the
+  CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.grid.datasets import sphere_field
+from repro.obs import MetricsRegistry, Tracer, dumps_chrome_trace
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+
+ISO = 0.7
+P = 4
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((33, 33, 33))
+
+
+def traced_extract(volume, fail_rank=None):
+    cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5),
+                               replication=2)
+    if fail_rank is not None:
+        cluster.fail_node(fail_rank)
+    tracer = Tracer()
+    res = cluster.extract(ISO, ExtractRequest(render=True, tracer=tracer))
+    return tracer, res
+
+
+class TestReconciliation:
+    @pytest.fixture(scope="class")
+    def traced(self, volume):
+        return traced_extract(volume)
+
+    def test_tracks_cover_cluster_and_every_node(self, traced):
+        tracer, _ = traced
+        assert tracer.tracks() == ["cluster"] + [f"node{k}" for k in range(P)]
+
+    def test_stage_totals_match_node_metrics(self, traced):
+        tracer, res = traced
+        for node in res.nodes:
+            track = f"node{node.node_rank}"
+            assert tracer.total("stage.io", track=track) == pytest.approx(
+                node.io_time, abs=1e-12)
+            assert tracer.total("stage.triangulate", track=track) == \
+                pytest.approx(node.triangulation_time, abs=1e-12)
+            assert tracer.total("stage.render", track=track) == \
+                pytest.approx(node.render_time, abs=1e-12)
+
+    def test_composite_span_matches_result(self, traced):
+        tracer, res = traced
+        [comp] = tracer.find("composite", track="cluster")
+        assert comp.duration == pytest.approx(res.composite_time, abs=1e-12)
+        assert comp.args["bytes"] == res.composite_bytes
+
+    def test_cluster_span_covers_total_time(self, traced):
+        tracer, res = traced
+        [top] = tracer.find("cluster.extract")
+        assert top.start == 0.0
+        assert top.duration == pytest.approx(res.total_time, abs=1e-12)
+
+    def test_live_read_spans_nest_inside_query_span(self, traced):
+        """The live (as-executed) spans obey the nesting invariant:
+        every read span lies within its node's query.execute span, and
+        their charged durations sum to at most the parent's."""
+        tracer, _ = traced
+        for rank in range(P):
+            track = f"node{rank}"
+            queries = tracer.find("query.execute", track=track)
+            assert queries, f"no query span on {track}"
+            [q] = queries
+            reads = [s for s in tracer.spans
+                     if s.track == track and s.name.startswith("read.")]
+            assert reads, f"no read spans on {track}"
+            for s in reads:
+                assert s.start >= q.start - 1e-12
+                assert s.start + s.duration <= q.start + q.duration + 1e-12
+            assert sum(s.duration for s in reads) <= q.duration + 1e-12
+
+
+class TestDeterminism:
+    def test_same_seed_trace_byte_identical(self, volume):
+        a, _ = traced_extract(volume)
+        b, _ = traced_extract(volume)
+        assert dumps_chrome_trace(a) == dumps_chrome_trace(b)
+
+    def test_same_seed_trace_byte_identical_with_failure(self, volume):
+        a, ra = traced_extract(volume, fail_rank=1)
+        b, rb = traced_extract(volume, fail_rank=1)
+        assert not ra.degraded and ra.nodes[1].failed  # recovery exercised
+        assert dumps_chrome_trace(a) == dumps_chrome_trace(b)
+
+    def test_recovery_charges_appear_on_serving_track(self, volume):
+        tracer, res = traced_extract(volume, fail_rank=1)
+        host = res.nodes[1].served_by
+        assert host is not None
+        assert tracer.total("stage.io", track=f"node{host}") == \
+            pytest.approx(res.nodes[host].io_time, abs=1e-12)
+        assert tracer.total("stage.io", track="node1") == pytest.approx(
+            res.nodes[1].io_time, abs=1e-12)
+
+
+class TestMetricsPublish:
+    def test_cluster_metrics_reconcile_with_result(self, volume):
+        cluster = SimulatedCluster(volume, p=P, metacell_shape=(5, 5, 5),
+                                   replication=2)
+        reg = MetricsRegistry()
+        res = cluster.extract(ISO, ExtractRequest(metrics=reg))
+        flat = reg.to_dict()
+        assert reg.value("cluster.active_metacells") == res.n_active_metacells
+        assert reg.value("cluster.triangles") == res.n_triangles
+        assert reg.value("cluster.composite_bytes") == res.composite_bytes
+        assert reg.value("cluster.coverage") == pytest.approx(res.coverage)
+        assert flat["cluster.total_seconds.sum"] == pytest.approx(
+            res.total_time)
+        assert flat["node.io_seconds.sum"] == pytest.approx(
+            sum(n.io_time for n in res.nodes))
+        assert reg.value("io.blocks_read") == sum(
+            n.io_stats.blocks_read for n in res.nodes)
+        # Health monitor published: one state gauge per node, all healthy.
+        for rank in range(P):
+            assert reg.value(f"health.node.{rank}.state_code") == 0
+
+
+class TestCLITrace:
+    def test_cluster_trace_flag_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main([
+            "cluster", "0.5", "--shape", "25x25x21", "--metacell", "5",
+            "-p", str(P), "--replication", "2", "--trace", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert {"cluster.extract", "composite", "stage.io",
+                "query.execute"} <= names
+        assert "trace" in capsys.readouterr().out
+
+    def test_cli_trace_deterministic_across_runs(self, tmp_path):
+        paths = []
+        for tag in ("a", "b"):
+            out = tmp_path / f"{tag}.json"
+            rc = main([
+                "trace", "0.5", "--shape", "25x25x21", "--metacell", "5",
+                "-p", str(P), "--replication", "2", "--fail-node", "1",
+                "--out", str(out),
+            ])
+            assert rc == 0
+            paths.append(out)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_metrics_subcommand_writes_flat_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = main([
+            "metrics", "0.5", "--shape", "25x25x21", "--metacell", "5",
+            "-p", "2", "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-metrics/1"
+        assert doc["metrics"]["cluster.extractions"] == 1

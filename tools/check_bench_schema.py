@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Validate ``BENCH_<name>.json`` bench outputs and merge them.
+
+CI's benchmark-smoke job runs a couple of small benches (each emitting a
+``repro-bench/1`` document via the ``bench_record`` fixture), then runs
+this checker: every file must validate against the schema in
+``repro.bench.harness`` — any drift (missing key, wrong type, stale
+schema tag) fails the job — and the validated payloads are merged into
+one ``BENCH_smoke.json`` artifact whose metrics are namespaced
+``<bench>.<metric>``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_schema.py \
+        [--out benchmarks/output/BENCH_smoke.json] [FILE ...]
+
+With no FILE arguments, checks every ``BENCH_*.json`` under
+``benchmarks/output/`` (excluding a previous merged output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import BENCH_SCHEMA, OUTPUT_DIR, validate_bench_payload
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="bench JSON files (default: benchmarks/output/BENCH_*.json)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the merged smoke payload here")
+    args = parser.parse_args(argv)
+
+    files = args.files or sorted(
+        p for p in OUTPUT_DIR.glob("BENCH_*.json")
+        if args.out is None or p.resolve() != args.out.resolve()
+    )
+    if not files:
+        print("check_bench_schema: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+
+    merged_metrics: "dict[str, float]" = {}
+    scale = 1
+    failures = 0
+    for path in files:
+        try:
+            payload = json.loads(path.read_text())
+            validate_bench_payload(payload)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"ok   {path} ({payload['name']}: {len(payload['metrics'])} metrics)")
+        scale = max(scale, payload["scale"])
+        for key, value in payload["metrics"].items():
+            merged_metrics[f"{payload['name']}.{key}"] = value
+    if failures:
+        print(f"check_bench_schema: {failures}/{len(files)} files failed",
+              file=sys.stderr)
+        return 1
+
+    if args.out is not None:
+        merged = {
+            "schema": BENCH_SCHEMA,
+            "name": "smoke",
+            "scale": scale,
+            "metrics": merged_metrics,
+            "extra": {"sources": [p.name for p in files]},
+        }
+        validate_bench_payload(merged)
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        print(f"merged {len(files)} payloads -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
