@@ -28,7 +28,12 @@ from repro.grid.metacell import MetacellPartition, partition_metacells
 from repro.grid.volume import Volume
 from repro.io.blockdevice import SimulatedBlockDevice
 from repro.io.cost_model import IOCostModel
-from repro.io.layout import BrickChecksums, MetacellCodec, compute_record_crcs
+from repro.io.layout import (
+    BrickChecksums,
+    MetacellCodec,
+    compute_cum_crcs,
+    compute_record_crcs,
+)
 
 #: Records serialized per chunk during the layout write, bounding resident
 #: memory during preprocessing of large volumes.
@@ -118,6 +123,12 @@ class IndexedDataset:
         ``source_rank -> base_offset`` of replica copies of *other*
         nodes' layouts held on this node's device (chained declustering;
         empty without replication).
+    source_dir:
+        Directory this dataset was loaded from / persisted to (``None``
+        for purely in-memory builds).  Multiprocessing backends ship
+        this path to workers, which reopen the store with
+        :func:`repro.core.persistence.load_dataset` instead of
+        unpickling the whole dataset.
     """
 
     tree: CompactIntervalTree
@@ -130,6 +141,7 @@ class IndexedDataset:
     n_cluster_nodes: int = 1
     checksums: "BrickChecksums | None" = None
     replica_stores: "dict[int, int]" = field(default_factory=dict)
+    source_dir: "str | None" = None
 
     def record_offset(self, position: int) -> int:
         """Byte offset of a record position (the index entry 'pointer')."""
@@ -178,23 +190,30 @@ def _write_records(
     partition: MetacellPartition,
     ids: np.ndarray,
     vmins: np.ndarray,
-) -> "tuple[int, np.ndarray]":
+) -> "tuple[int, np.ndarray, np.ndarray]":
     """Serialize records (in the given order) to ``device``.
 
-    Returns ``(base_offset, record_crcs)``: the CRC32 of every record is
-    computed from the exact bytes written, so the checksum table is the
-    layout's ground truth from the moment it exists.
+    Returns ``(base_offset, record_crcs, cum_crcs)``: the CRC32 of every
+    record — and the cumulative stream CRC table that makes span
+    verification one call — is computed from the exact bytes written, so
+    the checksum tables are the layout's ground truth from the moment
+    they exist.
     """
     n = len(ids)
     base = device.allocate(n * codec.record_size)
     crcs = np.empty(n, dtype=np.uint32)
+    cum = np.empty(n + 1, dtype=np.uint32)
+    cum[0] = 0
     for s in range(0, n, WRITE_CHUNK_RECORDS):
         e = min(s + WRITE_CHUNK_RECORDS, n)
         values = partition.extract_values(ids[s:e])
         blob = codec.encode(ids[s:e], vmins[s:e], values)
         device.write(base + s * codec.record_size, blob)
         crcs[s:e] = compute_record_crcs(blob, codec.record_size)
-    return base, crcs
+        cum[s + 1 : e + 1] = compute_cum_crcs(
+            blob, codec.record_size, initial=int(cum[s])
+        )[1:]
+    return base, crcs, cum
 
 
 def build_indexed_dataset(
@@ -216,7 +235,7 @@ def build_indexed_dataset(
     codec = MetacellCodec(partition.metacell_shape, volume.dtype)
     if device is None:
         device = SimulatedBlockDevice(cost_model or IOCostModel())
-    base, crcs = _write_records(
+    base, crcs, cum = _write_records(
         device, codec, partition, tree.record_ids, tree.record_vmins
     )
     return IndexedDataset(
@@ -227,7 +246,9 @@ def build_indexed_dataset(
         meta=_make_meta(volume, partition),
         report=_make_report(partition, intervals, tree, codec),
         checksums=(
-            BrickChecksums.from_record_crcs(crcs, tree.brick_start, tree.brick_count)
+            BrickChecksums.from_record_crcs(
+                crcs, tree.brick_start, tree.brick_count, cum_crcs=cum
+            )
             if checksum
             else None
         ),
@@ -281,7 +302,7 @@ def build_striped_datasets(
     layouts: list[StripedNodeLayout] = stripe_brick_records(tree, p, stagger=stagger)
     out = []
     for lay, device in zip(layouts, devices):
-        base, crcs = _write_records(
+        base, crcs, cum = _write_records(
             device, codec, partition, lay.tree.record_ids, lay.tree.record_vmins
         )
         out.append(
@@ -296,7 +317,8 @@ def build_striped_datasets(
                 n_cluster_nodes=p,
                 checksums=(
                     BrickChecksums.from_record_crcs(
-                        crcs, lay.tree.brick_start, lay.tree.brick_count
+                        crcs, lay.tree.brick_start, lay.tree.brick_count,
+                        cum_crcs=cum,
                     )
                     if checksum
                     else None
@@ -310,7 +332,7 @@ def build_striped_datasets(
         for q in range(p):
             src = (q - i) % p
             lay = layouts[src]
-            rep_base, _ = _write_records(
+            rep_base, _, _ = _write_records(
                 devices[q], codec, partition, lay.tree.record_ids, lay.tree.record_vmins
             )
             out[q].replica_stores[src] = rep_base

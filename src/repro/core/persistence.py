@@ -178,6 +178,8 @@ def save_dataset(dataset: IndexedDataset, directory: str | Path) -> Path:
     if dataset.checksums is not None:
         arrays["record_crcs"] = dataset.checksums.record_crcs
         arrays["brick_crcs"] = dataset.checksums.brick_crcs
+        if dataset.checksums.cum_crcs is not None:
+            arrays["cum_crcs"] = dataset.checksums.cum_crcs
     np.savez_compressed(directory / INDEX_FILE, **arrays)
     (directory / META_FILE).write_text(json.dumps(_meta_to_json(dataset), indent=2))
     if isinstance(dataset.device, FileBackedDevice):
@@ -206,7 +208,9 @@ def load_dataset(
     checksums = None
     if "record_crcs" in arrays and "brick_crcs" in arrays:
         checksums = BrickChecksums(
-            record_crcs=arrays["record_crcs"], brick_crcs=arrays["brick_crcs"]
+            record_crcs=arrays["record_crcs"],
+            brick_crcs=arrays["brick_crcs"],
+            cum_crcs=arrays.get("cum_crcs"),
         )
 
     codec = MetacellCodec(
@@ -242,6 +246,7 @@ def load_dataset(
         node_rank=blob["node_rank"],
         n_cluster_nodes=blob["n_cluster_nodes"],
         checksums=checksums,
+        source_dir=str(directory),
     )
 
 
@@ -258,5 +263,6 @@ def build_persistent_dataset(
     directory.mkdir(parents=True, exist_ok=True)
     device = FileBackedDevice(directory / BRICKS_FILE, cost_model)
     dataset = build_indexed_dataset(volume, metacell_shape, device=device)
+    dataset.source_dir = str(directory)
     save_dataset(dataset, directory)
     return dataset

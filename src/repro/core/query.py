@@ -87,6 +87,24 @@ class QueryOptions:
     track:
         Trace track label for this query's spans (None: inherit the
         tracer's active track — the cluster sets one per node).
+    coalesce_gap_blocks:
+        Read-coalescing threshold: adjacent plan runs whose extents are
+        separated by at most this many blocks are fetched as one large
+        device access, with the *meter charged exactly the per-run
+        sequence the uncoalesced reads would have issued* — modeled
+        block counts, seeks, and deadline cut points are bit-identical;
+        only wall-clock time improves.  ``0`` (default) disables
+        coalescing.  Requires a device exposing ``peek``/``charge_read``
+        (the raw simulated/file devices); fault-injecting, hedging, and
+        caching wrappers fall back to plain per-run reads.
+    pipeline:
+        A :class:`repro.parallel.pipeline.PipelineOptions` selecting the
+        stage-overlapped shared-memory executor for the triangulation
+        stage.  Not interpreted by the query executor itself — the
+        extraction layers (:class:`repro.pipeline.IsosurfacePipeline`,
+        cluster nodes, ``extract_parallel_mp``) read it and feed decoded
+        batches to MC workers through shared memory.  ``None`` (default)
+        triangulates inline.
     """
 
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS
@@ -96,11 +114,17 @@ class QueryOptions:
     tracer: "object | None" = None
     metrics: "object | None" = None
     track: "str | None" = None
+    coalesce_gap_blocks: int = 0
+    pipeline: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.read_ahead_blocks < 1:
             raise ValueError(
                 f"read_ahead_blocks must be >= 1, got {self.read_ahead_blocks}"
+            )
+        if self.coalesce_gap_blocks < 0:
+            raise ValueError(
+                f"coalesce_gap_blocks must be >= 0, got {self.coalesce_gap_blocks}"
             )
 
 
@@ -250,14 +274,21 @@ def _stream_extent(device, start: int, length: int, chunk_blocks: int,
 def _verify_or_repair(
     dataset: IndexedDataset,
     start_pos: int,
-    chunk: bytes,
+    chunk: memoryview,
     policy: RetryPolicy,
     checks: BrickChecksums,
     tracer=NULL_TRACER,
-) -> bytes:
+) -> None:
     """Verify a run of complete records, re-reading corrupted spans.
 
-    ``chunk`` holds the records at layout positions ``start_pos ..``.
+    ``chunk`` is a *writable* view of the records at layout positions
+    ``start_pos ..``; repairs splice the re-read bytes in place instead
+    of rebuilding the buffer (the former ``head + repaired + tail``
+    concatenation copied the whole chunk per repair attempt).
+
+    The clean case is a single ``zlib.crc32`` over the span when the
+    dataset carries a cumulative table (:meth:`BrickChecksums.verify_span`);
+    only a failed or unavailable span check pays for per-record CRCs.
     Each checksum mismatch is counted in ``stats.checksum_failures``;
     the corrupted span is then re-read (with retry and backoff) up to
     ``policy.max_read_repairs`` times — which heals transient torn reads
@@ -265,9 +296,11 @@ def _verify_or_repair(
     """
     rec = dataset.codec.record_size
     device = dataset.device
+    if checks.verify_span(start_pos, chunk, rec):
+        return
     bad = checks.find_corrupt(start_pos, chunk, rec)
     if not len(bad):
-        return chunk
+        return
     for attempt in range(policy.max_read_repairs):
         device.stats.checksum_failures += len(bad)
         device.stats.retries += 1
@@ -281,10 +314,10 @@ def _verify_or_repair(
         repaired = read_with_retry(
             device, dataset.record_offset(start_pos + lo), (hi - lo) * rec, policy
         )
-        chunk = chunk[: lo * rec] + repaired + chunk[hi * rec :]
+        chunk[lo * rec : hi * rec] = repaired
         bad = checks.find_corrupt(start_pos, chunk, rec)
         if not len(bad):
-            return chunk
+            return
     device.stats.checksum_failures += len(bad)
     lo, hi = int(bad[0]), int(bad[-1]) + 1
     raise BrickCorruptionError(
@@ -306,26 +339,41 @@ def _stream_records(
     """Yield verified :class:`MetacellRecords` batches for the records at
     layout positions ``[start_pos, start_pos + max_records)``.
 
+    Buffer management is O(total bytes): arriving chunks extend one
+    reusable ``bytearray`` and complete records are decoded through a
+    ``memoryview`` straight off it (``np.frombuffer`` in the codec), so
+    the only copies are the decoded field arrays themselves.  The former
+    implementation re-built the carry buffer with ``pending += buf`` /
+    slicing, which is quadratic in the run length.
+
     Consumers may stop early (Case 2); blocks already fetched stay
     charged, exactly like the former raw byte stream.
     """
     codec = dataset.codec
     rec = codec.record_size
-    pending = b""
+    pending = bytearray()
     pos = start_pos
     for buf in _stream_extent(
         dataset.device, dataset.record_offset(start_pos), max_records * rec,
         chunk_blocks, policy, tracer,
     ):
-        pending += buf
+        pending.extend(buf)
         n_complete = len(pending) // rec
         if not n_complete:
             continue
-        chunk = pending[: n_complete * rec]
-        pending = pending[n_complete * rec :]
-        if checks is not None:
-            chunk = _verify_or_repair(dataset, pos, chunk, policy, checks, tracer)
-        yield codec.decode(chunk)
+        nbytes = n_complete * rec
+        chunk = memoryview(pending)[:nbytes]
+        try:
+            if checks is not None:
+                _verify_or_repair(dataset, pos, chunk, policy, checks, tracer)
+            batch = codec.decode(chunk)
+        finally:
+            # Release the export before the bytearray is resized below
+            # (a live view would make `del pending[:nbytes]` raise
+            # BufferError).  The decoded batch owns copies.
+            chunk.release()
+        yield batch
+        del pending[:nbytes]
         pos += n_complete
     if pending:
         raise IOError(
@@ -408,93 +456,354 @@ def execute_plan(
 
     stats_before = device.stats.copy()
     clock = QueryClock(device, opts.time_budget)
-    batches: list[MetacellRecords] = []
-    n_read = 0
-    skipped_runs: list = []
-    n_skipped = 0
+    runner = _PlanRunner(
+        dataset, float(lam), read_ahead_blocks, policy, checks, clock, tracer,
+        opts.track,
+    )
+    # The coalescer needs the raw-device escape hatch; wrapped devices
+    # (faults, hedging, caching) define their behavior per read call and
+    # deliberately do not expose it — they take the plain per-run path.
+    use_fast = (
+        opts.coalesce_gap_blocks > 0
+        and hasattr(device, "peek")
+        and hasattr(device, "charge_read")
+    )
+    groups = (
+        _coalesce_runs(plan.runs, dataset, opts.coalesce_gap_blocks)
+        if use_fast
+        else [[r] for r in plan.runs]
+    )
 
     qspan = tracer.span(
         "query.execute", track=opts.track, category="query",
-        args={"lam": float(lam), "runs": len(plan.runs)},
+        args={"lam": float(lam), "runs": len(plan.runs),
+              "coalesced_groups": sum(1 for g in groups if len(g) > 1)},
     )
+    runner.qspan = qspan
     try:
-        for run in plan.runs:
-            if clock.expired():
-                skipped_runs.append(run)
-                skip = run.count if isinstance(run, SequentialRun) else run.max_count
-                n_skipped += skip
-                qspan.annotate(
-                    "query.run_skipped",
-                    {"records": skip, "reason": "time budget expired"},
-                )
+        for group in groups:
+            if len(group) > 1 and runner.run_group_fast(group):
                 continue
-            if isinstance(run, SequentialRun):
-                got = 0
-                with tracer.io_span(
-                    "read.sequential_run", device, track=opts.track,
-                    args={"start": run.start, "count": run.count},
-                ):
-                    for batch in _stream_records(
-                        dataset, run.start, run.count,
-                        MAX_SEQUENTIAL_CHUNK_BLOCKS, policy, checks, tracer,
-                    ):
-                        batches.append(batch)
-                        n_read += len(batch)
-                        got += len(batch)
-                        if clock.expired():
-                            break
-                if got < run.count:
-                    skipped_runs.append(run)
-                    n_skipped += run.count - got
-                    qspan.annotate(
-                        "query.run_cut",
-                        {"records_left": run.count - got,
-                         "reason": "time budget expired"},
-                    )
-            elif isinstance(run, BrickPrefixScan):
-                with tracer.io_span(
-                    "read.brick_prefix", device, track=opts.track,
-                    args={"brick": run.brick_id, "max_count": run.max_count},
-                ):
-                    batch, decoded, aborted = _scan_brick_prefix(
-                        dataset, run, lam, read_ahead_blocks, policy, checks,
-                        clock, tracer,
-                    )
-                n_read += decoded
-                if batch is not None and len(batch):
-                    batches.append(batch)
-                if aborted:
-                    skipped_runs.append(run)
-                    n_skipped += run.max_count - decoded
-                    qspan.annotate(
-                        "query.brick_cut",
-                        {"brick": run.brick_id,
-                         "records_left": run.max_count - decoded,
-                         "reason": "time budget expired"},
-                    )
-            else:  # pragma: no cover - future run types
-                raise TypeError(f"unknown run type {type(run).__name__}")
+            for run in group:
+                if clock.expired():
+                    runner.skip(run)
+                    continue
+                runner.run_serial(run)
     finally:
         qspan.close()
 
     io_stats = device.stats.copy() - stats_before
 
     records = (
-        MetacellRecords.concat(batches) if batches else MetacellRecords.empty(codec)
+        MetacellRecords.concat(runner.batches)
+        if runner.batches
+        else MetacellRecords.empty(codec)
     )
     result = QueryResult(
         lam=float(lam),
         records=records,
         plan=plan,
         io_stats=io_stats,
-        n_records_read=n_read,
-        deadline_expired=bool(skipped_runs),
-        skipped_runs=skipped_runs,
-        n_records_skipped=n_skipped,
+        n_records_read=runner.n_read,
+        deadline_expired=bool(runner.skipped_runs),
+        skipped_runs=runner.skipped_runs,
+        n_records_skipped=runner.n_skipped,
     )
     if opts.metrics is not None:
         _publish_query_metrics(opts.metrics, result, device)
     return result
+
+
+def _run_byte_extent(dataset: IndexedDataset, run) -> "tuple[int, int]":
+    """Device byte range ``[start, end)`` a plan run may touch (a prefix
+    scan is bounded by its ``max_count`` even though it usually stops
+    early)."""
+    rec = dataset.codec.record_size
+    start = dataset.record_offset(run.start)
+    count = run.count if isinstance(run, SequentialRun) else run.max_count
+    return start, start + count * rec
+
+
+def _coalesce_runs(runs, dataset: IndexedDataset, gap_blocks: int) -> "list[list]":
+    """Group plan runs whose extents are within ``gap_blocks`` blocks of
+    each other (in plan order) for single-access fetching.
+
+    Only the *data movement* is merged — the meter is charged per run by
+    the replay in :meth:`_PlanRunner.run_group_fast`, so grouping never
+    changes modeled cost.
+    """
+    max_gap = gap_blocks * dataset.device.cost_model.block_size
+    groups: "list[list]" = []
+    cur: "list" = []
+    cur_end = 0
+    for run in runs:
+        s, e = _run_byte_extent(dataset, run)
+        if cur and 0 <= s - cur_end <= max_gap:
+            cur.append(run)
+            cur_end = max(cur_end, e)
+        else:
+            if cur:
+                groups.append(cur)
+            cur = [run]
+            cur_end = e
+    if cur:
+        groups.append(cur)
+    return groups
+
+
+class _PlanRunner:
+    """Mutable execution state for one :func:`execute_plan` call.
+
+    Owns the decoded batches and skip accounting, and implements the two
+    read strategies over them:
+
+    * :meth:`run_serial` — the per-run incremental path (one metered
+      device read per chunk), used for singleton groups and whenever the
+      fast path bows out;
+    * :meth:`run_group_fast` — one unmetered ``peek`` of a coalesced
+      extent followed by an *exact replay* of the serial charge
+      sequence (same chunk boundaries, same early-stop decisions, same
+      deadline checks against the same modeled clock), so ``IOStats``
+      and deadline cut points are bit-identical to the serial path by
+      construction.
+    """
+
+    def __init__(self, dataset, lam, read_ahead_blocks, policy, checks, clock,
+                 tracer, track) -> None:
+        self.dataset = dataset
+        self.lam = lam
+        self.read_ahead_blocks = read_ahead_blocks
+        self.policy = policy
+        self.checks = checks
+        self.clock = clock
+        self.tracer = tracer
+        self.track = track
+        self.qspan = None
+        self.batches: "list[MetacellRecords]" = []
+        self.n_read = 0
+        self.skipped_runs: "list" = []
+        self.n_skipped = 0
+
+    def skip(self, run) -> None:
+        self.skipped_runs.append(run)
+        n = run.count if isinstance(run, SequentialRun) else run.max_count
+        self.n_skipped += n
+        self.qspan.annotate(
+            "query.run_skipped",
+            {"records": n, "reason": "time budget expired"},
+        )
+
+    # -- serial path -------------------------------------------------------
+
+    def run_serial(self, run) -> None:
+        dataset, tracer, clock = self.dataset, self.tracer, self.clock
+        if isinstance(run, SequentialRun):
+            got = 0
+            with tracer.io_span(
+                "read.sequential_run", dataset.device, track=self.track,
+                args={"start": run.start, "count": run.count},
+            ):
+                for batch in _stream_records(
+                    dataset, run.start, run.count,
+                    MAX_SEQUENTIAL_CHUNK_BLOCKS, self.policy, self.checks,
+                    tracer,
+                ):
+                    self.batches.append(batch)
+                    self.n_read += len(batch)
+                    got += len(batch)
+                    if clock.expired():
+                        break
+            if got < run.count:
+                self.skipped_runs.append(run)
+                self.n_skipped += run.count - got
+                self.qspan.annotate(
+                    "query.run_cut",
+                    {"records_left": run.count - got,
+                     "reason": "time budget expired"},
+                )
+        elif isinstance(run, BrickPrefixScan):
+            with tracer.io_span(
+                "read.brick_prefix", dataset.device, track=self.track,
+                args={"brick": run.brick_id, "max_count": run.max_count},
+            ):
+                batch, decoded, aborted = _scan_brick_prefix(
+                    dataset, run, self.lam, self.read_ahead_blocks,
+                    self.policy, self.checks, clock, tracer,
+                )
+            self.n_read += decoded
+            if batch is not None and len(batch):
+                self.batches.append(batch)
+            if aborted:
+                self.skipped_runs.append(run)
+                self.n_skipped += run.max_count - decoded
+                self.qspan.annotate(
+                    "query.brick_cut",
+                    {"brick": run.brick_id,
+                     "records_left": run.max_count - decoded,
+                     "reason": "time budget expired"},
+                )
+        else:  # pragma: no cover - future run types
+            raise TypeError(f"unknown run type {type(run).__name__}")
+
+    # -- coalesced fast path -----------------------------------------------
+
+    def run_group_fast(self, group) -> bool:
+        """Fetch a whole group in one access and replay per-run charges.
+
+        Returns False (having charged *nothing*) when the group cannot
+        be served bit-identically — no cumulative checksum table to
+        pre-verify against, or a span that fails verification and needs
+        the serial path's repair accounting.  The caller then executes
+        the group serially.
+        """
+        dataset = self.dataset
+        device = dataset.device
+        rec = dataset.codec.record_size
+        g_start = _run_byte_extent(dataset, group[0])[0]
+        g_end = max(_run_byte_extent(dataset, r)[1] for r in group)
+        view = device.peek(g_start, g_end - g_start)
+        try:
+            if self.checks is not None:
+                for run in group:
+                    s, e = _run_byte_extent(dataset, run)
+                    ok = self.checks.verify_span(
+                        run.start, view[s - g_start : e - g_start], rec
+                    )
+                    if not ok:  # False (corrupt) or None (no cum table)
+                        return False
+            self.tracer.instant(
+                "read.coalesced", category="io",
+                args={"runs": len(group), "bytes": g_end - g_start},
+            )
+            for run in group:
+                if self.clock.expired():
+                    self.skip(run)
+                    continue
+                if isinstance(run, SequentialRun):
+                    self._fast_sequential(run, view, g_start)
+                elif isinstance(run, BrickPrefixScan):
+                    self._fast_prefix_scan(run, view, g_start)
+                else:  # pragma: no cover - future run types
+                    raise TypeError(f"unknown run type {type(run).__name__}")
+            return True
+        finally:
+            view.release()
+
+    def _charge_chunks(self, start: int, length: int, chunk_blocks: int,
+                       stop_after):
+        """Replay the serial chunk-charge sequence for one extent.
+
+        ``stop_after(n_decoded)`` is consulted exactly where the serial
+        consumer loop would run (after each chunk that completes at
+        least one record, except the final one); returning True stops
+        before the next chunk is charged.  Returns total records whose
+        bytes were charged.
+        """
+        device = self.dataset.device
+        bs = device.cost_model.block_size
+        rec = self.dataset.codec.record_size
+        end = start + length
+        pos = start
+        charged = 0
+        decoded = 0
+        while pos < end:
+            boundary = ((pos // bs) + chunk_blocks) * bs
+            stop = min(boundary, end)
+            device.charge_read(pos, stop - pos)
+            charged += stop - pos
+            pos = stop
+            n_new = charged // rec - decoded
+            if not n_new:
+                continue
+            decoded += n_new
+            if pos < end and stop_after(decoded):
+                break
+        return decoded
+
+    def _fast_sequential(self, run, view, g_base) -> None:
+        dataset = self.dataset
+        rec = dataset.codec.record_size
+        start = dataset.record_offset(run.start)
+        with self.tracer.io_span(
+            "read.sequential_run", dataset.device, track=self.track,
+            args={"start": run.start, "count": run.count, "coalesced": True},
+        ):
+            decoded = self._charge_chunks(
+                start, run.count * rec, MAX_SEQUENTIAL_CHUNK_BLOCKS,
+                lambda _n: self.clock.expired(),
+            )
+        if decoded:
+            off = start - g_base
+            self.batches.append(
+                dataset.codec.decode(view[off : off + decoded * rec])
+            )
+            self.n_read += decoded
+        if decoded < run.count:
+            self.skipped_runs.append(run)
+            self.n_skipped += run.count - decoded
+            self.qspan.annotate(
+                "query.run_cut",
+                {"records_left": run.count - decoded,
+                 "reason": "time budget expired"},
+            )
+
+    def _fast_prefix_scan(self, run, view, g_base) -> None:
+        dataset = self.dataset
+        rec = dataset.codec.record_size
+        start = dataset.record_offset(run.start)
+        off = start - g_base
+        length = run.max_count * rec
+        vmins = dataset.codec.decode_vmins(view[off : off + length])
+        state = {"stop_at": None, "aborted": False, "seen": 0}
+
+        def stop_after(decoded: int) -> bool:
+            # Mirror of _scan_brick_prefix: first look for the
+            # terminator record in the newly decoded span, then (only if
+            # the brick might continue) consult the clock.
+            over = np.flatnonzero(
+                vmins[state["seen"] : decoded].astype(np.float64) > self.lam
+            )
+            if len(over):
+                state["stop_at"] = state["seen"] + int(over[0])
+                state["seen"] = decoded
+                return True
+            state["seen"] = decoded
+            if decoded < run.max_count and self.clock.expired():
+                state["aborted"] = True
+                return True
+            return False
+
+        with self.tracer.io_span(
+            "read.brick_prefix", dataset.device, track=self.track,
+            args={"brick": run.brick_id, "max_count": run.max_count,
+                  "coalesced": True},
+        ):
+            decoded = self._charge_chunks(
+                start, length, self.read_ahead_blocks, stop_after
+            )
+        # The final chunk never consults stop_after; scan it for the
+        # terminator the way the serial consumer does.
+        if state["stop_at"] is None and state["seen"] < decoded:
+            over = np.flatnonzero(
+                vmins[state["seen"] : decoded].astype(np.float64) > self.lam
+            )
+            if len(over):
+                state["stop_at"] = state["seen"] + int(over[0])
+        n_active = state["stop_at"] if state["stop_at"] is not None else decoded
+        self.n_read += decoded
+        if n_active:
+            self.batches.append(
+                dataset.codec.decode(view[off : off + n_active * rec])
+            )
+        if state["aborted"]:
+            self.skipped_runs.append(run)
+            self.n_skipped += run.max_count - decoded
+            self.qspan.annotate(
+                "query.brick_cut",
+                {"brick": run.brick_id,
+                 "records_left": run.max_count - decoded,
+                 "reason": "time budget expired"},
+            )
 
 
 def _publish_query_metrics(registry, result: QueryResult, device) -> None:

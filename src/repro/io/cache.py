@@ -118,10 +118,21 @@ class CachedDevice:
         bs = self.cost_model.block_size
         first = offset // bs
         last = (end - 1) // bs
+        if first == last:
+            # Single-block read (the Case-2 prefix-scan common case):
+            # slice the cached block directly, no join round trip.
+            lo = offset - first * bs
+            return self._block(first)[lo : lo + nbytes]
         parts = [self._block(b) for b in range(first, last + 1)]
         blob = b"".join(parts)
         lo = offset - first * bs
         return blob[lo : lo + nbytes]
+
+    # NOTE: no ``peek``/``charge_read`` here, by design.  The cache's
+    # hit/miss accounting is defined per logical read call; letting the
+    # coalescer bypass it with one merged extent would misstate the hit
+    # rate and the backing traffic.  The query layer feature-tests for
+    # ``peek`` and falls back to plain per-run reads on wrapped devices.
 
     def reset_stats(self) -> None:
         self._meter.stats.reset()

@@ -87,6 +87,40 @@ class FileBackedDevice:
         self._meter.record_read(offset, nbytes)
         return data
 
+    def peek(self, offset: int, nbytes: int) -> memoryview:
+        """Unmetered read of ``[offset, offset+nbytes)`` (coalescer API).
+
+        Same contract as
+        :meth:`repro.io.blockdevice.SimulatedBlockDevice.peek`: data
+        moves, the meter does not.  The file backend has no resident
+        buffer to alias, so this materializes one copy — still one
+        syscall for the whole extent instead of one per brick prefix.
+        """
+        end = offset + nbytes
+        if offset < 0 or nbytes < 0 or end > self._size:
+            raise ValueError(
+                f"peek [{offset}, {end}) outside allocated region of {self._size} bytes"
+            )
+        self._fh.seek(offset)
+        data = self._fh.read(nbytes)
+        if len(data) != nbytes:
+            raise IOError(
+                f"short read at offset {offset}: wanted {nbytes} bytes, got {len(data)} "
+                f"(store truncated or corrupted)"
+            )
+        return memoryview(data)
+
+    def charge_read(self, offset: int, nbytes: int) -> None:
+        """Meter a read without data movement (coalescer API; see
+        :meth:`repro.io.blockdevice.SimulatedBlockDevice.charge_read`)."""
+        end = offset + nbytes
+        if offset < 0 or nbytes < 0 or end > self._size:
+            raise ValueError(
+                f"charge_read [{offset}, {end}) outside allocated region of "
+                f"{self._size} bytes"
+            )
+        self._meter.record_read(offset, nbytes)
+
     def truncate(self, nbytes: int) -> None:
         """Shrink the backing file to ``nbytes`` (damage-injection API)."""
         if nbytes < 0 or nbytes > self._size:

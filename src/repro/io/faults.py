@@ -172,6 +172,12 @@ class FaultInjectingDevice:
     continuous :class:`~repro.io.blockdevice.IOStats` whether or not a
     device is wrapped.
 
+    Like every device *wrapper*, this class deliberately does not expose
+    the ``peek``/``charge_read`` coalescer API: the fault plan's RNG
+    advances once per read call, so merging reads would change which
+    reads fault.  The query layer detects the missing ``peek`` and uses
+    plain per-run reads, keeping fault sequences reproducible.
+
     Examples
     --------
     >>> from repro.io.blockdevice import SimulatedBlockDevice

@@ -59,11 +59,36 @@ def _edge_family_shapes(b, nx, ny, nz):
     )
 
 
+class _BatchScratch:
+    """Reusable per-chunk work buffers for :func:`_extract_batch`.
+
+    The batch path allocates one lattice-edge id table per chunk (three
+    edge families over every cell of the chunk — megabytes at the
+    default chunk size).  Allocating it fresh each chunk costs a page
+    fault per touched page; a scratch object handed down by
+    :func:`marching_cubes_batch` amortizes that across chunks.
+    """
+
+    __slots__ = ("_vid",)
+
+    def __init__(self) -> None:
+        self._vid = np.empty(0, dtype=np.int64)
+
+    def vid(self, n: int) -> np.ndarray:
+        """An ``int64`` buffer of length ``n`` pre-filled with -1."""
+        if len(self._vid) < n:
+            self._vid = np.empty(n, dtype=np.int64)
+        out = self._vid[:n]
+        out.fill(-1)
+        return out
+
+
 def _extract_batch(
     values: np.ndarray,
     iso: float,
     origins: np.ndarray,
     with_normals: bool = False,
+    scratch: "_BatchScratch | None" = None,
 ) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
     """Core extraction over ``values`` of shape (B, nx, ny, nz).
 
@@ -76,16 +101,13 @@ def _extract_batch(
     point toward the < iso side).  Every quantity is computable from the
     element's own payload — no global volume required.
     """
-    values = np.asarray(values, dtype=np.float64)
+    values = np.ascontiguousarray(values, dtype=np.float64)
     b, nx, ny, nz = values.shape
     pos = values > iso
-    grads = None
-    if with_normals:
-        # (B, nx, ny, nz, 3) central-difference gradient per element.
-        gx, gy, gz = np.gradient(values, axis=(1, 2, 3))
-        grads = np.stack([gx, gy, gz], axis=-1)
 
     # --- per-cell case index ------------------------------------------------
+    # Computed before anything else so empty chunks skip the gradient,
+    # crossing-mask, and edge-family allocations entirely.
     case = np.zeros((b, nx - 1, ny - 1, nz - 1), dtype=np.uint16)
     for bit, (dx, dy, dz) in enumerate(_CORNER_OFFSETS):
         case |= (
@@ -101,36 +123,55 @@ def _extract_batch(
             return TriangleMesh(), np.empty((0, 3))
         return TriangleMesh()
 
+    grads = None
+    if with_normals:
+        # (B, nx, ny, nz, 3) central-difference gradient per element.
+        gx, gy, gz = np.gradient(values, axis=(1, 2, 3))
+        grads = np.stack([gx, gy, gz], axis=-1)
+
     # --- lattice-edge crossing vertices --------------------------------------
     shapes = _edge_family_shapes(b, nx, ny, nz)
     sizes = [int(np.prod(s)) for s in shapes]
     offsets = np.concatenate([[0], np.cumsum(sizes)])
+    # C-order strides (in elements) of each edge-family grid and of the
+    # value grid: crossing scalars are gathered straight out of the
+    # contiguous value array by flat index instead of materializing the
+    # six shifted-view copies `reshape(-1)` would force.
+    fam_strides = [(s[1] * s[2] * s[3], s[2] * s[3], s[3], 1) for s in shapes]
+    val_strides = (nx * ny * nz, ny * nz, nz, 1)
+    values_flat = values.reshape(-1)
 
     cross_masks = [
         pos[:, :-1, :, :] != pos[:, 1:, :, :],
         pos[:, :, :-1, :] != pos[:, :, 1:, :],
         pos[:, :, :, :-1] != pos[:, :, :, 1:],
     ]
-    lowers = [values[:, :-1, :, :], values[:, :, :-1, :], values[:, :, :, :-1]]
-    uppers = [values[:, 1:, :, :], values[:, :, 1:, :], values[:, :, :, 1:]]
 
-    vid = np.full(offsets[-1], -1, dtype=np.int64)
+    vid = (scratch or _BatchScratch()).vid(int(offsets[-1]))
     vert_chunks = []
     normal_chunks = []
     n_verts = 0
     for axis in range(3):
-        mask_flat = cross_masks[axis].reshape(-1)
-        where = np.flatnonzero(mask_flat)
+        where = np.flatnonzero(cross_masks[axis].reshape(-1))
         if len(where) == 0:
             continue
         vid[offsets[axis] + where] = n_verts + np.arange(len(where))
         n_verts += len(where)
 
-        s1 = lowers[axis].reshape(-1)[where]
-        s2 = uppers[axis].reshape(-1)[where]
-        t = (iso - s1) / (s2 - s1)
         bb, ii, jj, kk = np.unravel_index(where, shapes[axis])
-        pts = np.stack([ii, jj, kk], axis=1).astype(np.float64)
+        lo = (
+            bb * val_strides[0]
+            + ii * val_strides[1]
+            + jj * val_strides[2]
+            + kk * val_strides[3]
+        )
+        s1 = values_flat[lo]
+        s2 = values_flat[lo + val_strides[axis + 1]]
+        t = (iso - s1) / (s2 - s1)
+        pts = np.empty((len(where), 3), dtype=np.float64)
+        pts[:, 0] = ii
+        pts[:, 1] = jj
+        pts[:, 2] = kk
         pts[:, axis] += t
         pts += origins[bb]
         vert_chunks.append(pts)
@@ -155,27 +196,40 @@ def _extract_batch(
 
     # --- triangle gathering ----------------------------------------------------
     act_cases = case_flat[active]
+    act_counts = tri_counts[active]
     edges = TRI_TABLE_PADDED[act_cases]  # (A, MAX_TRI, 3)
-    keep = np.arange(MAX_TRI)[None, :] < N_TRI[act_cases][:, None]  # (A, MAX_TRI)
-    tri_edges = edges[keep]  # (T, 3) local edge ids
-    tri_cells = np.repeat(active, N_TRI[act_cases])  # (T,)
+    keep = np.arange(MAX_TRI)[None, :] < act_counts[:, None]  # (A, MAX_TRI)
+    tri_edges = edges[keep].reshape(-1, 3)  # (T, 3) local edge ids
+    tri_cells = np.repeat(active, act_counts)  # (T,)
 
     bb, ci, cj, ck = np.unravel_index(tri_cells, case.shape)
-    faces = np.empty((len(tri_edges), 3), dtype=np.int64)
-    for corner in range(3):
-        e = tri_edges[:, corner]
-        fam = EDGE_AXIS[e]
+    # Each of the 12 local edge ids maps affinely into the concatenated
+    # edge-id table: vid_index = W0[e]*bb + W1[e]*ci + W2[e]*cj
+    # + W3[e]*ck + C[e], with the weights taken from the edge's family
+    # strides and the constant folding in the family offset and the
+    # edge's cell-offset.  One fused gather replaces the per-corner,
+    # per-family `ravel_multi_index` passes.
+    W = np.empty((4, len(EDGE_AXIS)), dtype=np.int64)
+    C = np.empty(len(EDGE_AXIS), dtype=np.int64)
+    for e in range(len(EDGE_AXIS)):
+        a = int(EDGE_AXIS[e])
+        st = fam_strides[a]
         off = EDGE_CELL_OFFSET[e]
-        li, lj, lk = ci + off[:, 0], cj + off[:, 1], ck + off[:, 2]
-        flat = np.empty(len(e), dtype=np.int64)
-        for axis in range(3):
-            sel = fam == axis
-            if not sel.any():
-                continue
-            flat[sel] = offsets[axis] + np.ravel_multi_index(
-                (bb[sel], li[sel], lj[sel], lk[sel]), shapes[axis]
-            )
-        faces[:, corner] = vid[flat]
+        W[:, e] = st
+        C[e] = (
+            offsets[a]
+            + int(off[0]) * st[1]
+            + int(off[1]) * st[2]
+            + int(off[2]) * st[3]
+        )
+    flat = (
+        W[0][tri_edges] * bb[:, None]
+        + W[1][tri_edges] * ci[:, None]
+        + W[2][tri_edges] * cj[:, None]
+        + W[3][tri_edges] * ck[:, None]
+        + C[tri_edges]
+    )
+    faces = vid[flat]
     if faces.min(initial=0) < 0:
         raise AssertionError(
             "triangle references a lattice edge without a crossing — "
@@ -267,12 +321,36 @@ def marching_cubes_batch(
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
 
+    mesh, normals = _extract_batch_chunks(
+        values, float(iso), origins, chunk, with_normals
+    )
+    return _apply_world_transform(mesh, normals, spacing, world_origin, with_normals)
+
+
+def _extract_batch_chunks(
+    values: np.ndarray,
+    iso: float,
+    origins: np.ndarray,
+    chunk: int = DEFAULT_BATCH_CHUNK,
+    with_normals: bool = False,
+) -> "tuple[TriangleMesh, np.ndarray | None]":
+    """Chunked extraction in lattice units, before world placement.
+
+    Shared by :func:`marching_cubes_batch` and the shared-memory
+    pipeline workers (``repro.parallel.pipeline``): both cut the global
+    metacell stream on the same ``chunk`` boundaries and concatenate in
+    stream order, so a parallel run reassembles to the bit-identical
+    mesh a serial run produces.  Returns ``(mesh, normals-or-None)``
+    with vertices still in vertex-index units.
+    """
     meshes = []
     normal_parts = []
+    scratch = _BatchScratch()
     for s in range(0, len(values), chunk):
         e = min(s + chunk, len(values))
         out = _extract_batch(
-            values[s:e], float(iso), origins[s:e], with_normals=with_normals
+            values[s:e], iso, origins[s:e], with_normals=with_normals,
+            scratch=scratch,
         )
         if with_normals:
             m, n = out
@@ -281,6 +359,20 @@ def marching_cubes_batch(
         else:
             meshes.append(out)
     mesh = TriangleMesh.concat(meshes)
+    if not with_normals:
+        return mesh, None
+    normals = np.concatenate(normal_parts) if normal_parts else np.empty((0, 3))
+    return mesh, normals
+
+
+def _apply_world_transform(
+    mesh: "TriangleMesh",
+    normals: "np.ndarray | None",
+    spacing,
+    world_origin,
+    with_normals: bool,
+) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
+    """Place a lattice-unit mesh into world coordinates (final stage)."""
     if mesh.n_vertices:
         mesh = TriangleMesh(
             mesh.vertices * np.asarray(spacing, dtype=np.float64)
@@ -288,9 +380,8 @@ def marching_cubes_batch(
             mesh.faces,
         )
     if with_normals:
-        normals = (
-            np.concatenate(normal_parts) if normal_parts else np.empty((0, 3))
-        )
+        if normals is None:
+            normals = np.empty((0, 3))
         # Anisotropic spacing shears normals: transform by the inverse
         # scale and renormalize.
         sp = np.asarray(spacing, dtype=np.float64)

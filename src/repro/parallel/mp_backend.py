@@ -7,10 +7,12 @@ demonstrating that node execution is genuinely independent: the only
 data returned to the parent is each node's triangle mesh and counters —
 the analogue of the frame buffer shipped for compositing.
 
-Datasets whose devices are file-backed are re-opened inside the worker
-(the file path travels, not the bytes), keeping the parent's memory
-flat; in-memory simulated devices are pickled wholesale, which is fine
-at example scale.
+Datasets that were persisted to disk travel to workers as *directory
+paths* — the worker reopens the store with
+:func:`repro.core.persistence.load_dataset` — so the parent never pays
+pickling an entire index + brick image per job.  Purely in-memory
+datasets (no :attr:`~repro.core.builder.IndexedDataset.source_dir`) are
+still pickled wholesale, which is fine at example scale.
 """
 
 from __future__ import annotations
@@ -23,6 +25,11 @@ from repro.core.builder import IndexedDataset
 from repro.core.query import execute_query
 from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import marching_cubes_batch
+from repro.parallel.pipeline import (
+    PipelineOptions,
+    default_mp_context,
+    pipelined_marching_cubes,
+)
 
 
 @dataclass
@@ -41,17 +48,48 @@ class WorkerOutput:
         return TriangleMesh(self.vertices, self.faces)
 
 
-def node_task(args: "tuple[IndexedDataset, float]") -> WorkerOutput:
-    """Per-node extraction job (module-level so it pickles)."""
-    dataset, lam = args
+def node_task(args) -> WorkerOutput:
+    """Per-node extraction job (module-level so it pickles).
+
+    ``args`` is ``(dataset_or_path, lam)`` or
+    ``(dataset_or_path, lam, pipeline_options)``.  A string first element
+    is a dataset directory reopened in-process via ``load_dataset`` —
+    the zero-pickling path ``extract_parallel_mp`` uses whenever the
+    dataset knows its ``source_dir``.
+
+    When pipeline options are given, triangulation goes through
+    :func:`repro.parallel.pipeline.pipelined_marching_cubes` — which
+    falls back to the serial kernel automatically inside daemonic pool
+    workers (they may not spawn their own children), so the result is
+    identical either way.
+    """
+    if len(args) == 2:
+        source, lam = args
+        pipeline = None
+    else:
+        source, lam, pipeline = args
+    if isinstance(source, str):
+        from repro.core.persistence import load_dataset
+
+        dataset = load_dataset(source)
+    else:
+        dataset = source
     qr = execute_query(dataset, lam)
     if qr.n_active:
         values = dataset.codec.values_grid(qr.records)
         origins = dataset.meta.vertex_origins(qr.records.ids)
-        mesh = marching_cubes_batch(
-            values, lam, origins,
-            spacing=dataset.meta.spacing, world_origin=dataset.meta.origin,
-        )
+        if pipeline is not None:
+            mesh = pipelined_marching_cubes(
+                values, lam, origins,
+                spacing=dataset.meta.spacing,
+                world_origin=dataset.meta.origin,
+                options=pipeline,
+            )
+        else:
+            mesh = marching_cubes_batch(
+                values, lam, origins,
+                spacing=dataset.meta.spacing, world_origin=dataset.meta.origin,
+            )
     else:
         mesh = TriangleMesh()
     return WorkerOutput(
@@ -68,7 +106,8 @@ def node_task(args: "tuple[IndexedDataset, float]") -> WorkerOutput:
 def extract_parallel_mp(
     datasets: "list[IndexedDataset]",
     lam: float,
-    processes: int | None = None,
+    processes: "int | None" = None,
+    pipeline: "PipelineOptions | None" = None,
 ) -> "list[WorkerOutput]":
     """Run each node's extraction in its own OS process.
 
@@ -76,25 +115,33 @@ def extract_parallel_mp(
     ----------
     datasets:
         Per-node indexed datasets (from
-        :func:`repro.core.builder.build_striped_datasets`).
+        :func:`repro.core.builder.build_striped_datasets`).  Datasets
+        with a ``source_dir`` are shipped to workers by path and
+        reopened there; others are pickled.
     lam:
         Isovalue.
     processes:
         Worker pool size; defaults to ``len(datasets)``.
+    pipeline:
+        Optional :class:`~repro.parallel.pipeline.PipelineOptions` for
+        the triangulation stage.  Effective on the inline (single
+        process) path; inside pool workers it degrades to the serial
+        kernel (daemonic processes cannot fork), with identical output.
 
     Returns
     -------
     list[WorkerOutput]
         One entry per node, ordered by node rank.
     """
-    import multiprocessing as mp
-
-    jobs = [(ds, float(lam)) for ds in datasets]
+    jobs = [
+        (ds.source_dir if ds.source_dir else ds, float(lam), pipeline)
+        for ds in datasets
+    ]
     n_proc = processes or len(datasets)
     if n_proc <= 1 or len(datasets) == 1:
         outs = [node_task(j) for j in jobs]
     else:
-        ctx = mp.get_context("spawn")
+        ctx = default_mp_context()
         with ctx.Pool(n_proc) as pool:
             outs = pool.map(node_task, jobs)
     return sorted(outs, key=lambda o: o.node_rank)

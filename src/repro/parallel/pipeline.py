@@ -1,0 +1,239 @@
+"""Stage-overlapped shared-memory triangulation pipeline.
+
+The serial hot path runs query → decode → triangulate strictly in
+sequence, in one process.  This module overlaps the stages across OS
+processes without giving up determinism:
+
+* the **parent** (reader stage) cuts the decoded metacell stream into
+  jobs on :data:`~repro.mc.marching_cubes.DEFAULT_BATCH_CHUNK`-aligned
+  boundaries and stages each job's float64 payload into a
+  ``multiprocessing.shared_memory`` segment — no pickling of payload
+  bytes;
+* **MC workers** attach the segment, triangulate with the exact chunked
+  kernel the serial path uses
+  (:func:`repro.mc.marching_cubes._extract_batch_chunks`), and return
+  only the resulting vertex/face arrays;
+* the parent reassembles meshes **in job order** and applies the world
+  transform once at the end — the same place the serial path applies it.
+
+Because job boundaries are multiples of the serial chunk size, every
+chunk a worker triangulates is byte-for-byte the chunk the serial path
+would have formed, and concatenation in job order is associative — so a
+pipelined extraction is *bit-identical* to ``marching_cubes_batch``
+(asserted property-style by ``tests/test_zero_copy_pipeline.py``).
+
+The overlap is between payload staging (cast + copy into shared memory,
+done by the parent) and triangulation (workers): while workers chew on
+job *k*, the parent is already staging job *k+1*.  Stages emit
+``pipeline.*`` tracer spans so the overlap is visible in ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mc.geometry import TriangleMesh
+from repro.mc.marching_cubes import (
+    DEFAULT_BATCH_CHUNK,
+    _apply_world_transform,
+    _extract_batch_chunks,
+)
+from repro.obs.tracer import NULL_TRACER
+
+
+def default_mp_context():
+    """The multiprocessing context every backend in this repo should use.
+
+    ``fork`` on Linux — workers inherit the parent's address space, so
+    pool start-up is milliseconds and module state (tables, codecs)
+    needs no re-import.  Everywhere else (macOS, Windows) ``fork`` is
+    unavailable or unsafe, so ``spawn`` is used.  Centralizing the
+    choice keeps :mod:`repro.parallel.mp_backend` and this pipeline
+    consistent instead of each picking its own default.
+    """
+    method = "fork" if sys.platform.startswith("linux") else "spawn"
+    if method not in multiprocessing.get_all_start_methods():  # pragma: no cover
+        method = "spawn"
+    return multiprocessing.get_context(method)
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """Configuration of the shared-memory triangulation pipeline.
+
+    Parameters
+    ----------
+    workers:
+        MC worker processes.  ``1`` still stages through shared memory
+        (useful for testing the transport); ``0`` is invalid.
+    batch_chunks:
+        Serial-chunk multiples per job: each job carries
+        ``batch_chunks * DEFAULT_BATCH_CHUNK`` metacells.  Larger jobs
+        amortize per-job overhead; smaller jobs overlap more finely.
+    mp_context:
+        Start-method override (``"fork"`` / ``"spawn"`` /
+        ``"forkserver"``); ``None`` uses :func:`default_mp_context`.
+    """
+
+    workers: int = 2
+    batch_chunks: int = 8
+    mp_context: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_chunks < 1:
+            raise ValueError(
+                f"batch_chunks must be >= 1, got {self.batch_chunks}"
+            )
+
+    @property
+    def job_metacells(self) -> int:
+        return self.batch_chunks * DEFAULT_BATCH_CHUNK
+
+
+#: Options used when a caller asks for "the pipeline" without tuning it.
+DEFAULT_PIPELINE_OPTIONS = PipelineOptions()
+
+
+def _pipeline_worker(args):
+    """Triangulate one staged job (module-level so it pickles).
+
+    Returns untransformed ``(vertices, faces, normals-or-None)`` — the
+    parent owns world placement so the final float ops happen exactly
+    once, in the same order as the serial path.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm_name, shape, lam, origins, with_normals = args
+    shm = shared_memory.SharedMemory(name=shm_name)
+    # Attaching registered the segment with this process's resource
+    # tracker too; the parent owns unlinking, so deregister here or the
+    # tracker warns about (already-unlinked) leaks at worker shutdown.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is semi-private
+        pass
+    try:
+        values = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        mesh, normals = _extract_batch_chunks(
+            values, lam, origins, DEFAULT_BATCH_CHUNK, with_normals
+        )
+        # Copies detach the result from the shared segment before close.
+        return (mesh.vertices.copy(), mesh.faces.copy(),
+                normals.copy() if normals is not None else None)
+    finally:
+        shm.close()
+
+
+def pipelined_marching_cubes(
+    values: np.ndarray,
+    lam: float,
+    origins: np.ndarray,
+    spacing=(1.0, 1.0, 1.0),
+    world_origin=(0.0, 0.0, 0.0),
+    with_normals: bool = False,
+    options: "PipelineOptions | None" = None,
+    tracer=NULL_TRACER,
+    track: "str | None" = None,
+) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
+    """Drop-in, bit-identical replacement for
+    :func:`repro.mc.marching_cubes.marching_cubes_batch` that overlaps
+    payload staging with triangulation across worker processes.
+
+    Falls back to the serial kernel inline when the batch is smaller
+    than one job (process startup would dominate) or when running in a
+    daemonic worker process (which may not spawn children).
+    """
+    from repro.mc.marching_cubes import marching_cubes_batch
+
+    opts = options or DEFAULT_PIPELINE_OPTIONS
+    values = np.asarray(values)
+    if values.ndim != 4:
+        raise ValueError(f"expected (n, mx, my, mz) batch, got shape {values.shape}")
+    origins = np.asarray(origins, dtype=np.float64).reshape(len(values), 3)
+    n = len(values)
+    job = opts.job_metacells
+    if n <= job or multiprocessing.current_process().daemon:
+        return marching_cubes_batch(
+            values, lam, origins, spacing=spacing, world_origin=world_origin,
+            with_normals=with_normals,
+        )
+
+    from multiprocessing import shared_memory
+
+    ctx = (
+        multiprocessing.get_context(opts.mp_context)
+        if opts.mp_context
+        else default_mp_context()
+    )
+    starts = list(range(0, n, job))
+    span = tracer.span(
+        "pipeline.run", track=track, category="pipeline",
+        args={"metacells": n, "jobs": len(starts), "workers": opts.workers},
+    )
+    segments: "list[shared_memory.SharedMemory]" = []
+    try:
+        with ctx.Pool(opts.workers) as pool:
+            pending = []
+            for ji, s in enumerate(starts):
+                e = min(s + job, n)
+                block = values[s:e]
+                with tracer.span(
+                    "pipeline.stage_in", track=track, category="pipeline",
+                    args={"job": ji, "metacells": e - s},
+                ):
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=block.size * 8
+                    )
+                    segments.append(shm)
+                    staged = np.ndarray(
+                        block.shape, dtype=np.float64, buffer=shm.buf
+                    )
+                    # The float64 cast the MC kernel would do anyway,
+                    # fused with the copy into the shared segment.
+                    staged[:] = block
+                pending.append(
+                    pool.apply_async(
+                        _pipeline_worker,
+                        ((shm.name, block.shape, float(lam),
+                          origins[s:e].copy(), with_normals),),
+                    )
+                )
+            meshes = []
+            normal_parts = []
+            for ji, fut in enumerate(pending):
+                verts, faces, normals = fut.get()
+                tracer.instant(
+                    "pipeline.job_done", category="pipeline",
+                    args={"job": ji, "triangles": len(faces)},
+                )
+                meshes.append(TriangleMesh(verts, faces))
+                if with_normals:
+                    normal_parts.append(normals)
+                segments[ji].close()
+                segments[ji].unlink()
+    except BaseException:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        raise
+    finally:
+        span.close()
+
+    mesh = TriangleMesh.concat(meshes)
+    normals = (
+        np.concatenate(normal_parts)
+        if (with_normals and normal_parts)
+        else (np.empty((0, 3)) if with_normals else None)
+    )
+    return _apply_world_transform(
+        mesh, normals, spacing, world_origin, with_normals
+    )

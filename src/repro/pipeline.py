@@ -92,6 +92,7 @@ class IsosurfacePipeline:
         camera: Camera | None = None,
         image_size: tuple[int, int] = (512, 512),
         smooth: bool = False,
+        options=None,
     ) -> ExtractionResult:
         """Run the out-of-core query and triangulate the result.
 
@@ -99,21 +100,50 @@ class IsosurfacePipeline:
         unless a camera is given) and the result carries the image;
         ``smooth=True`` uses Gouraud shading from payload-local gradient
         normals instead of flat facets.
+
+        ``options`` (a :class:`repro.core.query.QueryOptions`) tunes the
+        query stage — read coalescing via ``coalesce_gap_blocks``,
+        deadlines, tracing — and, through its ``pipeline`` field
+        (:class:`repro.parallel.pipeline.PipelineOptions`), routes
+        triangulation through the stage-overlapped shared-memory
+        executor.  Every combination returns bit-identical geometry and
+        identical modeled I/O charges; only wall time differs.
         """
         t0 = time.perf_counter()
-        qr = execute_query(self.dataset, lam)
+        qr = (
+            execute_query(self.dataset, lam, options)
+            if options is not None
+            else execute_query(self.dataset, lam)
+        )
         codec = self.dataset.codec
         meta = self.dataset.meta
         normals = None
+        pipeline = getattr(options, "pipeline", None)
         if qr.n_active:
-            out = marching_cubes_batch(
-                codec.values_grid(qr.records),
-                lam,
-                meta.vertex_origins(qr.records.ids),
-                spacing=meta.spacing,
-                world_origin=meta.origin,
-                with_normals=smooth,
-            )
+            if pipeline is not None:
+                from repro.obs.tracer import coerce_tracer
+                from repro.parallel.pipeline import pipelined_marching_cubes
+
+                out = pipelined_marching_cubes(
+                    codec.values_grid(qr.records),
+                    lam,
+                    meta.vertex_origins(qr.records.ids),
+                    spacing=meta.spacing,
+                    world_origin=meta.origin,
+                    with_normals=smooth,
+                    options=pipeline,
+                    tracer=coerce_tracer(getattr(options, "tracer", None)),
+                    track=getattr(options, "track", None),
+                )
+            else:
+                out = marching_cubes_batch(
+                    codec.values_grid(qr.records),
+                    lam,
+                    meta.vertex_origins(qr.records.ids),
+                    spacing=meta.spacing,
+                    world_origin=meta.origin,
+                    with_normals=smooth,
+                )
             mesh, normals = out if smooth else (out, None)
         else:
             mesh = TriangleMesh()
