@@ -440,6 +440,113 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+#: ``repro fsck`` exit codes, one per failure class (0 = clean).
+FSCK_EXIT_OK = 0
+FSCK_EXIT_STRUCTURAL = 1
+FSCK_EXIT_CORRUPT = 3
+FSCK_EXIT_MISSING = 4
+FSCK_EXIT_BAD_VERSION = 5
+
+
+def cmd_fsck(args) -> int:
+    import json as _json
+
+    from repro.core.persistence import DatasetFormatError, MissingArtifactError
+    from repro.core.validation import verify_dataset
+
+    result: dict = {"dataset": str(args.dataset), "action": "fsck"}
+
+    def finish(code: int, failure_class: str) -> int:
+        result["exit_code"] = code
+        result["failure_class"] = failure_class
+        if args.json:
+            print(_json.dumps(result, indent=2))
+        return code
+
+    try:
+        ds = load_dataset(args.dataset)
+    except MissingArtifactError as exc:
+        result["error"] = str(exc)
+        if not args.json:
+            print(f"fsck: missing artifact: {exc}", file=sys.stderr)
+        return finish(FSCK_EXIT_MISSING, "missing-file")
+    except DatasetFormatError as exc:
+        result["error"] = str(exc)
+        if not args.json:
+            print(f"fsck: unsupported format: {exc}", file=sys.stderr)
+        return finish(FSCK_EXIT_BAD_VERSION, "bad-index-version")
+    except IOError as exc:
+        result["error"] = str(exc)
+        if not args.json:
+            print(f"fsck: corrupt store: {exc}", file=sys.stderr)
+        return finish(FSCK_EXIT_CORRUPT, "corrupt-brick")
+
+    report = verify_dataset(ds, deep=not args.quick)
+    result["verify"] = report.as_dict()
+
+    if args.repair and report.has_corruption:
+        from repro.core.repair import repair_dataset
+
+        volume = None
+        if args.input or args.rm_step is not None:
+            volume = _load_volume(args)
+        repair = repair_dataset(
+            ds,
+            source_volume=volume,
+            positions=report.corrupt_records,
+        )
+        result["repair"] = repair.as_dict()
+        if not args.json:
+            print(repair.summary())
+        # Re-verify: the exit code reports the store as it is *now*.
+        report = verify_dataset(ds, deep=not args.quick)
+        result["verify_after_repair"] = report.as_dict()
+
+    if not args.json:
+        print(report.summary())
+    ds.device.close()
+    if report.has_corruption:
+        return finish(FSCK_EXIT_CORRUPT, "corrupt-brick")
+    if not report.ok:
+        return finish(FSCK_EXIT_STRUCTURAL, "structural")
+    return finish(FSCK_EXIT_OK, "clean")
+
+
+def cmd_scrub(args) -> int:
+    import json as _json
+
+    from repro.io.scrub import ScrubConfig, Scrubber
+    from repro.obs import MetricsRegistry, write_metrics_json
+
+    ds = load_dataset(args.dataset)
+    registry = MetricsRegistry()
+    scrubber = Scrubber(
+        ds,
+        ScrubConfig(
+            bricks_per_tick=args.bricks_per_tick,
+            idle_seconds=args.idle,
+        ),
+        metrics=registry,
+    )
+    if args.ticks is not None:
+        report = None
+        for _ in range(args.ticks):
+            report = scrubber.tick(report)
+        from repro.io.scrub import ScrubReport
+
+        report = report or ScrubReport()
+    else:
+        report = scrubber.sweep()
+    if args.metrics_out:
+        write_metrics_json(args.metrics_out, registry)
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.summary())
+    ds.device.close()
+    return FSCK_EXIT_OK if report.clean else FSCK_EXIT_CORRUPT
+
+
 def cmd_suggest(args) -> int:
     from repro.core.analysis import suggest_isovalues
 
@@ -656,6 +763,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset")
     p.add_argument("--quick", action="store_true", help="structural checks only")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fsck",
+        help="classify dataset damage (distinct exit codes) and optionally "
+             "repair it in place",
+        description="Exit codes: 0 clean, 1 structural problem, 3 corrupt "
+                    "brick/record, 4 missing artifact, 5 unsupported index "
+                    "version.",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--quick", action="store_true", help="structural checks only")
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable JSON summary")
+    p.add_argument("--repair", action="store_true",
+                   help="rebuild CRC-failing records in place from the source "
+                        "volume (give --input or --rm-step)")
+    p.add_argument("--input", help="source volume (.npy) for --repair")
+    p.add_argument("--rm-step", type=int, default=None,
+                   help="re-synthesize the RM source volume for --repair")
+    p.add_argument("--shape", type=_parse_shape, default=(97, 97, 89),
+                   help="synthetic source volume shape (with --rm-step)")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser(
+        "scrub",
+        help="paced background integrity sweep over a dataset's bricks",
+    )
+    p.add_argument("dataset")
+    p.add_argument("--ticks", type=int, default=None,
+                   help="run exactly this many ticks (default: one full sweep)")
+    p.add_argument("--bricks-per-tick", type=int, default=4)
+    p.add_argument("--idle", type=float, default=0.0,
+                   help="modeled idle seconds accounted between ticks")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write scrub.* metrics JSON here")
+    p.set_defaults(func=cmd_scrub)
 
     p = sub.add_parser("suggest", help="suggest isovalues by selectivity")
     p.add_argument("dataset")

@@ -24,6 +24,8 @@ already on disk, which is the point.
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -45,6 +47,21 @@ SUPPORTED_FORMAT_VERSIONS = (1, 2)
 BRICKS_FILE = "bricks.bin"
 INDEX_FILE = "index.npz"
 META_FILE = "meta.json"
+
+#: Staging names used by the journaled builder.  Readers never look at
+#: these: an artifact is either fully committed under its final name (an
+#: atomic ``os.replace`` away from its staging twin) or invisible.
+BRICKS_PARTIAL_FILE = BRICKS_FILE + ".partial"
+INDEX_TMP_FILE = INDEX_FILE + ".tmp"
+META_TMP_FILE = META_FILE + ".tmp"
+
+
+class DatasetFormatError(ValueError):
+    """A dataset artifact exists but is not a format this build reads."""
+
+
+class MissingArtifactError(FileNotFoundError):
+    """A required dataset artifact (meta/index/bricks) is absent."""
 
 
 # ---------------------------------------------------------------------------
@@ -195,22 +212,32 @@ def load_dataset(
     directory = Path(directory)
     meta_path = directory / META_FILE
     if not meta_path.exists():
-        raise FileNotFoundError(f"no {META_FILE} in {directory}")
+        raise MissingArtifactError(f"no {META_FILE} in {directory}")
     blob = json.loads(meta_path.read_text())
     if blob.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
-        raise ValueError(
+        raise DatasetFormatError(
             f"dataset format {blob.get('format_version')} not in supported "
             f"{SUPPORTED_FORMAT_VERSIONS}"
         )
-    with np.load(directory / INDEX_FILE) as npz:
+    index_path = directory / INDEX_FILE
+    if not index_path.exists():
+        raise MissingArtifactError(f"no {INDEX_FILE} in {directory}")
+    with np.load(index_path) as npz:
         arrays = {k: npz[k] for k in npz.files}
     tree = tree_from_arrays(arrays)
     checksums = None
     if "record_crcs" in arrays and "brick_crcs" in arrays:
+        cum = arrays.get("cum_crcs")
+        if cum is not None and len(cum) != len(arrays["record_crcs"]) + 1:
+            # Truncated or stale cumulative table (e.g. a v1->v2 store
+            # whose npz was rewritten partially).  The cumulative CRCs
+            # are a fast-path accelerator only — drop them and fall back
+            # to per-record verification instead of refusing the load.
+            cum = None
         checksums = BrickChecksums(
             record_crcs=arrays["record_crcs"],
             brick_crcs=arrays["brick_crcs"],
-            cum_crcs=arrays.get("cum_crcs"),
+            cum_crcs=cum,
         )
 
     codec = MetacellCodec(
@@ -228,7 +255,7 @@ def load_dataset(
     report = PreprocessReport(**blob["report"])
     bricks = directory / BRICKS_FILE
     if not bricks.exists():
-        raise FileNotFoundError(f"no {BRICKS_FILE} in {directory}")
+        raise MissingArtifactError(f"no {BRICKS_FILE} in {directory}")
     device = FileBackedDevice(bricks, cost_model, create=False)
     expected = blob["base_offset"] + tree.n_records * codec.record_size
     if device.size < expected:
@@ -250,19 +277,353 @@ def load_dataset(
     )
 
 
+# ---------------------------------------------------------------------------
+# Journaled, crash-consistent build
+# ---------------------------------------------------------------------------
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a rename durable by fsyncing its containing directory."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs does not support dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def build_fingerprint(volume, metacell_shape, n_records, record_size) -> dict:
+    """Identity of one exact build input.
+
+    A journal (or a committed dataset) belongs to a resumable build only
+    if its fingerprint matches — resuming over a half-built layout of
+    *different* data would corrupt it silently, so mismatch means start
+    over.
+    """
+    data = np.ascontiguousarray(volume.data)
+    return {
+        "volume_crc": zlib.crc32(data.tobytes()),
+        "volume_shape": list(volume.shape),
+        "dtype": str(volume.dtype),
+        "metacell_shape": list(metacell_shape),
+        "n_records": int(n_records),
+        "record_size": int(record_size),
+        "format_version": FORMAT_VERSION,
+    }
+
+
+def _verified_resume_point(
+    data_path: Path, state, record_size: int
+) -> "tuple[int, np.ndarray, np.ndarray]":
+    """Re-verify journaled groups against actual file bytes.
+
+    The journal *claims* ``records_done`` records are durable; the crash
+    may have torn the tail (or a fault-injecting device may have torn a
+    write the journal never learned about).  Walk the journaled groups
+    in order, recomputing the cumulative CRC32 of the file's record
+    stream, and stop at the first group whose claim the bytes do not
+    honor.  Returns ``(records_verified, record_crcs, cum_crcs)`` for
+    the verified prefix — the checksum tables of a resumed build are
+    recomputed from disk, never trusted from the journal alone.
+    """
+    from repro.io.layout import compute_cum_crcs, compute_record_crcs
+
+    verified = 0
+    crcs_parts: "list[np.ndarray]" = []
+    cum_parts: "list[np.ndarray]" = [np.zeros(1, dtype=np.uint32)]
+    cum_val = 0
+    try:
+        file_size = data_path.stat().st_size
+    except OSError:  # pragma: no cover - racing deletion
+        file_size = 0
+    with open(data_path, "rb") as fh:
+        for group in state.groups:
+            done = int(group["records_done"])
+            if done <= verified:
+                # A resumed run re-journals groups it rewrote; duplicate
+                # or out-of-order claims are redundant, not terminal.
+                continue
+            if done * record_size > file_size:
+                break
+            fh.seek(verified * record_size)
+            blob = fh.read((done - verified) * record_size)
+            if len(blob) != (done - verified) * record_size:
+                break  # pragma: no cover - size raced below stat
+            cum = compute_cum_crcs(blob, record_size, initial=cum_val)
+            if int(cum[-1]) != int(group["cum_crc"]):
+                break
+            crcs_parts.append(compute_record_crcs(blob, record_size))
+            cum_parts.append(cum[1:].astype(np.uint32))
+            cum_val = int(cum[-1])
+            verified = done
+    return (
+        verified,
+        np.concatenate(crcs_parts) if crcs_parts else np.empty(0, dtype=np.uint32),
+        np.concatenate(cum_parts),
+    )
+
+
+def _clear_stale_build(directory: Path) -> None:
+    """Remove every artifact of an abandoned or mismatched build.
+
+    ``meta.json`` goes *first*: its presence is what marks a directory
+    as a committed dataset, so removing it makes the directory invisible
+    to readers before any other artifact is touched.
+    """
+    from repro.core.journal import JOURNAL_FILE
+
+    for name in (
+        META_FILE,
+        JOURNAL_FILE,
+        INDEX_FILE,
+        BRICKS_FILE,
+        BRICKS_PARTIAL_FILE,
+        INDEX_TMP_FILE,
+        META_TMP_FILE,
+    ):
+        try:
+            (directory / name).unlink()
+        except FileNotFoundError:
+            pass
+
+
 def build_persistent_dataset(
     volume,
     directory: str | Path,
     metacell_shape: tuple[int, int, int] = (9, 9, 9),
     cost_model: IOCostModel | None = None,
+    *,
+    group_records: "int | None" = None,
+    resume: bool = True,
+    crash=None,
+    wrap_device=None,
+    verify_writes: bool = True,
 ) -> IndexedDataset:
-    """Preprocess straight into a self-describing dataset directory."""
-    from repro.core.builder import build_indexed_dataset
+    """Preprocess straight into a self-describing dataset directory —
+    crash-consistently.
 
+    The build is journaled and committed atomically: record groups go to
+    ``bricks.bin.partial`` (fsync'd, then logged in ``build.journal``),
+    and the final artifacts appear under their real names only via
+    ``os.replace``.  At *any* kill point the directory is either (a) a
+    committed, fsck-clean dataset, or (b) an in-progress build that a
+    rerun with ``resume=True`` (the default) finishes — producing
+    artifacts byte-identical to an uninterrupted build.
+
+    Parameters
+    ----------
+    group_records:
+        Records per journaled group (default
+        :data:`repro.core.builder.WRITE_CHUNK_RECORDS`).  Smaller groups
+        mean finer-grained resume at the cost of more fsyncs.
+    resume:
+        When True, continue an interrupted build of the *same* input
+        (fingerprint-matched) from its last verified journaled group;
+        when False, always start over.
+    crash:
+        A :class:`repro.io.faults.CrashSchedule` for kill-point
+        injection (testing); ``None`` injects nothing.
+    verify_writes:
+        When True (default) every group is read back and CRC-compared
+        before its journal entry is written, so a torn write the device
+        silently absorbed is rewritten instead of being journaled as
+        durable.  The read-back is unmetered (no modeled-cost change).
+    wrap_device:
+        Optional callable wrapping the staging
+        :class:`~repro.io.diskfile.FileBackedDevice` (e.g. in a
+        :class:`~repro.io.faults.FaultInjectingDevice` with torn
+        writes).  The wrapper must pass through ``allocate`` / ``write``
+        / ``fsync`` / ``close``.
+    """
+    from repro.core.builder import (
+        WRITE_CHUNK_RECORDS,
+        _make_meta,
+        _make_report,
+    )
+    from repro.core.compact_tree import CompactIntervalTree
+    from repro.core.intervals import IntervalSet
+    from repro.core.journal import BuildJournal
+    from repro.grid.metacell import partition_metacells
+    from repro.io.faults import NULL_CRASH_SCHEDULE
+    from repro.io.layout import compute_cum_crcs, compute_record_crcs
+
+    crash = crash if crash is not None else NULL_CRASH_SCHEDULE
+    group = int(group_records or WRITE_CHUNK_RECORDS)
+    if group < 1:
+        raise ValueError(f"group_records must be >= 1, got {group}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    device = FileBackedDevice(directory / BRICKS_FILE, cost_model)
-    dataset = build_indexed_dataset(volume, metacell_shape, device=device)
-    dataset.source_dir = str(directory)
-    save_dataset(dataset, directory)
+    bricks = directory / BRICKS_FILE
+    partial = directory / BRICKS_PARTIAL_FILE
+    index_tmp = directory / INDEX_TMP_FILE
+    meta_tmp = directory / META_TMP_FILE
+
+    # The index build is pure, deterministic compute — rerunning it on
+    # resume reproduces the exact record order the interrupted run used.
+    partition = partition_metacells(volume, metacell_shape)
+    intervals = IntervalSet.from_partition(partition, drop_constant=True)
+    tree = CompactIntervalTree.build(intervals)
+    codec = MetacellCodec(partition.metacell_shape, volume.dtype)
+    n = tree.n_records
+    rec = codec.record_size
+    fingerprint = build_fingerprint(volume, partition.metacell_shape, n, rec)
+
+    state = BuildJournal.read_state(directory)
+    committed = (directory / META_FILE).exists()
+
+    if committed and (state is None or state.committed):
+        # A published dataset with no (live) journal: the previous build
+        # finished.  A leftover committed journal just missed its unlink.
+        if state is not None:
+            BuildJournal(directory).unlink()
+        if resume:
+            try:
+                blob = json.loads((directory / META_FILE).read_text())
+            except (OSError, json.JSONDecodeError):
+                blob = {}
+            if blob.get("build_fingerprint") == fingerprint:
+                return load_dataset(directory, cost_model)
+        _clear_stale_build(directory)
+        state = None
+
+    verified = 0
+    crcs = np.empty(n, dtype=np.uint32)
+    cum = np.empty(n + 1, dtype=np.uint32)
+    cum[0] = 0
+    journal = BuildJournal(directory)
+    skip_record_writes = False
+
+    if state is not None and not state.committed:
+        resumable = (
+            resume
+            and state.fingerprint == fingerprint
+            and state.record_size == rec
+            and state.n_records == n
+        )
+        if resumable and not partial.exists() and bricks.exists():
+            # Crash landed between the bricks rename and the meta
+            # commit.  The journal must account for every record; then
+            # the store is complete and only index/meta publication is
+            # left to redo.
+            v, rcrcs, rcum = _verified_resume_point(bricks, state, rec)
+            if v == n:
+                verified = n
+                crcs[:] = rcrcs
+                cum[:] = rcum
+                skip_record_writes = True
+            else:
+                resumable = False
+        elif resumable and partial.exists():
+            v, rcrcs, rcum = _verified_resume_point(partial, state, rec)
+            verified = v
+            crcs[:v] = rcrcs
+            cum[: v + 1] = rcum
+        elif resumable:
+            # Journal began but no store survived: start records over
+            # while keeping the (matching) journal history appendable.
+            verified = 0
+        if not resumable:
+            _clear_stale_build(directory)
+            state = None
+            verified = 0
+            cum[0] = 0
+    elif state is None and not committed:
+        # No journal: any bricks/partial here are of unknown provenance.
+        _clear_stale_build(directory)
+
+    if state is None:
+        journal.begin(fingerprint, n, rec, group)
+        crash.point("begin_journaled")
+    else:
+        journal.note("resume")
+
+    if not skip_record_writes:
+        raw = FileBackedDevice(partial, cost_model, create=(verified == 0))
+        if raw.size < n * rec:
+            raw.allocate(n * rec - raw.size)
+        elif raw.size > n * rec:  # pragma: no cover - over-long stale partial
+            raw.truncate(n * rec)
+        device = wrap_device(raw) if wrap_device is not None else raw
+        ids, vmins = tree.record_ids, tree.record_vmins
+        for g, s in enumerate(range(0, n, group)):
+            e = min(s + group, n)
+            if e <= verified:
+                continue
+            values = partition.extract_values(ids[s:e])
+            blob = codec.encode(ids[s:e], vmins[s:e], values)
+            device.write(s * rec, blob)
+            crcs[s:e] = compute_record_crcs(blob, rec)
+            cum[s + 1 : e + 1] = compute_cum_crcs(blob, rec, initial=int(cum[s]))[1:]
+            crash.point(f"group_written:{g}")
+            device.fsync()
+            crash.point(f"group_flushed:{g}")
+            if verify_writes:
+                intended = zlib.crc32(blob)
+                for _attempt in range(8):
+                    if zlib.crc32(raw.peek(s * rec, len(blob))) == intended:
+                        break
+                    # Torn/absorbed write: rewrite the whole group
+                    # (through the same, possibly faulty, device).
+                    device.write(s * rec, blob)
+                    device.fsync()
+                else:
+                    from repro.io.faults import TornWriteError
+
+                    raise TornWriteError(
+                        f"group {g} failed read-back verification 8 times"
+                    )
+            journal.group(g, e, int(cum[e]))
+            crash.point(f"group_journaled:{g}")
+        device.fsync()
+        device.close()
+        crash.point("store_closed")
+        os.replace(partial, bricks)
+        _fsync_dir(directory)
+        crash.point("bricks_renamed")
+
+    final_device = FileBackedDevice(bricks, cost_model, create=False)
+    dataset = IndexedDataset(
+        tree=tree,
+        device=final_device,
+        codec=codec,
+        base_offset=0,
+        meta=_make_meta(volume, partition),
+        report=_make_report(partition, intervals, tree, codec),
+        checksums=BrickChecksums.from_record_crcs(
+            crcs, tree.brick_start, tree.brick_count, cum_crcs=cum
+        ),
+        source_dir=str(directory),
+    )
+
+    arrays = tree_to_arrays(tree)
+    arrays["record_crcs"] = dataset.checksums.record_crcs
+    arrays["brick_crcs"] = dataset.checksums.brick_crcs
+    arrays["cum_crcs"] = dataset.checksums.cum_crcs
+    with open(index_tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
+    crash.point("index_tmp_written")
+    os.replace(index_tmp, directory / INDEX_FILE)
+    _fsync_dir(directory)
+    crash.point("index_renamed")
+
+    meta_blob = _meta_to_json(dataset)
+    meta_blob["build_fingerprint"] = fingerprint
+    with open(meta_tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(meta_blob, indent=2))
+        fh.flush()
+        os.fsync(fh.fileno())
+    crash.point("meta_tmp_written")
+    os.replace(meta_tmp, directory / META_FILE)
+    _fsync_dir(directory)
+    crash.point("meta_renamed")
+
+    journal.commit()
+    crash.point("journal_committed")
+    journal.unlink()
     return dataset

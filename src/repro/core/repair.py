@@ -1,0 +1,211 @@
+"""Self-healing storage: rebuild CRC-failing records in place.
+
+Detection lives in :mod:`repro.core.validation` (fsck) and
+:mod:`repro.io.scrub` (background scrubber); this module is the *repair*
+half.  A record whose bytes no longer match its CRC32 can be
+reconstructed from two independent sources:
+
+* the **source volume** — preprocessing is deterministic, so re-encoding
+  the metacell from the original field reproduces the record
+  bit-identically (the record CRC in the index proves it before a single
+  byte is written back);
+* a **chained-declustering replica** — when the cluster was built with
+  ``replication >= 2``, some peer node holds a byte-identical copy of
+  this node's layout (:attr:`IndexedDataset.replica_stores`), so the
+  record can be copied back even when the source volume is gone.
+
+Either way, the candidate bytes are verified against the stored record
+CRC *before* the write-back and read back *after* it — a repair can fail
+(both sources corrupt, device refuses the write) but can never make the
+store worse.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.tracer import NULL_TRACER
+
+#: Records examined per chunk while sweeping the store for corruption.
+REPAIR_SCAN_CHUNK = 4096
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one :func:`repair_dataset` pass."""
+
+    #: Layout positions found (or given) as corrupt.
+    corrupt: "list[int]" = field(default_factory=list)
+    #: Positions rebuilt by re-encoding the source volume.
+    repaired_from_source: "list[int]" = field(default_factory=list)
+    #: Positions copied back from a replica host (``(pos, host_rank)``).
+    repaired_from_replica: "list[tuple[int, int]]" = field(default_factory=list)
+    #: Positions no source could reconstruct.
+    unrepaired: "list[int]" = field(default_factory=list)
+
+    @property
+    def n_repaired(self) -> int:
+        return len(self.repaired_from_source) + len(self.repaired_from_replica)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unrepaired
+
+    def as_dict(self) -> dict:
+        return {
+            "corrupt": [int(p) for p in self.corrupt],
+            "repaired_from_source": [int(p) for p in self.repaired_from_source],
+            "repaired_from_replica": [
+                [int(p), int(r)] for p, r in self.repaired_from_replica
+            ],
+            "unrepaired": [int(p) for p in self.unrepaired],
+        }
+
+    def summary(self) -> str:
+        if not self.corrupt:
+            return "repair: store clean, nothing to do"
+        return (
+            f"repair: {len(self.corrupt)} corrupt record(s) — "
+            f"{len(self.repaired_from_source)} rebuilt from source, "
+            f"{len(self.repaired_from_replica)} from replicas, "
+            f"{len(self.unrepaired)} unrepaired"
+        )
+
+
+def find_corrupt_records(dataset) -> "list[int]":
+    """Layout positions of every record whose CRC32 fails (CRC-only sweep).
+
+    Cheaper than :func:`repro.core.validation.verify_dataset`: no
+    decoding, no invariant checks — just the checksum comparison repair
+    needs.
+    """
+    checks = dataset.checksums
+    if checks is None:
+        raise ValueError("dataset carries no checksum tables; cannot scan")
+    rec = dataset.codec.record_size
+    n = dataset.n_records
+    out: "list[int]" = []
+    for start in range(0, n, REPAIR_SCAN_CHUNK):
+        stop = min(start + REPAIR_SCAN_CHUNK, n)
+        buf = dataset.device.read(dataset.record_offset(start), (stop - start) * rec)
+        out.extend(start + int(i) for i in checks.find_corrupt(start, buf, rec))
+    return out
+
+
+def encode_record_from_source(dataset, partition, position: int) -> bytes:
+    """Re-encode the record at ``position`` from the source partition.
+
+    Deterministic preprocessing makes this bit-identical to the original
+    layout write: same metacell id, same stored vmin, same codec.
+    """
+    rid = np.asarray([dataset.tree.record_ids[position]], dtype=np.uint32)
+    vmin = dataset.tree.record_vmins[position : position + 1]
+    values = partition.extract_values(rid)
+    return dataset.codec.encode(rid, vmin, values)
+
+
+def read_replica_record(host, src_rank: int, position: int, record_size: int) -> bytes:
+    """Read one record of node ``src_rank``'s layout from ``host``'s replica."""
+    base = host.replica_stores[src_rank]
+    return host.device.read(base + position * record_size, record_size)
+
+
+def repair_dataset(
+    dataset,
+    source_volume=None,
+    replica_hosts=(),
+    positions: "list[int] | None" = None,
+    tracer=NULL_TRACER,
+    metrics=None,
+) -> RepairReport:
+    """Reconstruct corrupt records of ``dataset`` in place.
+
+    Parameters
+    ----------
+    source_volume:
+        The original :class:`~repro.grid.volume.Volume`; when given,
+        corrupt records are rebuilt by re-running the (deterministic)
+        encode for just those metacells.
+    replica_hosts:
+        Peer :class:`~repro.core.builder.IndexedDataset` objects whose
+        :attr:`replica_stores` may hold a copy of this node's layout
+        (chained declustering).  Tried when the source volume is absent
+        or its reconstruction fails verification.
+    positions:
+        Explicit corrupt positions; default: scan the store
+        (:func:`find_corrupt_records`).
+
+    Every candidate is CRC-verified against the index *before* the
+    write-back, and the written bytes are read back and verified after —
+    so repairs are bit-exact or reported as ``unrepaired``, never
+    guessed.
+    """
+    checks = dataset.checksums
+    if checks is None:
+        raise ValueError("dataset carries no checksum tables; cannot repair")
+    rec = dataset.codec.record_size
+    report = RepairReport(
+        corrupt=sorted(positions) if positions is not None else find_corrupt_records(dataset)
+    )
+    if not report.corrupt:
+        return report
+
+    partition = None
+    if source_volume is not None:
+        from repro.grid.metacell import partition_metacells
+
+        partition = partition_metacells(source_volume, dataset.meta.metacell_shape)
+
+    hosts = [
+        h
+        for h in replica_hosts
+        if dataset.node_rank in getattr(h, "replica_stores", {})
+    ]
+
+    for p in report.corrupt:
+        expected = int(checks.record_crcs[p])
+        with tracer.span(
+            "repair.record", category="repair", args={"position": p}
+        ):
+            blob = None
+            origin = None
+            if partition is not None:
+                candidate = encode_record_from_source(dataset, partition, p)
+                if _crc(candidate) == expected:
+                    blob, origin = candidate, "source"
+            if blob is None:
+                for host in hosts:
+                    candidate = read_replica_record(host, dataset.node_rank, p, rec)
+                    if _crc(candidate) == expected:
+                        blob, origin = candidate, ("replica", host.node_rank)
+                        break
+            if blob is None:
+                report.unrepaired.append(p)
+                if metrics is not None:
+                    metrics.inc("repair.records_unrepaired")
+                continue
+            dataset.device.write(dataset.record_offset(p), blob)
+            back = dataset.device.read(dataset.record_offset(p), rec)
+            if _crc(back) != expected:
+                report.unrepaired.append(p)
+                if metrics is not None:
+                    metrics.inc("repair.records_unrepaired")
+                continue
+        if origin == "source":
+            report.repaired_from_source.append(p)
+            if metrics is not None:
+                metrics.inc("repair.records_from_source")
+        else:
+            report.repaired_from_replica.append((p, origin[1]))
+            if metrics is not None:
+                metrics.inc("repair.records_from_replica")
+    if hasattr(dataset.device, "flush"):
+        dataset.device.flush()
+    return report
+
+
+def _crc(blob) -> int:
+    return zlib.crc32(blob)

@@ -23,18 +23,43 @@ VERIFY_CHUNK = 4096
 
 @dataclass
 class VerifyReport:
-    """Outcome of a dataset integrity sweep."""
+    """Outcome of a dataset integrity sweep.
+
+    ``problems`` is the human-readable finding list (capped per class);
+    ``corrupt_records`` / ``corrupt_bricks`` are the complete structured
+    classification that ``repro fsck`` exit codes, ``--json`` output,
+    and ``--repair`` all key off.
+    """
 
     n_records_checked: int = 0
     n_bricks_checked: int = 0
     problems: "list[str]" = field(default_factory=list)
+    #: Layout positions of every record whose CRC32 disagrees with the
+    #: checksum table (complete, unlike the capped ``problems`` lines).
+    corrupt_records: "list[int]" = field(default_factory=list)
+    #: Brick ids whose rollup CRC fails or that contain corrupt records.
+    corrupt_bricks: "list[int]" = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.problems
 
+    @property
+    def has_corruption(self) -> bool:
+        return bool(self.corrupt_records or self.corrupt_bricks)
+
     def add(self, msg: str) -> None:
         self.problems.append(msg)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "n_records_checked": self.n_records_checked,
+            "n_bricks_checked": self.n_bricks_checked,
+            "problems": list(self.problems),
+            "corrupt_records": [int(p) for p in self.corrupt_records],
+            "corrupt_bricks": [int(b) for b in self.corrupt_bricks],
+        }
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.problems)} problem(s)"
@@ -125,8 +150,15 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
             report.add(f"short decode at records [{start}, {stop})")
             break
         if checks is not None:
-            for i in checks.find_corrupt(start, buf, rec)[:10]:
+            corrupt = checks.find_corrupt(start, buf, rec)
+            for i in corrupt[:10]:
                 report.add(f"record {start + int(i)}: CRC32 mismatch (bit rot?)")
+            if len(corrupt) > 10:
+                report.add(
+                    f"... and {len(corrupt) - 10} more CRC32 mismatches in "
+                    f"records [{start}, {stop})"
+                )
+            report.corrupt_records.extend(start + int(i) for i in corrupt)
         vals = batch.values.astype(np.float64)
         vmins = batch.vmins.astype(np.float64)
         payload_min = vals.min(axis=1)
@@ -168,5 +200,11 @@ def verify_dataset(dataset, deep: bool = True) -> VerifyReport:
             b, int(tree.brick_start[b]), int(tree.brick_count[b])
         ):
             report.add(f"brick {b}: rollup CRC32 mismatch against record CRCs")
+            report.corrupt_bricks.append(b)
+    if report.corrupt_records:
+        bad = set(report.corrupt_bricks)
+        for p in report.corrupt_records:
+            bad.add(int(brick_of[p]))
+        report.corrupt_bricks = sorted(bad)
     report.n_bricks_checked = tree.n_bricks
     return report

@@ -137,6 +137,16 @@ class FileBackedDevice:
     def flush(self) -> None:
         self._fh.flush()
 
+    def fsync(self) -> None:
+        """Flush userspace buffers and ask the OS to reach the media.
+
+        Durability barrier for the journaled build's commit points: after
+        ``fsync`` returns, everything written so far survives a crash of
+        the process (and, on a real disk, of the machine).
+        """
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         self._fh.close()
 

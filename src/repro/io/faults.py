@@ -38,6 +38,10 @@ class StorageFault(IOError):
     """Base class for every injected or detected storage failure."""
 
 
+class TornWriteError(StorageFault):
+    """A write was torn: only a prefix of the payload reached the media."""
+
+
 class TransientReadError(StorageFault):
     """A read attempt failed but the same extent may succeed on retry."""
 
@@ -52,6 +56,78 @@ class DeviceFailedError(StorageFault):
 
 class BrickCorruptionError(StorageFault):
     """Decoded record bytes failed CRC32 verification after re-reads."""
+
+
+class SimulatedCrash(BaseException):
+    """A process kill injected at a :class:`CrashSchedule` point.
+
+    Deliberately *not* a :class:`StorageFault` (nor even an
+    ``Exception``): a killed process does not flow through recovery
+    code, so no ``except Exception`` handler in the write path may
+    absorb it.  Only the crash-kill harness catches it, exactly where a
+    supervising test would observe the process exit.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point)
+        self.point = point
+
+
+@dataclass
+class CrashSchedule:
+    """Deterministic process-kill injection for the build write path.
+
+    The journaled builder calls :meth:`point` at every durability
+    decision point (after a group write, around each commit rename,
+    ...).  The schedule counts the points; when the counter passes
+    ``kill_at`` it raises :class:`SimulatedCrash`, simulating a
+    ``SIGKILL`` at exactly that instruction boundary.  Running a build
+    with ``kill_at=None`` counts the points without killing, which is
+    how the harness discovers the kill-point space before randomizing
+    over it.
+
+    Parameters
+    ----------
+    kill_at:
+        Zero-based index of the crash point to die at (``None``: never).
+    hard:
+        When True the scheduled point calls ``os._exit(137)`` instead of
+        raising — a true process kill with no unwinding, for harness
+        runs that fork the builder into a child process.
+    """
+
+    kill_at: "int | None" = None
+    hard: bool = False
+    #: Points visited so far (doubles as the total after a survived run).
+    points_seen: int = 0
+    #: Name of the point the crash fired at, for harness reporting.
+    fired_at: "str | None" = None
+    #: Ordered names of every point visited (labels the kill-point space).
+    trace: "list[str]" = field(default_factory=list)
+
+    def point(self, name: str) -> None:
+        """Visit a named crash point; dies here when scheduled to."""
+        idx = self.points_seen
+        self.points_seen += 1
+        self.trace.append(name)
+        if self.kill_at is not None and idx == self.kill_at:
+            self.fired_at = name
+            if self.hard:  # pragma: no cover - exits the process
+                import os
+
+                os._exit(137)
+            raise SimulatedCrash(name)
+
+
+#: Shared no-op schedule used when the caller injects no crashes.
+class _NullCrashSchedule:
+    __slots__ = ()
+
+    def point(self, name: str) -> None:
+        return None
+
+
+NULL_CRASH_SCHEDULE = _NullCrashSchedule()
 
 
 @dataclass(frozen=True)
@@ -90,6 +166,16 @@ class FaultPlan:
         (mid-query node loss).  ``None`` disables.
     fail_all:
         Start the device dead (node lost before the query).
+    torn_write_rate:
+        Per-write probability of *silently* tearing the write: only a
+        prefix (length chosen by the RNG, possibly zero) reaches the
+        media and no error is raised — the lost-power failure mode that
+        only journal/CRC verification can discover after the fact.
+    fail_after_writes:
+        Kill the device during this (0-based) write: a torn prefix of
+        the payload is applied, then :class:`TornWriteError` is raised
+        and the device is permanently failed — a crash mid-flush.
+        ``None`` disables.
     """
 
     seed: int = 0
@@ -101,9 +187,12 @@ class FaultPlan:
     latency_spike_seconds: float = 0.0
     fail_after_reads: "int | None" = None
     fail_all: bool = False
+    torn_write_rate: float = 0.0
+    fail_after_writes: "int | None" = None
 
     def __post_init__(self) -> None:
-        for name in ("transient_error_rate", "corruption_rate", "latency_spike_rate"):
+        for name in ("transient_error_rate", "corruption_rate", "latency_spike_rate",
+                     "torn_write_rate"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {v}")
@@ -145,10 +234,12 @@ class FaultPlan:
                     kwargs["fail_after_reads"] = int(value)
                 else:
                     kwargs["fail_all"] = True
+            elif key == "torn":
+                kwargs["torn_write_rate"] = float(value) if value else 1.0
             else:
                 raise ValueError(
                     f"unknown fault spec key {key!r} "
-                    "(known: transient, corrupt, latency, seed, burst, fail)"
+                    "(known: transient, corrupt, latency, seed, burst, fail, torn)"
                 )
         return cls(**kwargs)
 
@@ -161,6 +252,7 @@ class FaultStats:
     corrupted_reads: int = 0
     latency_spikes: int = 0
     failed_reads: int = 0
+    torn_writes: int = 0
 
 
 class FaultInjectingDevice:
@@ -197,7 +289,9 @@ class FaultInjectingDevice:
         self.cost_model: IOCostModel = backing.cost_model
         self.fault_stats = FaultStats()
         self._rng = random.Random(self.plan.seed)
+        self._wrng = random.Random(self.plan.seed ^ 0x5EED_717E)
         self._reads_served = 0
+        self._writes_served = 0
         self._pending_burst = 0
         self._failed = self.plan.fail_all
 
@@ -215,6 +309,36 @@ class FaultInjectingDevice:
         return self.backing.allocate(nbytes)
 
     def write(self, offset: int, data: bytes) -> None:
+        if self._failed:
+            raise DeviceFailedError(
+                f"device failed permanently; write [{offset}, "
+                f"{offset + len(data)}) refused"
+            )
+        idx = self._writes_served
+        self._writes_served += 1
+        if self.plan.fail_after_writes is not None and idx >= self.plan.fail_after_writes:
+            # Crash mid-flush: a torn prefix lands, then the device dies.
+            self._failed = True
+            self.fault_stats.torn_writes += 1
+            keep = self._wrng.randrange(len(data) + 1) if data else 0
+            if keep:
+                self.backing.write(offset, data[:keep])
+            raise TornWriteError(
+                f"device failed during write [{offset}, {offset + len(data)}): "
+                f"{keep}/{len(data)} bytes reached the media"
+            )
+        if (
+            self.plan.torn_write_rate
+            and data
+            and self._wrng.random() < self.plan.torn_write_rate
+        ):
+            # Silent tear: a prefix lands, no error — detectable only by
+            # journal / CRC verification after the fact.
+            self.fault_stats.torn_writes += 1
+            keep = self._wrng.randrange(len(data))
+            if keep:
+                self.backing.write(offset, data[:keep])
+            return
         self.backing.write(offset, data)
 
     def read(self, offset: int, nbytes: int) -> bytes:
@@ -274,6 +398,21 @@ class FaultInjectingDevice:
 
     def truncate(self, nbytes: int) -> None:
         self.backing.truncate(nbytes)
+
+    # Durability pass-throughs: the journaled builder flushes/fsyncs at
+    # commit points whatever device it was handed, wrapped or not.
+
+    def flush(self) -> None:
+        if hasattr(self.backing, "flush"):
+            self.backing.flush()
+
+    def fsync(self) -> None:
+        if hasattr(self.backing, "fsync"):
+            self.backing.fsync()
+
+    def close(self) -> None:
+        if hasattr(self.backing, "close"):
+            self.backing.close()
 
     # -- fault control --------------------------------------------------------
 

@@ -17,7 +17,8 @@ still pickled wholesale, which is fine at example scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -103,11 +104,190 @@ def node_task(args) -> WorkerOutput:
     )
 
 
+@dataclass(frozen=True)
+class SupervisorOptions:
+    """Crash-recovery policy of :func:`extract_parallel_mp`.
+
+    Parameters
+    ----------
+    max_respawns:
+        Times one job's worker may be respawned after dying (killed,
+        segfaulted, exited nonzero without a result) before the parent
+        gives up on processes and runs the job inline — which always
+        completes, so a job is never lost to worker deaths.
+    poll_interval:
+        Seconds between parent liveness polls (wall clock).
+    heartbeat_timeout:
+        A worker whose heartbeat is older than this many seconds is
+        declared hung and killed + retried like a dead one.  ``None``
+        disables hang detection (death detection stays on).
+    """
+
+    max_respawns: int = 1
+    poll_interval: float = 0.05
+    heartbeat_timeout: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {self.max_respawns}")
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {self.heartbeat_timeout}"
+            )
+
+
+DEFAULT_SUPERVISOR_OPTIONS = SupervisorOptions()
+
+#: Seconds between heartbeat updates inside a worker.
+HEARTBEAT_INTERVAL = 0.02
+
+
+@dataclass
+class SupervisorStats:
+    """What the supervisor observed during one run (for tests/telemetry)."""
+
+    respawns: int = 0
+    inline_recoveries: int = 0
+    dead_workers: "list[int]" = field(default_factory=list)
+
+
+def _supervised_node_task(job, idx: int, queue, heartbeat) -> None:
+    """Worker entry point: run the job, beating while it runs.
+
+    The heartbeat is a shared double the worker refreshes from a
+    background thread; the parent reads it to distinguish *hung* from
+    merely slow.  Results and exceptions both travel back on ``queue`` —
+    a worker that dies without putting anything is what the supervisor's
+    liveness poll catches.
+    """
+    import threading
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(HEARTBEAT_INTERVAL)
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        out = node_task(job)
+        queue.put((idx, "ok", out))
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        try:
+            queue.put((idx, "error", exc))
+        except Exception:  # pragma: no cover - unpicklable exception
+            queue.put((idx, "error", RuntimeError(repr(exc))))
+    finally:
+        stop.set()
+
+
+def _run_supervised(
+    jobs: list,
+    n_proc: int,
+    options: SupervisorOptions,
+    stats: "SupervisorStats | None" = None,
+) -> list:
+    """Run jobs across supervised worker processes.
+
+    Unlike ``Pool.map`` — which never completes a job whose worker was
+    SIGKILLed — every job here ends in exactly one of: a result, a
+    raised exception, or (after ``max_respawns`` worker deaths) an
+    inline re-run in the parent.
+    """
+    import queue as queue_mod
+
+    ctx = default_mp_context()
+    results: "dict[int, object]" = {}
+    result_queue = ctx.Queue()
+    pending = list(enumerate(jobs))
+    attempts = [0] * len(jobs)
+    running: "dict[int, tuple]" = {}  # idx -> (process, heartbeat)
+    failure: "BaseException | None" = None
+
+    def spawn(idx: int) -> None:
+        heartbeat = ctx.Value("d", time.monotonic())
+        # Daemonic, like Pool workers: a nested triangulation pipeline
+        # inside the job falls back to the serial kernel instead of
+        # spawning grandchildren (bit-identical either way).
+        proc = ctx.Process(
+            target=_supervised_node_task,
+            args=(jobs[idx], idx, result_queue, heartbeat),
+            daemon=True,
+        )
+        proc.start()
+        running[idx] = (proc, heartbeat)
+
+    try:
+        while len(results) < len(jobs) and failure is None:
+            while pending and len(running) < n_proc:
+                idx, _ = pending.pop(0)
+                spawn(idx)
+            try:
+                idx, status, payload = result_queue.get(
+                    timeout=options.poll_interval
+                )
+                if status == "ok":
+                    results[idx] = payload
+                else:
+                    failure = payload
+                proc, _hb = running.pop(idx, (None, None))
+                if proc is not None:
+                    proc.join()
+                continue
+            except queue_mod.Empty:
+                pass
+            now = time.monotonic()
+            for idx, (proc, heartbeat) in list(running.items()):
+                dead = not proc.is_alive() and proc.exitcode != 0
+                hung = (
+                    options.heartbeat_timeout is not None
+                    and now - heartbeat.value > options.heartbeat_timeout
+                )
+                if not dead and not hung:
+                    continue
+                if hung and proc.is_alive():
+                    proc.kill()
+                proc.join()
+                running.pop(idx)
+                if stats is not None:
+                    stats.dead_workers.append(idx)
+                attempts[idx] += 1
+                if attempts[idx] <= options.max_respawns:
+                    if stats is not None:
+                        stats.respawns += 1
+                    spawn(idx)
+                else:
+                    # Out of respawn budget: the parent finishes the job
+                    # itself.  Guaranteed completion beats parallelism.
+                    if stats is not None:
+                        stats.inline_recoveries += 1
+                    results[idx] = node_task(jobs[idx])
+            # A worker that exited 0 after a successful put is reaped on
+            # the queue-drain path above; nothing else to do here.
+        if failure is not None:
+            raise failure
+        return [results[i] for i in range(len(jobs))]
+    finally:
+        for proc, _hb in running.values():
+            if proc.is_alive():
+                proc.kill()
+            proc.join()
+        result_queue.close()
+
+
 def extract_parallel_mp(
     datasets: "list[IndexedDataset]",
     lam: float,
     processes: "int | None" = None,
     pipeline: "PipelineOptions | None" = None,
+    supervisor: "SupervisorOptions | None" = None,
+    supervisor_stats: "SupervisorStats | None" = None,
 ) -> "list[WorkerOutput]":
     """Run each node's extraction in its own OS process.
 
@@ -125,8 +305,18 @@ def extract_parallel_mp(
     pipeline:
         Optional :class:`~repro.parallel.pipeline.PipelineOptions` for
         the triangulation stage.  Effective on the inline (single
-        process) path; inside pool workers it degrades to the serial
-        kernel (daemonic processes cannot fork), with identical output.
+        process) path; inside supervised workers it degrades to the
+        serial kernel (non-daemonic workers could fork, but the nested
+        pipeline falls back identically), with identical output.
+    supervisor:
+        Crash-recovery policy (heartbeats, respawn budget); default
+        :data:`DEFAULT_SUPERVISOR_OPTIONS`.  A worker killed mid-job is
+        detected, respawned up to ``max_respawns`` times, then the job
+        is finished inline — no extraction is ever lost to a dead
+        worker.
+    supervisor_stats:
+        Optional :class:`SupervisorStats` populated with what the
+        supervisor observed (deaths, respawns, inline recoveries).
 
     Returns
     -------
@@ -141,7 +331,8 @@ def extract_parallel_mp(
     if n_proc <= 1 or len(datasets) == 1:
         outs = [node_task(j) for j in jobs]
     else:
-        ctx = default_mp_context()
-        with ctx.Pool(n_proc) as pool:
-            outs = pool.map(node_task, jobs)
+        outs = _run_supervised(
+            jobs, n_proc, supervisor or DEFAULT_SUPERVISOR_OPTIONS,
+            supervisor_stats,
+        )
     return sorted(outs, key=lambda o: o.node_rank)

@@ -30,9 +30,14 @@ job *k*, the parent is already staging job *k+1*.  Stages emit
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
+import os
+import re
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -77,11 +82,17 @@ class PipelineOptions:
     mp_context:
         Start-method override (``"fork"`` / ``"spawn"`` /
         ``"forkserver"``); ``None`` uses :func:`default_mp_context`.
+    job_timeout:
+        Seconds to wait for one job's result before declaring its worker
+        dead (killed or hung — a ``Pool`` never completes such a job) and
+        re-running the job inline from the parent's staged copy.  The
+        result stays bit-identical either way.  ``None`` waits forever.
     """
 
     workers: int = 2
     batch_chunks: int = 8
     mp_context: "str | None" = None
+    job_timeout: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -89,6 +100,10 @@ class PipelineOptions:
         if self.batch_chunks < 1:
             raise ValueError(
                 f"batch_chunks must be >= 1, got {self.batch_chunks}"
+            )
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be > 0 seconds, got {self.job_timeout}"
             )
 
     @property
@@ -98,6 +113,103 @@ class PipelineOptions:
 
 #: Options used when a caller asks for "the pipeline" without tuning it.
 DEFAULT_PIPELINE_OPTIONS = PipelineOptions()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory segment lifecycle
+#
+# Segments are created under a recognizable name, tracked in a
+# module-level registry, and released through one idempotent helper, so
+# that *every* exit path — success, worker exception, parent exception,
+# interpreter shutdown (atexit), even a parent killed outright (the next
+# pipeline run purges segments whose owner pid is gone) — leaves zero
+# orphans in /dev/shm.
+# ---------------------------------------------------------------------------
+
+#: Name prefix of every segment this module creates; the owner pid is
+#: embedded so an orphan's liveness can be checked after the fact.
+SHM_PREFIX = "repro_pl"
+
+_segment_seq = itertools.count()
+#: Names of segments this process created and has not yet unlinked.
+_live_segments: "set[str]" = set()
+_atexit_installed = False
+
+
+def _atexit_release() -> None:  # pragma: no cover - runs at shutdown
+    from multiprocessing import shared_memory
+
+    for name in list(_live_segments):
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        _live_segments.discard(name)
+
+
+def _create_segment(size: int):
+    """Create a tracked, atexit-protected shared-memory segment."""
+    from multiprocessing import shared_memory
+
+    global _atexit_installed
+    if not _atexit_installed:
+        atexit.register(_atexit_release)
+        _atexit_installed = True
+    while True:
+        name = f"{SHM_PREFIX}_{os.getpid()}_{next(_segment_seq)}"
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:  # pragma: no cover - stale name collision
+            continue
+        _live_segments.add(name)
+        return shm
+
+
+def _release_segment(shm) -> None:
+    """Close + unlink a segment; safe to call more than once."""
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    _live_segments.discard(shm.name)
+
+
+def purge_orphan_segments() -> "list[str]":
+    """Unlink segments whose owning process no longer exists.
+
+    A parent killed with SIGKILL gets no atexit; its segments linger in
+    ``/dev/shm`` under ``repro_pl_<pid>_*``.  Any later pipeline run (or
+    an explicit caller) sweeps them by checking whether ``<pid>`` is
+    still alive.  Returns the names removed.
+    """
+    removed: "list[str]" = []
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return removed
+    pattern = re.compile(rf"^{SHM_PREFIX}_(\d+)_\d+$")
+    for entry in shm_dir.iterdir():
+        m = pattern.match(entry.name)
+        if not m:
+            continue
+        pid = int(m.group(1))
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # owner alive: not an orphan
+        except ProcessLookupError:
+            pass
+        except PermissionError:  # pragma: no cover - other user's pid
+            continue
+        try:
+            entry.unlink()
+            removed.append(entry.name)
+        except FileNotFoundError:  # pragma: no cover - raced another purge
+            pass
+    return removed
 
 
 def _pipeline_worker(args):
@@ -110,14 +222,19 @@ def _pipeline_worker(args):
     from multiprocessing import resource_tracker, shared_memory
 
     shm_name, shape, lam, origins, with_normals = args
-    shm = shared_memory.SharedMemory(name=shm_name)
-    # Attaching registered the segment with this process's resource
-    # tracker too; the parent owns unlinking, so deregister here or the
-    # tracker warns about (already-unlinked) leaks at worker shutdown.
+    # The parent owns this segment's lifecycle; attaching must not
+    # (re-)register it with a resource tracker — under fork the tracker
+    # process is *shared* with the parent, so an attach-register followed
+    # by a worker-side unregister would cancel the parent's registration
+    # and make the parent's eventual unlink double-unregister.  Python
+    # 3.13 has ``track=False`` for this; suppress registration manually
+    # on older versions.
+    _register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
     try:
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker API is semi-private
-        pass
+        shm = shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = _register
     try:
         values = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
         mesh, normals = _extract_batch_chunks(
@@ -164,19 +281,21 @@ def pipelined_marching_cubes(
             with_normals=with_normals,
         )
 
-    from multiprocessing import shared_memory
-
     ctx = (
         multiprocessing.get_context(opts.mp_context)
         if opts.mp_context
         else default_mp_context()
     )
+    # Opportunistic sweep: a previous pipeline parent killed outright
+    # left segments no atexit could release; reclaim them now.
+    purge_orphan_segments()
     starts = list(range(0, n, job))
     span = tracer.span(
         "pipeline.run", track=track, category="pipeline",
         args={"metacells": n, "jobs": len(starts), "workers": opts.workers},
     )
-    segments: "list[shared_memory.SharedMemory]" = []
+    segments: list = []
+    shapes: "list[tuple]" = []
     try:
         with ctx.Pool(opts.workers) as pool:
             pending = []
@@ -187,10 +306,9 @@ def pipelined_marching_cubes(
                     "pipeline.stage_in", track=track, category="pipeline",
                     args={"job": ji, "metacells": e - s},
                 ):
-                    shm = shared_memory.SharedMemory(
-                        create=True, size=block.size * 8
-                    )
+                    shm = _create_segment(block.size * 8)
                     segments.append(shm)
+                    shapes.append(block.shape)
                     staged = np.ndarray(
                         block.shape, dtype=np.float64, buffer=shm.buf
                     )
@@ -207,7 +325,33 @@ def pipelined_marching_cubes(
             meshes = []
             normal_parts = []
             for ji, fut in enumerate(pending):
-                verts, faces, normals = fut.get()
+                try:
+                    if opts.job_timeout is not None:
+                        verts, faces, normals = fut.get(opts.job_timeout)
+                    else:
+                        verts, faces, normals = fut.get()
+                except multiprocessing.TimeoutError:
+                    # The worker died (a Pool never completes a job whose
+                    # worker was killed) or hung.  The staged payload is
+                    # still in the parent's segment — re-run the job
+                    # inline on the exact bytes the worker would have
+                    # read, so the result stays bit-identical.
+                    s = starts[ji]
+                    e = min(s + job, n)
+                    staged = np.ndarray(
+                        shapes[ji], dtype=np.float64, buffer=segments[ji].buf
+                    )
+                    mesh_j, normals = _extract_batch_chunks(
+                        staged, float(lam), origins[s:e],
+                        DEFAULT_BATCH_CHUNK, with_normals,
+                    )
+                    verts = mesh_j.vertices.copy()
+                    faces = mesh_j.faces.copy()
+                    normals = normals.copy() if normals is not None else None
+                    tracer.instant(
+                        "pipeline.job_recovered", category="pipeline",
+                        args={"job": ji, "reason": "worker-timeout"},
+                    )
                 tracer.instant(
                     "pipeline.job_done", category="pipeline",
                     args={"job": ji, "triangles": len(faces)},
@@ -215,17 +359,11 @@ def pipelined_marching_cubes(
                 meshes.append(TriangleMesh(verts, faces))
                 if with_normals:
                     normal_parts.append(normals)
-                segments[ji].close()
-                segments[ji].unlink()
-    except BaseException:
-        for shm in segments:
-            try:
-                shm.close()
-                shm.unlink()
-            except FileNotFoundError:
-                pass
-        raise
+                _release_segment(segments[ji])
     finally:
+        # Idempotent: releases whatever the success path did not.
+        for shm in segments:
+            _release_segment(shm)
         span.close()
 
     mesh = TriangleMesh.concat(meshes)

@@ -1,0 +1,148 @@
+"""Coalesced-read fallback on wrapped devices.
+
+The coalescer needs the raw-device escape hatch (``peek`` +
+``charge_read``); wrapper devices — fault injection, hedging, caching —
+deliberately do not expose it, so a query that *requests* coalescing on
+a wrapped stack must silently take the plain per-run path and still
+produce bit-identical records **and** bit-identical ``IOStats`` (the
+coalescer's contract is that the meter is charged exactly the per-run
+sequence either way).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import build_persistent_dataset, load_dataset
+from repro.core.query import QueryOptions, execute_query
+from repro.grid.datasets import sphere_field
+from repro.io.cache import CachedDevice
+from repro.io.faults import FaultInjectingDevice, FaultPlan, HedgedDevice
+
+ISO = 0.62
+GAP = 64  # generous merge threshold so coalescing definitely fires
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    vol = sphere_field((33, 33, 33))
+    directory = tmp_path_factory.mktemp("coalesce_ds")
+    build_persistent_dataset(vol, directory, metacell_shape=(5, 5, 5))
+    return directory
+
+
+def run(ds, gap):
+    qr = execute_query(ds, ISO, QueryOptions(coalesce_gap_blocks=gap))
+    return qr
+
+
+def stats_tuple(qr):
+    return (qr.io_stats.blocks_read, qr.io_stats.seeks, qr.n_records_read)
+
+
+def count_reads(device):
+    """Shadow ``device.read`` with a counting wrapper (per instance)."""
+    counter = {"n": 0}
+    orig = device.read
+
+    def counted(offset, nbytes):
+        counter["n"] += 1
+        return orig(offset, nbytes)
+
+    device.read = counted
+    return counter
+
+
+class TestRawDeviceCoalesces:
+    def test_raw_device_exposes_escape_hatch(self, store):
+        ds = load_dataset(store)
+        assert hasattr(ds.device, "peek")
+        assert hasattr(ds.device, "charge_read")
+
+    def test_coalescing_fires_and_preserves_everything(self, store):
+        per_run_ds = load_dataset(store)
+        per_run_calls = count_reads(per_run_ds.device)
+        per_run = run(per_run_ds, gap=0)
+
+        fast_ds = load_dataset(store)
+        fast_calls = count_reads(fast_ds.device)
+        fast = run(fast_ds, gap=GAP)
+
+        # Coalescing genuinely merged extents (fewer read calls) ...
+        assert fast_calls["n"] < per_run_calls["n"]
+        # ... while records and the modeled meter are bit-identical.
+        assert np.array_equal(fast.records.ids, per_run.records.ids)
+        assert np.array_equal(
+            fast_ds.codec.values_grid(fast.records),
+            per_run_ds.codec.values_grid(per_run.records),
+        )
+        assert stats_tuple(fast) == stats_tuple(per_run)
+
+
+class TestWrappedStacksFallBack:
+    """Each wrapper stack, queried *with coalescing requested*, must
+    match the raw per-run path bit-for-bit in records and IOStats."""
+
+    @pytest.fixture(scope="class")
+    def per_run(self, store):
+        ds = load_dataset(store)
+        qr = run(ds, gap=0)
+        return ds, qr
+
+    def _check(self, ds, per_run, expect_read_calls=None):
+        ref_ds, ref = per_run
+        calls = count_reads(ds.device)
+        qr = run(ds, gap=GAP)
+        assert not hasattr(ds.device, "peek")
+        assert not hasattr(ds.device, "charge_read")
+        assert np.array_equal(qr.records.ids, ref.records.ids)
+        assert np.array_equal(
+            ds.codec.values_grid(qr.records),
+            ref_ds.codec.values_grid(ref.records),
+        )
+        assert stats_tuple(qr) == stats_tuple(ref)
+        if expect_read_calls is not None:
+            assert calls["n"] == expect_read_calls
+
+    def test_fault_injecting_stack(self, store, per_run):
+        ds = load_dataset(store)
+        # Benign plan: the wrapper is present but injects nothing, so
+        # the only difference from raw is the missing escape hatch.
+        ds.device = FaultInjectingDevice(ds.device, FaultPlan())
+        self._check(ds, per_run)
+
+    def test_hedged_stack(self, store, per_run):
+        ds = load_dataset(store)
+        replica = load_dataset(store)
+        ds.device = HedgedDevice(
+            ds.device, ds.base_offset, replica.device, replica.base_offset
+        )
+        self._check(ds, per_run)
+
+    def test_cached_stack(self, store, per_run):
+        ds = load_dataset(store)
+        ds.device = CachedDevice(ds.device, capacity_blocks=4096)
+        self._check(ds, per_run)
+
+    def test_fault_over_hedged_over_cached(self, store, per_run):
+        """Deep stack: fault injection over hedging over caching."""
+        ds = load_dataset(store)
+        replica = load_dataset(store)
+        cached = CachedDevice(ds.device, capacity_blocks=4096)
+        hedged = HedgedDevice(
+            cached, ds.base_offset, replica.device, replica.base_offset
+        )
+        ds.device = FaultInjectingDevice(hedged, FaultPlan())
+        self._check(ds, per_run)
+
+    def test_wrapped_read_calls_match_per_run_path(self, store):
+        """The wrapper sees exactly as many read calls as the per-run
+        path issues on a raw device — no hidden merging."""
+        raw = load_dataset(store)
+        raw_calls = count_reads(raw.device)
+        run(raw, gap=0)
+
+        wrapped = load_dataset(store)
+        wrapped.device = FaultInjectingDevice(wrapped.device, FaultPlan())
+        wrapped_calls = count_reads(wrapped.device)
+        run(wrapped, gap=GAP)
+        assert wrapped_calls["n"] == raw_calls["n"]

@@ -128,3 +128,65 @@ class TestDatasetDirectory:
         out = save_dataset(ds, tmp_path / "mem")
         assert (out / INDEX_FILE).exists()
         assert not (out / BRICKS_FILE).exists()
+
+
+class TestCumCrcCompat:
+    """v1->v2 index compatibility: ``cum_crcs`` is a fast-path
+    accelerator only — a store whose index lacks it (or carries a
+    truncated table) must load fine and fall back to per-record CRC
+    verification, never crash."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path, sphere_volume):
+        d = tmp_path / "ds"
+        ds = build_persistent_dataset(
+            sphere_volume, d, metacell_shape=(5, 5, 5)
+        )
+        ds.device.close()
+        return d
+
+    @staticmethod
+    def _rewrite_index(directory, mutate):
+        with np.load(directory / INDEX_FILE) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        mutate(arrays)
+        np.savez_compressed(directory / INDEX_FILE, **arrays)
+
+    def _assert_degrades_gracefully(self, directory):
+        from repro.core.query import QueryOptions, execute_query
+        from repro.core.validation import verify_dataset
+
+        ds = load_dataset(directory)
+        try:
+            assert ds.checksums is not None
+            assert ds.checksums.cum_crcs is None  # fast path dropped
+            # Per-record verification still works end to end.
+            qr = execute_query(ds, 0.62, QueryOptions(verify_checksums=True))
+            assert qr.n_records_read > 0
+            assert verify_dataset(ds, deep=True).ok
+        finally:
+            ds.device.close()
+
+    def test_cum_crcs_absent(self, saved):
+        self._rewrite_index(saved, lambda a: a.pop("cum_crcs"))
+        self._assert_degrades_gracefully(saved)
+
+    def test_cum_crcs_truncated(self, saved):
+        self._rewrite_index(
+            saved, lambda a: a.__setitem__("cum_crcs", a["cum_crcs"][:3])
+        )
+        self._assert_degrades_gracefully(saved)
+
+    def test_cum_crcs_empty(self, saved):
+        self._rewrite_index(
+            saved, lambda a: a.__setitem__("cum_crcs", a["cum_crcs"][:0])
+        )
+        self._assert_degrades_gracefully(saved)
+
+    def test_intact_cum_crcs_still_used(self, saved):
+        ds = load_dataset(saved)
+        try:
+            assert ds.checksums is not None
+            assert ds.checksums.cum_crcs is not None
+        finally:
+            ds.device.close()

@@ -1,0 +1,237 @@
+"""Background scrubber + self-healing repair tests.
+
+Detection: the paced scrubber must flag any pre-existing corruption
+within **one full sweep** of the brick table, with ``scrub.*`` metrics
+and modeled-clock pacing.  Repair: CRC-failing records are rebuilt
+bit-identically from the source volume or from a chained-declustering
+replica, verified before and after the write-back — and a repair can
+never make the store worse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_indexed_dataset, build_striped_datasets
+from repro.core.persistence import build_persistent_dataset, load_dataset
+from repro.core.repair import (
+    find_corrupt_records,
+    repair_dataset,
+)
+from repro.core.validation import verify_dataset
+from repro.grid.datasets import sphere_field
+from repro.io.scrub import ScrubConfig, Scrubber
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((33, 33, 33))
+
+
+@pytest.fixture()
+def persistent(volume, tmp_path):
+    d = tmp_path / "ds"
+    ds = build_persistent_dataset(volume, d, metacell_shape=(5, 5, 5))
+    yield ds, d
+    ds.device.close()
+
+
+def corrupt_record(ds, position, flip=3):
+    """Flip ``flip`` bytes of the record at layout ``position``."""
+    rec = ds.codec.record_size
+    off = ds.record_offset(position)
+    blob = bytearray(ds.device.read(off, rec))
+    for i in range(flip):
+        blob[7 * i] ^= 0xFF
+    ds.device.write(off, bytes(blob))
+
+
+class TestScrubber:
+    def test_requires_checksums(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5), checksum=False)
+        with pytest.raises(ValueError, match="checksum"):
+            Scrubber(ds)
+
+    def test_clean_sweep(self, persistent):
+        ds, _ = persistent
+        scrubber = Scrubber(ds, ScrubConfig(bricks_per_tick=4))
+        report = scrubber.sweep()
+        assert report.clean
+        assert report.sweeps_completed == 1
+        assert report.n_bricks_scanned == ds.tree.n_bricks
+        assert report.n_records_scanned == ds.n_records
+        assert report.modeled_seconds > 0.0
+
+    def test_detects_all_corruption_within_one_sweep(self, persistent):
+        ds, _ = persistent
+        positions = [1, ds.n_records // 2, ds.n_records - 1]
+        for p in positions:
+            corrupt_record(ds, p)
+        metrics = MetricsRegistry()
+        scrubber = Scrubber(
+            ds, ScrubConfig(bricks_per_tick=3), metrics=metrics
+        )
+        report = scrubber.sweep()
+        assert not report.clean
+        assert sorted(report.corrupt_records) == sorted(positions)
+        snap = metrics.to_dict()
+        assert snap["scrub.corrupt_records"] == len(positions)
+        assert scrubber.corrupt_bricks  # sticky across the scrubber
+        assert report.sweeps_completed == 1
+
+    def test_pacing_tick_count_and_idle(self, persistent):
+        ds, _ = persistent
+        nb = ds.tree.n_bricks
+        scrubber = Scrubber(ds, ScrubConfig(bricks_per_tick=5, idle_seconds=0.5))
+        report = scrubber.sweep()
+        expected_ticks = -(-nb // 5)  # ceil
+        assert report.n_ticks == expected_ticks
+        assert report.modeled_seconds >= 0.5 * expected_ticks
+
+    def test_metrics_exported(self, persistent):
+        ds, _ = persistent
+        corrupt_record(ds, 0)
+        metrics = MetricsRegistry()
+        Scrubber(ds, ScrubConfig(bricks_per_tick=8), metrics=metrics).sweep()
+        names = set(metrics.to_dict())
+        for key in ("scrub.ticks", "scrub.bricks_scanned",
+                    "scrub.corrupt_bricks", "scrub.corrupt_records",
+                    "scrub.sweeps_completed"):
+            assert key in names, key
+
+    def test_cursor_resumes_across_ticks(self, persistent):
+        ds, _ = persistent
+        scrubber = Scrubber(ds, ScrubConfig(bricks_per_tick=2))
+        scrubber.tick()
+        assert scrubber.position == 2
+        scrubber.tick()
+        assert scrubber.position == 4
+
+
+class TestRepairFromSource:
+    def test_find_corrupt_records(self, persistent):
+        ds, _ = persistent
+        assert find_corrupt_records(ds) == []
+        corrupt_record(ds, 5)
+        corrupt_record(ds, 17)
+        assert find_corrupt_records(ds) == [5, 17]
+
+    def test_repair_bit_identical(self, volume, persistent):
+        ds, d = persistent
+        rec = ds.codec.record_size
+        positions = [2, 9, ds.n_records - 1]
+        originals = {
+            p: ds.device.read(ds.record_offset(p), rec) for p in positions
+        }
+        for p in positions:
+            corrupt_record(ds, p)
+        report = repair_dataset(ds, source_volume=volume)
+        assert report.ok
+        assert sorted(report.repaired_from_source) == sorted(positions)
+        assert not report.repaired_from_replica
+        for p in positions:
+            assert ds.device.read(ds.record_offset(p), rec) == originals[p]
+        assert verify_dataset(ds, deep=True).ok
+
+    def test_repair_persists_to_disk(self, volume, persistent):
+        ds, d = persistent
+        corrupt_record(ds, 4)
+        repair_dataset(ds, source_volume=volume)
+        # A second, independent reader of the same store sees the heal
+        # (repair_dataset flushed the device).
+        reloaded = load_dataset(d)
+        try:
+            assert verify_dataset(reloaded, deep=True).ok
+        finally:
+            reloaded.device.close()
+
+    def test_explicit_positions(self, volume, persistent):
+        ds, _ = persistent
+        corrupt_record(ds, 3)
+        report = repair_dataset(ds, source_volume=volume, positions=[3])
+        assert report.corrupt == [3]
+        assert report.ok
+
+
+class TestRepairFromReplica:
+    def test_replica_restores_bit_identically(self, volume):
+        nodes = build_striped_datasets(
+            volume, p=2, metacell_shape=(5, 5, 5), replication=2
+        )
+        d0, d1 = nodes
+        rec = d0.codec.record_size
+        original = d0.device.read(d0.record_offset(3), rec)
+        corrupt_record(d0, 3)
+        report = repair_dataset(d0, replica_hosts=[d1])
+        assert report.ok
+        assert report.repaired_from_replica == [(3, 1)]
+        assert d0.device.read(d0.record_offset(3), rec) == original
+        assert verify_dataset(d0, deep=True).ok
+
+    def test_source_preferred_over_replica(self, volume):
+        nodes = build_striped_datasets(
+            volume, p=2, metacell_shape=(5, 5, 5), replication=2
+        )
+        d0, d1 = nodes
+        corrupt_record(d0, 2)
+        report = repair_dataset(d0, source_volume=volume, replica_hosts=[d1])
+        assert report.ok
+        assert report.repaired_from_source == [2]
+        assert not report.repaired_from_replica
+
+    def test_unreplicated_peer_ignored(self, volume):
+        nodes = build_striped_datasets(
+            volume, p=2, metacell_shape=(5, 5, 5), replication=1
+        )
+        d0, d1 = nodes
+        corrupt_record(d0, 1)
+        report = repair_dataset(d0, replica_hosts=[d1])
+        assert not report.ok
+        assert report.unrepaired == [1]
+
+
+class TestRepairNeverMakesWorse:
+    def test_unrepairable_without_any_source(self, persistent):
+        ds, _ = persistent
+        rec = ds.codec.record_size
+        corrupt_record(ds, 6)
+        after_corruption = ds.device.read(ds.record_offset(6), rec)
+        report = repair_dataset(ds)
+        assert report.unrepaired == [6]
+        # No write happened: the (corrupt) bytes are untouched.
+        assert ds.device.read(ds.record_offset(6), rec) == after_corruption
+
+    def test_corrupt_replica_rejected(self, volume):
+        """Both copies corrupt: the bad replica bytes must NOT be
+        written back (they fail CRC pre-verification)."""
+        nodes = build_striped_datasets(
+            volume, p=2, metacell_shape=(5, 5, 5), replication=2
+        )
+        d0, d1 = nodes
+        rec = d0.codec.record_size
+        corrupt_record(d0, 3)
+        # Corrupt the replica copy of the same record on node 1.
+        base = d1.replica_stores[0]
+        blob = bytearray(d1.device.read(base + 3 * rec, rec))
+        blob[0] ^= 0xFF
+        d1.device.write(base + 3 * rec, bytes(blob))
+        before = d0.device.read(d0.record_offset(3), rec)
+        report = repair_dataset(d0, replica_hosts=[d1])
+        assert report.unrepaired == [3]
+        assert d0.device.read(d0.record_offset(3), rec) == before
+
+
+class TestScrubThenRepair:
+    def test_scrub_feeds_repair(self, volume, persistent):
+        """End-to-end: scrubber finds it, repair heals it, re-scrub is
+        clean."""
+        ds, _ = persistent
+        corrupt_record(ds, 11)
+        corrupt_record(ds, 23)
+        report = Scrubber(ds, ScrubConfig(bricks_per_tick=6)).sweep()
+        assert sorted(report.corrupt_records) == [11, 23]
+        heal = repair_dataset(
+            ds, source_volume=volume, positions=report.corrupt_records
+        )
+        assert heal.ok
+        assert Scrubber(ds, ScrubConfig(bricks_per_tick=6)).sweep().clean

@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Randomized crash-kill harness for the journaled builder.
+
+Repeatedly kills :func:`repro.core.persistence.build_persistent_dataset`
+at randomized journal/commit points (via
+:class:`repro.io.faults.CrashSchedule`), resumes the build, and asserts
+the resumed artifacts are **byte-identical** to an uninterrupted
+reference build — then runs a deep verify (the fsck core) on the result.
+
+Three trial flavors, mixed by seeded RNG:
+
+soft
+    In-process ``SimulatedCrash`` at one kill point, then resume.
+    Cheapest; covers every commit-protocol state transition.
+double
+    Two crashes — the second lands *during the resume* — then a final
+    resume.  Exercises journal replay of a journal that was itself
+    written by a resumed build.
+hard
+    A forked child runs the build and dies with ``os._exit(137)`` at
+    the kill point (``CrashSchedule(hard=True)``) — a genuine process
+    kill, no Python unwinding, no ``finally`` blocks.  The parent
+    reaps it and resumes.
+
+Usage::
+
+    PYTHONPATH=src python tools/crash_kill_harness.py --trials 200 \
+        --seed 7 --json out/crash_harness.json
+
+Exit status 0 iff every trial resumed byte-identically and verified
+clean.  The JSON report is CI-artifact-friendly: per-trial records plus
+a summary block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.journal import JOURNAL_FILE  # noqa: E402
+from repro.core.persistence import (  # noqa: E402
+    BRICKS_FILE,
+    INDEX_FILE,
+    META_FILE,
+    build_persistent_dataset,
+    load_dataset,
+)
+from repro.core.validation import verify_dataset  # noqa: E402
+from repro.grid.volume import Volume  # noqa: E402
+from repro.io.faults import CrashSchedule, SimulatedCrash  # noqa: E402
+
+#: Artifacts whose bytes must match the reference build exactly.
+ARTIFACTS = (BRICKS_FILE, INDEX_FILE, META_FILE)
+
+#: (volume shape, metacell shape, group_records, volume seed) — three
+#: differently-shaped builds so kill points land across varied group
+#: counts and partial-tail sizes.
+CONFIGS = (
+    ((25, 25, 21), (5, 5, 5), 32, 11),
+    ((33, 33, 29), (5, 5, 5), 48, 12),
+    ((17, 17, 17), (4, 4, 4), 16, 13),
+)
+
+
+def make_volume(shape, seed) -> Volume:
+    zz, yy, xx = np.meshgrid(
+        *(np.linspace(-1.0, 1.0, s) for s in shape), indexing="ij"
+    )
+    rng = np.random.default_rng(seed)
+    data = (
+        np.sqrt(xx**2 + yy**2 + zz**2) + 0.05 * rng.standard_normal(shape)
+    ).astype(np.float32)
+    return Volume(data)
+
+
+def artifact_hashes(directory: Path) -> "dict[str, str]":
+    out = {}
+    for name in ARTIFACTS:
+        out[name] = hashlib.sha256((directory / name).read_bytes()).hexdigest()
+    return out
+
+
+def clear_dir(directory: Path) -> None:
+    for entry in directory.iterdir():
+        entry.unlink()
+
+
+def run_to_crash(volume, directory, mc, gr, kill_at: int, hard: bool) -> bool:
+    """One killed build attempt; returns True iff the kill fired."""
+    if hard:
+        pid = os.fork()
+        if pid == 0:  # child: die for real at the kill point
+            try:
+                build_persistent_dataset(
+                    volume, directory, mc, group_records=gr,
+                    crash=CrashSchedule(kill_at=kill_at, hard=True),
+                )
+            finally:  # pragma: no cover - only if the point never fired
+                os._exit(0)
+        _, status = os.waitpid(pid, 0)
+        return os.waitstatus_to_exitcode(status) == 137
+    try:
+        build_persistent_dataset(
+            volume, directory, mc, group_records=gr,
+            crash=CrashSchedule(kill_at=kill_at),
+        )
+        return False
+    except SimulatedCrash:
+        return True
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trials", type=int, default=200,
+                    help="total randomized kill trials (default 200)")
+    ap.add_argument("--seed", type=int, default=7,
+                    help="RNG seed for kill-point selection")
+    ap.add_argument("--hard-every", type=int, default=10,
+                    help="every Nth trial forks + SIGKILL-kills a real "
+                         "child process (0 disables; default 10)")
+    ap.add_argument("--double-every", type=int, default=5,
+                    help="every Nth trial crashes again during resume "
+                         "(0 disables; default 5)")
+    ap.add_argument("--json", type=Path, default=None,
+                    help="write machine-readable report here")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    t_start = time.perf_counter()
+    trials: "list[dict]" = []
+    failures = 0
+
+    with tempfile.TemporaryDirectory(prefix="crash_harness_") as root:
+        root = Path(root)
+        # Per config: an uninterrupted reference build + its hashes and
+        # the size of the kill-point space.
+        refs = []
+        for ci, (shape, mc, gr, vseed) in enumerate(CONFIGS):
+            volume = make_volume(shape, vseed)
+            ref_dir = root / f"ref{ci}"
+            ref_dir.mkdir()
+            probe = CrashSchedule(kill_at=None)
+            build_persistent_dataset(
+                volume, ref_dir, mc, group_records=gr, crash=probe
+            )
+            refs.append({
+                "volume": volume,
+                "mc": mc,
+                "gr": gr,
+                "hashes": artifact_hashes(ref_dir),
+                "n_points": probe.points_seen,
+            })
+            if not args.quiet:
+                print(f"config {ci}: shape={shape} "
+                      f"kill points={probe.points_seen}")
+
+        trial_dir = root / "trial"
+        trial_dir.mkdir()
+        for t in range(args.trials):
+            ci = int(rng.integers(len(refs)))
+            ref = refs[ci]
+            kill_at = int(rng.integers(ref["n_points"]))
+            hard = args.hard_every > 0 and t % args.hard_every == args.hard_every - 1
+            double = (not hard and args.double_every > 0
+                      and t % args.double_every == args.double_every - 1)
+
+            clear_dir(trial_dir)
+            fired = run_to_crash(
+                ref["volume"], trial_dir, ref["mc"], ref["gr"], kill_at, hard
+            )
+            second_kill = None
+            if double:
+                # Crash again while *resuming*; any surviving point works.
+                second_kill = int(rng.integers(max(1, ref["n_points"] - kill_at)))
+                run_to_crash(
+                    ref["volume"], trial_dir, ref["mc"], ref["gr"],
+                    second_kill, False,
+                )
+            ds = build_persistent_dataset(
+                ref["volume"], trial_dir, ref["mc"], group_records=ref["gr"]
+            )
+            hashes = artifact_hashes(trial_dir)
+            identical = hashes == ref["hashes"]
+            report = verify_dataset(ds, deep=True)
+            clean = report.ok
+            journal_gone = not (trial_dir / JOURNAL_FILE).exists()
+            ok = identical and clean and journal_gone
+            failures += 0 if ok else 1
+            trials.append({
+                "trial": t,
+                "config": ci,
+                "kill_at": kill_at,
+                "mode": "hard" if hard else ("double" if double else "soft"),
+                "second_kill": second_kill,
+                "crash_fired": bool(fired),
+                "byte_identical": bool(identical),
+                "fsck_clean": bool(clean),
+                "journal_gone": bool(journal_gone),
+                "ok": bool(ok),
+            })
+            if not ok:
+                print(f"FAIL trial {t}: config={ci} kill_at={kill_at} "
+                      f"mode={trials[-1]['mode']} identical={identical} "
+                      f"clean={clean}", file=sys.stderr)
+            elif not args.quiet and (t + 1) % 50 == 0:
+                print(f"  {t + 1}/{args.trials} trials ok")
+
+    elapsed = time.perf_counter() - t_start
+    summary = {
+        "trials": args.trials,
+        "seed": args.seed,
+        "failures": failures,
+        "modes": {
+            m: sum(1 for tr in trials if tr["mode"] == m)
+            for m in ("soft", "double", "hard")
+        },
+        "crashes_fired": sum(1 for tr in trials if tr["crash_fired"]),
+        "elapsed_seconds": round(elapsed, 3),
+        "configs": [
+            {"shape": list(shape), "metacell": list(mc),
+             "group_records": gr, "kill_points": refs[ci]["n_points"]}
+            for ci, (shape, mc, gr, _s) in enumerate(CONFIGS)
+        ],
+    }
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps({"summary": summary, "trials": trials}, indent=2)
+        )
+    print(f"crash harness: {args.trials - failures}/{args.trials} trials "
+          f"byte-identical + fsck-clean in {elapsed:.1f}s "
+          f"({summary['modes']})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
