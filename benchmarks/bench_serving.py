@@ -1,0 +1,172 @@
+"""Overload soak for the multi-tenant serving front-end.
+
+The acceptance scenario from docs/robustness.md ("Overload &
+admission"): a seeded trace whose middle third runs at a 4x overload
+burst, with one worker node killed mid-burst (replication r=2 keeps its
+stripe reachable).  The soak asserts the serving layer's contract under
+that abuse:
+
+* **no unhandled exceptions** — the whole trace runs to completion;
+* **exactly one terminal state per request** — every generated request
+  appears once in the report as ``ok | degraded | shed | failed``;
+* **gold stays fast** — gold p99 latency <= 2x the gold deadline
+  budget even through the burst (admission + preemption + brownout do
+  their jobs);
+* **bulk is not starved** — bulk completes work and its observed
+  ``max_service_gap_rounds`` stays within the deficit-round-robin
+  bound ``ceil(max_cost / (quantum * w)) + 1``;
+* **byte-identical determinism** — two runs with the same seed (each
+  on a fresh cluster) produce identical ``BENCH_serving.json``
+  payloads; the modeled clock owns every timestamp.
+
+The volume is a small analytic sphere rather than the RM bench volume:
+the soak exercises the serving layer (hundreds of queries), not the
+extraction kernels, so per-query cost is kept tiny to fit the CI
+``serving-soak`` job's 120 s cap.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import emit_bench_json
+from repro.grid.datasets import sphere_field
+from repro.parallel.cluster import SimulatedCluster
+from repro.serve import (
+    BrownoutConfig,
+    BurstWindow,
+    ClusterEvent,
+    ServeConfig,
+    TERMINAL_STATES,
+    TenantSpec,
+    TrafficConfig,
+    QueryServer,
+    generate_trace,
+)
+
+SEED = 1337
+OVERLOAD = 4.0
+KILL_RANK = 2
+
+
+def _build_cluster() -> SimulatedCluster:
+    """A fresh 4-node r=2 cluster (fresh per run: node kills and cache
+    state must not leak between the determinism runs)."""
+    return SimulatedCluster(
+        sphere_field((24, 24, 24)), 4, metacell_shape=(5, 5, 5), replication=2
+    )
+
+
+def _isovalues(cluster: SimulatedCluster, n: int = 5) -> "tuple[float, ...]":
+    """``n`` isovalues spread across the scalar range (Zipf ranks them)."""
+    endpoints = cluster.datasets[0].tree.endpoints
+    lo, hi = float(min(endpoints)), float(max(endpoints))
+    return tuple(lo + (hi - lo) * (i + 1) / (n + 1) for i in range(n))
+
+
+def _scenario(cluster: SimulatedCluster):
+    """The soak (trace, serve-config) pair, scaled in *service units*:
+    one unit is the worst-case estimated modeled seconds per query, so
+    the scenario stays calibrated if the cost model changes."""
+    isovalues = _isovalues(cluster)
+    unit = max(cluster.estimate_extract_time(lam) for lam in isovalues)
+    duration = 120.0 * unit
+    base_rate = 2.0 / unit  # ~2 queries per service unit: saturating
+    tenants = (
+        TenantSpec("gold-a", tier="gold", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=4.0 * unit),
+        TenantSpec("silver-b", tier="silver", arrival_share=0.4,
+                   rate=base_rate, burst=8, deadline_budget=6.0 * unit),
+        TenantSpec("bulk-c", tier="bulk", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=12.0 * unit),
+    )
+    burst = BurstWindow(start=duration / 3.0, duration=duration / 3.0,
+                        factor=OVERLOAD)
+    kill = ClusterEvent(time=duration / 2.0, action="kill", rank=KILL_RANK)
+    traffic = TrafficConfig(
+        duration=duration,
+        base_rate=base_rate,
+        isovalues=isovalues,
+        seed=SEED,
+        bursts=(burst,),
+        overlays=(kill,),
+    )
+    config = ServeConfig(
+        tenants=tenants,
+        n_executors=2,
+        max_queue_depth=32,
+        quantum=unit / 5.0,
+        brownout=BrownoutConfig(eval_interval=2.0 * unit),
+    )
+    return generate_trace(traffic, tenants), config, unit
+
+
+def _run():
+    cluster = _build_cluster()
+    trace, config, unit = _scenario(cluster)
+    report = QueryServer(cluster, config).serve(trace)
+    return trace, config, unit, report
+
+
+def test_serving_soak(cfg):
+    trace, config, unit, report = _run()
+
+    # Every request in exactly one terminal state: the report covers the
+    # full id space once, and each row's state is a known terminal.
+    assert [r.request_id for r in report.records] == [
+        q.request_id for q in trace.requests
+    ]
+    for r in report.records:
+        assert r.state in TERMINAL_STATES, r
+        assert (r.reason != "") == (r.state == "shed"), r
+    counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
+    assert sum(counts.values()) == report.n_requests
+
+    # The burst actually overloaded the server and the ladder engaged.
+    assert counts["shed"] > 0
+    assert report.max_brownout_level >= 1
+
+    # Gold p99 within 2x its deadline budget.
+    gold_budget = next(
+        t.deadline_budget for t in config.tenants if t.tier == "gold"
+    )
+    gold_p99 = report.latency_quantile(0.99, "gold")
+    assert report.latencies("gold"), "no gold request completed"
+    assert gold_p99 <= 2.0 * gold_budget, (
+        f"gold p99 {gold_p99:.4f}s > 2x budget {gold_budget:.4f}s"
+    )
+
+    # Bulk is not starved: it completes work, and every tenant's observed
+    # service gap respects the deficit-counter bound.
+    bulk_done = [r for r in report.completed if r.tier == "bulk"]
+    assert bulk_done, "bulk tenant starved: zero completions"
+    for name, gap in report.scheduler_gaps.items():
+        bound = report.scheduler_gap_bounds[name]
+        assert gap <= bound, f"{name}: gap {gap} rounds > bound {bound}"
+
+    # Same seed, fresh cluster => byte-identical payload.
+    *_, report_b = _run()
+    payload = report.to_payload()
+    payload_b = report_b.to_payload()
+    assert json.dumps(payload, sort_keys=True) == json.dumps(
+        payload_b, sort_keys=True
+    ), "same-seed serving runs diverged"
+
+    metrics = dict(payload["metrics"])
+    metrics["service_unit_seconds"] = unit
+    metrics["overload_factor"] = OVERLOAD
+    extra = dict(payload["series"])
+    extra["seed"] = SEED
+    extra["killed_rank"] = KILL_RANK
+    emit_bench_json("serving", metrics, scale=cfg.scale, extra=extra)
+
+    print()
+    print(f"serving soak: {report.n_requests} requests over "
+          f"{trace.horizon:.2f}s modeled ({OVERLOAD:.0f}x burst, "
+          f"rank {KILL_RANK} killed mid-burst)")
+    print("  states: " + "  ".join(
+        f"{s}={counts[s]}" for s in TERMINAL_STATES))
+    print(f"  goodput {report.goodput:.2f} q/s  shed_rate "
+          f"{report.shed_rate:.3f}  gold p99 {gold_p99:.3f}s "
+          f"(budget {gold_budget:.3f}s)  brownout max level "
+          f"{report.max_brownout_level}")

@@ -17,6 +17,7 @@ Dataset directories are the self-describing layout of
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -153,6 +154,7 @@ def _build_cluster(args):
         metacell_shape=(args.metacell,) * 3,
         replication=args.replication,
         fault_plans=fault_plans,
+        cache_blocks=getattr(args, "cache_blocks", None),
     )
 
 
@@ -314,6 +316,125 @@ def cmd_metrics(args) -> int:
     else:
         print(dumps_metrics(registry, extra), end="")
     return 0 if not res.degraded else 1
+
+
+def cmd_serve_sim(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace, write_metrics_json
+    from repro.parallel.cluster import SimulatedCluster
+    from repro.serve import (
+        TERMINAL_STATES,
+        BrownoutConfig,
+        BurstWindow,
+        ClusterEvent,
+        QueryServer,
+        ServeConfig,
+        TenantSpec,
+        TrafficConfig,
+        generate_trace,
+    )
+
+    volume = _load_volume(args)
+    cluster = SimulatedCluster(
+        volume, p=args.nodes, metacell_shape=(args.metacell,) * 3,
+        replication=args.replication,
+        cache_blocks=args.cache_blocks,
+    )
+    if args.isovalues:
+        isovalues = tuple(float(s) for s in args.isovalues.split(","))
+    else:
+        eps = cluster.datasets[0].tree.endpoints
+        lo, hi = float(eps[0]), float(eps[-1])
+        isovalues = tuple(
+            lo + (hi - lo) * f for f in (0.35, 0.45, 0.5, 0.55, 0.65)
+        )
+    # One "service unit" = the worst predicted single-query time; every
+    # duration/rate/budget flag is expressed in these units so the same
+    # command works at any volume size.
+    unit = max(cluster.estimate_extract_time(l) for l in isovalues)
+    duration = args.duration * unit
+    base_rate = args.rate / unit
+    tenants = (
+        TenantSpec(name="gold", tier="gold", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_gold * unit),
+        TenantSpec(name="silver", tier="silver", arrival_share=0.4,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_silver * unit),
+        TenantSpec(name="bulk", tier="bulk", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_bulk * unit),
+    )
+    overlays = []
+    for spec in args.kill_node or []:
+        rank_s, _, frac_s = spec.partition("@")
+        overlays.append(ClusterEvent(
+            time=float(frac_s or 0.5) * duration, action="kill",
+            rank=int(rank_s),
+        ))
+    bursts = ()
+    if args.overload > 1.0:
+        bursts = (BurstWindow(start=duration / 3, duration=duration / 3,
+                              factor=args.overload),)
+    trace = generate_trace(
+        TrafficConfig(
+            duration=duration, base_rate=base_rate, isovalues=isovalues,
+            seed=args.trace_seed, bursts=bursts, overlays=tuple(overlays),
+        ),
+        tenants,
+    )
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    server = QueryServer(
+        cluster,
+        ServeConfig(
+            tenants=tenants, n_executors=args.executors,
+            max_queue_depth=args.queue_depth, quantum=unit / 5,
+            brownout=BrownoutConfig(eval_interval=unit),
+        ),
+        tracer=tracer, metrics=registry,
+    )
+    report = server.serve(trace)
+
+    counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
+    print(f"served {report.n_requests} requests over "
+          f"{duration * 1e3:.1f} ms modeled "
+          f"(p={args.nodes}, r={args.replication}, "
+          f"{args.executors} executors, {args.overload:g}x burst)")
+    print(f"  states    : " + ", ".join(
+        f"{s}={counts[s]}" for s in TERMINAL_STATES))
+    shed = {}
+    for r in report.by_state("shed"):
+        shed[r.reason] = shed.get(r.reason, 0) + 1
+    if shed:
+        print("  shed      : " + ", ".join(
+            f"{k}={v}" for k, v in sorted(shed.items())))
+    print(f"  goodput   : {report.goodput:.1f} answered queries/s modeled, "
+          f"shed rate {report.shed_rate:.1%}")
+    for tier in ("gold", "silver", "bulk"):
+        lats = report.latencies(tier)
+        if lats:
+            print(f"  {tier:<6}    : p50 "
+                  f"{report.latency_quantile(0.50, tier) * 1e3:.2f} ms, "
+                  f"p99 {report.latency_quantile(0.99, tier) * 1e3:.2f} ms "
+                  f"({len(lats)} answered)")
+    if report.transitions:
+        print("  brownout  :")
+        for t in report.transitions:
+            print(f"    {t.time * 1e3:9.1f} ms  level {t.from_level} -> "
+                  f"{t.to_level}  [{t.reason}]")
+    gaps = report.scheduler_gaps
+    bounds = report.scheduler_gap_bounds
+    print("  fairness  : " + ", ".join(
+        f"{n} gap {gaps[n]}/{bounds.get(n, '-')}" for n in sorted(gaps)))
+    if args.json:
+        payload = report.to_payload()
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  payload   -> {args.json}")
+    if tracer is not None:
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"  trace     -> {path}")
+    if registry is not None:
+        path = write_metrics_json(args.metrics_out, registry)
+        print(f"  metrics   -> {path}")
+    return 0
 
 
 def cmd_extract(args) -> int:
@@ -671,6 +792,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-hedging", action="store_true",
                        help="disable hedged replica reads (hedging is on by "
                             "default when replication >= 2)")
+        p.add_argument("--cache-blocks", type=int, default=None, metavar="N",
+                       help="LRU block cache of N blocks per node disk; "
+                            "hits/misses show up as cache.* metrics")
 
     p = sub.add_parser(
         "cluster",
@@ -714,6 +838,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="metrics JSON file (default: print to stdout)")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="multi-tenant serving simulation: admission, fair-share "
+             "scheduling, load shedding, brownout",
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--input", help="3D .npy scalar volume")
+    src.add_argument("--rm-step", type=int, default=250,
+                     help="RM-instability time step to synthesize (default 250)")
+    p.add_argument("--shape", type=_parse_shape, default=(33, 33, 29),
+                   help="synthetic volume shape (default 33x33x29)")
+    p.add_argument("--seed", type=int, default=7, help="volume synthesis seed")
+    p.add_argument("--metacell", type=int, default=9)
+    p.add_argument("-p", "--nodes", type=int, default=4, help="node count")
+    p.add_argument("--replication", type=int, default=2,
+                   help="brick replication factor (default 2: survive kills)")
+    p.add_argument("--cache-blocks", type=int, default=None, metavar="N",
+                   help="LRU block cache of N blocks per node disk")
+    p.add_argument("--isovalues", default=None,
+                   help="comma-separated isovalue universe (default: spread "
+                        "over the dataset's value range)")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="traffic generator seed (default 0)")
+    p.add_argument("--duration", type=float, default=120,
+                   help="trace length in estimated-service units (default 120)")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="base arrivals per estimated-service unit (default 2)")
+    p.add_argument("--overload", type=float, default=4.0,
+                   help="burst multiplier over the middle third of the trace "
+                        "(default 4; 1 disables the burst)")
+    p.add_argument("--kill-node", action="append", metavar="RANK[@FRAC]",
+                   help="kill this node at FRAC of the trace (default 0.5); "
+                        "repeatable")
+    p.add_argument("--executors", type=int, default=2,
+                   help="concurrent query slots (default 2)")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="admission queue bound (default 32)")
+    p.add_argument("--budget-gold", type=float, default=4.0,
+                   help="gold deadline budget in service units (default 4)")
+    p.add_argument("--budget-silver", type=float, default=6.0,
+                   help="silver deadline budget in service units (default 6)")
+    p.add_argument("--budget-bulk", type=float, default=12.0,
+                   help="bulk deadline budget in service units (default 12)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the full serving payload JSON here")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace with serve.* instants here")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the serve.*/tenant.* metrics JSON here")
+    p.set_defaults(func=cmd_serve_sim)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

@@ -25,7 +25,8 @@ Pieces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,13 @@ class Deadline:
     ----------
     budget:
         Total modeled seconds the query may take, end to end (per-node
-        stages run in parallel; the composite rides on top).
+        stages run in parallel; the composite rides on top).  A zero or
+        negative budget is legal and means *already expired*: every read
+        is cut off immediately, the extraction comes back with
+        ``coverage == 0.0`` and a well-formed
+        :class:`DeadlineReport` — callers that re-split a budget after
+        queue wait or a preemption delay (:meth:`consume`) must not have
+        to special-case the moment the budget runs dry.
     node_fraction:
         Share of the budget a node's *primary* attempt gets before it is
         declared a straggler.  The remainder is the speculation window:
@@ -49,23 +56,42 @@ class Deadline:
     node_fraction: float = 0.6
 
     def __post_init__(self) -> None:
-        if self.budget <= 0:
-            raise ValueError(f"deadline budget must be positive, got {self.budget}")
+        if math.isnan(self.budget):
+            raise ValueError("deadline budget must not be NaN")
         if not 0.0 < self.node_fraction <= 1.0:
             raise ValueError(
                 f"node_fraction must be in (0, 1], got {self.node_fraction}"
             )
 
     @property
+    def expired(self) -> bool:
+        """True when no budget remains (zero or negative)."""
+        return self.budget <= 0.0
+
+    @property
     def node_budget(self) -> float:
-        """Modeled seconds a node's primary attempt may consume."""
-        return self.budget * self.node_fraction
+        """Modeled seconds a node's primary attempt may consume
+        (clamped at zero for an already-expired deadline)."""
+        return max(0.0, self.budget * self.node_fraction)
 
     @property
     def speculation_budget(self) -> float:
         """Modeled seconds available to a speculative re-execution
         launched at the ``node_budget`` mark."""
-        return self.budget - self.node_budget
+        return max(0.0, self.budget - self.node_budget)
+
+    def consume(self, elapsed: float) -> "Deadline":
+        """Re-split the budget after ``elapsed`` modeled seconds have
+        already been spent outside the query itself.
+
+        This is how the serving layer charges queue wait and preemption
+        delay against a request's end-to-end contract: the query that
+        finally runs gets ``budget - elapsed`` (possibly expired), with
+        the same node/speculation split fractions.
+        """
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed}")
+        return replace(self, budget=self.budget - elapsed)
 
     @classmethod
     def coerce(cls, value: "Deadline | float | int | None") -> "Deadline | None":

@@ -76,6 +76,11 @@ class QueryOptions:
     time_budget:
         Modeled-seconds budget; an expired query returns a partial
         result flagged ``deadline_expired`` (see :func:`execute_plan`).
+        Zero or negative means *already expired* — every run is skipped
+        and the result covers nothing; this is what a serving layer's
+        budget re-split produces when queue wait or a preemption delay
+        eats the whole deadline (see
+        :meth:`~repro.core.deadline.Deadline.consume`).
     tracer:
         A :class:`~repro.obs.tracer.Tracer` receiving per-run read
         spans and fault annotations on the modeled clock (None: the
@@ -126,6 +131,8 @@ class QueryOptions:
             raise ValueError(
                 f"coalesce_gap_blocks must be >= 0, got {self.coalesce_gap_blocks}"
             )
+        if self.time_budget is not None and self.time_budget != self.time_budget:
+            raise ValueError("time_budget must not be NaN")
 
 
 #: Options used when a caller passes none.

@@ -23,6 +23,42 @@ across same-seed runs.
 
 from __future__ import annotations
 
+from collections import deque
+
+from repro.io.cost_model import latency_quantile
+
+
+class SlidingWindow:
+    """Bounded window of the most recent observations with deterministic
+    nearest-rank quantiles.
+
+    The registry's :class:`Histogram` deliberately keeps only
+    count/sum/min/max — cheap and mergeable — but a load controller
+    needs *recent* tail latency (p99 of the last N completions), which a
+    lifetime summary cannot provide.  This is that instrument: a
+    fixed-capacity deque plus :func:`~repro.io.cost_model.latency_quantile`,
+    so same-seed runs see bit-identical quantiles.
+    """
+
+    __slots__ = ("_window",)
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"window capacity must be >= 1, got {capacity}")
+        self._window: "deque[float]" = deque(maxlen=capacity)
+
+    def observe(self, value: "int | float") -> None:
+        self._window.append(float(value))
+
+    def quantile(self, q: float) -> "float | None":
+        """Nearest-rank quantile of the window, or None when empty."""
+        if not self._window:
+            return None
+        return latency_quantile(list(self._window), q)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
 
 class Counter:
     """Monotonically increasing metric."""
@@ -146,6 +182,23 @@ class MetricsRegistry:
         """
         for name, value in stats.as_dict().items():
             self.inc(f"{prefix}.{name}", value)
+
+    def absorb_cache_stats(self, stats, prefix: str = "cache") -> None:
+        """Publish a :class:`~repro.io.cache.CacheStats` snapshot as
+        ``{prefix}.hits`` / ``.misses`` / ``.evictions`` /
+        ``.invalidations`` / ``.hit_rate`` gauges.
+
+        Gauges, not counters: ``CacheStats`` is already cumulative over
+        the device's lifetime, so re-publishing after every query must
+        overwrite rather than double-count.  Multiple caches fold into
+        one namespace by summing snapshots before the call, or by
+        distinct prefixes (``cache.node0`` etc.).
+        """
+        self.set_gauge(f"{prefix}.hits", stats.hits)
+        self.set_gauge(f"{prefix}.misses", stats.misses)
+        self.set_gauge(f"{prefix}.evictions", stats.evictions)
+        self.set_gauge(f"{prefix}.invalidations", stats.invalidations)
+        self.set_gauge(f"{prefix}.hit_rate", stats.hit_rate)
 
     # -- queries and export ---------------------------------------------
 

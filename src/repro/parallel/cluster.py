@@ -87,6 +87,12 @@ class ExtractRequest:
     #: executor (None: the serial kernel).  Output is bit-identical
     #: either way.
     pipeline: "object | None" = None
+    #: Tenant this query is attributed to (the serving layer's
+    #: multi-tenant accounting): carried through to
+    #: :attr:`ClusterResult.tenant` and, with ``metrics`` set, published
+    #: under ``tenant.<name>.*``.  None: unattributed (single-caller
+    #: usage, the pre-serving behaviour).
+    tenant: "str | None" = None
 
 
 #: Request used when a caller passes none.
@@ -151,6 +157,9 @@ class ClusterResult:
     coverage: float = 1.0
     #: Deadline accounting when the query ran under a budget, else None.
     deadline: "DeadlineReport | None" = None
+    #: Tenant the query was attributed to (see
+    #: :attr:`ExtractRequest.tenant`), or None.
+    tenant: "str | None" = None
 
     @property
     def unrecovered_nodes(self) -> "list[int]":
@@ -231,6 +240,12 @@ class SimulatedCluster:
         :mod:`repro.parallel.health`); the monitor persists across
         queries, so repeatedly failing nodes get routed around
         proactively instead of rediscovered every extraction.
+    cache_blocks:
+        When set, wrap every node disk in a
+        :class:`~repro.io.cache.CachedDevice` LRU of this many blocks;
+        cross-query block reuse then shows up in :meth:`cache_stats`
+        and — with a metrics registry on the request — under
+        ``cache.*`` gauges.
 
     Examples
     --------
@@ -253,6 +268,7 @@ class SimulatedCluster:
         fault_plans: "dict[int, FaultPlan] | None" = None,
         retry_policy: "RetryPolicy | None" = None,
         health_policy: "HealthPolicy | None" = None,
+        cache_blocks: "int | None" = None,
     ) -> None:
         if p < 1:
             raise ValueError(f"node count must be >= 1, got {p}")
@@ -277,6 +293,9 @@ class SimulatedCluster:
             )
         for rank, plan in (fault_plans or {}).items():
             self.inject_faults(rank, plan)
+        if cache_blocks is not None:
+            for rank in range(self.p):
+                self.enable_cache(rank, cache_blocks)
 
     @property
     def report(self):
@@ -296,6 +315,40 @@ class SimulatedCluster:
             dev = FaultInjectingDevice(dev, plan)
             ds.device = dev
         return dev
+
+    def enable_cache(self, rank: int, capacity_blocks: int) -> None:
+        """Put an LRU block cache in front of node ``rank``'s disk
+        (idempotent: an existing cache just has its capacity kept)."""
+        from repro.io.cache import CachedDevice
+
+        ds = self.datasets[rank]
+        if not isinstance(ds.device, CachedDevice):
+            ds.device = CachedDevice(ds.device, capacity_blocks)
+
+    def cache_stats(self):
+        """Combined :class:`~repro.io.cache.CacheStats` across every
+        cached node disk, or None when no node has a cache.
+
+        Walks each node's device wrapper chain (fault injectors, hedged
+        wrappers, and caches all expose ``backing``), so the caches are
+        found regardless of stacking order.
+        """
+        from repro.io.cache import CachedDevice, CacheStats
+
+        found = False
+        total = CacheStats()
+        for ds in self.datasets:
+            dev = ds.device
+            while dev is not None:
+                if isinstance(dev, CachedDevice):
+                    found = True
+                    cs = dev.cache_stats
+                    total.hits += cs.hits
+                    total.misses += cs.misses
+                    total.evictions += cs.evictions
+                    total.invalidations += cs.invalidations
+                dev = getattr(dev, "backing", None)
+        return total if found else None
 
     def fail_node(self, rank: int) -> None:
         """Kill node ``rank``'s disk permanently (simulated node loss)."""
@@ -504,6 +557,13 @@ class SimulatedCluster:
         The per-node health state machine observes every extraction;
         nodes whose circuit is open are routed to their replica host
         without touching the primary disk at all.
+
+        Re-entrancy: ``extract`` holds no state of its own between calls
+        — everything per-query lives in locals, and the only mutated
+        members (the health monitor, device meters, cache contents) are
+        updated once per call in a fixed order — so a serving layer may
+        interleave extractions for many tenants back to back on one
+        cluster and same-seed call sequences stay bit-deterministic.
 
         Observability: with ``request.tracer`` set, the run is traced on
         the modeled clock — live read spans per node track, post-hoc
@@ -778,6 +838,7 @@ class SimulatedCluster:
             degraded=bool(unrecovered) or coverage < 1.0 - 1e-12,
             failed_nodes=sorted(failed_ranks),
             coverage=coverage,
+            tenant=req.tenant,
         )
         #: Framebuffer slots that actually exist somewhere and get shipped.
         live = [i for i in range(self.p) if i not in unrecovered]
@@ -951,7 +1012,44 @@ class SimulatedCluster:
                 registry.inc("cluster.deadline_met")
             registry.set_gauge("cluster.deadline_coverage",
                                result.deadline.coverage)
+        if result.tenant:
+            t = f"tenant.{result.tenant}"
+            registry.inc(f"{t}.extractions")
+            registry.inc(f"{t}.triangles", result.n_triangles)
+            registry.observe(f"{t}.total_seconds", result.total_time)
+            registry.set_gauge(f"{t}.coverage", result.coverage)
+        cache = self.cache_stats()
+        if cache is not None:
+            registry.absorb_cache_stats(cache)
         self.health.publish(registry)
+
+    def estimate_extract_time(self, lam: float) -> float:
+        """Predicted modeled seconds for :meth:`extract` at ``lam``,
+        without touching any disk.
+
+        The per-node I/O bill comes from
+        :func:`~repro.core.analysis.estimate_query_cost` (block-exact on
+        a healthy node); the slowest node bounds the makespan and the
+        analytic composite rides on top.  Triangulation/render time and
+        fault mitigation are *not* predicted, so this is a lower bound —
+        admission control treats it as "the query costs at least this
+        much" when sizing backlogs, which only ever errs toward
+        admitting.
+        """
+        from repro.core.analysis import estimate_query_cost
+
+        worst = 0.0
+        for ds in self.datasets:
+            est = estimate_query_cost(
+                ds.tree, lam, ds.codec.record_size, ds.device.cost_model,
+                ds.base_offset,
+            )
+            worst = max(worst, est.io_time(ds.device.cost_model))
+        w, h = self.image_size
+        composite = self.perf.network.transfer_time(
+            self.p * w * h * 16, n_messages=self.p
+        )
+        return worst + composite
 
     def sweep(
         self,

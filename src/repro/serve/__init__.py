@@ -1,0 +1,60 @@
+"""Overload-resilient multi-tenant serving over the simulated cluster.
+
+The front door for concurrent isosurface queries: admission control
+with typed load shedding (:mod:`~repro.serve.admission`), weighted
+deficit-round-robin fair-share scheduling across QoS tiers
+(:mod:`~repro.serve.scheduler`), a graceful-brownout degradation ladder
+(:mod:`~repro.serve.brownout`), seeded multi-tenant traffic generation
+with fault overlays (:mod:`~repro.serve.traffic`), and the
+discrete-event server tying them together on the modeled clock
+(:mod:`~repro.serve.server`).
+
+See docs/robustness.md, "Overload & admission".
+"""
+
+from repro.serve.admission import (
+    SHED_BROWNOUT_BULK,
+    SHED_DEADLINE_INFEASIBLE,
+    SHED_QUEUE_FULL,
+    SHED_TENANT_THROTTLED,
+    AdmissionController,
+    RejectedQuery,
+    TokenBucket,
+)
+from repro.serve.brownout import (
+    LEVELS,
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutTransition,
+)
+from repro.serve.scheduler import DeficitRoundRobin
+from repro.serve.server import (
+    TERMINAL_STATES,
+    QueryServer,
+    ServeConfig,
+    ServedRecord,
+    ServingReport,
+)
+from repro.serve.traffic import (
+    TIER_WEIGHTS,
+    TIERS,
+    BurstWindow,
+    ClusterEvent,
+    QueryRequest,
+    TenantSpec,
+    TrafficConfig,
+    TrafficTrace,
+    generate_trace,
+    zipf_weights,
+)
+
+__all__ = [
+    "AdmissionController", "BrownoutConfig", "BrownoutController",
+    "BrownoutTransition", "BurstWindow", "ClusterEvent",
+    "DeficitRoundRobin", "LEVELS", "QueryRequest", "QueryServer",
+    "RejectedQuery", "SHED_BROWNOUT_BULK", "SHED_DEADLINE_INFEASIBLE",
+    "SHED_QUEUE_FULL", "SHED_TENANT_THROTTLED", "ServeConfig",
+    "ServedRecord", "ServingReport", "TERMINAL_STATES", "TIERS",
+    "TIER_WEIGHTS", "TenantSpec", "TokenBucket", "TrafficConfig",
+    "TrafficTrace", "generate_trace", "zipf_weights",
+]

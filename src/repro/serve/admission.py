@@ -1,0 +1,167 @@
+"""Admission control: shed at the front door, never time out downstream.
+
+The overload philosophy (docs/robustness.md, "Overload & admission"):
+a request that cannot meet its contract must be rejected *immediately
+and explainably*, not admitted to rot in a queue until its deadline
+passes inside the cluster.  Three gates run in a fixed order on every
+arrival, each producing a typed :class:`RejectedQuery` on failure:
+
+1. **bounded queue** — the global backlog may not exceed
+   ``max_queue_depth`` (reason ``queue_full``);
+2. **per-tenant token bucket** — each tenant's arrival rate is capped
+   at its contracted ``rate``/``burst`` (reason ``tenant_throttled``);
+3. **deadline feasibility** — if the estimated start delay (backlog
+   modeled-seconds ahead of the request, divided across executors) plus
+   the request's own estimated service time already exceeds its
+   deadline budget, admitting it would only manufacture a guaranteed
+   miss (reason ``deadline_infeasible``).  The estimate is the
+   block-exact I/O lower bound from
+   :meth:`~repro.parallel.cluster.SimulatedCluster.estimate_extract_time`,
+   so this gate only ever errs toward admitting.
+
+A fourth gate belongs to the brownout ladder, not to admission proper:
+at the deepest degradation level the bulk tier is shed outright
+(reason ``brownout_bulk``).
+
+Everything runs on the modeled clock and touches no randomness, so shed
+decisions are a deterministic function of (trace seed, config) — pinned
+by ``tests/test_serving_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.traffic import QueryRequest
+
+#: Typed shed reasons.
+SHED_QUEUE_FULL = "queue_full"
+SHED_DEADLINE_INFEASIBLE = "deadline_infeasible"
+SHED_TENANT_THROTTLED = "tenant_throttled"
+SHED_BROWNOUT_BULK = "brownout_bulk"
+
+SHED_REASONS = (
+    SHED_QUEUE_FULL,
+    SHED_DEADLINE_INFEASIBLE,
+    SHED_TENANT_THROTTLED,
+    SHED_BROWNOUT_BULK,
+)
+
+
+@dataclass(frozen=True)
+class RejectedQuery:
+    """A typed shed decision: which request, why, and when."""
+
+    request: QueryRequest
+    reason: str
+    time: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reason not in SHED_REASONS:
+            raise ValueError(
+                f"reason must be one of {SHED_REASONS}, got {self.reason!r}"
+            )
+
+
+class TokenBucket:
+    """Deterministic token bucket on the modeled clock.
+
+    Starts full (``capacity`` tokens); refills at ``rate`` tokens per
+    modeled second, saturating at capacity.  ``try_take`` both refills
+    to ``now`` and consumes — callers must present non-decreasing
+    timestamps, which the event loop guarantees.
+    """
+
+    def __init__(self, rate: float, capacity: float) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("token bucket rate and capacity must be > 0")
+        self.rate = rate
+        self.capacity = capacity
+        self.level = capacity
+        self._last = 0.0
+
+    def refill(self, now: float) -> None:
+        if now > self._last:
+            self.level = min(self.capacity, self.level + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        self.refill(now)
+        if self.level >= tokens - 1e-12:
+            self.level -= tokens
+            return True
+        return False
+
+
+class AdmissionController:
+    """The three admission gates plus the brownout bulk-shed gate.
+
+    Parameters
+    ----------
+    tenants:
+        The :class:`~repro.serve.traffic.TenantSpec` set; one token
+        bucket is kept per tenant.
+    max_queue_depth:
+        Bound on the number of queued (admitted, not yet dispatched)
+        requests across all tenants.
+    slack:
+        Multiplier on the deadline-feasibility comparison: a request is
+        infeasible when ``start_delay + est_cost > budget * slack``.
+        Values above 1 admit optimistically (the estimate is a lower
+        bound anyway); below 1 shed conservatively.
+    """
+
+    def __init__(self, tenants, max_queue_depth: int, slack: float = 1.0) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if slack <= 0:
+            raise ValueError(f"slack must be > 0, got {slack}")
+        self.max_queue_depth = max_queue_depth
+        self.slack = slack
+        self._buckets = {
+            t.name: TokenBucket(t.rate, t.burst) for t in tenants
+        }
+
+    def admit(
+        self,
+        request: QueryRequest,
+        now: float,
+        queue_depth: int,
+        start_delay: float,
+        est_cost: float,
+        shed_bulk: bool = False,
+    ) -> "RejectedQuery | None":
+        """Run the gates; return a :class:`RejectedQuery` or None (admitted).
+
+        ``start_delay`` is the server's estimate of modeled seconds
+        until a slot frees for this request; ``est_cost`` is the
+        request's own estimated service time; ``shed_bulk`` reflects the
+        brownout ladder's deepest level.
+        """
+        if request.tenant not in self._buckets:
+            raise KeyError(f"unknown tenant {request.tenant!r}")
+        if shed_bulk and request.tier == "bulk":
+            return RejectedQuery(
+                request, SHED_BROWNOUT_BULK, now,
+                detail="brownout ladder at shed-bulk level",
+            )
+        if queue_depth >= self.max_queue_depth:
+            return RejectedQuery(
+                request, SHED_QUEUE_FULL, now,
+                detail=f"queue depth {queue_depth} >= {self.max_queue_depth}",
+            )
+        if not self._buckets[request.tenant].try_take(now):
+            return RejectedQuery(
+                request, SHED_TENANT_THROTTLED, now,
+                detail=f"tenant {request.tenant} over contracted rate",
+            )
+        if start_delay + est_cost > request.budget * self.slack:
+            return RejectedQuery(
+                request, SHED_DEADLINE_INFEASIBLE, now,
+                detail=(
+                    f"estimated start delay {start_delay:.4f}s + service "
+                    f"{est_cost:.4f}s exceeds budget {request.budget:.4f}s"
+                ),
+            )
+        return None

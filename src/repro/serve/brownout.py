@@ -1,0 +1,181 @@
+"""Graceful brownout: a degradation ladder with hysteresis.
+
+Under sustained overload the server does not fall over — it descends a
+ladder of increasingly aggressive (but individually cheap and
+reversible) degradations, and climbs back up only after the overload
+signal has *stayed* clear, so the controller cannot flap:
+
+====  =============  ====================================================
+level  name           effect
+====  =============  ====================================================
+0      normal         full per-query budgets, hedged reads allowed
+1      budget-shrink  per-query ``time_budget`` scaled by
+                      ``budget_shrink`` — queries return partial
+                      coverage (``DeadlineReport`` semantics) instead of
+                      holding slots longer
+2      no-hedging     level 1 + hedged replica reads disabled: sheds the
+                      duplicate replica I/O that hedging costs precisely
+                      when every disk is already saturated
+3      shed-bulk      level 2 + bulk-tier requests shed at admission
+                      with a typed ``brownout_bulk`` rejection
+====  =============  ====================================================
+
+Inputs are read through the ``obs`` instruments on the modeled clock:
+queue depth, and the p99 of latency-over-budget ratios from a
+:class:`~repro.obs.metrics.SlidingWindow` of recent completions.  The
+controller steps **down** one level after ``down_after`` consecutive
+overloaded evaluations and **up** one level after ``up_after``
+consecutive healthy ones; evaluations that are neither reset both
+streaks (that is the hysteresis band between the high and low
+thresholds).  Every transition emits a ``serve.brownout`` trace instant
+and updates the ``serve.brownout.level`` gauge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import NULL_TRACER
+
+#: Ladder level names, index == level.
+LEVELS = ("normal", "budget-shrink", "no-hedging", "shed-bulk")
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds and hysteresis for :class:`BrownoutController`."""
+
+    #: Modeled seconds between controller evaluations.
+    eval_interval: float = 0.5
+    #: Queue depth at/above which an evaluation counts as overloaded.
+    queue_high: int = 12
+    #: Queue depth at/below which an evaluation can count as healthy.
+    queue_low: int = 3
+    #: p99(latency / budget) at/above which an evaluation is overloaded.
+    over_budget_high: float = 1.0
+    #: p99(latency / budget) at/below which an evaluation can be healthy.
+    over_budget_low: float = 0.6
+    #: Consecutive overloaded evaluations before stepping down a level.
+    down_after: int = 2
+    #: Consecutive healthy evaluations before stepping back up.
+    up_after: int = 4
+    #: ``time_budget`` multiplier at levels >= 1.
+    budget_shrink: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.eval_interval <= 0:
+            raise ValueError(f"eval_interval must be > 0, got {self.eval_interval}")
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue_low must be <= queue_high")
+        if self.over_budget_low > self.over_budget_high:
+            raise ValueError("over_budget_low must be <= over_budget_high")
+        if self.down_after < 1 or self.up_after < 1:
+            raise ValueError("down_after and up_after must be >= 1")
+        if not 0.0 < self.budget_shrink <= 1.0:
+            raise ValueError(
+                f"budget_shrink must be in (0, 1], got {self.budget_shrink}"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutTransition:
+    """One recorded ladder step (for the report time series)."""
+
+    time: float
+    from_level: int
+    to_level: int
+    reason: str
+
+
+class BrownoutController:
+    """The ladder state machine (see module docstring)."""
+
+    def __init__(self, config: "BrownoutConfig | None" = None,
+                 metrics=None, tracer=None) -> None:
+        self.config = config or BrownoutConfig()
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.level = 0
+        self._hot = 0
+        self._cool = 0
+        self.transitions: "list[BrownoutTransition]" = []
+
+    # -- what the current level means ------------------------------------
+
+    @property
+    def level_name(self) -> str:
+        return LEVELS[self.level]
+
+    @property
+    def budget_factor(self) -> float:
+        """Per-query ``time_budget`` multiplier at the current level."""
+        return 1.0 if self.level == 0 else self.config.budget_shrink
+
+    @property
+    def hedging_enabled(self) -> bool:
+        return self.level < 2
+
+    @property
+    def shed_bulk(self) -> bool:
+        return self.level >= 3
+
+    # -- the state machine ----------------------------------------------
+
+    def evaluate(self, now: float, queue_depth: int,
+                 p99_over_budget: "float | None") -> int:
+        """One controller tick; returns the (possibly new) level.
+
+        ``p99_over_budget`` is the sliding-window p99 of
+        latency/budget ratios, or None before any completion.
+        """
+        cfg = self.config
+        overloaded = queue_depth >= cfg.queue_high or (
+            p99_over_budget is not None
+            and p99_over_budget >= cfg.over_budget_high
+        )
+        healthy = queue_depth <= cfg.queue_low and (
+            p99_over_budget is None or p99_over_budget <= cfg.over_budget_low
+        )
+        if overloaded:
+            self._hot += 1
+            self._cool = 0
+        elif healthy:
+            self._cool += 1
+            self._hot = 0
+        else:
+            # The hysteresis band: neither streak advances.
+            self._hot = 0
+            self._cool = 0
+
+        if overloaded and self._hot >= cfg.down_after and self.level < len(LEVELS) - 1:
+            self._transition(
+                now, self.level + 1,
+                f"queue={queue_depth} p99_ratio="
+                f"{p99_over_budget if p99_over_budget is not None else 'n/a'}",
+            )
+            self._hot = 0
+        elif healthy and self._cool >= cfg.up_after and self.level > 0:
+            self._transition(
+                now, self.level - 1,
+                f"recovered: queue={queue_depth}",
+            )
+            self._cool = 0
+        if self.metrics is not None:
+            self.metrics.set_gauge("serve.brownout.level", self.level)
+        return self.level
+
+    def _transition(self, now: float, new_level: int, reason: str) -> None:
+        old = self.level
+        self.level = new_level
+        self.transitions.append(BrownoutTransition(now, old, new_level, reason))
+        if self.metrics is not None:
+            self.metrics.inc("serve.brownout.transitions")
+        if self.tracer.enabled:
+            self.tracer.seek("serve", now)
+            self.tracer.instant(
+                "serve.brownout", track="serve", category="serve",
+                args={
+                    "from": LEVELS[old], "to": LEVELS[new_level],
+                    "level": new_level, "reason": reason,
+                },
+            )

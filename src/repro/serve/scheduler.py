@@ -1,0 +1,190 @@
+"""Weighted deficit-round-robin (DRR) across tenants, starvation-free.
+
+Classic DRR (Shreedhar & Varghese) generalised to weighted tenants and
+to "packets" that are whole isosurface queries whose size is their
+estimated modeled service time:
+
+* tenants are visited in a fixed round-robin order (sorted by name, so
+  the schedule is a pure function of config — no dict-order hazards);
+* on each visit to a backlogged tenant its deficit counter grows by
+  ``quantum * weight``; the head-of-queue job is dispatched while its
+  estimated cost fits the deficit, which is then charged;
+* a tenant whose queue drains forfeits its leftover deficit (the
+  classic rule that keeps counters bounded).
+
+**Deficit-counter invariant (starvation-freedom).**  While tenant ``i``
+stays backlogged, every full round adds exactly ``quantum * w_i`` to
+its deficit and nothing ever removes credit except a dispatch.  Its
+head job of cost ``c`` therefore dispatches after at most
+``ceil(c / (quantum * w_i))`` rounds — bulk (weight 1) makes provable
+progress no matter how much gold traffic exists.  The scheduler records
+per-tenant ``max_service_gap_rounds`` so tests (and the soak benchmark)
+can assert the bound instead of trusting the argument.
+
+**Preemption hook.**  Gold may preempt bulk at brick-batch boundaries
+(the server decides *when*); the scheduler contributes two pieces:
+:meth:`DeficitRoundRobin.pop_tier` hands the freed slot to the oldest
+waiting gold job directly (charging its cost, possibly driving that
+tenant's deficit negative — the debt is repaid by the same quantum flow
+that guarantees the invariant), and
+:meth:`DeficitRoundRobin.requeue_front` puts the preempted victim back
+at the head of its tenant's queue so it resumes before that tenant's
+newer work.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.serve.traffic import TenantSpec
+
+
+class DeficitRoundRobin:
+    """One dispatch queue per tenant, served by weighted DRR.
+
+    ``quantum`` is the base credit (modeled seconds of service) a
+    weight-1 tenant earns per round.
+    """
+
+    def __init__(self, tenants: "tuple[TenantSpec, ...]", quantum: float) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be > 0, got {quantum}")
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        self.quantum = quantum
+        self._specs = {t.name: t for t in tenants}
+        self._order = sorted(self._specs)
+        self._queues: "dict[str, deque]" = {n: deque() for n in self._order}
+        self._deficit: "dict[str, float]" = {n: 0.0 for n in self._order}
+        self._cursor = 0
+        #: Tenant whose round-robin turn is in progress (already credited
+        #: this turn); cleared when the cursor moves on.
+        self._turn_open: "str | None" = None
+        # -- invariant introspection --------------------------------------
+        self.rounds = 0
+        self.services = {n: 0 for n in self._order}
+        #: Per tenant: consecutive *backlogged* rounds since its last
+        #: service, running counter and observed maximum.  The maximum is
+        #: what the starvation-freedom tests bound via :meth:`gap_bound`.
+        self._starved_rounds = {n: 0 for n in self._order}
+        self.max_service_gap_rounds = {n: 0 for n in self._order}
+
+    # -- queue state -----------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def tier_backlog(self, tier: str) -> int:
+        return sum(
+            len(self._queues[n]) for n in self._order
+            if self._specs[n].tier == tier
+        )
+
+    def queued_jobs(self):
+        """Every queued job, in tenant order then FIFO (for backlog
+        estimates; not the dispatch order)."""
+        for name in self._order:
+            yield from self._queues[name]
+
+    def deficit(self, tenant: str) -> float:
+        return self._deficit[tenant]
+
+    def enqueue(self, job) -> None:
+        self._queues[job.request.tenant].append(job)
+
+    def requeue_front(self, job) -> None:
+        """Return a preempted job to the head of its tenant's queue."""
+        self._queues[job.request.tenant].appendleft(job)
+
+    # -- dispatch --------------------------------------------------------
+
+    def gap_bound(self, tenant: str, max_cost: float) -> int:
+        """Rounds within which a backlogged ``tenant`` must be served
+        when no queued job costs more than ``max_cost`` (the invariant
+        the tests assert against ``max_service_gap_rounds``)."""
+        w = self._specs[tenant].share_weight
+        return math.ceil(max_cost / (self.quantum * w)) + 1
+
+    def _advance(self) -> None:
+        self._cursor = (self._cursor + 1) % len(self._order)
+        self._turn_open = None
+        if self._cursor == 0:
+            self.rounds += 1
+            for name in self._order:
+                if self._queues[name]:
+                    self._starved_rounds[name] += 1
+                    self.max_service_gap_rounds[name] = max(
+                        self.max_service_gap_rounds[name],
+                        self._starved_rounds[name],
+                    )
+                else:
+                    self._starved_rounds[name] = 0
+
+    def _record_service(self, name: str) -> None:
+        self._starved_rounds[name] = 0
+        self.services[name] += 1
+
+    def next_job(self):
+        """Dispatch the next job under DRR, or None when idle.
+
+        Bounded: each full scan credits every backlogged tenant one
+        quantum, so some head job fits within
+        ``max_cost / (quantum * min_weight)`` scans.
+        """
+        if self.backlog == 0:
+            return None
+        n = len(self._order)
+        max_cost = max(j.est_cost for j in self.queued_jobs())
+        min_w = min(self._specs[t].share_weight for t in self._order)
+        scan_limit = n * (math.ceil(max_cost / (self.quantum * min_w)) + 2)
+        for _ in range(scan_limit):
+            name = self._order[self._cursor]
+            q = self._queues[name]
+            if not q:
+                self._advance()
+                continue
+            if self._turn_open != name:
+                self._deficit[name] += self.quantum * self._specs[name].share_weight
+                self._turn_open = name
+            job = q[0]
+            if job.est_cost <= self._deficit[name] + 1e-12:
+                q.popleft()
+                self._deficit[name] -= job.est_cost
+                self._record_service(name)
+                if not q:
+                    # Classic DRR: an idle tenant keeps no credit.
+                    self._deficit[name] = 0.0
+                    self._advance()
+                return job
+            self._advance()
+        raise RuntimeError(
+            "DRR failed to dispatch within its provable bound - "
+            "deficit invariant violated"
+        )
+
+    def pop_tier(self, tier: str):
+        """Dispatch the oldest queued job of ``tier`` out of band (the
+        preemption grant), or None.  Its cost is still charged to the
+        owning tenant's deficit, so preemption spends — never creates —
+        fair-share credit."""
+        best_name = None
+        best = None
+        for name in self._order:
+            q = self._queues[name]
+            if not q or self._specs[name].tier != tier:
+                continue
+            head = q[0]
+            if best is None or head.request.request_id < best.request.request_id:
+                best, best_name = head, name
+        if best is None:
+            return None
+        self._queues[best_name].popleft()
+        self._deficit[best_name] -= best.est_cost
+        self._record_service(best_name)
+        if not self._queues[best_name]:
+            # Forfeit leftover credit (classic empty-queue rule) but keep
+            # any preemption debt on the books.
+            self._deficit[best_name] = min(self._deficit[best_name], 0.0)
+        return best

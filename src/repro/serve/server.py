@@ -1,0 +1,512 @@
+"""The multi-tenant serving front-end over ``SimulatedCluster``.
+
+:class:`QueryServer` runs a :class:`~repro.serve.traffic.TrafficTrace`
+through a discrete-event loop on the **modeled clock**: arrivals pass
+admission control (:mod:`repro.serve.admission`), queue under weighted
+deficit-round-robin (:mod:`repro.serve.scheduler`), execute on a fixed
+pool of executor slots against the cluster, and a brownout controller
+(:mod:`repro.serve.brownout`) watches the load signals between events.
+No wall time is consulted anywhere, so a ``(trace, config)`` pair maps
+to exactly one :class:`ServingReport` — the determinism the soak
+benchmark asserts byte for byte.
+
+Every request ends in **exactly one** terminal state:
+
+* ``ok`` — completed with full coverage;
+* ``degraded`` — completed with partial coverage (deadline cut or an
+  unrecovered node failure inside the cluster);
+* ``shed`` — rejected at admission with a typed
+  :class:`~repro.serve.admission.RejectedQuery`;
+* ``failed`` — dispatched but delivered zero coverage (budget already
+  exhausted by queue wait, or the cluster lost every copy of the data).
+
+Deadline accounting composes through
+:meth:`~repro.core.deadline.Deadline.consume`: the budget a query
+actually runs under is its contract budget minus its queue wait, scaled
+by the brownout ladder's shrink factor — so queue time and degradation
+are charged against the same end-to-end contract the client sees.
+
+Preemption: when a gold request arrives and every slot is busy, the
+bulk job with the latest finish time is cut at its next *brick-batch
+boundary* (service time divided into ``brick_batches`` equal batches —
+the granularity at which a node query can be cleanly suspended between
+brick reads).  The victim re-queues at the head of its tenant's queue
+and resumes its remaining service later; the freed slot goes to the
+oldest waiting gold request via
+:meth:`~repro.serve.scheduler.DeficitRoundRobin.pop_tier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deadline import Deadline
+from repro.io.cost_model import latency_quantile
+from repro.obs.metrics import SlidingWindow
+from repro.obs.tracer import NULL_TRACER, coerce_tracer
+from repro.parallel.cluster import ExtractRequest
+from repro.serve.admission import AdmissionController, RejectedQuery
+from repro.serve.brownout import BrownoutConfig, BrownoutController
+from repro.serve.scheduler import DeficitRoundRobin
+from repro.serve.traffic import TIERS, QueryRequest, TenantSpec, TrafficTrace
+
+#: Terminal request states.
+TERMINAL_STATES = ("ok", "degraded", "shed", "failed")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything configurable about the serving front-end."""
+
+    tenants: "tuple[TenantSpec, ...]"
+    #: Concurrent query slots (the cluster executes one query per slot;
+    #: slots model front-end concurrency, not extra disks).
+    n_executors: int = 2
+    #: Bound on queued (admitted, undispatched) requests.
+    max_queue_depth: int = 32
+    #: DRR base credit per round, in estimated modeled seconds.
+    quantum: float = 0.02
+    #: Admission feasibility slack (see AdmissionController).
+    admission_slack: float = 1.0
+    #: Hedge replica reads (disabled by brownout level >= 2).
+    hedge: bool = False
+    #: Speculative straggler re-execution inside the cluster.
+    speculate: bool = False
+    #: Allow gold to preempt running bulk jobs at batch boundaries.
+    preemption: bool = True
+    #: Brick-batch boundaries per query (preemption granularity).
+    brick_batches: int = 8
+    #: Brownout ladder thresholds.
+    brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
+    #: Completions in the sliding window feeding the p99 signal.
+    latency_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_executors < 1:
+            raise ValueError(f"n_executors must be >= 1, got {self.n_executors}")
+        if self.brick_batches < 1:
+            raise ValueError(f"brick_batches must be >= 1, got {self.brick_batches}")
+        if not self.tenants:
+            raise ValueError("need at least one tenant")
+
+
+@dataclass
+class _Job:
+    """Mutable per-request serving state (internal)."""
+
+    request: QueryRequest
+    est_cost: float
+    dispatched_at: "float | None" = None
+    #: Modeled service seconds of the whole query (set at first dispatch).
+    service_total: float = 0.0
+    #: Service seconds completed in earlier (preempted) segments.
+    service_done: float = 0.0
+    segment_start: float = 0.0
+    finish_at: float = 0.0
+    preempt_at: "float | None" = None
+    preemptions: int = 0
+    result: "object | None" = None
+    effective_budget: float = 0.0
+
+
+@dataclass
+class ServedRecord:
+    """One request's terminal accounting (the report row)."""
+
+    request_id: int
+    tenant: str
+    tier: str
+    lam: float
+    arrival: float
+    budget: float
+    state: str
+    #: Shed reason for ``state == "shed"``, else "".
+    reason: str = ""
+    queue_wait: float = 0.0
+    service_time: float = 0.0
+    finish: float = 0.0
+    latency: float = 0.0
+    coverage: float = 0.0
+    preemptions: int = 0
+    met_deadline: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id, "tenant": self.tenant,
+            "tier": self.tier, "lam": self.lam, "arrival": self.arrival,
+            "budget": self.budget, "state": self.state, "reason": self.reason,
+            "queue_wait": self.queue_wait, "service_time": self.service_time,
+            "finish": self.finish, "latency": self.latency,
+            "coverage": self.coverage, "preemptions": self.preemptions,
+            "met_deadline": self.met_deadline,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving run produced, with derived summaries."""
+
+    records: "list[ServedRecord]"
+    transitions: "list"
+    horizon: float
+    scheduler_gaps: "dict[str, int]" = field(default_factory=dict)
+    scheduler_gap_bounds: "dict[str, int]" = field(default_factory=dict)
+
+    def by_state(self, state: str) -> "list[ServedRecord]":
+        return [r for r in self.records if r.state == state]
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> "list[ServedRecord]":
+        """Requests that produced an answer (full or partial)."""
+        return [r for r in self.records if r.state in ("ok", "degraded")]
+
+    @property
+    def shed_rate(self) -> float:
+        n = self.n_requests
+        return len(self.by_state("shed")) / n if n else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Answered requests per modeled second of trace horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return len(self.completed) / self.horizon
+
+    def latencies(self, tier: "str | None" = None) -> "list[float]":
+        return [
+            r.latency for r in self.completed
+            if tier is None or r.tier == tier
+        ]
+
+    def latency_quantile(self, q: float, tier: "str | None" = None) -> float:
+        samples = self.latencies(tier)
+        return latency_quantile(samples, q) if samples else 0.0
+
+    @property
+    def max_brownout_level(self) -> int:
+        return max((t.to_level for t in self.transitions), default=0)
+
+    def to_payload(self) -> dict:
+        """Flat metrics + series, shaped for ``BENCH_serving.json``
+        (metrics: finite non-negative scalars; series under extra)."""
+        counts = {s: len(self.by_state(s)) for s in TERMINAL_STATES}
+        shed_by_reason: "dict[str, int]" = {}
+        for r in self.by_state("shed"):
+            shed_by_reason[r.reason] = shed_by_reason.get(r.reason, 0) + 1
+        metrics = {
+            "requests": float(self.n_requests),
+            "goodput_qps": self.goodput,
+            "shed_rate": self.shed_rate,
+            "preemptions": float(sum(r.preemptions for r in self.records)),
+            "brownout_transitions": float(len(self.transitions)),
+            "brownout_max_level": float(self.max_brownout_level),
+        }
+        for s in TERMINAL_STATES:
+            metrics[f"state_{s}"] = float(counts[s])
+        for tier in TIERS:
+            if self.latencies(tier):
+                metrics[f"latency_p50_{tier}"] = self.latency_quantile(0.50, tier)
+                metrics[f"latency_p99_{tier}"] = self.latency_quantile(0.99, tier)
+        series = {
+            "brownout": [
+                [t.time, t.to_level, t.reason] for t in self.transitions
+            ],
+            "shed_by_reason": shed_by_reason,
+            "scheduler_max_service_gap_rounds": self.scheduler_gaps,
+            "scheduler_gap_bounds": self.scheduler_gap_bounds,
+        }
+        return {"metrics": metrics, "series": series}
+
+
+class QueryServer:
+    """Admission + DRR + brownout over one ``SimulatedCluster``.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.parallel.cluster.SimulatedCluster` to serve.
+    config:
+        :class:`ServeConfig`.
+    tracer / metrics:
+        Optional :class:`~repro.obs.tracer.Tracer` /
+        :class:`~repro.obs.metrics.MetricsRegistry`; the tracer gets
+        ``serve.brownout`` / ``serve.shed`` instants on a ``serve``
+        track, the registry gets ``serve.*`` counters and histograms
+        plus the cluster's own per-query publication.
+    """
+
+    def __init__(self, cluster, config: ServeConfig,
+                 tracer=None, metrics=None) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.tracer = coerce_tracer(tracer) if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.admission = AdmissionController(
+            config.tenants, config.max_queue_depth, config.admission_slack
+        )
+        self.scheduler = DeficitRoundRobin(config.tenants, config.quantum)
+        self.brownout = BrownoutController(
+            config.brownout, metrics=metrics, tracer=self.tracer
+        )
+        self._est_cache: "dict[float, float]" = {}
+        self._ratio_window = SlidingWindow(config.latency_window)
+        self._running: "list[_Job]" = []
+        self._records: "dict[int, ServedRecord]" = {}
+        self._gold_claims = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _estimate(self, lam: float) -> float:
+        if lam not in self._est_cache:
+            self._est_cache[lam] = self.cluster.estimate_extract_time(lam)
+        return self._est_cache[lam]
+
+    def _backlog_seconds(self, now: float) -> float:
+        queued = sum(
+            j.est_cost - j.service_done for j in self.scheduler.queued_jobs()
+        )
+        running = sum(max(0.0, j.finish_at - now) for j in self._running)
+        return queued + running
+
+    def _inc(self, name: str, amount: "int | float" = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
+
+    # -- event handlers --------------------------------------------------
+
+    def _admit(self, req: QueryRequest, now: float) -> None:
+        self._inc("serve.arrivals")
+        rejection = self.admission.admit(
+            req, now,
+            queue_depth=self.scheduler.backlog,
+            start_delay=self._backlog_seconds(now) / self.config.n_executors,
+            est_cost=self._estimate(req.lam),
+            shed_bulk=self.brownout.shed_bulk,
+        )
+        if rejection is not None:
+            self._shed(rejection)
+            return
+        self._inc("serve.admitted")
+        job = _Job(request=req, est_cost=self._estimate(req.lam))
+        self.scheduler.enqueue(job)
+        if (
+            self.config.preemption
+            and req.tier == "gold"
+            and len(self._running) >= self.config.n_executors
+        ):
+            self._arm_preemption(now)
+
+    def _shed(self, rejection: RejectedQuery) -> None:
+        req = rejection.request
+        self._records[req.request_id] = ServedRecord(
+            request_id=req.request_id, tenant=req.tenant, tier=req.tier,
+            lam=req.lam, arrival=req.arrival, budget=req.budget,
+            state="shed", reason=rejection.reason, finish=rejection.time,
+        )
+        self._inc(f"serve.shed.{rejection.reason}")
+        if self.tracer.enabled:
+            self.tracer.seek("serve", rejection.time)
+            self.tracer.instant(
+                "serve.shed", track="serve", category="serve",
+                args={"request": req.request_id, "tenant": req.tenant,
+                      "reason": rejection.reason},
+            )
+
+    def _arm_preemption(self, now: float) -> None:
+        """Mark the least-urgent running bulk job for preemption at its
+        next brick-batch boundary."""
+        victims = [
+            j for j in self._running
+            if j.request.tier == "bulk" and j.preempt_at is None
+        ]
+        if not victims:
+            return
+        victim = max(
+            victims, key=lambda j: (j.finish_at, j.request.request_id)
+        )
+        if victim.service_total <= 0.0:
+            return
+        batch = victim.service_total / self.config.brick_batches
+        progress = victim.service_done + (now - victim.segment_start)
+        k = int(progress / batch) + 1
+        boundary = victim.segment_start + (k * batch - victim.service_done)
+        if boundary < victim.finish_at - 1e-12:
+            victim.preempt_at = boundary
+
+    def _dispatch(self, job: _Job, now: float) -> None:
+        resumed = job.result is not None
+        if not resumed:
+            queue_wait = now - job.request.arrival
+            # Budget re-split: the query runs under what is left of the
+            # end-to-end contract after queue wait, scaled by the
+            # brownout ladder (possibly already expired -> coverage 0).
+            eff = Deadline(job.request.budget).consume(queue_wait)
+            eff = Deadline(
+                eff.budget * self.brownout.budget_factor,
+                node_fraction=eff.node_fraction,
+            )
+            job.effective_budget = eff.budget
+            hedge = self.config.hedge and self.brownout.hedging_enabled
+            result = self.cluster.extract(job.request.lam, ExtractRequest(
+                deadline=eff,
+                hedge=True if hedge else None,
+                speculate=self.config.speculate,
+                tenant=job.request.tenant,
+                metrics=self.metrics,
+            ))
+            job.result = result
+            job.service_total = result.total_time
+            job.dispatched_at = now
+            self._observe("serve.queue_wait", queue_wait)
+        job.segment_start = now
+        job.finish_at = now + (job.service_total - job.service_done)
+        job.preempt_at = None
+        self._running.append(job)
+
+    def _preempt(self, job: _Job, now: float) -> None:
+        job.service_done += now - job.segment_start
+        job.preemptions += 1
+        job.preempt_at = None
+        self._running.remove(job)
+        self.scheduler.requeue_front(job)
+        self._gold_claims += 1
+        self._inc("serve.preemptions")
+
+    def _complete(self, job: _Job, now: float) -> None:
+        self._running.remove(job)
+        req = job.request
+        result = job.result
+        coverage = result.coverage
+        if coverage <= 1e-12:
+            state = "failed"
+        elif result.degraded or coverage < 1.0 - 1e-12:
+            state = "degraded"
+        else:
+            state = "ok"
+        latency = now - req.arrival
+        queue_wait = (job.dispatched_at or req.arrival) - req.arrival
+        self._records[req.request_id] = ServedRecord(
+            request_id=req.request_id, tenant=req.tenant, tier=req.tier,
+            lam=req.lam, arrival=req.arrival, budget=req.budget,
+            state=state, queue_wait=queue_wait,
+            service_time=job.service_total, finish=now, latency=latency,
+            coverage=coverage, preemptions=job.preemptions,
+            met_deadline=latency <= req.budget + 1e-9,
+        )
+        self._ratio_window.observe(latency / req.budget)
+        self._inc(f"serve.completed.{state}")
+        self._observe("serve.latency", latency)
+        self._observe(f"serve.latency.{req.tier}", latency)
+
+    def _apply_overlay(self, event, now: float) -> None:
+        if event.action == "kill":
+            self.cluster.fail_node(event.rank)
+        elif event.action == "heal":
+            self.cluster.heal_node(event.rank)
+        else:
+            self.cluster.inject_faults(event.rank, event.plan)
+        if self.tracer.enabled:
+            self.tracer.seek("serve", now)
+            self.tracer.instant(
+                "serve.overlay", track="serve", category="fault",
+                args={"action": event.action, "rank": event.rank},
+            )
+
+    def _dispatch_free_slots(self, now: float) -> None:
+        while len(self._running) < self.config.n_executors:
+            job = None
+            if self._gold_claims > 0:
+                job = self.scheduler.pop_tier("gold")
+                self._gold_claims = self._gold_claims - 1 if job else 0
+            if job is None:
+                job = self.scheduler.next_job()
+            if job is None:
+                return
+            self._dispatch(job, now)
+
+    # -- the event loop --------------------------------------------------
+
+    def serve(self, trace: TrafficTrace) -> ServingReport:
+        """Run the whole trace to completion and report every request's
+        terminal state.  Re-running on a fresh cluster with the same
+        trace and config reproduces the report exactly."""
+        cfg = self.config
+        arrivals = list(trace.requests)
+        overlays = list(trace.overlays)
+        ai = oi = 0
+        next_eval = cfg.brownout.eval_interval
+        self._records.clear()
+        self._running.clear()
+
+        while True:
+            candidates = []
+            for job in self._running:
+                t = job.preempt_at if job.preempt_at is not None else job.finish_at
+                candidates.append(t)
+            if oi < len(overlays):
+                candidates.append(overlays[oi].time)
+            if ai < len(arrivals):
+                candidates.append(arrivals[ai].arrival)
+            work_pending = (
+                ai < len(arrivals) or self._running or self.scheduler.backlog
+            )
+            if work_pending:
+                candidates.append(next_eval)
+            if not candidates:
+                break
+            now = min(candidates)
+
+            # Fixed intra-tick order keeps ties deterministic:
+            # completions/preemptions, overlays, brownout, arrivals.
+            due = [
+                j for j in list(self._running)
+                if (j.preempt_at if j.preempt_at is not None else j.finish_at)
+                == now
+            ]
+            for job in sorted(due, key=lambda j: j.request.request_id):
+                if job.preempt_at is not None and job.preempt_at == now:
+                    self._preempt(job, now)
+                else:
+                    self._complete(job, now)
+            while oi < len(overlays) and overlays[oi].time == now:
+                self._apply_overlay(overlays[oi], now)
+                oi += 1
+            if work_pending and next_eval == now:
+                self.brownout.evaluate(
+                    now, self.scheduler.backlog, self._ratio_window.quantile(0.99)
+                )
+                next_eval += cfg.brownout.eval_interval
+            while ai < len(arrivals) and arrivals[ai].arrival == now:
+                self._admit(arrivals[ai], now)
+                ai += 1
+            self._dispatch_free_slots(now)
+            if self.metrics is not None:
+                self.metrics.set_gauge("serve.queue_depth", self.scheduler.backlog)
+
+        records = [self._records[rid] for rid in sorted(self._records)]
+        gap_bounds = {}
+        if records:
+            max_cost = max(
+                (self._est_cache[r.lam] for r in records if r.lam in self._est_cache),
+                default=0.0,
+            )
+            if max_cost > 0:
+                gap_bounds = {
+                    t.name: self.scheduler.gap_bound(t.name, max_cost)
+                    for t in cfg.tenants
+                }
+        return ServingReport(
+            records=records,
+            transitions=list(self.brownout.transitions),
+            horizon=trace.horizon,
+            scheduler_gaps=dict(self.scheduler.max_service_gap_rounds),
+            scheduler_gap_bounds=gap_bounds,
+        )

@@ -1,0 +1,255 @@
+"""Seeded multi-tenant traffic generation for the serving simulator.
+
+A serving layer is only as testable as its traffic: this module turns a
+``(seed, config)`` pair into a fully materialised
+:class:`TrafficTrace` — every request's arrival time, tenant, isovalue,
+and deadline budget, plus a timeline of cluster fault overlays — before
+the server runs a single query.  Everything downstream (admission,
+scheduling, brownout) is then a deterministic function of the trace and
+the modeled clock, which is what lets the soak benchmark assert
+byte-identical payloads across same-seed runs.
+
+Ingredients, mirroring real isosurface-serving workloads:
+
+* **Zipf isovalues** — interactive exploration concentrates on a few
+  popular isovalues (the transfer-function presets); rank ``i`` of the
+  configured universe is drawn with weight ``1 / (i + 1) ** zipf_s``.
+* **Bursty / diurnal arrivals** — a non-homogeneous Poisson process via
+  thinning: a sinusoidal diurnal envelope times step-function burst
+  windows (the 4x overload burst of the acceptance soak is one such
+  window).
+* **Tenant mixes** — each arrival is assigned to a
+  :class:`TenantSpec` by weighted draw; the spec carries the QoS tier,
+  fair-share weight, token-bucket rate, and per-request deadline budget.
+* **Fault overlays** — :class:`ClusterEvent` kill/heal/fault-plan
+  points applied to worker nodes mid-trace, reusing the
+  :mod:`repro.io.faults` machinery (``FaultPlan`` injection and
+  ``CrashSchedule``-style kill marks) against the live cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.io.faults import FaultPlan
+
+#: The three QoS tiers, best first.
+TIERS = ("gold", "silver", "bulk")
+
+#: Default fair-share weights per tier (gold outweighs bulk 8:1, but
+#: every tier's weight is strictly positive — the deficit-round-robin
+#: starvation-freedom argument needs that).
+TIER_WEIGHTS = {"gold": 8.0, "silver": 4.0, "bulk": 1.0}
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity, QoS tier, and traffic contract.
+
+    Parameters
+    ----------
+    name:
+        Tenant id (also the metrics/trace label).
+    tier:
+        ``gold`` / ``silver`` / ``bulk``.
+    arrival_share:
+        Relative probability an arrival belongs to this tenant.
+    rate:
+        Token-bucket refill rate, requests per modeled second.
+    burst:
+        Token-bucket capacity (requests admitted back to back).
+    deadline_budget:
+        Per-request end-to-end modeled-seconds budget.
+    weight:
+        Fair-share weight; ``None`` uses the tier default.
+    """
+
+    name: str
+    tier: str = "silver"
+    arrival_share: float = 1.0
+    rate: float = 10.0
+    burst: float = 5.0
+    deadline_budget: float = 1.0
+    weight: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
+        if self.arrival_share <= 0:
+            raise ValueError(f"arrival_share must be > 0, got {self.arrival_share}")
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("token bucket rate and burst must be > 0")
+        if self.deadline_budget <= 0:
+            raise ValueError(
+                f"deadline_budget must be > 0, got {self.deadline_budget}"
+            )
+
+    @property
+    def share_weight(self) -> float:
+        """Effective deficit-round-robin weight."""
+        return self.weight if self.weight is not None else TIER_WEIGHTS[self.tier]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One isosurface query as it arrives at the front door."""
+
+    request_id: int
+    arrival: float
+    tenant: str
+    tier: str
+    lam: float
+    #: End-to-end modeled-seconds budget (queue wait counts against it).
+    budget: float
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """A fault overlay applied to the cluster at a point in trace time.
+
+    ``action`` is ``kill`` (permanent node-disk loss, the
+    ``CrashSchedule``-style kill point), ``heal`` (bring it back), or
+    ``faults`` (install ``plan`` on the node's disk via
+    ``inject_faults``).
+    """
+
+    time: float
+    action: str
+    rank: int
+    plan: "FaultPlan | None" = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("kill", "heal", "faults"):
+            raise ValueError(f"unknown overlay action {self.action!r}")
+        if self.action == "faults" and self.plan is None:
+            raise ValueError("a 'faults' overlay needs a FaultPlan")
+
+
+@dataclass(frozen=True)
+class BurstWindow:
+    """A multiplicative arrival-rate burst over ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.factor <= 0:
+            raise ValueError("burst duration and factor must be > 0")
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Everything that shapes a generated trace (see module docstring)."""
+
+    duration: float
+    base_rate: float
+    isovalues: "tuple[float, ...]"
+    seed: int = 0
+    zipf_s: float = 1.1
+    diurnal_amplitude: float = 0.0
+    diurnal_period: "float | None" = None
+    bursts: "tuple[BurstWindow, ...]" = ()
+    overlays: "tuple[ClusterEvent, ...]" = ()
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be > 0, got {self.base_rate}")
+        if not self.isovalues:
+            raise ValueError("need at least one isovalue")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude must be in [0, 1), got {self.diurnal_amplitude}"
+            )
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at trace time ``t``."""
+        period = self.diurnal_period or self.duration
+        rate = self.base_rate * (
+            1.0 + self.diurnal_amplitude * math.sin(2.0 * math.pi * t / period)
+        )
+        for b in self.bursts:
+            if b.start <= t < b.start + b.duration:
+                rate *= b.factor
+        return max(rate, 0.0)
+
+    @property
+    def peak_rate(self) -> float:
+        """Upper bound on :meth:`rate_at` (the thinning envelope)."""
+        burst = max((b.factor for b in self.bursts), default=1.0)
+        return self.base_rate * (1.0 + self.diurnal_amplitude) * burst
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A fully materialised workload: requests plus fault overlays,
+    both sorted by time."""
+
+    requests: "tuple[QueryRequest, ...]"
+    overlays: "tuple[ClusterEvent, ...]" = ()
+    config: "TrafficConfig | None" = field(default=None, compare=False)
+
+    @property
+    def horizon(self) -> float:
+        """Trace duration (config duration, or the last event time)."""
+        if self.config is not None:
+            return self.config.duration
+        times = [r.arrival for r in self.requests]
+        times += [e.time for e in self.overlays]
+        return max(times, default=0.0)
+
+
+def zipf_weights(n: int, s: float) -> "list[float]":
+    """Zipf popularity weights for ranks ``0..n-1`` (not normalised)."""
+    return [1.0 / (i + 1) ** s for i in range(n)]
+
+
+def generate_trace(
+    config: TrafficConfig, tenants: "tuple[TenantSpec, ...]"
+) -> TrafficTrace:
+    """Materialise a seeded trace: deterministic given ``(config, tenants)``.
+
+    Arrivals come from thinning a homogeneous Poisson process at
+    :attr:`TrafficConfig.peak_rate` down to :meth:`TrafficConfig.rate_at`;
+    each accepted arrival draws its tenant (by ``arrival_share``) and
+    its isovalue (Zipf over the configured universe) from the same
+    ``random.Random(seed)`` stream, so the whole trace is one function
+    of the seed.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    rng = random.Random(config.seed)
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    shares = [t.arrival_share for t in tenants]
+    iso_weights = zipf_weights(len(config.isovalues), config.zipf_s)
+    peak = config.peak_rate
+
+    requests: "list[QueryRequest]" = []
+    t = 0.0
+    rid = 0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= config.duration:
+            break
+        if rng.random() * peak > config.rate_at(t):
+            continue  # thinned out of the non-homogeneous process
+        tenant = rng.choices(tenants, weights=shares, k=1)[0]
+        lam = rng.choices(config.isovalues, weights=iso_weights, k=1)[0]
+        requests.append(QueryRequest(
+            request_id=rid,
+            arrival=t,
+            tenant=tenant.name,
+            tier=tenant.tier,
+            lam=lam,
+            budget=tenant.deadline_budget,
+        ))
+        rid += 1
+
+    overlays = tuple(sorted(config.overlays, key=lambda e: (e.time, e.rank)))
+    return TrafficTrace(requests=tuple(requests), overlays=overlays, config=config)

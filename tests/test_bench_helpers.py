@@ -141,3 +141,43 @@ class TestAsciiTree:
         tree = CompactIntervalTree.build(sphere_intervals)
         shallow = ascii_tree(tree, max_depth=0)
         assert "..." in shallow or tree.height() == 0
+
+
+class TestBenchSchemaChecker:
+    """The CI checker's value gate: NaN / negative metrics are rejected."""
+
+    def _checker(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "tools" / "check_bench_schema.py"
+        spec = importlib.util.spec_from_file_location("check_bench_schema", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def _payload(self, **metrics):
+        return {"schema": "repro-bench/1", "name": "t", "scale": 1,
+                "metrics": metrics or {"x": 1.0}}
+
+    def test_accepts_clean_metrics(self):
+        self._checker().check_metric_values(self._payload(a=0.0, b=3, c=1.5))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            self._checker().check_metric_values(self._payload(bad=-0.1))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            self._checker().check_metric_values(self._payload(bad=float("nan")))
+
+    def test_main_fails_on_bad_file(self, tmp_path):
+        import json
+
+        mod = self._checker()
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(self._payload()))
+        assert mod.main([str(good)]) == 0
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps(self._payload(x=-1.0)))
+        assert mod.main([str(bad)]) == 1

@@ -116,3 +116,51 @@ class TestWithQueries:
         execute_query(ds, 0.72)
         second = backing.stats.blocks_read - first
         assert second < first  # most of the working set was shared
+
+
+class TestCacheMetricsExport:
+    """Satellite: CacheStats surfaced through MetricsRegistry as
+    ``cache.*`` gauges (the ``repro metrics`` view)."""
+
+    def test_absorb_cache_stats_publishes_gauges(self):
+        from repro.io.cache import CacheStats
+        from repro.obs.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        m.absorb_cache_stats(CacheStats(hits=8, misses=4, evictions=2,
+                                        invalidations=1))
+        assert m.value("cache.hits") == 8
+        assert m.value("cache.misses") == 4
+        assert m.value("cache.evictions") == 2
+        assert m.value("cache.invalidations") == 1
+        assert m.value("cache.hit_rate") == pytest.approx(8 / 12)
+        # Gauges carry cumulative snapshots: re-absorbing the same stats
+        # must not double-count.
+        m.absorb_cache_stats(CacheStats(hits=8, misses=4, evictions=2,
+                                        invalidations=1))
+        assert m.value("cache.hits") == 8
+
+    def test_cluster_cache_stats_aggregates_and_publishes(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+
+        cluster = SimulatedCluster(
+            sphere_field((25, 25, 25)), 4, metacell_shape=(5, 5, 5),
+            cache_blocks=64,
+        )
+        m = MetricsRegistry()
+        cluster.extract(0.8, ExtractRequest(metrics=m))
+        cluster.extract(0.8, ExtractRequest(metrics=m))
+        stats = cluster.cache_stats()
+        assert stats is not None
+        assert stats.hits > 0  # the replay hit the per-node caches
+        assert m.value("cache.hits") == stats.hits
+        assert m.value("cache.misses") == stats.misses
+
+    def test_cluster_without_cache_reports_none(self):
+        from repro.parallel.cluster import SimulatedCluster
+
+        cluster = SimulatedCluster(
+            sphere_field((25, 25, 25)), 2, metacell_shape=(5, 5, 5)
+        )
+        assert cluster.cache_stats() is None

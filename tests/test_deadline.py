@@ -69,15 +69,44 @@ class TestDeadlineObject:
         dl = Deadline(5.0, node_fraction=1.0)
         assert dl.speculation_budget == pytest.approx(0.0)
 
-    @pytest.mark.parametrize("bad", [0.0, -1.0])
-    def test_rejects_nonpositive_budget(self, bad):
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_nonpositive_budget_is_immediately_expired(self, budget):
+        # Regression: a zero/negative budget used to raise from the
+        # split; now it is a legal, already-expired deadline (what
+        # Deadline.consume produces when wait eats the whole budget).
+        dl = Deadline(budget)
+        assert dl.expired
+        assert dl.node_budget == 0.0
+        assert dl.speculation_budget == 0.0
+
+    def test_positive_budget_is_not_expired(self):
+        assert not Deadline(1.0).expired
+
+    def test_rejects_nan_budget(self):
         with pytest.raises(ValueError):
-            Deadline(bad)
+            Deadline(float("nan"))
 
     @pytest.mark.parametrize("frac", [0.0, -0.1, 1.5])
     def test_rejects_bad_fraction(self, frac):
         with pytest.raises(ValueError):
             Deadline(1.0, node_fraction=frac)
+
+    def test_consume_resplits_budget(self):
+        dl = Deadline(10.0, node_fraction=0.6)
+        rest = dl.consume(4.0)
+        assert rest.budget == pytest.approx(6.0)
+        assert rest.node_fraction == pytest.approx(0.6)
+        assert rest.node_budget == pytest.approx(3.6)
+        assert not rest.expired
+
+    def test_consume_past_budget_expires(self):
+        rest = Deadline(2.0).consume(5.0)
+        assert rest.expired
+        assert rest.node_budget == 0.0
+
+    def test_consume_rejects_negative_elapsed(self):
+        with pytest.raises(ValueError):
+            Deadline(2.0).consume(-0.1)
 
     def test_coerce(self):
         assert Deadline.coerce(None) is None
@@ -236,6 +265,42 @@ class TestClusterDeadline:
         assert rescued.coverage == pytest.approx(1.0)
         assert np.array_equal(rescued.image.color, healthy.image.color)
         assert np.array_equal(rescued.image.depth, healthy.image.depth)
+
+
+class TestExpiredDeadlineExtraction:
+    """A zero/negative budget flows through the whole cluster path:
+    immediately-expired, coverage 0.0, a well-formed DeadlineReport,
+    and never an exception."""
+
+    @pytest.mark.parametrize("budget", [0.0, -0.5])
+    def test_cluster_extract_with_expired_budget(self, volume, budget):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        res = cluster.extract(ISO, ExtractRequest(deadline=budget))
+        assert res.coverage == pytest.approx(0.0)
+        assert res.degraded
+        assert res.failed_nodes == []
+        rep = res.deadline
+        assert isinstance(rep, DeadlineReport)
+        assert rep.budget == pytest.approx(budget)
+        assert rep.node_budget == 0.0
+        assert rep.coverage == pytest.approx(0.0)
+        assert not rep.met
+        assert rep.modeled_total >= 0.0
+        assert rep.over_budget_by >= 0.0
+        assert sorted(rep.expired_nodes) == list(range(P))
+
+    def test_zero_budget_query_options(self, volume):
+        ds = build_indexed_dataset(volume, (5, 5, 5))
+        res = execute_query(ds, ISO, QueryOptions(time_budget=0.0))
+        assert res.deadline_expired
+        assert res.n_active == 0
+        assert res.n_records_skipped > 0
+
+    def test_nan_time_budget_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(time_budget=float("nan"))
 
 
 class TestSpeculationPlanning:

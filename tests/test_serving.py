@@ -1,0 +1,299 @@
+"""Unit and integration tests for the serving front-end.
+
+Covers the pieces individually — token bucket, the four typed shed
+gates, the brownout ladder's hysteresis — then end to end: a small
+trace where every request lands in exactly one terminal state, gold
+preempting a long bulk job at a brick-batch boundary, and a node-kill
+overlay absorbed by replication.  The overload acceptance soak itself
+lives in ``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cluster import SimulatedCluster
+from repro.serve import (
+    SHED_BROWNOUT_BULK,
+    SHED_DEADLINE_INFEASIBLE,
+    SHED_QUEUE_FULL,
+    SHED_TENANT_THROTTLED,
+    AdmissionController,
+    BrownoutConfig,
+    BrownoutController,
+    ClusterEvent,
+    QueryRequest,
+    QueryServer,
+    RejectedQuery,
+    ServeConfig,
+    TERMINAL_STATES,
+    TenantSpec,
+    TokenBucket,
+    TrafficConfig,
+    TrafficTrace,
+    generate_trace,
+)
+
+TENANTS = (
+    TenantSpec("gold-a", tier="gold", arrival_share=0.3, rate=5.0, burst=2,
+               deadline_budget=1.0),
+    TenantSpec("bulk-c", tier="bulk", arrival_share=0.7, rate=5.0, burst=4,
+               deadline_budget=5.0),
+)
+
+
+def _req(rid=0, tenant="gold-a", tier="gold", arrival=0.0, lam=0.8, budget=1.0):
+    return QueryRequest(request_id=rid, arrival=arrival, tenant=tenant,
+                        tier=tier, lam=lam, budget=budget)
+
+
+class TestTokenBucket:
+    def test_starts_full_then_denies(self):
+        b = TokenBucket(rate=1.0, capacity=2.0)
+        assert b.try_take(0.0)
+        assert b.try_take(0.0)
+        assert not b.try_take(0.0)
+
+    def test_refills_at_rate(self):
+        b = TokenBucket(rate=2.0, capacity=2.0)
+        b.try_take(0.0), b.try_take(0.0)
+        assert not b.try_take(0.1)   # only 0.2 tokens back
+        assert b.try_take(0.5)       # 1.0 token accrued by t=0.5
+
+    def test_saturates_at_capacity(self):
+        b = TokenBucket(rate=10.0, capacity=3.0)
+        b.refill(100.0)
+        assert b.level == 3.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=-1.0)
+
+
+class TestAdmissionGates:
+    def _ctrl(self, depth=4, slack=1.0):
+        return AdmissionController(TENANTS, max_queue_depth=depth, slack=slack)
+
+    def test_admits_feasible_request(self):
+        r = self._ctrl().admit(_req(), now=0.0, queue_depth=0,
+                               start_delay=0.0, est_cost=0.5)
+        assert r is None
+
+    def test_queue_full(self):
+        r = self._ctrl(depth=2).admit(_req(), now=0.0, queue_depth=2,
+                                      start_delay=0.0, est_cost=0.1)
+        assert isinstance(r, RejectedQuery) and r.reason == SHED_QUEUE_FULL
+
+    def test_tenant_throttled_consumes_tokens(self):
+        ctrl = self._ctrl()
+        for i in range(2):   # gold-a burst is 2
+            assert ctrl.admit(_req(rid=i), now=0.0, queue_depth=0,
+                              start_delay=0.0, est_cost=0.1) is None
+        r = ctrl.admit(_req(rid=2), now=0.0, queue_depth=0,
+                       start_delay=0.0, est_cost=0.1)
+        assert r.reason == SHED_TENANT_THROTTLED
+
+    def test_deadline_infeasible(self):
+        r = self._ctrl().admit(_req(budget=1.0), now=0.0, queue_depth=0,
+                               start_delay=0.8, est_cost=0.5)
+        assert r.reason == SHED_DEADLINE_INFEASIBLE
+        assert "budget" in r.detail
+
+    def test_slack_loosens_feasibility(self):
+        r = self._ctrl(slack=2.0).admit(_req(budget=1.0), now=0.0,
+                                        queue_depth=0, start_delay=0.8,
+                                        est_cost=0.5)
+        assert r is None
+
+    def test_brownout_sheds_bulk_only(self):
+        ctrl = self._ctrl()
+        bulk = _req(tenant="bulk-c", tier="bulk", budget=5.0)
+        r = ctrl.admit(bulk, now=0.0, queue_depth=0, start_delay=0.0,
+                       est_cost=0.1, shed_bulk=True)
+        assert r.reason == SHED_BROWNOUT_BULK
+        gold = _req(rid=1)
+        assert ctrl.admit(gold, now=0.0, queue_depth=0, start_delay=0.0,
+                          est_cost=0.1, shed_bulk=True) is None
+
+    def test_unknown_tenant_raises(self):
+        with pytest.raises(KeyError):
+            self._ctrl().admit(_req(tenant="nobody"), now=0.0, queue_depth=0,
+                               start_delay=0.0, est_cost=0.1)
+
+    def test_rejected_query_validates_reason(self):
+        with pytest.raises(ValueError):
+            RejectedQuery(_req(), "because", 0.0)
+
+
+class TestBrownoutLadder:
+    def _ctrl(self, **kw):
+        cfg = BrownoutConfig(eval_interval=1.0, queue_high=10, queue_low=2,
+                             down_after=2, up_after=3, **kw)
+        return BrownoutController(cfg)
+
+    def test_descends_after_sustained_overload(self):
+        c = self._ctrl()
+        assert c.evaluate(1.0, queue_depth=20, p99_over_budget=None) == 0
+        assert c.evaluate(2.0, queue_depth=20, p99_over_budget=None) == 1
+        assert c.level_name == "budget-shrink"
+        assert c.budget_factor == 0.5 and c.hedging_enabled and not c.shed_bulk
+        for t in (3.0, 4.0, 5.0, 6.0):
+            c.evaluate(t, queue_depth=20, p99_over_budget=None)
+        assert c.level == 3 and c.shed_bulk and not c.hedging_enabled
+
+    def test_p99_signal_alone_triggers(self):
+        c = self._ctrl()
+        c.evaluate(1.0, queue_depth=0, p99_over_budget=1.5)
+        c.evaluate(2.0, queue_depth=0, p99_over_budget=1.5)
+        assert c.level == 1
+
+    def test_recovers_only_after_sustained_health(self):
+        c = self._ctrl()
+        c.evaluate(1.0, 20, None), c.evaluate(2.0, 20, None)
+        assert c.level == 1
+        c.evaluate(3.0, 0, 0.1), c.evaluate(4.0, 0, 0.1)
+        assert c.level == 1   # up_after=3 not yet reached
+        c.evaluate(5.0, 0, 0.1)
+        assert c.level == 0
+
+    def test_hysteresis_band_resets_streaks(self):
+        c = self._ctrl()
+        c.evaluate(1.0, 20, None)
+        c.evaluate(2.0, 5, 0.8)   # between low and high: resets hot streak
+        c.evaluate(3.0, 20, None)
+        assert c.level == 0       # never saw down_after consecutive
+
+    def test_transitions_recorded_and_gauged(self):
+        m = MetricsRegistry()
+        c = BrownoutController(
+            BrownoutConfig(eval_interval=1.0, down_after=1), metrics=m)
+        c.evaluate(1.0, 99, None)
+        assert len(c.transitions) == 1
+        t = c.transitions[0]
+        assert (t.from_level, t.to_level) == (0, 1) and t.time == 1.0
+        assert m.value("serve.brownout.level") == 1
+        assert m.value("serve.brownout.transitions") == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutConfig(queue_low=5, queue_high=2)
+        with pytest.raises(ValueError):
+            BrownoutConfig(budget_shrink=0.0)
+        with pytest.raises(ValueError):
+            BrownoutConfig(down_after=0)
+
+
+@pytest.fixture(scope="module")
+def serve_cluster_factory():
+    def make():
+        return SimulatedCluster(
+            sphere_field((24, 24, 24)), 4, metacell_shape=(5, 5, 5),
+            replication=2,
+        )
+    return make
+
+
+class TestEndToEnd:
+    def _unit(self, cluster):
+        return cluster.estimate_extract_time(0.8)
+
+    def test_small_trace_exact_terminal_states(self, serve_cluster_factory):
+        cluster = serve_cluster_factory()
+        unit = self._unit(cluster)
+        tenants = (
+            TenantSpec("gold-a", tier="gold", arrival_share=0.5,
+                       rate=2.0 / unit, burst=4, deadline_budget=4.0 * unit),
+            TenantSpec("bulk-c", tier="bulk", arrival_share=0.5,
+                       rate=2.0 / unit, burst=4, deadline_budget=10.0 * unit),
+        )
+        traffic = TrafficConfig(duration=15.0 * unit, base_rate=1.5 / unit,
+                                isovalues=(0.5, 0.8, 1.1), seed=11)
+        trace = generate_trace(traffic, tenants)
+        metrics = MetricsRegistry()
+        config = ServeConfig(tenants=tenants, quantum=unit / 5.0,
+                             brownout=BrownoutConfig(eval_interval=2.0 * unit))
+        report = QueryServer(cluster, config, metrics=metrics).serve(trace)
+        assert report.n_requests == len(trace.requests) > 0
+        for r in report.records:
+            assert r.state in TERMINAL_STATES
+        assert metrics.value("serve.arrivals") == report.n_requests
+        done = sum(metrics.query("serve.completed").values())
+        shed = sum(metrics.query("serve.shed").values())
+        assert done + shed == report.n_requests
+        # Tenant attribution flows through the cluster publication.
+        assert metrics.query("tenant")
+
+    def test_gold_preempts_bulk_at_batch_boundary(self, serve_cluster_factory):
+        cluster = serve_cluster_factory()
+        unit = self._unit(cluster)
+        tenants = (
+            TenantSpec("gold-a", tier="gold", arrival_share=1.0,
+                       rate=10.0 / unit, burst=8, deadline_budget=4.0 * unit),
+            TenantSpec("bulk-c", tier="bulk", arrival_share=1.0,
+                       rate=10.0 / unit, burst=8, deadline_budget=50.0 * unit),
+        )
+        # Hand-built trace: two bulk jobs fill both slots, then a gold
+        # burst arrives mid-service.
+        reqs = [
+            QueryRequest(0, 0.0, "bulk-c", "bulk", 0.8, 50.0 * unit),
+            QueryRequest(1, 0.0, "bulk-c", "bulk", 0.8, 50.0 * unit),
+            QueryRequest(2, 0.3 * unit, "gold-a", "gold", 0.8, 4.0 * unit),
+        ]
+        trace = TrafficTrace(requests=tuple(reqs))
+        config = ServeConfig(tenants=tenants, n_executors=2,
+                             quantum=unit / 5.0, brick_batches=4)
+        report = QueryServer(cluster, config).serve(trace)
+        by_id = {r.request_id: r for r in report.records}
+        assert sum(r.preemptions for r in report.records) >= 1
+        assert by_id[2].state in ("ok", "degraded")
+        # The preempted bulk job still finishes (resumed, not re-run).
+        assert all(by_id[i].state in ("ok", "degraded") for i in (0, 1))
+        # Gold got the slot before the victim's natural finish.
+        victim = max(by_id[0], by_id[1], key=lambda r: r.preemptions)
+        assert victim.preemptions >= 1
+        assert by_id[2].queue_wait < victim.service_time
+
+    def test_preemption_disabled_keeps_bulk_running(self, serve_cluster_factory):
+        cluster = serve_cluster_factory()
+        unit = self._unit(cluster)
+        tenants = (
+            TenantSpec("gold-a", tier="gold", arrival_share=1.0,
+                       rate=10.0 / unit, burst=8, deadline_budget=4.0 * unit),
+            TenantSpec("bulk-c", tier="bulk", arrival_share=1.0,
+                       rate=10.0 / unit, burst=8, deadline_budget=50.0 * unit),
+        )
+        reqs = [
+            QueryRequest(0, 0.0, "bulk-c", "bulk", 0.8, 50.0 * unit),
+            QueryRequest(1, 0.0, "bulk-c", "bulk", 0.8, 50.0 * unit),
+            QueryRequest(2, 0.3 * unit, "gold-a", "gold", 0.8, 4.0 * unit),
+        ]
+        config = ServeConfig(tenants=tenants, n_executors=2,
+                             quantum=unit / 5.0, preemption=False)
+        report = QueryServer(cluster, config).serve(
+            TrafficTrace(requests=tuple(reqs)))
+        assert sum(r.preemptions for r in report.records) == 0
+
+    def test_node_kill_overlay_absorbed_by_replication(
+            self, serve_cluster_factory):
+        cluster = serve_cluster_factory()
+        unit = self._unit(cluster)
+        tenants = (
+            TenantSpec("gold-a", tier="gold", arrival_share=1.0,
+                       rate=5.0 / unit, burst=8, deadline_budget=8.0 * unit),
+        )
+        traffic = TrafficConfig(
+            duration=10.0 * unit, base_rate=1.0 / unit, isovalues=(0.8,),
+            seed=3, overlays=(ClusterEvent(4.0 * unit, "kill", 2),),
+        )
+        trace = generate_trace(traffic, tenants)
+        report = QueryServer(
+            cluster, ServeConfig(tenants=tenants, quantum=unit / 5.0)
+        ).serve(trace)
+        assert cluster.datasets[2].device.failed
+        # r=2 keeps the killed node's stripe readable: nothing fails.
+        assert not report.by_state("failed")
+        assert report.completed

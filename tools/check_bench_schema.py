@@ -5,9 +5,12 @@ CI's benchmark-smoke job runs a couple of small benches (each emitting a
 ``repro-bench/1`` document via the ``bench_record`` fixture), then runs
 this checker: every file must validate against the schema in
 ``repro.bench.harness`` — any drift (missing key, wrong type, stale
-schema tag) fails the job — and the validated payloads are merged into
-one ``BENCH_smoke.json`` artifact whose metrics are namespaced
-``<bench>.<metric>``.
+schema tag) fails the job — plus the checker's own value sanity gate
+(every metric must be a non-NaN, non-negative finite number: the bench
+quantities are all counts, rates, or durations, so a negative or NaN
+value means a broken bench, not a valid result) — and the validated
+payloads are merged into one ``BENCH_smoke.json`` artifact whose
+metrics are namespaced ``<bench>.<metric>``.
 
 Usage::
 
@@ -22,10 +25,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 from repro.bench.harness import BENCH_SCHEMA, OUTPUT_DIR, validate_bench_payload
+
+
+def check_metric_values(payload: dict) -> None:
+    """Raise ``ValueError`` on NaN or negative metric values.
+
+    ``validate_bench_payload`` enforces finiteness; this is the
+    checker's stricter gate: every published bench metric is a count,
+    rate, or duration, so a NaN or a negative value is a bench bug.
+    """
+    for key, value in payload.get("metrics", {}).items():
+        if isinstance(value, float) and math.isnan(value):
+            raise ValueError(f"metric {key!r} is NaN")
+        if value < 0:
+            raise ValueError(f"metric {key!r} is negative: {value!r}")
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -51,6 +69,7 @@ def main(argv: "list[str] | None" = None) -> int:
         try:
             payload = json.loads(path.read_text())
             validate_bench_payload(payload)
+            check_metric_values(payload)
         except (OSError, ValueError) as exc:
             print(f"FAIL {path}: {exc}", file=sys.stderr)
             failures += 1
