@@ -1,0 +1,252 @@
+"""Elastic membership soak: scale 4 -> 8 -> 3 under the burst trace.
+
+The acceptance scenario from docs/robustness.md ("Elasticity"): the
+PR 6 overload trace (middle third at a 4x burst) runs against an
+:class:`~repro.elastic.cluster.ElasticCluster` that is actively
+reshaped while serving — scale-out to 8 nodes a third of the way in,
+one original node killed mid-burst, scale-in to 3 nodes at the
+two-thirds mark.  The soak asserts the elasticity contract under that
+abuse:
+
+* **zero failed queries** — every request ends ``ok | degraded |
+  shed``; joins, drains, and the kill never surface as a
+  zero-coverage terminal;
+* **the load-balance invariant survives** — after every completed
+  rebalance the per-λ spread bound from the paper's round-robin
+  analysis holds (asserted per :class:`RebalanceEvent` and once more
+  at the end);
+* **bit-identical results** — every ``ok`` query's triangle count
+  equals the static single-node reference for its isovalue, no matter
+  how many migrations its stripes have been through;
+* **rebalance cost is measured** — migration bytes/modeled-seconds
+  and per-event costs are emitted as ``BENCH_elastic.json``;
+* **byte-identical determinism** — two same-seed runs on fresh
+  clusters produce identical payloads.
+
+Volume and scale knobs mirror ``bench_serving.py``: a small analytic
+sphere keeps per-query cost tiny so the CI ``elastic-soak`` job fits
+its 120 s cap.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import emit_bench_json
+from repro.elastic import (
+    ElasticCluster,
+    ElasticController,
+    Rebalancer,
+    ScaleEvent,
+    check_balance,
+)
+from repro.grid.datasets import sphere_field
+from repro.parallel.cluster import SimulatedCluster
+from repro.serve import (
+    BrownoutConfig,
+    BurstWindow,
+    ClusterEvent,
+    ServeConfig,
+    TERMINAL_STATES,
+    TenantSpec,
+    TrafficConfig,
+    QueryServer,
+    generate_trace,
+)
+
+SEED = 1337
+OVERLOAD = 4.0
+KILL_RANK = 2
+NODES = 4
+STRIPES = 12
+SCALE_OUT = 8
+SCALE_IN = 3
+MAX_IO_FRACTION = 0.5
+
+
+def _build_cluster() -> ElasticCluster:
+    """A fresh 4-node, 12-stripe elastic cluster (fresh per run: the
+    kill and every migration must not leak between determinism runs)."""
+    return ElasticCluster(
+        sphere_field((24, 24, 24)), nodes=NODES, n_stripes=STRIPES,
+        metacell_shape=(5, 5, 5),
+    )
+
+
+def _isovalues(cluster, n: int = 5) -> "tuple[float, ...]":
+    endpoints = cluster.datasets[0].tree.endpoints
+    lo, hi = float(min(endpoints)), float(max(endpoints))
+    return tuple(lo + (hi - lo) * (i + 1) / (n + 1) for i in range(n))
+
+
+def _reference_triangles(isovalues) -> "dict[float, int]":
+    """Ground truth per isovalue from a static, unreplicated cluster —
+    the value every migrated/promoted/resharded query must still hit."""
+    static = SimulatedCluster(
+        sphere_field((24, 24, 24)), NODES, metacell_shape=(5, 5, 5),
+        replication=1,
+    )
+    return {lam: int(static.extract(lam).n_triangles) for lam in isovalues}
+
+
+def _scenario(cluster):
+    """(trace, serve-config, scale plan, unit) in service units, like
+    ``bench_serving.py`` — plus the elastic waypoints: 8 nodes at 1/3,
+    a kill at 1/2, 3 nodes at 2/3."""
+    isovalues = _isovalues(cluster)
+    unit = max(cluster.estimate_extract_time(lam) for lam in isovalues)
+    duration = 90.0 * unit
+    base_rate = 2.0 / unit
+    tenants = (
+        TenantSpec("gold-a", tier="gold", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=4.0 * unit),
+        TenantSpec("silver-b", tier="silver", arrival_share=0.4,
+                   rate=base_rate, burst=8, deadline_budget=6.0 * unit),
+        TenantSpec("bulk-c", tier="bulk", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=12.0 * unit),
+    )
+    burst = BurstWindow(start=duration / 3.0, duration=duration / 3.0,
+                        factor=OVERLOAD)
+    kill = ClusterEvent(time=duration / 2.0, action="kill", rank=KILL_RANK)
+    traffic = TrafficConfig(
+        duration=duration,
+        base_rate=base_rate,
+        isovalues=isovalues,
+        seed=SEED,
+        bursts=(burst,),
+        overlays=(kill,),
+    )
+    config = ServeConfig(
+        tenants=tenants,
+        n_executors=2,
+        max_queue_depth=32,
+        quantum=unit / 5.0,
+        brownout=BrownoutConfig(eval_interval=unit),
+    )
+    plan = (
+        ScaleEvent(time=duration / 3.0, nodes=SCALE_OUT),
+        ScaleEvent(time=2.0 * duration / 3.0, nodes=SCALE_IN),
+    )
+    return generate_trace(traffic, tenants), config, plan, isovalues, unit
+
+
+def _run():
+    cluster = _build_cluster()
+    trace, config, plan, isovalues, unit = _scenario(cluster)
+    controller = ElasticController(
+        cluster,
+        rebalancer=Rebalancer(cluster, max_io_fraction=MAX_IO_FRACTION),
+        plan=plan,
+        balance_isovalues=isovalues,
+    )
+    report = QueryServer(cluster, config, controller=controller).serve(trace)
+    controller.finish(trace.horizon)
+    return cluster, controller, trace, config, isovalues, unit, report
+
+
+def _payload(cluster, controller, report) -> dict:
+    payload = report.to_payload()
+    payload["elastic"] = {
+        "migrations": len(cluster.migrations),
+        "migration_bytes": cluster.migration_bytes,
+        "migration_seconds": cluster.migration_seconds,
+        "epoch": cluster.ownership.epoch,
+        "members": cluster.membership.counts(),
+        "rebalances": [ev.as_dict() for ev in controller.rebalance_events],
+        "scale_actions": [
+            {"time": a.time, "action": a.action, "node": a.node_id,
+             "source": a.source}
+            for a in controller.scale_actions
+        ],
+    }
+    return payload
+
+
+def test_elastic_soak(cfg):
+    cluster, controller, trace, config, isovalues, unit, report = _run()
+
+    # Every request in exactly one terminal state — and NEVER 'failed':
+    # the elasticity contract is that membership churn is invisible to
+    # correctness, only (at worst) to latency.
+    assert [r.request_id for r in report.records] == [
+        q.request_id for q in trace.requests
+    ]
+    counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
+    assert sum(counts.values()) == report.n_requests
+    assert counts["failed"] == 0, (
+        f"{counts['failed']} queries failed during membership churn"
+    )
+
+    # The cluster really was reshaped mid-workload: scale-out, kill,
+    # scale-in all executed, and stripes physically moved.
+    actions = [(a.action, a.source) for a in controller.scale_actions]
+    assert ("join", "plan") in actions and ("drain", "plan") in actions
+    assert len(cluster.migrations) > 0
+    assert cluster.migration_bytes > 0
+    assert cluster.ownership.epoch > 0
+    serving = cluster.membership.target_ids()
+    assert len(serving) == SCALE_IN, serving
+
+    # The per-λ load-balance invariant is re-established after every
+    # completed rebalance, and holds in the final state.
+    assert controller.rebalance_events, "no rebalance ever completed"
+    for ev in controller.rebalance_events:
+        assert ev.balance.ok, (
+            f"balance invariant violated after rebalance at "
+            f"{ev.finished:.4f}s: {ev.balance}"
+        )
+    final = check_balance(cluster, isovalues)
+    assert final.ok, f"final balance violated: {final}"
+
+    # Bit-identical results through migration: every ok query's
+    # triangle count matches the static reference for its isovalue.
+    reference = _reference_triangles(isovalues)
+    ok_records = report.by_state("ok")
+    assert ok_records, "no query completed ok"
+    for r in ok_records:
+        assert r.triangles == reference[r.lam], (
+            f"request {r.request_id} (λ={r.lam}): {r.triangles} triangles "
+            f"!= reference {reference[r.lam]} after elastic churn"
+        )
+
+    # Same seed, fresh cluster => byte-identical payload, elastic
+    # section included (migration order, epochs, costs).
+    cluster_b, controller_b, *_, report_b = _run()
+    payload = _payload(cluster, controller, report)
+    payload_b = _payload(cluster_b, controller_b, report_b)
+    assert json.dumps(payload, sort_keys=True) == json.dumps(
+        payload_b, sort_keys=True
+    ), "same-seed elastic runs diverged"
+
+    metrics = dict(payload["metrics"])
+    metrics["service_unit_seconds"] = unit
+    metrics["overload_factor"] = OVERLOAD
+    metrics["migrations"] = len(cluster.migrations)
+    metrics["migration_bytes"] = cluster.migration_bytes
+    metrics["migration_seconds"] = cluster.migration_seconds
+    metrics["rebalances"] = len(controller.rebalance_events)
+    metrics["final_epoch"] = cluster.ownership.epoch
+    metrics["final_nodes"] = len(serving)
+    metrics["final_assignment_spread"] = final.assignment_spread
+    extra = dict(payload["series"])
+    extra["seed"] = SEED
+    extra["killed_rank"] = KILL_RANK
+    extra["scale_plan"] = f"{NODES}->{SCALE_OUT}->{SCALE_IN}"
+    extra["elastic"] = payload["elastic"]
+    emit_bench_json("elastic", metrics, scale=cfg.scale, extra=extra)
+
+    print()
+    print(f"elastic soak: {report.n_requests} requests over "
+          f"{trace.horizon:.2f}s modeled "
+          f"({NODES}->{SCALE_OUT}->{SCALE_IN} nodes, rank {KILL_RANK} "
+          f"killed mid-burst, {OVERLOAD:.0f}x overload)")
+    print("  states: " + "  ".join(
+        f"{s}={counts[s]}" for s in TERMINAL_STATES))
+    print(f"  migrations {len(cluster.migrations)} "
+          f"({cluster.migration_bytes} bytes, "
+          f"{cluster.migration_seconds * 1e3:.2f} ms modeled) over "
+          f"{len(controller.rebalance_events)} rebalances, "
+          f"final epoch {cluster.ownership.epoch}")
+    print(f"  balance: spread {final.assignment_spread} (ok), "
+          f"members " + ", ".join(
+              f"{k}={v}" for k, v in sorted(cluster.membership.counts().items())))

@@ -256,6 +256,8 @@ def cmd_health(args) -> int:
     cluster = _build_cluster(args)
     for rank in args.fail_node or []:
         cluster.fail_node(rank)
+    for rank in getattr(args, "retire_node", None) or []:
+        cluster.retire_node(rank)
     request = _extract_request(args)
     for i in range(args.queries):
         res = cluster.extract(args.iso, request)
@@ -435,6 +437,157 @@ def cmd_serve_sim(args) -> int:
         path = write_metrics_json(args.metrics_out, registry)
         print(f"  metrics   -> {path}")
     return 0
+
+
+def cmd_elastic_sim(args) -> int:
+    from repro.elastic import (
+        Autoscaler,
+        ElasticCluster,
+        ElasticController,
+        Rebalancer,
+        ScaleEvent,
+        check_balance,
+        fsck_cluster,
+    )
+    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace, write_metrics_json
+    from repro.serve import (
+        TERMINAL_STATES,
+        BrownoutConfig,
+        BurstWindow,
+        ClusterEvent,
+        QueryServer,
+        ServeConfig,
+        TenantSpec,
+        TrafficConfig,
+        generate_trace,
+    )
+
+    volume = _load_volume(args)
+    tracer = Tracer() if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    cluster = ElasticCluster(
+        volume, nodes=args.nodes, n_stripes=args.stripes,
+        metacell_shape=(args.metacell,) * 3,
+        tracer=tracer, metrics=registry,
+    )
+    if args.isovalues:
+        isovalues = tuple(float(s) for s in args.isovalues.split(","))
+    else:
+        eps = cluster.datasets[0].tree.endpoints
+        lo, hi = float(eps[0]), float(eps[-1])
+        isovalues = tuple(
+            lo + (hi - lo) * f for f in (0.35, 0.45, 0.5, 0.55, 0.65)
+        )
+    unit = max(cluster.estimate_extract_time(l) for l in isovalues)
+    duration = args.duration * unit
+    base_rate = args.rate / unit
+    tenants = (
+        TenantSpec(name="gold", tier="gold", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_gold * unit),
+        TenantSpec(name="silver", tier="silver", arrival_share=0.4,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_silver * unit),
+        TenantSpec(name="bulk", tier="bulk", arrival_share=0.3,
+                   rate=base_rate, burst=8, deadline_budget=args.budget_bulk * unit),
+    )
+    overlays = []
+    for spec in args.kill_node or []:
+        rank_s, _, frac_s = spec.partition("@")
+        overlays.append(ClusterEvent(
+            time=float(frac_s or 0.5) * duration, action="kill",
+            rank=int(rank_s),
+        ))
+    scale_plan = []
+    for spec in args.scale if args.scale is not None else ["8@0.34", "3@0.67"]:
+        n_s, _, frac_s = spec.partition("@")
+        scale_plan.append(ScaleEvent(
+            time=float(frac_s or 0.5) * duration, nodes=int(n_s),
+        ))
+    bursts = ()
+    if args.overload > 1.0:
+        bursts = (BurstWindow(start=duration / 3, duration=duration / 3,
+                              factor=args.overload),)
+    trace = generate_trace(
+        TrafficConfig(
+            duration=duration, base_rate=base_rate, isovalues=isovalues,
+            seed=args.trace_seed, bursts=bursts, overlays=tuple(overlays),
+        ),
+        tenants,
+    )
+    controller = ElasticController(
+        cluster,
+        rebalancer=Rebalancer(cluster, max_io_fraction=args.max_io_fraction),
+        plan=() if args.autoscale else scale_plan,
+        autoscaler=Autoscaler() if args.autoscale else None,
+        balance_isovalues=isovalues,
+        metrics=registry, tracer=tracer,
+    )
+    server = QueryServer(
+        cluster,
+        ServeConfig(
+            tenants=tenants, n_executors=args.executors,
+            max_queue_depth=args.queue_depth, quantum=unit / 5,
+            brownout=BrownoutConfig(eval_interval=unit),
+        ),
+        tracer=tracer, metrics=registry, controller=controller,
+    )
+    report = server.serve(trace)
+    controller.finish(trace.horizon)
+
+    counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
+    print(f"served {report.n_requests} requests over "
+          f"{duration * 1e3:.1f} ms modeled "
+          f"({args.nodes} -> {len(cluster.membership.target_ids())} nodes, "
+          f"{cluster.n_stripes} stripes, {args.overload:g}x burst)")
+    print("  states    : " + ", ".join(
+        f"{s}={counts[s]}" for s in TERMINAL_STATES))
+    print(f"  goodput   : {report.goodput:.1f} answered queries/s modeled, "
+          f"shed rate {report.shed_rate:.1%}")
+    print("  members   : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(cluster.membership.counts().items())))
+    print(f"  ownership : epoch {cluster.ownership.epoch}, "
+          f"stripes/node " + ", ".join(
+              f"{n}:{c}" for n, c in sorted(cluster.ownership.counts().items())))
+    print(f"  migration : {len(cluster.migrations)} moves, "
+          f"{cluster.migration_bytes} bytes, "
+          f"{cluster.migration_seconds * 1e3:.2f} ms modeled")
+    for ev in controller.rebalance_events:
+        print(f"  rebalance : {ev.started * 1e3:9.1f} -> "
+              f"{ev.finished * 1e3:9.1f} ms, {ev.n_moves} moves, "
+              f"-> {ev.serving_nodes} nodes, "
+              f"balance {'OK' if ev.balance.ok else 'VIOLATED'}")
+    balance = check_balance(cluster, isovalues)
+    print(f"  balance   : spread {balance.assignment_spread} "
+          f"({'OK' if balance.ok else 'VIOLATED'})")
+    if args.autoscale:
+        for d in controller.autoscaler.decisions:
+            arrow = "up" if d.direction > 0 else "down"
+            print(f"  autoscale : {d.time * 1e3:9.1f} ms {arrow} -> "
+                  f"{d.target_nodes} [{d.reason}]")
+    if args.fsck:
+        print(fsck_cluster(cluster).summary())
+    if args.json:
+        payload = report.to_payload()
+        payload["elastic"] = {
+            "migrations": len(cluster.migrations),
+            "migration_bytes": cluster.migration_bytes,
+            "migration_seconds": cluster.migration_seconds,
+            "epoch": cluster.ownership.epoch,
+            "members": cluster.membership.counts(),
+            "rebalances": [ev.as_dict() for ev in controller.rebalance_events],
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  payload   -> {args.json}")
+    if tracer is not None:
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"  trace     -> {path}")
+    if registry is not None:
+        path = write_metrics_json(args.metrics_out, registry)
+        print(f"  metrics   -> {path}")
+    failed = counts["failed"]
+    if failed:
+        print(f"ERROR: {failed} queries ended 'failed'", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_extract(args) -> int:
@@ -817,6 +970,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=6,
                    help="extractions to run against the same cluster "
                         "(default 6)")
+    p.add_argument("--retire-node", type=int, action="append", metavar="RANK",
+                   help="mark this node permanently removed before the "
+                        "queries: the breaker enters its terminal 'retired' "
+                        "state — routed around forever, never probed — "
+                        "unlike an open circuit (repeatable)")
     p.set_defaults(func=cmd_health)
 
     p = sub.add_parser(
@@ -889,6 +1047,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the serve.*/tenant.* metrics JSON here")
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "elastic-sim",
+        help="elastic membership simulation: live resharding, failover, "
+             "autoscaling under serving traffic — zero failed queries",
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument("--input", help="3D .npy scalar volume")
+    src.add_argument("--rm-step", type=int, default=250,
+                     help="RM-instability time step to synthesize (default 250)")
+    p.add_argument("--shape", type=_parse_shape, default=(33, 33, 29),
+                   help="synthetic volume shape (default 33x33x29)")
+    p.add_argument("--seed", type=int, default=7, help="volume synthesis seed")
+    p.add_argument("--metacell", type=int, default=9)
+    p.add_argument("-p", "--nodes", type=int, default=4,
+                   help="initial node count (default 4)")
+    p.add_argument("--stripes", type=int, default=12,
+                   help="logical stripes to over-partition into (default 12; "
+                        "must be >= the largest node count you scale to)")
+    p.add_argument("--isovalues", default=None,
+                   help="comma-separated isovalue universe (default: spread "
+                        "over the dataset's value range)")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="traffic generator seed (default 0)")
+    p.add_argument("--duration", type=float, default=120,
+                   help="trace length in estimated-service units (default 120)")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="base arrivals per estimated-service unit (default 2)")
+    p.add_argument("--overload", type=float, default=4.0,
+                   help="burst multiplier over the middle third of the trace "
+                        "(default 4; 1 disables the burst)")
+    p.add_argument("--kill-node", action="append", metavar="RANK[@FRAC]",
+                   help="kill this node at FRAC of the trace (default 0.5); "
+                        "repeatable")
+    p.add_argument("--scale", action="append", metavar="N[@FRAC]",
+                   help="scripted waypoint: be at N nodes from FRAC of the "
+                        "trace on (default plan: 8@0.34 then 3@0.67); "
+                        "repeatable; ignored under --autoscale")
+    p.add_argument("--autoscale", action="store_true",
+                   help="replace the scripted plan with metric-driven "
+                        "scaling (queue depth, p99/budget ratio, utilization)")
+    p.add_argument("--max-io-fraction", type=float, default=0.5,
+                   help="migration I/O budget as a fraction of serving I/O "
+                        "(default 0.5)")
+    p.add_argument("--executors", type=int, default=2,
+                   help="concurrent query slots (default 2)")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="admission queue bound (default 32)")
+    p.add_argument("--budget-gold", type=float, default=4.0,
+                   help="gold deadline budget in service units (default 4)")
+    p.add_argument("--budget-silver", type=float, default=6.0,
+                   help="silver deadline budget in service units (default 6)")
+    p.add_argument("--budget-bulk", type=float, default=12.0,
+                   help="bulk deadline budget in service units (default 12)")
+    p.add_argument("--fsck", action="store_true",
+                   help="run the ownership-aware fsck after the trace and "
+                        "print its summary (stale copies are not issues)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the serving payload + elastic summary here")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace with elastic.* instants here")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the serve.*/elastic.* metrics JSON here")
+    p.set_defaults(func=cmd_elastic_sim)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

@@ -1,0 +1,82 @@
+"""Elastic cluster membership: live resharding, failover, autoscaling.
+
+The paper's cluster has a node count fixed at preprocessing time.
+This package makes it elastic on the modeled clock — nodes join,
+drain, and fail under live traffic while every query still ends
+``ok``/``degraded``/``shed``, never ``failed``:
+
+* :mod:`~repro.elastic.membership` — per-node lifecycle state machine
+  (joining → syncing → active → draining → gone) with validated
+  transitions;
+* :mod:`~repro.elastic.cluster` — :class:`ElasticCluster`:
+  over-partitioned stripes over a changing disk pool, CRC-verified
+  live migration, replica-promotion failover;
+* :mod:`~repro.elastic.rebalance` — the paced :class:`Rebalancer` and
+  the falsifiable per-λ load-balance invariant (:func:`check_balance`);
+* :mod:`~repro.elastic.autoscaler` — pure metric-driven scale
+  decisions with hysteresis and cooldown;
+* :mod:`~repro.elastic.sim` — :class:`ElasticController`, the tick
+  loop a :class:`~repro.serve.server.QueryServer` drives;
+* :mod:`~repro.elastic.fsck` — ownership-aware integrity checking
+  (stale copies are residue, not corruption).
+
+See ``docs/robustness.md`` ("Elasticity") for the protocol walkthrough.
+"""
+
+from .autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ElasticSignals,
+    ScaleDecision,
+)
+from .cluster import ElasticCluster, MigrationRecord
+from .fsck import (
+    CopyIssue,
+    ElasticFsckReport,
+    StaleCopyStatus,
+    fsck_cluster,
+    scrub_cluster,
+)
+from .membership import (
+    MemberNode,
+    MemberState,
+    Membership,
+    MembershipChange,
+    StaleCopy,
+)
+from .rebalance import (
+    BalanceReport,
+    LambdaBalance,
+    Move,
+    Rebalancer,
+    check_balance,
+)
+from .sim import ElasticController, RebalanceEvent, ScaleAction, ScaleEvent
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BalanceReport",
+    "CopyIssue",
+    "ElasticCluster",
+    "ElasticController",
+    "ElasticFsckReport",
+    "ElasticSignals",
+    "LambdaBalance",
+    "MemberNode",
+    "MemberState",
+    "Membership",
+    "MembershipChange",
+    "MigrationRecord",
+    "Move",
+    "RebalanceEvent",
+    "Rebalancer",
+    "ScaleAction",
+    "ScaleDecision",
+    "ScaleEvent",
+    "StaleCopy",
+    "StaleCopyStatus",
+    "check_balance",
+    "fsck_cluster",
+    "scrub_cluster",
+]

@@ -1,0 +1,153 @@
+"""Metric-driven autoscaling decisions (hysteresis + cooldown).
+
+The autoscaler is deliberately a pure decision function over observed
+signals — it never touches the cluster itself.  The controller
+(:mod:`repro.elastic.sim`) samples the signals from the serving layer's
+metrics (queue depth, p99-vs-budget ratio, per-node utilization) and
+the health monitor (open breakers), asks :meth:`Autoscaler.decide`,
+and applies the returned decision via ``join``/``drain``.  Keeping the
+policy side-effect free makes every decision unit-testable with
+synthetic signals and keeps same-seed runs bit-deterministic.
+
+Scale-up triggers on *any* pressure signal (queue backlog or tail
+latency over budget); scale-down requires *every* signal calm — the
+classic asymmetric hysteresis that avoids flapping — plus zero open
+circuit breakers, since removing capacity while a node is quarantined
+would double the hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds and limits for :class:`Autoscaler`.
+
+    Parameters
+    ----------
+    min_nodes / max_nodes:
+        Hard bounds on the serving node count.
+    queue_high / queue_low:
+        Admitted-but-waiting query counts that signal pressure / calm.
+    ratio_high / ratio_low:
+        p99 latency as a fraction of the deadline budget: >= ``ratio_high``
+        means the tail is blowing the budget, <= ``ratio_low`` means
+        ample headroom.
+    util_low:
+        Mean per-node utilization below which capacity is considered
+        idle (scale-down requires this *and* a calm queue *and* a calm
+        tail).
+    cooldown:
+        Modeled seconds between decisions; migrations from the last
+        decision must get a chance to land before the next one.
+    step:
+        Nodes added or removed per decision.
+    """
+
+    min_nodes: int = 2
+    max_nodes: int = 16
+    queue_high: int = 12
+    queue_low: int = 2
+    ratio_high: float = 1.0
+    ratio_low: float = 0.5
+    util_low: float = 0.3
+    cooldown: float = 1.0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ValueError(
+                f"need 1 <= min_nodes <= max_nodes, got "
+                f"{self.min_nodes}/{self.max_nodes}"
+            )
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue_low must be <= queue_high")
+        if self.ratio_low > self.ratio_high:
+            raise ValueError("ratio_low must be <= ratio_high")
+        if self.cooldown < 0 or self.step < 1:
+            raise ValueError("cooldown must be >= 0 and step >= 1")
+
+
+@dataclass(frozen=True)
+class ElasticSignals:
+    """One sampled observation of serving pressure."""
+
+    #: Queries admitted and waiting (not executing).
+    queue_depth: int = 0
+    #: Recent p99 latency / deadline budget (0 when no budget is set).
+    p99_budget_ratio: float = 0.0
+    #: Mean busy fraction across executors/nodes, 0..1.
+    utilization: float = 0.0
+    #: Nodes currently quarantined by the health monitor.
+    open_breakers: int = 0
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """What the autoscaler wants done, and why."""
+
+    time: float
+    #: +1 for scale-out, -1 for scale-in.
+    direction: int
+    #: Desired serving node count after the action.
+    target_nodes: int
+    reason: str
+
+
+@dataclass
+class Autoscaler:
+    """Stateful wrapper: config + cooldown clock + decision log."""
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    decisions: "list[ScaleDecision]" = field(default_factory=list)
+    _last_decision_at: float = field(default=float("-inf"), repr=False)
+
+    def decide(
+        self, now: float, signals: ElasticSignals, current_nodes: int
+    ) -> "ScaleDecision | None":
+        """The decision for one observation, or None (hold).
+
+        Recording happens here too: every non-None decision appends to
+        :attr:`decisions` and restarts the cooldown.
+        """
+        cfg = self.config
+        if now - self._last_decision_at < cfg.cooldown:
+            return None
+        decision = None
+        if current_nodes < cfg.max_nodes and (
+            signals.queue_depth >= cfg.queue_high
+            or signals.p99_budget_ratio >= cfg.ratio_high
+        ):
+            why = (
+                f"queue depth {signals.queue_depth} >= {cfg.queue_high}"
+                if signals.queue_depth >= cfg.queue_high
+                else f"p99/budget {signals.p99_budget_ratio:.2f} >= "
+                     f"{cfg.ratio_high:.2f}"
+            )
+            decision = ScaleDecision(
+                time=now, direction=+1,
+                target_nodes=min(cfg.max_nodes, current_nodes + cfg.step),
+                reason=why,
+            )
+        elif (
+            current_nodes > cfg.min_nodes
+            and signals.queue_depth <= cfg.queue_low
+            and signals.p99_budget_ratio <= cfg.ratio_low
+            and signals.utilization <= cfg.util_low
+            and signals.open_breakers == 0
+        ):
+            decision = ScaleDecision(
+                time=now, direction=-1,
+                target_nodes=max(cfg.min_nodes, current_nodes - cfg.step),
+                reason=(
+                    f"idle: queue {signals.queue_depth}, p99/budget "
+                    f"{signals.p99_budget_ratio:.2f}, util "
+                    f"{signals.utilization:.2f}"
+                ),
+            )
+        if decision is not None:
+            self._last_decision_at = now
+            self.decisions.append(decision)
+        return decision

@@ -1,0 +1,206 @@
+"""Ownership-aware integrity checking for the elastic cluster.
+
+``repro fsck`` on a static dataset knows exactly where every byte
+belongs.  After elastic rebalances the picture has three copy classes
+per stripe and a naive checker gets two of them wrong:
+
+* **authoritative** — the primary on the stripe's *current* owner (the
+  ownership map says where; the build-time location is long obsolete);
+* **replica** — the chained-declustering copy on its current host;
+* **stale** — bytes left behind on old owners and drained nodes by
+  migrations.  These are *expected residue*, not corruption: flagging
+  a drained node "corrupt" because it still holds readable old copies
+  would page an operator for a non-event.
+
+:func:`fsck_cluster` walks the ownership map, CRC-verifies the
+authoritative and replica copy of every stripe where they live *now*,
+and classifies leftovers as stale (verifying their bytes too, purely
+informationally).  :func:`scrub_cluster` reuses PR 5's per-brick
+:class:`~repro.io.scrub.Scrubber` against each stripe's current
+routing view, so incremental scrubbing follows migrations
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.io.faults import StorageFault
+
+
+@dataclass(frozen=True)
+class CopyIssue:
+    """One problem found: a copy that should verify but does not."""
+
+    stripe: int
+    node_id: int
+    #: ``corrupt-primary`` / ``corrupt-replica`` / ``unreadable-primary``
+    #: / ``unreadable-replica`` / ``missing-replica`` / ``lost``.
+    kind: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class StaleCopyStatus:
+    """A known-stale copy and what its bytes look like today."""
+
+    stripe: int
+    node_id: int
+    offset: int
+    #: ``intact`` (still CRC-clean), ``decayed`` (bytes rotted since —
+    #: harmless, the copy is not authoritative), ``unreachable`` (the
+    #: node's disk is dead or gone).
+    status: str
+    reason: str = ""
+
+
+@dataclass
+class ElasticFsckReport:
+    """Everything :func:`fsck_cluster` found."""
+
+    n_stripes: int = 0
+    verified_primaries: int = 0
+    verified_replicas: int = 0
+    issues: "list[CopyIssue]" = field(default_factory=list)
+    stale: "list[StaleCopyStatus]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every live copy verifies.  Stale copies — intact
+        or decayed — never make a cluster dirty."""
+        return not self.issues
+
+    def as_dict(self) -> dict:
+        return {
+            "n_stripes": self.n_stripes,
+            "verified_primaries": self.verified_primaries,
+            "verified_replicas": self.verified_replicas,
+            "clean": self.clean,
+            "issues": [
+                {"stripe": i.stripe, "node": i.node_id, "kind": i.kind,
+                 "detail": i.detail}
+                for i in self.issues
+            ],
+            "stale_copies": [
+                {"stripe": s.stripe, "node": s.node_id, "offset": s.offset,
+                 "status": s.status, "reason": s.reason}
+                for s in self.stale
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"elastic fsck: {self.n_stripes} stripes, "
+            f"{self.verified_primaries} primaries verified, "
+            f"{self.verified_replicas} replicas verified, "
+            f"{len(self.stale)} stale copies, {len(self.issues)} issues",
+        ]
+        for i in self.issues:
+            lines.append(
+                f"  ISSUE stripe {i.stripe} node {i.node_id}: {i.kind}"
+                + (f" ({i.detail})" if i.detail else "")
+            )
+        for s in self.stale:
+            lines.append(
+                f"  stale stripe {s.stripe} on node {s.node_id} "
+                f"@{s.offset}: {s.status} ({s.reason})"
+            )
+        return "\n".join(lines)
+
+
+def _check_copy(cluster, stripe: int, node_id: int, offset: int) -> "str | None":
+    """Verify one copy in place; returns None (clean), ``corrupt``, or
+    ``unreadable``.  The read is metered as maintenance I/O (it never
+    feeds the rebalancer's serving budget)."""
+    try:
+        buf, _ = cluster._read_copy(stripe, node_id, offset)
+    except StorageFault:
+        return "unreadable"
+    ds = cluster.datasets[stripe]
+    ok = ds.checksums.verify_span(0, buf, ds.codec.record_size)
+    if ok is None:
+        ok = len(ds.checksums.find_corrupt(0, buf, ds.codec.record_size)) == 0
+    return None if ok else "corrupt"
+
+
+def fsck_cluster(cluster) -> ElasticFsckReport:
+    """CRC-verify every stripe where the ownership map says it lives.
+
+    Live copies that fail become :class:`CopyIssue` rows (the cluster
+    is dirty); recorded stale copies are verified informationally and
+    never dirty the report.  Stripes in ``cluster.lost_stripes`` are
+    reported ``lost`` — known data loss, distinct from fresh
+    corruption.
+    """
+    report = ElasticFsckReport(n_stripes=cluster.n_stripes)
+    for s in range(cluster.n_stripes):
+        if s in cluster.lost_stripes:
+            report.issues.append(CopyIssue(
+                stripe=s, node_id=cluster.ownership.owner(s), kind="lost",
+                detail="no live copy survived the owning node's failure",
+            ))
+            continue
+        owner, offset = cluster.primary_location(s)
+        verdict = _check_copy(cluster, s, owner, offset)
+        if verdict is None:
+            report.verified_primaries += 1
+        else:
+            report.issues.append(CopyIssue(
+                stripe=s, node_id=owner, kind=f"{verdict}-primary",
+                detail=f"authoritative copy at offset {offset}",
+            ))
+        loc = cluster._replica.get(s)
+        if loc is None:
+            report.issues.append(CopyIssue(
+                stripe=s, node_id=owner, kind="missing-replica",
+                detail="replication factor not re-established",
+            ))
+            continue
+        verdict = _check_copy(cluster, s, loc[0], loc[1])
+        if verdict is None:
+            report.verified_replicas += 1
+        else:
+            report.issues.append(CopyIssue(
+                stripe=s, node_id=loc[0], kind=f"{verdict}-replica",
+                detail=f"replica copy at offset {loc[1]}",
+            ))
+    for node in cluster.membership.members.values():
+        for copy in node.stale:
+            # A gone node's disk may be dead; the read attempt settles
+            # it either way and never dirties the report.
+            verdict = _check_copy(cluster, copy.stripe, copy.node_id,
+                                  copy.offset)
+            status = {
+                None: "intact", "corrupt": "decayed",
+                "unreadable": "unreachable",
+            }[verdict]
+            report.stale.append(StaleCopyStatus(
+                stripe=copy.stripe, node_id=copy.node_id,
+                offset=copy.offset, status=status, reason=copy.reason,
+            ))
+    return report
+
+
+def scrub_cluster(cluster, config=None, metrics=None) -> dict:
+    """Run PR 5's incremental scrubber over every stripe's *current*
+    routing view; returns ``{stripe: ScrubReport}``.
+
+    Stripes with no readable copy (lost) are skipped — fsck already
+    reports them — so the scrub covers exactly the bytes queries can
+    reach.
+    """
+    from repro.io.scrub import Scrubber
+
+    reports = {}
+    for s in range(cluster.n_stripes):
+        if s in cluster.lost_stripes:
+            continue
+        view = cluster._view(s)
+        scrubber = Scrubber(view, config, metrics=metrics)
+        try:
+            reports[s] = scrubber.sweep()
+        except StorageFault:
+            # Owner died since the last failover notice; fsck will
+            # classify it — scrubbing has nothing to verify here.
+            continue
+    return reports

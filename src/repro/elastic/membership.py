@@ -1,0 +1,190 @@
+"""Cluster membership state machine for elastic scaling.
+
+The paper's cluster is fixed at preprocessing time: ``p`` nodes, stripe
+``s`` on node ``s``, forever.  An elastic cluster changes its node count
+under live traffic, so each physical node carries an explicit lifecycle
+state:
+
+.. code-block:: text
+
+    JOINING ──first stripe──> SYNCING ──rebalance done──> ACTIVE
+       │                         │                           │
+       │                         │ failed                    │ drain
+       │ failed                  v                           v
+       └──────────────────────> GONE <──rebalance done── DRAINING
+                                  ^────────failed───────────┘
+
+* **JOINING** — announced, empty disk; receives migrations but owns no
+  stripes yet.
+* **SYNCING** — owns at least one stripe (serves reads for it) while
+  the rebalancer is still moving data toward the target assignment.
+* **ACTIVE** — steady-state member of the serving set.
+* **DRAINING** — scheduled for removal; still serves every stripe it
+  owns while the rebalancer migrates them away.  No new stripes land
+  here.
+* **GONE** — terminal.  Either the drain completed (the node's last
+  copies were migrated off; leftover bytes are recorded as *stale*, see
+  :mod:`repro.elastic.fsck`) or the node failed (its copies are lost
+  and failover re-establishes the replication factor elsewhere).
+
+Transitions are validated — an illegal edge raises — and every change
+is appended to an audit log, mirroring the
+:class:`~repro.parallel.cluster.OwnershipChange` log one level up.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MemberState(enum.Enum):
+    JOINING = "joining"
+    SYNCING = "syncing"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    GONE = "gone"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Legal edges of the membership machine.  GONE is terminal: nothing
+#: leaves it — a healed ex-member re-joins under a *new* node id, which
+#: keeps the audit history of the old identity intact.
+ALLOWED_TRANSITIONS: "dict[MemberState, frozenset[MemberState]]" = {
+    MemberState.JOINING: frozenset({MemberState.SYNCING, MemberState.GONE}),
+    MemberState.SYNCING: frozenset(
+        {MemberState.ACTIVE, MemberState.DRAINING, MemberState.GONE}
+    ),
+    MemberState.ACTIVE: frozenset({MemberState.DRAINING, MemberState.GONE}),
+    MemberState.DRAINING: frozenset({MemberState.GONE}),
+    MemberState.GONE: frozenset(),
+}
+
+#: States whose stripes are served (the node's disk answers reads).
+SERVING_STATES = frozenset({
+    MemberState.JOINING, MemberState.SYNCING, MemberState.ACTIVE,
+    MemberState.DRAINING,
+})
+
+#: States allowed to *receive* stripes from the rebalancer.
+TARGET_STATES = frozenset({
+    MemberState.JOINING, MemberState.SYNCING, MemberState.ACTIVE,
+})
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """One audit-log row: node ``node_id`` moved ``src`` → ``dst``."""
+
+    time: float
+    node_id: int
+    src: MemberState
+    dst: MemberState
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class StaleCopy:
+    """A byte range left behind by a migration or drain.
+
+    The bytes are *not* authoritative — ownership moved on — but they
+    are not corruption either: ``repro fsck`` reports them as ``stale``
+    so an operator can tell "old copy on a drained node" apart from
+    "bit rot on a live one".
+    """
+
+    stripe: int
+    node_id: int
+    offset: int
+    nbytes: int
+    reason: str = ""
+
+
+@dataclass
+class MemberNode:
+    """One physical node: identity, disk, lifecycle state."""
+
+    node_id: int
+    device: object
+    state: MemberState = MemberState.ACTIVE
+    #: Copies abandoned on this disk by migrations (see :class:`StaleCopy`).
+    stale: "list[StaleCopy]" = field(default_factory=list)
+
+    @property
+    def serving(self) -> bool:
+        return self.state in SERVING_STATES
+
+
+class Membership:
+    """All member nodes plus the validated transition log.
+
+    Node ids are permanent: they are never reused, so the ownership
+    map, the audit logs, and the metrics namespace
+    (``elastic.node.<id>.*``) all refer to one physical identity for
+    the lifetime of the simulation.
+    """
+
+    def __init__(self) -> None:
+        self.members: "dict[int, MemberNode]" = {}
+        self.log: "list[MembershipChange]" = []
+        self._next_id = 0
+
+    def add(self, device, state: MemberState = MemberState.ACTIVE,
+            now: float = 0.0, reason: str = "") -> MemberNode:
+        """Register a new node (fresh, never-seen id); returns it."""
+        node = MemberNode(node_id=self._next_id, device=device, state=state)
+        self._next_id += 1
+        self.members[node.node_id] = node
+        self.log.append(MembershipChange(
+            time=now, node_id=node.node_id, src=state, dst=state,
+            reason=reason or "added",
+        ))
+        return node
+
+    def transition(self, node_id: int, dst: MemberState,
+                   now: float = 0.0, reason: str = "") -> MemberNode:
+        """Move a node to ``dst``, validating the edge; returns it."""
+        node = self.members[node_id]
+        if dst is node.state:
+            return node
+        if dst not in ALLOWED_TRANSITIONS[node.state]:
+            raise ValueError(
+                f"illegal membership transition for node {node_id}: "
+                f"{node.state} -> {dst}"
+            )
+        self.log.append(MembershipChange(
+            time=now, node_id=node_id, src=node.state, dst=dst, reason=reason,
+        ))
+        node.state = dst
+        return node
+
+    def state(self, node_id: int) -> MemberState:
+        return self.members[node_id].state
+
+    def ids(self, states: "frozenset[MemberState] | None" = None) -> "list[int]":
+        """Sorted node ids, optionally filtered to a state set."""
+        return sorted(
+            nid for nid, n in self.members.items()
+            if states is None or n.state in states
+        )
+
+    def serving_ids(self) -> "list[int]":
+        return self.ids(SERVING_STATES)
+
+    def target_ids(self) -> "list[int]":
+        return self.ids(TARGET_STATES)
+
+    def active_ids(self) -> "list[int]":
+        return self.ids(frozenset({MemberState.ACTIVE}))
+
+    def counts(self) -> "dict[str, int]":
+        """state name -> member count (for gauges / reports)."""
+        out: "dict[str, int]" = {}
+        for n in self.members.values():
+            out[str(n.state)] = out.get(str(n.state), 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.members)

@@ -1,0 +1,248 @@
+"""Paced stripe rebalancing that preserves the paper's load balance.
+
+Two jobs live here:
+
+1. :class:`Rebalancer` — turns the current ownership map plus the
+   membership targets into a deterministic move plan (even stripe
+   counts, lowest node ids first), then executes it *paced*: the
+   migration budget grows as a fixed fraction of the serving I/O the
+   cluster has done since the last step, so a rebalance never starves
+   live queries of disk time.  Failover backfill bypasses the pacer —
+   durability is not budgeted (see ``ElasticCluster._failover``).
+
+2. :func:`check_balance` — the falsifiable form of the paper's per-λ
+   load-balance claim.  Round-robin striping guarantees that for every
+   isovalue λ the number of active metacells per node differs by a
+   bounded amount; with over-partitioned stripes the per-node bound
+   becomes ``k_max * (c_max - c_min) + c_max`` where ``c_s`` is stripe
+   ``s``'s active count at λ and ``k_max`` the largest number of
+   stripes on one node.  The elastic soak asserts this after every
+   completed rebalance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .membership import TARGET_STATES
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned data movement (not yet executed)."""
+
+    kind: str  # "primary" | "replica"
+    stripe: int
+    src_node: int
+    #: Destination node for primary moves; -1 for replica moves, whose
+    #: destination is chosen by the placement policy at execution time.
+    dst_node: int = -1
+
+
+@dataclass(frozen=True)
+class LambdaBalance:
+    """Per-isovalue balance check: spread vs the striping bound."""
+
+    lam: float
+    #: max - min active metacells across target nodes.
+    spread: int
+    #: k_max * (c_max - c_min) + c_max — what round-robin striping
+    #: guarantees regardless of which stripes land where.
+    bound: int
+
+    @property
+    def ok(self) -> bool:
+        return self.spread <= self.bound
+
+
+@dataclass
+class BalanceReport:
+    """Result of :func:`check_balance` over a set of isovalues."""
+
+    #: max - min stripe count across target nodes (<= 1 when balanced).
+    assignment_spread: int
+    per_lambda: "list[LambdaBalance]" = field(default_factory=list)
+
+    @property
+    def assignment_ok(self) -> bool:
+        return self.assignment_spread <= 1
+
+    @property
+    def ok(self) -> bool:
+        return self.assignment_ok and all(c.ok for c in self.per_lambda)
+
+
+def check_balance(cluster, isovalues=()) -> BalanceReport:
+    """Verify the load-balance invariant on the live ownership map.
+
+    ``assignment_spread`` must be <= 1 once a rebalance completes (the
+    rebalancer's even-split target); each per-λ spread must stay under
+    the striping bound.  Nodes not in a target state (draining, gone)
+    are excluded — their stripes are by definition in motion.
+    """
+    targets = cluster.membership.target_ids()
+    counts = [len(cluster.ownership.stripes_of(n)) for n in targets]
+    if not counts:
+        return BalanceReport(assignment_spread=0)
+    report = BalanceReport(assignment_spread=max(counts) - min(counts))
+    k_max = max(counts)
+    for lam in isovalues:
+        per_stripe = [
+            int(cluster.datasets[s].tree.query_count(lam))
+            for s in range(cluster.n_stripes)
+        ]
+        loads = [
+            sum(per_stripe[s] for s in cluster.ownership.stripes_of(n))
+            for n in targets
+        ]
+        c_max, c_min = max(per_stripe), min(per_stripe)
+        report.per_lambda.append(LambdaBalance(
+            lam=float(lam),
+            spread=max(loads) - min(loads),
+            bound=k_max * (c_max - c_min) + c_max,
+        ))
+    return report
+
+
+class Rebalancer:
+    """Deterministic, I/O-paced stripe rebalancing.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.elastic.cluster.ElasticCluster` to balance.
+    max_io_fraction:
+        Migration budget earned per modeled second of serving I/O
+        (0.25: migrations may consume at most a quarter of the disk
+        time queries do).  ``math.inf`` disables pacing — every planned
+        move executes immediately (tests use this).
+    max_carry_seconds:
+        Cap on accumulated unspent budget, so a long quiet period does
+        not bank an unbounded burst of migration I/O.  Defaults to four
+        stripe-move costs.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        max_io_fraction: float = 0.25,
+        max_carry_seconds: "float | None" = None,
+    ) -> None:
+        if max_io_fraction <= 0:
+            raise ValueError(
+                f"max_io_fraction must be > 0, got {max_io_fraction}"
+            )
+        self.cluster = cluster
+        self.max_io_fraction = float(max_io_fraction)
+        self.max_carry_seconds = max_carry_seconds
+        self._budget = 0.0
+        self._last_serving = cluster.serving_io_seconds()
+
+    # -- planning --------------------------------------------------------
+
+    def estimate_move_seconds(self, stripe: int) -> float:
+        """Modeled cost of moving one stripe: a sequential read of the
+        span, the destination write, and the CRC read-back."""
+        model = self.cluster.perf.disk
+        nbytes = self.cluster._stripe_nbytes(stripe)
+        blocks = (nbytes + model.block_size - 1) // model.block_size
+        return 3.0 * model.time_for(blocks, 1)
+
+    def plan(self) -> "list[Move]":
+        """The deterministic move list from here to balanced.
+
+        Primary moves first (they change who serves reads), then
+        replica evacuations off draining nodes.  Even split with the
+        remainder on the lowest node ids; donors shed their highest
+        stripe ids first so long-lived assignments stay stable.
+        """
+        cluster = self.cluster
+        ownership = cluster.ownership
+        targets = cluster.membership.target_ids()
+        if not targets:
+            return []
+        desired = {
+            n: cluster.n_stripes // len(targets)
+            + (1 if i < cluster.n_stripes % len(targets) else 0)
+            for i, n in enumerate(targets)
+        }
+        target_set = set(targets)
+        movable: "list[int]" = []
+        for s in range(cluster.n_stripes):
+            owner = ownership.owner(s)
+            if owner in target_set or s in cluster.lost_stripes:
+                continue
+            member = cluster.membership.members[owner]
+            if member.serving or cluster._live_replica(s) is not None:
+                movable.append(s)
+        for n in targets:
+            own = ownership.stripes_of(n)
+            extra = len(own) - desired[n]
+            if extra > 0:
+                movable.extend(sorted(own, reverse=True)[:extra])
+        recipients: "list[int]" = []
+        counts = ownership.counts()
+        for n in targets:
+            deficit = desired[n] - min(counts.get(n, 0), desired[n])
+            recipients.extend([n] * deficit)
+        moves = [
+            Move("primary", s, ownership.owner(s), dst)
+            for s, dst in zip(sorted(movable), recipients)
+        ]
+        for s in range(cluster.n_stripes):
+            loc = cluster._replica.get(s)
+            if loc is None:
+                continue
+            state = cluster.membership.state(loc[0])
+            if state not in TARGET_STATES:
+                moves.append(Move("replica", s, loc[0]))
+        return moves
+
+    @property
+    def budget_seconds(self) -> float:
+        return self._budget
+
+    # -- execution -------------------------------------------------------
+
+    def _accrue(self) -> None:
+        serving = self.cluster.serving_io_seconds()
+        self._budget += self.max_io_fraction * max(
+            0.0, serving - self._last_serving
+        )
+        self._last_serving = serving
+        cap = self.max_carry_seconds
+        if cap is None:
+            cap = 4.0 * self.estimate_move_seconds(0)
+        self._budget = min(self._budget, cap)
+
+    def step(self, now: float = 0.0) -> "list":
+        """Execute as much of the plan as the budget affords; returns
+        the completed :class:`~repro.elastic.cluster.MigrationRecord`
+        list (possibly empty).  Call repeatedly — e.g. once per
+        controller tick — until :meth:`plan` comes back empty."""
+        cluster = self.cluster
+        unpaced = math.isinf(self.max_io_fraction)
+        if not unpaced:
+            self._accrue()
+        executed = []
+        for move in self.plan():
+            est = self.estimate_move_seconds(move.stripe)
+            if not unpaced and self._budget < est:
+                break
+            before = cluster.migration_seconds
+            if move.kind == "primary":
+                rec = cluster.migrate_primary(
+                    move.stripe, move.dst_node, now=now, reason="rebalance"
+                )
+            else:
+                rec = cluster.move_replica(
+                    move.stripe, now=now, reason="drain-replica"
+                )
+            if rec is None:
+                continue
+            # Charge the *actual* cost, including any nested replica
+            # re-placement the move triggered.
+            self._budget -= cluster.migration_seconds - before
+            executed.append(rec)
+        return executed

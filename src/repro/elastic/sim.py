@@ -1,0 +1,262 @@
+"""The elastic control loop: scale plans, autoscaling, rebalance pacing.
+
+:class:`ElasticController` is what a :class:`~repro.serve.server.QueryServer`
+ticks between queries (its ``controller=`` parameter).  Each tick, in a
+fixed order for determinism:
+
+1. fire any scripted :class:`ScaleEvent` whose time has come
+   (``join``/``drain`` to the target node count);
+2. ask the :class:`~repro.elastic.autoscaler.Autoscaler` (if any) for a
+   metric-driven decision and apply it the same way;
+3. let the paced :class:`~repro.elastic.rebalance.Rebalancer` execute
+   whatever moves its I/O budget affords;
+4. when the move plan drains empty, *complete* the membership
+   transition — SYNCING nodes activate, empty DRAINING nodes go GONE —
+   and record a :class:`RebalanceEvent` carrying the cost of the whole
+   rebalance plus the re-checked load-balance invariant;
+5. publish ``elastic.*`` gauges.
+
+Because ticks happen between queries and extractions are epoch fenced,
+no query ever observes a half-applied membership change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import coerce_tracer
+from repro.parallel.health import HealthState
+
+from .autoscaler import Autoscaler, ElasticSignals
+from .membership import MemberState
+from .rebalance import BalanceReport, Rebalancer, check_balance
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """Scripted 'be at N nodes by time T' waypoint."""
+
+    time: float
+    nodes: int
+
+
+@dataclass
+class RebalanceEvent:
+    """One completed rebalance: cost, duration, and the re-checked
+    load-balance invariant (the soak asserts ``balance.ok``)."""
+
+    started: float
+    finished: float
+    epoch: int
+    n_moves: int
+    moved_bytes: int
+    migration_seconds: float
+    serving_nodes: int
+    balance: BalanceReport
+
+    def as_dict(self) -> dict:
+        return {
+            "started": self.started, "finished": self.finished,
+            "epoch": self.epoch, "n_moves": self.n_moves,
+            "moved_bytes": self.moved_bytes,
+            "migration_seconds": self.migration_seconds,
+            "serving_nodes": self.serving_nodes,
+            "balance_ok": self.balance.ok,
+            "assignment_spread": self.balance.assignment_spread,
+        }
+
+
+@dataclass(frozen=True)
+class ScaleAction:
+    """Audit-log row for one applied join/drain."""
+
+    time: float
+    action: str  # "join" | "drain"
+    node_id: int
+    source: str  # "plan" | "autoscaler"
+
+
+class ElasticController:
+    """Drives an :class:`~repro.elastic.cluster.ElasticCluster` through
+    scale events while a workload runs.
+
+    Parameters
+    ----------
+    cluster:
+        The elastic cluster under control.
+    rebalancer:
+        Paced mover (defaults to ``Rebalancer(cluster)``).
+    plan:
+        Scripted :class:`ScaleEvent` waypoints, applied when their time
+        arrives (sorted internally).
+    autoscaler:
+        Optional :class:`~repro.elastic.autoscaler.Autoscaler` consulted
+        each tick with live serving signals; its decisions join/drain
+        exactly like scripted events.
+    balance_isovalues:
+        Isovalues the per-λ load-balance invariant is re-checked
+        against whenever a rebalance completes.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        rebalancer: "Rebalancer | None" = None,
+        plan=(),
+        autoscaler: "Autoscaler | None" = None,
+        balance_isovalues=(),
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.cluster = cluster
+        self.rebalancer = rebalancer if rebalancer is not None else Rebalancer(cluster)
+        self.plan = sorted(plan, key=lambda e: e.time)
+        self.autoscaler = autoscaler
+        self.balance_isovalues = tuple(balance_isovalues)
+        self.metrics = metrics if metrics is not None else cluster.elastic_metrics
+        self.tracer = (
+            coerce_tracer(tracer) if tracer is not None else cluster.elastic_tracer
+        )
+        self.rebalance_events: "list[RebalanceEvent]" = []
+        self.scale_actions: "list[ScaleAction]" = []
+        self._plan_index = 0
+        self._rebalancing = False
+        self._rebalance_started = 0.0
+        self._migrations_at_start = 0
+        self._bytes_at_start = 0
+        self._seconds_at_start = 0.0
+
+    # -- scaling ---------------------------------------------------------
+
+    def scale_to(self, now: float, target_nodes: int,
+                 source: str = "plan") -> None:
+        """Join or drain until the target-state node count hits
+        ``target_nodes``.  Drains shed the *newest* nodes first
+        (highest ids), which keeps the long-lived members stable."""
+        current = self.cluster.membership.target_ids()
+        if target_nodes > len(current):
+            for _ in range(target_nodes - len(current)):
+                nid = self.cluster.join(now=now)
+                self.scale_actions.append(
+                    ScaleAction(now, "join", nid, source)
+                )
+        elif target_nodes < len(current):
+            for nid in sorted(current, reverse=True)[: len(current) - target_nodes]:
+                self.cluster.drain(nid, now=now)
+                self.scale_actions.append(
+                    ScaleAction(now, "drain", nid, source)
+                )
+
+    def _sample_signals(self, server) -> ElasticSignals:
+        ratio = server._ratio_window.quantile(0.99)
+        open_breakers = sum(
+            1 for n in self.cluster.health.nodes
+            if n.state is HealthState.CIRCUIT_OPEN
+        )
+        return ElasticSignals(
+            queue_depth=server.scheduler.backlog,
+            p99_budget_ratio=ratio if ratio is not None else 0.0,
+            utilization=len(server._running) / server.config.n_executors,
+            open_breakers=open_breakers,
+        )
+
+    # -- the tick --------------------------------------------------------
+
+    def on_tick(self, now: float, server=None) -> None:
+        """One control-loop step (see the module docstring for order)."""
+        while (
+            self._plan_index < len(self.plan)
+            and self.plan[self._plan_index].time <= now
+        ):
+            self.scale_to(now, self.plan[self._plan_index].nodes, "plan")
+            self._plan_index += 1
+        if self.autoscaler is not None and server is not None:
+            decision = self.autoscaler.decide(
+                now, self._sample_signals(server),
+                len(self.cluster.membership.target_ids()),
+            )
+            if decision is not None:
+                self.scale_to(now, decision.target_nodes, "autoscaler")
+                self.tracer.instant(
+                    "elastic.autoscale", track="elastic", category="elastic",
+                    args={"direction": decision.direction,
+                          "target": decision.target_nodes,
+                          "reason": decision.reason},
+                )
+        if not self._rebalancing and self.rebalancer.plan():
+            self._rebalancing = True
+            self._rebalance_started = now
+            self._migrations_at_start = len(self.cluster.migrations)
+            self._bytes_at_start = self.cluster.migration_bytes
+            self._seconds_at_start = self.cluster.migration_seconds
+            self.tracer.instant(
+                "elastic.rebalance.start", track="elastic",
+                category="elastic", args={"epoch": self.cluster.ownership.epoch},
+            )
+        self.rebalancer.step(now)
+        if self._rebalancing and not self.rebalancer.plan():
+            self._finish_rebalance(now)
+        self.cluster.publish_elastic_metrics(self.metrics)
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "elastic.rebalances", len(self.rebalance_events)
+            )
+
+    def finish(self, now: float, max_rounds: "int | None" = None) -> None:
+        """Run the rebalancer to completion with pacing lifted.
+
+        Called after a workload drains: the disks are idle, so there is
+        no serving I/O to pace against and no reason to leave a
+        rebalance half-done.  Bounded by ``max_rounds`` (default
+        ``4 * n_stripes``) and by a no-progress check, so an
+        unsatisfiable plan (e.g. a replica with nowhere to go) exits
+        instead of spinning.
+        """
+        saved = self.rebalancer.max_io_fraction
+        self.rebalancer.max_io_fraction = float("inf")
+        try:
+            rounds = (
+                max_rounds if max_rounds is not None
+                else 4 * self.cluster.n_stripes
+            )
+            for _ in range(rounds):
+                if not self.rebalancer.plan():
+                    break
+                before = len(self.cluster.migrations)
+                self.on_tick(now)
+                if len(self.cluster.migrations) == before:
+                    break
+            self.on_tick(now)
+        finally:
+            self.rebalancer.max_io_fraction = saved
+
+    def _finish_rebalance(self, now: float) -> None:
+        """The plan drained: finalize membership and log the event."""
+        membership = self.cluster.membership
+        for nid in membership.ids(frozenset({MemberState.SYNCING})):
+            membership.transition(
+                nid, MemberState.ACTIVE, now=now, reason="rebalance complete"
+            )
+        for nid in membership.ids(frozenset({MemberState.DRAINING})):
+            if not self.cluster._holds_data(nid):
+                membership.transition(
+                    nid, MemberState.GONE, now=now, reason="drained"
+                )
+        event = RebalanceEvent(
+            started=self._rebalance_started,
+            finished=now,
+            epoch=self.cluster.ownership.epoch,
+            n_moves=len(self.cluster.migrations) - self._migrations_at_start,
+            moved_bytes=self.cluster.migration_bytes - self._bytes_at_start,
+            migration_seconds=(
+                self.cluster.migration_seconds - self._seconds_at_start
+            ),
+            serving_nodes=len(membership.target_ids()),
+            balance=check_balance(self.cluster, self.balance_isovalues),
+        )
+        self.rebalance_events.append(event)
+        self._rebalancing = False
+        self.tracer.instant(
+            "elastic.rebalance.done", track="elastic", category="elastic",
+            args=event.as_dict(),
+        )

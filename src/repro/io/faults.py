@@ -535,6 +535,17 @@ class HedgePolicy:
         no replica read can beat one block + one seek.
     history_cap:
         Sliding-window size of the latency history.
+    failover:
+        When True, a *permanent* primary failure
+        (:class:`DeviceFailedError`, e.g. the node was killed or
+        drained mid-read) falls back to a full replica read instead of
+        propagating — the payload is bit-identical either way, and the
+        consumer pays the time-to-failure plus the replica read.  The
+        default (False) preserves the original contract: permanent
+        faults propagate so the cluster layer can run its replica
+        recovery, health accounting, and failover promotion.  The
+        elastic cluster (:mod:`repro.elastic`) enables this so a hedged
+        read racing a membership change completes cleanly.
     """
 
     quantile: float = 0.5
@@ -542,6 +553,7 @@ class HedgePolicy:
     min_samples: int = 4
     floor: float = 0.0
     history_cap: int = 256
+    failover: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.quantile <= 1.0:
@@ -583,9 +595,13 @@ class HedgedDevice:
     * the latency history holds effective times, so absorbed spikes do
       not inflate the threshold.
 
-    Permanent faults (:class:`DeviceFailedError`) propagate untouched —
-    node loss is the cluster layer's recovery problem, not a per-read
-    hedge.
+    Permanent faults (:class:`DeviceFailedError`) propagate untouched
+    by default — node loss is the cluster layer's recovery problem, not
+    a per-read hedge.  With ``policy.failover`` set, a permanent
+    primary failure instead falls back to the replica read (payload
+    bit-identical; the consumer pays the time-to-failure plus the
+    replica transfer) — the behaviour a live-resharding cluster wants
+    when the primary drains mid-read.
     """
 
     def __init__(
@@ -635,9 +651,44 @@ class HedgedDevice:
         if len(self._history) > self.policy.history_cap:
             del self._history[0]
 
+    def _failover_read(self, offset: int, nbytes: int, delta_p, exc) -> bytes:
+        """Replica fallback after a permanent primary failure mid-read.
+
+        The consumer's clock pays everything the primary charged before
+        dying (``delta_p``, carried as ``fault_delay``) plus the full
+        replica read.  If the replica is also unreadable the *original*
+        primary error propagates — same signal the cluster layer would
+        have seen without failover.
+        """
+        r_offset = offset - self.primary_base + self.replica_base
+        r_before = self.replica.stats.copy()
+        try:
+            r_data = self.replica.read(r_offset, nbytes)
+        except StorageFault:
+            raise exc from None
+        delta_r = self.replica.stats - r_before
+        self.stats.hedged_reads += 1
+        self.stats.hedge_wins += 1
+        self.tracer.instant(
+            "hedge.failover", category="fault",
+            args={"extent": [offset, offset + nbytes],
+                  "error": str(exc)},
+        )
+        eff = delta_r.copy()
+        eff.fault_delay += delta_p.read_time(self.cost_model)
+        self.stats += eff
+        self._observe(eff.read_time(self.replica.cost_model))
+        return r_data
+
     def read(self, offset: int, nbytes: int) -> bytes:
         before = self.primary.stats.copy()
-        data = self.primary.read(offset, nbytes)
+        try:
+            data = self.primary.read(offset, nbytes)
+        except DeviceFailedError as exc:
+            if not self.policy.failover:
+                raise
+            delta_p = self.primary.stats - before
+            return self._failover_read(offset, nbytes, delta_p, exc)
         delta_p = self.primary.stats - before
         t_p = delta_p.read_time(self.cost_model)
         threshold = self.hedge_threshold()

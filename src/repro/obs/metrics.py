@@ -200,6 +200,28 @@ class MetricsRegistry:
         self.set_gauge(f"{prefix}.invalidations", stats.invalidations)
         self.set_gauge(f"{prefix}.hit_rate", stats.hit_rate)
 
+    def remove_prefix(self, prefix: str) -> int:
+        """Drop every instrument named ``prefix`` or ``prefix.*``;
+        returns how many were removed.
+
+        The elastic cluster uses this when a member leaves for good: a
+        gone node's ``elastic.node.<id>.*`` gauges would otherwise
+        report its last-published values forever, which reads as a live
+        node to dashboards.  Counters that must survive the node (bytes
+        migrated, failovers) live under cluster-wide names and are
+        untouched.
+        """
+        removed = 0
+        for store in (self._counters, self._gauges, self._histograms):
+            doomed = [
+                k for k in store
+                if k == prefix or k.startswith(prefix + ".")
+            ]
+            for k in doomed:
+                del store[k]
+            removed += len(doomed)
+        return removed
+
     # -- queries and export ---------------------------------------------
 
     def query(self, prefix: str) -> "dict[str, int | float]":

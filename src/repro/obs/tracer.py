@@ -21,6 +21,16 @@ Summary spans whose extent is only known after the fact (a node's final
 accounted stage times, the composite step) are emitted explicitly with
 :meth:`Tracer.record`.
 
+Naming
+------
+Span and instant names are dotted, prefixed by subsystem: ``io.*`` and
+``node.*`` for the extraction pipeline, ``serve.*`` for the serving
+front-end, and ``elastic.*`` for membership events — ``elastic.migrate``
+per stripe move, ``elastic.rebalance.start``/``.done`` bracketing a
+plan, ``elastic.autoscale`` per scale decision, all on an ``elastic``
+track with ``category="elastic"`` so Perfetto can filter the control
+plane from the data plane.
+
 The module-level :data:`NULL_TRACER` is the shared no-op used whenever
 no tracer was supplied; its methods do nothing and allocate nothing, so
 the un-traced hot path stays effectively free.

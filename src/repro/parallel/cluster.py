@@ -50,6 +50,84 @@ from repro.render.tiled_display import TileLayout
 
 
 @dataclass(frozen=True)
+class OwnershipChange:
+    """One recorded stripe reassignment (the ownership audit log row)."""
+
+    epoch: int
+    stripe: int
+    old_owner: int
+    new_owner: int
+    reason: str = ""
+
+
+class OwnershipMap:
+    """Which node owns (serves the primary copy of) each brick stripe.
+
+    The striping itself — which records land in which stripe — is fixed
+    at preprocessing time exactly as in the paper; what this map makes
+    dynamic is *who serves* each stripe.  The static cluster is the
+    identity assignment (stripe ``s`` owned by node ``s``); the elastic
+    cluster (:mod:`repro.elastic`) reassigns stripes on join / drain /
+    failover.
+
+    Every reassignment bumps :attr:`epoch` and appends an
+    :class:`OwnershipChange` to :attr:`log`.  Queries are **epoch
+    fenced**: :meth:`SimulatedCluster.extract` materializes its routing
+    view once at entry (see ``_dataset_views``), so an in-flight query
+    completes against one consistent ``(epoch, owners)`` snapshot even
+    when a rebalance lands between queries, and the serving layer keys
+    its cost estimates by ``(lam, epoch)`` so feasibility tracks live
+    capacity.
+    """
+
+    def __init__(self, owners) -> None:
+        self._owners = [int(o) for o in owners]
+        self.epoch = 0
+        self.log: "list[OwnershipChange]" = []
+
+    @classmethod
+    def identity(cls, n_stripes: int) -> "OwnershipMap":
+        return cls(range(n_stripes))
+
+    @property
+    def n_stripes(self) -> int:
+        return len(self._owners)
+
+    def owner(self, stripe: int) -> int:
+        return self._owners[stripe]
+
+    def owners(self) -> "tuple[int, ...]":
+        return tuple(self._owners)
+
+    def stripes_of(self, node: int) -> "list[int]":
+        return [s for s, o in enumerate(self._owners) if o == node]
+
+    def counts(self) -> "dict[int, int]":
+        """node -> number of stripes it currently owns."""
+        out: "dict[int, int]" = {}
+        for o in self._owners:
+            out[o] = out.get(o, 0) + 1
+        return out
+
+    def snapshot(self) -> "tuple[int, tuple[int, ...]]":
+        """The epoch fence: ``(epoch, owners)`` captured atomically."""
+        return self.epoch, tuple(self._owners)
+
+    def assign(self, stripe: int, new_owner: int, reason: str = "") -> int:
+        """Reassign one stripe; returns the (possibly bumped) epoch."""
+        old = self._owners[stripe]
+        if old == int(new_owner):
+            return self.epoch
+        self.epoch += 1
+        self._owners[stripe] = int(new_owner)
+        self.log.append(OwnershipChange(
+            epoch=self.epoch, stripe=stripe, old_owner=old,
+            new_owner=int(new_owner), reason=reason,
+        ))
+        return self.epoch
+
+
+@dataclass(frozen=True)
 class ExtractRequest:
     """Everything configurable about one cluster extraction, in one place.
 
@@ -160,6 +238,13 @@ class ClusterResult:
     #: Tenant the query was attributed to (see
     #: :attr:`ExtractRequest.tenant`), or None.
     tenant: "str | None" = None
+    #: Ownership epoch the query was fenced to (see :class:`OwnershipMap`);
+    #: 0 on a static cluster that never reassigned a stripe.
+    epoch: int = 0
+    #: Stripe slots grouped by the physical node that served them, for
+    #: clusters where several stripe slots share one disk (the elastic
+    #: cluster).  None: each slot is its own node (the static cluster).
+    node_groups: "list[list[int]] | None" = None
 
     @property
     def unrecovered_nodes(self) -> "list[int]":
@@ -193,8 +278,22 @@ class ClusterResult:
 
     @property
     def total_time(self) -> float:
-        """Modeled wall time: slowest node plus the composite step."""
-        return max((n.total_time for n in self.nodes), default=0.0) + self.composite_time
+        """Modeled wall time: slowest node plus the composite step.
+
+        With :attr:`node_groups` set, stripe slots sharing one physical
+        disk run serially on it, so the makespan is the slowest *group
+        sum* — the honest figure for an over-partitioned elastic
+        cluster — instead of the slowest individual slot.
+        """
+        if self.node_groups:
+            makespan = max(
+                (sum(self.nodes[i].total_time for i in group)
+                 for group in self.node_groups if group),
+                default=0.0,
+            )
+        else:
+            makespan = max((n.total_time for n in self.nodes), default=0.0)
+        return makespan + self.composite_time
 
     @property
     def triangle_rate(self) -> float:
@@ -280,22 +379,45 @@ class SimulatedCluster:
         self.replication = replication
         self.retry_policy = retry_policy
         self.health = HealthMonitor(p, health_policy)
-        if p == 1:
-            if replication != 1:
-                raise ValueError("replication needs p >= 2 nodes")
-            self.datasets: list[IndexedDataset] = [
-                build_indexed_dataset(volume, metacell_shape, cost_model=perf.disk)
-            ]
-        else:
-            self.datasets = build_striped_datasets(
-                volume, p, metacell_shape, cost_model=perf.disk,
-                replication=replication,
-            )
+        self.datasets: list[IndexedDataset] = self._build_datasets(
+            volume, p, metacell_shape, perf, replication
+        )
+        #: stripe -> owning node.  On the static cluster this is the
+        #: identity assignment and never changes; the elastic subclass
+        #: reassigns stripes (epoch-fenced routing, see OwnershipMap).
+        self.ownership = OwnershipMap.identity(self.p)
         for rank, plan in (fault_plans or {}).items():
             self.inject_faults(rank, plan)
         if cache_blocks is not None:
             for rank in range(self.p):
                 self.enable_cache(rank, cache_blocks)
+
+    def _build_datasets(
+        self,
+        volume: Volume,
+        p: int,
+        metacell_shape: tuple[int, int, int],
+        perf: PerformanceModel,
+        replication: int,
+    ) -> "list[IndexedDataset]":
+        """Preprocess the volume into per-stripe datasets (one simulated
+        disk per stripe).  The elastic cluster overrides this to stripe
+        over a smaller pool of shared physical node devices."""
+        if p == 1:
+            if replication != 1:
+                raise ValueError("replication needs p >= 2 nodes")
+            return [
+                build_indexed_dataset(volume, metacell_shape, cost_model=perf.disk)
+            ]
+        return build_striped_datasets(
+            volume, p, metacell_shape, cost_model=perf.disk,
+            replication=replication,
+        )
+
+    @property
+    def ownership_epoch(self) -> int:
+        """Current epoch of the ownership map (0 = never reassigned)."""
+        return self.ownership.epoch
 
     @property
     def report(self):
@@ -363,6 +485,41 @@ class SimulatedCluster:
         if isinstance(dev, FaultInjectingDevice):
             dev.heal()
 
+    def retire_node(self, rank: int) -> None:
+        """Permanently remove node ``rank`` from service.
+
+        The health breaker enters its terminal ``retired`` state — the
+        node is routed around forever and never probed again (unlike an
+        open circuit, which half-opens after a cooldown).  Queries keep
+        succeeding from the chained-declustering replica; with
+        ``replication == 1`` the node's bricks become unreachable and
+        results go degraded, exactly as an unrecovered failure would.
+        """
+        self.health.retire(rank)
+
+    # -- routing views (epoch fencing) ---------------------------------
+
+    def _dataset_views(self) -> "list[IndexedDataset]":
+        """The per-stripe routing view one extraction runs against.
+
+        Called exactly once at :meth:`extract` entry — the epoch fence.
+        The static cluster's ownership never changes, so the datasets
+        themselves are the view; the elastic cluster overrides this to
+        materialize per-stripe views pointing at each stripe's *current*
+        owner (device + base offset) under one ownership snapshot.
+        """
+        return list(self.datasets)
+
+    def _result_node_groups(self) -> "list[list[int]] | None":
+        """Stripe slots grouped by physical disk for makespan honesty
+        (see :attr:`ClusterResult.node_groups`); None on the static
+        cluster where every slot has its own disk."""
+        return None
+
+    def _default_hedge_policy(self) -> HedgePolicy:
+        """Policy used when a request passes ``hedge=True``."""
+        return HedgePolicy()
+
     def _replica_hosts(self, rank: int) -> "list[int]":
         """Surviving-candidate ranks holding a replica of ``rank``'s
         layout, nearest successor first."""
@@ -391,15 +548,20 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
 
     def _hedged_dataset(
-        self, rank: int, policy: HedgePolicy, tracer=NULL_TRACER
+        self, rank: int, policy: HedgePolicy, tracer=NULL_TRACER,
+        dataset: "IndexedDataset | None" = None,
     ) -> "IndexedDataset | None":
         """Node ``rank``'s dataset with its device wrapped for hedged
-        replica reads, or None when no replica exists to hedge against."""
+        replica reads, or None when no replica exists to hedge against.
+
+        ``dataset`` is the routing view to wrap (defaults to the node's
+        own dataset; the elastic cluster passes its epoch-fenced view).
+        """
         hosts = self._replica_hosts(rank)
         if not hosts:
             return None
         host = hosts[0]
-        src = self.datasets[rank]
+        src = dataset if dataset is not None else self.datasets[rank]
         hosted = self.datasets[host]
         return replace(
             src,
@@ -582,7 +744,10 @@ class SimulatedCluster:
         tracer = coerce_tracer(req.tracer)
 
         dl = Deadline.coerce(req.deadline)
-        hedge_policy = HedgePolicy() if req.hedge is True else (req.hedge or None)
+        hedge_policy = (
+            self._default_hedge_policy() if req.hedge is True
+            else (req.hedge or None)
+        )
         do_speculate = (
             req.speculate
             if req.speculate is not None
@@ -599,9 +764,15 @@ class SimulatedCluster:
         routed_ranks: list[int] = []
         #: Active metacells delivered per *layout* (whoever served it).
         delivered = [0] * self.p
-        expected = [ds.tree.query_count(lam) for ds in self.datasets]
+        # Epoch fence: the routing view (who serves each stripe, from
+        # which device region) is captured once, here — membership or
+        # ownership changes landing after this point apply to the *next*
+        # query, never to this one.
+        epoch = self.ownership.epoch
+        views = self._dataset_views()
+        expected = [ds.tree.query_count(lam) for ds in views]
 
-        for rank, dataset in enumerate(self.datasets):
+        for rank, dataset in enumerate(views):
             if self.health.routed_around(rank) and self._replica_hosts(rank):
                 # Circuit open: don't touch the primary disk; the layout
                 # is served from a replica host after this pass.
@@ -612,7 +783,10 @@ class SimulatedCluster:
                 continue
             qds = dataset
             if hedge_policy is not None:
-                qds = self._hedged_dataset(rank, hedge_policy, tracer) or dataset
+                qds = (
+                    self._hedged_dataset(rank, hedge_policy, tracer, dataset)
+                    or dataset
+                )
             try:
                 m, mesh, normals = self._node_extract(
                     qds, lam, with_normals=want_normals,
@@ -689,7 +863,7 @@ class SimulatedCluster:
                 # Every replica host is down: forced probe of the primary.
                 try:
                     m, mesh, normals = self._node_extract(
-                        self.datasets[k], lam, with_normals=want_normals,
+                        views[k], lam, with_normals=want_normals,
                         time_budget=node_budget,
                         tracer=tracer, track=f"node{k}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
@@ -839,6 +1013,8 @@ class SimulatedCluster:
             failed_nodes=sorted(failed_ranks),
             coverage=coverage,
             tenant=req.tenant,
+            epoch=epoch,
+            node_groups=self._result_node_groups(),
         )
         #: Framebuffer slots that actually exist somewhere and get shipped.
         live = [i for i in range(self.p) if i not in unrecovered]
@@ -1027,27 +1203,40 @@ class SimulatedCluster:
         """Predicted modeled seconds for :meth:`extract` at ``lam``,
         without touching any disk.
 
-        The per-node I/O bill comes from
+        The per-stripe I/O bill comes from
         :func:`~repro.core.analysis.estimate_query_cost` (block-exact on
-        a healthy node); the slowest node bounds the makespan and the
-        analytic composite rides on top.  Triangulation/render time and
-        fault mitigation are *not* predicted, so this is a lower bound —
-        admission control treats it as "the query costs at least this
-        much" when sizing backlogs, which only ever errs toward
-        admitting.
+        a healthy node), summed per *current owner* under the live
+        ownership map — stripes sharing one physical disk serialize on
+        it, so the slowest owner's total bounds the makespan and the
+        analytic composite rides on top.  On the static cluster the
+        ownership is the identity and this reduces to the slowest
+        single node, but during elastic scale events the estimate
+        tracks live capacity: admission's deadline-feasibility gate
+        sees 8-node costs right after a scale-out and 3-node costs
+        after a scale-in, not the build-time node count.
+        Triangulation/render time and fault mitigation are *not*
+        predicted, so this is a lower bound — admission control treats
+        it as "the query costs at least this much" when sizing
+        backlogs, which only ever errs toward admitting.
         """
         from repro.core.analysis import estimate_query_cost
 
-        worst = 0.0
-        for ds in self.datasets:
+        views = self._dataset_views()
+        owners = self.ownership.owners()
+        per_owner: "dict[int, float]" = {}
+        for s, ds in enumerate(views):
             est = estimate_query_cost(
                 ds.tree, lam, ds.codec.record_size, ds.device.cost_model,
                 ds.base_offset,
             )
-            worst = max(worst, est.io_time(ds.device.cost_model))
+            per_owner[owners[s]] = (
+                per_owner.get(owners[s], 0.0) + est.io_time(ds.device.cost_model)
+            )
+        worst = max(per_owner.values(), default=0.0)
         w, h = self.image_size
+        n_buffers = len(views)
         composite = self.perf.network.transfer_time(
-            self.p * w * h * 16, n_messages=self.p
+            n_buffers * w * h * 16, n_messages=n_buffers
         )
         return worst + composite
 

@@ -22,6 +22,13 @@ rediscovery cost.  After ``cooldown`` routed queries the breaker goes
 **half-open**: the next query is a probe against the primary; a clean
 probe heals the node, a bad one re-opens the circuit.
 
+A fifth, terminal state exists outside the loop above: **RETIRED**
+(``NodeHealth.retire``), entered when a node is drained or removed from
+the cluster (see :mod:`repro.elastic`).  A retired node is routed
+around like an open circuit but never cools down and never probes —
+"open" means *temporarily quarantined, will retry*; "retired" means
+*gone, stop asking*.
+
 All transitions are driven by per-query observations on the modeled
 clock, so scripted fault histories produce exact, assertable state
 sequences (see ``tests/test_health.py``).
@@ -38,6 +45,11 @@ class HealthState(enum.Enum):
     SUSPECT = "suspect"
     CIRCUIT_OPEN = "circuit-open"
     HALF_OPEN = "half-open"
+    #: Terminal: the node was drained or removed from the cluster.  A
+    #: retired node is routed around forever and **never probed** — the
+    #: breaker's cooldown/half-open machinery stops, distinguishing
+    #: "temporarily open, will probe" from "gone, don't bother".
+    RETIRED = "retired"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -147,18 +159,36 @@ class NodeHealth:
     @property
     def routed_around(self) -> bool:
         """True while the cluster should avoid this node's primary disk."""
-        return self.state is HealthState.CIRCUIT_OPEN
+        return self.state in (HealthState.CIRCUIT_OPEN, HealthState.RETIRED)
+
+    @property
+    def retired(self) -> bool:
+        return self.state is HealthState.RETIRED
+
+    def retire(self, query_index: int) -> None:
+        """Enter the terminal RETIRED state (drained / removed node).
+
+        Idempotent.  Unlike an open circuit there is no cooldown and no
+        half-open probe: the node is out of the cluster, so spending
+        probe queries on it would only waste replica-host budget.
+        """
+        if self.state is HealthState.RETIRED:
+            return
+        self.cooldown_left = 0
+        self._move(HealthState.RETIRED, query_index, "node retired")
 
     def tick_routed(self, query_index: int) -> None:
         """One query passed with this node routed around (circuit open)."""
         if self.state is not HealthState.CIRCUIT_OPEN:
-            return
+            return  # retired nodes never probe; other states never tick
         self.cooldown_left -= 1
         if self.cooldown_left <= 0:
             self._move(HealthState.HALF_OPEN, query_index, "cooldown elapsed")
 
     def observe(self, obs: Observation, query_index: int) -> None:
         """Fold one query's observation of the *primary* path in."""
+        if self.state is HealthState.RETIRED:
+            return  # terminal: no observation can resurrect the node
         pol = self.policy
         incident = obs.incident(pol)
         if incident:
@@ -240,6 +270,13 @@ class HealthMonitor:
     def observe(self, rank: int, obs: Observation) -> None:
         self.nodes[rank].observe(obs, self.query_index)
 
+    def retire(self, rank: int) -> None:
+        """Mark node ``rank`` permanently gone (terminal; idempotent)."""
+        self.nodes[rank].retire(self.query_index)
+
+    def retired(self, rank: int) -> bool:
+        return self.nodes[rank].retired
+
     def observe_metrics(self, metrics) -> None:
         """Fold a :class:`~repro.parallel.metrics.NodeMetrics` in."""
         self.observe(
@@ -266,13 +303,14 @@ class HealthMonitor:
         code, strikes, cumulative transition counts), so repeated
         publishes after successive queries never double-count.  State
         codes follow the machine's escalation order: 0 healthy,
-        1 suspect, 2 half-open, 3 circuit-open.
+        1 suspect, 2 half-open, 3 circuit-open, 4 retired (terminal).
         """
         codes = {
             HealthState.HEALTHY: 0,
             HealthState.SUSPECT: 1,
             HealthState.HALF_OPEN: 2,
             HealthState.CIRCUIT_OPEN: 3,
+            HealthState.RETIRED: 4,
         }
         transitions = 0
         by_dst: "dict[str, int]" = {}

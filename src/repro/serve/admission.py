@@ -16,12 +16,20 @@ arrival, each producing a typed :class:`RejectedQuery` on failure:
    deadline budget, admitting it would only manufacture a guaranteed
    miss (reason ``deadline_infeasible``).  The estimate is the
    block-exact I/O lower bound from
-   :meth:`~repro.parallel.cluster.SimulatedCluster.estimate_extract_time`,
-   so this gate only ever errs toward admitting.
+   :meth:`~repro.parallel.cluster.SimulatedCluster.estimate_extract_time`
+   against the cluster's *live* ownership map — on an elastic cluster
+   the server re-estimates whenever the ownership epoch changes, so
+   feasibility tracks the capacity the query will actually run on, not
+   the node count at server start.  Lower bound either way, so this
+   gate only ever errs toward admitting.
 
-A fourth gate belongs to the brownout ladder, not to admission proper:
-at the deepest degradation level the bulk tier is shed outright
-(reason ``brownout_bulk``).
+Two more shed reasons come from outside admission proper: at the
+brownout ladder's deepest degradation level the bulk tier is shed
+outright (reason ``brownout_bulk``), and a query whose queue wait has
+consumed its entire contract by dispatch time is shed at the executor
+door (reason ``deadline_elapsed``) rather than run with nothing left —
+the server promises every terminal state is ``ok``/``degraded``/
+``shed``, never a zero-coverage ``failed``.
 
 Everything runs on the modeled clock and touches no randomness, so shed
 decisions are a deterministic function of (trace seed, config) — pinned
@@ -37,12 +45,14 @@ from repro.serve.traffic import QueryRequest
 #: Typed shed reasons.
 SHED_QUEUE_FULL = "queue_full"
 SHED_DEADLINE_INFEASIBLE = "deadline_infeasible"
+SHED_DEADLINE_ELAPSED = "deadline_elapsed"
 SHED_TENANT_THROTTLED = "tenant_throttled"
 SHED_BROWNOUT_BULK = "brownout_bulk"
 
 SHED_REASONS = (
     SHED_QUEUE_FULL,
     SHED_DEADLINE_INFEASIBLE,
+    SHED_DEADLINE_ELAPSED,
     SHED_TENANT_THROTTLED,
     SHED_BROWNOUT_BULK,
 )

@@ -17,8 +17,11 @@ Every request ends in **exactly one** terminal state:
   unrecovered node failure inside the cluster);
 * ``shed`` — rejected at admission with a typed
   :class:`~repro.serve.admission.RejectedQuery`;
-* ``failed`` — dispatched but delivered zero coverage (budget already
-  exhausted by queue wait, or the cluster lost every copy of the data).
+* ``failed`` — dispatched but delivered zero coverage.  Should never
+  happen: a budget exhausted by queue wait is shed at the executor door
+  (``deadline_elapsed``) instead of dispatched, and an elastic cluster
+  failover keeps at least one copy of every stripe reachable.  A
+  ``failed`` terminal therefore indicates real data loss.
 
 Deadline accounting composes through
 :meth:`~repro.core.deadline.Deadline.consume`: the budget a query
@@ -45,7 +48,11 @@ from repro.io.cost_model import latency_quantile
 from repro.obs.metrics import SlidingWindow
 from repro.obs.tracer import NULL_TRACER, coerce_tracer
 from repro.parallel.cluster import ExtractRequest
-from repro.serve.admission import AdmissionController, RejectedQuery
+from repro.serve.admission import (
+    SHED_DEADLINE_ELAPSED,
+    AdmissionController,
+    RejectedQuery,
+)
 from repro.serve.brownout import BrownoutConfig, BrownoutController
 from repro.serve.scheduler import DeficitRoundRobin
 from repro.serve.traffic import TIERS, QueryRequest, TenantSpec, TrafficTrace
@@ -129,6 +136,10 @@ class ServedRecord:
     coverage: float = 0.0
     preemptions: int = 0
     met_deadline: bool = False
+    #: Triangle count the query delivered (0 for shed requests) — the
+    #: elastic soak compares ok-state counts against a reference run to
+    #: prove migrations never changed an answer.
+    triangles: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -138,7 +149,7 @@ class ServedRecord:
             "queue_wait": self.queue_wait, "service_time": self.service_time,
             "finish": self.finish, "latency": self.latency,
             "coverage": self.coverage, "preemptions": self.preemptions,
-            "met_deadline": self.met_deadline,
+            "met_deadline": self.met_deadline, "triangles": self.triangles,
         }
 
 
@@ -237,12 +248,20 @@ class QueryServer:
         ``serve.brownout`` / ``serve.shed`` instants on a ``serve``
         track, the registry gets ``serve.*`` counters and histograms
         plus the cluster's own per-query publication.
+    controller:
+        Optional elastic control loop (anything with an
+        ``on_tick(now, server)`` method, e.g.
+        :class:`~repro.elastic.sim.ElasticController`).  Ticked at the
+        brownout evaluation cadence, between queries — never while one
+        is in flight, which together with the cluster's epoch fencing
+        keeps membership changes invisible to running extractions.
     """
 
     def __init__(self, cluster, config: ServeConfig,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None, controller=None) -> None:
         self.cluster = cluster
         self.config = config
+        self.controller = controller
         self.tracer = coerce_tracer(tracer) if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.admission = AdmissionController(
@@ -252,7 +271,11 @@ class QueryServer:
         self.brownout = BrownoutController(
             config.brownout, metrics=metrics, tracer=self.tracer
         )
-        self._est_cache: "dict[float, float]" = {}
+        #: Cost estimates keyed by ``(lam, ownership_epoch)``: a scale
+        #: event bumps the cluster's epoch, invalidating every cached
+        #: estimate at once so admission feasibility tracks live
+        #: capacity instead of the node count at server start.
+        self._est_cache: "dict[tuple[float, int], float]" = {}
         self._ratio_window = SlidingWindow(config.latency_window)
         self._running: "list[_Job]" = []
         self._records: "dict[int, ServedRecord]" = {}
@@ -261,9 +284,10 @@ class QueryServer:
     # -- helpers ---------------------------------------------------------
 
     def _estimate(self, lam: float) -> float:
-        if lam not in self._est_cache:
-            self._est_cache[lam] = self.cluster.estimate_extract_time(lam)
-        return self._est_cache[lam]
+        key = (lam, getattr(self.cluster, "ownership_epoch", 0))
+        if key not in self._est_cache:
+            self._est_cache[key] = self.cluster.estimate_extract_time(lam)
+        return self._est_cache[key]
 
     def _backlog_seconds(self, now: float) -> float:
         queued = sum(
@@ -347,8 +371,21 @@ class QueryServer:
             queue_wait = now - job.request.arrival
             # Budget re-split: the query runs under what is left of the
             # end-to-end contract after queue wait, scaled by the
-            # brownout ladder (possibly already expired -> coverage 0).
+            # brownout ladder.
             eff = Deadline(job.request.budget).consume(queue_wait)
+            if eff.budget <= 1e-12:
+                # Late shed at the executor door: the queue wait has
+                # consumed the whole contract, so running the query
+                # could only deliver zero coverage.  A typed shed keeps
+                # the terminal-state promise (never ``failed``).
+                self._shed(RejectedQuery(
+                    job.request, SHED_DEADLINE_ELAPSED, now,
+                    detail=(
+                        f"queue wait {queue_wait:.4f}s consumed budget "
+                        f"{job.request.budget:.4f}s before dispatch"
+                    ),
+                ))
+                return
             eff = Deadline(
                 eff.budget * self.brownout.budget_factor,
                 node_fraction=eff.node_fraction,
@@ -400,6 +437,7 @@ class QueryServer:
             service_time=job.service_total, finish=now, latency=latency,
             coverage=coverage, preemptions=job.preemptions,
             met_deadline=latency <= req.budget + 1e-9,
+            triangles=int(result.n_triangles),
         )
         self._ratio_window.observe(latency / req.budget)
         self._inc(f"serve.completed.{state}")
@@ -483,6 +521,8 @@ class QueryServer:
                 self.brownout.evaluate(
                     now, self.scheduler.backlog, self._ratio_window.quantile(0.99)
                 )
+                if self.controller is not None:
+                    self.controller.on_tick(now, self)
                 next_eval += cfg.brownout.eval_interval
             while ai < len(arrivals) and arrivals[ai].arrival == now:
                 self._admit(arrivals[ai], now)
@@ -494,8 +534,10 @@ class QueryServer:
         records = [self._records[rid] for rid in sorted(self._records)]
         gap_bounds = {}
         if records:
+            lams = {r.lam for r in records}
             max_cost = max(
-                (self._est_cache[r.lam] for r in records if r.lam in self._est_cache),
+                (cost for (lam, _epoch), cost in self._est_cache.items()
+                 if lam in lams),
                 default=0.0,
             )
             if max_cost > 0:

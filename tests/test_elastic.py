@@ -1,0 +1,491 @@
+"""Elastic membership: state machine, live migration, failover,
+autoscaling, and the ownership-aware fsck.
+
+The contract under test (see docs/robustness.md, "Elasticity"):
+
+* membership transitions follow the validated joining → syncing →
+  active → draining → gone graph; illegal edges raise;
+* a live stripe migration is CRC-verified end to end, bumps the
+  ownership epoch, and leaves query results bit-identical;
+* killing a node promotes its replicas at the next membership
+  notification, re-establishes the replication factor, and no query
+  loses coverage;
+* the per-λ load-balance invariant holds after every rebalance;
+* admission feasibility tracks live capacity (estimates re-key on the
+  ownership epoch);
+* fsck distinguishes stale copies (migration residue — expected) from
+  corruption of live copies (an issue).
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.io.faults import DeviceFailedError, FaultInjectingDevice, FaultPlan
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+from repro.elastic import (
+    Autoscaler,
+    AutoscalerConfig,
+    ElasticCluster,
+    ElasticController,
+    ElasticSignals,
+    MemberState,
+    Membership,
+    Rebalancer,
+    ScaleEvent,
+    check_balance,
+    fsck_cluster,
+    scrub_cluster,
+)
+
+ISO = 0.5
+NODES = 4
+STRIPES = 12
+ISOVALUES = (0.3, 0.5, 0.7)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return sphere_field((24, 24, 24))
+
+
+@pytest.fixture(scope="module")
+def reference(volume):
+    """Ground-truth triangle counts from a static cluster."""
+    static = SimulatedCluster(
+        volume, NODES, metacell_shape=(5, 5, 5), replication=1
+    )
+    return {lam: int(static.extract(lam).n_triangles) for lam in ISOVALUES}
+
+
+def make_cluster(volume, nodes=NODES, stripes=STRIPES):
+    return ElasticCluster(
+        volume, nodes=nodes, n_stripes=stripes, metacell_shape=(5, 5, 5)
+    )
+
+
+class TestMembership:
+    def _membership(self, n=2):
+        m = Membership()
+        for _ in range(n):
+            m.add(device=None, state=MemberState.ACTIVE)
+        return m
+
+    def test_full_lifecycle(self):
+        m = self._membership(0)
+        nid = m.add(device=None, state=MemberState.JOINING).node_id
+        for dst in (MemberState.SYNCING, MemberState.ACTIVE,
+                    MemberState.DRAINING, MemberState.GONE):
+            m.transition(nid, dst, now=1.0)
+            assert m.state(nid) is dst
+        # One log row per transition, in order.
+        assert [c.dst for c in m.log] == [
+            MemberState.JOINING, MemberState.SYNCING, MemberState.ACTIVE,
+            MemberState.DRAINING, MemberState.GONE,
+        ]
+
+    @pytest.mark.parametrize("src,dst", [
+        (MemberState.JOINING, MemberState.ACTIVE),     # must sync first
+        (MemberState.JOINING, MemberState.DRAINING),
+        (MemberState.ACTIVE, MemberState.JOINING),
+        (MemberState.ACTIVE, MemberState.SYNCING),
+        (MemberState.DRAINING, MemberState.ACTIVE),    # no un-drain
+        (MemberState.GONE, MemberState.ACTIVE),        # terminal
+        (MemberState.GONE, MemberState.JOINING),
+    ])
+    def test_illegal_transition_raises(self, src, dst):
+        m = Membership()
+        nid = m.add(device=None, state=src).node_id
+        with pytest.raises(ValueError, match="illegal membership"):
+            m.transition(nid, dst, now=0.0)
+
+    def test_same_state_is_noop(self):
+        m = self._membership(1)
+        before = len(m.log)
+        m.transition(0, MemberState.ACTIVE, now=0.0)
+        assert len(m.log) == before
+
+    def test_node_ids_never_reused(self):
+        m = self._membership(2)
+        m.transition(1, MemberState.GONE, now=0.0)
+        nid = m.add(device=None, state=MemberState.JOINING).node_id
+        assert nid == 2  # not 1: gone ids stay retired forever
+
+    def test_id_queries(self):
+        m = self._membership(2)
+        m.transition(1, MemberState.DRAINING, now=0.0)
+        assert m.target_ids() == [0]
+        assert m.serving_ids() == [0, 1]  # draining still serves reads
+        assert m.counts() == {"active": 1, "draining": 1}
+
+
+class TestMigration:
+    def test_migrate_bumps_epoch_and_keeps_results_bit_identical(
+        self, volume, reference
+    ):
+        cluster = make_cluster(volume)
+        before = {lam: cluster.extract(lam) for lam in ISOVALUES}
+        epoch0 = cluster.ownership.epoch
+
+        # Move stripe 0 to a freshly joined node.
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        assert cluster.ownership.owner(0) == nid
+        assert cluster.ownership.epoch > epoch0
+        assert cluster.migrations and cluster.migration_bytes > 0
+
+        for lam in ISOVALUES:
+            res = cluster.extract(lam)
+            assert res.coverage == 1.0
+            assert int(res.n_triangles) == reference[lam]
+            assert int(res.n_triangles) == int(before[lam].n_triangles)
+
+    def test_old_primary_recorded_as_stale(self, volume):
+        cluster = make_cluster(volume)
+        src = cluster.ownership.owner(0)
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        stale = cluster.membership.members[src].stale
+        assert any(c.stripe == 0 for c in stale)
+
+    def test_join_syncs_then_activates_via_rebalance(self, volume):
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+            balance_isovalues=ISOVALUES,
+        )
+        nid = cluster.join(now=1.0)
+        assert cluster.membership.state(nid) is MemberState.JOINING
+        controller.on_tick(2.0)
+        assert cluster.membership.state(nid) is MemberState.ACTIVE
+        assert cluster.ownership.counts()[nid] >= 1
+
+    def test_drain_empties_node_and_goes_gone(self, volume, reference):
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+            balance_isovalues=ISOVALUES,
+        )
+        cluster.drain(3, now=1.0)
+        controller.on_tick(2.0)
+        assert cluster.membership.state(3) is MemberState.GONE
+        assert 3 not in cluster.ownership.counts()
+        # The drained node keeps its old bytes as stale copies.
+        assert cluster.membership.members[3].stale
+        res = cluster.extract(ISO)
+        assert res.coverage == 1.0
+        assert int(res.n_triangles) == reference[ISO]
+
+    def test_epoch_fenced_views_capture_once(self, volume):
+        cluster = make_cluster(volume)
+        res0 = cluster.extract(ISO)
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        res1 = cluster.extract(ISO)
+        assert res1.epoch > res0.epoch
+        # Groups reflect the new ownership: the joined node now owns
+        # stripe 0 and appears as its own group.
+        assert [0] in res1.node_groups
+
+
+class TestFailover:
+    def test_kill_promotes_replicas_and_keeps_coverage(
+        self, volume, reference
+    ):
+        cluster = make_cluster(volume)
+        owned = [s for s in range(STRIPES) if cluster.ownership.owner(s) == 2]
+        cluster.fail_node(2, now=1.0)
+        assert cluster.membership.state(2) is MemberState.GONE
+        # Every stripe the dead node owned has a new live owner.
+        for s in owned:
+            assert cluster.ownership.owner(s) != 2
+        assert not cluster.lost_stripes
+        res = cluster.extract(ISO)
+        assert res.coverage == 1.0
+        assert not res.failed_nodes
+        assert int(res.n_triangles) == reference[ISO]
+
+    def test_replication_reestablished_after_failover(self, volume):
+        cluster = make_cluster(volume)
+        cluster.fail_node(2, now=1.0)
+        for s in range(STRIPES):
+            loc = cluster.replica_locations()[s]
+            assert loc is not None, f"stripe {s} left unreplicated"
+            host = loc[0]
+            assert host != 2
+            assert host != cluster.ownership.owner(s)
+
+    def test_second_failure_still_serves(self, volume, reference):
+        cluster = make_cluster(volume)
+        cluster.fail_node(2, now=1.0)
+        cluster.fail_node(0, now=2.0)
+        res = cluster.extract(ISO)
+        assert res.coverage == 1.0
+        assert int(res.n_triangles) == reference[ISO]
+
+    def test_promotion_races_hedged_read_bit_identical(
+        self, volume, reference
+    ):
+        """A hedged extraction concurrent with a kill: the failover
+        hedge policy falls back to the replica mid-read, and the
+        payload is bit-identical to the healthy run."""
+        cluster = make_cluster(volume)
+        healthy = cluster.extract(
+            ISO, ExtractRequest(hedge=True, keep_meshes=True)
+        )
+        # Spiky primaries so hedging engages, then a mid-trace kill.
+        for nid in range(NODES):
+            cluster.inject_faults(nid, FaultPlan(
+                seed=nid + 1, latency_spike_rate=0.25,
+                latency_spike_seconds=0.5,
+            ))
+        cluster.fail_node(1, now=1.0)
+        res = cluster.extract(ISO, ExtractRequest(hedge=True, keep_meshes=True))
+        assert res.coverage == 1.0
+        assert int(res.n_triangles) == reference[ISO]
+        def tri_soup(result):
+            parts = [
+                m.vertices[m.faces].reshape(-1, 9)
+                for m in result.meshes if len(m.faces)
+            ]
+            soup = np.concatenate(parts)
+            return soup[np.lexsort(soup.T[::-1])]
+
+        assert np.array_equal(tri_soup(healthy), tri_soup(res))
+
+
+class TestRebalanceInvariant:
+    @pytest.mark.parametrize("target", [8, 3, 6])
+    def test_balance_holds_after_scaling(self, volume, reference, target):
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+            balance_isovalues=ISOVALUES,
+        )
+        controller.scale_to(1.0, target)
+        controller.finish(2.0)
+        assert len(cluster.membership.target_ids()) == target
+        report = check_balance(cluster, ISOVALUES)
+        assert report.ok, report
+        assert report.assignment_spread <= 1
+        res = cluster.extract(ISO)
+        assert int(res.n_triangles) == reference[ISO]
+
+    def test_pacing_bounds_migration_io(self, volume):
+        """With a tiny I/O fraction and no serving traffic, the paced
+        rebalancer cannot move anything; serving I/O unlocks it."""
+        cluster = make_cluster(volume)
+        reb = Rebalancer(cluster, max_io_fraction=0.01)
+        cluster.join(now=1.0)
+        assert reb.plan()
+        reb.step(2.0)
+        assert not cluster.migrations  # no serving I/O -> no budget
+        for _ in range(60):
+            cluster.extract(ISO)
+        reb.step(3.0)
+        assert cluster.migrations  # budget accrued from serving reads
+
+    def test_rebalance_event_records_cost(self, volume):
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+            balance_isovalues=ISOVALUES,
+        )
+        controller.scale_to(1.0, 6)
+        controller.finish(2.0)
+        assert controller.rebalance_events
+        ev = controller.rebalance_events[-1]
+        assert ev.n_moves > 0 and ev.moved_bytes > 0
+        assert ev.balance.ok
+        assert ev.serving_nodes == 6
+
+
+class TestAutoscaler:
+    CFG = AutoscalerConfig(min_nodes=2, max_nodes=8, queue_high=10,
+                           queue_low=2, ratio_high=1.0, ratio_low=0.5,
+                           util_low=0.3, cooldown=5.0)
+
+    def test_scales_up_on_queue_pressure(self):
+        a = Autoscaler(config=self.CFG)
+        d = a.decide(0.0, ElasticSignals(queue_depth=10), 4)
+        assert d is not None and d.direction == +1 and d.target_nodes == 5
+
+    def test_scales_up_on_tail_latency(self):
+        a = Autoscaler(config=self.CFG)
+        d = a.decide(0.0, ElasticSignals(p99_budget_ratio=1.2), 4)
+        assert d is not None and d.direction == +1
+
+    def test_scales_down_only_when_everything_calm(self):
+        a = Autoscaler(config=self.CFG)
+        calm = ElasticSignals(queue_depth=0, p99_budget_ratio=0.1,
+                              utilization=0.1)
+        d = a.decide(0.0, calm, 4)
+        assert d is not None and d.direction == -1 and d.target_nodes == 3
+        # Same signals but an open breaker: hold.
+        a2 = Autoscaler(config=self.CFG)
+        held = a2.decide(0.0, ElasticSignals(
+            queue_depth=0, p99_budget_ratio=0.1, utilization=0.1,
+            open_breakers=1,
+        ), 4)
+        assert held is None
+
+    def test_mixed_signals_hold(self):
+        a = Autoscaler(config=self.CFG)
+        # Queue calm but utilization high: neither up nor down.
+        d = a.decide(0.0, ElasticSignals(queue_depth=0, utilization=0.9), 4)
+        assert d is None
+
+    def test_cooldown_suppresses_flapping(self):
+        a = Autoscaler(config=self.CFG)
+        assert a.decide(0.0, ElasticSignals(queue_depth=10), 4) is not None
+        assert a.decide(1.0, ElasticSignals(queue_depth=10), 5) is None
+        assert a.decide(6.0, ElasticSignals(queue_depth=10), 5) is not None
+
+    def test_respects_bounds(self):
+        a = Autoscaler(config=self.CFG)
+        assert a.decide(0.0, ElasticSignals(queue_depth=99), 8) is None
+        calm = ElasticSignals()
+        assert a.decide(10.0, calm, 2) is None
+
+
+class TestLiveEstimates:
+    def test_estimate_tracks_ownership(self, volume):
+        """Satellite 1: estimate_extract_time follows the live map —
+        more nodes, shorter critical path."""
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+        )
+        est4 = cluster.estimate_extract_time(ISO)
+        controller.scale_to(1.0, 8)
+        controller.finish(2.0)
+        est8 = cluster.estimate_extract_time(ISO)
+        assert est8 < est4
+
+    def test_server_estimate_cache_keys_on_epoch(self, volume):
+        from repro.serve import QueryServer, ServeConfig, TenantSpec
+
+        cluster = make_cluster(volume)
+        tenants = (TenantSpec("t", tier="gold", arrival_share=1.0,
+                              rate=10.0, burst=8, deadline_budget=1.0),)
+        server = QueryServer(cluster, ServeConfig(tenants=tenants))
+        e0 = server._estimate(ISO)
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        e1 = server._estimate(ISO)
+        assert len(server._est_cache) == 2  # re-keyed, not overwritten
+        assert {k[0] for k in server._est_cache} == {ISO}
+        assert e1 != e0 or cluster.ownership_epoch > 0
+
+
+class TestElasticFsck:
+    def test_clean_cluster_is_clean(self, volume):
+        report = fsck_cluster(make_cluster(volume))
+        assert report.clean
+        assert report.verified_primaries == STRIPES
+        assert report.verified_replicas == STRIPES
+        assert not report.stale
+
+    def test_stale_copies_reported_not_corrupt(self, volume):
+        cluster = make_cluster(volume)
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=float("inf")),
+        )
+        cluster.drain(3, now=1.0)
+        controller.on_tick(2.0)
+        report = fsck_cluster(cluster)
+        assert report.clean, report.summary()
+        assert report.stale
+        assert {c.status for c in report.stale} == {"intact"}
+        assert any(c.node_id == 3 for c in report.stale)
+
+    def test_stale_on_dead_node_is_unreachable(self, volume):
+        cluster = make_cluster(volume)
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        src = cluster.migrations[0].src_node
+        cluster.fail_node(src, now=3.0)
+        report = fsck_cluster(cluster)
+        assert report.clean, report.summary()
+        statuses = {c.status for c in report.stale if c.node_id == src}
+        assert statuses == {"unreachable"}
+
+    def test_corrupt_live_primary_is_an_issue(self, volume):
+        cluster = make_cluster(volume)
+        owner, offset = cluster.primary_location(0)
+        dev = cluster._member_device(owner)
+        raw = bytearray(dev.read(offset, 64))
+        raw[0] ^= 0xFF
+        dev.write(offset, bytes(raw))
+        report = fsck_cluster(cluster)
+        assert not report.clean
+        assert any(
+            i.kind == "corrupt-primary" and i.stripe == 0
+            for i in report.issues
+        )
+
+    def test_scrub_follows_migrations(self, volume):
+        cluster = make_cluster(volume)
+        nid = cluster.join(now=1.0)
+        cluster.migrate_primary(0, nid, now=2.0, reason="test")
+        reports = scrub_cluster(cluster)
+        assert set(reports) == set(range(STRIPES))
+
+
+class TestElasticServing:
+    def test_scripted_scale_under_traffic_zero_failed(self, volume, reference):
+        from repro.serve import (
+            BrownoutConfig, QueryServer, ServeConfig, TenantSpec,
+            TrafficConfig, generate_trace,
+        )
+
+        cluster = make_cluster(volume)
+        unit = max(cluster.estimate_extract_time(l) for l in ISOVALUES)
+        duration = 30.0 * unit
+        tenants = (
+            TenantSpec("t", tier="gold", arrival_share=1.0,
+                       rate=2.0 / unit, burst=8,
+                       deadline_budget=8.0 * unit),
+        )
+        trace = generate_trace(
+            TrafficConfig(duration=duration, base_rate=2.0 / unit,
+                          isovalues=ISOVALUES, seed=3),
+            tenants,
+        )
+        controller = ElasticController(
+            cluster,
+            rebalancer=Rebalancer(cluster, max_io_fraction=0.5),
+            plan=(ScaleEvent(time=duration / 3, nodes=6),
+                  ScaleEvent(time=2 * duration / 3, nodes=3)),
+            balance_isovalues=ISOVALUES,
+        )
+        server = QueryServer(
+            cluster,
+            ServeConfig(tenants=tenants, quantum=unit / 5,
+                        brownout=BrownoutConfig(eval_interval=unit)),
+            controller=controller,
+        )
+        report = server.serve(trace)
+        controller.finish(trace.horizon)
+        assert not report.by_state("failed")
+        for r in report.by_state("ok"):
+            assert r.triangles == reference[r.lam]
+        for ev in controller.rebalance_events:
+            assert ev.balance.ok
+        assert check_balance(cluster, ISOVALUES).ok
+
+
+class TestConstruction:
+    def test_rejects_collocated_replica_layout(self, volume):
+        with pytest.raises(ValueError, match="replica"):
+            ElasticCluster(volume, nodes=4, n_stripes=13,
+                           metacell_shape=(5, 5, 5))
+
+    def test_rejects_fewer_stripes_than_nodes(self, volume):
+        with pytest.raises(ValueError):
+            ElasticCluster(volume, nodes=4, n_stripes=2,
+                           metacell_shape=(5, 5, 5))
+
+    def test_cache_unsupported(self, volume):
+        with pytest.raises(NotImplementedError):
+            make_cluster(volume).enable_cache(0, 8)

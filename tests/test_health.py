@@ -266,6 +266,65 @@ class TestClusterIntegration:
         assert cluster.health.state(2) is HealthState.CIRCUIT_OPEN
         assert cluster.health.nodes[2].times_opened == 2
 
+    def test_retired_is_terminal_and_never_probes(self):
+        node = NodeHealth(rank=0, policy=HealthPolicy(cooldown=2))
+        node.retire(1)
+        assert node.state is HealthState.RETIRED
+        assert node.routed_around and node.retired
+        # Unlike an open circuit, routed queries never half-open it...
+        for i in range(2, 50):
+            node.tick_routed(i)
+        assert node.state is HealthState.RETIRED
+        # ...and no observation — however clean — resurrects it.
+        node.observe(CLEAN, 50)
+        assert node.state is HealthState.RETIRED
+        # Idempotent: one transition in the log, not two.
+        node.retire(51)
+        assert [t.dst for t in node.transitions] == [HealthState.RETIRED]
+
+    def test_retired_vs_open_circuit_distinction(self):
+        """The operator-facing difference: open half-opens after the
+        cooldown, retired never does."""
+        opened = NodeHealth(rank=0, policy=HealthPolicy(cooldown=2))
+        opened.observe(FAILED, 1)
+        retired = NodeHealth(rank=1, policy=HealthPolicy(cooldown=2))
+        retired.retire(1)
+        for i in range(2, 5):
+            opened.tick_routed(i)
+            retired.tick_routed(i)
+        assert opened.state is HealthState.HALF_OPEN
+        assert retired.state is HealthState.RETIRED
+
+    def test_retired_cluster_routes_around_forever(self, volume):
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2,
+            health_policy=HealthPolicy(cooldown=2),
+        )
+        healthy = cluster.extract(ISO, ExtractRequest(render=True))
+        cluster.retire_node(2)
+        primary_reads = cluster.datasets[2].device.stats.blocks_read
+        for _ in range(6):  # well past any cooldown
+            res = cluster.extract(ISO, ExtractRequest(render=True))
+        assert cluster.health.state(2) is HealthState.RETIRED
+        assert cluster.health.retired(2)
+        # Primary disk untouched across all queries; replica serves,
+        # results bit-identical.
+        assert cluster.datasets[2].device.stats.blocks_read == primary_reads
+        assert not res.degraded and res.coverage == pytest.approx(1.0)
+        assert np.array_equal(res.image.color, healthy.image.color)
+
+    def test_retired_publishes_terminal_state_code(self, volume):
+        from repro.obs.metrics import MetricsRegistry
+
+        cluster = SimulatedCluster(
+            volume, p=P, metacell_shape=(5, 5, 5), replication=2
+        )
+        cluster.retire_node(1)
+        registry = MetricsRegistry()
+        cluster.health.publish(registry)
+        assert registry.value("health.node.1.state_code") == 4
+        assert registry.value("health.node.0.state_code") == 0
+
     def test_open_circuit_without_replica_still_serves(self, volume):
         cluster = SimulatedCluster(
             volume, p=P, metacell_shape=(5, 5, 5), replication=1,

@@ -150,6 +150,51 @@ class TestHedgedDevice:
         assert res.io_stats.hedge_wins == 0
 
 
+class TestHedgeFailover:
+    """``HedgePolicy(failover=True)``: a permanent primary failure
+    mid-read falls back to the replica with a bit-identical payload —
+    the behaviour the elastic cluster relies on when a hedged read
+    races a drain or promotion."""
+
+    def _dataset(self, volume, policy):
+        primary = build_indexed_dataset(volume, (5, 5, 5))
+        replica = build_indexed_dataset(volume, (5, 5, 5))
+        dead = FaultInjectingDevice(primary.device, FaultPlan())
+        dead.fail()
+        primary.device = HedgedDevice(
+            dead, primary.base_offset, replica.device, replica.base_offset,
+            policy,
+        )
+        return primary
+
+    def test_failover_returns_bit_identical_payload(self, volume):
+        ds = self._dataset(volume, HedgePolicy(failover=True))
+        clean = execute_query(build_indexed_dataset(volume, (5, 5, 5)), ISO)
+        res = execute_query(ds, ISO)
+        assert np.array_equal(res.records.ids, clean.records.ids)
+        assert np.array_equal(res.records.values, clean.records.values)
+        # Every read failed over; each one counts as a hedge win.
+        assert res.io_stats.hedged_reads > 0
+        assert res.io_stats.hedge_wins == res.io_stats.hedged_reads
+
+    def test_default_policy_still_propagates(self, volume):
+        from repro.io.faults import DeviceFailedError
+
+        ds = self._dataset(volume, HedgePolicy())
+        with pytest.raises(DeviceFailedError):
+            execute_query(ds, ISO)
+
+    def test_failover_with_dead_replica_raises_primary_error(self, volume):
+        from repro.io.faults import DeviceFailedError
+
+        ds = self._dataset(volume, HedgePolicy(failover=True))
+        dead = FaultInjectingDevice(ds.device.replica, FaultPlan())
+        dead.fail()
+        ds.device.replica = dead
+        with pytest.raises(DeviceFailedError):
+            execute_query(ds, ISO)
+
+
 class TestHedgingProperty:
     """Hedging is invisible in the output, visible only in the clock."""
 
