@@ -1,0 +1,196 @@
+"""Cache soak: cross-query result reuse under a Zipf isovalue sweep.
+
+The interactive-exploration scenario the result cache exists for: a
+Zipf-distributed sweep of 32 queries over a handful of nearby isovalues
+(users dwell near interesting surfaces, revisiting and nudging λ).  The
+soak asserts the reuse contract from ISSUE acceptance:
+
+* **≥3x I/O reduction** — the hot sweep (λ-keyed result cache on) does
+  at least 3x less modeled read I/O than the same sweep on an uncached
+  cluster;
+* **bit-identity** — every hot answer's triangles are byte-for-byte the
+  cold answer's, per query (reuse is an optimisation, never an
+  approximation);
+* **hit-rate floor** — the cache's hit rate over the sweep clears 0.5;
+* **epoch fencing** — an ownership change mid-soak invalidates every
+  cached key (zero stale entries survive) and post-event answers still
+  match cold;
+* **byte-identical determinism** — two same-seed runs on fresh clusters
+  emit identical ``BENCH_cache.json`` payloads.
+
+The incremental sweep planner (:func:`~repro.core.multi_query.
+execute_sweep_query`) rides along: its delta reads must also beat the
+query-at-a-time baseline by >= 3x on this access pattern.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.bench.harness import emit_bench_json
+from repro.core.builder import build_indexed_dataset
+from repro.core.multi_query import execute_sweep_query
+from repro.core.query import execute_query
+from repro.grid.datasets import sphere_field
+from repro.io.cache import CacheOptions
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+
+SEED = 1337
+N_QUERIES = 32
+MB = 1 << 20
+
+
+def _build_cluster(cache: "CacheOptions | None" = None) -> SimulatedCluster:
+    """A fresh 4-node r=2 cluster (fresh per run: cache state must not
+    leak between the cold, hot, and determinism runs)."""
+    return SimulatedCluster(
+        sphere_field((24, 24, 24)), 4, metacell_shape=(5, 5, 5),
+        replication=2, cache=cache,
+    )
+
+
+def _zipf_sweep(cluster: SimulatedCluster) -> "list[float]":
+    """32 isovalues: Zipf-ranked picks from 8 nearby values around the
+    sphere's mid-range — the dwell-and-nudge slider access pattern."""
+    endpoints = cluster.datasets[0].tree.endpoints
+    lo, hi = float(min(endpoints)), float(max(endpoints))
+    universe = [lo + (hi - lo) * (0.40 + 0.02 * i) for i in range(8)]
+    ranks = np.arange(1, len(universe) + 1, dtype=np.float64)
+    weights = (1.0 / ranks) / (1.0 / ranks).sum()
+    rng = np.random.default_rng(SEED)
+    return [universe[i] for i in rng.choice(len(universe), size=N_QUERIES,
+                                            p=weights)]
+
+
+def _read_bytes(cluster: SimulatedCluster) -> int:
+    return sum(d.device.stats.bytes_read for d in cluster.datasets)
+
+
+def _run_sweep(cluster: SimulatedCluster, sweep: "list[float]"):
+    """Run the sweep; returns (list of per-query results, read bytes)."""
+    req = ExtractRequest(keep_meshes=True)
+    before = _read_bytes(cluster)
+    results = [cluster.extract(lam, req) for lam in sweep]
+    return results, _read_bytes(cluster) - before
+
+
+def _hot_options() -> CacheOptions:
+    return CacheOptions(result_cache_bytes=8 * MB, lambda_bucket=0.02)
+
+
+def _run_hot():
+    """One full hot run: sweep, epoch bump, post-event re-sweep.
+
+    Returns the metrics dict (the determinism comparand).
+    """
+    hot = _build_cluster(cache=_hot_options())
+    sweep = _zipf_sweep(hot)
+    _, hot_bytes = _run_sweep(hot, sweep)
+    stats = hot.result_cache.stats
+    entries_before = len(hot.result_cache)
+
+    # Ownership change mid-soak: stripe 0 fails over to its replica.
+    hot.ownership.assign(0, 1, reason="bench-failover")
+    stale_entries = len(hot.result_cache)
+    invalidations = stats.invalidations
+    _, post_bytes = _run_sweep(hot, sweep[:8])
+
+    return {
+        "n_queries": float(N_QUERIES),
+        "hot_read_bytes": float(hot_bytes),
+        "post_epoch_read_bytes": float(post_bytes),
+        "rcache_hits": float(stats.hits),
+        "rcache_misses": float(stats.misses),
+        "rcache_hit_rate": float(stats.hit_rate),
+        "rcache_records_from_cache": float(stats.records_from_cache),
+        "rcache_entries_before_epoch_bump": float(entries_before),
+        "rcache_stale_entries_after_epoch_bump": float(stale_entries),
+        "rcache_invalidations": float(invalidations),
+    }
+
+
+def test_cache_soak(cfg):
+    cold = _build_cluster()
+    sweep = _zipf_sweep(cold)
+    cold_results, cold_bytes = _run_sweep(cold, sweep)
+
+    hot = _build_cluster(cache=_hot_options())
+    hot_results, hot_bytes = _run_sweep(hot, sweep)
+
+    # Bit-identity: every hot answer is byte-for-byte the cold answer.
+    for lam, want, got in zip(sweep, cold_results, hot_results):
+        assert got.n_triangles == want.n_triangles, lam
+        for wm, gm in zip(want.meshes, got.meshes):
+            assert np.array_equal(wm.vertices, gm.vertices), lam
+            assert np.array_equal(wm.faces, gm.faces), lam
+
+    # >= 3x modeled read-I/O reduction on the hot sweep.
+    assert hot_bytes * 3 <= cold_bytes, (
+        f"hot sweep read {hot_bytes} bytes, cold {cold_bytes}: < 3x reduction"
+    )
+    # Hit-rate floor over the Zipf sweep.
+    stats = hot.result_cache.stats
+    assert stats.hit_rate >= 0.5, f"hit rate {stats.hit_rate:.3f} < 0.5"
+
+    # Epoch fencing: an ownership change invalidates every key; no stale
+    # entry survives, and post-event answers still match a cold cluster.
+    n_entries = len(hot.result_cache)
+    assert n_entries > 0
+    hot.ownership.assign(0, 1, reason="bench-failover")
+    assert len(hot.result_cache) == 0, "stale entries survived the epoch bump"
+    assert stats.invalidations == n_entries
+    req = ExtractRequest(keep_meshes=True)
+    for lam in sweep[:4]:
+        want = cold.extract(lam, req)
+        got = hot.extract(lam, req)
+        assert got.n_triangles == want.n_triangles
+        for wm, gm in zip(want.meshes, got.meshes):
+            assert np.array_equal(wm.vertices, gm.vertices)
+            assert np.array_equal(wm.faces, gm.faces)
+
+    # The incremental sweep planner beats query-at-a-time >= 3x too.
+    ds = build_indexed_dataset(sphere_field((24, 24, 24)), (5, 5, 5))
+    sweep_res = execute_sweep_query(ds, sweep)
+    serial_bytes = 0
+    for step in sweep_res.steps:
+        before = ds.device.stats.copy()
+        want = execute_query(ds, step.lam)
+        serial_bytes += (ds.device.stats.copy() - before).bytes_read
+        assert np.array_equal(want.records.ids, step.records.ids)
+    assert sweep_res.io_stats.bytes_read * 3 <= serial_bytes
+
+    # Same seed, fresh clusters => byte-identical payload.
+    metrics_a = _run_hot()
+    metrics_b = _run_hot()
+    assert json.dumps(metrics_a, sort_keys=True) == json.dumps(
+        metrics_b, sort_keys=True
+    ), "same-seed cache soak runs diverged"
+
+    metrics = dict(metrics_a)
+    metrics["cold_read_bytes"] = float(cold_bytes)
+    metrics["io_reduction_factor"] = cold_bytes / max(hot_bytes, 1)
+    metrics["sweep_planner_read_bytes"] = float(sweep_res.io_stats.bytes_read)
+    metrics["sweep_planner_reduction_factor"] = serial_bytes / max(
+        sweep_res.io_stats.bytes_read, 1
+    )
+    emit_bench_json("cache", metrics, scale=cfg.scale, extra={
+        "seed": SEED,
+        "lambda_bucket": _hot_options().lambda_bucket,
+        "result_cache_bytes": _hot_options().result_cache_bytes,
+        "sweep": sweep,
+    })
+
+    print()
+    print(f"cache soak: {N_QUERIES} Zipf queries over 8 nearby isovalues")
+    print(f"  read I/O : cold {cold_bytes} B, hot {hot_bytes} B "
+          f"({cold_bytes / max(hot_bytes, 1):.1f}x less)")
+    print(f"  rcache   : hit rate {stats.hit_rate:.1%} "
+          f"({stats.hits} hits / {stats.misses} misses), "
+          f"{stats.records_from_cache} records reused")
+    print(f"  fencing  : {n_entries} entries -> 0 across the epoch bump, "
+          f"{stats.invalidations} invalidated, post-event answers == cold")
+    print(f"  planner  : sweep {sweep_res.io_stats.bytes_read} B vs "
+          f"serial {serial_bytes} B "
+          f"({serial_bytes / max(sweep_res.io_stats.bytes_read, 1):.1f}x)")

@@ -138,6 +138,26 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _cache_options(args):
+    """The single place cache flags become a
+    :class:`~repro.io.cache.CacheOptions` — shared by every cluster and
+    serving subcommand, so ``--cache-blocks``, ``--result-cache-mb``,
+    ``--lambda-bucket`` and ``--no-coalesce`` mean the same thing
+    everywhere.  All-defaults is a valid (fully disabled) value."""
+    from repro.io.cache import CacheOptions
+    from repro.parallel.perfmodel import PAPER_CLUSTER
+
+    blocks = getattr(args, "cache_blocks", None) or 0
+    return CacheOptions(
+        block_cache_bytes=blocks * PAPER_CLUSTER.disk.block_size,
+        result_cache_bytes=int(
+            (getattr(args, "result_cache_mb", 0.0) or 0.0) * (1 << 20)
+        ),
+        lambda_bucket=getattr(args, "lambda_bucket", 0.0) or 0.0,
+        coalesce=not getattr(args, "no_coalesce", False),
+    )
+
+
 def _build_cluster(args):
     from repro.io.faults import FaultPlan
     from repro.parallel.cluster import SimulatedCluster
@@ -154,7 +174,7 @@ def _build_cluster(args):
         metacell_shape=(args.metacell,) * 3,
         replication=args.replication,
         fault_plans=fault_plans,
-        cache_blocks=getattr(args, "cache_blocks", None),
+        cache=_cache_options(args),
     )
 
 
@@ -320,79 +340,114 @@ def cmd_metrics(args) -> int:
     return 0 if not res.degraded else 1
 
 
+class _ServingScenario:
+    """Everything ``serve-sim`` and ``elastic-sim`` share, built once.
+
+    The single place a serving command's flags become the traffic trace
+    and :class:`~repro.serve.ServeConfig` — both subcommands run the
+    exact same tenant mix, burst window, fault overlays, and cache
+    configuration, so their reports differ only by the cluster under
+    them.
+    """
+
+    def __init__(self, args, cluster) -> None:
+        from repro.serve import (
+            BrownoutConfig,
+            BurstWindow,
+            ClusterEvent,
+            ServeConfig,
+            TenantSpec,
+            TrafficConfig,
+            generate_trace,
+        )
+
+        if args.isovalues:
+            isovalues = tuple(float(s) for s in args.isovalues.split(","))
+        else:
+            eps = cluster.datasets[0].tree.endpoints
+            lo, hi = float(eps[0]), float(eps[-1])
+            isovalues = tuple(
+                lo + (hi - lo) * f for f in (0.35, 0.45, 0.5, 0.55, 0.65)
+            )
+        # One "service unit" = the worst predicted single-query time;
+        # every duration/rate/budget flag is expressed in these units so
+        # the same command works at any volume size.
+        self.isovalues = isovalues
+        self.unit = unit = max(
+            cluster.estimate_extract_time(l) for l in isovalues
+        )
+        self.duration = duration = args.duration * unit
+        base_rate = args.rate / unit
+        self.tenants = tenants = (
+            TenantSpec(name="gold", tier="gold", arrival_share=0.3,
+                       rate=base_rate, burst=8,
+                       deadline_budget=args.budget_gold * unit),
+            TenantSpec(name="silver", tier="silver", arrival_share=0.4,
+                       rate=base_rate, burst=8,
+                       deadline_budget=args.budget_silver * unit),
+            TenantSpec(name="bulk", tier="bulk", arrival_share=0.3,
+                       rate=base_rate, burst=8,
+                       deadline_budget=args.budget_bulk * unit),
+        )
+        overlays = []
+        for spec in args.kill_node or []:
+            rank_s, _, frac_s = spec.partition("@")
+            overlays.append(ClusterEvent(
+                time=float(frac_s or 0.5) * duration, action="kill",
+                rank=int(rank_s),
+            ))
+        bursts = ()
+        if args.overload > 1.0:
+            bursts = (BurstWindow(start=duration / 3, duration=duration / 3,
+                                  factor=args.overload),)
+        self.trace = generate_trace(
+            TrafficConfig(
+                duration=duration, base_rate=base_rate, isovalues=isovalues,
+                seed=args.trace_seed, bursts=bursts, overlays=tuple(overlays),
+            ),
+            tenants,
+        )
+        self.config = ServeConfig(
+            tenants=tenants, n_executors=args.executors,
+            max_queue_depth=args.queue_depth, quantum=unit / 5,
+            brownout=BrownoutConfig(eval_interval=unit),
+            cache=_cache_options(args),
+        )
+
+
+def _write_serving_outputs(args, payload, tracer, registry) -> None:
+    """The shared ``--json`` / ``--trace`` / ``--metrics-out`` tail."""
+    from repro.obs import write_chrome_trace, write_metrics_json
+
+    if args.json and payload is not None:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  payload   -> {args.json}")
+    if tracer is not None:
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"  trace     -> {path}")
+    if registry is not None:
+        path = write_metrics_json(args.metrics_out, registry)
+        print(f"  metrics   -> {path}")
+
+
 def cmd_serve_sim(args) -> int:
-    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace, write_metrics_json
+    from repro.obs import MetricsRegistry, Tracer
     from repro.parallel.cluster import SimulatedCluster
-    from repro.serve import (
-        TERMINAL_STATES,
-        BrownoutConfig,
-        BurstWindow,
-        ClusterEvent,
-        QueryServer,
-        ServeConfig,
-        TenantSpec,
-        TrafficConfig,
-        generate_trace,
-    )
+    from repro.serve import TERMINAL_STATES, QueryServer
 
     volume = _load_volume(args)
     cluster = SimulatedCluster(
         volume, p=args.nodes, metacell_shape=(args.metacell,) * 3,
         replication=args.replication,
-        cache_blocks=args.cache_blocks,
+        cache=_cache_options(args),
     )
-    if args.isovalues:
-        isovalues = tuple(float(s) for s in args.isovalues.split(","))
-    else:
-        eps = cluster.datasets[0].tree.endpoints
-        lo, hi = float(eps[0]), float(eps[-1])
-        isovalues = tuple(
-            lo + (hi - lo) * f for f in (0.35, 0.45, 0.5, 0.55, 0.65)
-        )
-    # One "service unit" = the worst predicted single-query time; every
-    # duration/rate/budget flag is expressed in these units so the same
-    # command works at any volume size.
-    unit = max(cluster.estimate_extract_time(l) for l in isovalues)
-    duration = args.duration * unit
-    base_rate = args.rate / unit
-    tenants = (
-        TenantSpec(name="gold", tier="gold", arrival_share=0.3,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_gold * unit),
-        TenantSpec(name="silver", tier="silver", arrival_share=0.4,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_silver * unit),
-        TenantSpec(name="bulk", tier="bulk", arrival_share=0.3,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_bulk * unit),
-    )
-    overlays = []
-    for spec in args.kill_node or []:
-        rank_s, _, frac_s = spec.partition("@")
-        overlays.append(ClusterEvent(
-            time=float(frac_s or 0.5) * duration, action="kill",
-            rank=int(rank_s),
-        ))
-    bursts = ()
-    if args.overload > 1.0:
-        bursts = (BurstWindow(start=duration / 3, duration=duration / 3,
-                              factor=args.overload),)
-    trace = generate_trace(
-        TrafficConfig(
-            duration=duration, base_rate=base_rate, isovalues=isovalues,
-            seed=args.trace_seed, bursts=bursts, overlays=tuple(overlays),
-        ),
-        tenants,
-    )
+    sc = _ServingScenario(args, cluster)
+    duration = sc.duration
     tracer = Tracer() if args.trace else None
     registry = MetricsRegistry() if args.metrics_out else None
-    server = QueryServer(
-        cluster,
-        ServeConfig(
-            tenants=tenants, n_executors=args.executors,
-            max_queue_depth=args.queue_depth, quantum=unit / 5,
-            brownout=BrownoutConfig(eval_interval=unit),
-        ),
-        tracer=tracer, metrics=registry,
-    )
-    report = server.serve(trace)
+    server = QueryServer(cluster, sc.config, tracer=tracer, metrics=registry)
+    report = server.serve(sc.trace)
 
     counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
     print(f"served {report.n_requests} requests over "
@@ -425,18 +480,27 @@ def cmd_serve_sim(args) -> int:
     bounds = report.scheduler_gap_bounds
     print("  fairness  : " + ", ".join(
         f"{n} gap {gaps[n]}/{bounds.get(n, '-')}" for n in sorted(gaps)))
-    if args.json:
-        payload = report.to_payload()
-        Path(args.json).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"  payload   -> {args.json}")
-    if tracer is not None:
-        path = write_chrome_trace(args.trace, tracer)
-        print(f"  trace     -> {path}")
-    if registry is not None:
-        path = write_metrics_json(args.metrics_out, registry)
-        print(f"  metrics   -> {path}")
+    _print_cache_lines(report)
+    _write_serving_outputs(
+        args, report.to_payload() if args.json else None, tracer, registry)
     return 0
+
+
+def _print_cache_lines(report) -> None:
+    """Block- and result-cache summary lines (omitted when both off)."""
+    bc = report.cache_stats
+    if bc.get("hits", 0) or bc.get("misses", 0):
+        print(f"  blockcache: {bc['hits']:.0f} hits / "
+              f"{bc['misses']:.0f} misses "
+              f"(rate {bc.get('hit_rate', 0.0):.1%})")
+    rc = report.result_cache_stats
+    if rc.get("hits", 0) or rc.get("misses", 0):
+        coalesced = sum(1 for r in report.records if r.coalesced)
+        print(f"  rcache    : {rc['hits']:.0f} hits / "
+              f"{rc['misses']:.0f} misses "
+              f"(rate {rc.get('hit_rate', 0.0):.1%}), "
+              f"{rc.get('records_from_cache', 0):.0f} records reused, "
+              f"{coalesced} coalesced requests")
 
 
 def cmd_elastic_sim(args) -> int:
@@ -449,18 +513,8 @@ def cmd_elastic_sim(args) -> int:
         check_balance,
         fsck_cluster,
     )
-    from repro.obs import MetricsRegistry, Tracer, write_chrome_trace, write_metrics_json
-    from repro.serve import (
-        TERMINAL_STATES,
-        BrownoutConfig,
-        BurstWindow,
-        ClusterEvent,
-        QueryServer,
-        ServeConfig,
-        TenantSpec,
-        TrafficConfig,
-        generate_trace,
-    )
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.serve import TERMINAL_STATES, QueryServer
 
     volume = _load_volume(args)
     tracer = Tracer() if args.trace else None
@@ -469,69 +523,31 @@ def cmd_elastic_sim(args) -> int:
         volume, nodes=args.nodes, n_stripes=args.stripes,
         metacell_shape=(args.metacell,) * 3,
         tracer=tracer, metrics=registry,
+        cache=_cache_options(args),
     )
-    if args.isovalues:
-        isovalues = tuple(float(s) for s in args.isovalues.split(","))
-    else:
-        eps = cluster.datasets[0].tree.endpoints
-        lo, hi = float(eps[0]), float(eps[-1])
-        isovalues = tuple(
-            lo + (hi - lo) * f for f in (0.35, 0.45, 0.5, 0.55, 0.65)
-        )
-    unit = max(cluster.estimate_extract_time(l) for l in isovalues)
-    duration = args.duration * unit
-    base_rate = args.rate / unit
-    tenants = (
-        TenantSpec(name="gold", tier="gold", arrival_share=0.3,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_gold * unit),
-        TenantSpec(name="silver", tier="silver", arrival_share=0.4,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_silver * unit),
-        TenantSpec(name="bulk", tier="bulk", arrival_share=0.3,
-                   rate=base_rate, burst=8, deadline_budget=args.budget_bulk * unit),
-    )
-    overlays = []
-    for spec in args.kill_node or []:
-        rank_s, _, frac_s = spec.partition("@")
-        overlays.append(ClusterEvent(
-            time=float(frac_s or 0.5) * duration, action="kill",
-            rank=int(rank_s),
-        ))
+    sc = _ServingScenario(args, cluster)
+    duration = sc.duration
     scale_plan = []
     for spec in args.scale if args.scale is not None else ["8@0.34", "3@0.67"]:
         n_s, _, frac_s = spec.partition("@")
         scale_plan.append(ScaleEvent(
             time=float(frac_s or 0.5) * duration, nodes=int(n_s),
         ))
-    bursts = ()
-    if args.overload > 1.0:
-        bursts = (BurstWindow(start=duration / 3, duration=duration / 3,
-                              factor=args.overload),)
-    trace = generate_trace(
-        TrafficConfig(
-            duration=duration, base_rate=base_rate, isovalues=isovalues,
-            seed=args.trace_seed, bursts=bursts, overlays=tuple(overlays),
-        ),
-        tenants,
-    )
     controller = ElasticController(
         cluster,
         rebalancer=Rebalancer(cluster, max_io_fraction=args.max_io_fraction),
         plan=() if args.autoscale else scale_plan,
         autoscaler=Autoscaler() if args.autoscale else None,
-        balance_isovalues=isovalues,
+        balance_isovalues=sc.isovalues,
         metrics=registry, tracer=tracer,
     )
     server = QueryServer(
-        cluster,
-        ServeConfig(
-            tenants=tenants, n_executors=args.executors,
-            max_queue_depth=args.queue_depth, quantum=unit / 5,
-            brownout=BrownoutConfig(eval_interval=unit),
-        ),
+        cluster, sc.config,
         tracer=tracer, metrics=registry, controller=controller,
     )
-    report = server.serve(trace)
-    controller.finish(trace.horizon)
+    report = server.serve(sc.trace)
+    controller.finish(sc.trace.horizon)
+    isovalues = sc.isovalues
 
     counts = {s: len(report.by_state(s)) for s in TERMINAL_STATES}
     print(f"served {report.n_requests} requests over "
@@ -565,6 +581,8 @@ def cmd_elastic_sim(args) -> int:
                   f"{d.target_nodes} [{d.reason}]")
     if args.fsck:
         print(fsck_cluster(cluster).summary())
+    _print_cache_lines(report)
+    payload = None
     if args.json:
         payload = report.to_payload()
         payload["elastic"] = {
@@ -575,15 +593,7 @@ def cmd_elastic_sim(args) -> int:
             "members": cluster.membership.counts(),
             "rebalances": [ev.as_dict() for ev in controller.rebalance_events],
         }
-        Path(args.json).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"  payload   -> {args.json}")
-    if tracer is not None:
-        path = write_chrome_trace(args.trace, tracer)
-        print(f"  trace     -> {path}")
-    if registry is not None:
-        path = write_metrics_json(args.metrics_out, registry)
-        print(f"  metrics   -> {path}")
+    _write_serving_outputs(args, payload, tracer, registry)
     failed = counts["failed"]
     if failed:
         print(f"ERROR: {failed} queries ended 'failed'", file=sys.stderr)
@@ -914,6 +924,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip CRC32 record verification")
     p.set_defaults(func=cmd_query)
 
+    def add_cache_args(p) -> None:
+        """The unified cache flags (one CacheOptions everywhere)."""
+        p.add_argument("--result-cache-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="λ-keyed result cache budget in MiB (default 0: "
+                            "off); repeated and nearby isovalues are then "
+                            "answered without touching the disks, fenced by "
+                            "the ownership epoch")
+        p.add_argument("--lambda-bucket", type=float, default=0.0,
+                       metavar="WIDTH",
+                       help="isovalue bucket width for coalescing and the "
+                            "result-cache mesh tier (default 0: exact "
+                            "isovalues only)")
+        p.add_argument("--no-coalesce", action="store_true",
+                       help="dispatch duplicate in-flight isovalues "
+                            "separately instead of attaching them to the "
+                            "running extraction")
+
     def add_cluster_args(p) -> None:
         p.add_argument("iso", type=float)
         src = p.add_mutually_exclusive_group()
@@ -948,6 +976,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-blocks", type=int, default=None, metavar="N",
                        help="LRU block cache of N blocks per node disk; "
                             "hits/misses show up as cache.* metrics")
+        add_cache_args(p)
 
     p = sub.add_parser(
         "cluster",
@@ -997,55 +1026,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metrics JSON file (default: print to stdout)")
     p.set_defaults(func=cmd_metrics)
 
+    def add_serving_args(p) -> None:
+        """Flags shared verbatim by ``serve-sim`` and ``elastic-sim``
+        (the :class:`_ServingScenario` inputs)."""
+        src = p.add_mutually_exclusive_group()
+        src.add_argument("--input", help="3D .npy scalar volume")
+        src.add_argument("--rm-step", type=int, default=250,
+                         help="RM-instability time step to synthesize "
+                              "(default 250)")
+        p.add_argument("--shape", type=_parse_shape, default=(33, 33, 29),
+                       help="synthetic volume shape (default 33x33x29)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="volume synthesis seed")
+        p.add_argument("--metacell", type=int, default=9)
+        p.add_argument("--isovalues", default=None,
+                       help="comma-separated isovalue universe (default: "
+                            "spread over the dataset's value range)")
+        p.add_argument("--trace-seed", type=int, default=0,
+                       help="traffic generator seed (default 0)")
+        p.add_argument("--duration", type=float, default=120,
+                       help="trace length in estimated-service units "
+                            "(default 120)")
+        p.add_argument("--rate", type=float, default=2.0,
+                       help="base arrivals per estimated-service unit "
+                            "(default 2)")
+        p.add_argument("--overload", type=float, default=4.0,
+                       help="burst multiplier over the middle third of the "
+                            "trace (default 4; 1 disables the burst)")
+        p.add_argument("--kill-node", action="append", metavar="RANK[@FRAC]",
+                       help="kill this node at FRAC of the trace "
+                            "(default 0.5); repeatable")
+        p.add_argument("--executors", type=int, default=2,
+                       help="concurrent query slots (default 2)")
+        p.add_argument("--queue-depth", type=int, default=32,
+                       help="admission queue bound (default 32)")
+        p.add_argument("--budget-gold", type=float, default=4.0,
+                       help="gold deadline budget in service units "
+                            "(default 4)")
+        p.add_argument("--budget-silver", type=float, default=6.0,
+                       help="silver deadline budget in service units "
+                            "(default 6)")
+        p.add_argument("--budget-bulk", type=float, default=12.0,
+                       help="bulk deadline budget in service units "
+                            "(default 12)")
+        add_cache_args(p)
+        p.add_argument("--json", metavar="PATH",
+                       help="write the full serving payload JSON here "
+                            "(includes cache_* and rcache_* metrics)")
+        p.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace with serve.* instants here")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write the serve.* metrics JSON here")
+
     p = sub.add_parser(
         "serve-sim",
         help="multi-tenant serving simulation: admission, fair-share "
-             "scheduling, load shedding, brownout",
+             "scheduling, load shedding, brownout, result reuse",
     )
-    src = p.add_mutually_exclusive_group()
-    src.add_argument("--input", help="3D .npy scalar volume")
-    src.add_argument("--rm-step", type=int, default=250,
-                     help="RM-instability time step to synthesize (default 250)")
-    p.add_argument("--shape", type=_parse_shape, default=(33, 33, 29),
-                   help="synthetic volume shape (default 33x33x29)")
-    p.add_argument("--seed", type=int, default=7, help="volume synthesis seed")
-    p.add_argument("--metacell", type=int, default=9)
     p.add_argument("-p", "--nodes", type=int, default=4, help="node count")
     p.add_argument("--replication", type=int, default=2,
                    help="brick replication factor (default 2: survive kills)")
     p.add_argument("--cache-blocks", type=int, default=None, metavar="N",
                    help="LRU block cache of N blocks per node disk")
-    p.add_argument("--isovalues", default=None,
-                   help="comma-separated isovalue universe (default: spread "
-                        "over the dataset's value range)")
-    p.add_argument("--trace-seed", type=int, default=0,
-                   help="traffic generator seed (default 0)")
-    p.add_argument("--duration", type=float, default=120,
-                   help="trace length in estimated-service units (default 120)")
-    p.add_argument("--rate", type=float, default=2.0,
-                   help="base arrivals per estimated-service unit (default 2)")
-    p.add_argument("--overload", type=float, default=4.0,
-                   help="burst multiplier over the middle third of the trace "
-                        "(default 4; 1 disables the burst)")
-    p.add_argument("--kill-node", action="append", metavar="RANK[@FRAC]",
-                   help="kill this node at FRAC of the trace (default 0.5); "
-                        "repeatable")
-    p.add_argument("--executors", type=int, default=2,
-                   help="concurrent query slots (default 2)")
-    p.add_argument("--queue-depth", type=int, default=32,
-                   help="admission queue bound (default 32)")
-    p.add_argument("--budget-gold", type=float, default=4.0,
-                   help="gold deadline budget in service units (default 4)")
-    p.add_argument("--budget-silver", type=float, default=6.0,
-                   help="silver deadline budget in service units (default 6)")
-    p.add_argument("--budget-bulk", type=float, default=12.0,
-                   help="bulk deadline budget in service units (default 12)")
-    p.add_argument("--json", metavar="PATH",
-                   help="write the full serving payload JSON here")
-    p.add_argument("--trace", metavar="PATH",
-                   help="write a Chrome trace with serve.* instants here")
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="write the serve.*/tenant.* metrics JSON here")
+    add_serving_args(p)
     p.set_defaults(func=cmd_serve_sim)
 
     p = sub.add_parser(
@@ -1053,34 +1096,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="elastic membership simulation: live resharding, failover, "
              "autoscaling under serving traffic — zero failed queries",
     )
-    src = p.add_mutually_exclusive_group()
-    src.add_argument("--input", help="3D .npy scalar volume")
-    src.add_argument("--rm-step", type=int, default=250,
-                     help="RM-instability time step to synthesize (default 250)")
-    p.add_argument("--shape", type=_parse_shape, default=(33, 33, 29),
-                   help="synthetic volume shape (default 33x33x29)")
-    p.add_argument("--seed", type=int, default=7, help="volume synthesis seed")
-    p.add_argument("--metacell", type=int, default=9)
     p.add_argument("-p", "--nodes", type=int, default=4,
                    help="initial node count (default 4)")
     p.add_argument("--stripes", type=int, default=12,
                    help="logical stripes to over-partition into (default 12; "
                         "must be >= the largest node count you scale to)")
-    p.add_argument("--isovalues", default=None,
-                   help="comma-separated isovalue universe (default: spread "
-                        "over the dataset's value range)")
-    p.add_argument("--trace-seed", type=int, default=0,
-                   help="traffic generator seed (default 0)")
-    p.add_argument("--duration", type=float, default=120,
-                   help="trace length in estimated-service units (default 120)")
-    p.add_argument("--rate", type=float, default=2.0,
-                   help="base arrivals per estimated-service unit (default 2)")
-    p.add_argument("--overload", type=float, default=4.0,
-                   help="burst multiplier over the middle third of the trace "
-                        "(default 4; 1 disables the burst)")
-    p.add_argument("--kill-node", action="append", metavar="RANK[@FRAC]",
-                   help="kill this node at FRAC of the trace (default 0.5); "
-                        "repeatable")
     p.add_argument("--scale", action="append", metavar="N[@FRAC]",
                    help="scripted waypoint: be at N nodes from FRAC of the "
                         "trace on (default plan: 8@0.34 then 3@0.67); "
@@ -1091,25 +1111,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-io-fraction", type=float, default=0.5,
                    help="migration I/O budget as a fraction of serving I/O "
                         "(default 0.5)")
-    p.add_argument("--executors", type=int, default=2,
-                   help="concurrent query slots (default 2)")
-    p.add_argument("--queue-depth", type=int, default=32,
-                   help="admission queue bound (default 32)")
-    p.add_argument("--budget-gold", type=float, default=4.0,
-                   help="gold deadline budget in service units (default 4)")
-    p.add_argument("--budget-silver", type=float, default=6.0,
-                   help="silver deadline budget in service units (default 6)")
-    p.add_argument("--budget-bulk", type=float, default=12.0,
-                   help="bulk deadline budget in service units (default 12)")
     p.add_argument("--fsck", action="store_true",
                    help="run the ownership-aware fsck after the trace and "
                         "print its summary (stale copies are not issues)")
-    p.add_argument("--json", metavar="PATH",
-                   help="write the serving payload + elastic summary here")
-    p.add_argument("--trace", metavar="PATH",
-                   help="write a Chrome trace with elastic.* instants here")
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="write the serve.*/elastic.* metrics JSON here")
+    add_serving_args(p)
     p.set_defaults(func=cmd_elastic_sim)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")

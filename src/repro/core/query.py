@@ -110,6 +110,26 @@ class QueryOptions:
         cluster nodes, ``extract_parallel_mp``) read it and feed decoded
         batches to MC workers through shared memory.  ``None`` (default)
         triangulates inline.
+    cache:
+        A :class:`~repro.io.cache.CacheOptions` describing the cache
+        configuration this query runs under.  Like ``pipeline``, it is
+        not interpreted by the executor itself — the owning layer
+        (cluster constructor, serving front-end) attaches block caches
+        and builds the result cache, then threads the live handle
+        through ``result_cache``.  ``None`` (default) inherits whatever
+        the owning layer configured.
+    result_cache:
+        A live, epoch-fenced
+        :class:`~repro.serve.rcache.ResultCacheView` (duck-typed; this
+        module never imports it).  When set, plan runs first consult the
+        cached decoded record prefixes at their anchors and only the
+        uncovered tail is read from the device — results are
+        bit-identical to the cold path because cache entries *are* prior
+        verified cold reads.  Enabling it disables the coalesced
+        fast-read path (the serial path is the one that can serve
+        partial extents from memory; both paths are modeled-identical by
+        construction, so nothing is lost).  ``None`` (default) runs
+        uncached.
     """
 
     read_ahead_blocks: int = DEFAULT_READ_AHEAD_BLOCKS
@@ -121,6 +141,8 @@ class QueryOptions:
     track: "str | None" = None
     coalesce_gap_blocks: int = 0
     pipeline: "object | None" = None
+    cache: "object | None" = None
+    result_cache: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.read_ahead_blocks < 1:
@@ -465,13 +487,17 @@ def execute_plan(
     clock = QueryClock(device, opts.time_budget)
     runner = _PlanRunner(
         dataset, float(lam), read_ahead_blocks, policy, checks, clock, tracer,
-        opts.track,
+        opts.track, rcache=opts.result_cache,
     )
     # The coalescer needs the raw-device escape hatch; wrapped devices
     # (faults, hedging, caching) define their behavior per read call and
     # deliberately do not expose it — they take the plain per-run path.
+    # A live result cache also forces the serial path: it serves covered
+    # prefixes from memory, which the whole-extent peek cannot express
+    # (the two paths are modeled-identical, so only wall time is traded).
     use_fast = (
         opts.coalesce_gap_blocks > 0
+        and opts.result_cache is None
         and hasattr(device, "peek")
         and hasattr(device, "charge_read")
     )
@@ -576,7 +602,7 @@ class _PlanRunner:
     """
 
     def __init__(self, dataset, lam, read_ahead_blocks, policy, checks, clock,
-                 tracer, track) -> None:
+                 tracer, track, rcache=None) -> None:
         self.dataset = dataset
         self.lam = lam
         self.read_ahead_blocks = read_ahead_blocks
@@ -585,6 +611,10 @@ class _PlanRunner:
         self.clock = clock
         self.tracer = tracer
         self.track = track
+        #: Epoch-fenced ResultCacheView (duck-typed) or None.  Decoded
+        #: record prefixes are only *stored* when checksum verification
+        #: ran (``checks``), so cache contents are always verified bytes.
+        self.rcache = rcache
         self.qspan = None
         self.batches: "list[MetacellRecords]" = []
         self.n_read = 0
@@ -603,54 +633,128 @@ class _PlanRunner:
     # -- serial path -------------------------------------------------------
 
     def run_serial(self, run) -> None:
-        dataset, tracer, clock = self.dataset, self.tracer, self.clock
         if isinstance(run, SequentialRun):
-            got = 0
-            with tracer.io_span(
-                "read.sequential_run", dataset.device, track=self.track,
-                args={"start": run.start, "count": run.count},
-            ):
+            self._serial_sequential(run)
+        elif isinstance(run, BrickPrefixScan):
+            self._serial_prefix_scan(run)
+        else:  # pragma: no cover - future run types
+            raise TypeError(f"unknown run type {type(run).__name__}")
+
+    def _cached_prefix(self, anchor: int) -> "MetacellRecords | None":
+        """Cached decoded records at a plan anchor (None without a cache
+        hit).  Anchors are shared between Case-1 runs and Case-2 brick
+        starts that begin at the same position, so either run kind can
+        extend — and be served by — the other's entries."""
+        if self.rcache is None:
+            return None
+        return self.rcache.record_prefix(self.dataset.node_rank, anchor)
+
+    def _store_prefix(self, anchor: int, cached, new_batches) -> None:
+        """Extend the cache entry at ``anchor`` with freshly decoded
+        batches.  Only verified streams populate (the stream raised on
+        persistent corruption before we got here; unchecksummed reads
+        are never admitted)."""
+        if self.rcache is None or self.checks is None or not new_batches:
+            return
+        parts = ([cached] if cached is not None and len(cached) else []) + new_batches
+        self.rcache.store_record_prefix(
+            self.dataset.node_rank, anchor, MetacellRecords.concat(parts)
+        )
+
+    def _serial_sequential(self, run) -> None:
+        dataset, tracer, clock = self.dataset, self.tracer, self.clock
+        cached = self._cached_prefix(run.start)
+        k = min(len(cached), run.count) if cached is not None else 0
+        got = 0
+        new_batches: "list[MetacellRecords]" = []
+        with tracer.io_span(
+            "read.sequential_run", dataset.device, track=self.track,
+            args={"start": run.start, "count": run.count, "cached": k},
+        ):
+            if k:
+                head = cached if k == len(cached) else MetacellRecords(
+                    ids=cached.ids[:k], vmins=cached.vmins[:k],
+                    values=cached.values[:k],
+                )
+                self.batches.append(head)
+                self.n_read += k
+                got = k
+            if got < run.count and not clock.expired():
                 for batch in _stream_records(
-                    dataset, run.start, run.count,
+                    dataset, run.start + got, run.count - got,
                     MAX_SEQUENTIAL_CHUNK_BLOCKS, self.policy, self.checks,
                     tracer,
                 ):
                     self.batches.append(batch)
+                    new_batches.append(batch)
                     self.n_read += len(batch)
                     got += len(batch)
                     if clock.expired():
                         break
-            if got < run.count:
-                self.skipped_runs.append(run)
-                self.n_skipped += run.count - got
-                self.qspan.annotate(
-                    "query.run_cut",
-                    {"records_left": run.count - got,
-                     "reason": "time budget expired"},
+        self._store_prefix(run.start, cached, new_batches)
+        if got < run.count:
+            self.skipped_runs.append(run)
+            self.n_skipped += run.count - got
+            self.qspan.annotate(
+                "query.run_cut",
+                {"records_left": run.count - got,
+                 "reason": "time budget expired"},
+            )
+
+    def _serial_prefix_scan(self, run) -> None:
+        dataset, tracer, clock = self.dataset, self.tracer, self.clock
+        cached = self._cached_prefix(run.start)
+        # Clamp to the brick: a Case-1 entry at the same anchor may span
+        # brick boundaries, past which vmins are no longer sorted.
+        m = min(len(cached), run.max_count) if cached is not None else 0
+        with tracer.io_span(
+            "read.brick_prefix", dataset.device, track=self.track,
+            args={"brick": run.brick_id, "max_count": run.max_count,
+                  "cached": m},
+        ):
+            if m:
+                # Records within a brick are vmin-sorted, so the active
+                # prefix ends where vmin first exceeds lam.
+                k = int(np.searchsorted(
+                    cached.vmins[:m].astype(np.float64), self.lam,
+                    side="right",
+                ))
+                if k < m or m == run.max_count:
+                    # Terminator (or brick end) inside the cache: the
+                    # whole scan is answered without touching the device.
+                    if k:
+                        self.batches.append(MetacellRecords(
+                            ids=cached.ids[:k], vmins=cached.vmins[:k],
+                            values=cached.values[:k],
+                        ))
+                    self.n_read += k
+                    return
+                # Everything cached is active and the brick continues:
+                # serve the cached prefix and scan on from there.
+                self.batches.append(
+                    cached if m == len(cached) else MetacellRecords(
+                        ids=cached.ids[:m], vmins=cached.vmins[:m],
+                        values=cached.values[:m],
+                    )
                 )
-        elif isinstance(run, BrickPrefixScan):
-            with tracer.io_span(
-                "read.brick_prefix", dataset.device, track=self.track,
-                args={"brick": run.brick_id, "max_count": run.max_count},
-            ):
-                batch, decoded, aborted = _scan_brick_prefix(
-                    dataset, run, self.lam, self.read_ahead_blocks,
-                    self.policy, self.checks, clock, tracer,
-                )
-            self.n_read += decoded
-            if batch is not None and len(batch):
-                self.batches.append(batch)
-            if aborted:
-                self.skipped_runs.append(run)
-                self.n_skipped += run.max_count - decoded
-                self.qspan.annotate(
-                    "query.brick_cut",
-                    {"brick": run.brick_id,
-                     "records_left": run.max_count - decoded,
-                     "reason": "time budget expired"},
-                )
-        else:  # pragma: no cover - future run types
-            raise TypeError(f"unknown run type {type(run).__name__}")
+                self.n_read += m
+            batch, full, decoded, aborted = _scan_brick_prefix(
+                dataset, run, self.lam, self.read_ahead_blocks,
+                self.policy, self.checks, clock, tracer, skip=m,
+            )
+        self.n_read += decoded
+        if batch is not None and len(batch):
+            self.batches.append(batch)
+        self._store_prefix(run.start, cached if m else None, full)
+        if aborted:
+            self.skipped_runs.append(run)
+            self.n_skipped += run.max_count - m - decoded
+            self.qspan.annotate(
+                "query.brick_cut",
+                {"brick": run.brick_id,
+                 "records_left": run.max_count - m - decoded,
+                 "reason": "time budget expired"},
+            )
 
     # -- coalesced fast path -----------------------------------------------
 
@@ -837,23 +941,34 @@ def _scan_brick_prefix(
     checks: "BrickChecksums | None",
     clock: "QueryClock | None" = None,
     tracer=NULL_TRACER,
+    skip: int = 0,
 ):
     """Incrementally read one brick until ``vmin > lam``, brick end, or
     the time budget expires.
 
-    Returns ``(active_records_or_None, n_records_decoded, aborted)``;
-    ``aborted`` is True when the clock cut the scan before the active
-    prefix was fully determined (the decoded records are still valid
-    actives — the tail of the prefix is what was lost).
+    ``skip`` starts the scan that many records into the brick — the
+    result-cache path, which already holds a verified (all-active)
+    prefix of that length, resumes from there instead of re-reading.
+
+    Returns ``(active_records_or_None, decoded_batches, n_records_decoded,
+    aborted)``.  ``decoded_batches`` is every verified batch the stream
+    produced *including* records past the active cut (the terminator
+    record and its batch-mates) — valid bytes a result cache may keep
+    for higher isovalues.  ``aborted`` is True when the clock cut the
+    scan before the active prefix was fully determined (the decoded
+    records are still valid actives — the tail of the prefix is what
+    was lost).
     """
     decoded = 0
     actives: list[MetacellRecords] = []
+    full: list[MetacellRecords] = []
     aborted = False
     for batch in _stream_records(
-        dataset, run.start, run.max_count, read_ahead_blocks, policy, checks,
-        tracer,
+        dataset, run.start + skip, run.max_count - skip, read_ahead_blocks,
+        policy, checks, tracer,
     ):
         decoded += len(batch)
+        full.append(batch)
         over = np.flatnonzero(batch.vmins.astype(np.float64) > lam)
         if len(over):
             cut = int(over[0])
@@ -867,9 +982,9 @@ def _scan_brick_prefix(
                 )
             break
         actives.append(batch)
-        if decoded < run.max_count and clock is not None and clock.expired():
+        if skip + decoded < run.max_count and clock is not None and clock.expired():
             aborted = True
             break
     if not actives:
-        return None, decoded, aborted
-    return MetacellRecords.concat(actives), decoded, aborted
+        return None, full, decoded, aborted
+    return MetacellRecords.concat(actives), full, decoded, aborted

@@ -111,6 +111,13 @@ class ElasticCluster(SimulatedCluster):
         ``elastic.*`` instants and gauges for membership, migration,
         and failover events (query-time observability still rides on
         each request's own tracer/metrics).
+    cache:
+        A :class:`~repro.io.cache.CacheOptions`.  Only the λ-keyed
+        result cache is honoured here (``result_cache_bytes``); block
+        caches are rejected by :meth:`enable_cache` because stripe
+        migrations would need cross-device invalidation.  Result-cache
+        keys embed the ownership epoch, so scale events invalidate
+        stale entries automatically.
 
     Examples
     --------
@@ -133,6 +140,7 @@ class ElasticCluster(SimulatedCluster):
         health_policy: "HealthPolicy | None" = None,
         tracer=None,
         metrics=None,
+        cache=None,
     ) -> None:
         if nodes < 2:
             raise ValueError(f"elastic cluster needs >= 2 nodes, got {nodes}")
@@ -155,6 +163,7 @@ class ElasticCluster(SimulatedCluster):
             volume, p=S, metacell_shape=metacell_shape, perf=perf,
             image_size=image_size, replication=2,
             retry_policy=retry_policy, health_policy=health_policy,
+            cache=cache,
         )
         self.elastic_tracer = coerce_tracer(tracer)
         self.elastic_metrics = metrics
@@ -163,8 +172,12 @@ class ElasticCluster(SimulatedCluster):
         for dev in self._node_devices:
             self.membership.add(dev, state=MemberState.ACTIVE)
         # Ownership starts at the build-time round-robin assignment,
-        # epoch 0 (stripe s served by node s % nodes).
+        # epoch 0 (stripe s served by node s % nodes).  Listeners the
+        # base constructor registered (the result cache's epoch fence)
+        # are carried onto the replacement map.
+        carried = self.ownership.listeners
         self.ownership = OwnershipMap([s % nodes for s in range(S)])
+        self.ownership.listeners.extend(carried)
         #: stripe -> byte offset of the authoritative copy on its
         #: owner's disk (the ownership map says *which* disk).
         self._primary_offset: "dict[int, int]" = {
@@ -308,9 +321,16 @@ class ElasticCluster(SimulatedCluster):
         return member.device
 
     def enable_cache(self, rank: int, capacity_blocks: int) -> None:
+        """Per-node *block* caches are unsupported here — migrations
+        would need cross-device invalidation.  The λ-keyed *result*
+        cache (``cache=CacheOptions(result_cache_bytes=...)``) is safe
+        and supported: its keys embed the ownership epoch, so every
+        rebalance, failover, and migration fences it automatically."""
         raise NotImplementedError(
             "per-node block caches are not supported on the elastic "
-            "cluster (migrations would need cross-device invalidation)"
+            "cluster (migrations would need cross-device invalidation); "
+            "use CacheOptions(result_cache_bytes=...) for the "
+            "epoch-fenced result cache instead"
         )
 
     def fail_node(self, node_id: int, now: float = 0.0) -> None:

@@ -17,6 +17,7 @@ affected blocks, keeping reads coherent (asserted by tests).
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -40,6 +41,73 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CacheOptions:
+    """Every cache knob of a query or cluster, in one frozen value.
+
+    Replaces the ad-hoc ``cache_blocks=`` constructor argument and the
+    scattered per-call kwargs: embed one of these in
+    :class:`~repro.core.query.QueryOptions`,
+    :class:`~repro.parallel.cluster.ExtractRequest`, or pass it as
+    ``SimulatedCluster(..., cache=...)`` /
+    ``ServeConfig(cache=...)``.
+
+    Parameters
+    ----------
+    block_cache_bytes:
+        Per-node LRU block-cache budget in bytes (0 disables); converted
+        to whole blocks against the device's block size at attach time.
+    result_cache_bytes:
+        Byte budget of the λ-keyed :class:`~repro.serve.rcache.ResultCache`
+        holding verified decoded records and per-stripe triangle batches
+        (0 disables result reuse).
+    lambda_bucket:
+        Width of the λ-bucket used in result-cache keys and request
+        coalescing: isovalues in the same bucket
+        (``floor(lam / lambda_bucket)``) may share one in-flight
+        extraction.  0 restricts coalescing to exactly-equal isovalues.
+    coalesce:
+        Whether concurrent requests for the same λ-bucket attach to one
+        in-flight extraction instead of re-reading.
+    """
+
+    block_cache_bytes: int = 0
+    result_cache_bytes: int = 0
+    lambda_bucket: float = 0.0
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_cache_bytes < 0:
+            raise ValueError(
+                f"block_cache_bytes must be >= 0, got {self.block_cache_bytes}"
+            )
+        if self.result_cache_bytes < 0:
+            raise ValueError(
+                f"result_cache_bytes must be >= 0, got {self.result_cache_bytes}"
+            )
+        if self.lambda_bucket < 0:
+            raise ValueError(
+                f"lambda_bucket must be >= 0, got {self.lambda_bucket}"
+            )
+
+    def block_cache_blocks(self, block_size: int) -> int:
+        """Whole-block capacity implied by ``block_cache_bytes``."""
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        return self.block_cache_bytes // block_size
+
+    def bucket_of(self, lam: float) -> float:
+        """The λ-bucket key ``lam`` falls in (``lam`` itself when the
+        bucket width is 0 — exact-match coalescing only)."""
+        if self.lambda_bucket <= 0.0:
+            return float(lam)
+        return float(math.floor(float(lam) / self.lambda_bucket))
+
+
+#: Cache-free defaults (what every query ran with before CacheOptions).
+DEFAULT_CACHE_OPTIONS = CacheOptions()
 
 
 class CachedDevice:

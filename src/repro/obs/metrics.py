@@ -200,6 +200,25 @@ class MetricsRegistry:
         self.set_gauge(f"{prefix}.invalidations", stats.invalidations)
         self.set_gauge(f"{prefix}.hit_rate", stats.hit_rate)
 
+    def absorb_result_cache_stats(self, stats, prefix: str = "rcache") -> None:
+        """Publish a :class:`~repro.serve.rcache.ResultCacheStats`
+        snapshot as ``{prefix}.*`` gauges — same cumulative-overwrite
+        contract as :meth:`absorb_cache_stats`, with the two tiers
+        (record prefixes, triangle batches) broken out alongside the
+        combined totals.
+        """
+        self.set_gauge(f"{prefix}.hits", stats.hits)
+        self.set_gauge(f"{prefix}.misses", stats.misses)
+        self.set_gauge(f"{prefix}.hit_rate", stats.hit_rate)
+        self.set_gauge(f"{prefix}.record_hits", stats.record_hits)
+        self.set_gauge(f"{prefix}.record_misses", stats.record_misses)
+        self.set_gauge(f"{prefix}.mesh_hits", stats.mesh_hits)
+        self.set_gauge(f"{prefix}.mesh_misses", stats.mesh_misses)
+        self.set_gauge(f"{prefix}.evictions", stats.evictions)
+        self.set_gauge(f"{prefix}.invalidations", stats.invalidations)
+        self.set_gauge(f"{prefix}.records_from_cache",
+                       stats.records_from_cache)
+
     def remove_prefix(self, prefix: str) -> int:
         """Drop every instrument named ``prefix`` or ``prefix.*``;
         returns how many were removed.

@@ -31,6 +31,15 @@ plan, ``elastic.autoscale`` per scale decision, all on an ``elastic``
 track with ``category="elastic"`` so Perfetto can filter the control
 plane from the data plane.
 
+Cross-query result reuse emits ``rcache.*`` instants with
+``category="cache"``: ``rcache.mesh_hit`` when a node's whole answer is
+served from the λ-keyed result cache without touching the plan
+(``args``: stripe, lam), and ``rcache.coalesce`` when the serving layer
+attaches a duplicate in-flight query to its leader instead of
+dispatching it (``args``: request, leader, lam).  Both are free
+on the modeled clock by construction — the instants exist so a trace
+shows *why* an extraction or dispatch left no ``io.*`` spans behind.
+
 The module-level :data:`NULL_TRACER` is the shared no-op used whenever
 no tracer was supplied; its methods do nothing and allocate nothing, so
 the un-traced hot path stays effectively free.

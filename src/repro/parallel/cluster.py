@@ -28,6 +28,7 @@ from repro.core.builder import IndexedDataset, build_indexed_dataset, build_stri
 from repro.core.deadline import Deadline, DeadlineReport
 from repro.core.query import QueryOptions, execute_query, warn_legacy_kwargs
 from repro.grid.volume import Volume
+from repro.io.cache import CacheOptions
 from repro.io.faults import (
     FaultInjectingDevice,
     FaultPlan,
@@ -84,6 +85,10 @@ class OwnershipMap:
         self._owners = [int(o) for o in owners]
         self.epoch = 0
         self.log: "list[OwnershipChange]" = []
+        #: Callbacks ``(stripe, new_owner, epoch, reason)`` fired after
+        #: every epoch bump — how the result cache learns to fence out
+        #: entries from the previous assignment.
+        self.listeners: "list" = []
 
     @classmethod
     def identity(cls, n_stripes: int) -> "OwnershipMap":
@@ -124,6 +129,8 @@ class OwnershipMap:
             epoch=self.epoch, stripe=stripe, old_owner=old,
             new_owner=int(new_owner), reason=reason,
         ))
+        for cb in self.listeners:
+            cb(stripe, int(new_owner), self.epoch, reason)
         return self.epoch
 
 
@@ -171,6 +178,20 @@ class ExtractRequest:
     #: under ``tenant.<name>.*``.  None: unattributed (single-caller
     #: usage, the pre-serving behaviour).
     tenant: "str | None" = None
+    #: A :class:`~repro.io.cache.CacheOptions` carried alongside the
+    #: request (λ-bucket width for result keys / coalescing; cache byte
+    #: budgets resolved by the owning cluster or server).  None: the
+    #: cluster's own configuration applies.
+    cache: "object | None" = None
+    #: A :class:`~repro.serve.rcache.ResultCache` this extraction may
+    #: probe and populate (overrides the cluster's own, if any); the
+    #: epoch-fenced view is bound inside :meth:`SimulatedCluster.extract`
+    #: at the same fence as the routing snapshot.
+    result_cache: "object | None" = None
+    #: Whether this extraction may *populate* the result cache (lookups
+    #: always work).  The serving layer clears it for bulk-tier work
+    #: under brownout shed so the shed class cannot churn the cache.
+    cache_populate: bool = True
 
 
 #: Request used when a caller passes none.
@@ -339,12 +360,20 @@ class SimulatedCluster:
         :mod:`repro.parallel.health`); the monitor persists across
         queries, so repeatedly failing nodes get routed around
         proactively instead of rediscovered every extraction.
+    cache:
+        A :class:`~repro.io.cache.CacheOptions` bundling every cache
+        knob.  ``block_cache_bytes`` wraps each node disk in a
+        :class:`~repro.io.cache.CachedDevice` LRU (cross-query block
+        reuse shows up in :meth:`cache_stats` and, with a metrics
+        registry on the request, under ``cache.*`` gauges);
+        ``result_cache_bytes`` attaches a cluster-owned λ-keyed
+        :class:`~repro.serve.rcache.ResultCache` that serves repeat
+        record prefixes and whole stripe meshes from memory, fenced to
+        the ownership epoch.
     cache_blocks:
-        When set, wrap every node disk in a
-        :class:`~repro.io.cache.CachedDevice` LRU of this many blocks;
-        cross-query block reuse then shows up in :meth:`cache_stats`
-        and — with a metrics registry on the request — under
-        ``cache.*`` gauges.
+        Deprecated alias for
+        ``cache=CacheOptions(block_cache_bytes=blocks * block_size)``;
+        warns once per process.
 
     Examples
     --------
@@ -368,9 +397,23 @@ class SimulatedCluster:
         retry_policy: "RetryPolicy | None" = None,
         health_policy: "HealthPolicy | None" = None,
         cache_blocks: "int | None" = None,
+        cache: "CacheOptions | None" = None,
     ) -> None:
         if p < 1:
             raise ValueError(f"node count must be >= 1, got {p}")
+        if cache_blocks is not None:
+            warn_legacy_kwargs(
+                "SimulatedCluster", {"cache_blocks": cache_blocks},
+                "cache=CacheOptions(block_cache_bytes=...)",
+            )
+            if cache is not None:
+                raise TypeError(
+                    "SimulatedCluster() got both cache= and the deprecated "
+                    "cache_blocks=; pass everything in CacheOptions"
+                )
+            cache = CacheOptions(
+                block_cache_bytes=int(cache_blocks) * perf.disk.block_size
+            )
         self.volume = volume
         self.p = p
         self.perf = perf
@@ -388,9 +431,27 @@ class SimulatedCluster:
         self.ownership = OwnershipMap.identity(self.p)
         for rank, plan in (fault_plans or {}).items():
             self.inject_faults(rank, plan)
-        if cache_blocks is not None:
-            for rank in range(self.p):
-                self.enable_cache(rank, cache_blocks)
+        #: The resolved CacheOptions this cluster was built with (None:
+        #: every cache off — the pre-CacheOptions default).
+        self.cache_options = cache
+        #: Cluster-owned λ-keyed result cache, or None.
+        self.result_cache = None
+        self._rc_fingerprint = None
+        if cache is not None:
+            blocks = cache.block_cache_blocks(perf.disk.block_size)
+            if blocks > 0:
+                for rank in range(self.p):
+                    self.enable_cache(rank, blocks)
+            if cache.result_cache_bytes > 0:
+                from repro.serve.rcache import ResultCache
+
+                self.result_cache = ResultCache(
+                    cache.result_cache_bytes,
+                    lambda_bucket=cache.lambda_bucket,
+                )
+                self.add_ownership_listener(
+                    self.result_cache.on_ownership_change
+                )
 
     def _build_datasets(
         self,
@@ -418,6 +479,22 @@ class SimulatedCluster:
     def ownership_epoch(self) -> int:
         """Current epoch of the ownership map (0 = never reassigned)."""
         return self.ownership.epoch
+
+    def add_ownership_listener(self, callback) -> None:
+        """Register ``callback(stripe, new_owner, epoch, reason)`` to run
+        after every ownership epoch bump.  Registration survives the
+        elastic subclass swapping in its own ownership map (the swap
+        carries listeners over)."""
+        if callback not in self.ownership.listeners:
+            self.ownership.listeners.append(callback)
+
+    def _result_fingerprint(self):
+        """Build-identity key for the result cache (lazy, cached)."""
+        if self._rc_fingerprint is None:
+            from repro.serve.rcache import cluster_fingerprint
+
+            self._rc_fingerprint = cluster_fingerprint(self.datasets)
+        return self._rc_fingerprint
 
     @property
     def report(self):
@@ -597,17 +674,43 @@ class SimulatedCluster:
         track: "str | None" = None,
         coalesce_gap_blocks: int = 0,
         pipeline=None,
+        rcache=None,
     ) -> "tuple[NodeMetrics, TriangleMesh, np.ndarray | None]":
         """Query + triangulate on one node; returns metrics, mesh, and
         (optionally) payload-local gradient normals — everything a node
-        can compute without the global volume."""
+        can compute without the global volume.
+
+        ``rcache`` is an epoch-fenced
+        :class:`~repro.serve.rcache.ResultCacheView`.  A triangle-tier
+        hit short-circuits the whole node query — the stripe's complete
+        prior output replays with zero modeled I/O and triangulation
+        time; a miss threads the view into the query layer so record
+        prefixes are served from and re-deposited into the cache.
+        """
         t0 = time.perf_counter()
+        stripe = dataset.node_rank
+        if rcache is not None:
+            hit = rcache.mesh_get(stripe, lam, with_normals)
+            if hit is not None:
+                if tracer.enabled:
+                    tracer.instant(
+                        "rcache.mesh_hit", track=track or "cluster",
+                        category="cache",
+                        args={"stripe": stripe, "lam": float(lam)},
+                    )
+                metrics = NodeMetrics(node_rank=stripe)
+                metrics.n_active_metacells = hit.n_active
+                metrics.n_cells_examined = hit.n_cells_examined
+                metrics.n_triangles = hit.n_triangles
+                metrics.measured_seconds = time.perf_counter() - t0
+                return metrics, hit.mesh, hit.normals
         qr = execute_query(
             dataset, lam,
             QueryOptions(
                 retry_policy=self.retry_policy, time_budget=time_budget,
                 tracer=tracer, track=track,
                 coalesce_gap_blocks=coalesce_gap_blocks,
+                result_cache=rcache,
             ),
         )
         codec = dataset.codec
@@ -663,6 +766,24 @@ class SimulatedCluster:
                 # cut reads short: we cannot *know* the prediction held
                 # for the unread records, so don't report full coverage.
                 metrics.coverage = 0.0 if qr.n_records_skipped else 1.0
+        elif (
+            rcache is not None
+            and not qr.n_records_skipped
+            and dataset.checksums is not None
+        ):
+            # Full-coverage, verification-clean output: admit it to the
+            # triangle tier so the same isovalue replays I/O-free.
+            from repro.serve.rcache import CachedNodeResult
+
+            rcache.mesh_put(
+                stripe, lam, with_normals,
+                CachedNodeResult(
+                    mesh=mesh, normals=normals, n_active=qr.n_active,
+                    n_cells_examined=metrics.n_cells_examined,
+                    n_triangles=mesh.n_triangles,
+                    n_records_read=qr.n_records_read,
+                ),
+            )
         return metrics, mesh, normals
 
     def extract(
@@ -770,6 +891,20 @@ class SimulatedCluster:
         # query, never to this one.
         epoch = self.ownership.epoch
         views = self._dataset_views()
+        # The result cache binds at the same fence: every key this query
+        # reads or writes embeds (fingerprint, epoch), so a rebalance
+        # landing mid-flight can neither serve us stale entries nor be
+        # polluted by ours.
+        rc = (
+            req.result_cache if req.result_cache is not None
+            else self.result_cache
+        )
+        rview = None
+        if rc is not None:
+            rview = rc.view(
+                self._result_fingerprint(), epoch,
+                populate=req.cache_populate,
+            )
         expected = [ds.tree.query_count(lam) for ds in views]
 
         for rank, dataset in enumerate(views):
@@ -793,7 +928,7 @@ class SimulatedCluster:
                     time_budget=node_budget,
                     tracer=tracer, track=f"node{rank}",
                     coalesce_gap_blocks=req.coalesce_gap_blocks,
-                    pipeline=req.pipeline,
+                    pipeline=req.pipeline, rcache=rview,
                 )
                 delivered[rank] = m.n_active_metacells
             except StorageFault as exc:
@@ -836,7 +971,7 @@ class SimulatedCluster:
                         with_normals=want_normals, time_budget=node_budget,
                         tracer=tracer, track=f"node{host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
-                        pipeline=req.pipeline,
+                        pipeline=req.pipeline, rcache=rview,
                     )
                 except StorageFault:
                     continue
@@ -867,7 +1002,7 @@ class SimulatedCluster:
                         time_budget=node_budget,
                         tracer=tracer, track=f"node{k}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
-                        pipeline=req.pipeline,
+                        pipeline=req.pipeline, rcache=rview,
                     )
                     m.circuit_open = True
                     per_node[k] = m
@@ -902,7 +1037,7 @@ class SimulatedCluster:
                         with_normals=want_normals, time_budget=node_budget,
                         tracer=tracer, track=f"node{host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
-                        pipeline=req.pipeline,
+                        pipeline=req.pipeline, rcache=rview,
                     )
                 except StorageFault:
                     continue
@@ -948,7 +1083,7 @@ class SimulatedCluster:
                         time_budget=dl.speculation_budget,
                         tracer=tracer, track=f"node{d.host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
-                        pipeline=req.pipeline,
+                        pipeline=req.pipeline, rcache=rview,
                     )
                 except StorageFault:
                     continue
@@ -1197,6 +1332,10 @@ class SimulatedCluster:
         cache = self.cache_stats()
         if cache is not None:
             registry.absorb_cache_stats(cache)
+        if self.result_cache is not None:
+            from repro.serve.rcache import publish_result_cache_stats
+
+            publish_result_cache_stats(registry, self.result_cache)
         self.health.publish(registry)
 
     def estimate_extract_time(self, lam: float) -> float:

@@ -9,7 +9,11 @@ with fault overlays (:mod:`~repro.serve.traffic`), and the
 discrete-event server tying them together on the modeled clock
 (:mod:`~repro.serve.server`).
 
-See docs/robustness.md, "Overload & admission".
+Cross-query result reuse lives in :mod:`~repro.serve.rcache`: a
+λ-keyed, ownership-epoch-fenced result cache whose record tier serves
+the nested Case-1 prefixes nearby isovalues share, plus the request
+coalescing the server layers on top.  See docs/robustness.md,
+"Overload & admission" and "Result reuse".
 """
 
 from repro.serve.admission import (
@@ -26,6 +30,14 @@ from repro.serve.brownout import (
     BrownoutConfig,
     BrownoutController,
     BrownoutTransition,
+)
+from repro.serve.rcache import (
+    CachedNodeResult,
+    ResultCache,
+    ResultCacheStats,
+    ResultCacheView,
+    cluster_fingerprint,
+    publish_result_cache_stats,
 )
 from repro.serve.scheduler import DeficitRoundRobin
 from repro.serve.server import (
@@ -50,11 +62,13 @@ from repro.serve.traffic import (
 
 __all__ = [
     "AdmissionController", "BrownoutConfig", "BrownoutController",
-    "BrownoutTransition", "BurstWindow", "ClusterEvent",
-    "DeficitRoundRobin", "LEVELS", "QueryRequest", "QueryServer",
-    "RejectedQuery", "SHED_BROWNOUT_BULK", "SHED_DEADLINE_INFEASIBLE",
+    "BrownoutTransition", "BurstWindow", "CachedNodeResult",
+    "ClusterEvent", "DeficitRoundRobin", "LEVELS", "QueryRequest",
+    "QueryServer", "RejectedQuery", "ResultCache", "ResultCacheStats",
+    "ResultCacheView", "SHED_BROWNOUT_BULK", "SHED_DEADLINE_INFEASIBLE",
     "SHED_QUEUE_FULL", "SHED_TENANT_THROTTLED", "ServeConfig",
     "ServedRecord", "ServingReport", "TERMINAL_STATES", "TIERS",
     "TIER_WEIGHTS", "TenantSpec", "TokenBucket", "TrafficConfig",
-    "TrafficTrace", "generate_trace", "zipf_weights",
+    "TrafficTrace", "cluster_fingerprint", "generate_trace",
+    "publish_result_cache_stats", "zipf_weights",
 ]

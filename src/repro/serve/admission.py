@@ -141,16 +141,26 @@ class AdmissionController:
         start_delay: float,
         est_cost: float,
         shed_bulk: bool = False,
+        cached_fraction: float = 0.0,
     ) -> "RejectedQuery | None":
         """Run the gates; return a :class:`RejectedQuery` or None (admitted).
 
         ``start_delay`` is the server's estimate of modeled seconds
         until a slot frees for this request; ``est_cost`` is the
         request's own estimated service time; ``shed_bulk`` reflects the
-        brownout ladder's deepest level.
+        brownout ladder's deepest level.  ``cached_fraction`` is the
+        fraction of the request's stripes the result cache can serve
+        I/O-free: the feasibility gate discounts the service estimate by
+        it (``est_cost * (1 - cached_fraction)``), so a request that
+        would be infeasible cold is still admitted when the cache makes
+        it cheap — the cross-query reuse dividend at the front door.
         """
         if request.tenant not in self._buckets:
             raise KeyError(f"unknown tenant {request.tenant!r}")
+        if not 0.0 <= cached_fraction <= 1.0:
+            raise ValueError(
+                f"cached_fraction must be in [0, 1], got {cached_fraction}"
+            )
         if shed_bulk and request.tier == "bulk":
             return RejectedQuery(
                 request, SHED_BROWNOUT_BULK, now,
@@ -166,12 +176,14 @@ class AdmissionController:
                 request, SHED_TENANT_THROTTLED, now,
                 detail=f"tenant {request.tenant} over contracted rate",
             )
-        if start_delay + est_cost > request.budget * self.slack:
+        effective_cost = est_cost * (1.0 - cached_fraction)
+        if start_delay + effective_cost > request.budget * self.slack:
             return RejectedQuery(
                 request, SHED_DEADLINE_INFEASIBLE, now,
                 detail=(
                     f"estimated start delay {start_delay:.4f}s + service "
-                    f"{est_cost:.4f}s exceeds budget {request.budget:.4f}s"
+                    f"{effective_cost:.4f}s exceeds budget "
+                    f"{request.budget:.4f}s"
                 ),
             )
         return None

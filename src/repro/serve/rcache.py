@@ -1,0 +1,315 @@
+"""λ-keyed cross-query result cache (ROADMAP item 1, result reuse).
+
+Nearby isovalues share most of their I/O: within a brick the records
+are sorted by ``vmin``, so the active set for λ is a *prefix* of the
+records at a fixed anchor position, and prefixes nest across λ (the
+compact tree's Case-1 argument).  A hot isovalue sweep therefore pays
+O(queries) disk reads for O(distinct bricks) of distinct bytes — this
+module caches the verified decoded bytes once and serves the overlap
+from memory.
+
+Two tiers share one byte-budgeted LRU:
+
+* **record tier** — keyed ``('rec', fingerprint, epoch, stripe,
+  anchor)``: the longest verified decoded record prefix seen at a plan
+  anchor (a Case-1 run start or a Case-2 brick start).  Record
+  *positions* are λ-independent, so one entry serves every isovalue
+  whose plan touches that anchor; the prefix-nesting property means a
+  new λ extends the entry instead of duplicating it.  (This is the
+  repo's reading of the issue's ``(fingerprint, epoch, λ-bucket,
+  brick)`` key schema: positions subsume the λ-bucket for decoded
+  bricks — the bucket keys the triangle tier and request coalescing,
+  where results really are λ-exact.)
+* **triangle tier** — keyed ``('mesh', fingerprint, epoch, λ-bucket,
+  stripe, λ, with_normals)``: a stripe's complete extraction output
+  (mesh + optional normals + counts), reusable bit-identically when the
+  same isovalue repeats.  Only full-coverage, verification-clean
+  results are admitted.
+
+**Invalidation protocol.**  Every key embeds the ownership epoch
+captured at the extraction's fence, so entries from a previous epoch
+are unreachable the instant :class:`~repro.parallel.cluster.OwnershipMap`
+bumps; :meth:`ResultCache.invalidate_epoch` (wired as an ownership
+listener) additionally purges them so they stop holding budget.
+
+**Brownout interaction.**  Population is gated per extraction through
+:meth:`ResultCache.view`\\ 's ``populate`` flag: under the brownout
+ladder's shed-bulk level the serving layer passes ``populate=False``
+for bulk-tier work, so an overloaded cache is never churned by the
+traffic class being shed — lookups stay allowed (hits only help).
+
+Everything here is plain in-memory bookkeeping on verified arrays; no
+modeled I/O is charged for hits, which is the whole point.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.io.layout import MetacellRecords
+
+
+def cluster_fingerprint(datasets) -> "tuple":
+    """A build-identity key for a striped dataset family.
+
+    Derived purely from the preprocessing inputs and layout shape —
+    deliberately *not* from object identity, because deterministic
+    builds of the same volume produce byte-identical layouts (replicas
+    included), which may correctly share cached results.
+    """
+    ds = datasets[0]
+    return (
+        ds.meta.name,
+        tuple(ds.meta.volume_shape),
+        tuple(ds.meta.metacell_shape),
+        ds.n_cluster_nodes,
+        ds.report.n_metacells_stored,
+        ds.codec.record_size,
+    )
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss accounting for a :class:`ResultCache`, both tiers."""
+
+    record_hits: int = 0
+    record_misses: int = 0
+    mesh_hits: int = 0
+    mesh_misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: Records served from memory instead of the device, cumulative.
+    records_from_cache: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.record_hits + self.mesh_hits
+
+    @property
+    def misses(self) -> int:
+        return self.record_misses + self.mesh_misses
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+def _records_nbytes(records: MetacellRecords) -> int:
+    return records.ids.nbytes + records.vmins.nbytes + records.values.nbytes
+
+
+def _mesh_nbytes(payload: "CachedNodeResult") -> int:
+    total = 0
+    for arr in (
+        getattr(payload.mesh, "vertices", None),
+        getattr(payload.mesh, "faces", None),
+        payload.normals,
+    ):
+        total += getattr(arr, "nbytes", 0)
+    return total
+
+
+@dataclass(frozen=True)
+class CachedNodeResult:
+    """One stripe's complete extraction output, ready for reuse.
+
+    Stored only when the producing query ran to full coverage with
+    verification clean, so replaying it is bit-identical to re-running
+    the cold path (asserted by ``tests/test_result_cache.py``).
+    """
+
+    mesh: object
+    normals: "object | None"
+    n_active: int
+    n_cells_examined: int
+    n_triangles: int
+    n_records_read: int
+
+
+class ResultCache:
+    """Byte-budgeted LRU over decoded record prefixes and stripe meshes.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total byte budget across both tiers; least-recently-used entries
+        are evicted past it.  Entries larger than the whole budget are
+        never admitted.
+    lambda_bucket:
+        λ-bucket width for triangle-tier keys and the serving layer's
+        request coalescing (see
+        :attr:`~repro.io.cache.CacheOptions.lambda_bucket`).
+    """
+
+    def __init__(self, capacity_bytes: int, lambda_bucket: float = 0.0) -> None:
+        if capacity_bytes < 1:
+            raise ValueError(
+                f"capacity_bytes must be >= 1, got {capacity_bytes}"
+            )
+        if lambda_bucket < 0:
+            raise ValueError(f"lambda_bucket must be >= 0, got {lambda_bucket}")
+        self.capacity_bytes = capacity_bytes
+        self.lambda_bucket = lambda_bucket
+        self.stats = ResultCacheStats()
+        self.nbytes = 0
+        #: key -> (nbytes, payload); insertion/access order == LRU order.
+        self._lru: "OrderedDict[tuple, tuple[int, object]]" = OrderedDict()
+
+    # -- plumbing --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def bucket_of(self, lam: float) -> float:
+        if self.lambda_bucket <= 0.0:
+            return float(lam)
+        return float(math.floor(float(lam) / self.lambda_bucket))
+
+    def _get(self, key):
+        entry = self._lru.get(key)
+        if entry is None:
+            return None
+        self._lru.move_to_end(key)
+        return entry[1]
+
+    def _put(self, key, nbytes: int, payload) -> None:
+        if nbytes > self.capacity_bytes:
+            return
+        old = self._lru.pop(key, None)
+        if old is not None:
+            self.nbytes -= old[0]
+        self._lru[key] = (nbytes, payload)
+        self.nbytes += nbytes
+        while self.nbytes > self.capacity_bytes:
+            _, (doomed_bytes, _) = self._lru.popitem(last=False)
+            self.nbytes -= doomed_bytes
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self.nbytes = 0
+
+    # -- epoch fencing ---------------------------------------------------
+
+    def invalidate_epoch(self, epoch: int, reason: str = "") -> int:
+        """Purge every entry not keyed to ``epoch``; returns the count.
+
+        Keys embed the epoch, so stale entries were already unreachable
+        — this reclaims their bytes eagerly and makes the invalidation
+        observable (``rcache.invalidations``).
+        """
+        doomed = [k for k in self._lru if k[2] != epoch]
+        for k in doomed:
+            nbytes, _ = self._lru.pop(k)
+            self.nbytes -= nbytes
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def on_ownership_change(self, stripe: int, new_owner: int,
+                            epoch: int, reason: str = "") -> None:
+        """Ownership-map listener: an epoch bump fences the whole cache
+        (conservative — re-deriving exactly which anchors moved would
+        save little and risk a stale hit)."""
+        self.invalidate_epoch(epoch, reason=reason)
+
+    def view(self, fingerprint, epoch: int,
+             populate: bool = True) -> "ResultCacheView":
+        """A handle bound to one extraction's ``(fingerprint, epoch)``
+        fence; ``populate=False`` (brownout shed-bulk) makes stores
+        no-ops while lookups keep working."""
+        return ResultCacheView(self, fingerprint, int(epoch), bool(populate))
+
+
+class ResultCacheView:
+    """One extraction's epoch-fenced window onto a :class:`ResultCache`.
+
+    This is what rides on :attr:`~repro.core.query.QueryOptions.result_cache`
+    / :attr:`~repro.parallel.cluster.ExtractRequest.result_cache`: the
+    query layer duck-types it (no import of this module) and only ever
+    calls the methods below.
+    """
+
+    __slots__ = ("cache", "fingerprint", "epoch", "populate")
+
+    def __init__(self, cache: ResultCache, fingerprint, epoch: int,
+                 populate: bool) -> None:
+        self.cache = cache
+        self.fingerprint = fingerprint
+        self.epoch = epoch
+        self.populate = populate
+
+    # -- record tier -----------------------------------------------------
+
+    def _rec_key(self, stripe: int, anchor: int) -> tuple:
+        return ("rec", self.fingerprint, self.epoch, int(stripe), int(anchor))
+
+    def record_prefix(self, stripe: int, anchor: int) -> "MetacellRecords | None":
+        """The longest verified decoded prefix cached at ``anchor``."""
+        records = self.cache._get(self._rec_key(stripe, anchor))
+        if records is None:
+            self.cache.stats.record_misses += 1
+            return None
+        self.cache.stats.record_hits += 1
+        self.cache.stats.records_from_cache += len(records)
+        return records
+
+    def store_record_prefix(self, stripe: int, anchor: int,
+                            records: MetacellRecords) -> None:
+        """Remember ``records`` as the prefix at ``anchor`` (kept only
+        when longer than what is already cached)."""
+        if not self.populate or not len(records):
+            return
+        key = self._rec_key(stripe, anchor)
+        existing = self.cache._lru.get(key)
+        if existing is not None and len(existing[1]) >= len(records):
+            return
+        self.cache._put(key, _records_nbytes(records), records)
+
+    # -- triangle tier ---------------------------------------------------
+
+    def _mesh_key(self, stripe: int, lam: float, with_normals: bool) -> tuple:
+        return (
+            "mesh", self.fingerprint, self.epoch,
+            self.cache.bucket_of(lam), int(stripe), float(lam),
+            bool(with_normals),
+        )
+
+    def mesh_get(self, stripe: int, lam: float,
+                 with_normals: bool) -> "CachedNodeResult | None":
+        payload = self.cache._get(self._mesh_key(stripe, lam, with_normals))
+        if payload is None:
+            self.cache.stats.mesh_misses += 1
+            return None
+        self.cache.stats.mesh_hits += 1
+        return payload
+
+    def mesh_put(self, stripe: int, lam: float, with_normals: bool,
+                 payload: CachedNodeResult) -> None:
+        if not self.populate:
+            return
+        self.cache._put(
+            self._mesh_key(stripe, lam, with_normals),
+            _mesh_nbytes(payload), payload,
+        )
+
+    def mesh_contains(self, stripe: int, lam: float,
+                      with_normals: bool) -> bool:
+        """Non-perturbing probe (no LRU touch, no stats) — used by the
+        admission feasibility discount, which must not skew hit rates."""
+        return self._mesh_key(stripe, lam, with_normals) in self.cache._lru
+
+
+def publish_result_cache_stats(registry, cache: ResultCache,
+                               prefix: str = "rcache") -> None:
+    """Publish a :class:`ResultCache` snapshot as ``{prefix}.*`` gauges
+    (gauges because the stats are cumulative — same contract as
+    :meth:`~repro.obs.metrics.MetricsRegistry.absorb_cache_stats`)."""
+    registry.absorb_result_cache_stats(cache.stats, prefix=prefix)
+    registry.set_gauge(f"{prefix}.bytes", cache.nbytes)
+    registry.set_gauge(f"{prefix}.entries", len(cache))

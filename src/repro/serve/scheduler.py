@@ -164,6 +164,24 @@ class DeficitRoundRobin:
             "deficit invariant violated"
         )
 
+    def refund(self, tenant: str, amount: float) -> None:
+        """Return ``amount`` of charged credit to ``tenant``'s deficit.
+
+        Used by the serving layer when a dispatched job consumed no
+        service after all (it coalesced onto an in-flight extraction):
+        the cost charged at dispatch is handed back so coalescing never
+        eats into a tenant's fair share.  The refund is capped at zero
+        from below only by arithmetic — debt from preemption grants may
+        legitimately be repaid here.
+        """
+        if amount < 0:
+            raise ValueError(f"refund must be >= 0, got {amount}")
+        self._deficit[tenant] += amount
+        if not self._queues[tenant]:
+            # Keep the classic empty-queue rule: an idle tenant holds no
+            # positive credit.
+            self._deficit[tenant] = min(self._deficit[tenant], 0.0)
+
     def pop_tier(self, tier: str):
         """Dispatch the oldest queued job of ``tier`` out of band (the
         preemption grant), or None.  Its cost is still charged to the

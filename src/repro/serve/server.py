@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.deadline import Deadline
+from repro.io.cache import CacheOptions
 from repro.io.cost_model import latency_quantile
 from repro.obs.metrics import SlidingWindow
 from repro.obs.tracer import NULL_TRACER, coerce_tracer
@@ -87,6 +88,12 @@ class ServeConfig:
     brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
     #: Completions in the sliding window feeding the p99 signal.
     latency_window: int = 64
+    #: Cache configuration (:class:`~repro.io.cache.CacheOptions`).
+    #: ``result_cache_bytes`` attaches a λ-keyed result cache (reused
+    #: from the cluster's own when it has one); ``coalesce`` lets
+    #: concurrent same-λ-bucket requests share one in-flight extraction.
+    #: None — the default — disables both, the pre-cache behaviour.
+    cache: "CacheOptions | None" = None
 
     def __post_init__(self) -> None:
         if self.n_executors < 1:
@@ -95,6 +102,11 @@ class ServeConfig:
             raise ValueError(f"brick_batches must be >= 1, got {self.brick_batches}")
         if not self.tenants:
             raise ValueError("need at least one tenant")
+        if self.cache is not None and not isinstance(self.cache, CacheOptions):
+            raise TypeError(
+                f"cache must be a CacheOptions (got "
+                f"{type(self.cache).__name__})"
+            )
 
 
 @dataclass
@@ -114,6 +126,15 @@ class _Job:
     preemptions: int = 0
     result: "object | None" = None
     effective_budget: float = 0.0
+    #: Same-λ jobs riding on this in-flight extraction (they complete
+    #: with it, charging only their own queue wait).
+    waiters: "list" = field(default_factory=list)
+    #: Same-bucket different-λ jobs parked until this extraction lands
+    #: (so they dispatch against a warm cache instead of racing it).
+    followers: "list" = field(default_factory=list)
+    #: ``(λ-bucket, epoch)`` under which this job leads the in-flight
+    #: table, or None.
+    inflight_key: "tuple | None" = None
 
 
 @dataclass
@@ -140,6 +161,10 @@ class ServedRecord:
     #: elastic soak compares ok-state counts against a reference run to
     #: prove migrations never changed an answer.
     triangles: int = 0
+    #: True when this request attached to another request's in-flight
+    #: extraction instead of running its own (service_time is 0; the
+    #: answer is the leader's, bit for bit).
+    coalesced: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -150,6 +175,7 @@ class ServedRecord:
             "finish": self.finish, "latency": self.latency,
             "coverage": self.coverage, "preemptions": self.preemptions,
             "met_deadline": self.met_deadline, "triangles": self.triangles,
+            "coalesced": self.coalesced,
         }
 
 
@@ -162,6 +188,12 @@ class ServingReport:
     horizon: float
     scheduler_gaps: "dict[str, int]" = field(default_factory=dict)
     scheduler_gap_bounds: "dict[str, int]" = field(default_factory=dict)
+    #: Block-cache totals across the cluster's node disks (zeros when no
+    #: node has a cache) — always present so the payload schema is
+    #: stable with and without caching.
+    cache_stats: "dict[str, float]" = field(default_factory=dict)
+    #: λ-keyed result-cache totals (zeros when result reuse is off).
+    result_cache_stats: "dict[str, float]" = field(default_factory=dict)
 
     def by_state(self, state: str) -> "list[ServedRecord]":
         return [r for r in self.records if r.state == state]
@@ -215,7 +247,17 @@ class ServingReport:
             "preemptions": float(sum(r.preemptions for r in self.records)),
             "brownout_transitions": float(len(self.transitions)),
             "brownout_max_level": float(self.max_brownout_level),
+            "coalesced": float(sum(1 for r in self.records if r.coalesced)),
         }
+        for k in ("hits", "misses", "hit_rate", "evictions", "invalidations"):
+            metrics[f"cache_{k}"] = float(self.cache_stats.get(k, 0.0))
+        for k in (
+            "hits", "misses", "hit_rate", "record_hits", "mesh_hits",
+            "evictions", "invalidations", "records_from_cache",
+        ):
+            metrics[f"rcache_{k}"] = float(
+                self.result_cache_stats.get(k, 0.0)
+            )
         for s in TERMINAL_STATES:
             metrics[f"state_{s}"] = float(counts[s])
         for tier in TIERS:
@@ -280,6 +322,26 @@ class QueryServer:
         self._running: "list[_Job]" = []
         self._records: "dict[int, ServedRecord]" = {}
         self._gold_claims = 0
+        #: Leader jobs keyed by ``(λ-bucket, epoch)``; later same-key
+        #: requests coalesce onto them instead of re-extracting.
+        self._inflight: "dict[tuple, _Job]" = {}
+        #: The λ-keyed result cache this server probes and populates:
+        #: the cluster's own when it has one (so both layers see the
+        #: same entries), else server-owned per ``config.cache``.
+        self.result_cache = None
+        if config.cache is not None and config.cache.result_cache_bytes > 0:
+            self.result_cache = getattr(cluster, "result_cache", None)
+            if self.result_cache is None:
+                from repro.serve.rcache import ResultCache
+
+                self.result_cache = ResultCache(
+                    config.cache.result_cache_bytes,
+                    lambda_bucket=config.cache.lambda_bucket,
+                )
+                if hasattr(cluster, "add_ownership_listener"):
+                    cluster.add_ownership_listener(
+                        self.result_cache.on_ownership_change
+                    )
 
     # -- helpers ---------------------------------------------------------
 
@@ -288,6 +350,24 @@ class QueryServer:
         if key not in self._est_cache:
             self._est_cache[key] = self.cluster.estimate_extract_time(lam)
         return self._est_cache[key]
+
+    def _cached_fraction(self, lam: float) -> float:
+        """Fraction of the cluster's stripes whose complete result for
+        ``lam`` is sitting in the result cache — the admission gate's
+        feasibility discount.  Uses a non-perturbing membership probe so
+        estimating cost never skews hit rates or LRU order."""
+        rc = self.result_cache
+        if rc is None or not hasattr(self.cluster, "_result_fingerprint"):
+            return 0.0
+        view = rc.view(
+            self.cluster._result_fingerprint(),
+            getattr(self.cluster, "ownership_epoch", 0),
+        )
+        p = self.cluster.p
+        hits = sum(
+            1 for s in range(p) if view.mesh_contains(s, lam, False)
+        )
+        return hits / p if p else 0.0
 
     def _backlog_seconds(self, now: float) -> float:
         queued = sum(
@@ -314,6 +394,7 @@ class QueryServer:
             start_delay=self._backlog_seconds(now) / self.config.n_executors,
             est_cost=self._estimate(req.lam),
             shed_bulk=self.brownout.shed_bulk,
+            cached_fraction=self._cached_fraction(req.lam),
         )
         if rejection is not None:
             self._shed(rejection)
@@ -391,13 +472,57 @@ class QueryServer:
                 node_fraction=eff.node_fraction,
             )
             job.effective_budget = eff.budget
+            co = self.config.cache
+            if co is not None and co.coalesce:
+                key = (
+                    co.bucket_of(job.request.lam),
+                    getattr(self.cluster, "ownership_epoch", 0),
+                )
+                leader = self._inflight.get(key)
+                if leader is not None:
+                    # The slot this job was about to take stays free;
+                    # the charged DRR credit goes back to its tenant.
+                    job.dispatched_at = now
+                    self.scheduler.refund(job.request.tenant, job.est_cost)
+                    if leader.request.lam == job.request.lam:
+                        # Waiter: completes with the leader, charging
+                        # only its own queue wait on the modeled clock.
+                        leader.waiters.append(job)
+                        self._inc("serve.coalesced")
+                        self._observe("serve.queue_wait", queue_wait)
+                        if self.tracer.enabled:
+                            self.tracer.seek("serve", now)
+                            self.tracer.instant(
+                                "rcache.coalesce", track="serve",
+                                category="cache",
+                                args={"request": job.request.request_id,
+                                      "leader": leader.request.request_id,
+                                      "lam": job.request.lam},
+                            )
+                    else:
+                        # Follower (same bucket, different λ): parked
+                        # until the leader lands, then re-queued at the
+                        # head so it runs against a warm cache instead
+                        # of racing the extraction that would feed it.
+                        job.dispatched_at = None
+                        leader.followers.append(job)
+                        self._inc("serve.coalesce_deferred")
+                    return
+                job.inflight_key = key
+                self._inflight[key] = job
             hedge = self.config.hedge and self.brownout.hedging_enabled
+            populate = not (
+                self.brownout.shed_bulk and job.request.tier == "bulk"
+            )
             result = self.cluster.extract(job.request.lam, ExtractRequest(
                 deadline=eff,
                 hedge=True if hedge else None,
                 speculate=self.config.speculate,
                 tenant=job.request.tenant,
                 metrics=self.metrics,
+                cache=co,
+                result_cache=self.result_cache,
+                cache_populate=populate,
             ))
             job.result = result
             job.service_total = result.total_time
@@ -417,10 +542,10 @@ class QueryServer:
         self._gold_claims += 1
         self._inc("serve.preemptions")
 
-    def _complete(self, job: _Job, now: float) -> None:
-        self._running.remove(job)
+    def _terminal_record(self, job: _Job, now: float, result,
+                         service_time: float, coalesced: bool) -> None:
+        """Write one completed request's report row and window samples."""
         req = job.request
-        result = job.result
         coverage = result.coverage
         if coverage <= 1e-12:
             state = "failed"
@@ -434,15 +559,36 @@ class QueryServer:
             request_id=req.request_id, tenant=req.tenant, tier=req.tier,
             lam=req.lam, arrival=req.arrival, budget=req.budget,
             state=state, queue_wait=queue_wait,
-            service_time=job.service_total, finish=now, latency=latency,
+            service_time=service_time, finish=now, latency=latency,
             coverage=coverage, preemptions=job.preemptions,
             met_deadline=latency <= req.budget + 1e-9,
             triangles=int(result.n_triangles),
+            coalesced=coalesced,
         )
         self._ratio_window.observe(latency / req.budget)
         self._inc(f"serve.completed.{state}")
         self._observe("serve.latency", latency)
         self._observe(f"serve.latency.{req.tier}", latency)
+
+    def _complete(self, job: _Job, now: float) -> None:
+        self._running.remove(job)
+        if job.inflight_key is not None:
+            self._inflight.pop(job.inflight_key, None)
+            job.inflight_key = None
+        self._terminal_record(
+            job, now, job.result, job.service_total, coalesced=False
+        )
+        # Waiters land with the leader: the identical answer, their own
+        # latency accounting, zero service time of their own.
+        for w in sorted(job.waiters, key=lambda j: j.request.request_id):
+            self._terminal_record(w, now, job.result, 0.0, coalesced=True)
+        job.waiters.clear()
+        # Followers go back to the head of their queues (reversed so the
+        # original arrival order is preserved front-to-back) and will
+        # re-dispatch this same tick against the now-warm cache.
+        for f in reversed(job.followers):
+            self.scheduler.requeue_front(f)
+        job.followers.clear()
 
     def _apply_overlay(self, event, now: float) -> None:
         if event.action == "kill":
@@ -545,10 +691,40 @@ class QueryServer:
                     t.name: self.scheduler.gap_bound(t.name, max_cost)
                     for t in cfg.tenants
                 }
+        bc = None
+        if hasattr(self.cluster, "cache_stats"):
+            bc = self.cluster.cache_stats()
+        cache_stats = {
+            "hits": float(bc.hits) if bc else 0.0,
+            "misses": float(bc.misses) if bc else 0.0,
+            "hit_rate": float(bc.hit_rate) if bc else 0.0,
+            "evictions": float(bc.evictions) if bc else 0.0,
+            "invalidations": float(bc.invalidations) if bc else 0.0,
+        }
+        rc = self.result_cache
+        rs = rc.stats if rc is not None else None
+        result_cache_stats = {
+            "hits": float(rs.hits) if rs else 0.0,
+            "misses": float(rs.misses) if rs else 0.0,
+            "hit_rate": float(rs.hit_rate) if rs else 0.0,
+            "record_hits": float(rs.record_hits) if rs else 0.0,
+            "mesh_hits": float(rs.mesh_hits) if rs else 0.0,
+            "evictions": float(rs.evictions) if rs else 0.0,
+            "invalidations": float(rs.invalidations) if rs else 0.0,
+            "records_from_cache": (
+                float(rs.records_from_cache) if rs else 0.0
+            ),
+        }
+        if rc is not None and self.metrics is not None:
+            from repro.serve.rcache import publish_result_cache_stats
+
+            publish_result_cache_stats(self.metrics, rc)
         return ServingReport(
             records=records,
             transitions=list(self.brownout.transitions),
             horizon=trace.horizon,
             scheduler_gaps=dict(self.scheduler.max_service_gap_rounds),
             scheduler_gap_bounds=gap_bounds,
+            cache_stats=cache_stats,
+            result_cache_stats=result_cache_stats,
         )

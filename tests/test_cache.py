@@ -141,12 +141,15 @@ class TestCacheMetricsExport:
         assert m.value("cache.hits") == 8
 
     def test_cluster_cache_stats_aggregates_and_publishes(self):
+        from repro.io.cache import CacheOptions
         from repro.obs.metrics import MetricsRegistry
         from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+        from repro.parallel.perfmodel import PAPER_CLUSTER
 
+        block_size = PAPER_CLUSTER.disk.block_size
         cluster = SimulatedCluster(
             sphere_field((25, 25, 25)), 4, metacell_shape=(5, 5, 5),
-            cache_blocks=64,
+            cache=CacheOptions(block_cache_bytes=64 * block_size),
         )
         m = MetricsRegistry()
         cluster.extract(0.8, ExtractRequest(metrics=m))
@@ -164,3 +167,58 @@ class TestCacheMetricsExport:
             sphere_field((25, 25, 25)), 2, metacell_shape=(5, 5, 5)
         )
         assert cluster.cache_stats() is None
+
+
+class TestCacheOptions:
+    """The unified cache-configuration value (API redesign satellite)."""
+
+    def test_defaults_disable_everything(self):
+        from repro.io.cache import DEFAULT_CACHE_OPTIONS
+
+        assert DEFAULT_CACHE_OPTIONS.block_cache_bytes == 0
+        assert DEFAULT_CACHE_OPTIONS.result_cache_bytes == 0
+        assert DEFAULT_CACHE_OPTIONS.lambda_bucket == 0.0
+        assert DEFAULT_CACHE_OPTIONS.coalesce
+
+    def test_validation(self):
+        from repro.io.cache import CacheOptions
+
+        with pytest.raises(ValueError):
+            CacheOptions(block_cache_bytes=-1)
+        with pytest.raises(ValueError):
+            CacheOptions(result_cache_bytes=-1)
+        with pytest.raises(ValueError):
+            CacheOptions(lambda_bucket=-0.5)
+
+    def test_block_conversion_and_buckets(self):
+        from repro.io.cache import CacheOptions
+
+        co = CacheOptions(block_cache_bytes=10_000, lambda_bucket=0.1)
+        assert co.block_cache_blocks(1024) == 9
+        with pytest.raises(ValueError):
+            co.block_cache_blocks(0)
+        assert co.bucket_of(0.42) == co.bucket_of(0.49)
+        assert co.bucket_of(0.42) != co.bucket_of(0.51)
+        # Zero width: the bucket is the isovalue itself (exact matching).
+        exact = CacheOptions()
+        assert exact.bucket_of(0.42) == 0.42
+
+    def test_cache_blocks_ctor_shim_warns_once(self):
+        from repro.core.query import reset_legacy_warnings
+        from repro.io.cache import CacheOptions
+        from repro.parallel.cluster import SimulatedCluster
+
+        vol = sphere_field((20, 20, 20))
+        reset_legacy_warnings()
+        with pytest.warns(DeprecationWarning, match="cache_blocks"):
+            cluster = SimulatedCluster(
+                vol, 2, metacell_shape=(5, 5, 5), cache_blocks=8
+            )
+        assert isinstance(cluster.datasets[0].device, CachedDevice)
+        # Both spellings together are a hard error, not a silent merge.
+        with pytest.raises(TypeError):
+            SimulatedCluster(
+                vol, 2, metacell_shape=(5, 5, 5), cache_blocks=8,
+                cache=CacheOptions(),
+            )
+        reset_legacy_warnings()

@@ -1,0 +1,348 @@
+"""Cross-query result reuse: the λ-keyed result cache end to end.
+
+The contract under test (ISSUE acceptance):
+
+* **bit-identity** — cached, coalesced, and sweep-delta answers are
+  byte-for-byte the triangles of a cold run, across seeds, fault plans,
+  and an elastic scale event;
+* **epoch fencing** — an ownership-epoch bump invalidates every key of
+  the previous assignment: zero stale hits, post-event answers match a
+  cold cluster;
+* **accounting** — coalesced requests refund their fair-share charge
+  and charge only their own queue wait, so reuse never distorts DRR or
+  deadline bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.datasets import sphere_field
+from repro.io.cache import CacheOptions
+from repro.parallel.cluster import ExtractRequest, SimulatedCluster
+from repro.serve.rcache import CachedNodeResult, ResultCache, cluster_fingerprint
+
+MB = 1 << 20
+
+
+def _meshes_equal(a, b) -> bool:
+    """Byte-identical triangle soups, node by node."""
+    if len(a) != len(b):
+        return False
+    return all(
+        am.n_triangles == bm.n_triangles
+        and np.array_equal(am.vertices, bm.vertices)
+        and np.array_equal(am.faces, bm.faces)
+        for am, bm in zip(a, b)
+    )
+
+
+def _build(seed: int = 0, cache: "CacheOptions | None" = None,
+           fault_plans=None) -> SimulatedCluster:
+    rng = np.random.default_rng(seed)
+    vol = sphere_field((24, 24, 24))
+    vol.data[:] += rng.normal(0.0, 0.01, vol.data.shape)
+    return SimulatedCluster(
+        vol, 4, metacell_shape=(5, 5, 5), replication=2,
+        cache=cache, fault_plans=fault_plans or {},
+    )
+
+
+class TestResultCacheUnit:
+    def _mesh(self, n: int) -> CachedNodeResult:
+        from repro.mc.geometry import TriangleMesh
+
+        verts = np.zeros((3 * n, 3), dtype=np.float64)
+        faces = np.arange(3 * n, dtype=np.int64).reshape(n, 3)
+        return CachedNodeResult(
+            mesh=TriangleMesh(verts, faces), normals=None, n_active=n,
+            n_cells_examined=n, n_triangles=n, n_records_read=n,
+        )
+
+    def test_lru_eviction_under_byte_budget(self):
+        rc = ResultCache(capacity_bytes=8_000)
+        view = rc.view(("fp",), epoch=0)
+        for lam in (0.1, 0.2, 0.3, 0.4):
+            view.mesh_put(0, lam, False, self._mesh(50))  # ~1.8 KB each
+        assert rc.stats.evictions > 0
+        assert rc.nbytes <= 8_000
+        # Most recent keys survived; the oldest was evicted.
+        assert view.mesh_get(0, 0.4, False) is not None
+        assert view.mesh_get(0, 0.1, False) is None
+
+    def test_oversize_entry_is_rejected(self):
+        rc = ResultCache(capacity_bytes=100)
+        view = rc.view(("fp",), epoch=0)
+        view.mesh_put(0, 0.5, False, self._mesh(1000))
+        assert len(rc) == 0
+
+    def test_epoch_fences_all_tiers(self):
+        rc = ResultCache(capacity_bytes=1 * MB)
+        old = rc.view(("fp",), epoch=0)
+        old.mesh_put(0, 0.5, False, self._mesh(10))
+        old.mesh_put(1, 0.5, False, self._mesh(10))
+        n = rc.invalidate_epoch(epoch=1)
+        assert n == 2 and len(rc) == 0
+        assert rc.stats.invalidations == 2
+        # The stale view cannot resurrect entries for the new epoch.
+        assert rc.view(("fp",), epoch=1).mesh_get(0, 0.5, False) is None
+
+    def test_populate_gate_makes_stores_noops(self):
+        rc = ResultCache(capacity_bytes=1 * MB)
+        shed = rc.view(("fp",), epoch=0, populate=False)
+        shed.mesh_put(0, 0.5, False, self._mesh(10))
+        assert len(rc) == 0
+        # Lookups still work through a non-populating view.
+        rc.view(("fp",), epoch=0).mesh_put(0, 0.5, False, self._mesh(10))
+        assert shed.mesh_get(0, 0.5, False) is not None
+
+    def test_fingerprint_separates_builds(self):
+        a = _build(seed=0, cache=CacheOptions(result_cache_bytes=MB))
+        b = _build(seed=1)
+        assert cluster_fingerprint(a.datasets) == cluster_fingerprint(a.datasets)
+        # Same topology, same shapes -> the fingerprint intentionally
+        # matches only when the stored record layout matches.
+        fa, fb = cluster_fingerprint(a.datasets), cluster_fingerprint(b.datasets)
+        assert (fa == fb) == (fa[4] == fb[4])
+
+
+class TestBitIdentityAcrossReuse:
+    SWEEP = (0.42, 0.44, 0.46, 0.44, 0.42, 0.46, 0.60, 0.44)
+
+    @pytest.mark.parametrize("seed,faults", [
+        (0, None),
+        (1, "transient=0.05,seed=3"),
+        (7, "transient=0.03,latency=0.001:0.0005,seed=11"),
+    ])
+    def test_cached_sweep_matches_cold(self, seed, faults):
+        from repro.io.faults import FaultPlan
+
+        plans = (
+            {r: FaultPlan.from_spec(faults) for r in range(4)} if faults else {}
+        )
+        cold = _build(seed=seed, fault_plans=plans)
+        hot = _build(
+            seed=seed, fault_plans=plans,
+            cache=CacheOptions(result_cache_bytes=8 * MB, lambda_bucket=0.05),
+        )
+        req = ExtractRequest(keep_meshes=True)
+        for lam in self.SWEEP:
+            want = cold.extract(lam, req)
+            got = hot.extract(lam, req)
+            assert _meshes_equal(want.meshes, got.meshes), lam
+            assert got.n_triangles == want.n_triangles
+        assert hot.result_cache.stats.hits > 0
+
+    def test_cached_replay_does_no_read_io(self):
+        hot = _build(cache=CacheOptions(result_cache_bytes=8 * MB))
+        hot.extract(0.5, ExtractRequest())
+        before = sum(d.device.stats.bytes_read for d in hot.datasets)
+        hot.extract(0.5, ExtractRequest())
+        after = sum(d.device.stats.bytes_read for d in hot.datasets)
+        assert after == before  # the whole answer came from the mesh tier
+
+    def test_sweep_delta_planner_matches_execute_query(self):
+        from repro.core.builder import build_indexed_dataset
+        from repro.core.multi_query import execute_sweep_query
+        from repro.core.query import execute_query
+
+        ds = build_indexed_dataset(sphere_field((25, 25, 25)), (5, 5, 5))
+        res = execute_sweep_query(ds, self.SWEEP)
+        for step in res.steps:
+            want = execute_query(ds, step.lam)
+            assert np.array_equal(want.records.ids, step.records.ids)
+            assert np.array_equal(want.records.vmins, step.records.vmins)
+            assert np.array_equal(want.records.values, step.records.values)
+        # Revisited isovalues are free; the sweep read each record once.
+        assert res.steps[3].n_delta_records == 0
+        assert res.steps[4].n_delta_records == 0
+        assert res.n_records_read < res.n_records_served
+
+    def test_sweep_delta_io_strictly_less_than_cold(self):
+        from repro.core.builder import build_indexed_dataset
+        from repro.core.multi_query import execute_sweep_query
+        from repro.core.query import execute_query
+
+        ds = build_indexed_dataset(sphere_field((25, 25, 25)), (5, 5, 5))
+        res = execute_sweep_query(ds, self.SWEEP)
+        cold = 0
+        for lam in self.SWEEP:
+            before = ds.device.stats.copy()
+            execute_query(ds, lam)
+            cold += (ds.device.stats.copy() - before).bytes_read
+        assert res.io_stats.bytes_read * 3 <= cold
+
+
+class TestEpochInvalidation:
+    def test_elastic_scale_event_fences_the_cache(self):
+        from repro.elastic.cluster import ElasticCluster
+
+        vol = sphere_field((24, 24, 24))
+        hot = ElasticCluster(
+            vol, nodes=3, n_stripes=6, metacell_shape=(5, 5, 5),
+            cache=CacheOptions(result_cache_bytes=8 * MB),
+        )
+        cold = ElasticCluster(vol, nodes=3, n_stripes=6,
+                              metacell_shape=(5, 5, 5))
+        req = ExtractRequest(keep_meshes=True)
+        for lam in (0.45, 0.5, 0.45):
+            hot.extract(lam, req)
+        assert len(hot.result_cache) > 0
+        epoch_before = hot.ownership.epoch
+
+        # Scale event: join a node and migrate a stripe onto it.
+        from repro.elastic.membership import MemberState
+
+        for c in (hot, cold):
+            nid = c.join(now=0.0)
+            c.membership.transition(nid, MemberState.SYNCING, now=0.0)
+            c.membership.transition(nid, MemberState.ACTIVE, now=0.0)
+            c.migrate_primary(0, nid)
+        assert hot.ownership.epoch > epoch_before
+        # Every pre-event key was fenced out: zero stale entries remain.
+        assert len(hot.result_cache) == 0
+        assert hot.result_cache.stats.invalidations > 0
+
+        for lam in (0.45, 0.5):
+            want = cold.extract(lam, req)
+            got = hot.extract(lam, req)
+            assert got.n_triangles == want.n_triangles
+            assert _meshes_equal(want.meshes, got.meshes)
+
+    def test_failover_promotion_fences_the_cache(self):
+        hot = _build(cache=CacheOptions(result_cache_bytes=8 * MB))
+        hot.extract(0.5, ExtractRequest())
+        assert len(hot.result_cache) > 0
+        hot.ownership.assign(0, 1, reason="failover")
+        assert len(hot.result_cache) == 0
+
+
+class TestServingCoalescing:
+    def _serve(self, coalesce: bool, result_cache_mb: int = 4):
+        from repro.serve import (
+            BrownoutConfig,
+            QueryServer,
+            ServeConfig,
+            TenantSpec,
+            TrafficConfig,
+            generate_trace,
+        )
+
+        cluster = _build(cache=CacheOptions(
+            result_cache_bytes=result_cache_mb * MB,
+            lambda_bucket=0.02, coalesce=coalesce,
+        ) if result_cache_mb else None)
+        unit = cluster.estimate_extract_time(0.5)
+        tenants = (
+            TenantSpec(name="gold", tier="gold", arrival_share=0.5,
+                       rate=4.0 / unit, burst=16,
+                       deadline_budget=8 * unit),
+            TenantSpec(name="bulk", tier="bulk", arrival_share=0.5,
+                       rate=4.0 / unit, burst=16,
+                       deadline_budget=24 * unit),
+        )
+        trace = generate_trace(
+            TrafficConfig(duration=40 * unit, base_rate=4.0 / unit,
+                          isovalues=(0.45, 0.46, 0.5), seed=5),
+            tenants,
+        )
+        cache = (
+            CacheOptions(result_cache_bytes=result_cache_mb * MB,
+                         lambda_bucket=0.02, coalesce=coalesce)
+            if result_cache_mb else None
+        )
+        server = QueryServer(cluster, ServeConfig(
+            tenants=tenants, n_executors=2, max_queue_depth=32,
+            quantum=unit / 5, brownout=BrownoutConfig(eval_interval=unit),
+            cache=cache,
+        ))
+        return server, server.serve(trace)
+
+    def test_coalesced_run_answers_match_uncached(self):
+        _, plain = self._serve(coalesce=False, result_cache_mb=0)
+        _, hot = self._serve(coalesce=True)
+        want = {r.request_id: r for r in plain.records}
+        n_coalesced = 0
+        for r in hot.records:
+            n_coalesced += r.coalesced
+            if r.state == "ok" and want[r.request_id].state == "ok":
+                assert r.triangles == want[r.request_id].triangles, (
+                    r.request_id
+                )
+        assert n_coalesced > 0
+        assert not hot.by_state("failed")
+
+    def test_waiters_consume_no_service_and_refund_their_charge(self):
+        server, report = self._serve(coalesce=True)
+        waiters = [r for r in report.records if r.coalesced]
+        assert waiters, "trace produced no coalesced requests"
+        for r in waiters:
+            assert r.service_time == 0.0
+            assert r.latency >= 0.0
+        # The deficit invariant survived: the run dispatched to the end
+        # without tripping the scheduler's provable-bound guard, and no
+        # tenant holds positive credit with an empty queue.
+        for name in ("bulk", "gold"):
+            if not server.scheduler._queues[name]:
+                assert server.scheduler.deficit(name) <= 1e-9
+
+    def test_payload_reports_cache_and_coalescing(self):
+        _, report = self._serve(coalesce=True)
+        m = report.to_payload()["metrics"]
+        assert m["coalesced"] > 0
+        assert m["rcache_hits"] > 0
+        assert 0.0 <= m["rcache_hit_rate"] <= 1.0
+        _, off = self._serve(coalesce=False, result_cache_mb=0)
+        m_off = off.to_payload()["metrics"]
+        assert m_off["coalesced"] == 0
+        assert m_off["rcache_hits"] == 0  # keys always present
+
+
+class TestAdmissionAndSchedulerHooks:
+    def test_cached_fraction_validation(self):
+        from repro.serve import TenantSpec
+        from repro.serve.admission import AdmissionController
+        from repro.serve.traffic import QueryRequest
+
+        tenants = (TenantSpec(name="t", tier="gold", arrival_share=1.0,
+                              rate=10.0, burst=8, deadline_budget=1.0),)
+        ctrl = AdmissionController(tenants, max_queue_depth=4)
+        req = QueryRequest(request_id=0, tenant="t", tier="gold", lam=0.5,
+                           arrival=0.0, budget=1.0)
+        with pytest.raises(ValueError):
+            ctrl.admit(req, 0.0, 0, 0.0, 1.0, cached_fraction=1.5)
+        with pytest.raises(ValueError):
+            ctrl.admit(req, 0.0, 0, 0.0, 1.0, cached_fraction=-0.1)
+
+    def test_cached_fraction_discounts_feasibility(self):
+        from repro.serve import TenantSpec
+        from repro.serve.admission import AdmissionController
+        from repro.serve.traffic import QueryRequest
+
+        tenants = (TenantSpec(name="t", tier="gold", arrival_share=1.0,
+                              rate=10.0, burst=8, deadline_budget=1.0),)
+        ctrl = AdmissionController(tenants, max_queue_depth=4)
+        req = QueryRequest(request_id=0, tenant="t", tier="gold", lam=0.5,
+                           arrival=0.0, budget=1.0)
+        # Infeasible cold (cost 2 > budget 1) ...
+        rej = ctrl.admit(req, 0.0, 0, 0.0, est_cost=2.0)
+        assert rej is not None and rej.reason == "deadline_infeasible"
+        # ... admitted when the cache serves 80% of its stripes.
+        assert ctrl.admit(req, 0.0, 0, 0.0, est_cost=2.0,
+                          cached_fraction=0.8) is None
+
+    def test_scheduler_refund(self):
+        from repro.serve import DeficitRoundRobin, TenantSpec
+
+        tenants = (TenantSpec(name="a", tier="gold", arrival_share=1.0),)
+        drr = DeficitRoundRobin(tenants, quantum=1.0)
+        with pytest.raises(ValueError):
+            drr.refund("a", -0.5)
+        # Empty queue: a refund cannot bank positive credit ...
+        drr.refund("a", 5.0)
+        assert drr.deficit("a") == 0.0
+        # ... but it does repay preemption debt.
+        drr._deficit["a"] = -2.0
+        drr.refund("a", 1.5)
+        assert drr.deficit("a") == pytest.approx(-0.5)
