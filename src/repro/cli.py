@@ -27,6 +27,7 @@ from repro.core.persistence import build_persistent_dataset, load_dataset
 from repro.core.query import QueryOptions, execute_query
 from repro.grid.rm_instability import rm_timestep
 from repro.grid.volume import Volume
+from repro.mc.backends import available_backends
 from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import marching_cubes_batch
 
@@ -119,6 +120,7 @@ def cmd_query(args) -> int:
         QueryOptions(
             retry_policy=policy,
             verify_checksums=False if args.no_verify else None,
+            backend=getattr(args, "backend", "mc-batch"),
         ),
     )
     io = res.io_stats
@@ -198,6 +200,7 @@ def _extract_request(args, tracer=None, metrics=None):
         hedge=_hedge_policy(args),
         tracer=tracer,
         metrics=metrics,
+        backend=getattr(args, "backend", "mc-batch"),
     )
 
 
@@ -412,6 +415,7 @@ class _ServingScenario:
             max_queue_depth=args.queue_depth, quantum=unit / 5,
             brownout=BrownoutConfig(eval_interval=unit),
             cache=_cache_options(args),
+            backend=getattr(args, "backend", "mc-batch"),
         )
 
 
@@ -922,6 +926,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transient-read retry budget (default policy: 3)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip CRC32 record verification")
+    p.add_argument("--backend", choices=available_backends(),
+                   default="mc-batch",
+                   help="extraction kernel the query is planned for "
+                        "(default mc-batch)")
     p.set_defaults(func=cmd_query)
 
     def add_cache_args(p) -> None:
@@ -976,6 +984,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-blocks", type=int, default=None, metavar="N",
                        help="LRU block cache of N blocks per node disk; "
                             "hits/misses show up as cache.* metrics")
+        p.add_argument("--backend", choices=available_backends(),
+                       default="mc-batch",
+                       help="extraction kernel every node triangulates with "
+                            "(default mc-batch; surface-nets trades exact MC "
+                            "geometry for ~2x kernel throughput)")
         add_cache_args(p)
 
     p = sub.add_parser(
@@ -1069,6 +1082,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--budget-bulk", type=float, default=12.0,
                        help="bulk deadline budget in service units "
                             "(default 12)")
+        p.add_argument("--backend", choices=available_backends(),
+                       default="mc-batch",
+                       help="extraction kernel every dispatched query runs "
+                            "with (default mc-batch)")
         add_cache_args(p)
         p.add_argument("--json", metavar="PATH",
                        help="write the full serving payload JSON here "

@@ -143,6 +143,17 @@ class QueryOptions:
     pipeline: "object | None" = None
     cache: "object | None" = None
     result_cache: "object | None" = None
+    #: Extraction-kernel backend name, resolved through
+    #: :mod:`repro.mc.backends` by the triangulating layer (pipeline,
+    #: cluster node, serving front-end).  ``"mc-batch"`` is the exact
+    #: default; ``"surface-nets"`` trades exact-MC geometry for ~2x
+    #: throughput.  Validated against the registry at construction.
+    backend: str = "mc-batch"
+    #: Metacells per vectorized triangulation pass (``None``: the
+    #: kernel's :data:`~repro.mc.marching_cubes.DEFAULT_BATCH_CHUNK`).
+    #: Also the serial-chunk unit the shared-memory pipeline cuts jobs
+    #: on; the default preserves the 512-chunk bit-identity contract.
+    batch_chunk: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.read_ahead_blocks < 1:
@@ -155,6 +166,16 @@ class QueryOptions:
             )
         if self.time_budget is not None and self.time_budget != self.time_budget:
             raise ValueError("time_budget must not be NaN")
+        if self.backend != "mc-batch":
+            # Lazy import: repro.core must stay importable without the
+            # triangulation package; the default name needs no registry.
+            from repro.mc.backends import validate_backend
+
+            validate_backend(self.backend)
+        if self.batch_chunk is not None and self.batch_chunk < 1:
+            raise ValueError(
+                f"batch_chunk must be >= 1, got {self.batch_chunk}"
+            )
 
 
 #: Options used when a caller passes none.
@@ -165,6 +186,11 @@ DEFAULT_QUERY_OPTIONS = QueryOptions()
 _LEGACY_QUERY_KWARGS = frozenset(
     {"read_ahead_blocks", "retry_policy", "verify_checksums", "time_budget"}
 )
+
+#: Kwargs added after the options-object migration; accepted standalone
+#: (no deprecation) as sugar for ``options=QueryOptions(...)``, but never
+#: mixed with legacy spellings or an explicit options object.
+_MODERN_QUERY_KWARGS = frozenset({"backend", "batch_chunk"})
 
 _legacy_warned: "set[str]" = set()
 
@@ -211,15 +237,24 @@ def _coerce_options(
             f"keywords or QueryOptions fields"
         )
     if kwargs:
-        unknown = sorted(set(kwargs) - _LEGACY_QUERY_KWARGS)
+        unknown = sorted(set(kwargs) - _LEGACY_QUERY_KWARGS - _MODERN_QUERY_KWARGS)
         if unknown:
             raise TypeError(f"{fn}() got unexpected keyword argument(s) {unknown}")
         if options is not None:
             raise TypeError(
-                f"{fn}() got both options= and legacy keyword(s) "
+                f"{fn}() got both options= and keyword(s) "
                 f"{sorted(kwargs)}; pass everything in QueryOptions"
             )
-        warn_legacy_kwargs(fn, kwargs, "options=QueryOptions(...)", stacklevel=4)
+        legacy = sorted(set(kwargs) & _LEGACY_QUERY_KWARGS)
+        modern = sorted(set(kwargs) & _MODERN_QUERY_KWARGS)
+        if legacy and modern:
+            raise TypeError(
+                f"{fn}() got keyword(s) {modern} together with legacy "
+                f"keyword(s) {legacy}; both spellings cannot be mixed — "
+                f"pass everything in QueryOptions"
+            )
+        if legacy:
+            warn_legacy_kwargs(fn, kwargs, "options=QueryOptions(...)", stacklevel=4)
         return QueryOptions(**kwargs)
     return options if options is not None else DEFAULT_QUERY_OPTIONS
 

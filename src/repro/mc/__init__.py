@@ -5,6 +5,10 @@
     face-consistent edge-cycle construction (crack-free by construction).
 ``marching_cubes``
     Vectorized extraction over full grids and metacell batches.
+``surface_nets``
+    Sign-driven dual extraction (smoothed topology-equivalent surface).
+``backends``
+    The pluggable kernel registry behind ``QueryOptions.backend``.
 ``marching_tets``
     Independent marching-tetrahedra oracle used by the tests.
 ``geometry``
@@ -20,6 +24,16 @@ from repro.mc.marching_cubes import (
     count_active_cells,
     marching_cubes,
     marching_cubes_batch,
+)
+from repro.mc.surface_nets import surface_nets, surface_nets_batch
+from repro.mc.backends import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+    validate_backend,
 )
 from repro.mc.marching_tets import marching_tets_generic, marching_tetrahedra
 from repro.mc.mesh_io import read_obj, read_ply, write_obj, write_ply
@@ -64,6 +78,15 @@ __all__ = [
     "MarchingCubes",
     "marching_cubes",
     "marching_cubes_batch",
+    "surface_nets",
+    "surface_nets_batch",
+    "KernelBackend",
+    "DEFAULT_BACKEND",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "validate_backend",
     "marching_tetrahedra",
     "marching_tets_generic",
     "count_active_cells",

@@ -42,6 +42,20 @@ class TriangleMesh:
         elif len(self.faces):
             raise ValueError("faces present but no vertices")
 
+    @classmethod
+    def _from_validated(cls, vertices: np.ndarray, faces: np.ndarray) -> "TriangleMesh":
+        """Construct without re-validating index bounds.
+
+        Internal fast path for extraction kernels whose construction
+        guarantees ``faces`` indexes ``vertices`` in range.  ``vertices``
+        must already be ``(V, 3)`` float64 and ``faces`` ``(F, 3)`` int64;
+        the bounds scan in ``__post_init__`` is skipped.
+        """
+        mesh = cls.__new__(cls)
+        mesh.vertices = vertices
+        mesh.faces = faces
+        return mesh
+
     # -- basic measures -------------------------------------------------------
 
     @property

@@ -192,6 +192,25 @@ class ExtractRequest:
     #: always work).  The serving layer clears it for bulk-tier work
     #: under brownout shed so the shed class cannot churn the cache.
     cache_populate: bool = True
+    #: Extraction-kernel backend every node triangulates with, resolved
+    #: through :mod:`repro.mc.backends` (``"mc-batch"``: exact vectorized
+    #: MC; ``"surface-nets"``: smoothed dual kernel, ~2x throughput).
+    #: Inexact backends get their own result-cache key space.
+    backend: str = "mc-batch"
+    #: Metacells per vectorized triangulation pass (``None``: the
+    #: kernel's :data:`~repro.mc.marching_cubes.DEFAULT_BATCH_CHUNK`);
+    #: also the pipelined path's job-cutting unit.
+    batch_chunk: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.backend != "mc-batch":
+            from repro.mc.backends import validate_backend
+
+            validate_backend(self.backend)
+        if self.batch_chunk is not None and self.batch_chunk < 1:
+            raise ValueError(
+                f"batch_chunk must be >= 1, got {self.batch_chunk}"
+            )
 
 
 #: Request used when a caller passes none.
@@ -203,6 +222,10 @@ _LEGACY_EXTRACT_KWARGS = frozenset({
     "render", "camera", "keep_meshes", "tile_layout", "smooth",
     "deadline", "hedge", "speculate",
 })
+
+#: Kwargs added after the request-object migration; accepted standalone
+#: (no deprecation), never mixed with legacy spellings or request=.
+_MODERN_EXTRACT_KWARGS = frozenset({"backend", "batch_chunk"})
 
 
 def _coerce_request(
@@ -216,15 +239,26 @@ def _coerce_request(
             f"{type(request).__name__})"
         )
     if kwargs:
-        unknown = sorted(set(kwargs) - _LEGACY_EXTRACT_KWARGS)
+        unknown = sorted(
+            set(kwargs) - _LEGACY_EXTRACT_KWARGS - _MODERN_EXTRACT_KWARGS
+        )
         if unknown:
             raise TypeError(f"{fn}() got unexpected keyword argument(s) {unknown}")
         if request is not None:
             raise TypeError(
-                f"{fn}() got both request= and legacy keyword(s) "
+                f"{fn}() got both request= and keyword(s) "
                 f"{sorted(kwargs)}; pass everything in ExtractRequest"
             )
-        warn_legacy_kwargs(fn, kwargs, "request=ExtractRequest(...)")
+        legacy = sorted(set(kwargs) & _LEGACY_EXTRACT_KWARGS)
+        modern = sorted(set(kwargs) & _MODERN_EXTRACT_KWARGS)
+        if legacy and modern:
+            raise TypeError(
+                f"{fn}() got keyword(s) {modern} together with legacy "
+                f"keyword(s) {legacy}; both spellings cannot be mixed — "
+                f"pass everything in ExtractRequest"
+            )
+        if legacy:
+            warn_legacy_kwargs(fn, kwargs, "request=ExtractRequest(...)")
         return ExtractRequest(**kwargs)
     return request if request is not None else DEFAULT_EXTRACT_REQUEST
 
@@ -266,6 +300,9 @@ class ClusterResult:
     #: clusters where several stripe slots share one disk (the elastic
     #: cluster).  None: each slot is its own node (the static cluster).
     node_groups: "list[list[int]] | None" = None
+    #: Extraction-kernel backend the nodes triangulated with (see
+    #: :attr:`ExtractRequest.backend`).
+    backend: str = "mc-batch"
 
     @property
     def unrecovered_nodes(self) -> "list[int]":
@@ -675,6 +712,8 @@ class SimulatedCluster:
         coalesce_gap_blocks: int = 0,
         pipeline=None,
         rcache=None,
+        backend: str = "mc-batch",
+        batch_chunk: "int | None" = None,
     ) -> "tuple[NodeMetrics, TriangleMesh, np.ndarray | None]":
         """Query + triangulate on one node; returns metrics, mesh, and
         (optionally) payload-local gradient normals — everything a node
@@ -686,11 +725,13 @@ class SimulatedCluster:
         prior output replays with zero modeled I/O and triangulation
         time; a miss threads the view into the query layer so record
         prefixes are served from and re-deposited into the cache.
+        ``backend`` selects the extraction kernel (mesh-tier cache keys
+        carry it, so inexact kernels never replay exact output).
         """
         t0 = time.perf_counter()
         stripe = dataset.node_rank
         if rcache is not None:
-            hit = rcache.mesh_get(stripe, lam, with_normals)
+            hit = rcache.mesh_get(stripe, lam, with_normals, backend=backend)
             if hit is not None:
                 if tracer.enabled:
                     tracer.instant(
@@ -728,14 +769,22 @@ class SimulatedCluster:
                     spacing=meta.spacing, world_origin=meta.origin,
                     with_normals=with_normals, options=pipeline,
                     tracer=tracer, track=track,
+                    backend=backend, batch_chunk=batch_chunk,
                 )
             else:
-                out = marching_cubes_batch(
+                from repro.mc.backends import get_backend
+                from repro.mc.marching_cubes import DEFAULT_BATCH_CHUNK
+
+                out = get_backend(backend).batch(
                     values,
                     lam,
                     origins,
                     spacing=meta.spacing,
                     world_origin=meta.origin,
+                    chunk=(
+                        DEFAULT_BATCH_CHUNK if batch_chunk is None
+                        else batch_chunk
+                    ),
                     with_normals=with_normals,
                 )
             mesh, normals = out if with_normals else (out, None)
@@ -777,7 +826,8 @@ class SimulatedCluster:
 
             rcache.mesh_put(
                 stripe, lam, with_normals,
-                CachedNodeResult(
+                backend=backend,
+                payload=CachedNodeResult(
                     mesh=mesh, normals=normals, n_active=qr.n_active,
                     n_cells_examined=metrics.n_cells_examined,
                     n_triangles=mesh.n_triangles,
@@ -929,6 +979,7 @@ class SimulatedCluster:
                     tracer=tracer, track=f"node{rank}",
                     coalesce_gap_blocks=req.coalesce_gap_blocks,
                     pipeline=req.pipeline, rcache=rview,
+                    backend=req.backend, batch_chunk=req.batch_chunk,
                 )
                 delivered[rank] = m.n_active_metacells
             except StorageFault as exc:
@@ -972,6 +1023,7 @@ class SimulatedCluster:
                         tracer=tracer, track=f"node{host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
                         pipeline=req.pipeline, rcache=rview,
+                        backend=req.backend, batch_chunk=req.batch_chunk,
                     )
                 except StorageFault:
                     continue
@@ -1003,6 +1055,7 @@ class SimulatedCluster:
                         tracer=tracer, track=f"node{k}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
                         pipeline=req.pipeline, rcache=rview,
+                        backend=req.backend, batch_chunk=req.batch_chunk,
                     )
                     m.circuit_open = True
                     per_node[k] = m
@@ -1038,6 +1091,7 @@ class SimulatedCluster:
                         tracer=tracer, track=f"node{host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
                         pipeline=req.pipeline, rcache=rview,
+                        backend=req.backend, batch_chunk=req.batch_chunk,
                     )
                 except StorageFault:
                     continue
@@ -1084,6 +1138,7 @@ class SimulatedCluster:
                         tracer=tracer, track=f"node{d.host}",
                         coalesce_gap_blocks=req.coalesce_gap_blocks,
                         pipeline=req.pipeline, rcache=rview,
+                        backend=req.backend, batch_chunk=req.batch_chunk,
                     )
                 except StorageFault:
                     continue
@@ -1150,6 +1205,7 @@ class SimulatedCluster:
             tenant=req.tenant,
             epoch=epoch,
             node_groups=self._result_node_groups(),
+            backend=req.backend,
         )
         #: Framebuffer slots that actually exist somewhere and get shipped.
         live = [i for i in range(self.p) if i not in unrecovered]
@@ -1263,7 +1319,9 @@ class SimulatedCluster:
             tracer.record(
                 "stage.triangulate", track, t, m.triangulation_time,
                 category="stage",
-                args={"cells": m.n_cells_examined, "triangles": m.n_triangles},
+                args={"cells": m.n_cells_examined,
+                      "triangles": m.n_triangles,
+                      "backend": result.backend},
             )
             t += m.triangulation_time
             if m.speculation_wait:
@@ -1292,6 +1350,7 @@ class SimulatedCluster:
                 "coverage": result.coverage,
                 "triangles": result.n_triangles,
                 "degraded": result.degraded,
+                "backend": result.backend,
             },
         )
 
@@ -1313,6 +1372,8 @@ class SimulatedCluster:
             if m.deadline_expired:
                 registry.inc("cluster.deadline_expired_nodes")
         registry.inc("cluster.extractions")
+        registry.inc(f"kernel.{result.backend}.extractions")
+        registry.inc(f"kernel.{result.backend}.triangles", result.n_triangles)
         registry.inc("cluster.composite_bytes", result.composite_bytes)
         registry.set_gauge("cluster.coverage", result.coverage)
         registry.observe("cluster.total_seconds", result.total_time)
@@ -1338,9 +1399,19 @@ class SimulatedCluster:
             publish_result_cache_stats(registry, self.result_cache)
         self.health.publish(registry)
 
-    def estimate_extract_time(self, lam: float) -> float:
+    def estimate_extract_time(
+        self, lam: float, backend: str = "mc-batch"
+    ) -> float:
         """Predicted modeled seconds for :meth:`extract` at ``lam``,
         without touching any disk.
+
+        ``backend`` names the extraction kernel the request will run
+        (validated against :mod:`repro.mc.backends`).  The I/O bill this
+        estimate is built from is backend-independent — the kernel only
+        changes triangulation time, which the estimate deliberately
+        excludes — but callers that memoize the figure (the serving
+        front-end) key their cache on it, so the parameter keeps the
+        estimate's signature aligned with the request it predicts.
 
         The per-stripe I/O bill comes from
         :func:`~repro.core.analysis.estimate_query_cost` (block-exact on
@@ -1359,7 +1430,9 @@ class SimulatedCluster:
         backlogs, which only ever errs toward admitting.
         """
         from repro.core.analysis import estimate_query_cost
+        from repro.mc.backends import validate_backend
 
+        validate_backend(backend)
         views = self._dataset_views()
         owners = self.ownership.owners()
         per_owner: "dict[int, float]" = {}

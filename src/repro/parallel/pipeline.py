@@ -9,10 +9,10 @@ processes without giving up determinism:
   boundaries and stages each job's float64 payload into a
   ``multiprocessing.shared_memory`` segment — no pickling of payload
   bytes;
-* **MC workers** attach the segment, triangulate with the exact chunked
-  kernel the serial path uses
-  (:func:`repro.mc.marching_cubes._extract_batch_chunks`), and return
-  only the resulting vertex/face arrays;
+* **kernel workers** attach the segment, triangulate with the exact
+  chunked kernel the serial path uses (the request's backend resolved
+  through :mod:`repro.mc.backends`), and return only the resulting
+  vertex/face arrays;
 * the parent reassembles meshes **in job order** and applies the world
   transform once at the end — the same place the serial path applies it.
 
@@ -45,7 +45,6 @@ from repro.mc.geometry import TriangleMesh
 from repro.mc.marching_cubes import (
     DEFAULT_BATCH_CHUNK,
     _apply_world_transform,
-    _extract_batch_chunks,
 )
 from repro.obs.tracer import NULL_TRACER
 
@@ -221,7 +220,9 @@ def _pipeline_worker(args):
     """
     from multiprocessing import resource_tracker, shared_memory
 
-    shm_name, shape, lam, origins, with_normals = args
+    from repro.mc.backends import get_backend
+
+    shm_name, shape, lam, origins, with_normals, backend, chunk = args
     # The parent owns this segment's lifecycle; attaching must not
     # (re-)register it with a resource tracker — under fork the tracker
     # process is *shared* with the parent, so an attach-register followed
@@ -237,8 +238,8 @@ def _pipeline_worker(args):
         resource_tracker.register = _register
     try:
         values = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
-        mesh, normals = _extract_batch_chunks(
-            values, lam, origins, DEFAULT_BATCH_CHUNK, with_normals
+        mesh, normals = get_backend(backend).extract_chunks(
+            values, lam, origins, chunk, with_normals
         )
         # Copies detach the result from the shared segment before close.
         return (mesh.vertices.copy(), mesh.faces.copy(),
@@ -257,28 +258,38 @@ def pipelined_marching_cubes(
     options: "PipelineOptions | None" = None,
     tracer=NULL_TRACER,
     track: "str | None" = None,
+    backend: str = "mc-batch",
+    batch_chunk: "int | None" = None,
 ) -> "TriangleMesh | tuple[TriangleMesh, np.ndarray]":
     """Drop-in, bit-identical replacement for
     :func:`repro.mc.marching_cubes.marching_cubes_batch` that overlaps
     payload staging with triangulation across worker processes.
 
     Falls back to the serial kernel inline when the batch is smaller
-    than one job (process startup would dominate) or when running in a
-    daemonic worker process (which may not spawn children).
+    than one job (process startup would dominate), when running in a
+    daemonic worker process (which may not spawn children), or when the
+    selected backend cannot triangulate independent jobs
+    (``supports_pipeline=False``, e.g. ``surface-nets``).
     """
-    from repro.mc.marching_cubes import marching_cubes_batch
+    from repro.mc.backends import get_backend
 
     opts = options or DEFAULT_PIPELINE_OPTIONS
+    bk = get_backend(backend)
+    chunk = DEFAULT_BATCH_CHUNK if batch_chunk is None else int(batch_chunk)
     values = np.asarray(values)
     if values.ndim != 4:
         raise ValueError(f"expected (n, mx, my, mz) batch, got shape {values.shape}")
     origins = np.asarray(origins, dtype=np.float64).reshape(len(values), 3)
     n = len(values)
-    job = opts.job_metacells
-    if n <= job or multiprocessing.current_process().daemon:
-        return marching_cubes_batch(
+    job = opts.batch_chunks * chunk
+    if (
+        n <= job
+        or not bk.supports_pipeline
+        or multiprocessing.current_process().daemon
+    ):
+        return bk.batch(
             values, lam, origins, spacing=spacing, world_origin=world_origin,
-            with_normals=with_normals,
+            chunk=chunk, with_normals=with_normals,
         )
 
     ctx = (
@@ -319,7 +330,8 @@ def pipelined_marching_cubes(
                     pool.apply_async(
                         _pipeline_worker,
                         ((shm.name, block.shape, float(lam),
-                          origins[s:e].copy(), with_normals),),
+                          origins[s:e].copy(), with_normals,
+                          bk.name, chunk),),
                     )
                 )
             meshes = []
@@ -341,9 +353,8 @@ def pipelined_marching_cubes(
                     staged = np.ndarray(
                         shapes[ji], dtype=np.float64, buffer=segments[ji].buf
                     )
-                    mesh_j, normals = _extract_batch_chunks(
-                        staged, float(lam), origins[s:e],
-                        DEFAULT_BATCH_CHUNK, with_normals,
+                    mesh_j, normals = bk.extract_chunks(
+                        staged, float(lam), origins[s:e], chunk, with_normals,
                     )
                     verts = mesh_j.vertices.copy()
                     faces = mesh_j.faces.copy()

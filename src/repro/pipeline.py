@@ -103,11 +103,15 @@ class IsosurfacePipeline:
 
         ``options`` (a :class:`repro.core.query.QueryOptions`) tunes the
         query stage — read coalescing via ``coalesce_gap_blocks``,
-        deadlines, tracing — and, through its ``pipeline`` field
-        (:class:`repro.parallel.pipeline.PipelineOptions`), routes
-        triangulation through the stage-overlapped shared-memory
-        executor.  Every combination returns bit-identical geometry and
-        identical modeled I/O charges; only wall time differs.
+        deadlines, tracing — and the triangulation stage: ``backend``
+        selects the extraction kernel through
+        :mod:`repro.mc.backends`, ``batch_chunk`` sizes its vectorized
+        passes, and the ``pipeline`` field
+        (:class:`repro.parallel.pipeline.PipelineOptions`) routes
+        pipeline-capable backends through the stage-overlapped
+        shared-memory executor.  With the default exact backend every
+        combination returns bit-identical geometry and identical modeled
+        I/O charges; only wall time differs.
         """
         t0 = time.perf_counter()
         qr = (
@@ -119,6 +123,8 @@ class IsosurfacePipeline:
         meta = self.dataset.meta
         normals = None
         pipeline = getattr(options, "pipeline", None)
+        backend = getattr(options, "backend", "mc-batch")
+        batch_chunk = getattr(options, "batch_chunk", None)
         if qr.n_active:
             if pipeline is not None:
                 from repro.obs.tracer import coerce_tracer
@@ -134,14 +140,23 @@ class IsosurfacePipeline:
                     options=pipeline,
                     tracer=coerce_tracer(getattr(options, "tracer", None)),
                     track=getattr(options, "track", None),
+                    backend=backend,
+                    batch_chunk=batch_chunk,
                 )
             else:
-                out = marching_cubes_batch(
+                from repro.mc.backends import get_backend
+                from repro.mc.marching_cubes import DEFAULT_BATCH_CHUNK
+
+                out = get_backend(backend).batch(
                     codec.values_grid(qr.records),
                     lam,
                     meta.vertex_origins(qr.records.ids),
                     spacing=meta.spacing,
                     world_origin=meta.origin,
+                    chunk=(
+                        DEFAULT_BATCH_CHUNK if batch_chunk is None
+                        else batch_chunk
+                    ),
                     with_normals=smooth,
                 )
             mesh, normals = out if smooth else (out, None)
@@ -182,15 +197,19 @@ class IsosurfacePipeline:
             raise ValueError("dataset has no non-constant metacells")
         return float(tree.endpoints[0]), float(tree.endpoints[-1])
 
-    def extract_many(self, lams) -> "dict[float, TriangleMesh]":
+    def extract_many(self, lams, backend: str = "mc-batch",
+                     ) -> "dict[float, TriangleMesh]":
         """Extract several isovalues with one shared pass over the disk.
 
         Records shared by nearby isovalues are read once
         (:func:`repro.core.multi_query.execute_multi_query`); each
-        isovalue is then triangulated from its own active subset.
+        isovalue is then triangulated from its own active subset by the
+        requested extraction ``backend``.
         """
         from repro.core.multi_query import execute_multi_query
+        from repro.mc.backends import get_backend
 
+        bk = get_backend(backend)
         multi = execute_multi_query(self.dataset, lams)
         meta = self.dataset.meta
         codec = self.dataset.codec
@@ -198,7 +217,7 @@ class IsosurfacePipeline:
         for lam in multi.lams:
             records = multi.records_for(lam)
             if len(records):
-                out[lam] = marching_cubes_batch(
+                out[lam] = bk.batch(
                     codec.values_grid(records),
                     lam,
                     meta.vertex_origins(records.ids),

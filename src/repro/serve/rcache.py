@@ -273,16 +273,24 @@ class ResultCacheView:
 
     # -- triangle tier ---------------------------------------------------
 
-    def _mesh_key(self, stripe: int, lam: float, with_normals: bool) -> tuple:
+    def _mesh_key(self, stripe: int, lam: float, with_normals: bool,
+                  backend: str) -> tuple:
+        # The backend rides at the *end* of the key: the epoch stays at
+        # index 2 (invalidate_epoch scans it there), and pre-backend
+        # entries simply never match a keyed lookup again.  Keying on the
+        # kernel keeps inexact backends (surface-nets) from replaying
+        # exact-MC output and vice versa.
         return (
             "mesh", self.fingerprint, self.epoch,
             self.cache.bucket_of(lam), int(stripe), float(lam),
-            bool(with_normals),
+            bool(with_normals), str(backend),
         )
 
-    def mesh_get(self, stripe: int, lam: float,
-                 with_normals: bool) -> "CachedNodeResult | None":
-        payload = self.cache._get(self._mesh_key(stripe, lam, with_normals))
+    def mesh_get(self, stripe: int, lam: float, with_normals: bool,
+                 backend: str = "mc-batch") -> "CachedNodeResult | None":
+        payload = self.cache._get(
+            self._mesh_key(stripe, lam, with_normals, backend)
+        )
         if payload is None:
             self.cache.stats.mesh_misses += 1
             return None
@@ -290,19 +298,23 @@ class ResultCacheView:
         return payload
 
     def mesh_put(self, stripe: int, lam: float, with_normals: bool,
-                 payload: CachedNodeResult) -> None:
+                 payload: CachedNodeResult,
+                 backend: str = "mc-batch") -> None:
         if not self.populate:
             return
         self.cache._put(
-            self._mesh_key(stripe, lam, with_normals),
+            self._mesh_key(stripe, lam, with_normals, backend),
             _mesh_nbytes(payload), payload,
         )
 
-    def mesh_contains(self, stripe: int, lam: float,
-                      with_normals: bool) -> bool:
+    def mesh_contains(self, stripe: int, lam: float, with_normals: bool,
+                      backend: str = "mc-batch") -> bool:
         """Non-perturbing probe (no LRU touch, no stats) — used by the
         admission feasibility discount, which must not skew hit rates."""
-        return self._mesh_key(stripe, lam, with_normals) in self.cache._lru
+        return (
+            self._mesh_key(stripe, lam, with_normals, backend)
+            in self.cache._lru
+        )
 
 
 def publish_result_cache_stats(registry, cache: ResultCache,

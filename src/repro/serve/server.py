@@ -94,8 +94,16 @@ class ServeConfig:
     #: concurrent same-λ-bucket requests share one in-flight extraction.
     #: None — the default — disables both, the pre-cache behaviour.
     cache: "CacheOptions | None" = None
+    #: Extraction-kernel backend every dispatched query runs with
+    #: (resolved through :mod:`repro.mc.backends`; cost estimates and
+    #: result-cache probes key on it).
+    backend: str = "mc-batch"
 
     def __post_init__(self) -> None:
+        if self.backend != "mc-batch":
+            from repro.mc.backends import validate_backend
+
+            validate_backend(self.backend)
         if self.n_executors < 1:
             raise ValueError(f"n_executors must be >= 1, got {self.n_executors}")
         if self.brick_batches < 1:
@@ -346,9 +354,12 @@ class QueryServer:
     # -- helpers ---------------------------------------------------------
 
     def _estimate(self, lam: float) -> float:
-        key = (lam, getattr(self.cluster, "ownership_epoch", 0))
+        backend = self.config.backend
+        key = (lam, getattr(self.cluster, "ownership_epoch", 0), backend)
         if key not in self._est_cache:
-            self._est_cache[key] = self.cluster.estimate_extract_time(lam)
+            self._est_cache[key] = self.cluster.estimate_extract_time(
+                lam, backend=backend
+            )
         return self._est_cache[key]
 
     def _cached_fraction(self, lam: float) -> float:
@@ -365,7 +376,8 @@ class QueryServer:
         )
         p = self.cluster.p
         hits = sum(
-            1 for s in range(p) if view.mesh_contains(s, lam, False)
+            1 for s in range(p)
+            if view.mesh_contains(s, lam, False, backend=self.config.backend)
         )
         return hits / p if p else 0.0
 
@@ -523,6 +535,7 @@ class QueryServer:
                 cache=co,
                 result_cache=self.result_cache,
                 cache_populate=populate,
+                backend=self.config.backend,
             ))
             job.result = result
             job.service_total = result.total_time
@@ -682,7 +695,7 @@ class QueryServer:
         if records:
             lams = {r.lam for r in records}
             max_cost = max(
-                (cost for (lam, _epoch), cost in self._est_cache.items()
+                (cost for (lam, _epoch, _bk), cost in self._est_cache.items()
                  if lam in lams),
                 default=0.0,
             )

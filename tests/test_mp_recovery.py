@@ -9,12 +9,14 @@ exception, or worker death — and segments orphaned by a SIGKILLed
 parent are reclaimed by :func:`purge_orphan_segments`.
 """
 
+import dataclasses
 import glob
 import os
 
 import numpy as np
 import pytest
 
+import repro.mc.backends as backends_mod
 import repro.parallel.mp_backend as mp_backend
 import repro.parallel.pipeline as pipeline_mod
 from repro.core.builder import build_striped_datasets
@@ -181,14 +183,18 @@ class TestPipelineShmLifecycle:
         """The satellite invariant: a run whose worker raises leaves
         zero ``repro_pl_*`` segments in /dev/shm."""
         values, origins, _ = batch
-        orig = pipeline_mod._extract_batch_chunks
+        bk = backends_mod.get_backend("mc-batch")
+        orig = bk.extract_chunks
 
         def raising(values, lam, origins, chunk, with_normals):
             if in_worker():
                 raise RuntimeError("worker boom")
             return orig(values, lam, origins, chunk, with_normals)
 
-        monkeypatch.setattr(pipeline_mod, "_extract_batch_chunks", raising)
+        monkeypatch.setitem(
+            backends_mod._REGISTRY, "mc-batch",
+            dataclasses.replace(bk, extract_chunks=raising),
+        )
         with pytest.raises(RuntimeError, match="worker boom"):
             pipelined_marching_cubes(
                 values, 0.5, origins,
@@ -200,14 +206,18 @@ class TestPipelineShmLifecycle:
         """A worker killed outright (no unwinding): the parent re-runs
         the timed-out job from its staged copy, bit-identically."""
         values, origins, ref = batch
-        orig = pipeline_mod._extract_batch_chunks
+        bk = backends_mod.get_backend("mc-batch")
+        orig = bk.extract_chunks
 
         def dying(values, lam, origins, chunk, with_normals):
             if in_worker():
                 os._exit(137)
             return orig(values, lam, origins, chunk, with_normals)
 
-        monkeypatch.setattr(pipeline_mod, "_extract_batch_chunks", dying)
+        monkeypatch.setitem(
+            backends_mod._REGISTRY, "mc-batch",
+            dataclasses.replace(bk, extract_chunks=dying),
+        )
         mesh = pipelined_marching_cubes(
             values, 0.5, origins,
             options=PipelineOptions(workers=2, batch_chunks=2, job_timeout=3.0),

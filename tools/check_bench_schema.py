@@ -15,10 +15,17 @@ metrics are namespaced ``<bench>.<metric>``.
 Usage::
 
     PYTHONPATH=src python tools/check_bench_schema.py \
-        [--out benchmarks/output/BENCH_smoke.json] [FILE ...]
+        [--out benchmarks/output/BENCH_smoke.json] \
+        [--floor NAME=VALUE ...] [--floor-tolerance FRAC] [FILE ...]
 
 With no FILE arguments, checks every ``BENCH_*.json`` under
 ``benchmarks/output/`` (excluding a previous merged output).
+
+``--floor`` (repeatable) turns the checker into a perf gate: after
+validation, metric ``NAME`` — matched against both the bare metric key
+and its ``<bench>.<metric>`` namespaced form — must be at least
+``VALUE * (1 - tolerance)``.  The tolerance (default 0.15) absorbs
+machine-to-machine noise; a regression past it fails the job.
 """
 
 from __future__ import annotations
@@ -46,13 +53,59 @@ def check_metric_values(payload: dict) -> None:
             raise ValueError(f"metric {key!r} is negative: {value!r}")
 
 
+def parse_floor(spec: str) -> "tuple[str, float]":
+    """Split a ``NAME=VALUE`` floor spec (argparse ``type=``)."""
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"floor spec must be NAME=VALUE, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"floor value for {name!r} is not a number: {value!r}")
+
+
+def check_floors(merged_metrics: "dict[str, float]",
+                 floors: "list[tuple[str, float]]",
+                 tolerance: float) -> "list[str]":
+    """Return one failure line per unmet (or missing) floor.
+
+    Floors match the namespaced ``<bench>.<metric>`` key or, as a
+    convenience, the bare metric name when it is unambiguous across the
+    checked files.
+    """
+    failures = []
+    for name, floor in floors:
+        candidates = [v for k, v in merged_metrics.items()
+                      if k == name or k.split(".", 1)[-1] == name]
+        if not candidates:
+            failures.append(f"floor metric {name!r} not found in any payload")
+            continue
+        value = min(candidates)
+        cut = floor * (1.0 - tolerance)
+        if value < cut:
+            failures.append(
+                f"metric {name!r} = {value:.4g} below floor {floor:.4g} "
+                f"(cutoff {cut:.4g} at {tolerance:.0%} tolerance)")
+    return failures
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path,
                         help="bench JSON files (default: benchmarks/output/BENCH_*.json)")
     parser.add_argument("--out", type=Path, default=None,
                         help="write the merged smoke payload here")
+    parser.add_argument("--floor", action="append", default=[],
+                        type=parse_floor, metavar="NAME=VALUE",
+                        help="require metric NAME >= VALUE*(1-tolerance); repeatable")
+    parser.add_argument("--floor-tolerance", type=float, default=0.15,
+                        metavar="FRAC",
+                        help="fractional slack applied to every floor (default 0.15)")
     args = parser.parse_args(argv)
+    if not 0.0 <= args.floor_tolerance < 1.0:
+        parser.error("--floor-tolerance must be in [0, 1)")
 
     files = args.files or sorted(
         p for p in OUTPUT_DIR.glob("BENCH_*.json")
@@ -82,6 +135,18 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"check_bench_schema: {failures}/{len(files)} files failed",
               file=sys.stderr)
         return 1
+
+    floor_failures = check_floors(merged_metrics, args.floor,
+                                  args.floor_tolerance)
+    if floor_failures:
+        for line in floor_failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        print(f"check_bench_schema: {len(floor_failures)} perf floor(s) unmet",
+              file=sys.stderr)
+        return 1
+    for name, floor in args.floor:
+        print(f"ok   floor {name} >= {floor} "
+              f"(-{args.floor_tolerance:.0%} tolerance)")
 
     if args.out is not None:
         merged = {
