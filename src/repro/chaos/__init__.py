@@ -1,0 +1,90 @@
+"""Deterministic chaos engineering for the simulated cluster.
+
+Composes every fault family the repo models — storage
+(:class:`~repro.io.faults.FaultPlan`), process crashes
+(:class:`~repro.io.faults.CrashSchedule`), membership
+(:class:`~repro.serve.traffic.ClusterEvent` kills), elasticity
+(:class:`~repro.elastic.sim.ScaleEvent`), and the network fault domain
+added here (:class:`~repro.chaos.netfaults.NetworkFaultPlan`) — into
+one seeded, modeled-clock event schedule, runs it through the serving
+stack, asserts global invariants after every trial, and shrinks any
+failing schedule to a minimal replayable repro.
+
+Only :mod:`repro.chaos.netfaults` is imported eagerly (the cluster's
+message paths depend on it); the engine, oracle registry, and shrinker
+load lazily so importing :mod:`repro.parallel.cluster` stays cheap and
+cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.netfaults import (
+    COORDINATOR,
+    Delivery,
+    LinkFaults,
+    NetStats,
+    NetworkFaultPlan,
+    NetworkSession,
+    PartitionWindow,
+)
+
+__all__ = [
+    "COORDINATOR",
+    "Delivery",
+    "LinkFaults",
+    "NetStats",
+    "NetworkFaultPlan",
+    "NetworkSession",
+    "PartitionWindow",
+    # lazy (see __getattr__):
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosSpec",
+    "KillTrial",
+    "ORACLES",
+    "SCHEDULE_SCHEMA",
+    "TrialContext",
+    "TrialResult",
+    "Violation",
+    "build_schedule",
+    "kill_schedule",
+    "load_schedule",
+    "register_oracle",
+    "run_oracles",
+    "save_schedule",
+    "schedule_as_dicts",
+    "schedule_from_dicts",
+    "shrink_schedule",
+    "unregister_oracle",
+]
+
+_LAZY = {
+    "ChaosEngine": "repro.chaos.engine",
+    "ChaosEvent": "repro.chaos.engine",
+    "ChaosSpec": "repro.chaos.engine",
+    "KillTrial": "repro.chaos.engine",
+    "TrialResult": "repro.chaos.engine",
+    "build_schedule": "repro.chaos.engine",
+    "kill_schedule": "repro.chaos.engine",
+    "schedule_as_dicts": "repro.chaos.engine",
+    "schedule_from_dicts": "repro.chaos.engine",
+    "ORACLES": "repro.chaos.invariants",
+    "TrialContext": "repro.chaos.invariants",
+    "Violation": "repro.chaos.invariants",
+    "register_oracle": "repro.chaos.invariants",
+    "run_oracles": "repro.chaos.invariants",
+    "unregister_oracle": "repro.chaos.invariants",
+    "SCHEDULE_SCHEMA": "repro.chaos.shrink",
+    "load_schedule": "repro.chaos.shrink",
+    "save_schedule": "repro.chaos.shrink",
+    "shrink_schedule": "repro.chaos.shrink",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.chaos' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

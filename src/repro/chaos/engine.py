@@ -1,0 +1,528 @@
+"""The deterministic chaos engine: composed fault schedules over one seed.
+
+:class:`ChaosEngine` turns a :class:`ChaosSpec` — one integer seed plus
+the knobs of the fault universe — into a fully materialised
+:class:`ChaosEvent` schedule (crash kills, storage fault bursts,
+membership scale waypoints, network partitions), runs a serving workload
+against an :class:`~repro.elastic.cluster.ElasticCluster` with that
+schedule applied, and asserts every registered invariant oracle
+(:mod:`repro.chaos.invariants`) on the outcome.
+
+Design rules, shared with the rest of the repo's simulation stack:
+
+* **One RNG per concern.**  The schedule is drawn from a single
+  ``random.Random(spec.seed)`` in a fixed order; the traffic trace uses
+  its own seed; the network fault session another.  A trial is a pure
+  function of its spec.
+* **Times are fractions.**  :attr:`ChaosEvent.time` is a fraction of
+  the trace duration, not modeled seconds — a shrunk schedule replays
+  against a rebuilt scenario whose absolute duration may differ (the
+  service unit is derived from the cluster), and fractions survive
+  that.
+* **Kills before drains.**  Kill times are drawn early (before the
+  first scale waypoint can fire) so a scripted scale-in never drains a
+  node that a later kill would then double-fault; the composition stays
+  well-defined for every seed.
+* **Chaos is observable, never silent.**  Every event lands in the
+  trace as an overlay/waypoint; the oracles then check the workload's
+  *outcome*, not the engine's bookkeeping.
+
+The failing-schedule shrinker (:mod:`repro.chaos.shrink`) consumes the
+same :class:`ChaosEvent` list, which is why events carry plain-data
+``args`` and JSON round-trip via :func:`schedule_as_dicts` /
+:func:`schedule_from_dicts`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.io.faults import FaultPlan
+
+from .netfaults import COORDINATOR, LinkFaults, NetworkFaultPlan
+
+#: Event kinds the engine knows how to apply, in scheduling order.
+EVENT_KINDS = ("kill", "faults", "scale", "partition", "partition-heal")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Everything that shapes one chaos trial, keyed by one seed.
+
+    The workload mirrors the elastic soak (a small analytic sphere, a
+    three-tenant burst trace, service-unit scaling) at reduced duration
+    so a CI soak fits hundreds of trials in its time cap.
+
+    Parameters
+    ----------
+    seed:
+        Master seed: schedule draws, the traffic trace, and the network
+        session all derive from it.
+    shape, metacell_shape, nodes, n_stripes:
+        Cluster geometry (see :class:`~repro.elastic.cluster.ElasticCluster`).
+    duration_units, rate_units, overload:
+        Trace length in service units, base arrival rate in requests
+        per unit, and the burst multiplier over the middle third.
+    n_kills, n_fault_bursts, n_scales, n_partitions:
+        How many events of each kind the schedule composes.
+    scale_choices:
+        Node counts a scale waypoint may target.
+    partition_length:
+        Partition duration as a fraction of the trace.
+    drop_rate, dup_rate, reorder_rate, delay_rate, delay_seconds:
+        Default per-link :class:`~repro.chaos.netfaults.LinkFaults`;
+        all-zero disables the network session entirely (byte-identical
+        to a pre-chaos run).
+    net_retries:
+        Transport retry budget per message.
+    result_cache_bytes:
+        λ-keyed result-cache budget (> 0 keeps the stale-cache oracle
+        meaningful under epoch churn).
+    """
+
+    seed: int = 0
+    shape: "tuple[int, int, int]" = (20, 20, 20)
+    metacell_shape: "tuple[int, int, int]" = (5, 5, 5)
+    nodes: int = 4
+    n_stripes: int = 12
+    duration_units: float = 30.0
+    rate_units: float = 1.5
+    overload: float = 3.0
+    n_kills: int = 1
+    n_fault_bursts: int = 1
+    n_scales: int = 1
+    n_partitions: int = 1
+    scale_choices: "tuple[int, ...]" = (3, 5, 6)
+    partition_length: float = 0.08
+    drop_rate: float = 0.03
+    dup_rate: float = 0.01
+    reorder_rate: float = 0.01
+    delay_rate: float = 0.05
+    delay_seconds: float = 2e-4
+    net_retries: int = 3
+    result_cache_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.duration_units <= 0 or self.rate_units <= 0:
+            raise ValueError("duration_units and rate_units must be > 0")
+        if min(self.n_kills, self.n_fault_bursts, self.n_scales,
+               self.n_partitions) < 0:
+            raise ValueError("event counts must be >= 0")
+        if not 0.0 < self.partition_length < 1.0:
+            raise ValueError(
+                f"partition_length must be in (0, 1), got {self.partition_length}"
+            )
+
+    @property
+    def link_faults(self) -> LinkFaults:
+        return LinkFaults(
+            drop_rate=self.drop_rate, dup_rate=self.dup_rate,
+            reorder_rate=self.reorder_rate, delay_rate=self.delay_rate,
+            delay_seconds=self.delay_seconds,
+        )
+
+    def network_plan(self) -> "NetworkFaultPlan | None":
+        """The trial's network fault plan, or None when all rates are 0."""
+        plan = NetworkFaultPlan(
+            seed=self.seed + 1, default=self.link_faults,
+            max_retries=self.net_retries,
+        )
+        return None if plan.empty else plan
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed, "shape": list(self.shape),
+            "metacell_shape": list(self.metacell_shape),
+            "nodes": self.nodes, "n_stripes": self.n_stripes,
+            "duration_units": self.duration_units,
+            "rate_units": self.rate_units, "overload": self.overload,
+            "n_kills": self.n_kills, "n_fault_bursts": self.n_fault_bursts,
+            "n_scales": self.n_scales, "n_partitions": self.n_partitions,
+            "scale_choices": list(self.scale_choices),
+            "partition_length": self.partition_length,
+            "drop_rate": self.drop_rate, "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "net_retries": self.net_retries,
+            "result_cache_bytes": self.result_cache_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosSpec":
+        d = dict(d)
+        for key in ("shape", "metacell_shape", "scale_choices"):
+            if key in d:
+                d[key] = tuple(d[key])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault, at a *fractional* time of the trace.
+
+    ``args`` is plain JSON data: ``{"rank": int}`` for kills,
+    ``{"rank", "transient_rate", "corruption_rate"}`` for storage fault
+    bursts, ``{"nodes": int}`` for scale waypoints, and
+    ``{"isolated": [stripe-slots...]}`` for partitions (the listed
+    slots lose the coordinator and everyone else; see
+    :func:`repro.chaos.netfaults.PartitionWindow`).
+    """
+
+    time: float
+    kind: str
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.time <= 1.0:
+            raise ValueError(f"event time must be a fraction, got {self.time}")
+
+    def as_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind, "args": dict(self.args)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosEvent":
+        return cls(time=d["time"], kind=d["kind"], args=dict(d.get("args", {})))
+
+
+def schedule_as_dicts(schedule) -> "list[dict]":
+    return [ev.as_dict() for ev in schedule]
+
+
+def schedule_from_dicts(rows) -> "list[ChaosEvent]":
+    return [ChaosEvent.from_dict(r) for r in rows]
+
+
+def build_schedule(spec: ChaosSpec) -> "list[ChaosEvent]":
+    """Draw the composed event schedule from ``random.Random(spec.seed)``.
+
+    Draw order is fixed (kills, fault bursts, scales, partitions) so a
+    spec field that zeroes one class of events does not perturb the
+    draws of the others *earlier* in the order — useful when bisecting
+    a failure by fault domain.
+    """
+    rng = random.Random(spec.seed)
+    events: "list[ChaosEvent]" = []
+    for _ in range(spec.n_kills):
+        events.append(ChaosEvent(
+            time=rng.uniform(0.15, 0.30), kind="kill",
+            args={"rank": rng.randrange(spec.nodes)},
+        ))
+    for _ in range(spec.n_fault_bursts):
+        events.append(ChaosEvent(
+            time=rng.uniform(0.10, 0.80), kind="faults",
+            args={
+                "rank": rng.randrange(spec.nodes),
+                "transient_rate": rng.choice((0.05, 0.15, 0.3)),
+                "corruption_rate": rng.choice((0.0, 0.02, 0.05)),
+            },
+        ))
+    for _ in range(spec.n_scales):
+        events.append(ChaosEvent(
+            time=rng.uniform(0.35, 0.80), kind="scale",
+            args={"nodes": rng.choice(spec.scale_choices)},
+        ))
+    for _ in range(spec.n_partitions):
+        start = rng.uniform(0.20, 0.70)
+        n_isolated = rng.randrange(1, max(2, spec.n_stripes // 3))
+        first = rng.randrange(spec.n_stripes)
+        isolated = sorted(
+            (first + i) % spec.n_stripes for i in range(n_isolated)
+        )
+        events.append(ChaosEvent(
+            time=start, kind="partition", args={"isolated": isolated},
+        ))
+        events.append(ChaosEvent(
+            time=min(start + spec.partition_length, 1.0),
+            kind="partition-heal", args={},
+        ))
+    events.sort(key=lambda e: (e.time, EVENT_KINDS.index(e.kind)))
+    return events
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one chaos trial: workload stats plus oracle verdicts."""
+
+    seed: int
+    n_requests: int = 0
+    states: dict = field(default_factory=dict)
+    violations: "list" = field(default_factory=list)
+    schedule: "list[ChaosEvent]" = field(default_factory=list)
+    migrations: int = 0
+    migrations_aborted: int = 0
+    final_epoch: int = 0
+    final_nodes: int = 0
+    net_stats: dict = field(default_factory=dict)
+    modeled_horizon: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed, "ok": self.ok,
+            "n_requests": self.n_requests, "states": dict(self.states),
+            "violations": [v.as_dict() for v in self.violations],
+            "schedule": schedule_as_dicts(self.schedule),
+            "migrations": self.migrations,
+            "migrations_aborted": self.migrations_aborted,
+            "final_epoch": self.final_epoch,
+            "final_nodes": self.final_nodes,
+            "net_stats": dict(self.net_stats),
+            "modeled_horizon": self.modeled_horizon,
+        }
+
+
+# Reference triangle counts are a function of (volume, partitioning,
+# isovalue) only — not of node count, faults, or schedule — so one
+# static-cluster run per geometry serves every trial of a soak.
+_REFERENCE_CACHE: "dict[tuple, dict[float, int]]" = {}
+
+
+class ChaosEngine:
+    """Builds, runs, and judges chaos trials (see the module docstring).
+
+    One engine instance may run many trials; per-geometry reference
+    results are cached process-wide.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) accumulates ``chaos.*``
+    counters across every trial the engine runs.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+
+    # -- scenario construction ------------------------------------------
+
+    def _build_cluster(self, spec: ChaosSpec):
+        from repro.elastic import ElasticCluster
+        from repro.grid.datasets import sphere_field
+        from repro.io.cache import CacheOptions
+
+        cache = (
+            CacheOptions(result_cache_bytes=spec.result_cache_bytes)
+            if spec.result_cache_bytes > 0 else None
+        )
+        return ElasticCluster(
+            sphere_field(spec.shape), nodes=spec.nodes,
+            n_stripes=spec.n_stripes, metacell_shape=spec.metacell_shape,
+            cache=cache,
+        )
+
+    def _isovalues(self, cluster, n: int = 4) -> "tuple[float, ...]":
+        endpoints = cluster.datasets[0].tree.endpoints
+        lo, hi = float(min(endpoints)), float(max(endpoints))
+        return tuple(lo + (hi - lo) * (i + 1) / (n + 1) for i in range(n))
+
+    def reference_triangles(self, spec: ChaosSpec, isovalues) -> "dict[float, int]":
+        """Fault-free ground truth per isovalue (static cluster,
+        replication 1, no chaos), cached per geometry."""
+        key = (spec.shape, spec.metacell_shape, spec.nodes,
+               spec.n_stripes, tuple(isovalues))
+        if key not in _REFERENCE_CACHE:
+            from repro.grid.datasets import sphere_field
+            from repro.parallel.cluster import SimulatedCluster
+
+            static = SimulatedCluster(
+                sphere_field(spec.shape), spec.nodes,
+                metacell_shape=spec.metacell_shape, replication=1,
+            )
+            _REFERENCE_CACHE[key] = {
+                lam: int(static.extract(lam).n_triangles) for lam in isovalues
+            }
+        return _REFERENCE_CACHE[key]
+
+    def _scenario(self, spec: ChaosSpec, cluster, schedule):
+        """Materialise (trace, serve config, scale plan) with the
+        schedule's events mapped onto absolute trace time."""
+        from repro.elastic import ScaleEvent
+        from repro.serve import (
+            BrownoutConfig, BurstWindow, ClusterEvent, ServeConfig,
+            TenantSpec, TrafficConfig, generate_trace,
+        )
+
+        isovalues = self._isovalues(cluster)
+        unit = max(cluster.estimate_extract_time(lam) for lam in isovalues)
+        duration = spec.duration_units * unit
+        base_rate = spec.rate_units / unit
+        tenants = (
+            TenantSpec("gold-a", tier="gold", arrival_share=0.3,
+                       rate=base_rate, burst=8, deadline_budget=4.0 * unit),
+            TenantSpec("silver-b", tier="silver", arrival_share=0.4,
+                       rate=base_rate, burst=8, deadline_budget=6.0 * unit),
+            TenantSpec("bulk-c", tier="bulk", arrival_share=0.3,
+                       rate=base_rate, burst=8, deadline_budget=12.0 * unit),
+        )
+        overlays: "list[ClusterEvent]" = []
+        plan: "list[ScaleEvent]" = []
+        for ev in schedule:
+            t = ev.time * duration
+            if ev.kind == "kill":
+                overlays.append(ClusterEvent(time=t, action="kill",
+                                             rank=ev.args["rank"]))
+            elif ev.kind == "faults":
+                overlays.append(ClusterEvent(
+                    time=t, action="faults", rank=ev.args["rank"],
+                    plan=FaultPlan(
+                        seed=spec.seed + 17,
+                        transient_error_rate=ev.args.get("transient_rate", 0.1),
+                        corruption_rate=ev.args.get("corruption_rate", 0.0),
+                    ),
+                ))
+            elif ev.kind == "scale":
+                plan.append(ScaleEvent(time=t, nodes=ev.args["nodes"]))
+            elif ev.kind == "partition":
+                isolated = tuple(ev.args.get("isolated", ()))
+                overlays.append(ClusterEvent(
+                    time=t, action="partition", rank=-1,
+                    groups=((COORDINATOR,), isolated),
+                ))
+            elif ev.kind == "partition-heal":
+                overlays.append(ClusterEvent(
+                    time=t, action="partition-heal", rank=-1,
+                ))
+        traffic = TrafficConfig(
+            duration=duration, base_rate=base_rate, isovalues=isovalues,
+            seed=spec.seed + 2,
+            bursts=(BurstWindow(start=duration / 3.0,
+                                duration=duration / 3.0,
+                                factor=spec.overload),),
+            overlays=tuple(overlays),
+        )
+        config = ServeConfig(
+            tenants=tenants, n_executors=2, max_queue_depth=32,
+            quantum=unit / 5.0,
+            brownout=BrownoutConfig(eval_interval=unit),
+        )
+        return (generate_trace(traffic, tenants), config, tuple(plan),
+                isovalues, unit)
+
+    # -- running ---------------------------------------------------------
+
+    def run_trial(
+        self, spec: ChaosSpec, schedule: "list[ChaosEvent] | None" = None,
+        oracles=None,
+    ) -> TrialResult:
+        """Run one trial and judge it: build the schedule (unless an
+        explicit one is replayed/shrunk in), run the workload, assert
+        every oracle.  Never raises on a violation — the verdicts ride
+        in :attr:`TrialResult.violations`."""
+        from repro.elastic import ElasticController, Rebalancer
+        from repro.serve import QueryServer
+
+        from .invariants import TrialContext, run_oracles
+
+        if schedule is None:
+            schedule = build_schedule(spec)
+        cluster = self._build_cluster(spec)
+        session = cluster.install_network_faults(spec.network_plan())
+        trace, config, plan, isovalues, unit = self._scenario(
+            spec, cluster, schedule
+        )
+        controller = ElasticController(
+            cluster, rebalancer=Rebalancer(cluster, max_io_fraction=0.5),
+            plan=plan, balance_isovalues=isovalues,
+        )
+        report = QueryServer(cluster, config, controller=controller).serve(trace)
+        controller.finish(trace.horizon)
+
+        reference = self.reference_triangles(spec, isovalues)
+        ctx = TrialContext(
+            spec=spec, schedule=schedule, cluster=cluster,
+            controller=controller, trace=trace, report=report,
+            reference=reference,
+        )
+        violations = run_oracles(ctx, names=oracles)
+        result = TrialResult(
+            seed=spec.seed,
+            n_requests=report.n_requests,
+            states={s: len(report.by_state(s))
+                    for s in ("ok", "degraded", "shed", "failed")},
+            violations=violations,
+            schedule=list(schedule),
+            migrations=len(cluster.migrations),
+            migrations_aborted=len(cluster.migrations_aborted),
+            final_epoch=cluster.ownership.epoch,
+            final_nodes=len(cluster.membership.target_ids()),
+            net_stats=session.stats.as_dict() if session is not None else {},
+            modeled_horizon=trace.horizon,
+        )
+        self._publish(result)
+        return result
+
+    def run_trials(self, base: ChaosSpec, trials: int,
+                   oracles=None) -> "list[TrialResult]":
+        """Run ``trials`` independent trials seeded ``base.seed + i``."""
+        return [
+            self.run_trial(replace(base, seed=base.seed + i), oracles=oracles)
+            for i in range(trials)
+        ]
+
+    def _publish(self, result: TrialResult) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.inc("chaos.trials")
+        if not result.ok:
+            self.metrics.inc("chaos.trials_violating")
+        self.metrics.inc("chaos.violations", len(result.violations))
+        self.metrics.inc("chaos.events", len(result.schedule))
+        self.metrics.inc("chaos.migrations_aborted",
+                         result.migrations_aborted)
+        for k, v in result.net_stats.items():
+            self.metrics.inc(f"chaos.net.{k}", v)
+
+
+# -- crash-kill schedules (tools/crash_kill_harness.py) ---------------------
+
+
+@dataclass(frozen=True)
+class KillTrial:
+    """One drawn crash-kill trial: where to kill, how hard, whether a
+    second kill lands during recovery replay."""
+
+    trial: int
+    config_index: int
+    kill_at: int
+    hard: bool
+    double: bool
+    second_kill: "int | None" = None
+
+
+def kill_schedule(
+    seed: int, trials: int, point_counts, hard_every: int = 3,
+    double_every: int = 5,
+) -> "list[KillTrial]":
+    """Draw the crash-kill schedule the crash harness replays.
+
+    This is the single source of kill randomness: one
+    ``numpy.random.default_rng(seed)`` advanced in a fixed per-trial
+    order (config index, kill point, then — only for double-kill
+    trials — the second kill offset), so adding modes never perturbs
+    earlier draws.  ``point_counts[i]`` is the number of progress
+    points in config ``i``.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    out: "list[KillTrial]" = []
+    for t in range(trials):
+        ci = int(rng.integers(len(point_counts)))
+        n_points = int(point_counts[ci])
+        kill_at = int(rng.integers(n_points))
+        hard = hard_every > 0 and t % hard_every == hard_every - 1
+        double = (
+            not hard and double_every > 0
+            and t % double_every == double_every - 1
+        )
+        second_kill = None
+        if double:
+            second_kill = int(rng.integers(max(1, n_points - kill_at)))
+        out.append(KillTrial(
+            trial=t, config_index=ci, kill_at=kill_at, hard=hard,
+            double=double, second_kill=second_kill,
+        ))
+    return out

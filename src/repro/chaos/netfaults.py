@@ -1,0 +1,389 @@
+"""Seeded network fault injection for the modeled interconnect.
+
+The paper's cluster exchanges extracted triangles and composited tile
+regions over a real interconnect, yet until this module every modeled
+message was implicitly perfect.  :class:`NetworkFaultPlan` closes that
+gap: a frozen, seeded description of per-link message faults
+(drop / duplicate / reorder / delay) plus timed **partition windows**
+(split-brain between node groups and the coordinator), executed by a
+mutable :class:`NetworkSession` that the cluster consults on every
+message path — ``direct_send`` tile contributions, node→coordinator
+result returns, hedged/replica reads, and elastic migration traffic.
+
+Design rules, mirroring the storage-fault layer (`repro.io.faults`):
+
+* **Empty plan == no plan.**  ``SimulatedCluster.install_network_faults``
+  refuses to create a session for an empty plan, so the healthy path
+  never draws an RNG value, never emits a trace instant, and stays
+  byte-identical to a build without this module.
+* **Deterministic.**  One ``random.Random(seed)`` stream advanced in
+  message order; a fixed message sequence produces a fixed fault
+  sequence, so chaos trials replay exactly from their seed.
+* **Never silently wrong.**  A message that cannot be delivered within
+  the retry budget is *lost*, and every consumer is required to surface
+  that loss (degraded result, aborted migration, skipped replica host)
+  — reordered messages are resequenced (modeled as added delay), so a
+  composite built from delivered contributions is bit-identical to the
+  fault-free one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.obs.tracer import NULL_TRACER
+
+__all__ = [
+    "COORDINATOR",
+    "Delivery",
+    "LinkFaults",
+    "NetStats",
+    "NetworkFaultPlan",
+    "NetworkSession",
+    "PartitionWindow",
+]
+
+#: Logical endpoint id of the coordinator / display front-end.  Node
+#: ranks are >= 0; the coordinator sits outside the rank space.
+COORDINATOR = -1
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-message fault probabilities on one (or every) link.
+
+    Rates are independent per message: ``drop_rate`` loses the message
+    (the sender may retry), ``dup_rate`` delivers it twice (consumers
+    must be idempotent; duplicate bytes are charged to the wire),
+    ``reorder_rate`` delivers it out of order (modeled as a
+    resequencing delay of ``delay_seconds`` — the transport reassembles,
+    so payload order never changes), and ``delay_rate`` adds
+    ``delay_seconds`` of modeled latency.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "reorder_rate", "delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.delay_seconds < 0:
+            raise ValueError(
+                f"delay_seconds must be >= 0, got {self.delay_seconds}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.drop_rate or self.dup_rate or self.reorder_rate
+                    or self.delay_rate)
+
+    def as_dict(self) -> dict:
+        return {
+            "drop_rate": self.drop_rate, "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate, "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A timed split-brain: during ``[start, start + duration)`` only
+    endpoints in the same group can exchange messages.
+
+    ``groups`` are disjoint tuples of endpoint ids; an id not listed in
+    any group (newly joined nodes, or the coordinator when omitted)
+    implicitly belongs to group 0 — put :data:`COORDINATOR` in a
+    minority group to cut the coordinator off instead.
+    """
+
+    start: float
+    duration: float
+    groups: "tuple[tuple[int, ...], ...]"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs >= 2 groups")
+        seen: "set[int]" = set()
+        for g in self.groups:
+            for n in g:
+                if n in seen:
+                    raise ValueError(f"endpoint {n} appears in two groups")
+                seen.add(n)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def separates(self, a: int, b: int) -> bool:
+        return _separates(self.groups, a, b)
+
+    def as_dict(self) -> dict:
+        return {"start": self.start, "duration": self.duration,
+                "groups": [list(g) for g in self.groups]}
+
+
+def _separates(groups, a: int, b: int) -> bool:
+    """True when endpoints ``a`` and ``b`` land in different groups
+    (unlisted endpoints default to group 0)."""
+
+    def group_of(n: int) -> int:
+        for gi, g in enumerate(groups):
+            if n in g:
+                return gi
+        return 0
+
+    return group_of(a) != group_of(b)
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """Frozen, seeded description of every network fault to inject.
+
+    ``default`` applies to every link; ``link_overrides`` pins a
+    specific ``(src, dst)`` pair to its own :class:`LinkFaults` (links
+    are directed).  ``partitions`` are timed windows honoured by
+    callers that carry a modeled ``now`` (elastic migration) or by the
+    serving loop's partition overlays.  ``max_retries`` bounds the
+    sender-side redelivery attempts per message; each retry charges
+    ``retry_backoff * 2**attempt`` modeled seconds.
+    """
+
+    seed: int = 0
+    default: LinkFaults = field(default_factory=LinkFaults)
+    link_overrides: "tuple[tuple[tuple[int, int], LinkFaults], ...]" = ()
+    partitions: "tuple[PartitionWindow, ...]" = ()
+    max_retries: int = 3
+    retry_backoff: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """True when installing this plan cannot change any behavior."""
+        return (
+            self.default.empty
+            and all(lf.empty for _, lf in self.link_overrides)
+            and not self.partitions
+        )
+
+    def faults_for(self, src: int, dst: int) -> LinkFaults:
+        for (a, b), lf in self.link_overrides:
+            if (a, b) == (src, dst):
+                return lf
+        return self.default
+
+    def session(self) -> "NetworkSession | None":
+        """A fresh mutable session, or None for an empty plan."""
+        return None if self.empty else NetworkSession(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "default": self.default.as_dict(),
+            "link_overrides": [
+                {"src": a, "dst": b, "faults": lf.as_dict()}
+                for (a, b), lf in self.link_overrides
+            ],
+            "partitions": [w.as_dict() for w in self.partitions],
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "NetworkFaultPlan":
+        return NetworkFaultPlan(
+            seed=int(d.get("seed", 0)),
+            default=LinkFaults(**d.get("default", {})),
+            link_overrides=tuple(
+                ((int(o["src"]), int(o["dst"])), LinkFaults(**o["faults"]))
+                for o in d.get("link_overrides", ())
+            ),
+            partitions=tuple(
+                PartitionWindow(
+                    start=float(w["start"]), duration=float(w["duration"]),
+                    groups=tuple(tuple(int(n) for n in g)
+                                 for g in w["groups"]),
+                )
+                for w in d.get("partitions", ())
+            ),
+            max_retries=int(d.get("max_retries", 3)),
+            retry_backoff=float(d.get("retry_backoff", 5e-4)),
+        )
+
+    def scaled(self, duration: float) -> "NetworkFaultPlan":
+        """Partition windows with fractional times resolved against a
+        trace ``duration`` (windows authored in [0, 1] trace fractions)."""
+        if not self.partitions:
+            return self
+        return replace(self, partitions=tuple(
+            PartitionWindow(start=w.start * duration,
+                            duration=w.duration * duration, groups=w.groups)
+            for w in self.partitions
+        ))
+
+
+@dataclass
+class NetStats:
+    """Session-wide message accounting (all counters monotonic)."""
+
+    messages: int = 0
+    #: Individual attempts a drop fault ate (retries may still recover).
+    dropped: int = 0
+    #: Messages undeliverable within the retry budget — the consumer
+    #: was required to surface these (degraded result, aborted move).
+    lost: int = 0
+    #: Messages a partition refused without drawing the RNG.
+    partition_blocked: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    retries: int = 0
+    delay_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages, "dropped": self.dropped,
+            "lost": self.lost,
+            "partition_blocked": self.partition_blocked,
+            "duplicates": self.duplicates, "reordered": self.reordered,
+            "retries": self.retries,
+            "delay_seconds": self.delay_seconds,
+        }
+
+
+@dataclass
+class Delivery:
+    """Outcome of one logical message (after sender-side retries)."""
+
+    delivered: bool
+    attempts: int = 1
+    duplicates: int = 0
+    reordered: bool = False
+    delay: float = 0.0
+    #: True when an active partition refused the message outright.
+    blocked: bool = False
+
+
+class NetworkSession:
+    """Executes one :class:`NetworkFaultPlan` over a message stream.
+
+    Mutable by design: the RNG advances once per fault draw, the active
+    partition is toggled by overlay events (:meth:`set_partition` /
+    :meth:`clear_partition`) or by callers passing a modeled ``now``
+    (checked against the plan's timed windows), and :attr:`stats`
+    accumulates what actually happened.
+    """
+
+    def __init__(self, plan: NetworkFaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.stats = NetStats()
+        #: Group split installed by an overlay event, or None.
+        self.active_partition: "tuple[tuple[int, ...], ...] | None" = None
+
+    # -- partition control ---------------------------------------------
+
+    def set_partition(self, groups) -> None:
+        """Install a split-brain (overlay-event entry point)."""
+        self.active_partition = tuple(tuple(int(n) for n in g) for g in groups)
+
+    def clear_partition(self) -> None:
+        self.active_partition = None
+
+    def blocked(self, src: int, dst: int, now: "float | None" = None) -> bool:
+        """True when no message can cross ``src -> dst`` right now —
+        either an overlay-installed partition or (when the caller knows
+        the modeled time) a timed window from the plan."""
+        if self.active_partition is not None and _separates(
+            self.active_partition, src, dst
+        ):
+            return True
+        if now is not None:
+            for w in self.plan.partitions:
+                if w.covers(now) and w.separates(src, dst):
+                    return True
+        return False
+
+    # -- the message path ----------------------------------------------
+
+    def send(
+        self, src: int, dst: int, now: "float | None" = None,
+        tracer=NULL_TRACER, track: "str | None" = None, what: str = "msg",
+    ) -> Delivery:
+        """Attempt one logical message ``src -> dst``; returns the
+        :class:`Delivery` the consumer must honour.
+
+        A partition refuses the message without touching the RNG (a
+        sender behind a partition learns nothing it could retry on);
+        otherwise up to ``1 + max_retries`` attempts each draw the drop
+        fault, and a delivered attempt draws duplicate / reorder /
+        delay.  All modeled delay (retry backoff + fault latency) is
+        returned on the delivery and accumulated in :attr:`stats`.
+        """
+        self.stats.messages += 1
+        if self.blocked(src, dst, now=now):
+            self.stats.partition_blocked += 1
+            self.stats.lost += 1
+            tracer.instant(
+                "chaos.net.partitioned", track=track, category="chaos",
+                args={"src": src, "dst": dst, "what": what},
+            )
+            return Delivery(delivered=False, attempts=0, blocked=True)
+
+        lf = self.plan.faults_for(src, dst)
+        delay = 0.0
+        attempts = 0
+        for attempt in range(self.plan.max_retries + 1):
+            attempts += 1
+            if lf.drop_rate and self.rng.random() < lf.drop_rate:
+                self.stats.dropped += 1
+                if attempt < self.plan.max_retries:
+                    self.stats.retries += 1
+                    delay += self.plan.retry_backoff * (2.0 ** attempt)
+                continue
+            duplicates = 0
+            reordered = False
+            if lf.dup_rate and self.rng.random() < lf.dup_rate:
+                duplicates = 1
+                self.stats.duplicates += 1
+            if lf.reorder_rate and self.rng.random() < lf.reorder_rate:
+                reordered = True
+                self.stats.reordered += 1
+                delay += lf.delay_seconds
+            if lf.delay_rate and self.rng.random() < lf.delay_rate:
+                delay += lf.delay_seconds
+            if delay or duplicates or reordered or attempts > 1:
+                self.stats.delay_seconds += delay
+                tracer.instant(
+                    "chaos.net.fault", track=track, category="chaos",
+                    args={"src": src, "dst": dst, "what": what,
+                          "attempts": attempts, "duplicates": duplicates,
+                          "reordered": reordered, "delay": delay},
+                )
+            return Delivery(
+                delivered=True, attempts=attempts, duplicates=duplicates,
+                reordered=reordered, delay=delay,
+            )
+        self.stats.delay_seconds += delay
+        self.stats.lost += 1
+        tracer.instant(
+            "chaos.net.lost", track=track, category="chaos",
+            args={"src": src, "dst": dst, "what": what, "attempts": attempts},
+        )
+        return Delivery(delivered=False, attempts=attempts, delay=delay)

@@ -1,0 +1,130 @@
+"""Failing-seed shrinking: reduce a chaos schedule to a minimal repro.
+
+When a trial violates an oracle, the raw schedule is rarely the story —
+most of its events are bystanders.  :func:`shrink_schedule` runs the
+classic ddmin delta-debugging loop (Zeller & Hildebrandt) over the
+event list: partition the events into chunks, try dropping each chunk
+(and each chunk's complement), keep any reduction that still fails,
+and refine the granularity until no single event can be removed.  The
+result is **1-minimal**: removing any one remaining event makes the
+failure disappear.
+
+The failing predicate is injected, which keeps the minimizer pure and
+unit-testable; in production it is "re-run the trial with this
+schedule and see whether any oracle still fires" — deterministic
+because trials are pure functions of ``(spec, schedule)``.
+
+Minimal schedules are persisted as replayable JSON
+(:func:`save_schedule` / :func:`load_schedule`, schema
+``repro-chaos/1``) so ``repro chaos --replay FILE`` can re-run the
+exact repro later, on another machine, against a fixed bug.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import (
+    ChaosSpec, schedule_as_dicts, schedule_from_dicts,
+)
+
+#: Schema tag of persisted repro schedules.
+SCHEDULE_SCHEMA = "repro-chaos/1"
+
+
+def shrink_schedule(schedule, failing, max_rounds: int = 64):
+    """ddmin: the smallest sub-schedule for which ``failing`` still holds.
+
+    Parameters
+    ----------
+    schedule:
+        The original failing event list (any sequence; order is
+        preserved in every candidate).
+    failing:
+        ``callable(candidate_list) -> bool`` — True when the candidate
+        still reproduces the failure.  Must be deterministic.
+    max_rounds:
+        Safety bound on ddmin iterations (each iteration tries every
+        chunk and complement at the current granularity).
+
+    Returns
+    -------
+    (minimal, n_probes):
+        The 1-minimal failing schedule and how many times ``failing``
+        was evaluated (the cost knob a soak budget cares about).
+    """
+    events = list(schedule)
+    probes = 0
+
+    def check(candidate) -> bool:
+        nonlocal probes
+        probes += 1
+        return bool(failing(list(candidate)))
+
+    if not check(events):
+        raise ValueError("shrink_schedule: the full schedule must fail")
+    if not events:
+        return [], probes
+
+    n = 2
+    for _ in range(max_rounds):
+        if len(events) <= 1:
+            break
+        size = len(events) / n
+        chunks = [
+            events[round(i * size):round((i + 1) * size)] for i in range(n)
+        ]
+        reduced = False
+        for i, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            complement = [e for j, c in enumerate(chunks) if j != i for e in c]
+            if complement and check(complement):
+                events = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+            if len(chunks) > 2 and check(chunk):
+                events = list(chunk)
+                n = 2
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(events):
+                break
+            n = min(len(events), 2 * n)
+    return events, probes
+
+
+def save_schedule(
+    path, spec: ChaosSpec, schedule, violations=(), probes: int = 0,
+) -> Path:
+    """Write a replayable minimal-repro schedule as sorted-key JSON."""
+    payload = {
+        "schema": SCHEDULE_SCHEMA,
+        "spec": spec.as_dict(),
+        "schedule": schedule_as_dicts(schedule),
+        "violations": [
+            v.as_dict() if hasattr(v, "as_dict") else dict(v)
+            for v in violations
+        ],
+        "shrink_probes": probes,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_schedule(path):
+    """Read a repro file back as ``(spec, schedule, payload)``."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != SCHEDULE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEDULE_SCHEMA!r}, got {schema!r}"
+        )
+    spec = ChaosSpec.from_dict(payload["spec"])
+    schedule = schedule_from_dicts(payload["schedule"])
+    return spec, schedule, payload

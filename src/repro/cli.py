@@ -604,6 +604,94 @@ def cmd_elastic_sim(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import (
+        ChaosEngine,
+        ChaosSpec,
+        load_schedule,
+        save_schedule,
+        schedule_as_dicts,
+        shrink_schedule,
+    )
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    engine = ChaosEngine(metrics=registry)
+
+    if args.replay:
+        spec, schedule, payload = load_schedule(args.replay)
+        result = engine.run_trial(spec, schedule=schedule)
+        print(f"replayed {args.replay}: seed {spec.seed}, "
+              f"{len(schedule)} events, "
+              f"{len(result.violations)} violation(s)")
+        for v in result.violations:
+            print(f"  VIOLATION [{v.oracle}] {v.message}")
+        if args.json:
+            Path(args.json).write_text(json.dumps(
+                result.as_dict(), indent=2, sort_keys=True) + "\n")
+        return 1 if result.violations else 0
+
+    base = ChaosSpec(
+        seed=args.seed,
+        n_kills=args.kills, n_fault_bursts=args.fault_bursts,
+        n_scales=args.scales, n_partitions=args.partitions,
+        duration_units=args.duration_units,
+    )
+    results = engine.run_trials(base, args.trials)
+    failing = [r for r in results if r.violations]
+    states: "dict[str, int]" = {}
+    for r in results:
+        for k, v in r.states.items():
+            states[k] = states.get(k, 0) + v
+    print(f"chaos: {args.trials} trials (seeds {args.seed}.."
+          f"{args.seed + args.trials - 1}), "
+          f"{len(failing)} with violations")
+    print("  states : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(states.items())))
+    net = {k: v for k, v in registry.to_dict().items()
+           if k.startswith("chaos.net.") and k != "chaos.net.delay_seconds"}
+    print("  net    : " + (", ".join(
+        f"{k.rsplit('.', 1)[-1]}={int(v)}" for k, v in sorted(net.items()))
+        or "(no session)"))
+
+    repro_paths = []
+    for r in failing:
+        print(f"  seed {r.seed}: {len(r.violations)} violation(s)")
+        for v in r.violations:
+            print(f"    [{v.oracle}] {v.message}")
+        if args.shrink:
+            spec = ChaosSpec(**{**base.as_dict(), "seed": r.seed})
+            def still_fails(candidate, _spec=spec):
+                return bool(engine.run_trial(_spec, schedule=candidate).violations)
+            minimal, probes = shrink_schedule(r.schedule, still_fails)
+            path = Path(args.shrink_dir) / f"repro_seed{r.seed}.json"
+            save_schedule(path, spec, minimal,
+                          violations=r.violations, probes=probes)
+            repro_paths.append(str(path))
+            print(f"    shrunk {len(r.schedule)} -> {len(minimal)} events "
+                  f"({probes} probes) -> {path}")
+
+    if args.json:
+        payload = {
+            "trials": args.trials, "seed": args.seed,
+            "violating": len(failing),
+            "states": states,
+            "metrics": registry.to_dict(),
+            "failing": [
+                {"seed": r.seed,
+                 "violations": [v.as_dict() for v in r.violations],
+                 "schedule": schedule_as_dicts(r.schedule)}
+                for r in failing
+            ],
+            "repro_schedules": repro_paths,
+        }
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  report : {out}")
+    return 1 if failing else 0
+
+
 def cmd_extract(args) -> int:
     from repro.mc.mesh_io import write_obj, write_ply
 
@@ -1133,6 +1221,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "print its summary (stale copies are not issues)")
     add_serving_args(p)
     p.set_defaults(func=cmd_elastic_sim)
+
+    p = sub.add_parser(
+        "chaos",
+        help="deterministic chaos trials: composed kill/storage/scale/"
+             "partition schedules, invariant oracles, failing-seed "
+             "shrinking to replayable repros",
+    )
+    p.add_argument("--trials", type=int, default=25,
+                   help="seeded trials to run (default 25)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first trial seed (trial i uses seed + i)")
+    p.add_argument("--kills", type=int, default=1,
+                   help="node kills per schedule (default 1)")
+    p.add_argument("--fault-bursts", type=int, default=1,
+                   help="storage fault bursts per schedule (default 1)")
+    p.add_argument("--scales", type=int, default=1,
+                   help="scale waypoints per schedule (default 1)")
+    p.add_argument("--partitions", type=int, default=1,
+                   help="network partitions per schedule (default 1)")
+    p.add_argument("--duration-units", type=float, default=30.0,
+                   help="trace length in service units (default 30)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the trial report as JSON")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="replay a saved repro-chaos/1 schedule instead of "
+                        "running fresh trials")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="report violating schedules without minimizing them")
+    p.add_argument("--shrink-dir", default="out/chaos", metavar="DIR",
+                   help="directory for minimized repro schedules "
+                        "(default out/chaos)")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("extract", help="extract a mesh to OBJ/PLY")
     p.add_argument("dataset")

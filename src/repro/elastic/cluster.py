@@ -191,6 +191,10 @@ class ElasticCluster(SimulatedCluster):
         }
         #: Completed data movements, oldest first.
         self.migrations: "list[MigrationRecord]" = []
+        #: Migrations a network fault forced to abort-and-retry (dicts:
+        #: stripe/src/dst/time/reason).  Aborts never flip ownership —
+        #: the rebalancer simply re-plans the move on a later step.
+        self.migrations_aborted: "list[dict]" = []
         #: Stripes with no live copy left (both the owner and the
         #: replica host died); queries over them come back degraded.
         self.lost_stripes: "list[int]" = []
@@ -456,6 +460,23 @@ class ElasticCluster(SimulatedCluster):
         self._migration_read_seconds += delta.read_time(dev.cost_model)
         return offset, secs
 
+    def _abort_migration(
+        self, s: int, src_node: int, dst_node: int, now: float, reason: str,
+    ) -> None:
+        """Record a network-forced migration abort (no ownership flip,
+        no destination write; the move stays in the rebalancer's plan)."""
+        self.migrations_aborted.append({
+            "time": now, "stripe": s, "src_node": src_node,
+            "dst_node": dst_node, "reason": reason,
+        })
+        if self.elastic_metrics is not None:
+            self.elastic_metrics.inc("chaos.migration.aborted")
+        self.elastic_tracer.instant(
+            "chaos.migration.aborted", track="elastic", category="chaos",
+            args={"stripe": s, "src": src_node, "dst": dst_node,
+                  "reason": reason},
+        )
+
     def _record_migration(self, rec: MigrationRecord) -> MigrationRecord:
         self.migrations.append(rec)
         self.migration_bytes += rec.nbytes
@@ -498,8 +519,53 @@ class ElasticCluster(SimulatedCluster):
                 f"cannot migrate stripe {s} to node {dst_node} "
                 f"in state {dst.state}"
             )
-        src_node, buf, read_secs = self._read_best_copy(s)
-        offset, write_secs = self._write_copy(s, dst_node, buf)
+        if self.net is not None and self.net.blocked(owner, dst_node, now=now):
+            # Split-brain between source and destination: abort before
+            # touching a disk.  Ownership is untouched; the rebalancer
+            # re-plans the move once the partition heals.
+            self._abort_migration(s, owner, dst_node, now, "partition")
+            return None
+        try:
+            src_node, buf, read_secs = self._read_best_copy(s)
+        except StorageFault as exc:
+            # Every readable copy is faulted or corrupt right now: abort
+            # rather than flip ownership onto bytes nobody can verify.
+            # The I/O already spent stays charged and the move stays in
+            # the rebalancer's plan for when the burst passes.
+            self._abort_migration(
+                s, owner, dst_node, now, f"storage: {type(exc).__name__}"
+            )
+            return None
+        if self.net is not None:
+            # The stripe's bytes cross the wire src -> dst before the
+            # destination can write them.  A transfer lost past the
+            # retry budget (or a partition racing the read) aborts the
+            # move cleanly: the read I/O is already charged — chaos is
+            # paid for, not free — but nothing was written and the
+            # ownership map never saw the attempt, so the unverified
+            # copy can never become authoritative.
+            d = self.net.send(
+                src_node, dst_node, now=now, tracer=self.elastic_tracer,
+                track="elastic", what=f"stripe-{s}",
+            )
+            if not d.delivered:
+                self._abort_migration(
+                    s, src_node, dst_node, now,
+                    "partition" if d.blocked else "transfer lost",
+                )
+                return None
+            read_secs += d.delay
+            self._migration_read_seconds += d.delay
+        try:
+            offset, write_secs = self._write_copy(s, dst_node, buf)
+        except StorageFault as exc:
+            # Destination write or read-back verification failed: the
+            # ownership map never saw the attempt, so the unverified
+            # copy can never become authoritative.
+            self._abort_migration(
+                s, src_node, dst_node, now, f"storage: {type(exc).__name__}"
+            )
+            return None
 
         old_offset = self._primary_offset[s]
         if self.membership.members[owner].serving:
@@ -533,16 +599,20 @@ class ElasticCluster(SimulatedCluster):
 
     def _read_best_copy(self, s: int):
         """Bytes of stripe ``s`` from the primary, falling back to the
-        replica when the primary's disk is unreadable."""
+        replica when the primary's disk is unreadable — or when its
+        bytes fail CRC verification (silent corruption must never be
+        the copy that migration propagates)."""
         owner = self.ownership.owner(s)
         try:
             buf, secs = self._read_copy(s, owner, self._primary_offset[s])
+            self._verify_stripe(s, buf, "reading the primary copy")
             return owner, buf, secs
         except StorageFault:
             loc = self._live_replica(s)
             if loc is None:
                 raise
             buf, secs = self._read_copy(s, loc[0], loc[1])
+            self._verify_stripe(s, buf, "reading the replica copy")
             return loc[0], buf, secs
 
     def place_replica(
@@ -568,8 +638,18 @@ class ElasticCluster(SimulatedCluster):
             key=lambda n: (0 if owned.get(n, 0) else 1, rep_counts[n], n)
         )
         dst_node = candidates[0]
-        src_node, buf, read_secs = self._read_best_copy(s)
-        offset, write_secs = self._write_copy(s, dst_node, buf)
+        try:
+            src_node, buf, read_secs = self._read_best_copy(s)
+            offset, write_secs = self._write_copy(s, dst_node, buf)
+        except StorageFault as exc:
+            # No verifiable source (or the destination faulted): skip
+            # the placement — replication is re-attempted by later
+            # failover/rebalance passes rather than propagating a
+            # mid-rebalance crash.
+            self._abort_migration(
+                s, owner, dst_node, now, f"storage: {type(exc).__name__}"
+            )
+            return None
         self._replica[s] = (dst_node, offset)
         return self._record_migration(MigrationRecord(
             time=now, kind="replica", stripe=s, src_node=src_node,

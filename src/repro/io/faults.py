@@ -439,12 +439,22 @@ class RetryPolicy:
     ``stats.fault_delay``.  ``max_read_repairs`` bounds whole-extent
     re-reads triggered by checksum mismatches before the query gives up
     with :class:`BrickCorruptionError`.
+
+    ``jitter`` spreads retries out so concurrent nodes don't hammer a
+    recovering device (or a healing partition) in lockstep: each
+    backoff is stretched by up to ``jitter`` of itself, drawn from a
+    deterministic hash of ``(jitter_seed, token, attempt)`` — callers
+    pass a per-site ``token`` (e.g. the read offset) so distinct reads
+    de-synchronize while the same read replays identically.  The
+    default ``jitter=0`` is bit-identical to the pre-jitter policy.
     """
 
     max_retries: int = 3
     backoff: float = 2e-3
     backoff_multiplier: float = 2.0
     max_read_repairs: int = 2
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -458,9 +468,18 @@ class RetryPolicy:
             raise ValueError(
                 f"max_read_repairs must be >= 0, got {self.max_read_repairs}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff_for(self, attempt: int) -> float:
-        return self.backoff * self.backoff_multiplier ** attempt
+    def backoff_for(self, attempt: int, token: int = 0) -> float:
+        base = self.backoff * self.backoff_multiplier ** attempt
+        if not self.jitter:
+            return base
+        # Deterministic jitter: an integer-mixed seed (never Python's
+        # salted hash()) so the same (policy, token, attempt) always
+        # stretches the same amount, on any interpreter run.
+        mix = (self.jitter_seed * 1000003 + int(token)) * 1000003 + attempt
+        return base * (1.0 + self.jitter * random.Random(mix).random())
 
 
 #: Policy used by the query layer when the caller does not pass one.
@@ -491,12 +510,13 @@ def read_with_retry(
                     f"{policy.max_retries} retries: {exc}"
                 ) from exc
             device.stats.retries += 1
-            device.stats.charge_delay(policy.backoff_for(attempt))
+            backoff = policy.backoff_for(attempt, token=offset)
+            device.stats.charge_delay(backoff)
             tracer.instant(
                 "io.retry", category="fault",
                 args={"extent": [offset, offset + nbytes],
                       "attempt": attempt + 1,
-                      "backoff": policy.backoff_for(attempt)},
+                      "backoff": backoff},
             )
             attempt += 1
 

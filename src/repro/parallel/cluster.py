@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.builder import IndexedDataset, build_indexed_dataset, build_striped_datasets
+from repro.chaos.netfaults import COORDINATOR
 from repro.core.deadline import Deadline, DeadlineReport
 from repro.core.query import QueryOptions, execute_query, warn_legacy_kwargs
 from repro.grid.volume import Volume
@@ -303,6 +304,10 @@ class ClusterResult:
     #: Extraction-kernel backend the nodes triangulated with (see
     #: :attr:`ExtractRequest.backend`).
     backend: str = "mc-batch"
+    #: Framebuffer ranks whose composite contribution the network lost
+    #: past the retry budget (chaos network fault plan only; their
+    #: pixels are missing and ``degraded`` is forced True).
+    net_lost_ranks: "list[int]" = field(default_factory=list)
 
     @property
     def unrecovered_nodes(self) -> "list[int]":
@@ -459,6 +464,10 @@ class SimulatedCluster:
         self.replication = replication
         self.retry_policy = retry_policy
         self.health = HealthMonitor(p, health_policy)
+        #: Chaos network fault session (see
+        #: :meth:`install_network_faults`); None — the default — leaves
+        #: every message path byte-identical to a faultless build.
+        self.net = None
         self.datasets: list[IndexedDataset] = self._build_datasets(
             volume, p, metacell_shape, perf, replication
         )
@@ -511,6 +520,29 @@ class SimulatedCluster:
             volume, p, metacell_shape, cost_model=perf.disk,
             replication=replication,
         )
+
+    def install_network_faults(self, plan):
+        """Install a :class:`~repro.chaos.netfaults.NetworkFaultPlan` on
+        every message path (result returns, hedged/replica reads, tile
+        contributions, elastic migration traffic); returns the live
+        session or None.
+
+        With ``None`` or an empty plan no session is created: no RNG
+        exists, no ``chaos.*`` instants fire, and the cluster's traces
+        and results are byte-identical to one that never saw this call.
+        """
+        self.net = None if plan is None else plan.session()
+        return self.net
+
+    def _net_blocked(self, src: int, dst: int) -> bool:
+        """True when the installed network session partitions the link."""
+        return self.net is not None and self.net.blocked(src, dst)
+
+    def _rank_host(self, rank: int) -> int:
+        """Physical endpoint id serving stripe slot ``rank`` (the rank
+        itself on the static cluster; the owning node when stripes share
+        disks)."""
+        return self.ownership.owner(rank)
 
     @property
     def ownership_epoch(self) -> int:
@@ -675,6 +707,10 @@ class SimulatedCluster:
         if not hosts:
             return None
         host = hosts[0]
+        if self._net_blocked(self._rank_host(rank), self._rank_host(host)):
+            # An active partition cuts the replica link: hedging against
+            # an unreachable copy would model reads that cannot happen.
+            return None
         src = dataset if dataset is not None else self.datasets[rank]
         hosted = self.datasets[host]
         return replace(
@@ -982,6 +1018,27 @@ class SimulatedCluster:
                     backend=req.backend, batch_chunk=req.batch_chunk,
                 )
                 delivered[rank] = m.n_active_metacells
+                if self.net is not None:
+                    # The node's extracted result must cross the wire
+                    # back to the coordinator.  A return lost past the
+                    # retry budget is indistinguishable from a dead
+                    # node at the coordinator, so it takes the same
+                    # recovery path (replica re-run below).
+                    d = self.net.send(
+                        self._rank_host(rank), COORDINATOR,
+                        tracer=tracer, track="cluster", what="result",
+                    )
+                    if not d.delivered:
+                        m = NodeMetrics(
+                            node_rank=rank, failed=True,
+                            failure="network: result return lost",
+                        )
+                        mesh = TriangleMesh()
+                        normals = np.empty((0, 3)) if want_normals else None
+                        failed_ranks.append(rank)
+                        delivered[rank] = 0
+                    else:
+                        m.net_delay += d.delay
             except StorageFault as exc:
                 m = NodeMetrics(node_rank=rank, failed=True, failure=str(exc))
                 mesh = TriangleMesh()
@@ -1084,6 +1141,11 @@ class SimulatedCluster:
             for host in self._replica_hosts(k):
                 if per_node[host].failed:
                     continue
+                if self._net_blocked(self._rank_host(host), COORDINATOR):
+                    # The replica host sits on the far side of an
+                    # active partition: its re-run could never reach
+                    # the coordinator, so don't burn its disk on it.
+                    continue
                 try:
                     m2, mesh2, normals2 = self._node_extract(
                         self._replica_dataset(k, host), lam,
@@ -1095,6 +1157,17 @@ class SimulatedCluster:
                     )
                 except StorageFault:
                     continue
+                if self.net is not None:
+                    d = self.net.send(
+                        self._rank_host(host), COORDINATOR,
+                        tracer=tracer, track="cluster",
+                        what="recovered-result",
+                    )
+                    if not d.delivered:
+                        # The re-run completed on the host but its
+                        # return was lost; try the next replica host.
+                        continue
+                    per_node[host].net_delay += d.delay
                 tracer.instant(
                     "node.recovered", track="cluster", category="fault",
                     args={"rank": k, "host": host},
@@ -1252,11 +1325,19 @@ class SimulatedCluster:
                     budget=comp_budget,
                     tracer=tracer,
                     track="cluster",
+                    network=self.net,
                 )
                 result.composite_bytes = stats.total_bytes
                 n_msgs = (
                     stats.n_nodes - len(stats.dropped_nodes)
                 ) * tile_layout.n_tiles
+                if stats.lost_nodes:
+                    # A contribution the network lost past the retry
+                    # budget is missing from the frame: never silent.
+                    # (direct_send indexes the live framebuffer list,
+                    # so map back to cluster ranks.)
+                    result.net_lost_ranks = [live[q] for q in stats.lost_nodes]
+                    result.degraded = True
             else:
                 image = composite(fbs)
                 result.composite_bytes = sum(fb.payload_bytes for fb in fbs)

@@ -67,16 +67,22 @@ class NodeMetrics:
     #: mark before launching a speculative re-execution of a straggler's
     #: work (zero unless this node hosted a speculation).
     speculation_wait: float = 0.0
+    #: Modeled seconds of network fault delay (retry backoff, reorder
+    #: resequencing, latency faults) charged to this node's result
+    #: return; zero unless a chaos network fault plan is installed.
+    net_delay: float = 0.0
 
     @property
     def total_time(self) -> float:
         """Modeled node time: the three pipeline stages in sequence,
-        plus any wait for a speculative launch point."""
+        plus any wait for a speculative launch point and any network
+        fault delay on the result return."""
         return (
             self.io_time
             + self.triangulation_time
             + self.render_time
             + self.speculation_wait
+            + self.net_delay
         )
 
     @property

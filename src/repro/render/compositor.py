@@ -37,6 +37,14 @@ class CompositeStats:
     #: Node indices whose contribution a compositing deadline dropped
     #: (their pixels are missing from the output; empty without budget).
     dropped_nodes: "list[int]" = field(default_factory=list)
+    #: Node indices whose contribution the *network* lost past the
+    #: retry budget (a subset of ``dropped_nodes``; empty without an
+    #: installed network fault session).  Consumers must flag the
+    #: composite degraded — a lost contribution is never silent.
+    lost_nodes: "list[int]" = field(default_factory=list)
+    #: Modeled seconds of network fault delay (retry backoff, reorder
+    #: resequencing, latency faults) charged on top of the transfers.
+    net_delay_seconds: float = 0.0
     #: Modeled seconds of the transfers actually performed, when an
     #: interconnect model was supplied (0.0 otherwise).
     modeled_seconds: float = 0.0
@@ -86,6 +94,7 @@ def direct_send(
     budget: "float | None" = None,
     tracer=NULL_TRACER,
     track: "str | None" = None,
+    network=None,
 ) -> tuple[Framebuffer, CompositeStats]:
     """Direct-send compositing onto a tiled display.
 
@@ -107,6 +116,17 @@ def direct_send(
     budget the result is byte-identical to the unbudgeted composite
     (z-min merging is commutative for strict depth wins, and ties keep
     rank order because merging proceeds in ascending rank).
+
+    ``network`` (a :class:`~repro.chaos.netfaults.NetworkSession`, or
+    None) subjects each node's tile-region message to the installed
+    fault plan: a duplicated message re-ships its bytes, a reordered or
+    delayed one charges resequencing latency against the budget, and a
+    message lost past the retry budget drops that node's contribution —
+    recorded in both ``stats.dropped_nodes`` and ``stats.lost_nodes``
+    so the caller can flag the frame degraded.  Contributions that do
+    arrive are merged in rank order regardless of wire reordering (the
+    transport resequences), keeping the recovered composite
+    bit-identical to the fault-free one.
     """
     p = len(framebuffers)
     ref = framebuffers[0]
@@ -132,10 +152,31 @@ def direct_send(
     sent_bytes = 0
     sent_msgs = 0
     for q, fb in enumerate(framebuffers):
+        copies = 1
+        if network is not None:
+            from repro.chaos.netfaults import COORDINATOR
+
+            d = network.send(
+                q, COORDINATOR, tracer=tracer, track=track,
+                what="tile-regions",
+            )
+            if not d.delivered:
+                stats.dropped_nodes.append(q)
+                stats.lost_nodes.append(q)
+                tracer.instant(
+                    "chaos.net.contribution_lost", track=track,
+                    category="chaos",
+                    args={"rank": q, "attempts": d.attempts,
+                          "blocked": d.blocked},
+                )
+                continue
+            copies = 1 + d.duplicates
+            stats.net_delay_seconds += d.delay
         if budget is not None:
             projected = interconnect.transfer_time(
-                sent_bytes + node_bytes, sent_msgs + layout.n_tiles
-            )
+                sent_bytes + node_bytes * copies,
+                sent_msgs + layout.n_tiles * copies,
+            ) + stats.net_delay_seconds
             # The first contribution always lands (an empty frame helps
             # nobody); later ones drop once the wire time would overrun.
             if sent_msgs and projected > budget:
@@ -146,9 +187,9 @@ def direct_send(
                           "budget": budget},
                 )
                 continue
-        sent_bytes += node_bytes
-        sent_msgs += layout.n_tiles
-        stats.bytes_sent_per_node[q] = node_bytes
+        sent_bytes += node_bytes * copies
+        sent_msgs += layout.n_tiles * copies
+        stats.bytes_sent_per_node[q] = node_bytes * copies
         for t in range(layout.n_tiles):
             rows, cols = layout.tile_slices(t)
             _zmerge_into(
@@ -156,7 +197,10 @@ def direct_send(
                 fb.color[rows, cols], fb.depth[rows, cols],
             )
     if interconnect is not None:
-        stats.modeled_seconds = interconnect.transfer_time(sent_bytes, sent_msgs)
+        stats.modeled_seconds = (
+            interconnect.transfer_time(sent_bytes, sent_msgs)
+            + stats.net_delay_seconds
+        )
     return out, stats
 
 

@@ -608,6 +608,16 @@ class QueryServer:
             self.cluster.fail_node(event.rank)
         elif event.action == "heal":
             self.cluster.heal_node(event.rank)
+        elif event.action in ("partition", "partition-heal"):
+            # Chaos-engine split-brain: only meaningful when a network
+            # fault session is installed; a no-op otherwise so traces
+            # carrying partitions replay unchanged on healthy clusters.
+            net = getattr(self.cluster, "net", None)
+            if net is not None:
+                if event.action == "partition":
+                    net.set_partition(event.groups)
+                else:
+                    net.clear_partition()
         else:
             self.cluster.inject_faults(event.rank, event.plan)
         if self.tracer.enabled:

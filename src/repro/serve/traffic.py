@@ -110,21 +110,35 @@ class ClusterEvent:
     """A fault overlay applied to the cluster at a point in trace time.
 
     ``action`` is ``kill`` (permanent node-disk loss, the
-    ``CrashSchedule``-style kill point), ``heal`` (bring it back), or
+    ``CrashSchedule``-style kill point), ``heal`` (bring it back),
     ``faults`` (install ``plan`` on the node's disk via
-    ``inject_faults``).
+    ``inject_faults``), or the chaos-engine pair ``partition`` /
+    ``partition-heal`` (split-brain the cluster's installed network
+    fault session into ``groups`` and heal it; ``rank`` is ignored —
+    pass -1).  Partition overlays are no-ops on a cluster without a
+    network session, so a trace carrying them replays unchanged on a
+    healthy cluster.
     """
 
     time: float
     action: str
     rank: int
     plan: "FaultPlan | None" = None
+    #: Endpoint-id groups for a ``partition`` overlay (>= 2 groups;
+    #: see :class:`repro.chaos.netfaults.PartitionWindow`).
+    groups: "tuple[tuple[int, ...], ...] | None" = None
 
     def __post_init__(self) -> None:
-        if self.action not in ("kill", "heal", "faults"):
+        if self.action not in (
+            "kill", "heal", "faults", "partition", "partition-heal"
+        ):
             raise ValueError(f"unknown overlay action {self.action!r}")
         if self.action == "faults" and self.plan is None:
             raise ValueError("a 'faults' overlay needs a FaultPlan")
+        if self.action == "partition" and (
+            self.groups is None or len(self.groups) < 2
+        ):
+            raise ValueError("a 'partition' overlay needs >= 2 groups")
 
 
 @dataclass(frozen=True)

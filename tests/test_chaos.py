@@ -1,0 +1,701 @@
+"""Tests for the deterministic chaos engine.
+
+Covers the network fault domain (link faults, partitions, the
+``direct_send`` / result-return / migration wiring), the composed
+schedule builder, the invariant-oracle registry, ddmin shrinking of
+failing schedules (including the planted-bug acceptance path), the
+seeded retry jitter, and the crash-kill schedule shared with
+``tools/crash_kill_harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    COORDINATOR,
+    ChaosEngine,
+    ChaosSpec,
+    LinkFaults,
+    NetworkFaultPlan,
+    PartitionWindow,
+    TrialContext,
+    Violation,
+    build_schedule,
+    kill_schedule,
+    load_schedule,
+    register_oracle,
+    run_oracles,
+    save_schedule,
+    schedule_as_dicts,
+    schedule_from_dicts,
+    shrink_schedule,
+    unregister_oracle,
+)
+from repro.chaos.engine import ChaosEvent
+from repro.grid.datasets import sphere_field
+from repro.io.faults import RetryPolicy
+from repro.parallel.cluster import SimulatedCluster
+
+
+# ---------------------------------------------------------------------------
+# Network fault plans and sessions
+# ---------------------------------------------------------------------------
+
+
+class TestNetworkFaultPlan:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            LinkFaults(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(delay_seconds=-1.0)
+        with pytest.raises(ValueError):
+            NetworkFaultPlan(max_retries=-1)
+
+    def test_empty_plan_has_no_session(self):
+        assert NetworkFaultPlan().empty
+        assert NetworkFaultPlan().session() is None
+        assert not NetworkFaultPlan(default=LinkFaults(drop_rate=0.1)).empty
+        # A partition alone makes the plan non-empty.
+        plan = NetworkFaultPlan(partitions=(
+            PartitionWindow(start=0.0, duration=1.0, groups=((0,), (1,))),
+        ))
+        assert not plan.empty and plan.session() is not None
+
+    def test_partition_window_validation(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(start=0.0, duration=0.0, groups=((0,), (1,)))
+        with pytest.raises(ValueError):
+            PartitionWindow(start=0.0, duration=1.0, groups=((0,),))
+        with pytest.raises(ValueError):  # endpoint in two groups
+            PartitionWindow(start=0.0, duration=1.0, groups=((0, 1), (1,)))
+
+    def test_link_overrides_are_directed(self):
+        lossy = LinkFaults(drop_rate=0.5)
+        plan = NetworkFaultPlan(link_overrides=(((2, COORDINATOR), lossy),))
+        assert plan.faults_for(2, COORDINATOR) is lossy
+        assert plan.faults_for(COORDINATOR, 2).empty
+        assert plan.faults_for(1, COORDINATOR).empty
+
+    def test_dict_roundtrip(self):
+        plan = NetworkFaultPlan(
+            seed=9,
+            default=LinkFaults(drop_rate=0.1, delay_rate=0.2,
+                               delay_seconds=1e-3),
+            link_overrides=(((0, 1), LinkFaults(dup_rate=0.3)),),
+            partitions=(PartitionWindow(
+                start=0.2, duration=0.1, groups=((COORDINATOR,), (1, 2)),
+            ),),
+            max_retries=5, retry_backoff=1e-4,
+        )
+        assert NetworkFaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_scaled_resolves_fractional_windows(self):
+        plan = NetworkFaultPlan(partitions=(
+            PartitionWindow(start=0.25, duration=0.5, groups=((0,), (1,))),
+        ))
+        scaled = plan.scaled(40.0)
+        assert scaled.partitions[0].start == 10.0
+        assert scaled.partitions[0].end == 30.0
+
+
+class TestNetworkSession:
+    def test_same_seed_same_fault_sequence(self):
+        plan = NetworkFaultPlan(
+            seed=3, default=LinkFaults(drop_rate=0.3, dup_rate=0.2,
+                                       reorder_rate=0.2, delay_rate=0.2,
+                                       delay_seconds=1e-3),
+        )
+        runs = []
+        for _ in range(2):
+            sess = plan.session()
+            runs.append([
+                (d.delivered, d.attempts, d.duplicates, d.reordered, d.delay)
+                for d in (sess.send(q, COORDINATOR) for q in range(32))
+            ])
+        assert runs[0] == runs[1]
+
+    def test_loss_after_retry_exhaustion(self):
+        plan = NetworkFaultPlan(default=LinkFaults(drop_rate=1.0),
+                                max_retries=2)
+        sess = plan.session()
+        d = sess.send(0, COORDINATOR)
+        assert not d.delivered and not d.blocked
+        assert d.attempts == 3  # 1 try + 2 retries
+        assert sess.stats.lost == 1 and sess.stats.dropped == 3
+        assert sess.stats.retries == 2
+        assert d.delay > 0  # retry backoff was charged before giving up
+
+    def test_overlay_partition_blocks_without_rng(self):
+        plan = NetworkFaultPlan(default=LinkFaults(drop_rate=0.5))
+        blocked = plan.session()
+        blocked.set_partition(((COORDINATOR,), (1, 2)))
+        d = blocked.send(1, COORDINATOR)
+        assert d.blocked and not d.delivered and d.attempts == 0
+        assert blocked.stats.partition_blocked == 1
+        # Same-side traffic still flows.
+        assert blocked.send(1, 2).delivered or True  # draws RNG, may drop
+        blocked.clear_partition()
+
+        # Refusals must not advance the RNG: a session that saw a
+        # partition-blocked send first produces the same draw sequence
+        # afterwards as one that never did.
+        clean = plan.session()
+        seq_a = [blocked.send(0, COORDINATOR).delivered for _ in range(16)]
+        clean.send(1, 2)  # consume the same one post-partition draw
+        seq_b = [clean.send(0, COORDINATOR).delivered for _ in range(16)]
+        assert seq_a == seq_b
+
+    def test_timed_windows_need_now(self):
+        plan = NetworkFaultPlan(partitions=(
+            PartitionWindow(start=1.0, duration=2.0,
+                            groups=((COORDINATOR,), (0,))),
+        ))
+        sess = plan.session()
+        assert sess.send(0, COORDINATOR).delivered  # no now: window ignored
+        assert sess.send(0, COORDINATOR, now=0.5).delivered
+        assert not sess.send(0, COORDINATOR, now=1.5).delivered
+        assert sess.send(0, COORDINATOR, now=3.0).delivered
+        assert sess.blocked(0, COORDINATOR, now=2.9)
+        assert sess.blocked(0, COORDINATOR, now=1.0)
+        assert not sess.blocked(0, COORDINATOR, now=3.0)
+
+
+# ---------------------------------------------------------------------------
+# direct_send under message faults (satellite: loss / dup / reorder)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def partitioned_render():
+    from repro.mc.marching_cubes import marching_cubes
+    from repro.render.camera import Camera
+    from repro.render.rasterizer import Framebuffer, render_mesh
+
+    vol = sphere_field((24, 24, 24))
+    mesh = marching_cubes(vol.data, 0.6, origin=vol.origin,
+                          spacing=vol.spacing)
+    cam = Camera.fit_mesh(mesh)
+    fbs = []
+    for q in range(4):
+        fb = Framebuffer(64, 64)
+        sub = type(mesh)(mesh.vertices, mesh.faces[q::4])
+        render_mesh(fb, sub, cam)
+        fbs.append(fb)
+    return fbs
+
+
+class TestDirectSendUnderFaults:
+    def _composite(self, fbs, network=None):
+        from repro.parallel.perfmodel import InterconnectModel
+        from repro.render.compositor import direct_send
+        from repro.render.tiled_display import TileLayout
+
+        return direct_send(
+            fbs, TileLayout(2, 2, 64, 64),
+            interconnect=InterconnectModel(), network=network,
+        )
+
+    def test_dup_and_reorder_stay_bit_identical(self, partitioned_render):
+        """Duplicated / reordered contributions re-ship bytes and add
+        delay but never change the merged pixels."""
+        ref, ref_stats = self._composite(partitioned_render)
+        sess = NetworkFaultPlan(
+            seed=11, default=LinkFaults(dup_rate=0.9, reorder_rate=0.9,
+                                        delay_seconds=1e-3),
+        ).session()
+        out, stats = self._composite(partitioned_render, network=sess)
+        assert np.array_equal(out.color, ref.color)
+        assert np.array_equal(out.depth, ref.depth)
+        assert not stats.lost_nodes and not stats.dropped_nodes
+        assert stats.total_bytes > ref_stats.total_bytes  # dups cost bytes
+        assert stats.net_delay_seconds > 0  # resequencing delay charged
+        assert stats.modeled_seconds > ref_stats.modeled_seconds
+        assert sess.stats.duplicates > 0 and sess.stats.reordered > 0
+
+    def test_drops_recovered_by_retries_stay_bit_identical(
+        self, partitioned_render,
+    ):
+        ref, _ = self._composite(partitioned_render)
+        sess = NetworkFaultPlan(
+            seed=0, default=LinkFaults(drop_rate=0.45), max_retries=16,
+        ).session()
+        out, stats = self._composite(partitioned_render, network=sess)
+        assert sess.stats.retries > 0, "seed never dropped — vacuous test"
+        assert sess.stats.lost == 0
+        assert np.array_equal(out.color, ref.color)
+        assert np.array_equal(out.depth, ref.depth)
+        assert not stats.lost_nodes
+        assert stats.net_delay_seconds > 0  # retry backoff is paid for
+
+    def test_lost_contribution_is_flagged_never_silent(
+        self, partitioned_render,
+    ):
+        """A contribution dropped past the retry budget yields a frame
+        without that node, flagged in ``lost_nodes`` — degraded, never
+        silently wrong."""
+        sess = NetworkFaultPlan(
+            link_overrides=(((2, COORDINATOR), LinkFaults(drop_rate=1.0)),),
+            max_retries=1,
+        ).session()
+        out, stats = self._composite(partitioned_render, network=sess)
+        assert stats.lost_nodes == [2]
+        assert 2 in stats.dropped_nodes
+        assert stats.bytes_sent_per_node[2] == 0
+        # The frame equals the composite of the surviving contributions.
+        survivors = [fb for q, fb in enumerate(partitioned_render) if q != 2]
+        expect, _ = self._composite(survivors)
+        assert np.array_equal(out.depth, expect.depth)
+
+    def test_no_network_matches_pre_chaos_behavior(self, partitioned_render):
+        out, stats = self._composite(partitioned_render)
+        assert stats.lost_nodes == [] and stats.net_delay_seconds == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Cluster wiring: result returns, recovery, empty-plan byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _cluster(replication=2, net_plan=None):
+    c = SimulatedCluster(
+        sphere_field((20, 20, 20)), p=4, metacell_shape=(5, 5, 5),
+        replication=replication,
+    )
+    session = c.install_network_faults(net_plan) if net_plan else None
+    return c, session
+
+
+class TestClusterNetworkFaults:
+    def test_lost_result_return_recovers_via_replica(self):
+        baseline = _cluster()[0].extract(0.5)
+        plan = NetworkFaultPlan(
+            link_overrides=(((0, COORDINATOR), LinkFaults(drop_rate=1.0)),),
+            max_retries=1,
+        )
+        c, sess = _cluster(replication=2, net_plan=plan)
+        result = c.extract(0.5)
+        # Node 0's return is always lost; the replica host re-serves its
+        # stripes and that recovered return crosses an unfaulted link.
+        assert sess.stats.lost >= 1
+        assert not result.degraded
+        assert result.n_triangles == baseline.n_triangles
+        assert result.coverage == 1.0
+
+    def test_lost_result_without_replica_degrades(self):
+        plan = NetworkFaultPlan(
+            link_overrides=(((0, COORDINATOR), LinkFaults(drop_rate=1.0)),),
+            max_retries=1,
+        )
+        c, _ = _cluster(replication=1, net_plan=plan)
+        baseline = _cluster(replication=1)[0].extract(0.5)
+        result = c.extract(0.5)
+        assert result.degraded, "a lost result with no replica must surface"
+        assert result.coverage < 1.0
+        assert result.n_triangles < baseline.n_triangles
+        assert any(m.failed for m in result.nodes)
+
+    def test_empty_plan_is_byte_identical(self):
+        """Installing an empty plan changes nothing — including the
+        trace byte stream (the acceptance criterion for the PR)."""
+        from repro.obs import Tracer, dumps_chrome_trace
+        from repro.parallel.cluster import ExtractRequest
+
+        traces = []
+        for plan in (None, NetworkFaultPlan()):
+            c = SimulatedCluster(
+                sphere_field((20, 20, 20)), p=4, metacell_shape=(5, 5, 5),
+            )
+            if plan is not None:
+                assert c.install_network_faults(plan) is None
+            tracer = Tracer()
+            r = c.extract(0.5, ExtractRequest(tracer=tracer))
+            traces.append((r.n_triangles, dumps_chrome_trace(tracer)))
+        assert traces[0] == traces[1]
+
+
+class TestMigrationUnderPartition:
+    def _elastic(self):
+        from repro.elastic import ElasticCluster
+
+        c = ElasticCluster(
+            sphere_field((20, 20, 20)), nodes=4, n_stripes=12,
+            metacell_shape=(5, 5, 5),
+        )
+        sess = c.install_network_faults(NetworkFaultPlan(
+            default=LinkFaults(delay_rate=1.0, delay_seconds=1e-4),
+        ))
+        return c, sess
+
+    def test_abort_then_retry_after_heal(self):
+        c, sess = self._elastic()
+        s = 0
+        owner = c.ownership.owner(s)
+        dst = next(n for n in c.membership.target_ids() if n != owner)
+        epoch_before = c.ownership.epoch
+
+        sess.set_partition(((owner,), (dst,)))
+        rec = c.migrate_primary(s, dst, now=1.0, reason="test")
+        assert rec is None
+        assert c.ownership.owner(s) == owner, "ownership flipped across a partition"
+        assert c.ownership.epoch == epoch_before
+        assert len(c.migrations_aborted) == 1
+        assert c.migrations_aborted[0]["reason"] == "partition"
+
+        sess.clear_partition()
+        rec = c.migrate_primary(s, dst, now=2.0, reason="test")
+        assert rec is not None and rec.dst_node == dst
+        assert c.ownership.owner(s) == dst
+        assert c.ownership.epoch == epoch_before + 1
+
+    def test_transfer_lost_aborts_without_flip(self):
+        c, _ = self._elastic()
+        s = 0
+        owner = c.ownership.owner(s)
+        dst = next(n for n in c.membership.target_ids() if n != owner)
+        # Replace the session with one that always loses src->dst.
+        sess = c.install_network_faults(NetworkFaultPlan(
+            link_overrides=(((owner, dst), LinkFaults(drop_rate=1.0)),),
+            max_retries=0,
+        ))
+        migration_secs = c.migration_seconds
+        rec = c.migrate_primary(s, dst, now=1.0, reason="test")
+        assert rec is None
+        assert c.ownership.owner(s) == owner
+        assert c.migrations_aborted[-1]["reason"] == "transfer lost"
+        assert c.migration_seconds == migration_secs  # no move was recorded
+        assert sess.stats.lost == 1
+
+
+# ---------------------------------------------------------------------------
+# Seeded retry jitter (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryJitter:
+    def test_default_is_bit_identical_to_pre_jitter_policy(self):
+        policy = RetryPolicy()
+        for attempt in range(5):
+            assert policy.backoff_for(attempt) == (
+                policy.backoff * policy.backoff_multiplier ** attempt
+            )
+            # The token changes nothing when jitter is off.
+            assert policy.backoff_for(attempt, token=12345) == \
+                policy.backoff_for(attempt)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(jitter=0.5, jitter_seed=3)
+        base = policy.backoff * policy.backoff_multiplier ** 2
+        vals = {policy.backoff_for(2, token=t) for t in range(8)}
+        assert len(vals) > 1, "tokens never de-synchronized"
+        for v in vals:
+            assert base <= v <= base * 1.5
+        assert policy.backoff_for(2, token=4) == policy.backoff_for(2, token=4)
+        # A different jitter seed re-draws the whole family.
+        other = RetryPolicy(jitter=0.5, jitter_seed=4)
+        assert other.backoff_for(2, token=4) != policy.backoff_for(2, token=4)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Schedules: building, determinism, crash-kill sharing
+# ---------------------------------------------------------------------------
+
+
+class TestSchedules:
+    def test_build_schedule_is_deterministic(self):
+        spec = ChaosSpec(seed=21, n_kills=2, n_partitions=2)
+        a, b = build_schedule(spec), build_schedule(spec)
+        assert a == b
+        assert build_schedule(ChaosSpec(seed=22, n_kills=2)) != a
+
+    def test_schedule_shape(self):
+        spec = ChaosSpec(seed=4, n_kills=2, n_fault_bursts=1, n_scales=1,
+                         n_partitions=2)
+        sched = build_schedule(spec)
+        kinds = [e.kind for e in sched]
+        assert kinds.count("kill") == 2
+        assert kinds.count("faults") == 1
+        assert kinds.count("scale") == 1
+        assert kinds.count("partition") == 2
+        assert kinds.count("partition-heal") == 2
+        assert all(0.0 <= e.time <= 1.0 for e in sched)
+        assert sched == sorted(sched, key=lambda e: e.time)
+        # Kills are drawn early, scales late: a scale-in can never drain
+        # a node before its kill fires.
+        kill_t = max(e.time for e in sched if e.kind == "kill")
+        scale_t = min(e.time for e in sched if e.kind == "scale")
+        assert kill_t < scale_t
+
+    def test_event_validation_and_roundtrip(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(time=0.5, kind="explode")
+        with pytest.raises(ValueError):
+            ChaosEvent(time=1.5, kind="kill")
+        sched = build_schedule(ChaosSpec(seed=8, n_partitions=2))
+        assert schedule_from_dicts(schedule_as_dicts(sched)) == sched
+
+    def test_spec_roundtrip(self):
+        spec = ChaosSpec(seed=13, shape=(16, 16, 16), n_scales=2,
+                         scale_choices=(3, 5), drop_rate=0.1)
+        assert ChaosSpec.from_dict(spec.as_dict()) == spec
+
+    def test_kill_schedule_matches_harness_draw_order(self):
+        """The engine's kill scheduler must reproduce the crash
+        harness's historical draws exactly (same RNG, same order)."""
+        counts = [100, 200, 50]
+        rng = np.random.default_rng(7)
+        expect = []
+        for t in range(30):
+            ci = int(rng.integers(len(counts)))
+            kill_at = int(rng.integers(counts[ci]))
+            hard = t % 10 == 9
+            double = not hard and t % 5 == 4
+            second = int(rng.integers(max(1, counts[ci] - kill_at))) \
+                if double else None
+            expect.append((t, ci, kill_at, hard, double, second))
+        got = [
+            (k.trial, k.config_index, k.kill_at, k.hard, k.double,
+             k.second_kill)
+            for k in kill_schedule(7, 30, counts, hard_every=10,
+                                   double_every=5)
+        ]
+        assert got == expect
+
+    def test_kill_schedule_second_kill_only_when_double(self):
+        for k in kill_schedule(1, 40, [64], hard_every=3, double_every=4):
+            assert (k.second_kill is not None) == k.double
+            assert not (k.hard and k.double)
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+
+class _StubRecord:
+    def __init__(self, request_id, state, lam=0.5, triangles=0,
+                 coverage=1.0):
+        self.request_id = request_id
+        self.state = state
+        self.lam = lam
+        self.triangles = triangles
+        self.coverage = coverage
+
+
+class _StubReport:
+    def __init__(self, records):
+        self.records = records
+        self.n_requests = len(records)
+
+    def by_state(self, state):
+        return [r for r in self.records if r.state == state]
+
+
+class TestOracles:
+    def test_ok_bit_identity_catches_wrong_triangles(self):
+        report = _StubReport([
+            _StubRecord(0, "ok", lam=0.5, triangles=812),
+            _StubRecord(1, "ok", lam=0.5, triangles=811),
+        ])
+        ctx = TrialContext(report=report, reference={0.5: 812})
+        v = run_oracles(ctx, names=["ok-bit-identity"])
+        assert len(v) == 1 and v[0].request_id == 1
+
+    def test_terminal_states_catches_nonterminal(self):
+        report = _StubReport([_StubRecord(0, "running")])
+        v = run_oracles(TrialContext(report=report),
+                        names=["terminal-states"])
+        assert any("non-terminal" in x.message for x in v)
+
+    def test_coverage_identity(self):
+        report = _StubReport([
+            _StubRecord(0, "ok", coverage=0.8),     # ok must be full
+            _StubRecord(1, "shed", coverage=0.5),   # shed must be zero
+            _StubRecord(2, "degraded", coverage=0.5),  # fine
+            _StubRecord(3, "failed", coverage=2.0),    # out of range
+        ])
+        v = run_oracles(TrialContext(report=report), names=["coverage"])
+        assert sorted(x.request_id for x in v) == [0, 1, 3]
+
+    def test_no_stale_cache_detects_old_epoch_keys(self):
+        class _Cache:
+            _lru = {("rec", "fp", 3): object(), ("mesh", "fp", 4, 0.5): object()}
+
+        class _Ownership:
+            epoch = 4
+
+        class _Cluster:
+            result_cache = _Cache()
+            ownership = _Ownership()
+
+        v = run_oracles(TrialContext(cluster=_Cluster()),
+                        names=["no-stale-cache"])
+        assert len(v) == 1 and "outlived epoch" in v[0].message
+
+    def test_register_and_unregister(self):
+        calls = []
+
+        @register_oracle("test-only-probe")
+        def _probe(ctx):
+            calls.append(1)
+            return []
+
+        try:
+            run_oracles(TrialContext(), names=["test-only-probe"])
+            assert calls == [1]
+        finally:
+            unregister_oracle("test-only-probe")
+        with pytest.raises(KeyError):
+            run_oracles(TrialContext(), names=["test-only-probe"])
+
+
+# ---------------------------------------------------------------------------
+# Shrinking — including the planted-bug acceptance path
+# ---------------------------------------------------------------------------
+
+
+class TestShrink:
+    def test_full_schedule_must_fail(self):
+        with pytest.raises(ValueError):
+            shrink_schedule([1, 2, 3], lambda c: False)
+
+    def test_shrinks_to_single_culprit(self):
+        sched = build_schedule(ChaosSpec(
+            seed=5, n_kills=3, n_fault_bursts=3, n_scales=3, n_partitions=2,
+        ))
+        minimal, probes = shrink_schedule(
+            sched, lambda c: any(e.kind == "scale" for e in c)
+        )
+        assert len(minimal) == 1 and minimal[0].kind == "scale"
+        assert probes > 0
+
+    def test_result_is_one_minimal(self):
+        sched = build_schedule(ChaosSpec(
+            seed=5, n_kills=3, n_fault_bursts=3, n_scales=3, n_partitions=2,
+        ))
+
+        def failing(c):
+            kinds = [e.kind for e in c]
+            return "kill" in kinds and "partition" in kinds
+
+        minimal, _ = shrink_schedule(sched, failing)
+        assert failing(minimal)
+        for i in range(len(minimal)):
+            assert not failing(minimal[:i] + minimal[i + 1:])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        spec = ChaosSpec(seed=77, n_partitions=2)
+        sched = build_schedule(spec)
+        path = save_schedule(
+            tmp_path / "repro.json", spec, sched,
+            violations=[Violation("balance", "spread 4")], probes=9,
+        )
+        spec2, sched2, payload = load_schedule(path)
+        assert spec2 == spec and sched2 == sched
+        assert payload["shrink_probes"] == 9
+        assert payload["violations"][0]["oracle"] == "balance"
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "repro-bench/1"}))
+        with pytest.raises(ValueError):
+            load_schedule(p)
+
+    def test_planted_bug_is_caught_and_shrinks_small(self, tmp_path):
+        """Acceptance: a planted bug — a result cache that forgets to
+        purge on the epoch bump a kill causes — is caught by the stock
+        ``no-stale-cache`` oracle, and ddmin shrinks the 13-event
+        schedule that exposed it to <= 5 events."""
+        spec = ChaosSpec(seed=31, n_kills=3, n_fault_bursts=3, n_scales=3,
+                         n_partitions=2)
+        sched = build_schedule(spec)
+
+        def run_buggy_system(schedule):
+            """Deterministic stand-in for a trial against a system with
+            the planted bug: kills bump the ownership epoch (failover
+            promotion) but the buggy cache never invalidates."""
+            epoch = sum(1 for e in schedule if e.kind in ("kill", "scale"))
+
+            class _Cache:
+                _lru = {("rec", "fp", 0): object()}  # fenced to epoch 0
+
+            class _Ownership:
+                pass
+
+            class _Cluster:
+                pass
+
+            _Ownership.epoch = epoch
+            _Cluster.result_cache = _Cache() if epoch else None
+            _Cluster.ownership = _Ownership()
+            return TrialContext(spec=spec, schedule=schedule,
+                                cluster=_Cluster())
+
+        def failing(candidate):
+            return bool(run_oracles(run_buggy_system(candidate),
+                                    names=["no-stale-cache"]))
+
+        # The full schedule trips the oracle...
+        violations = run_oracles(run_buggy_system(sched),
+                                 names=["no-stale-cache"])
+        assert violations and violations[0].oracle == "no-stale-cache"
+
+        # ...and shrinks to a minimal repro of <= 5 events.
+        minimal, probes = shrink_schedule(sched, failing)
+        assert len(minimal) <= 5
+        assert all(e.kind in ("kill", "scale") for e in minimal)
+        assert run_oracles(run_buggy_system(minimal),
+                           names=["no-stale-cache"])
+
+        # The minimal repro persists and replays.
+        path = save_schedule(tmp_path / "planted.json", spec, minimal,
+                             violations=violations, probes=probes)
+        _, replay, _ = load_schedule(path)
+        assert failing(replay)
+
+
+# ---------------------------------------------------------------------------
+# The engine end to end
+# ---------------------------------------------------------------------------
+
+
+class TestChaosEngine:
+    def test_one_real_trial(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = ChaosEngine(metrics=registry)
+        spec = ChaosSpec(seed=6, duration_units=15.0)
+        result = engine.run_trial(spec)
+        assert result.ok, [v.as_dict() for v in result.violations]
+        assert result.n_requests > 0
+        assert sum(result.states.values()) == result.n_requests
+        assert result.net_stats["messages"] > 0
+        assert result.schedule == build_schedule(spec)
+        m = registry.to_dict()
+        assert m["chaos.trials"] == 1
+        assert m["chaos.violations"] == 0
+
+    def test_trials_are_pure_functions_of_the_seed(self):
+        engine = ChaosEngine()
+        spec = ChaosSpec(seed=9, duration_units=12.0)
+        a = engine.run_trial(spec).as_dict()
+        b = engine.run_trial(spec).as_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_explicit_schedule_replays(self):
+        engine = ChaosEngine()
+        spec = ChaosSpec(seed=14, duration_units=12.0)
+        sched = build_schedule(spec)
+        a = engine.run_trial(spec).as_dict()
+        b = engine.run_trial(spec, schedule=sched).as_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Chaos soak harness: N seeded composed-fault trials, one JSON verdict.
+
+Each trial builds a fresh elastic cluster, draws a composed fault
+schedule (crash kill + storage fault burst + scale waypoint + network
+partition) from its seed, runs the burst serving workload against it,
+and asserts every invariant oracle.  The harness exits non-zero if any
+trial violates any oracle; violating schedules are ddmin-shrunk to
+minimal replayable repros (JSON, re-runnable via
+``repro chaos --replay``).
+
+CI runs this as the ``chaos-soak`` job::
+
+    python tools/chaos_harness.py --trials 300 --seed 0 \
+        --json out/chaos_harness.json --bench-out --repro-dir out/chaos
+
+Usage (see --help): --trials, --seed, fault-count knobs, --json,
+--repro-dir, --bench-out (emit benchmarks/output/BENCH_chaos.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos import (  # noqa: E402
+    ChaosEngine, ChaosSpec, save_schedule, shrink_schedule,
+)
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+
+def run_soak(args) -> dict:
+    registry = MetricsRegistry()
+    engine = ChaosEngine(metrics=registry)
+    base = ChaosSpec(
+        seed=args.seed,
+        n_kills=args.kills, n_fault_bursts=args.fault_bursts,
+        n_scales=args.scales, n_partitions=args.partitions,
+        duration_units=args.duration_units,
+    )
+
+    started = time.time()
+    states: "dict[str, int]" = {}
+    failing = []
+    events = 0
+    for i in range(args.trials):
+        result = engine.run_trial(replace(base, seed=args.seed + i))
+        events += len(result.schedule)
+        for k, v in result.states.items():
+            states[k] = states.get(k, 0) + v
+        if result.violations:
+            failing.append(result)
+    wall = time.time() - started
+
+    repro_files = []
+    for r in failing:
+        spec = replace(base, seed=r.seed)
+
+        def still_fails(candidate, _spec=spec):
+            return bool(engine.run_trial(_spec, schedule=candidate).violations)
+
+        minimal, probes = shrink_schedule(r.schedule, still_fails)
+        path = Path(args.repro_dir) / f"repro_seed{r.seed}.json"
+        save_schedule(path, spec, minimal,
+                      violations=r.violations, probes=probes)
+        repro_files.append({
+            "seed": r.seed, "path": str(path),
+            "events": len(r.schedule), "minimal_events": len(minimal),
+            "probes": probes,
+        })
+
+    violations = sum(len(r.violations) for r in failing)
+    return {
+        "summary": {
+            "trials": args.trials,
+            "seed": args.seed,
+            "events": events,
+            "violating_trials": len(failing),
+            "violations": violations,
+            "states": states,
+            "wall_seconds": round(wall, 3),
+            "trials_per_second": round(args.trials / wall, 2) if wall else 0.0,
+        },
+        "metrics": registry.to_dict(),
+        "failing": [
+            {"seed": r.seed,
+             "violations": [v.as_dict() for v in r.violations]}
+            for r in failing
+        ],
+        "repro_schedules": repro_files,
+    }
+
+
+def emit_bench(report: dict, scale: int) -> Path:
+    from repro.bench.harness import emit_bench_json
+
+    s = report["summary"]
+    metrics = {
+        "trials": float(s["trials"]),
+        "events": float(s["events"]),
+        "violating_trials": float(s["violating_trials"]),
+        "violations": float(s["violations"]),
+        "wall_seconds": s["wall_seconds"],
+        "trials_per_second": s["trials_per_second"],
+    }
+    for state, n in sorted(s["states"].items()):
+        metrics[f"state_{state}"] = float(n)
+    for k, v in report["metrics"].items():
+        if k.startswith("chaos.net."):
+            metrics[k.replace("chaos.net.", "net_")] = float(v)
+    extra = {
+        "seed": s["seed"],
+        "repro_schedules": [r["path"] for r in report["repro_schedules"]],
+    }
+    return emit_bench_json("chaos", metrics, scale=scale, extra=extra)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trials", type=int, default=300,
+                    help="seeded trials (default 300)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="first seed; trial i uses seed + i (default 0)")
+    ap.add_argument("--kills", type=int, default=1)
+    ap.add_argument("--fault-bursts", type=int, default=1)
+    ap.add_argument("--scales", type=int, default=1)
+    ap.add_argument("--partitions", type=int, default=1)
+    ap.add_argument("--duration-units", type=float, default=30.0,
+                    help="trace length in service units (default 30)")
+    ap.add_argument("--json", default=None, metavar="FILE",
+                    help="write the full report here")
+    ap.add_argument("--repro-dir", default="out/chaos", metavar="DIR",
+                    help="where minimized repro schedules land "
+                         "(default out/chaos)")
+    ap.add_argument("--bench-out", action="store_true",
+                    help="also emit benchmarks/output/BENCH_chaos.json")
+    ap.add_argument("--scale", type=int, default=1,
+                    help="bench scale tag (default 1)")
+    args = ap.parse_args(argv)
+
+    report = run_soak(args)
+    s = report["summary"]
+    print(f"chaos soak: {s['trials']} trials, {s['events']} events, "
+          f"{s['violating_trials']} violating "
+          f"({s['wall_seconds']:.1f}s wall, "
+          f"{s['trials_per_second']:.1f} trials/s)")
+    print("  states : " + ", ".join(
+        f"{k}={v}" for k, v in sorted(s["states"].items())))
+    for f in report["failing"]:
+        print(f"  seed {f['seed']}:")
+        for v in f["violations"]:
+            print(f"    [{v['oracle']}] {v['message']}")
+    for r in report["repro_schedules"]:
+        print(f"  repro: seed {r['seed']} shrunk "
+              f"{r['events']} -> {r['minimal_events']} events -> {r['path']}")
+
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"  report : {out}")
+    if args.bench_out:
+        print(f"  bench  : {emit_bench(report, args.scale)}")
+    return 1 if s["violating_trials"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

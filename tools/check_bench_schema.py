@@ -53,6 +53,31 @@ def check_metric_values(payload: dict) -> None:
             raise ValueError(f"metric {key!r} is negative: {value!r}")
 
 
+def check_chaos_payload(payload: dict) -> None:
+    """Extra gate for the chaos soak payload (``name == "chaos"``).
+
+    The chaos bench is a pass/fail soak, not a perf table: it must
+    carry its trial accounting, and a payload reporting *any* invariant
+    violation is a red build no matter what the suite said — the soak
+    can never be merged green with a known violation in its artifact.
+    """
+    if payload.get("name") != "chaos":
+        return
+    metrics = payload.get("metrics", {})
+    for key in ("trials", "violations", "violating_trials"):
+        if key not in metrics:
+            raise ValueError(f"chaos payload is missing metric {key!r}")
+    if metrics["trials"] <= 0:
+        raise ValueError("chaos payload reports zero trials (vacuous soak)")
+    if metrics["violations"] > 0 or metrics["violating_trials"] > 0:
+        raise ValueError(
+            f"chaos payload carries {int(metrics['violations'])} invariant "
+            f"violation(s) across {int(metrics['violating_trials'])} "
+            f"trial(s); repro schedules: "
+            f"{payload.get('extra', {}).get('repro_schedules', [])}"
+        )
+
+
 def parse_floor(spec: str) -> "tuple[str, float]":
     """Split a ``NAME=VALUE`` floor spec (argparse ``type=``)."""
     name, sep, value = spec.partition("=")
@@ -123,6 +148,7 @@ def main(argv: "list[str] | None" = None) -> int:
             payload = json.loads(path.read_text())
             validate_bench_payload(payload)
             check_metric_values(payload)
+            check_chaos_payload(payload)
         except (OSError, ValueError) as exc:
             print(f"FAIL {path}: {exc}", file=sys.stderr)
             failures += 1

@@ -48,6 +48,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.chaos.engine import kill_schedule  # noqa: E402
 from repro.core.journal import JOURNAL_FILE  # noqa: E402
 from repro.core.persistence import (  # noqa: E402
     BRICKS_FILE,
@@ -137,7 +138,6 @@ def main(argv=None) -> int:
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
 
-    rng = np.random.default_rng(args.seed)
     t_start = time.perf_counter()
     trials: "list[dict]" = []
     failures = 0
@@ -168,25 +168,27 @@ def main(argv=None) -> int:
 
         trial_dir = root / "trial"
         trial_dir.mkdir()
-        for t in range(args.trials):
-            ci = int(rng.integers(len(refs)))
-            ref = refs[ci]
-            kill_at = int(rng.integers(ref["n_points"]))
-            hard = args.hard_every > 0 and t % args.hard_every == args.hard_every - 1
-            double = (not hard and args.double_every > 0
-                      and t % args.double_every == args.double_every - 1)
+        # The kill schedule comes from the chaos engine's scheduler —
+        # one seeded drawing shared with `repro chaos`, so the same
+        # (seed, trials) pair replays the same kills everywhere.
+        schedule = kill_schedule(
+            args.seed, args.trials, [ref["n_points"] for ref in refs],
+            hard_every=args.hard_every, double_every=args.double_every,
+        )
+        for kt in schedule:
+            t = kt.trial
+            ref = refs[kt.config_index]
 
             clear_dir(trial_dir)
             fired = run_to_crash(
-                ref["volume"], trial_dir, ref["mc"], ref["gr"], kill_at, hard
+                ref["volume"], trial_dir, ref["mc"], ref["gr"],
+                kt.kill_at, kt.hard,
             )
-            second_kill = None
-            if double:
+            if kt.double:
                 # Crash again while *resuming*; any surviving point works.
-                second_kill = int(rng.integers(max(1, ref["n_points"] - kill_at)))
                 run_to_crash(
                     ref["volume"], trial_dir, ref["mc"], ref["gr"],
-                    second_kill, False,
+                    kt.second_kill, False,
                 )
             ds = build_persistent_dataset(
                 ref["volume"], trial_dir, ref["mc"], group_records=ref["gr"]
@@ -200,10 +202,10 @@ def main(argv=None) -> int:
             failures += 0 if ok else 1
             trials.append({
                 "trial": t,
-                "config": ci,
-                "kill_at": kill_at,
-                "mode": "hard" if hard else ("double" if double else "soft"),
-                "second_kill": second_kill,
+                "config": kt.config_index,
+                "kill_at": kt.kill_at,
+                "mode": "hard" if kt.hard else ("double" if kt.double else "soft"),
+                "second_kill": kt.second_kill,
                 "crash_fired": bool(fired),
                 "byte_identical": bool(identical),
                 "fsck_clean": bool(clean),
@@ -211,9 +213,9 @@ def main(argv=None) -> int:
                 "ok": bool(ok),
             })
             if not ok:
-                print(f"FAIL trial {t}: config={ci} kill_at={kill_at} "
-                      f"mode={trials[-1]['mode']} identical={identical} "
-                      f"clean={clean}", file=sys.stderr)
+                print(f"FAIL trial {t}: config={kt.config_index} "
+                      f"kill_at={kt.kill_at} mode={trials[-1]['mode']} "
+                      f"identical={identical} clean={clean}", file=sys.stderr)
             elif not args.quiet and (t + 1) % 50 == 0:
                 print(f"  {t + 1}/{args.trials} trials ok")
 
